@@ -1,0 +1,91 @@
+"""Ablation — the HVS heaviness threshold.
+
+The paper fixes the threshold at one second.  This sweep shows the
+trade-off the threshold controls: how many distinct chart queries of a
+realistic exploration session get cached (storage) versus how much
+simulated latency a repeat visit saves.
+"""
+
+import pytest
+
+from repro.core import Direction, MemberPattern, property_chart_query, subclass_chart_query
+from repro.datasets.dbpedia import OWL_THING, recommended_scale
+from repro.endpoint import (
+    REMOTE_VIRTUOSO_PROFILE,
+    RemoteEndpoint,
+    SimClock,
+    SimulatedVirtuosoServer,
+)
+from repro.perf import ElindaEndpoint, HeavyQueryStore
+from repro.rdf import DBO
+
+
+def _session_queries():
+    """The chart queries of one exploration session (mixed weights)."""
+    queries = []
+    pattern = MemberPattern.of_type(OWL_THING)
+    queries.append(subclass_chart_query(pattern, OWL_THING))
+    queries.append(property_chart_query(pattern))
+    queries.append(property_chart_query(pattern, Direction.INCOMING))
+    for cls in ("Agent", "Person", "Philosopher"):
+        narrowed = MemberPattern.of_type(DBO.term(cls))
+        queries.append(subclass_chart_query(narrowed, DBO.term(cls)))
+        queries.append(property_chart_query(narrowed))
+    return queries
+
+
+def _run_session(graph, config, threshold_ms):
+    clock = SimClock()
+    profile = REMOTE_VIRTUOSO_PROFILE.scaled(recommended_scale(config))
+    server = SimulatedVirtuosoServer(graph, clock=clock, cost_model=profile)
+    stack = ElindaEndpoint(
+        RemoteEndpoint(server),
+        hvs=HeavyQueryStore(threshold_ms=threshold_ms, clock=clock),
+    )
+    queries = _session_queries()
+    first_visit = sum(stack.query(q).elapsed_ms for q in queries)
+    second_visit = sum(stack.query(q).elapsed_ms for q in queries)
+    return len(stack.hvs), first_visit, second_visit
+
+
+def test_hvs_threshold_sweep(benchmark, dbpedia_graph, dbpedia_config, report):
+    def sweep():
+        rows = []
+        for threshold in (100.0, 1000.0, 10_000.0, 100_000.0):
+            cached, first, second = _run_session(
+                dbpedia_graph, dbpedia_config, threshold
+            )
+            rows.append((threshold, cached, first, second))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "ablation_hvs",
+        "Ablation - HVS threshold (simulated ms per session)",
+        [("threshold ms", "entries cached", "1st visit", "repeat visit")]
+        + [
+            (t, c, f"{first:.0f}", f"{second:.0f}")
+            for t, c, first, second in rows
+        ],
+    )
+    cached_counts = [c for _t, c, _f, _s in rows]
+    repeat_costs = [second for _t, _c, _f, second in rows]
+    # Lower thresholds cache more and make repeat visits cheaper.
+    assert cached_counts == sorted(cached_counts, reverse=True)
+    assert repeat_costs == sorted(repeat_costs)
+    # At the paper's 1 s threshold, repeats are dramatically cheaper.
+    paper_row = rows[1]
+    assert paper_row[3] < paper_row[2] / 10
+
+
+@pytest.mark.parametrize("threshold", [1000.0])
+def test_hvs_lookup_cost(benchmark, dbpedia_graph, dbpedia_config, threshold):
+    """Wall-clock cost of the cache probe itself."""
+    clock = SimClock()
+    hvs = HeavyQueryStore(threshold_ms=threshold, clock=clock)
+    from repro.sparql.results import AskResult
+
+    query = property_chart_query(MemberPattern.of_type(OWL_THING))
+    hvs.record(query, AskResult(True), 5000, 0)
+    response = benchmark(hvs.lookup, query, 0)
+    assert response is not None

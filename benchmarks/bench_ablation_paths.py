@@ -1,0 +1,60 @@
+"""Ablation — subclass closure: one ``rdfs:subClassOf+`` path query vs
+iterative direct-subclass drill-down.
+
+The hover box's "277 subclasses in total" figure can be computed either
+way; the path query saves round trips at the price of an in-engine BFS.
+"""
+
+from repro.core import StatisticsService
+from repro.endpoint import LocalEndpoint, SimClock
+from repro.rdf import DBO
+
+
+def test_closure_via_path_query(benchmark, dbpedia_graph):
+    service = StatisticsService(LocalEndpoint(dbpedia_graph, clock=SimClock()))
+    closure = benchmark(service.all_subclasses, DBO.term("Agent"))
+    assert len(closure) == 277
+
+
+def test_closure_via_iterative_queries(benchmark, dbpedia_graph):
+    def iterate():
+        # Fresh service per round: the subclass cache would otherwise
+        # absorb all the repeated round trips we want to measure.
+        service = StatisticsService(
+            LocalEndpoint(dbpedia_graph, clock=SimClock())
+        )
+        return service.all_subclasses_iterative(DBO.term("Agent"))
+
+    closure = benchmark(iterate)
+    assert len(closure) == 277
+
+
+def test_round_trip_counts(benchmark, dbpedia_graph, report):
+    def count_round_trips():
+        path_endpoint = LocalEndpoint(dbpedia_graph, clock=SimClock())
+        StatisticsService(path_endpoint).all_subclasses(DBO.term("Agent"))
+        iterative_endpoint = LocalEndpoint(dbpedia_graph, clock=SimClock())
+        StatisticsService(iterative_endpoint).all_subclasses_iterative(
+            DBO.term("Agent")
+        )
+        return (
+            len(path_endpoint.query_log),
+            len(iterative_endpoint.query_log),
+            path_endpoint.clock.now_ms,
+            iterative_endpoint.clock.now_ms,
+        )
+
+    path_queries, iter_queries, path_ms, iter_ms = benchmark.pedantic(
+        count_round_trips, rounds=1, iterations=1
+    )
+    report(
+        "ablation_paths",
+        "Ablation - subclass closure strategies (Agent, 277 classes)",
+        [
+            ("strategy", "endpoint queries", "simulated ms"),
+            ("rdfs:subClassOf+ path", path_queries, f"{path_ms:.2f}"),
+            ("iterative drill-down", iter_queries, f"{iter_ms:.2f}"),
+        ],
+    )
+    assert path_queries == 1
+    assert iter_queries > 200  # one query per discovered class

@@ -1,0 +1,37 @@
+"""E6 — Fig. 1's hover box for Agent: "the second largest DBpedia class,
+with more than 2 million instances, 5 direct subclasses, and 277
+subclasses in total"."""
+
+from repro.rdf import DBO
+
+
+def test_e6_agent_hover_statistics(benchmark, engine, statistics, dbpedia_config, report):
+    stats = benchmark(statistics.class_statistics, DBO.term("Agent"))
+    chart = engine.initial_chart()
+    rank = [bar.label for bar in chart.sorted_bars()].index(DBO.term("Agent")) + 1
+
+    scale = dbpedia_config.scale
+    rows = [("metric", "paper", "measured")]
+    rows.append(("rank among top-level classes", 2, rank))
+    rows.append(
+        (
+            "instances",
+            f">2,000,000 (x{scale} = >{int(2_000_000 * scale)})",
+            stats.instance_count,
+        )
+    )
+    rows.append(("direct subclasses", 5, stats.direct_subclasses))
+    rows.append(("subclasses in total", 277, stats.total_subclasses))
+    report("e6_agent_stats", "E6 - Agent hover-box statistics", rows)
+
+    assert rank == 2
+    assert stats.instance_count >= 2_000_000 * scale
+    assert stats.direct_subclasses == 5
+    assert stats.total_subclasses == 277
+
+
+def test_e6_subclass_traversal_cost(benchmark, statistics):
+    """Computing the 277-subclass closure (the 'subclasses in total'
+    figure) via repeated subclass queries."""
+    total = benchmark(statistics.all_subclasses, DBO.term("Agent"))
+    assert len(total) == 277

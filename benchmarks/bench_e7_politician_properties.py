@@ -1,0 +1,72 @@
+"""E7 — Section 3.3's Politician property-coverage claim: "in DBpedia
+there are nearly 40,000 instances of type Politician, that feature 1,482
+different properties altogether ... only 38 properties that cross the
+default coverage threshold of 20% are shown"."""
+
+import pytest
+
+from repro.core import Bar, BarType, Direction, MemberPattern
+from repro.explorer import CoverageThresholdWidget, DEFAULT_COVERAGE_THRESHOLD
+from repro.rdf import DBO
+
+
+@pytest.fixture()
+def politician_bar(statistics):
+    cls = DBO.term("Politician")
+    return Bar(
+        label=cls,
+        type=BarType.CLASS,
+        count=statistics.instance_count(cls),
+        pattern=MemberPattern.of_type(cls),
+    )
+
+
+def test_e7_politician_property_chart(benchmark, engine, politician_bar, dbpedia_config, report):
+    chart = benchmark(engine.property_chart, politician_bar)
+    widget = CoverageThresholdWidget()
+    significant = widget.apply(chart)
+
+    scale = dbpedia_config.scale
+    rows = [("metric", "paper", "measured")]
+    rows.append(
+        (
+            "Politician instances",
+            f"~40,000 (x{scale} = ~{int(40_000 * scale)})",
+            politician_bar.size,
+        )
+    )
+    rows.append(("distinct properties", 1482, len(chart)))
+    rows.append(("properties >= 20% coverage", 38, len(significant)))
+    rows.append(("", "", ""))
+    rows.append(("top properties", "coverage", ""))
+    for bar in significant.top(10):
+        rows.append((bar.label.local_name, f"{bar.coverage:.0%}", ""))
+    report("e7_politician_properties", "E7 - Politician property coverage", rows)
+
+    assert len(chart) == 1482
+    assert len(significant) == 38
+    assert politician_bar.size >= 40_000 * scale
+
+
+def test_e7_threshold_adjustment(benchmark, engine, politician_bar):
+    """'The user may adjust the threshold and reveal more properties.'"""
+    chart = engine.property_chart(politician_bar)
+
+    def reveal():
+        widget = CoverageThresholdWidget()
+        counts = [len(widget.apply(chart))]
+        while widget.threshold > 0:
+            widget.reveal_more()
+            counts.append(len(widget.apply(chart)))
+        return counts
+
+    counts = benchmark(reveal)
+    assert counts[0] == 38
+    assert counts == sorted(counts)      # lowering reveals monotonically
+    assert counts[-1] == len(chart) == 1482
+
+
+def test_e7_significance_filter_cost(benchmark, engine, politician_bar):
+    chart = engine.property_chart(politician_bar)
+    significant = benchmark(chart.above_coverage, DEFAULT_COVERAGE_THRESHOLD)
+    assert len(significant) == 38

@@ -1,0 +1,53 @@
+"""E8 — Section 3.3's ingoing-property claim: "For type Philosopher, 9
+ingoing properties that cross the 20% coverage threshold are shown, such
+as author that connects between different works to philosophers who
+authored them"."""
+
+import pytest
+
+from repro.core import Bar, BarType, Direction, MemberPattern
+from repro.explorer import DEFAULT_COVERAGE_THRESHOLD
+from repro.rdf import DBO
+
+
+@pytest.fixture()
+def philosopher_bar(statistics):
+    cls = DBO.term("Philosopher")
+    return Bar(
+        label=cls,
+        type=BarType.CLASS,
+        count=statistics.instance_count(cls),
+        pattern=MemberPattern.of_type(cls),
+    )
+
+
+def test_e8_ingoing_property_chart(benchmark, engine, philosopher_bar, report):
+    chart = benchmark(
+        engine.property_chart, philosopher_bar, Direction.INCOMING
+    )
+    significant = chart.above_coverage(DEFAULT_COVERAGE_THRESHOLD)
+
+    rows = [("metric", "paper", "measured")]
+    rows.append(("ingoing properties >= 20%", 9, len(significant)))
+    rows.append(("author among them", "yes", "yes" if DBO.term("author") in significant else "NO"))
+    rows.append(("", "", ""))
+    rows.append(("ingoing property", "coverage", ""))
+    for bar in significant:
+        rows.append((bar.label.local_name, f"{bar.coverage:.0%}", ""))
+    report("e8_ingoing_properties", "E8 - Philosopher ingoing properties", rows)
+
+    assert len(significant) == 9
+    assert DBO.term("author") in significant
+    assert len(chart) > 9  # a rare tail exists below the threshold
+
+
+def test_e8_author_connects_works(benchmark, engine, philosopher_bar):
+    """Following `author` ingoing lands on Work-typed subjects."""
+    chart = engine.property_chart(philosopher_bar, Direction.INCOMING)
+    author_bar = chart[DBO.term("author")]
+
+    connections = benchmark(
+        engine.object_chart, author_bar, Direction.INCOMING
+    )
+    labels = {bar.label.local_name for bar in connections if bar.size > 0}
+    assert "Work" in labels

@@ -1,0 +1,46 @@
+"""E1 / Fig. 1 — the initial chart over (synthetic) DBpedia.
+
+Regenerates the initial exploration pane: the subclass distribution of
+owl:Thing, sorted by support, with the corner statistics and the Agent
+hover box that Fig. 1 displays.
+"""
+
+from repro.explorer import render_chart
+from repro.rdf import DBO
+
+
+def test_fig1_initial_chart(benchmark, engine, statistics, report):
+    chart = benchmark(engine.initial_chart)
+
+    # --- regenerate the figure -------------------------------------
+    rows = [("class", "instances")]
+    rows += [(bar.label.local_name, bar.size) for bar in chart.top(15)]
+    agent = statistics.class_statistics(DBO.term("Agent"))
+    rows.append(("hover(Agent)", agent.summary()))
+    report("fig1_initial_chart", "Fig. 1 - initial chart over DBpedia", rows)
+    print(render_chart(chart, title="owl:Thing subclass distribution", top=10))
+
+    # --- shape assertions (paper claims) ----------------------------
+    assert len(chart) == 49
+    sizes = [bar.size for bar in chart]
+    assert sizes == sorted(sizes, reverse=True)
+    assert chart.sorted_bars()[1].label == DBO.term("Agent")
+    assert agent.direct_subclasses == 5
+    assert agent.total_subclasses == 277
+
+
+def test_fig1_pane_statistics(benchmark, engine, statistics):
+    """The corner statistics of the initial pane (|S| + subclass counts)."""
+
+    def corner():
+        root = engine.root_bar()
+        return (
+            root.size,
+            len(statistics.direct_subclasses(root.label)),
+            len(statistics.all_subclasses(root.label)),
+        )
+
+    count, direct, total = benchmark(corner)
+    assert direct == 49
+    assert total >= 330
+    assert count > 0

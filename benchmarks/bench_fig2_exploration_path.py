@@ -1,0 +1,62 @@
+"""E2 / Fig. 2 — the three-pane exploration path over DBpedia:
+the Person class, the Philosopher class, and persons influencing
+philosophers (via the influencedBy connections chart), with the
+breadcrumb trails."""
+
+from repro.core import Direction
+from repro.endpoint import LocalEndpoint, SimClock
+from repro.explorer import ExplorerSession
+from repro.rdf import DBO
+
+
+def _run_path(graph):
+    session = ExplorerSession(LocalEndpoint(graph, clock=SimClock()))
+    p0 = session.panes[0]
+    agent = session.open_subclass_pane(p0, DBO.term("Agent"))
+    person = session.open_subclass_pane(agent, DBO.term("Person"))
+    philosopher = session.open_subclass_pane(person, DBO.term("Philosopher"))
+    connections = philosopher.connections_chart(DBO.term("influencedBy"))
+    return session, person, philosopher, connections
+
+
+def test_fig2_exploration_path(benchmark, dbpedia_graph, report):
+    session, person, philosopher, connections = benchmark(
+        _run_path, dbpedia_graph
+    )
+
+    # --- regenerate the figure -------------------------------------
+    rows = [("pane", "breadcrumb trail", "|S|")]
+    for pane in session.panes:
+        rows.append(
+            (pane.pane_type.local_name, pane.trail.render(), pane.instance_count)
+        )
+    rows.append(("", "", ""))
+    rows.append(("influencedBy object type", "count", ""))
+    for bar in connections.top(8):
+        rows.append((bar.label.local_name, bar.size, ""))
+    report("fig2_exploration_path", "Fig. 2 - exploration path", rows)
+
+    # --- shape assertions --------------------------------------------
+    assert philosopher.trail.render() == "Thing -> Agent -> Person -> Philosopher"
+    assert philosopher.instance_count < person.instance_count
+    types = {bar.label.local_name for bar in connections if bar.size > 0}
+    assert {"Philosopher", "Scientist"} <= types
+
+
+def test_fig2_connections_pane_narrowing(benchmark, dbpedia_graph):
+    """Opening a pane from a Connections bar uses the narrowed O_sp set,
+    not all instances of the clicked type (Section 3.4)."""
+
+    def open_scientist_pane():
+        session, _person, philosopher, connections = _run_path(dbpedia_graph)
+        return session.open_connections_pane(
+            philosopher, DBO.term("influencedBy"), DBO.term("Scientist")
+        )
+
+    pane = benchmark(open_scientist_pane)
+    from repro.core import StatisticsService
+
+    total = StatisticsService(pane.engine.endpoint).instance_count(
+        DBO.term("Scientist")
+    )
+    assert 0 < pane.instance_count < total

@@ -1,0 +1,67 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every ``bench_*`` file regenerates one figure or in-text claim of the
+paper (see DESIGN.md's experiment index).  Regenerated rows are printed
+and also written to ``benchmarks/results/<experiment>.txt`` so the
+paper-vs-measured record survives the pytest-benchmark table.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, Sequence
+
+import pytest
+
+from repro.core import ChartEngine, StatisticsService
+from repro.datasets import DBpediaConfig, generate_dbpedia
+from repro.datasets.dbpedia import OWL_THING
+from repro.endpoint import LocalEndpoint, SimClock
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def dbpedia_config() -> DBpediaConfig:
+    return DBpediaConfig()
+
+
+@pytest.fixture(scope="session")
+def dbpedia(dbpedia_config):
+    return generate_dbpedia(dbpedia_config)
+
+
+@pytest.fixture(scope="session")
+def dbpedia_graph(dbpedia):
+    return dbpedia.graph
+
+
+@pytest.fixture()
+def local_endpoint(dbpedia_graph):
+    return LocalEndpoint(dbpedia_graph, clock=SimClock())
+
+
+@pytest.fixture()
+def engine(local_endpoint):
+    return ChartEngine(local_endpoint, OWL_THING)
+
+
+@pytest.fixture()
+def statistics(local_endpoint):
+    return StatisticsService(local_endpoint)
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Write (and echo) the regenerated rows of one experiment."""
+
+    def _report(experiment: str, title: str, rows: Iterable[Sequence]) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        lines = [title, "=" * len(title)]
+        for row in rows:
+            lines.append("  ".join(str(cell) for cell in row))
+        text = "\n".join(lines) + "\n"
+        (RESULTS_DIR / f"{experiment}.txt").write_text(text)
+        print(f"\n{text}")
+
+    return _report

@@ -1,0 +1,84 @@
+"""The Fig. 2 scenario end-to-end: exploring philosophers.
+
+Walks the class hierarchy Thing -> Agent -> Person -> Philosopher,
+inspects outgoing and ingoing property charts against the 20% coverage
+threshold, builds a data table with birthPlace / influencedBy columns,
+filters to philosophers born in Vienna (the Section 3.3 demo), and
+follows the influencedBy connections to "the types of people that
+influenced philosophers".
+
+Run:  python examples/explore_philosophers.py
+"""
+
+from repro import quick_session
+from repro.core import Direction, equals_filter
+from repro.explorer import Tab, render_chart
+from repro.rdf import DBO, DBR
+
+
+def main() -> None:
+    session = quick_session()
+
+    # --- navigate the class hierarchy (Fig. 2, left to right) --------
+    pane = session.current_pane
+    for cls in ("Agent", "Person", "Philosopher"):
+        pane = session.open_subclass_pane(pane, DBO.term(cls))
+    print("breadcrumbs:", pane.trail.render())
+    print(f"|S| = {pane.instance_count} philosophers\n")
+
+    # --- Property Data tab: outgoing, then ingoing --------------------
+    pane.switch_tab(Tab.PROPERTY_DATA)
+    outgoing = pane.significant_properties(Direction.OUTGOING)
+    print(render_chart(outgoing, title="Outgoing properties (>= 20% coverage)", top=12))
+    print()
+    ingoing = pane.significant_properties(Direction.INCOMING)
+    print(
+        render_chart(
+            ingoing,
+            title=f"Ingoing properties (>= 20% coverage): {len(ingoing)} shown",
+            top=12,
+        )
+    )
+    print()
+
+    # --- data table: birthPlace and influencedBy columns --------------
+    table = pane.select_property_column(DBO.term("birthPlace"))
+    pane.select_property_column(DBO.term("influencedBy"))
+    print("Data table (first rows):")
+    print(table.render(max_rows=6))
+    print()
+    print("The SPARQL the table was generated from:")
+    print(table.to_sparql(limit=10))
+    print()
+
+    # --- data filter: philosophers born in Vienna ---------------------
+    table.set_filter(DBO.term("birthPlace"), equals_filter(DBR.term("Vienna")))
+    vienna_born = table.filtered_members()
+    print(f"Philosophers born in Vienna: {len(vienna_born)}")
+    vienna_pane = session.open_filtered_pane(pane)
+    print(
+        "Filter expansion opened a pane on S_f with "
+        f"|S_f| = {vienna_pane.instance_count} (original pane unchanged: "
+        f"{pane.instance_count})\n"
+    )
+
+    # --- Connections tab: who influenced philosophers? ----------------
+    pane.switch_tab(Tab.CONNECTIONS)
+    connections = pane.connections_chart(DBO.term("influencedBy"))
+    print(
+        render_chart(
+            connections, title="Types of people influencing philosophers", top=8
+        )
+    )
+    scientists = session.open_connections_pane(
+        pane, DBO.term("influencedBy"), DBO.term("Scientist")
+    )
+    print(
+        f"\nOpened the Scientist bar: {scientists.instance_count} scientists "
+        "who influenced philosophers (a narrowed set, not all scientists)."
+    )
+    print("their trail:", scientists.trail.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Exploring a dataset with no root class and no hierarchy.
+
+LinkedGeoData declares flat classes with no owl:Thing and no
+rdfs:subClassOf; the paper notes such datasets "may be browsed with
+eLinda however in a limited fashion" (Section 3.1).  This example shows
+what still works (per-class panes via search, property charts, data
+tables) and what degrades (the initial subclass chart is empty), in
+remote compatibility mode — the other architecture path of Section 4.
+
+Run:  python examples/lgd_no_hierarchy.py
+"""
+
+from repro.core import Direction
+from repro.datasets import generate_lgd
+from repro.datasets.lgd import LGDO
+from repro.endpoint import SimulatedVirtuosoServer
+from repro.explorer import ExplorerSession, SettingsForm, Tab, connect, render_chart
+from repro.rdf import OWL
+
+
+def main() -> None:
+    dataset = generate_lgd()
+    settings = SettingsForm(
+        endpoint_url="http://linkedgeodata.example.org/sparql",
+        mode="remote",              # no preprocessing possible remotely
+        use_hvs=False,
+        use_decomposer=False,
+        root_class=OWL.term("Thing"),
+    )
+    server = SimulatedVirtuosoServer(dataset.graph, url=settings.endpoint_url)
+    endpoint = connect(settings, {settings.endpoint_url: server})
+    session = ExplorerSession(endpoint, settings=settings)
+
+    stats = session.dataset_statistics
+    print(f"dataset: {stats.total_triples:,} triples, {stats.class_count} classes")
+
+    # Limited fashion: no root class, so the initial pane is empty.
+    initial = session.current_pane
+    print(
+        f"initial pane on owl:Thing: |S| = {initial.instance_count}, "
+        f"{len(initial.subclass_chart())} subclass bars "
+        "(no hierarchy to expand)\n"
+    )
+
+    # The autocomplete still works: classes are declared as owl:Class.
+    print("autocomplete 'a':")
+    for entry in session.autocomplete("a", limit=5):
+        print("  ", entry)
+    print()
+
+    # Jump straight to the largest class and explore its properties.
+    amenity = session.open_search_pane(LGDO.term("Amenity"))
+    amenity.switch_tab(Tab.PROPERTY_DATA)
+    chart = amenity.property_chart(Direction.OUTGOING)
+    print(
+        render_chart(
+            chart, title=f"Amenity properties (|S| = {amenity.instance_count})", top=8
+        )
+    )
+
+    # Data still browsable in tabular form.
+    table = amenity.select_property_column(LGDO.term("operator"))
+    print("\nData table sample:")
+    print(table.render(max_rows=5))
+
+
+if __name__ == "__main__":
+    main()

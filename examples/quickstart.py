@@ -1,0 +1,56 @@
+"""Quickstart: open an eLinda session and take the first few steps.
+
+Builds the synthetic DBpedia mirror, wires up the full eLinda endpoint
+stack (local mirror + heavy-query store + decomposer), opens the initial
+pane, and drills Thing -> Agent -> Person, printing what the UI shows.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import quick_session
+from repro.explorer import Tab, render_chart
+from repro.rdf import DBO
+
+
+def main() -> None:
+    session = quick_session()
+
+    stats = session.dataset_statistics
+    print("Connected to", session.settings.endpoint_url)
+    print(f"dataset: {stats.total_triples:,} triples, {stats.class_count} classes\n")
+
+    # The initial pane: subclass distribution of owl:Thing (Fig. 1).
+    pane = session.current_pane
+    print(render_chart(pane.subclass_chart(), title="Initial chart (owl:Thing)", top=10))
+    print()
+    print("Hovering the Agent bar:")
+    print(pane.hover(DBO.term("Agent")))
+    print()
+
+    # Click down the class hierarchy.
+    agent_pane = session.open_subclass_pane(pane, DBO.term("Agent"))
+    person_pane = session.open_subclass_pane(agent_pane, DBO.term("Person"))
+    print(render_chart(person_pane.subclass_chart(), title="Person subclasses", top=8))
+    print()
+
+    # Switch to the Property Data tab: significant properties only.
+    person_pane.switch_tab(Tab.PROPERTY_DATA)
+    significant = person_pane.significant_properties()
+    print(
+        render_chart(
+            significant,
+            title=f"Person properties with >= {person_pane.threshold_widget.threshold:.0%} coverage",
+            top=10,
+        )
+    )
+    print()
+
+    # Every bar comes with its SPARQL.
+    print("SPARQL behind the birthPlace bar:")
+    print(person_pane.sparql_for(DBO.term("birthPlace"), Tab.PROPERTY_DATA))
+
+    print("\nBreadcrumbs:", person_pane.trail.render())
+
+
+if __name__ == "__main__":
+    main()

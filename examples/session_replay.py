@@ -1,0 +1,72 @@
+"""Saving, monitoring, and replaying an exploration session.
+
+Performs a multi-pane exploration, prints the query-log monitor's
+dashboard, saves the session to JSON, and replays it on a fresh endpoint
+to show that the reconstruction is exact — handy for sharing demo
+walkthroughs or reproducing a reported issue.
+
+Run:  python examples/session_replay.py
+"""
+
+from repro.core import equals_filter
+from repro.datasets import DBpediaConfig, generate_dbpedia
+from repro.endpoint import LocalEndpoint, SimClock
+from repro.explorer import (
+    ExplorerSession,
+    QueryMonitor,
+    replay_session,
+    save_session,
+)
+from repro.rdf import DBO, DBR
+
+
+def main() -> None:
+    dataset = generate_dbpedia(DBpediaConfig())
+    session = ExplorerSession(LocalEndpoint(dataset.graph, clock=SimClock()))
+    monitor = QueryMonitor(session.endpoint, heavy_threshold_ms=5.0)
+
+    # --- explore ------------------------------------------------------
+    pane = session.panes[0]
+    for cls in ("Agent", "Person", "Philosopher"):
+        pane = session.open_subclass_pane(pane, DBO.term(cls))
+    table = pane.select_property_column(DBO.term("birthPlace"))
+    table.set_filter(DBO.term("birthPlace"), equals_filter(DBR.term("Vienna")))
+    session.open_filtered_pane(pane)
+    session.open_connections_pane(
+        pane, DBO.term("influencedBy"), DBO.term("Scientist")
+    )
+    print(f"built {len(session.panes)} panes:")
+    for p in session.panes:
+        print(f"  {p.trail.render()}  (|S| = {p.instance_count})")
+    print()
+
+    # --- monitor ------------------------------------------------------
+    print(monitor.render())
+    print()
+
+    # --- save ---------------------------------------------------------
+    saved = save_session(session)
+    print(f"saved session: {len(saved)} bytes of JSON, "
+          f"{len(session.action_log)} actions")
+    print()
+
+    # --- replay on a fresh endpoint ------------------------------------
+    fresh = LocalEndpoint(dataset.graph, clock=SimClock())
+    replayed = replay_session(fresh, saved)
+    print("replayed panes:")
+    matches = True
+    for original, copy in zip(session.panes, replayed.panes):
+        ok = (
+            original.pane_type == copy.pane_type
+            and original.instance_count == copy.instance_count
+        )
+        matches = matches and ok
+        print(
+            f"  {copy.trail.render()}  (|S| = {copy.instance_count})"
+            f"  {'==' if ok else '!='} original"
+        )
+    print(f"\nreconstruction exact: {matches}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""eLinda: Explorer for Linked Data — a full reproduction.
+
+Reproduces Mishali, Yahav, Kalinsky, Kimelfeld, *eLinda: Explorer for
+Linked Data* (EDBT 2018): the formal exploration model of bar charts and
+bar expansions, the pane-based exploration UI (headless), and the
+responsiveness architecture (incremental evaluation, heavy-query store,
+decomposer over specialised indexes) — together with every substrate the
+paper runs on, built from scratch: an RDF store, a SPARQL engine, a
+simulated Virtuoso HTTP/JSON endpoint, and synthetic DBpedia-like and
+LinkedGeoData-like datasets.
+
+Quickstart::
+
+    from repro import quick_session
+    session = quick_session()
+    print(session.render())
+"""
+
+from . import core, datasets, endpoint, explorer, perf, rdf, sparql
+from .core import (
+    Bar,
+    BarChart,
+    BarType,
+    ChartEngine,
+    Direction,
+    ExpansionKind,
+    Exploration,
+)
+from .explorer import ExplorerSession, SettingsForm
+from .rdf import Graph, Literal, Triple, URI
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "rdf",
+    "sparql",
+    "endpoint",
+    "perf",
+    "core",
+    "explorer",
+    "datasets",
+    "URI",
+    "Literal",
+    "Triple",
+    "Graph",
+    "Bar",
+    "BarChart",
+    "BarType",
+    "Direction",
+    "Exploration",
+    "ExpansionKind",
+    "ChartEngine",
+    "ExplorerSession",
+    "SettingsForm",
+    "quick_session",
+    "__version__",
+]
+
+
+def quick_session(scale: float = 0.00025, seed: int = 42) -> ExplorerSession:
+    """A ready-to-explore session over the synthetic DBpedia mirror.
+
+    Builds the dataset, a simulated Virtuoso server, the full eLinda
+    endpoint stack (local mirror + HVS + decomposer), and an explorer
+    session with the initial pane open.
+    """
+    from .datasets import DBpediaConfig, generate_dbpedia
+    from .endpoint import SimulatedVirtuosoServer
+    from .explorer import connect
+
+    config = DBpediaConfig(scale=scale, seed=seed)
+    dataset = generate_dbpedia(config)
+    settings = SettingsForm()
+    server = SimulatedVirtuosoServer(dataset.graph, url=settings.endpoint_url)
+    endpoint_stack = connect(settings, {settings.endpoint_url: server})
+    return ExplorerSession(endpoint_stack, settings=settings)

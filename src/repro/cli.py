@@ -1,0 +1,406 @@
+"""Command-line interface: drive eLinda explorations from a shell.
+
+Examples::
+
+    python -m repro stats
+    python -m repro chart dbo:Person --tab properties --top 12
+    python -m repro path dbo:Agent dbo:Person dbo:Philosopher
+    python -m repro connections dbo:Philosopher dbo:influencedBy
+    python -m repro search Phil
+    python -m repro sparql "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }"
+    python -m repro fig4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import Direction
+from .datasets import (
+    DBpediaConfig,
+    LGDConfig,
+    YagoConfig,
+    generate_dbpedia,
+    generate_lgd,
+    generate_yago,
+    recommended_scale,
+)
+from .endpoint import (
+    LocalEndpoint,
+    REMOTE_VIRTUOSO_PROFILE,
+    RemoteEndpoint,
+    SimClock,
+    SimulatedVirtuosoServer,
+)
+from .explorer import ExplorerSession, SettingsForm, render_chart
+from .rdf import URI, default_namespace_manager
+from .sparql import SparqlError
+
+__all__ = ["main", "build_parser"]
+
+_MANAGER = default_namespace_manager()
+
+
+def _resolve_uri(text: str) -> URI:
+    """Accept a full URI, an ``<uri>``, or a known qname like dbo:Person."""
+    if text.startswith("<") and text.endswith(">"):
+        return URI(text[1:-1])
+    if text.startswith(("http://", "https://", "urn:")):
+        return URI(text)
+    try:
+        return _MANAGER.expand(text)
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"error: cannot resolve {text!r} as a URI ({exc})")
+
+
+def _build_session(args) -> ExplorerSession:
+    if getattr(args, "load", None):
+        from .rdf import OWL, load_ntriples, parse_turtle
+
+        path = args.load
+        if path.endswith((".ttl", ".turtle")):
+            with open(path, encoding="utf-8") as handle:
+                graph = parse_turtle(handle.read())
+        else:
+            graph = load_ntriples(path)
+        root = _resolve_uri(args.root) if args.root else OWL.term("Thing")
+        settings = SettingsForm(root_class=root)
+        endpoint = LocalEndpoint(graph, clock=SimClock())
+        return ExplorerSession(endpoint, settings=settings)
+    if args.dataset == "dbpedia":
+        dataset = generate_dbpedia(DBpediaConfig(scale=args.scale, seed=args.seed))
+        root = dataset.facts["thing"]
+    elif args.dataset == "yago":
+        dataset = generate_yago(YagoConfig(seed=args.seed))
+        root = dataset.facts["root"]
+    else:
+        dataset = generate_lgd(LGDConfig(seed=args.seed))
+        from .rdf import OWL
+
+        root = OWL.term("Thing")
+    settings = SettingsForm(root_class=root)
+    endpoint = LocalEndpoint(dataset.graph, clock=SimClock())
+    return ExplorerSession(endpoint, settings=settings)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+
+def _cmd_stats(args) -> int:
+    session = _build_session(args)
+    stats = session.dataset_statistics
+    print(f"dataset:       {args.dataset}")
+    print(f"triples:       {stats.total_triples:,}")
+    print(f"classes:       {stats.class_count:,}")
+    root = session.current_pane
+    print(f"root class:    {root.pane_type.local_name}")
+    print(f"root |S|:      {root.instance_count:,}")
+    corner = root.corner_statistics()
+    print(f"subclasses:    {corner.direct_subclasses} direct / "
+          f"{corner.total_subclasses} total")
+    return 0
+
+
+def _cmd_chart(args) -> int:
+    session = _build_session(args)
+    cls = _resolve_uri(args.cls)
+    pane = session.open_class_pane(cls)
+    if args.tab == "subclasses":
+        chart = pane.subclass_chart()
+        title = f"Subclasses of {cls.local_name}"
+    else:
+        direction = (
+            Direction.INCOMING if args.tab == "ingoing" else Direction.OUTGOING
+        )
+        pane.threshold_widget.set_threshold(args.threshold)
+        chart = pane.significant_properties(direction)
+        kind = "Ingoing" if args.tab == "ingoing" else "Outgoing"
+        title = (
+            f"{kind} properties of {cls.local_name} "
+            f"(coverage >= {args.threshold:.0%})"
+        )
+    print(render_chart(chart, title=title, top=args.top))
+    return 0
+
+
+def _cmd_path(args) -> int:
+    session = _build_session(args)
+    pane = session.current_pane
+    for step in args.classes:
+        cls = _resolve_uri(step)
+        try:
+            pane = session.open_subclass_pane(pane, cls)
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    print(session.render(top=args.top))
+    return 0
+
+
+def _cmd_connections(args) -> int:
+    session = _build_session(args)
+    cls = _resolve_uri(args.cls)
+    prop = _resolve_uri(args.prop)
+    pane = session.open_class_pane(cls)
+    direction = Direction.INCOMING if args.incoming else Direction.OUTGOING
+    try:
+        chart = pane.connections_chart(prop, direction)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        render_chart(
+            chart,
+            title=(
+                f"{cls.local_name} --{prop.local_name}--> objects by type"
+                if not args.incoming
+                else f"subjects by type --{prop.local_name}--> {cls.local_name}"
+            ),
+            top=args.top,
+        )
+    )
+    return 0
+
+
+def _cmd_search(args) -> int:
+    session = _build_session(args)
+    matches = session.autocomplete(args.prefix, limit=args.top)
+    if not matches:
+        print("(no matching classes)")
+        return 0
+    for entry in matches:
+        qname = _MANAGER.qname(entry.cls) or entry.cls.value
+        print(f"{qname:<40} {entry.instance_count:>8,} instances")
+    return 0
+
+
+def _cmd_sparql(args) -> int:
+    session = _build_session(args)
+    # Convenience: the standard prefixes are pre-declared, so qnames like
+    # dbo:Person work without a prologue.  User PREFIX lines come after
+    # and therefore win on conflict.
+    prologue = "".join(
+        f"PREFIX {prefix}: <{namespace}>\n" for prefix, namespace in _MANAGER
+    )
+    try:
+        response = session.endpoint.query(prologue + args.query)
+    except SparqlError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    result = response.result
+    from .sparql import AskResult, GraphResult
+
+    if isinstance(result, GraphResult):
+        text = result.to_ntriples()
+        lines = text.splitlines()
+        print("\n".join(lines[: args.top]))
+        if len(lines) > args.top:
+            print(f"... ({len(lines) - args.top} more triples)")
+        print(f"({len(result)} triples, {response.elapsed_ms:.2f} simulated ms)")
+    elif isinstance(result, AskResult):
+        print("yes" if result.value else "no")
+    else:
+        print(result.to_table(max_rows=args.top))
+        print(f"({len(result.rows)} rows, {response.elapsed_ms:.2f} simulated ms)")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    """The Section 5 demonstration walkthrough, scripted."""
+    from .core import equals_filter
+    from .datasets import generate_dbpedia, inject_birthplace_errors
+    from .explorer import QueryMonitor, Tab
+
+    config = DBpediaConfig(scale=args.scale, seed=args.seed)
+    dataset = generate_dbpedia(config)
+    inject_birthplace_errors(dataset, count=4)
+    session = ExplorerSession(LocalEndpoint(dataset.graph, clock=SimClock()))
+    monitor = QueryMonitor(session.endpoint, heavy_threshold_ms=5.0)
+
+    print("=== Scenario 1: understanding a large, unfamiliar dataset ===")
+    stats = session.dataset_statistics
+    print(f"{stats.total_triples:,} triples, {stats.class_count} classes")
+    chart = session.current_pane.subclass_chart()
+    print(render_chart(chart, title="First-level classes", top=8))
+    largest = chart.sorted_bars()[0]
+    largest_pane = session.open_subclass_pane(session.current_pane, largest.label)
+    top_properties = largest_pane.property_chart(Direction.OUTGOING).top(20)
+    print(
+        f"\nThe 20 most significant properties of {largest.label.local_name}: "
+        + ", ".join(bar.label.local_name for bar in top_properties[:8])
+        + ", ..."
+    )
+
+    print("\n=== Scenario 2: a sophisticated exploration path ===")
+    pane = session.panes[0]
+    for cls in ("Agent", "Person", "Philosopher"):
+        pane = session.open_subclass_pane(pane, _resolve_uri(f"dbo:{cls}"))
+    pane.switch_tab(Tab.CONNECTIONS)
+    connections = pane.connections_chart(_resolve_uri("dbo:influencedBy"))
+    print(render_chart(connections, title="Types of people influencing philosophers", top=6))
+
+    print("\n=== Scenario 3: erroneous data detection ===")
+    person_pane = session.panes[2]
+    birth_connections = person_pane.connections_chart(_resolve_uri("dbo:birthPlace"))
+    food_bar = birth_connections.get(_resolve_uri("dbo:Food"))
+    if food_bar is not None and food_bar.size:
+        print(
+            f"suspicious: {food_bar.size} birth places are of type Food!"
+        )
+        for food in sorted(
+            session.engine.materialise(food_bar).uris, key=lambda uri: uri.value
+        ):
+            print(f"  {food.local_name}")
+    else:
+        print("no erroneous birth places found")
+
+    print("\n=== Query monitor ===")
+    print(monitor.render())
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    from .core import MemberPattern, property_chart_query
+    from .datasets.dbpedia import OWL_THING
+    from .perf import Decomposer, HeavyQueryStore, SpecializedIndexes
+
+    config = DBpediaConfig(scale=args.scale, seed=args.seed)
+    dataset = generate_dbpedia(config)
+    clock = SimClock()
+    server = SimulatedVirtuosoServer(
+        dataset.graph,
+        clock=clock,
+        cost_model=REMOTE_VIRTUOSO_PROFILE.scaled(recommended_scale(config)),
+    )
+    remote = RemoteEndpoint(server)
+    decomposer = Decomposer(SpecializedIndexes(dataset.graph), clock=clock)
+    hvs = HeavyQueryStore(clock=clock)
+    paper = {
+        ("virtuoso", "outgoing"): "454 s",
+        ("virtuoso", "incoming"): "124 s",
+        ("decomposer", "outgoing"): "1.5 s",
+        ("decomposer", "incoming"): "1.2 s",
+        ("hvs", "outgoing"): "~80 ms",
+        ("hvs", "incoming"): "~80 ms",
+    }
+    print(f"{'configuration':<14} {'direction':<10} {'paper':>8} {'measured':>12}")
+    for direction in (Direction.OUTGOING, Direction.INCOMING):
+        query = property_chart_query(MemberPattern.of_type(OWL_THING), direction)
+        response = remote.query(query)
+        hvs.record(query, response.result, response.elapsed_ms, 0)
+        cells = {
+            "virtuoso": response.elapsed_ms,
+            "decomposer": decomposer.try_answer(query).elapsed_ms,
+            "hvs": hvs.lookup(query, 0).elapsed_ms,
+        }
+        for configuration, measured in cells.items():
+            shown = (
+                f"{measured / 1000:.2f} s"
+                if measured >= 1000
+                else f"{measured:.0f} ms"
+            )
+            print(
+                f"{configuration:<14} {direction.value:<10} "
+                f"{paper[(configuration, direction.value)]:>8} {shown:>12}"
+            )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="eLinda — explorer for Linked Data (EDBT 2018 reproduction)",
+    )
+    parser.add_argument(
+        "--dataset",
+        choices=["dbpedia", "lgd", "yago"],
+        default="dbpedia",
+        help="synthetic dataset to explore (default: dbpedia)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=DBpediaConfig().scale,
+        help="DBpedia instance-count scale factor",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="generator seed")
+    parser.add_argument(
+        "--load",
+        metavar="FILE",
+        help="explore an N-Triples (.nt) or Turtle (.ttl) file instead of "
+        "a synthetic dataset",
+    )
+    parser.add_argument(
+        "--root",
+        metavar="CLASS",
+        help="root class for --load (default owl:Thing)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="dataset opening statistics")
+    stats.set_defaults(func=_cmd_stats)
+
+    chart = sub.add_parser("chart", help="render a class's chart")
+    chart.add_argument("cls", help="class URI or qname (e.g. dbo:Person)")
+    chart.add_argument(
+        "--tab",
+        choices=["subclasses", "properties", "ingoing"],
+        default="subclasses",
+    )
+    chart.add_argument("--top", type=int, default=15)
+    chart.add_argument("--threshold", type=float, default=0.2)
+    chart.set_defaults(func=_cmd_chart)
+
+    path = sub.add_parser("path", help="drill down a subclass path")
+    path.add_argument("classes", nargs="+", help="subclass steps from the root")
+    path.add_argument("--top", type=int, default=6)
+    path.set_defaults(func=_cmd_path)
+
+    connections = sub.add_parser(
+        "connections", help="object chart for a class + property"
+    )
+    connections.add_argument("cls")
+    connections.add_argument("prop")
+    connections.add_argument("--incoming", action="store_true")
+    connections.add_argument("--top", type=int, default=10)
+    connections.set_defaults(func=_cmd_connections)
+
+    search = sub.add_parser("search", help="autocomplete class names")
+    search.add_argument("prefix")
+    search.add_argument("--top", type=int, default=10)
+    search.set_defaults(func=_cmd_search)
+
+    sparql = sub.add_parser("sparql", help="run a SPARQL query")
+    sparql.add_argument("query")
+    sparql.add_argument("--top", type=int, default=25)
+    sparql.set_defaults(func=_cmd_sparql)
+
+    fig4 = sub.add_parser("fig4", help="regenerate the Fig. 4 table")
+    fig4.set_defaults(func=_cmd_fig4)
+
+    demo = sub.add_parser(
+        "demo", help="the Section 5 demonstration walkthrough"
+    )
+    demo.set_defaults(func=_cmd_demo)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,68 @@
+"""eLinda's core: the formal model (Section 2) and its query machinery.
+
+* :mod:`repro.core.model` — bars and bar charts.
+* :mod:`repro.core.expansions` — reference subclass/property/object
+  expansions plus filtering, straight from the paper's definitions.
+* :mod:`repro.core.queries` — SPARQL generation for every expansion.
+* :mod:`repro.core.engine` — endpoint-backed chart computation.
+* :mod:`repro.core.exploration` — validated exploration paths.
+* :mod:`repro.core.statistics`, :mod:`repro.core.search`,
+  :mod:`repro.core.datatable` — supporting services of Section 3.
+"""
+
+from .datatable import ColumnFilter, DataTable, contains_filter, equals_filter
+from .engine import ChartEngine
+from .expansions import (
+    ExpansionError,
+    filter_expansion,
+    initial_chart,
+    object_expansion,
+    property_expansion,
+    root_bar,
+    subclass_expansion,
+)
+from .exploration import ExpansionKind, Exploration, ExplorationStep
+from .model import Bar, BarChart, BarType, Direction
+from .queries import (
+    MemberPattern,
+    count_query,
+    members_query,
+    object_chart_query,
+    property_chart_query,
+    subclass_chart_query,
+)
+from .search import ClassSearchEntry, ClassSearchIndex
+from .statistics import ClassStatistics, DatasetStatistics, StatisticsService
+
+__all__ = [
+    "Bar",
+    "BarChart",
+    "BarType",
+    "Direction",
+    "ExpansionError",
+    "subclass_expansion",
+    "property_expansion",
+    "object_expansion",
+    "filter_expansion",
+    "root_bar",
+    "initial_chart",
+    "ExpansionKind",
+    "Exploration",
+    "ExplorationStep",
+    "ChartEngine",
+    "MemberPattern",
+    "members_query",
+    "count_query",
+    "subclass_chart_query",
+    "property_chart_query",
+    "object_chart_query",
+    "ClassSearchIndex",
+    "ClassSearchEntry",
+    "StatisticsService",
+    "DatasetStatistics",
+    "ClassStatistics",
+    "DataTable",
+    "ColumnFilter",
+    "equals_filter",
+    "contains_filter",
+]

@@ -1,0 +1,192 @@
+"""The data table (Section 3.3, "Browse instance data" and "Data filters").
+
+"Each bar in the property chart that is selected by the user is added as
+a new column in the table. The column is then filled-in with actual
+values that are fetched from the dataset. ... the table exposes the
+SPARQL query it was generated from."  Column filters restrict the rows
+without changing the pane's set ``S``; asking for a pane on the filtered
+set is the *filter expansion* (handled by the engine/session layers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..endpoint.base import Endpoint
+from ..rdf.terms import Literal, Term, URI
+from .queries import MemberPattern, property_values_query
+
+__all__ = ["ColumnFilter", "DataTable", "equals_filter", "contains_filter"]
+
+
+@dataclass(frozen=True)
+class ColumnFilter:
+    """A predicate attached to one table column."""
+
+    description: str
+    predicate: Callable[[Optional[Term]], bool]
+
+    def __call__(self, value: Optional[Term]) -> bool:
+        return self.predicate(value)
+
+
+def equals_filter(value: Term) -> ColumnFilter:
+    """Keep rows whose column value equals ``value``."""
+    return ColumnFilter(
+        description=f"= {value.n3()}",
+        predicate=lambda term: term == value,
+    )
+
+
+def contains_filter(text: str) -> ColumnFilter:
+    """Keep rows whose column value contains ``text`` (case-insensitive)."""
+    needle = text.lower()
+
+    def predicate(term: Optional[Term]) -> bool:
+        if isinstance(term, Literal):
+            return needle in term.lexical.lower()
+        if isinstance(term, URI):
+            return needle in term.value.lower()
+        return False
+
+    return ColumnFilter(description=f"contains {text!r}", predicate=predicate)
+
+
+class DataTable:
+    """A tabular view over a pane's member set with property columns."""
+
+    def __init__(self, endpoint: Endpoint, pattern: MemberPattern):
+        self.endpoint = endpoint
+        self.pattern = pattern
+        self.columns: List[URI] = []
+        self.filters: Dict[URI, ColumnFilter] = {}
+        self._rows: Optional[List[Tuple[URI, Dict[URI, List[Term]]]]] = None
+
+    # ------------------------------------------------------------------
+    # Column management
+    # ------------------------------------------------------------------
+
+    def add_column(self, prop: URI) -> None:
+        """Add a property bar as a new column (idempotent)."""
+        if prop not in self.columns:
+            self.columns.append(prop)
+            self._rows = None
+
+    def remove_column(self, prop: URI) -> None:
+        """Drop a column and any filter attached to it."""
+        if prop in self.columns:
+            self.columns.remove(prop)
+            self.filters.pop(prop, None)
+            self._rows = None
+
+    def set_filter(self, prop: URI, column_filter: ColumnFilter) -> None:
+        """Attach a data filter to a column (must exist)."""
+        if prop not in self.columns:
+            raise KeyError(f"no such column: {prop}")
+        self.filters[prop] = column_filter
+
+    def clear_filter(self, prop: URI) -> None:
+        self.filters.pop(prop, None)
+
+    # ------------------------------------------------------------------
+    # Data access
+    # ------------------------------------------------------------------
+
+    def to_sparql(self, limit: Optional[int] = None) -> str:
+        """The SPARQL query the table was generated from."""
+        return property_values_query(self.pattern, self.columns, limit=limit)
+
+    def _fetch(self) -> List[Tuple[URI, Dict[URI, List[Term]]]]:
+        if self._rows is not None:
+            return self._rows
+        result = self.endpoint.select(self.to_sparql())
+        grouped: Dict[URI, Dict[URI, List[Term]]] = {}
+        order: List[URI] = []
+        for row in result:
+            subject = row.get("s")
+            if not isinstance(subject, URI):
+                continue
+            if subject not in grouped:
+                grouped[subject] = {prop: [] for prop in self.columns}
+                order.append(subject)
+            for index, prop in enumerate(self.columns):
+                value = row.get(f"col{index}")
+                if value is not None and value not in grouped[subject][prop]:
+                    grouped[subject][prop].append(value)
+        self._rows = [(subject, grouped[subject]) for subject in order]
+        return self._rows
+
+    def rows(
+        self, apply_filters: bool = True
+    ) -> List[Tuple[URI, Dict[URI, List[Term]]]]:
+        """(subject, {property: values}) rows, filtered by default.
+
+        A row passes a column filter when *any* of its values for that
+        column satisfies the predicate.
+        """
+        fetched = self._fetch()
+        if not apply_filters or not self.filters:
+            return list(fetched)
+        kept = []
+        for subject, values in fetched:
+            ok = True
+            for prop, column_filter in self.filters.items():
+                cell = values.get(prop, [])
+                if cell:
+                    if not any(column_filter(value) for value in cell):
+                        ok = False
+                        break
+                elif not column_filter(None):
+                    ok = False
+                    break
+            if ok:
+                kept.append((subject, values))
+        return kept
+
+    def filtered_members(self) -> frozenset:
+        """``S_f`` — the members surviving the filters; feeding this to a
+        new pane is the filter expansion."""
+        return frozenset(subject for subject, _values in self.rows())
+
+    def filtered_pattern(self) -> MemberPattern:
+        """A member pattern for ``S_f`` (explicit VALUES set)."""
+        return MemberPattern.of_values(sorted(self.filtered_members(), key=lambda u: u.value))
+
+    def invalidate(self) -> None:
+        """Drop the cached rows (e.g. after a dataset update)."""
+        self._rows = None
+
+    def render(self, max_rows: int = 20) -> str:
+        """Plain-text rendering of the (filtered) table."""
+        headers = ["instance"] + [prop.local_name for prop in self.columns]
+        lines: List[List[str]] = []
+        rows = self.rows()
+        for subject, values in rows[:max_rows]:
+            line = [subject.local_name]
+            for prop in self.columns:
+                cell = values.get(prop, [])
+                line.append(
+                    ", ".join(
+                        value.local_name
+                        if isinstance(value, URI)
+                        else str(value)
+                        for value in cell
+                    )
+                )
+            lines.append(line)
+        widths = [len(header) for header in headers]
+        for line in lines:
+            for index, cell in enumerate(line):
+                widths[index] = max(widths[index], len(cell))
+        out = [
+            " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+            "-+-".join("-" * width for width in widths),
+        ]
+        for line in lines:
+            out.append(
+                " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(line))
+            )
+        if len(rows) > max_rows:
+            out.append(f"... ({len(rows) - max_rows} more rows)")
+        return "\n".join(out)

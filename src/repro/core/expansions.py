@@ -1,0 +1,165 @@
+"""Reference implementation of the three bar expansions (Section 2).
+
+These functions compute expansions directly over an in-memory
+:class:`repro.rdf.graph.Graph`, materialising full member sets.  They are
+the executable form of the paper's definitions and serve as the ground
+truth that the endpoint-backed chart engine (:mod:`repro.core.engine`)
+is tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set
+
+from ..rdf.graph import Graph
+from ..rdf.terms import URI
+from ..rdf.vocab import RDF, RDFS
+from .model import Bar, BarChart, BarType, Direction
+
+__all__ = [
+    "ExpansionError",
+    "subclass_expansion",
+    "property_expansion",
+    "object_expansion",
+    "filter_expansion",
+    "root_bar",
+    "initial_chart",
+]
+
+_RDF_TYPE = RDF.term("type")
+_RDFS_SUBCLASS = RDFS.term("subClassOf")
+
+
+class ExpansionError(ValueError):
+    """Raised when an expansion is not applicable to the given bar."""
+
+
+def _require_type(bar: Bar, expected: BarType, expansion: str) -> frozenset:
+    if bar.type is not expected:
+        raise ExpansionError(
+            f"{expansion} expansion is enabled only for bars of type "
+            f"{expected.value!r}, got {bar.type.value!r}"
+        )
+    if bar.uris is None:
+        raise ExpansionError(
+            f"{expansion} expansion needs materialised bar members"
+        )
+    return bar.uris
+
+
+def root_bar(graph: Graph, root_class: URI) -> Bar:
+    """The predefined bar ``<S, tau, class>`` with ``S`` all subjects of
+    ``rdf:type tau`` — the seed of the initial chart (Section 2)."""
+    members = frozenset(graph.subjects(_RDF_TYPE, root_class))
+    return Bar(label=root_class, type=BarType.CLASS, uris=members)
+
+
+def initial_chart(graph: Graph, root_class: URI) -> BarChart:
+    """``B0 = eta(B)`` with ``eta`` the subclass expansion on the root bar."""
+    return subclass_expansion(graph, root_bar(graph, root_class))
+
+
+def subclass_expansion(graph: Graph, bar: Bar) -> BarChart:
+    """Subclass expansion (enabled when ``t = class``).
+
+    ``labels(B)`` are all ``tau`` with ``(tau, rdfs:subClassOf, label)``
+    in G; ``B[tau] = <T, tau, class>`` where ``T`` are the members of
+    ``S`` of class ``tau``.
+    """
+    members = _require_type(bar, BarType.CLASS, "subclass")
+    bars: Dict[URI, Bar] = {}
+    for subclass in graph.subjects(_RDFS_SUBCLASS, bar.label):
+        if not isinstance(subclass, URI):
+            continue
+        of_subclass = frozenset(
+            s for s in graph.subjects(_RDF_TYPE, subclass) if s in members
+        )
+        bars[subclass] = Bar(
+            label=subclass, type=BarType.CLASS, uris=of_subclass
+        )
+    return BarChart(bars)
+
+
+def property_expansion(
+    graph: Graph, bar: Bar, direction: Direction = Direction.OUTGOING
+) -> BarChart:
+    """Property expansion (enabled when ``t = class``).
+
+    Outgoing: ``labels(B)`` are all ``pi`` with ``(s, pi, o)`` for some
+    ``s`` in ``S``; ``B[pi]`` is the set of members featuring ``pi``.
+    The incoming version uses triples ``(o, pi, s)`` — the members play
+    the object role.  Coverage (Section 3.3) is ``|B[pi]| / |S|``.
+    """
+    members = _require_type(bar, BarType.CLASS, "property")
+    by_property: Dict[URI, Set[URI]] = {}
+    if direction is Direction.OUTGOING:
+        for member in members:
+            for prop in graph.predicates(subject=member):
+                by_property.setdefault(prop, set()).add(member)
+    else:
+        for member in members:
+            for prop in graph.predicates(object=member):
+                by_property.setdefault(prop, set()).add(member)
+    total = len(members)
+    bars = {
+        prop: Bar(
+            label=prop,
+            type=BarType.PROPERTY,
+            uris=frozenset(featuring),
+            coverage=(len(featuring) / total) if total else 0.0,
+            direction=direction,
+        )
+        for prop, featuring in by_property.items()
+    }
+    return BarChart(bars)
+
+
+def object_expansion(
+    graph: Graph, bar: Bar, direction: Direction = Direction.OUTGOING
+) -> BarChart:
+    """Object expansion (enabled when ``t = property``).
+
+    Outgoing: ``labels(B)`` are all ``tau`` such that G contains
+    ``(s, label, o)`` with ``s`` in ``S`` and ``o`` of class ``tau``;
+    ``B[tau]`` consists of those objects ``o`` of class ``tau``.  The
+    incoming version collects the subjects ``o`` of ``(o, label, s)``.
+    """
+    members = _require_type(bar, BarType.PROPERTY, "object")
+    connected: Set = set()
+    if direction is Direction.OUTGOING:
+        for member in members:
+            connected.update(graph.objects(subject=member, predicate=bar.label))
+    else:
+        for member in members:
+            connected.update(graph.subjects(predicate=bar.label, object=member))
+    by_class: Dict[URI, Set[URI]] = {}
+    for node in connected:
+        if not isinstance(node, URI):
+            continue
+        for cls in graph.objects(subject=node, predicate=_RDF_TYPE):
+            if isinstance(cls, URI):
+                by_class.setdefault(cls, set()).add(node)
+    bars = {
+        cls: Bar(label=cls, type=BarType.CLASS, uris=frozenset(nodes))
+        for cls, nodes in by_class.items()
+    }
+    return BarChart(bars)
+
+
+def filter_expansion(
+    bar: Bar, condition: Callable[[URI], bool], allowed: Optional[Set[URI]] = None
+) -> Bar:
+    """The filter operation: a new bar over ``S_f``, the members of ``S``
+    satisfying ``condition`` (and contained in ``allowed`` when given).
+
+    Opening a pane on the filtered set is the paper's *filter expansion*
+    (Section 3.3): "we may ask eLinda to open a new pane that is
+    associated with S_f — the set S after applying the filters".
+    """
+    if bar.uris is None:
+        raise ExpansionError("filter expansion needs materialised bar members")
+    filtered = bar.filter(condition)
+    if allowed is not None:
+        assert filtered.uris is not None
+        filtered = filtered.with_uris(frozenset(filtered.uris) & frozenset(allowed))
+    return filtered

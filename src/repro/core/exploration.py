@@ -1,0 +1,205 @@
+"""Exploration paths (Section 2, "Exploration").
+
+An exploration is a sequence ``(lambda_1, eta_1) -> B_1, ...,
+(lambda_m, eta_m) -> B_m`` where each chart ``B_i`` is obtained by
+selecting the bar labelled ``lambda_i`` from ``B_{i-1}`` and applying
+the expansion ``eta_i`` to it.  The class enforces the paper's three
+side conditions: (a) the label names a bar of the previous chart,
+(b) the expansion is applicable to that bar, (c) the new chart is the
+expansion's result.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Union
+
+from ..rdf.graph import Graph
+from ..rdf.terms import URI
+from .engine import ChartEngine
+from .expansions import (
+    ExpansionError,
+    filter_expansion,
+    initial_chart,
+    object_expansion,
+    property_expansion,
+    subclass_expansion,
+)
+from .model import Bar, BarChart, BarType, Direction
+
+__all__ = ["ExpansionKind", "ExplorationStep", "Exploration"]
+
+
+class ExpansionKind(enum.Enum):
+    """The expansion functions eta that eLinda supports."""
+
+    SUBCLASS = "subclass"
+    PROPERTY_OUT = "property-outgoing"
+    PROPERTY_IN = "property-incoming"
+    OBJECT_OUT = "object-outgoing"
+    OBJECT_IN = "object-incoming"
+
+    @property
+    def direction(self) -> Direction:
+        if self in (ExpansionKind.PROPERTY_IN, ExpansionKind.OBJECT_IN):
+            return Direction.INCOMING
+        return Direction.OUTGOING
+
+    def applicable_to(self, bar_type: BarType) -> bool:
+        """Paper's applicability: subclass/property need class bars,
+        object needs property bars."""
+        if self in (ExpansionKind.OBJECT_OUT, ExpansionKind.OBJECT_IN):
+            return bar_type is BarType.PROPERTY
+        return bar_type is BarType.CLASS
+
+
+@dataclass(frozen=True)
+class ExplorationStep:
+    """One step ``(lambda_i, eta_i) -> B_i``."""
+
+    label: URI
+    expansion: ExpansionKind
+    bar: Bar
+    chart: BarChart
+
+
+class Exploration:
+    """An exploration over a graph or through a chart engine.
+
+    Construct with a :class:`Graph` (reference semantics, materialised
+    bars) or a :class:`ChartEngine` (endpoint-backed, the production
+    path); the stepping API is identical.
+    """
+
+    def __init__(
+        self,
+        source: Union[Graph, ChartEngine],
+        root_class: Optional[URI] = None,
+    ):
+        if isinstance(source, Graph):
+            if root_class is None:
+                raise ValueError("a root class is required with a raw graph")
+            self._graph: Optional[Graph] = source
+            self._engine: Optional[ChartEngine] = None
+            self._initial = initial_chart(source, root_class)
+            self.root_class = root_class
+        elif isinstance(source, ChartEngine):
+            self._graph = None
+            self._engine = source
+            self._initial = source.initial_chart()
+            self.root_class = source.root_class
+        else:
+            raise TypeError("source must be a Graph or a ChartEngine")
+        self.steps: List[ExplorationStep] = []
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def initial(self) -> BarChart:
+        """``B_0`` — the predefined initial chart."""
+        return self._initial
+
+    @property
+    def current(self) -> BarChart:
+        """``B_m`` — the chart at the end of the path."""
+        if self.steps:
+            return self.steps[-1].chart
+        return self._initial
+
+    @property
+    def length(self) -> int:
+        """``m`` — number of steps taken."""
+        return len(self.steps)
+
+    def path(self) -> List[tuple]:
+        """The (label, expansion) pairs of the path — breadcrumb data."""
+        return [(step.label, step.expansion) for step in self.steps]
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+
+    def step(self, label: URI, expansion: ExpansionKind) -> BarChart:
+        """Apply ``(label, expansion)`` to the current chart.
+
+        Enforces conditions (a) and (b) of the formal model, raising
+        :class:`ExpansionError` when violated.
+        """
+        chart = self.current
+        if label not in chart:
+            raise ExpansionError(
+                f"label {label.local_name!r} is not in labels(B_{self.length})"
+            )
+        bar = chart[label]
+        if not expansion.applicable_to(bar.type):
+            raise ExpansionError(
+                f"{expansion.value} is not applicable to a "
+                f"{bar.type.value} bar"
+            )
+        new_chart = self._expand(bar, expansion)
+        self.steps.append(
+            ExplorationStep(
+                label=label, expansion=expansion, bar=bar, chart=new_chart
+            )
+        )
+        return new_chart
+
+    def step_filter(
+        self, label: URI, condition: Callable[[URI], bool]
+    ) -> BarChart:
+        """The filter operation applied to one bar of the current chart,
+        yielding a chart over ``S_f`` (reference mode only)."""
+        if self._graph is None:
+            raise ExpansionError(
+                "filter stepping by predicate requires reference (graph) mode"
+            )
+        chart = self.current
+        if label not in chart:
+            raise ExpansionError(
+                f"label {label.local_name!r} is not in labels(B_{self.length})"
+            )
+        bar = chart[label]
+        filtered = filter_expansion(bar, condition)
+        new_chart = BarChart([filtered])
+        self.steps.append(
+            ExplorationStep(
+                label=label,
+                expansion=ExpansionKind.SUBCLASS,  # filter reuses class typing
+                bar=filtered,
+                chart=new_chart,
+            )
+        )
+        return new_chart
+
+    def back(self) -> BarChart:
+        """Undo the last step; returns the now-current chart."""
+        if not self.steps:
+            raise IndexError("already at the initial chart")
+        self.steps.pop()
+        return self.current
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _expand(self, bar: Bar, expansion: ExpansionKind) -> BarChart:
+        if self._graph is not None:
+            graph = self._graph
+            if expansion is ExpansionKind.SUBCLASS:
+                return subclass_expansion(graph, bar)
+            if expansion in (
+                ExpansionKind.PROPERTY_OUT,
+                ExpansionKind.PROPERTY_IN,
+            ):
+                return property_expansion(graph, bar, expansion.direction)
+            return object_expansion(graph, bar, expansion.direction)
+        assert self._engine is not None
+        engine = self._engine
+        if expansion is ExpansionKind.SUBCLASS:
+            return engine.subclass_chart(bar)
+        if expansion in (ExpansionKind.PROPERTY_OUT, ExpansionKind.PROPERTY_IN):
+            return engine.property_chart(bar, expansion.direction)
+        return engine.object_chart(bar, expansion.direction)

@@ -1,0 +1,335 @@
+"""SPARQL generation for expansions and exploration steps.
+
+"User requests are translated into numerous SPARQL queries that are sent
+to the server in real time" (Section 3.1), and "eLinda enables the user
+to generate SPARQL code to extract each of the bars along the
+exploration" (Section 2).  This module is that translation layer.
+
+The central abstraction is :class:`MemberPattern` — a composable SPARQL
+group graph pattern whose ``{S}`` placeholder denotes the members of a
+bar's set ``S``.  Every expansion along an exploration path refines or
+re-roots the pattern, so the full provenance of any bar is always
+expressible as a single query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+from ..rdf.terms import Literal, URI
+from ..rdf.vocab import OWL, RDF, RDFS
+from .model import Direction
+
+__all__ = [
+    "MemberPattern",
+    "members_query",
+    "count_query",
+    "bar_subgraph_query",
+    "subclass_chart_query",
+    "property_chart_query",
+    "object_chart_query",
+    "class_instance_count_query",
+    "total_triples_query",
+    "class_count_query",
+    "class_list_query",
+    "subclass_counts_query",
+    "subclass_closure_query",
+    "labels_query",
+    "property_values_query",
+]
+
+_RDF_TYPE = RDF.term("type")
+
+
+@dataclass(frozen=True)
+class MemberPattern:
+    """A SPARQL pattern over the member variable ``{S}``.
+
+    ``lines`` are triple-pattern lines containing the literal placeholder
+    ``{S}``; auxiliary variables are uniquely numbered via ``next_id`` so
+    compositions never capture each other's variables.
+    """
+
+    lines: Tuple[str, ...]
+    next_id: int = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def of_type(cls: URI) -> "MemberPattern":
+        """Members are the instances of ``cls``: ``{S} rdf:type <cls>``."""
+        return MemberPattern((f"{{S}} {_RDF_TYPE.n3()} {cls.n3()} .",), 0)
+
+    @staticmethod
+    def of_values(uris: Iterable[URI]) -> "MemberPattern":
+        """Members are an explicit URI set (filter expansion on a
+        materialised ``S_f``)."""
+        ordered = sorted(uris, key=lambda uri: uri.value)
+        values = " ".join(uri.n3() for uri in ordered)
+        return MemberPattern((f"VALUES {{S}} {{ {values} }}",), 0)
+
+    # ------------------------------------------------------------------
+    # Refinement (same member variable)
+    # ------------------------------------------------------------------
+
+    def and_type(self, cls: URI) -> "MemberPattern":
+        """Members additionally of class ``cls`` (subclass-expansion bar)."""
+        return MemberPattern(
+            self.lines + (f"{{S}} {_RDF_TYPE.n3()} {cls.n3()} .",), self.next_id
+        )
+
+    def and_property(
+        self, prop: URI, direction: Direction = Direction.OUTGOING
+    ) -> "MemberPattern":
+        """Members additionally featuring ``prop`` (property-expansion bar)."""
+        var = f"?v{self.next_id}"
+        if direction is Direction.OUTGOING:
+            line = f"{{S}} {prop.n3()} {var} ."
+        else:
+            line = f"{var} {prop.n3()} {{S}} ."
+        return MemberPattern(self.lines + (line,), self.next_id + 1)
+
+    def and_value(
+        self,
+        prop: URI,
+        value: URI | Literal,
+        direction: Direction = Direction.OUTGOING,
+    ) -> "MemberPattern":
+        """Members with a specific value for ``prop`` (data filter)."""
+        if direction is Direction.OUTGOING:
+            line = f"{{S}} {prop.n3()} {value.n3()} ."
+        else:
+            line = f"{value.n3()} {prop.n3()} {{S}} ."
+        return MemberPattern(self.lines + (line,), self.next_id)
+
+    # ------------------------------------------------------------------
+    # Re-rooting (object expansion switches the member set)
+    # ------------------------------------------------------------------
+
+    def reroot_via(
+        self,
+        prop: URI,
+        direction: Direction = Direction.OUTGOING,
+        new_type: Optional[URI] = None,
+    ) -> "MemberPattern":
+        """Members become the nodes connected to the old members via
+        ``prop`` — the object expansion's switch "from S to O_sp"
+        (Section 3.4).  Outgoing: old members are subjects; incoming:
+        old members are objects."""
+        old_var = f"?m{self.next_id}"
+        renamed = tuple(line.replace("{S}", old_var) for line in self.lines)
+        if direction is Direction.OUTGOING:
+            link = f"{old_var} {prop.n3()} {{S}} ."
+        else:
+            link = f"{{S}} {prop.n3()} {old_var} ."
+        lines = renamed + (link,)
+        if new_type is not None:
+            lines = lines + (f"{{S}} {_RDF_TYPE.n3()} {new_type.n3()} .",)
+        return MemberPattern(lines, self.next_id + 1)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render(self, member_var: str = "?s", indent: str = "  ") -> str:
+        """The pattern text with ``{S}`` bound to ``member_var``."""
+        return "\n".join(
+            f"{indent}{line.replace('{S}', member_var)}" for line in self.lines
+        )
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+# ----------------------------------------------------------------------
+# Per-bar queries
+# ----------------------------------------------------------------------
+
+
+def members_query(pattern: MemberPattern, limit: Optional[int] = None) -> str:
+    """SELECT the distinct members of a bar — the query eLinda exposes
+    for "retriev[ing] the corresponding data"."""
+    suffix = f"\nLIMIT {limit}" if limit is not None else ""
+    return f"SELECT DISTINCT ?s WHERE {{\n{pattern.render()}\n}}{suffix}"
+
+
+def count_query(pattern: MemberPattern) -> str:
+    """COUNT the distinct members of a bar (its height)."""
+    return (
+        "SELECT (COUNT(DISTINCT ?s) AS ?count) WHERE {\n"
+        f"{pattern.render()}\n}}"
+    )
+
+
+def bar_subgraph_query(pattern: MemberPattern) -> str:
+    """CONSTRUCT the subgraph of all outgoing triples of a bar's members
+    — eLinda's "looking into detailed RDF data" export (Section 1)."""
+    return (
+        "CONSTRUCT { ?s ?p ?o } WHERE {\n"
+        f"{pattern.render()}\n"
+        "  ?s ?p ?o .\n}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Chart queries (one per expansion)
+# ----------------------------------------------------------------------
+
+
+def subclass_chart_query(pattern: MemberPattern, parent: URI) -> str:
+    """The subclass-expansion chart: per-subclass member counts."""
+    subclass = RDFS.term("subClassOf")
+    return (
+        "SELECT ?sub (COUNT(DISTINCT ?s) AS ?count) WHERE {\n"
+        f"  ?sub {subclass.n3()} {parent.n3()} .\n"
+        "  OPTIONAL {\n"
+        f"{pattern.render(indent='    ')}\n"
+        f"    ?s {_RDF_TYPE.n3()} ?sub .\n"
+        "  }\n"
+        "}\nGROUP BY ?sub\nORDER BY DESC(?count)"
+    )
+
+
+def property_chart_query(
+    pattern: MemberPattern, direction: Direction = Direction.OUTGOING
+) -> str:
+    """The property-expansion chart query — the paper's heavy query.
+
+    This is exactly the nested-aggregation shape of Section 4: the inner
+    sub-select groups the triples by (member, property), the outer one
+    counts, per property, the members featuring it (``?count``, the
+    coverage numerator) and the total number of triples (``?sp``).
+    """
+    if direction is Direction.OUTGOING:
+        edge = "?s ?p ?o ."
+    else:
+        edge = "?o ?p ?s ."
+    return (
+        "SELECT ?p (COUNT(?p) AS ?count) (SUM(?sp) AS ?triples) WHERE {\n"
+        "  { SELECT ?s ?p (COUNT(*) AS ?sp) WHERE {\n"
+        f"{pattern.render(indent='      ')}\n"
+        f"      {edge}\n"
+        "    } GROUP BY ?s ?p }\n"
+        "}\nGROUP BY ?p\nORDER BY DESC(?count)"
+    )
+
+
+def object_chart_query(
+    pattern: MemberPattern,
+    prop: URI,
+    direction: Direction = Direction.OUTGOING,
+) -> str:
+    """The object-expansion chart: connected nodes grouped by their type
+    (the Connections tab, Section 3.4)."""
+    if direction is Direction.OUTGOING:
+        edge = f"?s {prop.n3()} ?node ."
+    else:
+        edge = f"?node {prop.n3()} ?s ."
+    return (
+        "SELECT ?type (COUNT(DISTINCT ?node) AS ?count) WHERE {\n"
+        f"{pattern.render()}\n"
+        f"  {edge}\n"
+        f"  ?node {_RDF_TYPE.n3()} ?type .\n"
+        "}\nGROUP BY ?type\nORDER BY DESC(?count)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Dataset statistics (the "very first queries", Section 3.1)
+# ----------------------------------------------------------------------
+
+
+def total_triples_query() -> str:
+    """Total number of RDF triples in the dataset."""
+    return "SELECT (COUNT(*) AS ?count) WHERE { ?s ?p ?o . }"
+
+
+def class_count_query() -> str:
+    """Number of declared classes (owl:Class or rdfs:Class subjects)."""
+    owl_class = OWL.term("Class")
+    rdfs_class = RDFS.term("Class")
+    return (
+        "SELECT (COUNT(DISTINCT ?c) AS ?count) WHERE {\n"
+        f"  {{ ?c {_RDF_TYPE.n3()} {owl_class.n3()} . }}\n"
+        f"  UNION {{ ?c {_RDF_TYPE.n3()} {rdfs_class.n3()} . }}\n"
+        "}"
+    )
+
+
+def class_list_query() -> str:
+    """All declared classes with labels — feeds the autocomplete search
+    box (Section 3.2)."""
+    owl_class = OWL.term("Class")
+    rdfs_class = RDFS.term("Class")
+    label = RDFS.term("label")
+    return (
+        "SELECT DISTINCT ?c ?label WHERE {\n"
+        f"  {{ ?c {_RDF_TYPE.n3()} {owl_class.n3()} . }}\n"
+        f"  UNION {{ ?c {_RDF_TYPE.n3()} {rdfs_class.n3()} . }}\n"
+        f"  OPTIONAL {{ ?c {label.n3()} ?label . }}\n"
+        "}"
+    )
+
+
+def class_instance_count_query(cls: URI) -> str:
+    """Instance count of one class."""
+    return (
+        "SELECT (COUNT(DISTINCT ?s) AS ?count) WHERE {\n"
+        f"  ?s {_RDF_TYPE.n3()} {cls.n3()} .\n}}"
+    )
+
+
+def subclass_counts_query(cls: URI) -> str:
+    """Direct subclasses of ``cls`` (the pane's hover statistics)."""
+    subclass = RDFS.term("subClassOf")
+    return (
+        "SELECT DISTINCT ?sub WHERE {\n"
+        f"  ?sub {subclass.n3()} {cls.n3()} .\n}}"
+    )
+
+
+def subclass_closure_query(cls: URI) -> str:
+    """All direct *and indirect* subclasses of ``cls`` in one query,
+    via a ``rdfs:subClassOf+`` property path — the 'subclasses in total'
+    figure of the hover box without N round trips."""
+    subclass = RDFS.term("subClassOf")
+    return (
+        "SELECT DISTINCT ?sub WHERE {\n"
+        f"  ?sub {subclass.n3()}+ {cls.n3()} .\n}}"
+    )
+
+
+def labels_query(uris: Sequence[URI]) -> str:
+    """rdfs:label lookup for a batch of URIs (Section 3.1: eLinda "makes
+    extensive use of standard rdfs:label properties")."""
+    label = RDFS.term("label")
+    values = " ".join(uri.n3() for uri in uris)
+    return (
+        "SELECT ?s ?label WHERE {\n"
+        f"  VALUES ?s {{ {values} }}\n"
+        f"  ?s {label.n3()} ?label .\n}}"
+    )
+
+
+def property_values_query(
+    pattern: MemberPattern,
+    props: Sequence[URI],
+    limit: Optional[int] = None,
+) -> str:
+    """The data-table query: members with their values for the selected
+    property columns (Section 3.3, "Browse instance data")."""
+    lines = [pattern.render()]
+    select_vars = ["?s"]
+    for index, prop in enumerate(props):
+        var = f"?col{index}"
+        select_vars.append(var)
+        lines.append(f"  OPTIONAL {{ ?s {prop.n3()} {var} . }}")
+    body = "\n".join(lines)
+    suffix = f"\nLIMIT {limit}" if limit is not None else ""
+    return (
+        f"SELECT {' '.join(select_vars)} WHERE {{\n{body}\n}}"
+        f"\nORDER BY ?s{suffix}"
+    )

@@ -1,0 +1,127 @@
+"""Autocomplete class search (Section 3.2, "Class navigation").
+
+"eLinda provides an autocomplete search box for locating class types,
+based on a list that is populated by collecting all subjects in the
+dataset of type owl:Class or rdfs:Class. Selecting a class that way,
+immediately opens the associated pane without the need to drill down."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..endpoint.base import Endpoint
+from ..rdf.terms import Literal, URI
+from .queries import class_instance_count_query, class_list_query
+
+__all__ = ["ClassSearchEntry", "ClassSearchIndex"]
+
+
+@dataclass(frozen=True)
+class ClassSearchEntry:
+    """One autocomplete candidate."""
+
+    cls: URI
+    label: str
+    instance_count: int
+
+    def __str__(self) -> str:
+        return f"{self.label} ({self.instance_count:,} instances)"
+
+
+class ClassSearchIndex:
+    """In-memory autocomplete index over the dataset's declared classes.
+
+    Matches are ranked by decreasing instance count (the tool's
+    significance ordering), ties broken alphabetically.
+    """
+
+    def __init__(self, entries: List[ClassSearchEntry]):
+        self._entries = sorted(
+            entries, key=lambda entry: (-entry.instance_count, entry.label)
+        )
+        self._by_class: Dict[URI, ClassSearchEntry] = {
+            entry.cls: entry for entry in self._entries
+        }
+
+    @classmethod
+    def build(
+        cls, endpoint: Endpoint, with_counts: bool = True
+    ) -> "ClassSearchIndex":
+        """Populate the index from an endpoint.
+
+        ``with_counts=False`` skips the per-class instance-count queries
+        (cheaper start-up; ranking falls back to alphabetical).
+        """
+        result = endpoint.select(class_list_query())
+        seen: Dict[URI, str] = {}
+        for row in result:
+            declared = row.get("c")
+            if not isinstance(declared, URI):
+                continue
+            label_term = row.get("label")
+            label = (
+                label_term.lexical
+                if isinstance(label_term, Literal)
+                else declared.local_name
+            )
+            # Keep the first (preferentially labelled) entry per class.
+            if declared not in seen or isinstance(label_term, Literal):
+                seen[declared] = label
+        entries = []
+        for declared, label in seen.items():
+            count = 0
+            if with_counts:
+                scalar = endpoint.select(
+                    class_instance_count_query(declared)
+                ).scalar()
+                if isinstance(scalar, Literal):
+                    try:
+                        count = int(scalar.lexical)
+                    except ValueError:
+                        count = 0
+            entries.append(
+                ClassSearchEntry(cls=declared, label=label, instance_count=count)
+            )
+        return cls(entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, cls: object) -> bool:
+        return cls in self._by_class
+
+    def entry(self, cls: URI) -> Optional[ClassSearchEntry]:
+        return self._by_class.get(cls)
+
+    def complete(self, prefix: str, limit: int = 10) -> List[ClassSearchEntry]:
+        """Autocomplete: classes whose label or local name starts with
+        ``prefix`` (case-insensitive), best-ranked first."""
+        if limit <= 0:
+            return []
+        needle = prefix.strip().lower()
+        if not needle:
+            return self._entries[:limit]
+        matches = [
+            entry
+            for entry in self._entries
+            if entry.label.lower().startswith(needle)
+            or entry.cls.local_name.lower().startswith(needle)
+        ]
+        return matches[:limit]
+
+    def search(self, text: str, limit: int = 10) -> List[ClassSearchEntry]:
+        """Substring search (looser than :meth:`complete`)."""
+        if limit <= 0:
+            return []
+        needle = text.strip().lower()
+        if not needle:
+            return []
+        matches = [
+            entry
+            for entry in self._entries
+            if needle in entry.label.lower()
+            or needle in entry.cls.local_name.lower()
+        ]
+        return matches[:limit]

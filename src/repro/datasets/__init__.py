@@ -1,0 +1,32 @@
+"""Deterministic synthetic Linked Datasets standing in for DBpedia,
+LinkedGeoData, and the erroneous-data demo (DESIGN.md, substitution
+table)."""
+
+from .dbpedia import DBpediaConfig, OWL_THING, generate_dbpedia, recommended_scale
+from .errors import inject_birthplace_errors, planted_errors
+from .lgd import LGDConfig, LGDO, LGDR, generate_lgd
+from .synthetic import OntologyBuilder, SyntheticDataset
+from .yago import SCHEMA, YAGO, YagoConfig, generate_yago
+from .zipf import allocate_zipf, pick_weighted, zipf_weights
+
+__all__ = [
+    "OntologyBuilder",
+    "SyntheticDataset",
+    "DBpediaConfig",
+    "generate_dbpedia",
+    "recommended_scale",
+    "OWL_THING",
+    "LGDConfig",
+    "generate_lgd",
+    "LGDO",
+    "LGDR",
+    "YagoConfig",
+    "generate_yago",
+    "YAGO",
+    "SCHEMA",
+    "inject_birthplace_errors",
+    "planted_errors",
+    "zipf_weights",
+    "allocate_zipf",
+    "pick_weighted",
+]

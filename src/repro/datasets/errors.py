@@ -1,0 +1,67 @@
+"""Erroneous-data injection for the error-detection demo scenario.
+
+The paper's third demonstration scenario "illustrate[s] how eLinda can be
+used to detect erroneous data such as 'people who are indicated to be
+born in resources of type food'" (Section 5).  This module plants exactly
+such errors in a synthetic dataset so the object expansion on
+``birthPlace`` surfaces a ``Food`` bar.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..rdf.terms import URI
+from ..rdf.vocab import DBO
+from .synthetic import SyntheticDataset
+
+__all__ = ["inject_birthplace_errors", "planted_errors"]
+
+_BIRTH_PLACE = DBO.term("birthPlace")
+_FACT_KEY = "planted_birthplace_errors"
+
+
+def inject_birthplace_errors(
+    dataset: SyntheticDataset,
+    count: int = 5,
+    persons: Sequence[URI] | None = None,
+    foods: Sequence[URI] | None = None,
+) -> List[Tuple[URI, URI]]:
+    """Add ``count`` triples asserting persons were born in Food resources.
+
+    Uses the dataset's ground-truth person/food pools unless explicit
+    sequences are given.  Returns the planted (person, food) pairs and
+    records them under ``dataset.facts['planted_birthplace_errors']``.
+    """
+    if persons is None:
+        person_class = dataset.facts.get("person")
+        if not isinstance(person_class, URI):
+            raise ValueError("dataset has no 'person' ground-truth fact")
+        persons = sorted(dataset.instances_of[person_class], key=lambda u: u.value)
+    if foods is None:
+        food_pool = dataset.facts.get("foods")
+        if not isinstance(food_pool, list) or not food_pool:
+            raise ValueError("dataset has no 'foods' ground-truth fact")
+        foods = food_pool
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if not persons or not foods:
+        raise ValueError("need non-empty person and food pools")
+
+    planted: List[Tuple[URI, URI]] = []
+    for index in range(count):
+        person = persons[index % len(persons)]
+        food = foods[index % len(foods)]
+        dataset.graph.add(person, _BIRTH_PLACE, food)
+        planted.append((person, food))
+    existing = dataset.facts.setdefault(_FACT_KEY, [])
+    assert isinstance(existing, list)
+    existing.extend(planted)
+    return planted
+
+
+def planted_errors(dataset: SyntheticDataset) -> List[Tuple[URI, URI]]:
+    """The (person, food) pairs planted so far (empty if none)."""
+    value = dataset.facts.get(_FACT_KEY, [])
+    assert isinstance(value, list)
+    return list(value)

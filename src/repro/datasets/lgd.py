@@ -1,0 +1,80 @@
+"""A LinkedGeoData-like synthetic dataset: no root class, no hierarchy.
+
+The paper notes that eLinda "also handle[s] the case of datasets with no
+root class, as found in LinkedGeoData" (Section 3.1, footnote 7) and that
+datasets without a class hierarchy "may be browsed with eLinda however in
+a limited fashion".  This generator produces exactly that shape: flat
+classes declared as ``owl:Class`` with *no* ``rdfs:subClassOf`` triples
+and no ``owl:Thing`` typing on instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..rdf.namespace import Namespace
+from .synthetic import OntologyBuilder, SyntheticDataset
+from .zipf import allocate_zipf
+
+__all__ = ["LGDConfig", "generate_lgd", "LGDO", "LGDR"]
+
+LGDO = Namespace("http://linkedgeodata.org/ontology/")
+LGDR = Namespace("http://linkedgeodata.org/triplify/")
+
+_FLAT_CLASSES = [
+    "Amenity",
+    "Highway",
+    "Building",
+    "Shop",
+    "Tourism",
+    "Leisure",
+    "Natural",
+    "Railway",
+    "Waterway",
+    "Aeroway",
+    "Historic",
+    "Power",
+]
+
+_CLASS_PROPERTIES = {
+    "Amenity": [("operator", 0.4), ("openingHours", 0.3)],
+    "Highway": [("maxSpeed", 0.5), ("surface", 0.45), ("lanes", 0.3)],
+    "Building": [("levels", 0.4), ("roofShape", 0.2)],
+    "Shop": [("brand", 0.35), ("website", 0.25)],
+    "Tourism": [("fee", 0.3)],
+    "Leisure": [("sport", 0.4)],
+}
+
+
+@dataclass(frozen=True)
+class LGDConfig:
+    """Generator parameters for the LinkedGeoData-like dataset."""
+
+    total_instances: int = 600
+    seed: int = 7
+
+
+def generate_lgd(config: Optional[LGDConfig] = None) -> SyntheticDataset:
+    """Generate the flat, root-less geographic dataset."""
+    config = config or LGDConfig()
+    builder = OntologyBuilder(LGDO, LGDR, seed=config.seed, name="lgd-synthetic")
+    classes = {name: builder.add_class(name) for name in _FLAT_CLASSES}
+
+    shares = allocate_zipf(config.total_instances, len(_FLAT_CLASSES), 1.1)
+    for name, share in zip(_FLAT_CLASSES, shares):
+        instances = builder.add_instances(
+            classes[name], max(1, share), materialise_chain=False
+        )
+        # Every feature has coordinates.
+        builder.cover_with_property(instances, "lat", 1.0)
+        builder.cover_with_property(instances, "long", 1.0)
+        for prop_name, coverage in _CLASS_PROPERTIES.get(name, ()):
+            builder.cover_with_property(instances, prop_name, coverage)
+
+    return builder.build(
+        facts={
+            "classes": [classes[name] for name in _FLAT_CLASSES],
+            "config": config,
+        }
+    )

@@ -1,0 +1,129 @@
+"""A YAGO-like synthetic dataset.
+
+YAGO is the paper's second named knowledge base ("mirrors of the common
+knowledge bases, such as DBpedia and YAGO", Section 4; the settings form
+offers "DBpedia, YAGO, or LinkedGeoData", Section 3.1).  Its structural
+signature differs from DBpedia's in ways that exercise different eLinda
+code paths:
+
+* classes use ``rdfs:Class`` (not ``owl:Class``) and the hierarchy is
+  rooted in ``schema:Thing`` — the tool must honour both declaration
+  vocabularies (Section 3.2's autocomplete collects "all subjects in the
+  dataset of type owl:Class or rdfs:Class");
+* the taxonomy is much deeper (WordNet-derived chains), stressing the
+  subclass drill-down and the closure queries;
+* labels are multilingual, exercising language-tag handling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..rdf.namespace import Namespace
+from ..rdf.terms import Literal, URI
+from ..rdf.vocab import RDF, RDFS
+from .synthetic import OntologyBuilder, SyntheticDataset
+from .zipf import allocate_zipf
+
+__all__ = ["YagoConfig", "generate_yago", "YAGO", "SCHEMA"]
+
+YAGO = Namespace("http://yago-knowledge.org/resource/")
+SCHEMA = Namespace("http://schema.org/")
+
+#: Deep WordNet-style chains under schema:Thing; each entry is a chain
+#: of increasingly specific classes.
+_CHAINS = [
+    ["CreativeWork", "Book", "Novel", "MysteryNovel"],
+    ["CreativeWork", "Movie", "SilentMovie"],
+    ["Organization", "Corporation", "Airline"],
+    ["Organization", "EducationalOrganization", "CollegeOrUniversity"],
+    ["Person", "Scientist", "Physicist", "Astrophysicist"],
+    ["Person", "Politician", "HeadOfState", "President"],
+    ["Person", "Artist", "Painter"],
+    ["Place", "AdministrativeArea", "City", "CapitalCity"],
+    ["Place", "Landform", "Mountain", "Volcano"],
+    ["Event", "SportsEvent", "OlympicGames"],
+    ["Product", "Vehicle", "Car", "SportsCar"],
+    ["Taxon", "Animal", "Mammal", "Primate"],
+]
+
+_LANGUAGES = ["en", "de", "fr", "es", "it"]
+
+
+@dataclass(frozen=True)
+class YagoConfig:
+    """Generator parameters for the YAGO-like dataset."""
+
+    total_instances: int = 1200
+    seed: int = 17
+    languages: int = 3
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.languages <= len(_LANGUAGES):
+            raise ValueError(
+                f"languages must be within 1..{len(_LANGUAGES)}"
+            )
+
+
+def generate_yago(config: Optional[YagoConfig] = None) -> SyntheticDataset:
+    """Generate the synthetic YAGO-like dataset."""
+    config = config or YagoConfig()
+    builder = OntologyBuilder(SCHEMA, YAGO, seed=config.seed, name="yago-synthetic")
+    rdfs_class = RDFS.term("Class")
+    rdf_type = RDF.term("type")
+    label = RDFS.term("label")
+
+    # Root + chains; classes declared rdfs:Class (not owl:Class).
+    root = builder.add_class("Thing", declare=False)
+    builder.graph.add(root, rdf_type, rdfs_class)
+    builder.graph.add(root, label, Literal("thing", language="en"))
+    declared: Dict[str, URI] = {"Thing": root}
+    leaves: List[URI] = []
+    for chain in _CHAINS:
+        parent = root
+        for name in chain:
+            cls = declared.get(name)
+            if cls is None:
+                cls = builder.add_class(name, parent=parent, declare=False)
+                builder.graph.add(cls, rdf_type, rdfs_class)
+                for language in _LANGUAGES[: config.languages]:
+                    builder.graph.add(
+                        cls,
+                        label,
+                        Literal(f"{name.lower()} ({language})", language=language),
+                    )
+                declared[name] = cls
+            parent = cls
+        leaves.append(parent)
+
+    # Instances live at the leaves with a Zipf spread; type chains are
+    # materialised all the way to schema:Thing (deep chains!).
+    shares = allocate_zipf(config.total_instances, len(leaves), 1.05)
+    for leaf, share in zip(leaves, shares):
+        instances = builder.add_instances(leaf, max(1, share))
+        builder.cover_with_property(instances, "sameAs", 0.3)
+    # A few generic facts for property charts.
+    scientists = sorted(
+        builder.instances_of.get(declared["Scientist"], set()),
+        key=lambda uri: uri.value,
+    )
+    cities = sorted(
+        builder.instances_of.get(declared["City"], set()),
+        key=lambda uri: uri.value,
+    )
+    if scientists and cities:
+        builder.cover_with_property(
+            scientists, "birthPlace", 0.6, objects=cities
+        )
+        builder.cover_with_property(scientists, "birthDate", 0.5)
+
+    return builder.build(
+        facts={
+            "root": root,
+            "classes": dict(declared),
+            "leaves": list(leaves),
+            "config": config,
+            "max_depth": max(len(chain) for chain in _CHAINS) + 1,
+        }
+    )

@@ -1,0 +1,45 @@
+"""Endpoint layer: local engine, simulated remote Virtuoso, cost model.
+
+Implements the boxes of the paper's Fig. 3 architecture that sit between
+the explorer frontend and the RDF data, on a virtual time axis
+(:class:`SimClock`).
+"""
+
+from .base import Endpoint, EndpointResponse, QueryLogEntry
+from .clock import SimClock
+from .cost import (
+    CostModel,
+    DECOMPOSER_PROFILE,
+    HVS_PROFILE,
+    LOCAL_PROFILE,
+    REMOTE_VIRTUOSO_PROFILE,
+)
+from .local import LocalEndpoint
+from .virtuoso import RemoteEndpoint, SimulatedVirtuosoServer
+from .wire import (
+    JSON_RESULTS_MIME,
+    SparqlHttpRequest,
+    SparqlHttpResponse,
+    decode_response,
+    encode_request,
+)
+
+__all__ = [
+    "Endpoint",
+    "EndpointResponse",
+    "QueryLogEntry",
+    "SimClock",
+    "CostModel",
+    "LOCAL_PROFILE",
+    "REMOTE_VIRTUOSO_PROFILE",
+    "DECOMPOSER_PROFILE",
+    "HVS_PROFILE",
+    "LocalEndpoint",
+    "SimulatedVirtuosoServer",
+    "RemoteEndpoint",
+    "SparqlHttpRequest",
+    "SparqlHttpResponse",
+    "JSON_RESULTS_MIME",
+    "encode_request",
+    "decode_response",
+]

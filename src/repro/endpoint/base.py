@@ -1,0 +1,101 @@
+"""Endpoint abstraction: anything that answers SPARQL queries.
+
+The explorer (:mod:`repro.core`, :mod:`repro.explorer`) only ever talks to
+an :class:`Endpoint`; whether that is the local engine, a simulated remote
+Virtuoso, or the full performance router (:mod:`repro.perf.router`) is a
+configuration choice — exactly the architecture of the paper's Fig. 3.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from ..sparql.evaluator import EvalStats
+from ..sparql.results import AskResult, SelectResult
+
+__all__ = ["Endpoint", "EndpointResponse", "QueryLogEntry"]
+
+Result = Union[SelectResult, AskResult]
+
+
+@dataclass
+class EndpointResponse:
+    """One answered query: the result plus provenance and latency."""
+
+    result: Result
+    elapsed_ms: float
+    source: str
+    query_text: str
+    stats: Optional[EvalStats] = None
+
+    @property
+    def rows(self):
+        if isinstance(self.result, SelectResult):
+            return self.result.rows
+        raise TypeError("ASK responses have no rows")
+
+
+@dataclass
+class QueryLogEntry:
+    """A line of the endpoint's query log."""
+
+    query_text: str
+    elapsed_ms: float
+    source: str
+    result_rows: int
+
+
+class Endpoint(ABC):
+    """Abstract SPARQL endpoint."""
+
+    def __init__(self) -> None:
+        self.query_log: List[QueryLogEntry] = []
+
+    @abstractmethod
+    def query(self, query_text: str) -> EndpointResponse:
+        """Execute ``query_text`` and return the response."""
+
+    @property
+    @abstractmethod
+    def dataset_version(self) -> int:
+        """Version counter of the underlying knowledge base (for caching)."""
+
+    def select(self, query_text: str) -> SelectResult:
+        """Execute a SELECT query and return its result."""
+        result = self.query(query_text).result
+        if not isinstance(result, SelectResult):
+            raise TypeError("query did not produce a SELECT result")
+        return result
+
+    def ask(self, query_text: str) -> bool:
+        """Execute an ASK query and return its boolean."""
+        result = self.query(query_text).result
+        if not isinstance(result, AskResult):
+            raise TypeError("query did not produce an ASK result")
+        return result.value
+
+    def construct(self, query_text: str):
+        """Execute a CONSTRUCT query and return the built graph."""
+        from ..sparql.results import GraphResult
+
+        result = self.query(query_text).result
+        if not isinstance(result, GraphResult):
+            raise TypeError("query did not produce a CONSTRUCT result")
+        return result.graph
+
+    def _log(self, response: EndpointResponse) -> None:
+        rows = (
+            len(response.result.rows)
+            if isinstance(response.result, SelectResult)
+            else 1
+        )
+        self.query_log.append(
+            QueryLogEntry(
+                query_text=response.query_text,
+                elapsed_ms=response.elapsed_ms,
+                source=response.source,
+                result_rows=rows,
+            )
+        )

@@ -1,0 +1,61 @@
+"""A simulated clock.
+
+All latencies in the reproduction are *simulated milliseconds* computed by
+the cost model (:mod:`repro.endpoint.cost`) from evaluation work counters,
+not wall-clock time: the paper's Fig. 4 numbers (454 s, 124 s, 1.5 s,
+80 ms) come from a billion-triple testbed we cannot host, so we recreate
+the *shape* on a virtual time axis.  Components advance a shared
+:class:`SimClock`; nothing ever sleeps.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """A monotonically advancing virtual clock (milliseconds)."""
+
+    __slots__ = ("_now_ms",)
+
+    def __init__(self, start_ms: float = 0.0):
+        if start_ms < 0:
+            raise ValueError("clock cannot start before zero")
+        self._now_ms = float(start_ms)
+
+    @property
+    def now_ms(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now_ms
+
+    def advance(self, delta_ms: float) -> float:
+        """Advance the clock by ``delta_ms``; returns the new time."""
+        if delta_ms < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now_ms += delta_ms
+        return self._now_ms
+
+    def measure(self) -> "_Span":
+        """Context manager measuring virtual time spent inside the block."""
+        return _Span(self)
+
+    def __repr__(self) -> str:
+        return f"SimClock({self._now_ms:.3f} ms)"
+
+
+class _Span:
+    """Records the virtual-time delta across a ``with`` block."""
+
+    __slots__ = ("_clock", "_start", "elapsed_ms")
+
+    def __init__(self, clock: SimClock):
+        self._clock = clock
+        self._start = 0.0
+        self.elapsed_ms = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = self._clock.now_ms
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed_ms = self._clock.now_ms - self._start

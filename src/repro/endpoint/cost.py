@@ -1,0 +1,123 @@
+"""Analytic cost model converting evaluation work into simulated latency.
+
+The paper's evaluation (Section 4, Fig. 4) reports wall-clock runtimes on
+a mirror of DBpedia (billions of triples) served by Virtuoso.  Our
+substrate holds a laptop-scale synthetic graph, so raw wall-clock numbers
+would be meaningless.  Instead, each endpoint charges virtual time:
+
+    elapsed = network_latency
+            + per_scan * pattern_scans
+            + per_binding * intermediate_bindings * scale
+            + per_result * result_rows
+            + parse_overhead
+
+``scale`` models the size ratio between the paper's DBpedia mirror and the
+synthetic dataset: the heavy level-zero property expansion really does
+produce "a complex join with hundreds of millions of tuples as an
+intermediate result"; on our ~1e5-triple graph the same query shape
+produces proportionally fewer, and ``scale`` restores the magnitude.
+
+Calibration targets (Fig. 4): remote Virtuoso 454 s outgoing / 124 s
+incoming; eLinda decomposer 1.5 s / 1.2 s; HVS hit ~80 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "CostModel",
+    "LOCAL_PROFILE",
+    "REMOTE_VIRTUOSO_PROFILE",
+    "DECOMPOSER_PROFILE",
+    "HVS_PROFILE",
+]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Latency coefficients for one store configuration.
+
+    All coefficients are in milliseconds (per unit of the relevant
+    counter).  ``scale`` is a dimensionless dataset-size multiplier
+    applied to the per-binding term only — index lookups and result
+    shipping do not blow up with dataset size the way intermediate joins
+    do, which is exactly the asymmetry the eLinda decomposer exploits.
+    """
+
+    name: str
+    network_latency_ms: float = 0.0
+    parse_overhead_ms: float = 0.0
+    per_scan_ms: float = 0.0
+    per_binding_ms: float = 0.0
+    per_result_ms: float = 0.0
+    scale: float = 1.0
+
+    def simulate_ms(
+        self,
+        intermediate_bindings: int,
+        pattern_scans: int = 0,
+        result_rows: int = 0,
+    ) -> float:
+        """Simulated latency for one query execution."""
+        return (
+            self.network_latency_ms
+            + self.parse_overhead_ms
+            + self.per_scan_ms * pattern_scans
+            + self.per_binding_ms * intermediate_bindings * self.scale
+            + self.per_result_ms * result_rows
+        )
+
+    def scaled(self, scale: float) -> "CostModel":
+        """A copy with a different dataset-size multiplier."""
+        return replace(self, scale=scale)
+
+
+#: eLinda's own endpoint executing against its local mirror: no network
+#: round-trip, but the same join blow-up on heavy queries.
+LOCAL_PROFILE = CostModel(
+    name="local",
+    network_latency_ms=0.2,
+    parse_overhead_ms=0.3,
+    per_scan_ms=0.001,
+    per_binding_ms=0.0015,
+    per_result_ms=0.0005,
+)
+
+#: A remote Virtuoso endpoint reached over HTTP/JSON ("compatibility
+#: mode"), as used for DBpedia/YAGO/LinkedGeoData.  The higher latency and
+#: per-binding cost reproduce the paper's 454 s / 124 s level-zero
+#: property-expansion runtimes once ``scale`` is set by the dataset
+#: (see :func:`repro.datasets.dbpedia.recommended_scale`).
+REMOTE_VIRTUOSO_PROFILE = CostModel(
+    name="virtuoso",
+    network_latency_ms=60.0,
+    parse_overhead_ms=2.0,
+    per_scan_ms=0.002,
+    per_binding_ms=0.0015,
+    per_result_ms=0.01,
+)
+
+#: The eLinda decomposer answering from specialised indexes: latency is
+#: dominated by the subject-type index probe (``per_scan`` per member)
+#: plus per-row result assembly — independent of the join blow-up, which
+#: is what keeps both Fig. 4 decomposer bars near 1.5 s / 1.2 s.
+DECOMPOSER_PROFILE = CostModel(
+    name="decomposer",
+    network_latency_ms=0.2,
+    parse_overhead_ms=0.5,
+    per_scan_ms=0.55,
+    per_binding_ms=0.0,
+    per_result_ms=0.25,
+)
+
+#: A heavy-query-store hit: one key-value fetch (fixed ~78 ms, matching
+#: the paper's "around 80 milliseconds") plus negligible per-row cost.
+HVS_PROFILE = CostModel(
+    name="hvs",
+    network_latency_ms=0.2,
+    parse_overhead_ms=78.0,
+    per_scan_ms=0.0,
+    per_binding_ms=0.0,
+    per_result_ms=0.001,
+)

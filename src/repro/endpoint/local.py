@@ -1,0 +1,60 @@
+"""The local endpoint: the SPARQL engine over an in-process graph.
+
+This is eLinda's own endpoint in *local mode* — the mirror of the
+knowledge base held next to the application (paper, Section 4: "Our
+eLinda endpoint contains mirrors of the common knowledge bases").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..rdf.graph import Graph
+from ..sparql.evaluator import Evaluator
+from ..sparql.parser import parse_query
+from .base import Endpoint, EndpointResponse
+from .clock import SimClock
+from .cost import LOCAL_PROFILE, CostModel
+
+__all__ = ["LocalEndpoint"]
+
+
+class LocalEndpoint(Endpoint):
+    """Executes queries directly against a :class:`Graph`."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        clock: Optional[SimClock] = None,
+        cost_model: CostModel = LOCAL_PROFILE,
+    ):
+        super().__init__()
+        self.graph = graph
+        self.clock = clock or SimClock()
+        self.cost_model = cost_model
+
+    @property
+    def dataset_version(self) -> int:
+        return self.graph.version
+
+    def query(self, query_text: str) -> EndpointResponse:
+        parsed = parse_query(query_text)
+        evaluator = Evaluator(self.graph)
+        result = evaluator.run(parsed)
+        stats = evaluator.stats
+        result_rows = len(result.rows) if hasattr(result, "rows") else 1
+        elapsed = self.cost_model.simulate_ms(
+            intermediate_bindings=stats.intermediate_bindings,
+            pattern_scans=stats.pattern_scans,
+            result_rows=result_rows,
+        )
+        self.clock.advance(elapsed)
+        response = EndpointResponse(
+            result=result,
+            elapsed_ms=elapsed,
+            source=self.cost_model.name,
+            query_text=query_text,
+            stats=stats,
+        )
+        self._log(response)
+        return response

@@ -1,0 +1,117 @@
+"""Simulated remote Virtuoso endpoint and its HTTP/JSON client.
+
+Two classes split server from client exactly as the paper's remote
+compatibility mode does:
+
+* :class:`SimulatedVirtuosoServer` owns a graph and answers
+  :class:`repro.endpoint.wire.SparqlHttpRequest` objects with JSON
+  bodies, charging remote-profile simulated latency.
+* :class:`RemoteEndpoint` is the client: it only sees the endpoint URL
+  and the JSON wire — "even if we have no access to the actual RDF graph
+  and cannot execute any preprocessing" (Section 4).  It therefore cannot
+  feed the decomposer's index builder, which is why incremental
+  evaluation is the only acceleration available remotely.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..rdf.graph import Graph
+from ..sparql.evaluator import Evaluator
+from ..sparql.parser import parse_query
+from .base import Endpoint, EndpointResponse
+from .clock import SimClock
+from .cost import REMOTE_VIRTUOSO_PROFILE, CostModel
+from .wire import (
+    SparqlHttpRequest,
+    SparqlHttpResponse,
+    decode_response,
+    encode_error,
+    encode_request,
+    encode_success,
+)
+
+__all__ = ["SimulatedVirtuosoServer", "RemoteEndpoint"]
+
+
+class SimulatedVirtuosoServer:
+    """A SPARQL-over-HTTP server simulation around one graph."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        url: str = "http://dbpedia.example.org/sparql",
+        clock: Optional[SimClock] = None,
+        cost_model: CostModel = REMOTE_VIRTUOSO_PROFILE,
+    ):
+        self.graph = graph
+        self.url = url
+        self.clock = clock or SimClock()
+        self.cost_model = cost_model
+        self.requests_served = 0
+
+    def handle(self, request: SparqlHttpRequest) -> SparqlHttpResponse:
+        """Serve one protocol request."""
+        if request.endpoint_url != self.url:
+            return SparqlHttpResponse(
+                status=404,
+                body=f"no endpoint at {request.endpoint_url}",
+                content_type="text/plain",
+            )
+        self.requests_served += 1
+        try:
+            parsed = parse_query(request.query)
+            evaluator = Evaluator(self.graph)
+            result = evaluator.run(parsed)
+        except Exception as error:  # engine errors -> HTTP error body
+            elapsed = self.cost_model.network_latency_ms
+            self.clock.advance(elapsed)
+            return encode_error(error, elapsed_ms=elapsed)
+        stats = evaluator.stats
+        result_rows = len(result.rows) if hasattr(result, "rows") else 1
+        elapsed = self.cost_model.simulate_ms(
+            intermediate_bindings=stats.intermediate_bindings,
+            pattern_scans=stats.pattern_scans,
+            result_rows=result_rows,
+        )
+        self.clock.advance(elapsed)
+        return encode_success(result, elapsed_ms=elapsed)
+
+    @property
+    def dataset_version(self) -> int:
+        return self.graph.version
+
+
+class RemoteEndpoint(Endpoint):
+    """HTTP/JSON client for a :class:`SimulatedVirtuosoServer`.
+
+    The only coupling to the server is ``server.handle`` standing in for
+    the network; every result passes through JSON serialisation.
+    """
+
+    def __init__(self, server: SimulatedVirtuosoServer, url: Optional[str] = None):
+        super().__init__()
+        self._server = server
+        self.url = url or server.url
+
+    @property
+    def dataset_version(self) -> int:
+        # A real remote endpoint exposes no version; the client assumes
+        # the dataset is static between visits (as eLinda does for the
+        # public DBpedia endpoint).
+        return 0
+
+    def query(self, query_text: str) -> EndpointResponse:
+        request = encode_request(self.url, query_text)
+        http_response = self._server.handle(request)
+        result = decode_response(http_response)
+        response = EndpointResponse(
+            result=result,
+            elapsed_ms=http_response.elapsed_ms,
+            source="virtuoso",
+            query_text=query_text,
+            stats=None,  # opaque remote server: no work counters leak out
+        )
+        self._log(response)
+        return response

@@ -1,0 +1,104 @@
+"""Simulated HTTP/JSON SPARQL protocol.
+
+The paper's *remote compatibility mode* talks to a Virtuoso server "via
+its HTTP/JSON SPARQL interface" (Section 4, footnote 9).  We model that
+wire exactly: requests and responses are plain strings; the client never
+touches the server's graph object, so anything that works through this
+layer would work against a real HTTP endpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..sparql.errors import SparqlError
+from ..sparql.results import GraphResult, results_from_json, results_to_json
+
+__all__ = [
+    "SparqlHttpRequest",
+    "SparqlHttpResponse",
+    "JSON_RESULTS_MIME",
+    "NTRIPLES_MIME",
+    "encode_request",
+    "decode_response",
+]
+
+JSON_RESULTS_MIME = "application/sparql-results+json"
+NTRIPLES_MIME = "application/n-triples"
+
+
+@dataclass(frozen=True)
+class SparqlHttpRequest:
+    """A GET-style SPARQL protocol request."""
+
+    endpoint_url: str
+    query: str
+    accept: str = JSON_RESULTS_MIME
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SparqlHttpResponse:
+    """An HTTP response carrying SPARQL-JSON or an error body."""
+
+    status: int
+    body: str
+    content_type: str = JSON_RESULTS_MIME
+    elapsed_ms: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+def encode_request(endpoint_url: str, query: str) -> SparqlHttpRequest:
+    """Build the protocol request for a query."""
+    return SparqlHttpRequest(endpoint_url=endpoint_url, query=query)
+
+
+def encode_success(result, elapsed_ms: float) -> SparqlHttpResponse:
+    """Serialise a result into a 200 response.
+
+    SELECT/ASK results travel as SPARQL-JSON; CONSTRUCT graphs as
+    N-Triples with the matching content type.
+    """
+    if isinstance(result, GraphResult):
+        return SparqlHttpResponse(
+            status=200,
+            body=result.to_ntriples(),
+            content_type=NTRIPLES_MIME,
+            elapsed_ms=elapsed_ms,
+        )
+    return SparqlHttpResponse(
+        status=200, body=results_to_json(result), elapsed_ms=elapsed_ms
+    )
+
+
+def encode_error(error: Exception, elapsed_ms: float = 0.0) -> SparqlHttpResponse:
+    """Serialise an engine error into a 400/500 response."""
+    status = 400 if isinstance(error, SparqlError) else 500
+    return SparqlHttpResponse(
+        status=status,
+        body=f"{type(error).__name__}: {error}",
+        content_type="text/plain",
+        elapsed_ms=elapsed_ms,
+    )
+
+
+def decode_response(response: SparqlHttpResponse):
+    """Parse a response body back into a result object.
+
+    Raises :class:`SparqlError` on non-2xx responses, mirroring what an
+    HTTP client wrapper would do.
+    """
+    if not response.ok:
+        raise SparqlError(f"endpoint returned {response.status}: {response.body}")
+    if response.content_type == NTRIPLES_MIME:
+        from ..rdf.graph import Graph
+        from ..rdf.ntriples import parse_ntriples
+
+        return GraphResult(Graph(parse_ntriples(response.body)))
+    if response.content_type != JSON_RESULTS_MIME:
+        raise SparqlError(f"unexpected content type: {response.content_type}")
+    return results_from_json(response.body)

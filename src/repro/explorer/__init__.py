@@ -1,0 +1,47 @@
+"""Headless materialisation of eLinda's single-page UI (Section 3):
+panes with three tabs, breadcrumb trails, chart widgets, the settings
+form, and ASCII rendering."""
+
+from .breadcrumbs import BreadcrumbTrail, Crumb, TRAIL_COLOURS
+from .monitor import QueryMonitor, SourceSummary
+from .pane import Pane, Tab
+from .persistence import (
+    SessionReplayError,
+    load_actions,
+    replay_session,
+    save_session,
+)
+from .render import hover_box, render_bar_line, render_chart
+from .session import ExplorerSession
+from .settings import SettingsError, SettingsForm, connect
+from .widgets import (
+    CoverageThresholdWidget,
+    DEFAULT_COVERAGE_THRESHOLD,
+    DEFAULT_VISIBLE_BARS,
+    VisibleRangeWidget,
+)
+
+__all__ = [
+    "Pane",
+    "Tab",
+    "ExplorerSession",
+    "QueryMonitor",
+    "SourceSummary",
+    "save_session",
+    "load_actions",
+    "replay_session",
+    "SessionReplayError",
+    "SettingsForm",
+    "SettingsError",
+    "connect",
+    "BreadcrumbTrail",
+    "Crumb",
+    "TRAIL_COLOURS",
+    "VisibleRangeWidget",
+    "CoverageThresholdWidget",
+    "DEFAULT_COVERAGE_THRESHOLD",
+    "DEFAULT_VISIBLE_BARS",
+    "render_chart",
+    "render_bar_line",
+    "hover_box",
+]

@@ -1,0 +1,74 @@
+"""Breadcrumb trails.
+
+"The colored breadcrumb trails indicate the exploration path" (Fig. 2
+caption).  Each pane carries the trail of (label, action) pairs that led
+to it; trails are assigned cycling colours so parallel exploration paths
+stay visually distinct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..rdf.terms import URI
+
+__all__ = ["Crumb", "BreadcrumbTrail", "TRAIL_COLOURS"]
+
+TRAIL_COLOURS = (
+    "blue",
+    "orange",
+    "green",
+    "red",
+    "purple",
+    "teal",
+)
+
+
+@dataclass(frozen=True)
+class Crumb:
+    """One step of a trail: the element clicked and the action taken."""
+
+    label: URI
+    action: str  # e.g. "subclass", "property-outgoing", "connections", "filter"
+
+    def __str__(self) -> str:
+        return f"{self.label.local_name}[{self.action}]"
+
+
+@dataclass
+class BreadcrumbTrail:
+    """A colour-coded exploration path."""
+
+    colour: str = TRAIL_COLOURS[0]
+    crumbs: List[Crumb] = field(default_factory=list)
+
+    def extended(self, label: URI, action: str) -> "BreadcrumbTrail":
+        """A new trail with one more crumb (trails are append-only;
+        panes share prefixes)."""
+        return BreadcrumbTrail(
+            colour=self.colour,
+            crumbs=self.crumbs + [Crumb(label=label, action=action)],
+        )
+
+    def recoloured(self, colour: str) -> "BreadcrumbTrail":
+        return BreadcrumbTrail(colour=colour, crumbs=list(self.crumbs))
+
+    @property
+    def depth(self) -> int:
+        return len(self.crumbs)
+
+    def labels(self) -> List[URI]:
+        return [crumb.label for crumb in self.crumbs]
+
+    def path(self) -> List[Tuple[URI, str]]:
+        return [(crumb.label, crumb.action) for crumb in self.crumbs]
+
+    def render(self) -> str:
+        """E.g. ``Thing -> Agent -> Person -> Philosopher`` (Fig. 2)."""
+        if not self.crumbs:
+            return "(root)"
+        return " -> ".join(crumb.label.local_name for crumb in self.crumbs)
+
+    def __str__(self) -> str:
+        return f"[{self.colour}] {self.render()}"

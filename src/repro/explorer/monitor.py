@@ -1,0 +1,131 @@
+"""Query-log monitoring.
+
+The demo's second exploration kind presents "explorations that entail
+heavy queries ... with the discussed solutions turned on and off"
+(Section 5); this monitor summarises an endpoint's query log so that
+effect is visible: how many queries each component answered, their
+simulated latencies, and which queries crossed the heaviness threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..endpoint.base import Endpoint, QueryLogEntry
+from ..perf.hvs import DEFAULT_HEAVY_THRESHOLD_MS
+
+__all__ = ["SourceSummary", "QueryMonitor"]
+
+
+@dataclass(frozen=True)
+class SourceSummary:
+    """Aggregate statistics for one answer source."""
+
+    source: str
+    queries: int
+    total_ms: float
+    min_ms: float
+    max_ms: float
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.queries if self.queries else 0.0
+
+
+class QueryMonitor:
+    """Summarises an endpoint's query log."""
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        heavy_threshold_ms: float = DEFAULT_HEAVY_THRESHOLD_MS,
+    ):
+        self.endpoint = endpoint
+        self.heavy_threshold_ms = heavy_threshold_ms
+        self._mark = 0
+
+    # ------------------------------------------------------------------
+    # Windowing
+    # ------------------------------------------------------------------
+
+    def entries(self, since_mark: bool = False) -> List[QueryLogEntry]:
+        """The log entries (optionally only those after the last mark)."""
+        log = self.endpoint.query_log
+        return log[self._mark :] if since_mark else list(log)
+
+    def mark(self) -> int:
+        """Remember the current log position; ``entries(since_mark=True)``
+        then reports only newer activity."""
+        self._mark = len(self.endpoint.query_log)
+        return self._mark
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def by_source(self, since_mark: bool = False) -> Dict[str, SourceSummary]:
+        """Per-source query counts and latency aggregates."""
+        buckets: Dict[str, List[QueryLogEntry]] = {}
+        for entry in self.entries(since_mark):
+            buckets.setdefault(entry.source, []).append(entry)
+        return {
+            source: SourceSummary(
+                source=source,
+                queries=len(group),
+                total_ms=sum(e.elapsed_ms for e in group),
+                min_ms=min(e.elapsed_ms for e in group),
+                max_ms=max(e.elapsed_ms for e in group),
+            )
+            for source, group in buckets.items()
+        }
+
+    def heavy_queries(self, since_mark: bool = False) -> List[QueryLogEntry]:
+        """Entries that crossed the heaviness threshold, slowest first."""
+        heavy = [
+            entry
+            for entry in self.entries(since_mark)
+            if entry.elapsed_ms > self.heavy_threshold_ms
+        ]
+        heavy.sort(key=lambda entry: -entry.elapsed_ms)
+        return heavy
+
+    def slowest(self, count: int = 5, since_mark: bool = False) -> List[QueryLogEntry]:
+        """The ``count`` slowest queries."""
+        ordered = sorted(
+            self.entries(since_mark), key=lambda entry: -entry.elapsed_ms
+        )
+        return ordered[:count]
+
+    def total_simulated_ms(self, since_mark: bool = False) -> float:
+        return sum(entry.elapsed_ms for entry in self.entries(since_mark))
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render(self, since_mark: bool = False) -> str:
+        """A plain-text dashboard of the log."""
+        summaries = sorted(
+            self.by_source(since_mark).values(), key=lambda s: -s.total_ms
+        )
+        lines = [
+            "Query monitor",
+            "=============",
+            f"{'source':<12} {'queries':>8} {'total ms':>12} "
+            f"{'mean ms':>10} {'max ms':>12}",
+        ]
+        for summary in summaries:
+            lines.append(
+                f"{summary.source:<12} {summary.queries:>8} "
+                f"{summary.total_ms:>12.1f} {summary.mean_ms:>10.1f} "
+                f"{summary.max_ms:>12.1f}"
+            )
+        heavy = self.heavy_queries(since_mark)
+        lines.append(
+            f"heavy queries (>{self.heavy_threshold_ms:.0f} ms): {len(heavy)}"
+        )
+        for entry in heavy[:3]:
+            first_line = entry.query_text.strip().splitlines()[0]
+            lines.append(f"  {entry.elapsed_ms:>12.1f} ms  {first_line[:60]}")
+        return "\n".join(lines)

@@ -1,0 +1,256 @@
+"""Exploration panes (Section 3.2-3.4).
+
+"Exploration with eLinda is effectively performed by constructing a
+sequence of tabbed panes. ... Each pane visualizes data related to a set
+of subjects (instances) S from several different perspectives.  All
+subjects in S are of the same type T."  The three perspectives are the
+subclass chart (default tab), the property charts with the coverage
+threshold and the data table (*Property Data* tab), and the object
+charts (*Connections* tab).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Tuple
+
+from ..core.datatable import DataTable
+from ..core.engine import ChartEngine
+from ..core.model import Bar, BarChart, BarType, Direction
+from ..core.queries import MemberPattern
+from ..core.statistics import ClassStatistics, StatisticsService
+from ..rdf.terms import URI
+from .breadcrumbs import BreadcrumbTrail
+from .render import hover_box, render_chart
+from .widgets import (
+    CoverageThresholdWidget,
+    VisibleRangeWidget,
+)
+
+__all__ = ["Tab", "Pane"]
+
+
+class Tab(enum.Enum):
+    """The three tabs of a pane."""
+
+    SUBCLASSES = "subclasses"
+    PROPERTY_DATA = "property data"
+    CONNECTIONS = "connections"
+
+
+class Pane:
+    """One pane: a typed instance set S explored from three perspectives.
+
+    Charts are computed lazily per tab and cached; the subclass chart is
+    computed on construction because "by default, a pane is opened with
+    a bar chart showing the distribution of instances in S among the
+    subclasses of T".
+    """
+
+    def __init__(
+        self,
+        engine: ChartEngine,
+        statistics: StatisticsService,
+        bar: Bar,
+        trail: Optional[BreadcrumbTrail] = None,
+        coverage_threshold: Optional[float] = None,
+    ):
+        if bar.type is not BarType.CLASS:
+            raise ValueError("a pane is opened on a class bar")
+        self.engine = engine
+        self.statistics_service = statistics
+        self.bar = bar
+        self.trail = trail or BreadcrumbTrail()
+        self.active_tab = Tab.SUBCLASSES
+        self.threshold_widget = CoverageThresholdWidget(
+            threshold=coverage_threshold
+            if coverage_threshold is not None
+            else CoverageThresholdWidget().threshold
+        )
+        self.visible_widget = VisibleRangeWidget()
+        self._subclass_chart: Optional[BarChart] = None
+        self._property_charts: Dict[Direction, BarChart] = {}
+        self._connection_charts: Dict[Tuple[URI, Direction], BarChart] = {}
+        self._table: Optional[DataTable] = None
+        # Default tab opens immediately.
+        self.subclass_chart()
+
+    # ------------------------------------------------------------------
+    # Pane identity and statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def pane_type(self) -> URI:
+        """The type T shared by all members of S."""
+        return self.bar.label
+
+    @property
+    def instance_count(self) -> int:
+        """``|S|`` (upper-left corner statistic)."""
+        return self.bar.size
+
+    def corner_statistics(self) -> ClassStatistics:
+        """|S| plus T's direct/indirect subclass counts (Section 3.2)."""
+        direct = self.statistics_service.direct_subclasses(self.pane_type)
+        total = self.statistics_service.all_subclasses(self.pane_type)
+        return ClassStatistics(
+            cls=self.pane_type,
+            instance_count=self.instance_count,
+            direct_subclasses=len(direct),
+            total_subclasses=len(total),
+        )
+
+    # ------------------------------------------------------------------
+    # Tabs
+    # ------------------------------------------------------------------
+
+    def switch_tab(self, tab: Tab) -> None:
+        self.active_tab = tab
+
+    def subclass_chart(self) -> BarChart:
+        """The default subclass-distribution chart."""
+        if self._subclass_chart is None:
+            self._subclass_chart = self.engine.subclass_chart(self.bar)
+        return self._subclass_chart
+
+    def property_chart(
+        self, direction: Direction = Direction.OUTGOING
+    ) -> BarChart:
+        """The full (unthresholded) property chart for one direction."""
+        chart = self._property_charts.get(direction)
+        if chart is None:
+            chart = self.engine.property_chart(self.bar, direction)
+            self._property_charts[direction] = chart
+        return chart
+
+    def significant_properties(
+        self, direction: Direction = Direction.OUTGOING
+    ) -> BarChart:
+        """The property chart with the coverage threshold applied."""
+        return self.threshold_widget.apply(self.property_chart(direction))
+
+    def property_chart_progressive(
+        self,
+        direction: Direction = Direction.OUTGOING,
+        window_size: int = 2000,
+        max_steps=None,
+    ):
+        """Progressive property chart via incremental evaluation: yields
+        growing charts as windows arrive ("effective latency for user
+        interaction", Section 4).  The final chart is cached as the
+        pane's property chart for that direction."""
+        last: BarChart = BarChart()
+        for chart, partial in self.engine.property_chart_incremental(
+            self.bar, direction, window_size=window_size, max_steps=max_steps
+        ):
+            last = chart
+            yield chart, partial
+            if partial.complete:
+                self._property_charts[direction] = last
+
+    def connections_chart(
+        self, prop: URI, direction: Direction = Direction.OUTGOING
+    ) -> BarChart:
+        """The Connections-tab object chart for a selected property."""
+        key = (prop, direction)
+        chart = self._connection_charts.get(key)
+        if chart is None:
+            property_bar = self.property_chart(direction).get(prop)
+            if property_bar is None:
+                raise KeyError(
+                    f"{prop.local_name!r} is not a property of this pane"
+                )
+            chart = self.engine.object_chart(property_bar, direction)
+            self._connection_charts[key] = chart
+        return chart
+
+    # ------------------------------------------------------------------
+    # Data table
+    # ------------------------------------------------------------------
+
+    def table(self) -> DataTable:
+        """The pane's data table (lazily created, columns start empty)."""
+        if self._table is None:
+            pattern = self.bar.pattern
+            if not isinstance(pattern, MemberPattern):
+                if self.bar.uris is None:
+                    raise ValueError("pane bar has no pattern and no members")
+                pattern = MemberPattern.of_values(
+                    sorted(self.bar.uris, key=lambda uri: uri.value)
+                )
+            self._table = DataTable(self.engine.endpoint, pattern)
+        return self._table
+
+    def select_property_column(self, prop: URI) -> DataTable:
+        """Clicking a property bar adds it as a table column (Section 3.3)."""
+        if prop not in self.property_chart(Direction.OUTGOING):
+            raise KeyError(f"{prop.local_name!r} is not a property of this pane")
+        table = self.table()
+        table.add_column(prop)
+        return table
+
+    def filtered_bar(self) -> Bar:
+        """The bar over ``S_f`` after the table's data filters — opening
+        a pane on it is the filter expansion.  The pane's own S is left
+        unchanged (Section 3.3)."""
+        members = self.table().filtered_members()
+        return Bar(
+            label=self.pane_type,
+            type=BarType.CLASS,
+            uris=members,
+            pattern=MemberPattern.of_values(
+                sorted(members, key=lambda uri: uri.value)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Interaction helpers
+    # ------------------------------------------------------------------
+
+    def hover(self, label: URI) -> str:
+        """The hover pop-up for a bar of the subclass chart (Fig. 1)."""
+        bar = self.subclass_chart().get(label)
+        if bar is None:
+            raise KeyError(f"no bar labelled {label.local_name!r}")
+        direct = self.statistics_service.direct_subclasses(label)
+        total = self.statistics_service.all_subclasses(label)
+        return hover_box(
+            bar, direct_subclasses=len(direct), total_subclasses=len(total)
+        )
+
+    def sparql_for(self, label: URI, tab: Optional[Tab] = None) -> str:
+        """The generated SPARQL behind one bar of the active (or given)
+        tab's chart."""
+        tab = tab or self.active_tab
+        if tab is Tab.SUBCLASSES:
+            chart = self.subclass_chart()
+        elif tab is Tab.PROPERTY_DATA:
+            chart = self.property_chart(Direction.OUTGOING)
+        else:
+            raise ValueError(
+                "connections SPARQL is per property; use "
+                "engine.sparql_for on a connections-chart bar"
+            )
+        bar = chart.get(label)
+        if bar is None:
+            raise KeyError(f"no bar labelled {label.local_name!r}")
+        return self.engine.sparql_for(bar)
+
+    def render(self, top: int = 12) -> str:
+        """ASCII rendering of the pane's active tab."""
+        stats = self.corner_statistics()
+        header = (
+            f"Pane: {self.pane_type.local_name}  |S|={stats.instance_count:,}  "
+            f"subclasses: {stats.direct_subclasses} direct / "
+            f"{stats.total_subclasses} total\n"
+            f"trail: {self.trail.render()}\n"
+        )
+        if self.active_tab is Tab.SUBCLASSES:
+            body = render_chart(self.subclass_chart(), top=top)
+        elif self.active_tab is Tab.PROPERTY_DATA:
+            body = render_chart(
+                self.significant_properties(Direction.OUTGOING), top=top
+            )
+        else:
+            body = "(select a property to view connections)"
+        return header + body

@@ -1,0 +1,134 @@
+"""Saving and replaying exploration sessions.
+
+An exploration is fully determined by the sequence of UI actions that
+produced it (Section 2's ``(lambda_i, eta_i)`` pairs, materialised as
+pane-opening actions).  This module serialises that action log to JSON
+and replays it against any endpoint, so a demo walkthrough — or a bug
+report — can be reproduced exactly.
+
+Data filters are recorded *extensionally* (the resulting ``S_f`` member
+list), since arbitrary Python predicates do not serialise.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..core.model import Direction
+from ..endpoint.base import Endpoint
+from ..rdf.terms import URI
+from .session import ExplorerSession
+from .settings import SettingsForm
+
+__all__ = ["save_session", "load_actions", "replay_session", "SessionReplayError"]
+
+_FORMAT_VERSION = 1
+
+
+class SessionReplayError(ValueError):
+    """Raised when a saved session cannot be replayed."""
+
+
+def _action_to_dict(action: Dict) -> Dict:
+    out: Dict = {"kind": action["kind"]}
+    for key, value in action.items():
+        if key == "kind":
+            continue
+        if isinstance(value, URI):
+            out[key] = value.value
+        elif isinstance(value, Direction):
+            out[key] = value.value
+        elif isinstance(value, (list, tuple)):
+            out[key] = [
+                item.value if isinstance(item, URI) else item for item in value
+            ]
+        else:
+            out[key] = value
+    return out
+
+
+def save_session(session: ExplorerSession) -> str:
+    """Serialise the session's action log (and settings) to JSON."""
+    blob = {
+        "version": _FORMAT_VERSION,
+        "settings": {
+            "endpoint_url": session.settings.endpoint_url,
+            "mode": session.settings.mode,
+            "root_class": session.settings.root_class.value,
+            "coverage_threshold": session.settings.coverage_threshold,
+        },
+        "actions": [_action_to_dict(action) for action in session.action_log],
+    }
+    return json.dumps(blob, indent=2)
+
+
+def load_actions(text: str) -> List[Dict]:
+    """Parse a saved session; returns the raw action dictionaries."""
+    blob = json.loads(text)
+    if blob.get("version") != _FORMAT_VERSION:
+        raise SessionReplayError(
+            f"unsupported session format version: {blob.get('version')!r}"
+        )
+    actions = blob.get("actions")
+    if not isinstance(actions, list):
+        raise SessionReplayError("malformed session: no action list")
+    return actions
+
+
+def replay_session(
+    endpoint: Endpoint,
+    text: str,
+    settings: Optional[SettingsForm] = None,
+) -> ExplorerSession:
+    """Rebuild a session by replaying its saved actions on ``endpoint``."""
+    blob = json.loads(text)
+    saved_settings = blob.get("settings", {})
+    if settings is None:
+        settings = SettingsForm(
+            endpoint_url=saved_settings.get(
+                "endpoint_url", SettingsForm().endpoint_url
+            ),
+            root_class=URI(
+                saved_settings.get(
+                    "root_class", SettingsForm().root_class.value
+                )
+            ),
+            coverage_threshold=saved_settings.get("coverage_threshold", 0.2),
+        )
+    session = ExplorerSession(endpoint, settings=settings)
+    for action in load_actions(text):
+        _apply(session, action)
+    return session
+
+
+def _apply(session: ExplorerSession, action: Dict) -> None:
+    kind = action.get("kind")
+    try:
+        if kind == "subclass":
+            pane = session.panes[action["pane"]]
+            session.open_subclass_pane(pane, URI(action["class"]))
+        elif kind == "search":
+            session.open_class_pane(URI(action["class"]))
+        elif kind == "connections":
+            pane = session.panes[action["pane"]]
+            session.open_connections_pane(
+                pane,
+                URI(action["property"]),
+                URI(action["type"]),
+                Direction(action.get("direction", "outgoing")),
+            )
+        elif kind == "filtered":
+            pane = session.panes[action["pane"]]
+            members = frozenset(URI(value) for value in action["members"])
+            session.open_members_pane(
+                pane, members, label=URI(action["class"])
+            )
+        elif kind == "close":
+            session.close_pane(session.panes[action["pane"]])
+        else:
+            raise SessionReplayError(f"unknown action kind: {kind!r}")
+    except (KeyError, IndexError) as exc:
+        raise SessionReplayError(
+            f"cannot replay action {action!r}: {exc}"
+        ) from exc

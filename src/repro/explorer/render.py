@@ -1,0 +1,88 @@
+"""Plain-text rendering of charts and panes.
+
+The real eLinda draws HTML bar charts in a browser; this headless
+reproduction renders the same information as ASCII, which the examples
+print and the tests assert on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.model import Bar, BarChart, BarType
+from ..rdf.namespace import NamespaceManager
+from ..rdf.terms import URI
+from ..rdf.vocab import default_namespace_manager
+
+__all__ = ["render_chart", "render_bar_line", "hover_box"]
+
+_BAR_CHARS = "#"
+
+
+def _label_text(label: URI, manager: NamespaceManager) -> str:
+    return manager.qname(label) or label.local_name or label.value
+
+
+def render_bar_line(
+    bar: Bar,
+    max_size: int,
+    width: int = 40,
+    label_width: int = 28,
+    manager: Optional[NamespaceManager] = None,
+) -> str:
+    """One chart row: label, bar, and count (plus coverage when known)."""
+    manager = manager or default_namespace_manager()
+    label = _label_text(bar.label, manager)[:label_width].ljust(label_width)
+    filled = round(width * bar.size / max_size) if max_size else 0
+    if bar.size > 0 and filled == 0:
+        filled = 1
+    bar_text = (_BAR_CHARS * filled).ljust(width)
+    suffix = f"{bar.size:>8,}"
+    if bar.coverage is not None:
+        suffix += f"  ({bar.coverage:6.1%})"
+    return f"{label} |{bar_text}| {suffix}"
+
+
+def render_chart(
+    chart: BarChart,
+    title: str = "",
+    top: Optional[int] = 15,
+    width: int = 40,
+    manager: Optional[NamespaceManager] = None,
+) -> str:
+    """Render the chart's tallest bars as an ASCII histogram."""
+    manager = manager or default_namespace_manager()
+    bars = chart.sorted_bars()
+    shown = bars if top is None else bars[:top]
+    max_size = bars[0].size if bars else 0
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for bar in shown:
+        lines.append(
+            render_bar_line(bar, max_size, width=width, manager=manager)
+        )
+    hidden = len(bars) - len(shown)
+    if hidden > 0:
+        lines.append(f"... ({hidden} more bars)")
+    if not bars:
+        lines.append("(empty chart)")
+    return "\n".join(lines)
+
+
+def hover_box(
+    bar: Bar,
+    direct_subclasses: Optional[int] = None,
+    total_subclasses: Optional[int] = None,
+) -> str:
+    """The pop-up box shown when hovering a bar (Fig. 1 shows Agent with
+    >2M instances, 5 direct subclasses, 277 in total)."""
+    lines = [bar.label.local_name, f"instances: {bar.size:,}"]
+    if bar.type is BarType.PROPERTY and bar.coverage is not None:
+        lines.append(f"coverage: {bar.coverage:.1%}")
+    if direct_subclasses is not None:
+        lines.append(f"direct subclasses: {direct_subclasses}")
+    if total_subclasses is not None:
+        lines.append(f"subclasses in total: {total_subclasses}")
+    return "\n".join(lines)

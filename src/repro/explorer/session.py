@@ -1,0 +1,216 @@
+"""The explorer session: the single-page application state.
+
+Gathers the pieces of Section 3: the settings form connects to an
+endpoint; the first queries fetch dataset statistics; an initial pane
+opens on the root class; further panes open "one beneath the other" by
+clicking subclass bars, picking autocomplete results, following
+Connections-tab bars (which *narrow* the working set), or applying the
+filter expansion to a data table.
+"""
+
+from __future__ import annotations
+
+from itertools import cycle
+from typing import List, Optional
+
+from ..core.engine import ChartEngine
+from ..core.model import Bar, BarType, Direction
+from ..core.search import ClassSearchEntry, ClassSearchIndex
+from ..core.statistics import DatasetStatistics, StatisticsService
+from ..endpoint.base import Endpoint
+from ..rdf.terms import URI
+from .breadcrumbs import TRAIL_COLOURS, BreadcrumbTrail
+from .pane import Pane
+from .settings import SettingsForm
+
+__all__ = ["ExplorerSession"]
+
+
+class ExplorerSession:
+    """A running eLinda session against one endpoint."""
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        settings: Optional[SettingsForm] = None,
+    ):
+        self.settings = settings or SettingsForm()
+        self.endpoint = endpoint
+        self.engine = ChartEngine(endpoint, self.settings.root_class)
+        self.statistics_service = StatisticsService(endpoint)
+        # "The very first queries present the user with general
+        # statistics about the dataset" (Section 3.1).
+        self.dataset_statistics: DatasetStatistics = (
+            self.statistics_service.dataset_statistics()
+        )
+        self.panes: List[Pane] = []
+        #: Recorded UI actions (drives save/replay, repro.explorer.persistence).
+        self.action_log: List[dict] = []
+        self._search_index: Optional[ClassSearchIndex] = None
+        self._colours = cycle(TRAIL_COLOURS)
+        self.open_initial_pane()
+
+    # ------------------------------------------------------------------
+    # Pane management
+    # ------------------------------------------------------------------
+
+    @property
+    def current_pane(self) -> Pane:
+        return self.panes[-1]
+
+    def _open(self, bar: Bar, trail: BreadcrumbTrail) -> Pane:
+        pane = Pane(
+            engine=self.engine,
+            statistics=self.statistics_service,
+            bar=bar,
+            trail=trail,
+            coverage_threshold=self.settings.coverage_threshold,
+        )
+        self.panes.append(pane)
+        return pane
+
+    def open_initial_pane(self) -> Pane:
+        """The initial pane on the root class (Fig. 1)."""
+        root = self.engine.root_bar()
+        trail = BreadcrumbTrail(colour=next(self._colours)).extended(
+            root.label, "root"
+        )
+        return self._open(root, trail)
+
+    def open_subclass_pane(self, pane: Pane, subclass: URI) -> Pane:
+        """Clicking a subclass bar opens a pane below (Section 3.2)."""
+        bar = pane.subclass_chart().get(subclass)
+        if bar is None:
+            raise KeyError(f"no subclass bar {subclass.local_name!r}")
+        self.action_log.append(
+            {"kind": "subclass", "pane": self.panes.index(pane), "class": subclass}
+        )
+        return self._open(bar, pane.trail.extended(subclass, "subclass"))
+
+    def open_search_pane(self, cls: URI) -> Pane:
+        """Opening a pane from the autocomplete search box: S is *all*
+        instances of the class — no drill-down needed (Section 3.2)."""
+        if cls not in self.search_index():
+            raise KeyError(f"unknown class: {cls}")
+        return self.open_class_pane(cls)
+
+    def open_class_pane(self, cls: URI) -> Pane:
+        """A pane over all instances of ``cls``, without requiring the
+        class to be declared (datasets with undeclared classes are still
+        explorable 'in a limited fashion', Section 3.1)."""
+        from ..core.queries import MemberPattern
+
+        pattern = MemberPattern.of_type(cls)
+        count = self.statistics_service.instance_count(cls)
+        bar = Bar(label=cls, type=BarType.CLASS, count=count, pattern=pattern)
+        trail = BreadcrumbTrail(colour=next(self._colours)).extended(
+            cls, "search"
+        )
+        self.action_log.append({"kind": "search", "class": cls})
+        return self._open(bar, trail)
+
+    def open_connections_pane(
+        self,
+        pane: Pane,
+        prop: URI,
+        object_type: URI,
+        direction: Direction = Direction.OUTGOING,
+    ) -> Pane:
+        """Clicking a Connections-tab bar opens a pane on ``O_sp`` —
+        the narrowed object set, not all instances of the type
+        (Section 3.4)."""
+        chart = pane.connections_chart(prop, direction)
+        bar = chart.get(object_type)
+        if bar is None:
+            raise KeyError(
+                f"no connections bar of type {object_type.local_name!r}"
+            )
+        trail = pane.trail.extended(prop, "connections").extended(
+            object_type, "object"
+        )
+        self.action_log.append(
+            {
+                "kind": "connections",
+                "pane": self.panes.index(pane),
+                "property": prop,
+                "type": object_type,
+                "direction": direction,
+            }
+        )
+        return self._open(bar, trail)
+
+    def open_filtered_pane(self, pane: Pane) -> Pane:
+        """The filter expansion: a pane on ``S_f`` (Section 3.3)."""
+        bar = pane.filtered_bar()
+        assert bar.uris is not None
+        self.action_log.append(
+            {
+                "kind": "filtered",
+                "pane": self.panes.index(pane),
+                "class": bar.label,
+                "members": sorted(bar.uris, key=lambda uri: uri.value),
+            }
+        )
+        return self._open(bar, pane.trail.extended(bar.label, "filter"))
+
+    def open_members_pane(
+        self, pane: Pane, members: frozenset, label: URI
+    ) -> Pane:
+        """A pane over an explicit member set (filter-expansion replays
+        and programmatic narrowing)."""
+        from ..core.queries import MemberPattern
+
+        bar = Bar(
+            label=label,
+            type=BarType.CLASS,
+            uris=frozenset(members),
+            pattern=MemberPattern.of_values(
+                sorted(members, key=lambda uri: uri.value)
+            ),
+        )
+        self.action_log.append(
+            {
+                "kind": "filtered",
+                "pane": self.panes.index(pane),
+                "class": label,
+                "members": sorted(members, key=lambda uri: uri.value),
+            }
+        )
+        return self._open(bar, pane.trail.extended(label, "filter"))
+
+    def close_pane(self, pane: Pane) -> None:
+        """Remove a pane from the stack."""
+        index = self.panes.index(pane)
+        self.panes.remove(pane)
+        self.action_log.append({"kind": "close", "pane": index})
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def search_index(self) -> ClassSearchIndex:
+        if self._search_index is None:
+            self._search_index = ClassSearchIndex.build(self.endpoint)
+        return self._search_index
+
+    def autocomplete(self, prefix: str, limit: int = 10) -> List[ClassSearchEntry]:
+        """Autocomplete class names (Section 3.2)."""
+        return self.search_index().complete(prefix, limit=limit)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render(self, top: int = 8) -> str:
+        """All panes, one beneath the other."""
+        stats = self.dataset_statistics
+        header = (
+            f"eLinda @ {self.settings.endpoint_url}\n"
+            f"dataset: {stats.total_triples:,} triples, "
+            f"{stats.class_count:,} classes\n"
+        )
+        blocks = [header]
+        for index, pane in enumerate(self.panes, start=1):
+            blocks.append(f"--- pane {index} " + "-" * 40)
+            blocks.append(pane.render(top=top))
+        return "\n".join(blocks)

@@ -1,0 +1,110 @@
+"""The settings form (Section 3.1).
+
+"The interface provides a setting form that allows a user to point the
+tool to an online SPARQL endpoint such as DBpedia, YAGO, or
+LinkedGeoData."  A footnote adds: "The current implementation assumes
+Virtuoso endpoints."  The form validates its fields and builds the
+endpoint stack — local mode wires in the eLinda router (HVS +
+decomposer); remote compatibility mode can only use incremental
+evaluation, since no preprocessing is possible on a remote store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..endpoint.base import Endpoint
+from ..endpoint.clock import SimClock
+from ..endpoint.cost import LOCAL_PROFILE
+from ..endpoint.local import LocalEndpoint
+from ..endpoint.virtuoso import RemoteEndpoint, SimulatedVirtuosoServer
+from ..perf.decomposer import Decomposer
+from ..perf.hvs import HeavyQueryStore
+from ..perf.indexes import SpecializedIndexes
+from ..perf.router import ElindaEndpoint
+from ..rdf.terms import URI
+from ..rdf.vocab import OWL
+from .widgets import DEFAULT_COVERAGE_THRESHOLD
+
+__all__ = ["SettingsForm", "SettingsError", "connect"]
+
+
+class SettingsError(ValueError):
+    """Raised for invalid settings-form input."""
+
+
+@dataclass
+class SettingsForm:
+    """User-editable connection and exploration settings."""
+
+    endpoint_url: str = "http://dbpedia.example.org/sparql"
+    mode: str = "local"  # "local" (eLinda endpoint) or "remote" (compat)
+    root_class: URI = field(default_factory=lambda: OWL.term("Thing"))
+    coverage_threshold: float = DEFAULT_COVERAGE_THRESHOLD
+    incremental_window: int = 2000
+    incremental_steps: Optional[int] = None
+    use_hvs: bool = True
+    use_decomposer: bool = True
+
+    def validate(self) -> None:
+        """Raise :class:`SettingsError` for inconsistent settings."""
+        if self.mode not in ("local", "remote"):
+            raise SettingsError(f"unknown mode: {self.mode!r}")
+        if not self.endpoint_url.startswith(("http://", "https://")):
+            raise SettingsError(f"not an endpoint URL: {self.endpoint_url!r}")
+        if not 0.0 <= self.coverage_threshold <= 1.0:
+            raise SettingsError("coverage threshold must be in [0, 1]")
+        if self.incremental_window <= 0:
+            raise SettingsError("incremental window must be positive")
+        if self.incremental_steps is not None and self.incremental_steps <= 0:
+            raise SettingsError("incremental steps must be positive")
+        if self.mode == "remote" and (self.use_hvs or self.use_decomposer):
+            # Remote compatibility mode: "we have no access to the actual
+            # RDF graph and cannot execute any preprocessing" — only
+            # incremental evaluation applies (Section 4).
+            raise SettingsError(
+                "HVS/decomposer require local mode; remote compatibility "
+                "mode supports incremental evaluation only"
+            )
+
+
+def connect(
+    settings: SettingsForm,
+    servers: Dict[str, SimulatedVirtuosoServer],
+    clock: Optional[SimClock] = None,
+    local_cost_model=LOCAL_PROFILE,
+) -> Endpoint:
+    """Build the endpoint stack the settings describe.
+
+    ``servers`` maps endpoint URLs to simulated Virtuoso servers (the
+    "online endpoints" of the demo).  Local mode mirrors the server's
+    graph into a local engine and layers the eLinda router on top;
+    remote mode returns the plain HTTP/JSON client.  ``local_cost_model``
+    lets callers scale the mirror's simulated latency to the emulated
+    dataset size (see :func:`repro.datasets.dbpedia.recommended_scale`).
+    """
+    settings.validate()
+    server = servers.get(settings.endpoint_url)
+    if server is None:
+        raise SettingsError(f"no SPARQL endpoint at {settings.endpoint_url!r}")
+    clock = clock or server.clock
+    if settings.mode == "remote":
+        return RemoteEndpoint(server)
+    # Local mode: the eLinda endpoint owns a mirror of the knowledge base
+    # ("Our eLinda endpoint contains mirrors of the common knowledge
+    # bases", Section 4).
+    mirror = LocalEndpoint(server.graph, clock=clock, cost_model=local_cost_model)
+    hvs = HeavyQueryStore(clock=clock) if settings.use_hvs else None
+    decomposer = (
+        Decomposer(SpecializedIndexes(server.graph), clock=clock)
+        if settings.use_decomposer
+        else None
+    )
+    return ElindaEndpoint(
+        backend=mirror,
+        hvs=hvs,
+        decomposer=decomposer,
+        use_hvs=settings.use_hvs,
+        use_decomposer=settings.use_decomposer,
+    )

@@ -1,0 +1,103 @@
+"""Chart widgets: visible-range control and the coverage threshold.
+
+"To facilitate the visualization of a large number of bars, only a
+subset of the bars is initially shown.  A widget located at the top of
+the chart allows to control [the] visible part of the chart"
+(Section 3.2).  "We enable the user to restrict to significant
+properties by filtering out properties with a coverage lower than a
+threshold ... The user may adjust the threshold and reveal more
+properties if needed" (Section 3.3, default 20 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..core.model import Bar, BarChart
+
+__all__ = [
+    "VisibleRangeWidget",
+    "CoverageThresholdWidget",
+    "DEFAULT_COVERAGE_THRESHOLD",
+    "DEFAULT_VISIBLE_BARS",
+]
+
+DEFAULT_COVERAGE_THRESHOLD = 0.20
+DEFAULT_VISIBLE_BARS = 15
+
+
+@dataclass
+class VisibleRangeWidget:
+    """A sliding window over a chart's sorted bars."""
+
+    window_size: int = DEFAULT_VISIBLE_BARS
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.window_size <= 0:
+            raise ValueError("window size must be positive")
+        if self.offset < 0:
+            raise ValueError("offset cannot be negative")
+
+    def visible(self, chart: BarChart) -> List[Bar]:
+        """The currently visible bars (tallest-first ordering)."""
+        bars = chart.sorted_bars()
+        return bars[self.offset : self.offset + self.window_size]
+
+    def scroll_right(self, chart: BarChart, step: int = 0) -> int:
+        """Scroll towards shorter bars; returns the new offset."""
+        step = step or self.window_size
+        max_offset = max(0, len(chart) - self.window_size)
+        self.offset = min(self.offset + step, max_offset)
+        return self.offset
+
+    def scroll_left(self, step: int = 0) -> int:
+        """Scroll towards taller bars; returns the new offset."""
+        step = step or self.window_size
+        self.offset = max(0, self.offset - step)
+        return self.offset
+
+    def reset(self) -> None:
+        self.offset = 0
+
+    def can_scroll_right(self, chart: BarChart) -> bool:
+        return self.offset + self.window_size < len(chart)
+
+    def can_scroll_left(self) -> bool:
+        return self.offset > 0
+
+
+@dataclass
+class CoverageThresholdWidget:
+    """The significance threshold slider of the property chart."""
+
+    threshold: float = DEFAULT_COVERAGE_THRESHOLD
+    history: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._validate(self.threshold)
+
+    @staticmethod
+    def _validate(value: float) -> None:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1]: {value}")
+
+    def set_threshold(self, value: float) -> None:
+        """Adjust the threshold (records the previous value)."""
+        self._validate(value)
+        self.history.append(self.threshold)
+        self.threshold = value
+
+    def reveal_more(self, step: float = 0.05) -> float:
+        """Lower the threshold to reveal more properties."""
+        self.set_threshold(max(0.0, self.threshold - step))
+        return self.threshold
+
+    def apply(self, chart: BarChart) -> BarChart:
+        """Bars whose coverage meets the threshold."""
+        return chart.above_coverage(self.threshold)
+
+    def hidden_count(self, chart: BarChart) -> int:
+        """How many bars the threshold currently hides."""
+        return len(chart) - len(self.apply(chart))

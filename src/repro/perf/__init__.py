@@ -1,0 +1,31 @@
+"""The paper's Section 4 responsiveness techniques: incremental
+evaluation, the heavy-query store (HVS), the decomposer over specialised
+indexes, and the eLinda endpoint router that chains them."""
+
+from .decomposer import Decomposer, PropertyExpansionSpec, match_property_expansion
+from .hvs import DEFAULT_HEAVY_THRESHOLD_MS, HeavyQueryStore, HvsEntry, normalize_query
+from .incremental import IncrementalConfig, IncrementalEvaluator, PartialResult
+from .indexes import PropertyCount, SpecializedIndexes
+from .remote_incremental import (
+    RemoteIncrementalConfig,
+    RemoteIncrementalEvaluator,
+)
+from .router import ElindaEndpoint
+
+__all__ = [
+    "SpecializedIndexes",
+    "PropertyCount",
+    "Decomposer",
+    "PropertyExpansionSpec",
+    "match_property_expansion",
+    "HeavyQueryStore",
+    "HvsEntry",
+    "normalize_query",
+    "DEFAULT_HEAVY_THRESHOLD_MS",
+    "IncrementalConfig",
+    "IncrementalEvaluator",
+    "PartialResult",
+    "RemoteIncrementalConfig",
+    "RemoteIncrementalEvaluator",
+    "ElindaEndpoint",
+]

@@ -1,0 +1,152 @@
+"""The eLinda heavy-query store (HVS) — Section 4.
+
+"eLinda detects heavy queries and saves their results in a key-value
+store called heavy query store (HVS) on the eLinda endpoint. ... Queries
+with runtime bigger than one second are considered heavy and saved in
+the HVS.  The HVS is cleared on any update to the eLinda knowledge
+bases."
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..endpoint.base import EndpointResponse
+from ..endpoint.clock import SimClock
+from ..endpoint.cost import HVS_PROFILE, CostModel
+from ..sparql.results import AskResult, SelectResult
+
+__all__ = ["HvsEntry", "HeavyQueryStore", "normalize_query"]
+
+#: The paper's heaviness threshold: one (simulated) second.
+DEFAULT_HEAVY_THRESHOLD_MS = 1000.0
+
+_WHITESPACE = re.compile(r"\s+")
+
+
+def normalize_query(query_text: str) -> str:
+    """Canonical cache key: whitespace-collapsed query text."""
+    return _WHITESPACE.sub(" ", query_text).strip()
+
+
+@dataclass
+class HvsEntry:
+    """One cached heavy-query result."""
+
+    result: object  # SelectResult | AskResult
+    original_runtime_ms: float
+    dataset_version: int
+    hits: int = 0
+
+
+@dataclass
+class HvsStats:
+    """Hit/miss counters for observability and the benches."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    rejected_light: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class HeavyQueryStore:
+    """Key-value cache of heavy query results."""
+
+    def __init__(
+        self,
+        threshold_ms: float = DEFAULT_HEAVY_THRESHOLD_MS,
+        clock: Optional[SimClock] = None,
+        cost_model: CostModel = HVS_PROFILE,
+    ):
+        if threshold_ms <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold_ms = threshold_ms
+        self.clock = clock or SimClock()
+        self.cost_model = cost_model
+        self._entries: Dict[str, HvsEntry] = {}
+        self._version: Optional[int] = None
+        self.stats = HvsStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, query_text: object) -> bool:
+        if not isinstance(query_text, str):
+            return False
+        return normalize_query(query_text) in self._entries
+
+    # ------------------------------------------------------------------
+    # Cache protocol
+    # ------------------------------------------------------------------
+
+    def _check_version(self, dataset_version: int) -> None:
+        """Clear everything when the knowledge base changed."""
+        if self._version is not None and self._version != dataset_version:
+            if self._entries:
+                self.stats.invalidations += 1
+            self._entries.clear()
+        self._version = dataset_version
+
+    def lookup(
+        self, query_text: str, dataset_version: int
+    ) -> Optional[EndpointResponse]:
+        """A cached response, or None; charges the KV-hit latency."""
+        self._check_version(dataset_version)
+        entry = self._entries.get(normalize_query(query_text))
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        entry.hits += 1
+        self.stats.hits += 1
+        result = entry.result
+        rows = len(result.rows) if isinstance(result, SelectResult) else 1
+        elapsed = self.cost_model.simulate_ms(
+            intermediate_bindings=0, pattern_scans=0, result_rows=rows
+        )
+        self.clock.advance(elapsed)
+        return EndpointResponse(
+            result=result,
+            elapsed_ms=elapsed,
+            source="hvs",
+            query_text=query_text,
+            stats=None,
+        )
+
+    def record(
+        self,
+        query_text: str,
+        result: object,
+        runtime_ms: float,
+        dataset_version: int,
+    ) -> bool:
+        """Store the result iff the query proved heavy; returns whether
+        it was stored."""
+        if not isinstance(result, (SelectResult, AskResult)):
+            raise TypeError("only query results can be cached")
+        self._check_version(dataset_version)
+        if runtime_ms <= self.threshold_ms:
+            self.stats.rejected_light += 1
+            return False
+        self._entries[normalize_query(query_text)] = HvsEntry(
+            result=result,
+            original_runtime_ms=runtime_ms,
+            dataset_version=dataset_version,
+        )
+        self.stats.stores += 1
+        return True
+
+    def clear(self) -> None:
+        """Explicitly drop all cached results."""
+        self._entries.clear()
+
+    def entries(self) -> Dict[str, HvsEntry]:
+        """A copy of the cache contents (for inspection/tests)."""
+        return dict(self._entries)

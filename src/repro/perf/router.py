@@ -1,0 +1,75 @@
+"""The eLinda endpoint: HVS -> decomposer -> backend routing (Fig. 3).
+
+"For each query to the eLinda endpoint, the system first checks if the
+HVS encountered it before and determined it to be heavy.  If so, use the
+result from the HVS, otherwise route it to the Virtuoso endpoint.
+eLinda backend measures the run time of the routed queries" (Section 4).
+Decomposable property expansions are intercepted before reaching the
+backend, since "the eLinda decomposer can be used for all property
+expansion queries".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..endpoint.base import Endpoint, EndpointResponse
+from .decomposer import Decomposer
+from .hvs import HeavyQueryStore
+
+__all__ = ["ElindaEndpoint"]
+
+
+class ElindaEndpoint(Endpoint):
+    """The composed eLinda endpoint of the paper's architecture.
+
+    ``use_hvs`` / ``use_decomposer`` switches support the demo scenario
+    "with the discussed solutions turned on and off" (Section 5).
+    """
+
+    def __init__(
+        self,
+        backend: Endpoint,
+        hvs: Optional[HeavyQueryStore] = None,
+        decomposer: Optional[Decomposer] = None,
+        use_hvs: bool = True,
+        use_decomposer: bool = True,
+    ):
+        super().__init__()
+        self.backend = backend
+        self.hvs = hvs
+        self.decomposer = decomposer
+        self.use_hvs = use_hvs
+        self.use_decomposer = use_decomposer
+
+    @property
+    def dataset_version(self) -> int:
+        return self.backend.dataset_version
+
+    def query(self, query_text: str) -> EndpointResponse:
+        version = self.dataset_version
+        # 1. Heavy-query store.
+        if self.use_hvs and self.hvs is not None:
+            cached = self.hvs.lookup(query_text, version)
+            if cached is not None:
+                self._log(cached)
+                return cached
+        # 2. Decomposer (only while its indexes reflect the current
+        # knowledge base — they are rebuilt offline after updates).
+        if (
+            self.use_decomposer
+            and self.decomposer is not None
+            and self.decomposer.indexes.is_fresh
+        ):
+            decomposed = self.decomposer.try_answer(query_text)
+            if decomposed is not None:
+                self._log(decomposed)
+                return decomposed
+        # 3. Backend, measuring runtime for heaviness detection.
+        response = self.backend.query(query_text)
+        if self.use_hvs and self.hvs is not None:
+            self.hvs.record(
+                query_text, response.result, response.elapsed_ms, version
+            )
+        self._log(response)
+        return response

@@ -1,0 +1,370 @@
+"""An indexed, in-memory RDF graph store.
+
+This is the storage substrate underneath the SPARQL engine and, through it,
+the simulated Virtuoso endpoint of :mod:`repro.endpoint`.  The store keeps
+three hash indexes (SPO, POS, OSP) so that every triple pattern with at
+least one bound position is answered without a full scan — the property the
+ablation benchmark ``bench_ablation_indexes`` measures.
+
+The graph also maintains a monotonically increasing ``version`` that the
+heavy-query store (:mod:`repro.perf.hvs`) uses for cache invalidation: the
+paper specifies "The HVS is cleared on any update to the eLinda knowledge
+bases" (Section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Set
+
+from .terms import Literal, RDFObject, Subject, URI
+from .triple import Triple, TriplePattern
+
+__all__ = ["Graph"]
+
+
+def _index_add(
+    index: Dict, key1, key2, key3
+) -> bool:
+    """Add ``key3`` under ``index[key1][key2]``; return True if new."""
+    second = index.get(key1)
+    if second is None:
+        second = {}
+        index[key1] = second
+    third = second.get(key2)
+    if third is None:
+        third = set()
+        second[key2] = third
+    if key3 in third:
+        return False
+    third.add(key3)
+    return True
+
+
+def _index_remove(index: Dict, key1, key2, key3) -> None:
+    second = index[key1]
+    third = second[key2]
+    third.discard(key3)
+    if not third:
+        del second[key2]
+        if not second:
+            del index[key1]
+
+
+class Graph:
+    """A finite collection of RDF triples with pattern-matching access.
+
+    >>> from repro.rdf import URI, Literal, Graph
+    >>> g = Graph()
+    >>> _ = g.add(URI("http://ex/s"), URI("http://ex/p"), Literal("v"))
+    >>> len(g)
+    1
+    """
+
+    __slots__ = ("_spo", "_pos", "_osp", "_size", "_version", "name")
+
+    def __init__(self, triples: Iterable[Triple] = (), name: str = ""):
+        # _spo: subject -> predicate -> set of objects
+        self._spo: Dict[Subject, Dict[URI, Set[RDFObject]]] = {}
+        # _pos: predicate -> object -> set of subjects
+        self._pos: Dict[URI, Dict[RDFObject, Set[Subject]]] = {}
+        # _osp: object -> subject -> set of predicates
+        self._osp: Dict[RDFObject, Dict[Subject, Set[URI]]] = {}
+        self._size = 0
+        self._version = 0
+        self.name = name
+        for triple in triples:
+            self.add(*triple)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, subject: Subject, predicate: URI, object: RDFObject) -> bool:
+        """Add a triple; returns True if it was not already present."""
+        triple = Triple.create(subject, predicate, object)
+        if not _index_add(self._spo, triple.subject, triple.predicate, triple.object):
+            return False
+        _index_add(self._pos, triple.predicate, triple.object, triple.subject)
+        _index_add(self._osp, triple.object, triple.subject, triple.predicate)
+        self._size += 1
+        self._version += 1
+        return True
+
+    def add_triple(self, triple: Triple) -> bool:
+        """Add a :class:`Triple`; returns True if it was not already present."""
+        return self.add(triple.subject, triple.predicate, triple.object)
+
+    def update(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; returns the number actually added."""
+        added = 0
+        for triple in triples:
+            if self.add_triple(triple):
+                added += 1
+        return added
+
+    def remove(self, subject: Subject, predicate: URI, object: RDFObject) -> bool:
+        """Remove a triple; returns True if it was present."""
+        objects = self._spo.get(subject, {}).get(predicate)
+        if objects is None or object not in objects:
+            return False
+        _index_remove(self._spo, subject, predicate, object)
+        _index_remove(self._pos, predicate, object, subject)
+        _index_remove(self._osp, object, subject, predicate)
+        self._size -= 1
+        self._version += 1
+        return True
+
+    def remove_pattern(
+        self,
+        subject: Optional[Subject] = None,
+        predicate: Optional[URI] = None,
+        object: Optional[RDFObject] = None,
+    ) -> int:
+        """Remove all triples matching the pattern; returns the count."""
+        doomed = list(self.triples(subject, predicate, object))
+        for triple in doomed:
+            self.remove(*triple)
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Remove all triples (bumps the version once)."""
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+        self._size = 0
+        self._version += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter, used for HVS invalidation."""
+        return self._version
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, triple: object) -> bool:
+        if not isinstance(triple, tuple) or len(triple) != 3:
+            return False
+        subject, predicate, object = triple
+        return object in self._spo.get(subject, {}).get(predicate, ())
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Graph{label} with {self._size} triples>"
+
+    # ------------------------------------------------------------------
+    # Pattern matching
+    # ------------------------------------------------------------------
+
+    def triples(
+        self,
+        subject: Optional[Subject] = None,
+        predicate: Optional[URI] = None,
+        object: Optional[RDFObject] = None,
+    ) -> Iterator[Triple]:
+        """Yield all triples matching the pattern (``None`` = wildcard).
+
+        The most selective index available for the pattern is used; a full
+        scan happens only for the all-wildcard pattern.
+        """
+        s, p, o = subject, predicate, object
+        if s is not None:
+            by_predicate = self._spo.get(s)
+            if by_predicate is None:
+                return
+            if p is not None:
+                objects = by_predicate.get(p)
+                if objects is None:
+                    return
+                if o is not None:
+                    if o in objects:
+                        yield Triple(s, p, o)
+                    return
+                for obj in objects:
+                    yield Triple(s, p, obj)
+                return
+            if o is not None:
+                predicates = self._osp.get(o, {}).get(s)
+                if predicates is None:
+                    return
+                for pred in predicates:
+                    yield Triple(s, pred, o)
+                return
+            for pred, objects in by_predicate.items():
+                for obj in objects:
+                    yield Triple(s, pred, obj)
+            return
+        if p is not None:
+            by_object = self._pos.get(p)
+            if by_object is None:
+                return
+            if o is not None:
+                subjects = by_object.get(o)
+                if subjects is None:
+                    return
+                for subj in subjects:
+                    yield Triple(subj, p, o)
+                return
+            for obj, subjects in by_object.items():
+                for subj in subjects:
+                    yield Triple(subj, p, obj)
+            return
+        if o is not None:
+            by_subject = self._osp.get(o)
+            if by_subject is None:
+                return
+            for subj, predicates in by_subject.items():
+                for pred in predicates:
+                    yield Triple(subj, pred, o)
+            return
+        for subj, by_predicate in self._spo.items():
+            for pred, objects in by_predicate.items():
+                for obj in objects:
+                    yield Triple(subj, pred, obj)
+
+    def match(self, pattern: TriplePattern) -> Iterator[Triple]:
+        """Yield triples matching a :class:`TriplePattern`."""
+        return self.triples(pattern.subject, pattern.predicate, pattern.object)
+
+    def count(
+        self,
+        subject: Optional[Subject] = None,
+        predicate: Optional[URI] = None,
+        object: Optional[RDFObject] = None,
+    ) -> int:
+        """Count triples matching the pattern without materialising them."""
+        s, p, o = subject, predicate, object
+        if s is None and p is None and o is None:
+            return self._size
+        if s is not None and p is not None and o is None:
+            return len(self._spo.get(s, {}).get(p, ()))
+        if s is None and p is not None and o is not None:
+            return len(self._pos.get(p, {}).get(o, ()))
+        if s is not None and p is None and o is not None:
+            return len(self._osp.get(o, {}).get(s, ()))
+        return sum(1 for _ in self.triples(s, p, o))
+
+    # ------------------------------------------------------------------
+    # Single-position accessors
+    # ------------------------------------------------------------------
+
+    def subjects(
+        self, predicate: Optional[URI] = None, object: Optional[RDFObject] = None
+    ) -> Iterator[Subject]:
+        """Yield distinct subjects of triples matching ``(?, predicate, object)``."""
+        if predicate is not None and object is not None:
+            yield from self._pos.get(predicate, {}).get(object, ())
+            return
+        seen: Set[Subject] = set()
+        for triple in self.triples(None, predicate, object):
+            if triple.subject not in seen:
+                seen.add(triple.subject)
+                yield triple.subject
+
+    def predicates(
+        self, subject: Optional[Subject] = None, object: Optional[RDFObject] = None
+    ) -> Iterator[URI]:
+        """Yield distinct predicates of triples matching ``(subject, ?, object)``."""
+        if subject is not None and object is not None:
+            yield from self._osp.get(object, {}).get(subject, ())
+            return
+        if subject is not None and object is None:
+            yield from self._spo.get(subject, {})
+            return
+        if subject is None and object is None:
+            yield from self._pos
+            return
+        seen: Set[URI] = set()
+        for triple in self.triples(subject, None, object):
+            if triple.predicate not in seen:
+                seen.add(triple.predicate)
+                yield triple.predicate
+
+    def objects(
+        self, subject: Optional[Subject] = None, predicate: Optional[URI] = None
+    ) -> Iterator[RDFObject]:
+        """Yield distinct objects of triples matching ``(subject, predicate, ?)``."""
+        if subject is not None and predicate is not None:
+            yield from self._spo.get(subject, {}).get(predicate, ())
+            return
+        seen: Set[RDFObject] = set()
+        for triple in self.triples(subject, predicate, None):
+            if triple.object not in seen:
+                seen.add(triple.object)
+                yield triple.object
+
+    def value(
+        self, subject: Optional[Subject] = None, predicate: Optional[URI] = None,
+        object: Optional[RDFObject] = None,
+    ) -> Optional[RDFObject]:
+        """Return one term filling the single ``None`` position, or None.
+
+        Exactly one of the three arguments must be None.
+        """
+        wildcards = sum(term is None for term in (subject, predicate, object))
+        if wildcards != 1:
+            raise ValueError("value() requires exactly one wildcard position")
+        for triple in self.triples(subject, predicate, object):
+            if subject is None:
+                return triple.subject
+            if predicate is None:
+                return triple.predicate
+            return triple.object
+        return None
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    def uris(self) -> Set[URI]:
+        """The set U(G) of URIs occurring in the graph (paper, Section 2)."""
+        found: Set[URI] = set()
+        for triple in self.triples():
+            if isinstance(triple.subject, URI):
+                found.add(triple.subject)
+            found.add(triple.predicate)
+            if isinstance(triple.object, URI):
+                found.add(triple.object)
+        return found
+
+    def literals(self) -> Set[Literal]:
+        """The set L(G) of literals occurring in the graph."""
+        return {
+            triple.object
+            for triple in self.triples()
+            if isinstance(triple.object, Literal)
+        }
+
+    def copy(self, name: str = "") -> "Graph":
+        """A shallow copy (terms are immutable, so this is a full copy)."""
+        return Graph(self.triples(), name=name or self.name)
+
+    def windows(self, size: int) -> Iterator["Graph"]:
+        """Partition the graph into consecutive windows of ``size`` triples.
+
+        This backs the paper's *incremental evaluation*: eLinda "builds the
+        chart of an expansion by computing it on the first N triples ... It
+        then continues to compute the query on the next N triples and
+        aggregates the results in the frontend" (Section 4).  The iteration
+        order is the store's deterministic index order.
+        """
+        if size <= 0:
+            raise ValueError("window size must be positive")
+        batch: list[Triple] = []
+        for triple in self.triples():
+            batch.append(triple)
+            if len(batch) == size:
+                yield Graph(batch)
+                batch = []
+        if batch:
+            yield Graph(batch)

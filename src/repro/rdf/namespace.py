@@ -1,0 +1,152 @@
+"""Namespaces and prefix management.
+
+A :class:`Namespace` mints URIs by attribute or item access::
+
+    DBO = Namespace("http://dbpedia.org/ontology/")
+    DBO.Person          # URI("http://dbpedia.org/ontology/Person")
+    DBO["Person"]       # same
+
+A :class:`NamespaceManager` maintains prefix bindings and converts between
+full URIs and compact qnames, which the Turtle serialiser and the SPARQL
+generator use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from .terms import URI
+
+__all__ = ["Namespace", "NamespaceManager"]
+
+
+class Namespace:
+    """A URI prefix that mints :class:`URI` terms."""
+
+    __slots__ = ("base",)
+
+    def __init__(self, base: str):
+        if not base:
+            raise ValueError("namespace base must be non-empty")
+        object.__setattr__(self, "base", base)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Namespace is immutable")
+
+    def __getattr__(self, name: str) -> URI:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return URI(self.base + name)
+
+    def __getitem__(self, name: str) -> URI:
+        return URI(self.base + name)
+
+    def term(self, name: str) -> URI:
+        """Mint a URI for ``name`` (works for names shadowed by slots)."""
+        return URI(self.base + name)
+
+    def __contains__(self, uri: object) -> bool:
+        if isinstance(uri, URI):
+            return uri.value.startswith(self.base)
+        if isinstance(uri, str):
+            return uri.startswith(self.base)
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Namespace):
+            return self.base == other.base
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Namespace", self.base))
+
+    def __repr__(self) -> str:
+        return f"Namespace({self.base!r})"
+
+    def __str__(self) -> str:
+        return self.base
+
+
+def _is_local_name(text: str) -> bool:
+    """Conservative check that ``text`` can appear as a qname local part."""
+    if not text:
+        return False
+    return all(ch.isalnum() or ch in "_-." for ch in text) and not text[0] in ".-"
+
+
+class NamespaceManager:
+    """Bidirectional prefix <-> namespace bindings."""
+
+    def __init__(self, bindings: Optional[Dict[str, str]] = None):
+        self._prefix_to_ns: Dict[str, str] = {}
+        self._ns_to_prefix: Dict[str, str] = {}
+        if bindings:
+            for prefix, namespace in bindings.items():
+                self.bind(prefix, namespace)
+
+    def bind(self, prefix: str, namespace: str | Namespace, replace: bool = True) -> None:
+        """Bind ``prefix`` to ``namespace``.
+
+        With ``replace=False``, a conflicting existing binding raises
+        ``ValueError`` instead of being overwritten.
+        """
+        base = namespace.base if isinstance(namespace, Namespace) else namespace
+        existing = self._prefix_to_ns.get(prefix)
+        if existing is not None and existing != base:
+            if not replace:
+                raise ValueError(
+                    f"prefix {prefix!r} already bound to {existing!r}"
+                )
+            self._ns_to_prefix.pop(existing, None)
+        self._prefix_to_ns[prefix] = base
+        self._ns_to_prefix.setdefault(base, prefix)
+
+    def namespace(self, prefix: str) -> Optional[str]:
+        """The namespace bound to ``prefix``, or None."""
+        return self._prefix_to_ns.get(prefix)
+
+    def prefix(self, namespace: str) -> Optional[str]:
+        """The prefix bound to ``namespace``, or None."""
+        return self._ns_to_prefix.get(namespace)
+
+    def expand(self, qname: str) -> URI:
+        """Expand ``prefix:local`` to a full URI."""
+        prefix, sep, local = qname.partition(":")
+        if not sep:
+            raise ValueError(f"not a qname: {qname!r}")
+        base = self._prefix_to_ns.get(prefix)
+        if base is None:
+            raise KeyError(f"unknown prefix: {prefix!r}")
+        return URI(base + local)
+
+    def qname(self, uri: URI | str) -> Optional[str]:
+        """Compact ``uri`` to ``prefix:local`` if a binding covers it."""
+        value = uri.value if isinstance(uri, URI) else uri
+        best: Optional[Tuple[str, str]] = None
+        for base, prefix in self._ns_to_prefix.items():
+            if value.startswith(base):
+                local = value[len(base):]
+                if not _is_local_name(local):
+                    continue
+                if best is None or len(base) > len(best[1]):
+                    best = (prefix, base)
+        if best is None:
+            return None
+        prefix, base = best
+        return f"{prefix}:{value[len(base):]}"
+
+    def qname_or_n3(self, uri: URI) -> str:
+        """Compact form when possible, else angle-bracketed URI."""
+        return self.qname(uri) or uri.n3()
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(sorted(self._prefix_to_ns.items()))
+
+    def __len__(self) -> int:
+        return len(self._prefix_to_ns)
+
+    def __contains__(self, prefix: object) -> bool:
+        return prefix in self._prefix_to_ns
+
+    def copy(self) -> "NamespaceManager":
+        return NamespaceManager(dict(self._prefix_to_ns))

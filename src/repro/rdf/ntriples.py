@@ -1,0 +1,261 @@
+"""N-Triples parsing and serialisation.
+
+A line-oriented format: one triple per line, terms in full.  This is the
+interchange format used by the dataset generators' dump/load round-trip
+and by the property-based serialisation tests.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable, Iterator, Union
+
+from .graph import Graph
+from .terms import BNode, Literal, RDFObject, Subject, URI
+from .triple import Triple
+
+__all__ = [
+    "NTriplesError",
+    "parse_ntriples",
+    "parse_ntriples_line",
+    "serialize_ntriples",
+    "load_ntriples",
+    "dump_ntriples",
+]
+
+
+class NTriplesError(ValueError):
+    """Raised on malformed N-Triples input."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+_UNESCAPES = {
+    "\\": "\\",
+    '"': '"',
+    "n": "\n",
+    "r": "\r",
+    "t": "\t",
+    "b": "\b",
+    "f": "\f",
+}
+
+
+class _LineScanner:
+    """Cursor over a single N-Triples line."""
+
+    def __init__(self, text: str, line_number: int | None = None):
+        self.text = text
+        self.pos = 0
+        self.line_number = line_number
+
+    def error(self, message: str) -> NTriplesError:
+        return NTriplesError(f"{message} (at column {self.pos})", self.line_number)
+
+    def skip_whitespace(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t":
+            self.pos += 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def expect(self, char: str) -> None:
+        if self.peek() != char:
+            raise self.error(f"expected {char!r}")
+        self.pos += 1
+
+    def read_uri(self) -> URI:
+        self.expect("<")
+        end = self.text.find(">", self.pos)
+        if end < 0:
+            raise self.error("unterminated URI")
+        raw = self.text[self.pos : end]
+        self.pos = end + 1
+        try:
+            return URI(_unescape(raw, self))
+        except ValueError as exc:
+            raise self.error(str(exc)) from exc
+
+    def read_bnode(self) -> BNode:
+        self.expect("_")
+        self.expect(":")
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_-."
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("empty blank node label")
+        return BNode(self.text[start : self.pos])
+
+    def read_quoted_string(self) -> str:
+        self.expect('"')
+        out: list[str] = []
+        while True:
+            if self.at_end():
+                raise self.error("unterminated string literal")
+            char = self.text[self.pos]
+            if char == '"':
+                self.pos += 1
+                return "".join(out)
+            if char == "\\":
+                self.pos += 1
+                out.append(self._read_escape())
+            else:
+                out.append(char)
+                self.pos += 1
+
+    def _read_escape(self) -> str:
+        if self.at_end():
+            raise self.error("dangling escape")
+        char = self.text[self.pos]
+        self.pos += 1
+        if char in _UNESCAPES:
+            return _UNESCAPES[char]
+        if char == "u":
+            return self._read_hex(4)
+        if char == "U":
+            return self._read_hex(8)
+        raise self.error(f"unknown escape: \\{char}")
+
+    def _read_hex(self, width: int) -> str:
+        digits = self.text[self.pos : self.pos + width]
+        if len(digits) < width:
+            raise self.error("truncated unicode escape")
+        try:
+            code = int(digits, 16)
+        except ValueError as exc:
+            raise self.error(f"bad unicode escape: {digits!r}") from exc
+        self.pos += width
+        return chr(code)
+
+    def read_literal(self) -> Literal:
+        lexical = self.read_quoted_string()
+        if self.peek() == "@":
+            self.pos += 1
+            start = self.pos
+            while self.pos < len(self.text) and (
+                self.text[self.pos].isalnum() or self.text[self.pos] == "-"
+            ):
+                self.pos += 1
+            tag = self.text[start : self.pos]
+            if not tag:
+                raise self.error("empty language tag")
+            try:
+                return Literal(lexical, language=tag)
+            except ValueError as exc:
+                raise self.error(str(exc)) from exc
+        if self.text.startswith("^^", self.pos):
+            self.pos += 2
+            datatype = self.read_uri()
+            return Literal(lexical, datatype=datatype.value)
+        return Literal(lexical)
+
+
+def _unescape(raw: str, scanner: _LineScanner) -> str:
+    if "\\" not in raw:
+        return raw
+    out: list[str] = []
+    i = 0
+    while i < len(raw):
+        char = raw[i]
+        if char != "\\":
+            out.append(char)
+            i += 1
+            continue
+        i += 1
+        if i >= len(raw):
+            raise scanner.error("dangling escape in URI")
+        esc = raw[i]
+        i += 1
+        if esc in _UNESCAPES:
+            out.append(_UNESCAPES[esc])
+        elif esc == "u":
+            out.append(chr(int(raw[i : i + 4], 16)))
+            i += 4
+        elif esc == "U":
+            out.append(chr(int(raw[i : i + 8], 16)))
+            i += 8
+        else:
+            raise scanner.error(f"unknown escape in URI: \\{esc}")
+    return "".join(out)
+
+
+def parse_ntriples_line(
+    line: str, line_number: int | None = None
+) -> Triple | None:
+    """Parse one N-Triples line; returns None for blank/comment lines."""
+    scanner = _LineScanner(line.rstrip("\n"), line_number)
+    scanner.skip_whitespace()
+    if scanner.at_end() or scanner.peek() == "#":
+        return None
+    subject: Subject
+    if scanner.peek() == "<":
+        subject = scanner.read_uri()
+    elif scanner.peek() == "_":
+        subject = scanner.read_bnode()
+    else:
+        raise scanner.error("expected URI or blank node subject")
+    scanner.skip_whitespace()
+    predicate = scanner.read_uri()
+    scanner.skip_whitespace()
+    object: RDFObject
+    char = scanner.peek()
+    if char == "<":
+        object = scanner.read_uri()
+    elif char == "_":
+        object = scanner.read_bnode()
+    elif char == '"':
+        object = scanner.read_literal()
+    else:
+        raise scanner.error("expected URI, blank node or literal object")
+    scanner.skip_whitespace()
+    scanner.expect(".")
+    scanner.skip_whitespace()
+    if not scanner.at_end() and scanner.peek() != "#":
+        raise scanner.error("trailing content after '.'")
+    return Triple(subject, predicate, object)
+
+
+def parse_ntriples(source: Union[str, IO[str]]) -> Iterator[Triple]:
+    """Parse N-Triples from a string or text stream, yielding triples.
+
+    Only ``\\n`` terminates a statement — ``str.splitlines`` would also
+    split on unicode line separators that may occur (escaped-free) inside
+    literals.
+    """
+    lines = source.split("\n") if isinstance(source, str) else source
+    for number, line in enumerate(lines, start=1):
+        triple = parse_ntriples_line(line, number)
+        if triple is not None:
+            yield triple
+
+
+def serialize_ntriples(triples: Iterable[Triple], sort: bool = False) -> str:
+    """Serialise triples to an N-Triples document."""
+    lines = [triple.n3() for triple in triples]
+    if sort:
+        lines.sort()
+    return "".join(line + "\n" for line in lines)
+
+
+def load_ntriples(path: str, name: str = "") -> Graph:
+    """Load an N-Triples file into a new :class:`Graph`."""
+    graph = Graph(name=name or path)
+    with open(path, encoding="utf-8") as handle:
+        graph.update(parse_ntriples(handle))
+    return graph
+
+
+def dump_ntriples(graph: Graph, path: str, sort: bool = True) -> int:
+    """Write a graph to an N-Triples file; returns the triple count."""
+    text = serialize_ntriples(graph.triples(), sort=sort)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return len(graph)

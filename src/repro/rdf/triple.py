@@ -1,0 +1,72 @@
+"""RDF triples and triple patterns.
+
+An RDF triple is an element of ``U x U x (U ∪ L)`` (paper, Section 2).
+A :class:`TriplePattern` generalises a triple by allowing ``None`` as a
+wildcard in any position, which is the query interface of
+:class:`repro.rdf.graph.Graph`.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+from .terms import BNode, Literal, RDFObject, Subject, Term, URI
+
+__all__ = ["Triple", "TriplePattern"]
+
+
+class Triple(NamedTuple):
+    """An RDF triple ``(subject, predicate, object)``."""
+
+    subject: Subject
+    predicate: URI
+    object: RDFObject
+
+    def n3(self) -> str:
+        """N-Triples serialisation (without trailing newline)."""
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    @staticmethod
+    def create(subject: Subject, predicate: URI, object: RDFObject) -> "Triple":
+        """Construct a triple with position type validation."""
+        if not isinstance(subject, (URI, BNode)):
+            raise TypeError(
+                f"triple subject must be URI or BNode, got {type(subject).__name__}"
+            )
+        if not isinstance(predicate, URI):
+            raise TypeError(
+                f"triple predicate must be URI, got {type(predicate).__name__}"
+            )
+        if not isinstance(object, (URI, BNode, Literal)):
+            raise TypeError(
+                f"triple object must be URI, BNode or Literal, "
+                f"got {type(object).__name__}"
+            )
+        return Triple(subject, predicate, object)
+
+
+class TriplePattern(NamedTuple):
+    """A triple pattern; ``None`` matches any term in that position."""
+
+    subject: Optional[Subject]
+    predicate: Optional[URI]
+    object: Optional[RDFObject]
+
+    def matches(self, triple: Triple) -> bool:
+        """Whether ``triple`` matches this pattern."""
+        return (
+            (self.subject is None or self.subject == triple.subject)
+            and (self.predicate is None or self.predicate == triple.predicate)
+            and (self.object is None or self.object == triple.object)
+        )
+
+    @property
+    def bound_positions(self) -> int:
+        """Number of non-wildcard positions (0-3)."""
+        return sum(term is not None for term in self)
+
+    def __str__(self) -> str:
+        def show(term: Optional[Term]) -> str:
+            return "?" if term is None else term.n3()
+
+        return f"({show(self.subject)} {show(self.predicate)} {show(self.object)})"

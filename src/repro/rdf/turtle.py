@@ -1,0 +1,492 @@
+"""Turtle parsing and serialisation (the commonly used subset).
+
+Supported on input: ``@prefix``/``PREFIX`` and ``@base``/``BASE``
+declarations, qnames, ``a``, predicate lists (``;``), object lists
+(``,``), string/numeric/boolean literal shorthands, language tags and
+datatypes, blank node labels and anonymous blank nodes ``[ ... ]``.
+RDF collections ``( ... )`` are not supported and raise a clear error.
+
+The serialiser groups triples by subject and emits qnames using a
+:class:`repro.rdf.namespace.NamespaceManager`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .graph import Graph
+from .namespace import NamespaceManager
+from .terms import (
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    BNode,
+    Literal,
+    RDFObject,
+    Subject,
+    URI,
+)
+from .triple import Triple
+from .vocab import RDF, default_namespace_manager
+
+__all__ = ["TurtleError", "parse_turtle", "serialize_turtle"]
+
+_RDF_TYPE = RDF.term("type")
+
+
+class TurtleError(ValueError):
+    """Raised on malformed Turtle input."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class _Scanner:
+    """Character cursor with line/column tracking over a Turtle document."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def location(self) -> Tuple[int, int]:
+        consumed = self.text[: self.pos]
+        line = consumed.count("\n") + 1
+        column = self.pos - (consumed.rfind("\n") + 1) + 1
+        return line, column
+
+    def error(self, message: str) -> TurtleError:
+        line, column = self.location()
+        return TurtleError(message, line, column)
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def skip_ws(self) -> None:
+        while not self.at_end():
+            char = self.peek()
+            if char in " \t\r\n":
+                self.advance()
+            elif char == "#":
+                end = self.text.find("\n", self.pos)
+                self.pos = len(self.text) if end < 0 else end
+            else:
+                return
+
+    def expect(self, char: str) -> None:
+        if self.peek() != char:
+            raise self.error(f"expected {char!r}, found {self.peek()!r}")
+        self.advance()
+
+    def match_keyword(self, keyword: str) -> bool:
+        """Case-insensitive keyword match at the cursor, consuming it."""
+        end = self.pos + len(keyword)
+        if self.text[self.pos : end].lower() != keyword.lower():
+            return False
+        following = self.text[end : end + 1]
+        if following and (following.isalnum() or following == "_"):
+            return False
+        self.pos = end
+        return True
+
+
+_LOCAL_CHARS = set("_-.%")
+
+
+class _TurtleParser:
+    def __init__(self, text: str, base: str = ""):
+        self.scanner = _Scanner(text)
+        self.prefixes: Dict[str, str] = {}
+        self.base = base
+        self.triples: List[Triple] = []
+        self._bnode_count = 0
+
+    def parse(self) -> List[Triple]:
+        scanner = self.scanner
+        scanner.skip_ws()
+        while not scanner.at_end():
+            if scanner.peek() == "@":
+                self._parse_at_directive()
+            elif scanner.match_keyword("PREFIX"):
+                self._parse_prefix(sparql_style=True)
+            elif scanner.match_keyword("BASE"):
+                self._parse_base(sparql_style=True)
+            else:
+                self._parse_statement()
+            scanner.skip_ws()
+        return self.triples
+
+    # ------------------------------------------------------------------
+    # Directives
+    # ------------------------------------------------------------------
+
+    def _parse_at_directive(self) -> None:
+        scanner = self.scanner
+        scanner.expect("@")
+        if scanner.match_keyword("prefix"):
+            self._parse_prefix(sparql_style=False)
+        elif scanner.match_keyword("base"):
+            self._parse_base(sparql_style=False)
+        else:
+            raise scanner.error("unknown @-directive")
+
+    def _parse_prefix(self, sparql_style: bool) -> None:
+        scanner = self.scanner
+        scanner.skip_ws()
+        prefix = self._read_prefix_name()
+        scanner.expect(":")
+        scanner.skip_ws()
+        uri = self._read_uri_ref()
+        self.prefixes[prefix] = uri
+        if not sparql_style:
+            scanner.skip_ws()
+            scanner.expect(".")
+
+    def _parse_base(self, sparql_style: bool) -> None:
+        scanner = self.scanner
+        scanner.skip_ws()
+        self.base = self._read_uri_ref()
+        if not sparql_style:
+            scanner.skip_ws()
+            scanner.expect(".")
+
+    def _read_prefix_name(self) -> str:
+        scanner = self.scanner
+        start = scanner.pos
+        while not scanner.at_end() and (
+            scanner.peek().isalnum() or scanner.peek() in "_-."
+        ):
+            scanner.advance()
+        return scanner.text[start : scanner.pos]
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _parse_statement(self) -> None:
+        scanner = self.scanner
+        subject = self._parse_subject()
+        scanner.skip_ws()
+        # "[ p o ] ." with no further predicates is legal Turtle.
+        if scanner.peek() == "." and isinstance(subject, BNode):
+            scanner.advance()
+            return
+        self._parse_predicate_object_list(subject)
+        scanner.skip_ws()
+        scanner.expect(".")
+
+    def _parse_subject(self) -> Subject:
+        scanner = self.scanner
+        char = scanner.peek()
+        if char == "<":
+            return URI(self._read_uri_ref())
+        if char == "_":
+            return self._read_bnode_label()
+        if char == "[":
+            return self._parse_anon_bnode()
+        if char == "(":
+            raise scanner.error("RDF collections '(...)' are not supported")
+        return self._read_qname()
+
+    def _parse_predicate_object_list(self, subject: Subject) -> None:
+        scanner = self.scanner
+        while True:
+            scanner.skip_ws()
+            predicate = self._parse_predicate()
+            while True:
+                scanner.skip_ws()
+                obj = self._parse_object()
+                self.triples.append(Triple(subject, predicate, obj))
+                scanner.skip_ws()
+                if scanner.peek() == ",":
+                    scanner.advance()
+                    continue
+                break
+            if scanner.peek() == ";":
+                scanner.advance()
+                scanner.skip_ws()
+                # Allow trailing ';' before '.' or ']'.
+                if scanner.peek() in ".]":
+                    return
+                continue
+            return
+
+    def _parse_predicate(self) -> URI:
+        scanner = self.scanner
+        if scanner.peek() == "<":
+            return URI(self._read_uri_ref())
+        if scanner.peek() == "a" and not (
+            scanner.peek(1).isalnum() or scanner.peek(1) in "_:-."
+        ):
+            scanner.advance()
+            return _RDF_TYPE
+        term = self._read_qname()
+        return term
+
+    def _parse_object(self) -> RDFObject:
+        scanner = self.scanner
+        char = scanner.peek()
+        if char == "<":
+            return URI(self._read_uri_ref())
+        if char == "_":
+            return self._read_bnode_label()
+        if char == "[":
+            return self._parse_anon_bnode()
+        if char == "(":
+            raise scanner.error("RDF collections '(...)' are not supported")
+        if char in "\"'":
+            return self._read_string_literal()
+        if char.isdigit() or char in "+-" or (
+            char == "." and scanner.peek(1).isdigit()
+        ):
+            return self._read_numeric_literal()
+        if scanner.match_keyword("true"):
+            return Literal("true", datatype=XSD_BOOLEAN)
+        if scanner.match_keyword("false"):
+            return Literal("false", datatype=XSD_BOOLEAN)
+        return self._read_qname()
+
+    def _parse_anon_bnode(self) -> BNode:
+        scanner = self.scanner
+        scanner.expect("[")
+        self._bnode_count += 1
+        node = BNode(f"anon{self._bnode_count}")
+        scanner.skip_ws()
+        if scanner.peek() != "]":
+            self._parse_predicate_object_list(node)
+            scanner.skip_ws()
+        scanner.expect("]")
+        return node
+
+    # ------------------------------------------------------------------
+    # Terms
+    # ------------------------------------------------------------------
+
+    def _read_uri_ref(self) -> str:
+        scanner = self.scanner
+        scanner.expect("<")
+        end = scanner.text.find(">", scanner.pos)
+        if end < 0:
+            raise scanner.error("unterminated URI")
+        raw = scanner.text[scanner.pos : end]
+        scanner.pos = end + 1
+        if raw.startswith(("http://", "https://", "urn:", "file://", "mailto:")):
+            return raw
+        if self.base:
+            return self.base + raw
+        return raw
+
+    def _read_bnode_label(self) -> BNode:
+        scanner = self.scanner
+        scanner.expect("_")
+        scanner.expect(":")
+        start = scanner.pos
+        while not scanner.at_end() and (
+            scanner.peek().isalnum() or scanner.peek() in "_-."
+        ):
+            scanner.advance()
+        if scanner.pos == start:
+            raise scanner.error("empty blank node label")
+        return BNode(scanner.text[start : scanner.pos])
+
+    def _read_qname(self) -> URI:
+        scanner = self.scanner
+        start = scanner.pos
+        while not scanner.at_end() and (
+            scanner.peek().isalnum() or scanner.peek() in "_-."
+        ):
+            scanner.advance()
+        prefix = scanner.text[start : scanner.pos]
+        if scanner.peek() != ":":
+            raise scanner.error(f"expected qname, found {prefix!r}")
+        scanner.advance()
+        local_start = scanner.pos
+        while not scanner.at_end() and (
+            scanner.peek().isalnum() or scanner.peek() in _LOCAL_CHARS
+        ):
+            scanner.advance()
+        local = scanner.text[local_start : scanner.pos]
+        # A trailing '.' belongs to the statement terminator, not the name.
+        while local.endswith("."):
+            local = local[:-1]
+            scanner.pos -= 1
+        base = self.prefixes.get(prefix)
+        if base is None:
+            raise scanner.error(f"unknown prefix: {prefix!r}")
+        return URI(base + local)
+
+    def _read_string_literal(self) -> Literal:
+        scanner = self.scanner
+        quote = scanner.peek()
+        long_quote = scanner.text.startswith(quote * 3, scanner.pos)
+        if long_quote:
+            scanner.advance(3)
+            end = scanner.text.find(quote * 3, scanner.pos)
+            if end < 0:
+                raise scanner.error("unterminated long string")
+            lexical = scanner.text[scanner.pos : end]
+            scanner.pos = end + 3
+        else:
+            scanner.advance()
+            chars: List[str] = []
+            while True:
+                if scanner.at_end():
+                    raise scanner.error("unterminated string")
+                char = scanner.peek()
+                if char == quote:
+                    scanner.advance()
+                    break
+                if char == "\\":
+                    scanner.advance()
+                    esc = scanner.peek()
+                    scanner.advance()
+                    mapping = {
+                        "n": "\n",
+                        "r": "\r",
+                        "t": "\t",
+                        "\\": "\\",
+                        '"': '"',
+                        "'": "'",
+                        "b": "\b",
+                        "f": "\f",
+                    }
+                    if esc in mapping:
+                        chars.append(mapping[esc])
+                    elif esc == "u":
+                        chars.append(chr(int(scanner.text[scanner.pos : scanner.pos + 4], 16)))
+                        scanner.advance(4)
+                    elif esc == "U":
+                        chars.append(chr(int(scanner.text[scanner.pos : scanner.pos + 8], 16)))
+                        scanner.advance(8)
+                    else:
+                        raise scanner.error(f"unknown escape: \\{esc}")
+                else:
+                    chars.append(char)
+                    scanner.advance()
+            lexical = "".join(chars)
+        if scanner.peek() == "@":
+            scanner.advance()
+            start = scanner.pos
+            while not scanner.at_end() and (
+                scanner.peek().isalnum() or scanner.peek() == "-"
+            ):
+                scanner.advance()
+            return Literal(lexical, language=scanner.text[start : scanner.pos])
+        if scanner.text.startswith("^^", scanner.pos):
+            scanner.advance(2)
+            if scanner.peek() == "<":
+                datatype = self._read_uri_ref()
+            else:
+                datatype = self._read_qname().value
+            return Literal(lexical, datatype=datatype)
+        return Literal(lexical)
+
+    def _read_numeric_literal(self) -> Literal:
+        scanner = self.scanner
+        start = scanner.pos
+        if scanner.peek() in "+-":
+            scanner.advance()
+        saw_dot = saw_exp = False
+        while not scanner.at_end():
+            char = scanner.peek()
+            if char.isdigit():
+                scanner.advance()
+            elif char == "." and not saw_dot and not saw_exp and scanner.peek(1).isdigit():
+                saw_dot = True
+                scanner.advance()
+            elif char in "eE" and not saw_exp:
+                saw_exp = True
+                scanner.advance()
+                if scanner.peek() in "+-":
+                    scanner.advance()
+            else:
+                break
+        lexical = scanner.text[start : scanner.pos]
+        if saw_exp:
+            return Literal(lexical, datatype=XSD_DOUBLE)
+        if saw_dot:
+            return Literal(lexical, datatype=XSD_DECIMAL)
+        return Literal(lexical, datatype=XSD_INTEGER)
+
+
+def parse_turtle(text: str, base: str = "") -> Graph:
+    """Parse a Turtle document into a new :class:`Graph`."""
+    parser = _TurtleParser(text, base=base)
+    graph = Graph()
+    graph.update(parser.parse())
+    return graph
+
+
+def _format_term(
+    term: RDFObject, manager: NamespaceManager
+) -> str:
+    if isinstance(term, URI):
+        if term == _RDF_TYPE:
+            return "a"
+        return manager.qname_or_n3(term)
+    return term.n3()
+
+
+def serialize_turtle(
+    graph_or_triples: Graph | Iterable[Triple],
+    manager: Optional[NamespaceManager] = None,
+) -> str:
+    """Serialise to Turtle, grouping by subject with ``;``/``,`` shorthand."""
+    if manager is None:
+        manager = default_namespace_manager()
+    triples = list(
+        graph_or_triples.triples()
+        if isinstance(graph_or_triples, Graph)
+        else graph_or_triples
+    )
+    by_subject: Dict[Subject, Dict[URI, List[RDFObject]]] = {}
+    for triple in triples:
+        by_subject.setdefault(triple.subject, {}).setdefault(
+            triple.predicate, []
+        ).append(triple.object)
+
+    used_namespaces = set()
+    for triple in triples:
+        for term in triple:
+            if isinstance(term, URI):
+                qname = manager.qname(term)
+                if qname:
+                    used_namespaces.add(qname.split(":", 1)[0])
+
+    lines: List[str] = []
+    for prefix, namespace in manager:
+        if prefix in used_namespaces:
+            lines.append(f"@prefix {prefix}: <{namespace}> .")
+    if lines:
+        lines.append("")
+
+    for subject in sorted(by_subject, key=lambda term: term.sort_key()):
+        subject_text = (
+            manager.qname_or_n3(subject) if isinstance(subject, URI) else subject.n3()
+        )
+        predicate_parts: List[str] = []
+        predicates = sorted(by_subject[subject], key=lambda term: term.sort_key())
+        # rdf:type first, as conventional in Turtle output.
+        if _RDF_TYPE in by_subject[subject]:
+            predicates.remove(_RDF_TYPE)
+            predicates.insert(0, _RDF_TYPE)
+        for predicate in predicates:
+            objects = sorted(
+                by_subject[subject][predicate], key=lambda term: term.sort_key()
+            )
+            object_text = ", ".join(_format_term(obj, manager) for obj in objects)
+            predicate_parts.append(
+                f"{_format_term(predicate, manager)} {object_text}"
+            )
+        joined = " ;\n    ".join(predicate_parts)
+        lines.append(f"{subject_text} {joined} .")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,55 @@
+"""Well-known RDF vocabularies.
+
+The paper relies on the standard modelling properties: ``rdf:type`` for
+class membership, ``rdfs:subClassOf`` for the class hierarchy,
+``owl:Class`` / ``rdfs:Class`` for class declarations, and ``rdfs:label``
+for human-readable labels (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from .namespace import Namespace, NamespaceManager
+
+__all__ = [
+    "RDF",
+    "RDFS",
+    "OWL",
+    "XSD",
+    "FOAF",
+    "DC",
+    "DBO",
+    "DBR",
+    "ELINDA",
+    "default_namespace_manager",
+]
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+DC = Namespace("http://purl.org/dc/elements/1.1/")
+
+#: DBpedia ontology namespace — used by the synthetic DBpedia-like dataset.
+DBO = Namespace("http://dbpedia.org/ontology/")
+#: DBpedia resource namespace — instances live here.
+DBR = Namespace("http://dbpedia.org/resource/")
+#: Namespace for eLinda-internal terms.
+ELINDA = Namespace("http://elinda.technion.ac.il/ns#")
+
+_DEFAULT_BINDINGS = {
+    "rdf": RDF.base,
+    "rdfs": RDFS.base,
+    "owl": OWL.base,
+    "xsd": XSD.base,
+    "foaf": FOAF.base,
+    "dc": DC.base,
+    "dbo": DBO.base,
+    "dbr": DBR.base,
+    "elinda": ELINDA.base,
+}
+
+
+def default_namespace_manager() -> NamespaceManager:
+    """A :class:`NamespaceManager` preloaded with the standard bindings."""
+    return NamespaceManager(dict(_DEFAULT_BINDINGS))

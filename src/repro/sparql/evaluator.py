@@ -1,0 +1,681 @@
+"""Evaluation of algebra trees over an RDF graph.
+
+The evaluator is a pull-based iterator pipeline over *solution mappings*
+(dicts from variable name to term).  BGPs are evaluated with a greedy
+selectivity-ordered index-nested-loop join; binary joins between algebra
+subtrees use hash joins on the shared variables.
+
+Every operator counts the solutions it produces into an
+:class:`EvalStats`, which the simulated endpoint's cost model
+(:mod:`repro.endpoint.cost`) converts into simulated latency — this is
+how the reproduction makes the paper's "heavy queries" (Section 4,
+Fig. 4) measurably heavy without a billion-triple store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..rdf.graph import Graph
+from ..rdf.terms import Term
+from .algebra import (
+    Aggregation,
+    AlgebraNode,
+    Ask,
+    BGP,
+    Distinct,
+    Extend,
+    Filter,
+    Join,
+    LeftJoin,
+    Minus,
+    OrderBy,
+    Project,
+    Reduced,
+    Slice,
+    Unit,
+    Union,
+    ValuesTable,
+    translate_query,
+)
+from .ast import (
+    AggregateExpr,
+    ConstructQuery,
+    PathExpr,
+    Projection,
+    Query,
+    SelectQuery,
+    TriplePatternNode,
+    Var,
+    VarExpr,
+)
+from .errors import ExpressionError, SparqlEvalError
+from .functions import (
+    Binding,
+    effective_boolean_value,
+    evaluate_expression,
+    term_order_key,
+)
+from .paths import eval_path
+from .parser import parse_query
+from .results import AskResult, GraphResult, SelectResult
+
+__all__ = ["EvalStats", "Evaluator", "evaluate", "evaluate_algebra"]
+
+
+@dataclass
+class EvalStats:
+    """Work counters collected during evaluation.
+
+    ``intermediate_bindings`` is the total number of solution mappings
+    produced by all operators — the proxy for the "hundreds of millions of
+    tuples as an intermediate result" the paper attributes to the heavy
+    property-expansion query (Section 4).
+    """
+
+    intermediate_bindings: int = 0
+    pattern_scans: int = 0
+    results: int = 0
+    groups: int = 0
+
+    def merge(self, other: "EvalStats") -> None:
+        self.intermediate_bindings += other.intermediate_bindings
+        self.pattern_scans += other.pattern_scans
+        self.results += other.results
+        self.groups += other.groups
+
+
+def _compatible(left: Binding, right: Binding) -> bool:
+    for name, value in right.items():
+        bound = left.get(name)
+        if bound is not None and bound != value:
+            return False
+    return True
+
+
+def _merge(left: Binding, right: Binding) -> Binding:
+    merged = dict(left)
+    merged.update(right)
+    return merged
+
+
+def _binding_key(binding: Binding, names: Tuple[str, ...]) -> Tuple:
+    return tuple(binding.get(name) for name in names)
+
+
+class Evaluator:
+    """Evaluates algebra trees against one :class:`Graph`."""
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        self.stats = EvalStats()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self, query: Query):
+        """Evaluate a parsed query; returns a SelectResult, AskResult,
+        or GraphResult (CONSTRUCT)."""
+        if isinstance(query, ConstructQuery):
+            return self._run_construct(query)
+        algebra = translate_query(query)
+        if isinstance(algebra, Ask):
+            for _ in self._eval(algebra.input):
+                return AskResult(True, stats=self.stats)
+            return AskResult(False, stats=self.stats)
+        variables = self._result_variables(query, algebra)
+        rows = []
+        for binding in self._eval(algebra):
+            self.stats.results += 1
+            rows.append(binding)
+        return SelectResult(variables, rows, stats=self.stats)
+
+    def _result_variables(self, query: Query, algebra: AlgebraNode) -> List[str]:
+        assert isinstance(query, SelectQuery)
+        if query.projections is not None:
+            return [projection.var.name for projection in query.projections]
+        # SELECT *: collect variables mentioned in the pattern, in first-use
+        # order, from the algebra tree.
+        ordered: List[str] = []
+
+        def visit(node: AlgebraNode) -> None:
+            if isinstance(node, BGP):
+                for pattern in node.patterns:
+                    for term in pattern:
+                        if isinstance(term, Var) and term.name not in ordered:
+                            ordered.append(term.name)
+            elif isinstance(node, (Join, LeftJoin, Minus)):
+                visit(node.left)
+                visit(node.right)
+            elif isinstance(node, (Filter, Distinct, Reduced, Slice, OrderBy)):
+                visit(node.input)
+            elif isinstance(node, Extend):
+                visit(node.input)
+                if node.var.name not in ordered:
+                    ordered.append(node.var.name)
+            elif isinstance(node, Union):
+                for branch in node.branches:
+                    visit(branch)
+            elif isinstance(node, ValuesTable):
+                for var in node.variables:
+                    if var.name not in ordered:
+                        ordered.append(var.name)
+            elif isinstance(node, Aggregation):
+                for projection in node.projections:
+                    if projection.var.name not in ordered:
+                        ordered.append(projection.var.name)
+            elif isinstance(node, Project):
+                if node.variables is None:
+                    visit(node.input)
+                else:
+                    for var in node.variables:
+                        if var.name not in ordered:
+                            ordered.append(var.name)
+
+        visit(algebra)
+        return ordered
+
+    # ------------------------------------------------------------------
+    # CONSTRUCT
+    # ------------------------------------------------------------------
+
+    def _run_construct(self, query: ConstructQuery):
+        from ..rdf.terms import BNode, URI
+        from .algebra import translate_pattern
+
+        solutions = self._eval(translate_pattern(query.where))
+        # Apply OFFSET / LIMIT to the solution sequence per the spec.
+        sliced: List[Binding] = []
+        for index, binding in enumerate(solutions):
+            if index < query.offset:
+                continue
+            if query.limit is not None and len(sliced) >= query.limit:
+                break
+            sliced.append(binding)
+        constructed = Graph()
+        bnode_serial = 0
+        for binding in sliced:
+            # Blank nodes in the template are freshened per solution.
+            bnode_serial += 1
+            fresh: Dict[str, BNode] = {}
+            for pattern in query.template:
+                terms = []
+                valid = True
+                for term in pattern:
+                    if isinstance(term, Var):
+                        value = binding.get(term.name)
+                        if value is None:
+                            valid = False
+                            break
+                        terms.append(value)
+                    elif isinstance(term, BNode):
+                        key = term.id
+                        if key not in fresh:
+                            fresh[key] = BNode(f"c{bnode_serial}_{key}")
+                        terms.append(fresh[key])
+                    else:
+                        terms.append(term)
+                if not valid:
+                    continue
+                subject, predicate, object = terms
+                if not isinstance(subject, (URI, BNode)):
+                    continue  # literal subjects are silently skipped
+                if not isinstance(predicate, URI):
+                    continue
+                constructed.add(subject, predicate, object)
+                self.stats.results += 1
+        return GraphResult(constructed, stats=self.stats)
+
+    # ------------------------------------------------------------------
+    # EXISTS support (used as the expression-evaluation context)
+    # ------------------------------------------------------------------
+
+    def exists(self, pattern, binding: Binding) -> bool:
+        """Whether the group pattern has a solution compatible with
+        ``binding`` — the semantics of ``EXISTS { ... }``."""
+        from .algebra import translate_pattern
+
+        for candidate in self._eval(translate_pattern(pattern)):
+            if _compatible(binding, candidate) and _compatible(candidate, binding):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Operator dispatch
+    # ------------------------------------------------------------------
+
+    def _eval(self, node: AlgebraNode) -> Iterator[Binding]:
+        if isinstance(node, Unit):
+            yield {}
+            return
+        if isinstance(node, BGP):
+            yield from self._eval_bgp(node.patterns)
+        elif isinstance(node, Join):
+            yield from self._eval_join(node)
+        elif isinstance(node, LeftJoin):
+            yield from self._eval_left_join(node)
+        elif isinstance(node, Filter):
+            yield from self._eval_filter(node)
+        elif isinstance(node, Union):
+            for branch in node.branches:
+                for binding in self._eval(branch):
+                    self.stats.intermediate_bindings += 1
+                    yield binding
+        elif isinstance(node, Minus):
+            yield from self._eval_minus(node)
+        elif isinstance(node, Extend):
+            yield from self._eval_extend(node)
+        elif isinstance(node, ValuesTable):
+            for row in node.rows:
+                binding = {
+                    var.name: value
+                    for var, value in zip(node.variables, row)
+                    if value is not None
+                }
+                self.stats.intermediate_bindings += 1
+                yield binding
+        elif isinstance(node, Aggregation):
+            yield from self._eval_aggregation(node)
+        elif isinstance(node, Project):
+            yield from self._eval_project(node)
+        elif isinstance(node, Distinct):
+            yield from self._eval_distinct(node)
+        elif isinstance(node, Reduced):
+            yield from self._eval_reduced(node)
+        elif isinstance(node, OrderBy):
+            yield from self._eval_order_by(node)
+        elif isinstance(node, Slice):
+            yield from self._eval_slice(node)
+        else:
+            raise SparqlEvalError(f"unsupported algebra node: {node!r}")
+
+    # ------------------------------------------------------------------
+    # BGP
+    # ------------------------------------------------------------------
+
+    def _pattern_selectivity(
+        self, pattern: TriplePatternNode, bound: set
+    ) -> Tuple[int, int]:
+        """(negated bound positions, estimated scan size) — lower is better."""
+        bound_positions = 0
+        for term in pattern:
+            if not isinstance(term, Var) or term.name in bound:
+                bound_positions += 1
+        return (-bound_positions, 0)
+
+    def _order_patterns(
+        self, patterns: Iterable[TriplePatternNode]
+    ) -> List[TriplePatternNode]:
+        remaining = list(patterns)
+        ordered: List[TriplePatternNode] = []
+        bound: set = set()
+        while remaining:
+            remaining.sort(key=lambda p: self._pattern_selectivity(p, bound))
+            chosen = remaining.pop(0)
+            ordered.append(chosen)
+            bound |= chosen.variables()
+        return ordered
+
+    def _eval_bgp(
+        self, patterns: Tuple[TriplePatternNode, ...]
+    ) -> Iterator[Binding]:
+        if not patterns:
+            yield {}
+            return
+        ordered = self._order_patterns(patterns)
+
+        def extend(index: int, binding: Binding) -> Iterator[Binding]:
+            if index == len(ordered):
+                yield binding
+                return
+            pattern = ordered[index]
+            if isinstance(pattern.predicate, PathExpr):
+                yield from extend_path(index, pattern, binding)
+                return
+            subject = self._instantiate(pattern.subject, binding)
+            predicate = self._instantiate(pattern.predicate, binding)
+            object = self._instantiate(pattern.object, binding)
+            self.stats.pattern_scans += 1
+            for triple in self.graph.triples(subject, predicate, object):
+                new_binding = dict(binding)
+                ok = True
+                for term, value in zip(pattern, triple):
+                    if isinstance(term, Var):
+                        existing = new_binding.get(term.name)
+                        if existing is None:
+                            new_binding[term.name] = value
+                        elif existing != value:
+                            ok = False
+                            break
+                if not ok:
+                    continue
+                self.stats.intermediate_bindings += 1
+                yield from extend(index + 1, new_binding)
+
+        def extend_path(
+            index: int, pattern: TriplePatternNode, binding: Binding
+        ) -> Iterator[Binding]:
+            subject = self._instantiate(pattern.subject, binding)
+            object = self._instantiate(pattern.object, binding)
+            self.stats.pattern_scans += 1
+            for start, end in eval_path(
+                self.graph, subject, pattern.predicate, object
+            ):
+                new_binding = dict(binding)
+                ok = True
+                for term, value in ((pattern.subject, start), (pattern.object, end)):
+                    if isinstance(term, Var):
+                        existing = new_binding.get(term.name)
+                        if existing is None:
+                            new_binding[term.name] = value
+                        elif existing != value:
+                            ok = False
+                            break
+                if not ok:
+                    continue
+                self.stats.intermediate_bindings += 1
+                yield from extend(index + 1, new_binding)
+
+        yield from extend(0, {})
+
+    @staticmethod
+    def _instantiate(term, binding: Binding) -> Optional[Term]:
+        if isinstance(term, Var):
+            return binding.get(term.name)
+        return term
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+
+    def _shared_variables(
+        self, left_rows: List[Binding], right_rows: List[Binding]
+    ) -> Tuple[str, ...]:
+        left_vars: set = set()
+        for row in left_rows[:64]:
+            left_vars |= row.keys()
+        right_vars: set = set()
+        for row in right_rows[:64]:
+            right_vars |= row.keys()
+        return tuple(sorted(left_vars & right_vars))
+
+    def _eval_join(self, node: Join) -> Iterator[Binding]:
+        left_rows = list(self._eval(node.left))
+        if not left_rows:
+            return
+        right_rows = list(self._eval(node.right))
+        if not right_rows:
+            return
+        shared = self._shared_variables(left_rows, right_rows)
+        if not shared:
+            for left in left_rows:
+                for right in right_rows:
+                    if _compatible(left, right):
+                        self.stats.intermediate_bindings += 1
+                        yield _merge(left, right)
+            return
+        table: Dict[Tuple, List[Binding]] = {}
+        for right in right_rows:
+            table.setdefault(_binding_key(right, shared), []).append(right)
+        for left in left_rows:
+            for right in table.get(_binding_key(left, shared), ()):
+                if _compatible(left, right):
+                    self.stats.intermediate_bindings += 1
+                    yield _merge(left, right)
+
+    def _eval_left_join(self, node: LeftJoin) -> Iterator[Binding]:
+        left_rows = list(self._eval(node.left))
+        if not left_rows:
+            return
+        right_rows = list(self._eval(node.right))
+        shared = self._shared_variables(left_rows, right_rows)
+        table: Dict[Tuple, List[Binding]] = {}
+        for right in right_rows:
+            table.setdefault(_binding_key(right, shared), []).append(right)
+        for left in left_rows:
+            matched = False
+            candidates = (
+                table.get(_binding_key(left, shared), ()) if shared else right_rows
+            )
+            for right in candidates:
+                if not _compatible(left, right):
+                    continue
+                merged = _merge(left, right)
+                if node.condition is not None:
+                    try:
+                        if not effective_boolean_value(
+                            evaluate_expression(node.condition, merged, context=self)
+                        ):
+                            continue
+                    except ExpressionError:
+                        continue
+                matched = True
+                self.stats.intermediate_bindings += 1
+                yield merged
+            if not matched:
+                self.stats.intermediate_bindings += 1
+                yield dict(left)
+
+    def _eval_minus(self, node: Minus) -> Iterator[Binding]:
+        right_rows = list(self._eval(node.right))
+        for left in self._eval(node.left):
+            excluded = False
+            for right in right_rows:
+                shared = left.keys() & right.keys()
+                if shared and all(left[name] == right[name] for name in shared):
+                    excluded = True
+                    break
+            if not excluded:
+                self.stats.intermediate_bindings += 1
+                yield left
+
+    # ------------------------------------------------------------------
+    # Filters, extend
+    # ------------------------------------------------------------------
+
+    def _eval_filter(self, node: Filter) -> Iterator[Binding]:
+        for binding in self._eval(node.input):
+            try:
+                keep = effective_boolean_value(
+                    evaluate_expression(node.condition, binding, context=self)
+                )
+            except ExpressionError:
+                keep = False
+            if keep:
+                self.stats.intermediate_bindings += 1
+                yield binding
+
+    def _eval_extend(self, node: Extend) -> Iterator[Binding]:
+        for binding in self._eval(node.input):
+            if node.var.name in binding:
+                raise SparqlEvalError(
+                    f"BIND would rebind ?{node.var.name}"
+                )
+            new_binding = dict(binding)
+            try:
+                new_binding[node.var.name] = evaluate_expression(
+                    node.expression, binding, context=self
+                )
+            except ExpressionError:
+                pass  # BIND errors leave the variable unbound
+            self.stats.intermediate_bindings += 1
+            yield new_binding
+
+    # ------------------------------------------------------------------
+    # Grouping / aggregation
+    # ------------------------------------------------------------------
+
+    def _eval_aggregation(self, node: Aggregation) -> Iterator[Binding]:
+        members = list(self._eval(node.input))
+        groups: Dict[Tuple, List[Binding]] = {}
+        key_bindings: Dict[Tuple, Binding] = {}
+        if node.keys:
+            for member in members:
+                key_values: List[Optional[Term]] = []
+                key_binding: Binding = {}
+                for key in node.keys:
+                    expression = (
+                        key.expression if isinstance(key, Projection) else key
+                    )
+                    assert expression is not None
+                    try:
+                        value = evaluate_expression(expression, member, context=self)
+                    except ExpressionError:
+                        value = None
+                    key_values.append(value)
+                    if isinstance(key, Projection):
+                        if value is not None:
+                            key_binding[key.var.name] = value
+                    elif isinstance(key, VarExpr) and value is not None:
+                        key_binding[key.var.name] = value
+                group_key = tuple(key_values)
+                groups.setdefault(group_key, []).append(member)
+                key_bindings.setdefault(group_key, key_binding)
+        else:
+            # Implicit single group; per spec an empty input still yields
+            # one group for aggregates like COUNT(*) = 0.
+            groups[()] = members
+            key_bindings[()] = {}
+        for group_key, group_members in groups.items():
+            self.stats.groups += 1
+            key_binding = key_bindings[group_key]
+            skip = False
+            for having in node.having:
+                try:
+                    if not effective_boolean_value(
+                        evaluate_expression(having, key_binding, group_members, context=self)
+                    ):
+                        skip = True
+                        break
+                except ExpressionError:
+                    skip = True
+                    break
+            if skip:
+                continue
+            out: Binding = {}
+            for projection in node.projections:
+                if projection.expression is None:
+                    value = key_binding.get(projection.var.name)
+                    if value is not None:
+                        out[projection.var.name] = value
+                    continue
+                try:
+                    out[projection.var.name] = evaluate_expression(
+                        projection.expression, key_binding, group_members, context=self
+                    )
+                except ExpressionError:
+                    pass
+            self.stats.intermediate_bindings += 1
+            yield out
+
+    # ------------------------------------------------------------------
+    # Solution modifiers
+    # ------------------------------------------------------------------
+
+    def _eval_project(self, node: Project) -> Iterator[Binding]:
+        extensions = {
+            projection.var.name: projection.expression
+            for projection in node.extensions
+        }
+        for binding in self._eval(node.input):
+            if node.variables is None:
+                yield binding
+                continue
+            out: Binding = {}
+            for var in node.variables:
+                expression = extensions.get(var.name)
+                if expression is not None:
+                    try:
+                        out[var.name] = evaluate_expression(expression, binding, context=self)
+                    except ExpressionError:
+                        pass
+                elif var.name in binding:
+                    out[var.name] = binding[var.name]
+            yield out
+
+    def _eval_distinct(self, node: Distinct) -> Iterator[Binding]:
+        seen: set = set()
+        for binding in self._eval(node.input):
+            key = tuple(sorted(binding.items(), key=lambda kv: kv[0]))
+            if key in seen:
+                continue
+            seen.add(key)
+            yield binding
+
+    def _eval_reduced(self, node: Reduced) -> Iterator[Binding]:
+        previous: Optional[Tuple] = None
+        for binding in self._eval(node.input):
+            key = tuple(sorted(binding.items(), key=lambda kv: kv[0]))
+            if key == previous:
+                continue
+            previous = key
+            yield binding
+
+    def _eval_order_by(self, node: OrderBy) -> Iterator[Binding]:
+        rows = list(self._eval(node.input))
+
+        def sort_key(binding: Binding):
+            keys = []
+            for condition in node.conditions:
+                try:
+                    value = evaluate_expression(condition.expression, binding, context=self)
+                except ExpressionError:
+                    value = None
+                key = term_order_key(value)
+                if condition.descending:
+                    keys.append(_Reversed(key))
+                else:
+                    keys.append(key)
+            return keys
+
+        rows.sort(key=sort_key)
+        yield from rows
+
+    def _eval_slice(self, node: Slice) -> Iterator[Binding]:
+        iterator = self._eval(node.input)
+        for _ in range(node.offset):
+            try:
+                next(iterator)
+            except StopIteration:
+                return
+        if node.limit is None:
+            yield from iterator
+            return
+        for _ in range(node.limit):
+            try:
+                yield next(iterator)
+            except StopIteration:
+                return
+
+
+class _Reversed:
+    """Wrapper inverting the comparison order of a sort key."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and self.key == other.key
+
+
+def evaluate(graph: Graph, query_text: str):
+    """Parse and evaluate a SPARQL query over ``graph``.
+
+    Returns a :class:`repro.sparql.results.SelectResult` or
+    :class:`repro.sparql.results.AskResult`.
+    """
+    query = parse_query(query_text)
+    return Evaluator(graph).run(query)
+
+
+def evaluate_algebra(graph: Graph, node: AlgebraNode) -> List[Binding]:
+    """Evaluate a bare algebra tree; returns the solution list."""
+    evaluator = Evaluator(graph)
+    return list(evaluator._eval(node))

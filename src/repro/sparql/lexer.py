@@ -1,0 +1,334 @@
+"""SPARQL tokenizer.
+
+Produces a flat token stream for the recursive-descent parser.  Keywords
+are case-insensitive and reported with a canonical upper-case value;
+variables, IRIs, prefixed names, literals, and punctuation carry their
+exact text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .errors import SparqlSyntaxError
+
+__all__ = ["Token", "TokenType", "tokenize"]
+
+
+class TokenType:
+    """Token type tags (plain strings for cheap comparison)."""
+
+    KEYWORD = "KEYWORD"
+    VAR = "VAR"
+    IRI = "IRI"
+    PNAME = "PNAME"          # prefixed name, e.g. dbo:Person or rdfs:
+    BNODE = "BNODE"
+    STRING = "STRING"
+    LANGTAG = "LANGTAG"
+    INTEGER = "INTEGER"
+    DECIMAL = "DECIMAL"
+    DOUBLE = "DOUBLE"
+    PUNCT = "PUNCT"
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type}, {self.value!r}, {self.line}:{self.column})"
+
+
+_KEYWORDS = frozenset(
+    """
+    SELECT ASK CONSTRUCT DESCRIBE WHERE FROM NAMED PREFIX BASE
+    DISTINCT REDUCED AS GROUP BY HAVING ORDER ASC DESC LIMIT OFFSET
+    OPTIONAL UNION MINUS FILTER BIND VALUES GRAPH SERVICE
+    A TRUE FALSE IN NOT EXISTS UNDEF
+    COUNT SUM AVG MIN MAX SAMPLE GROUP_CONCAT SEPARATOR
+    STR LANG LANGMATCHES DATATYPE BOUND IRI URI BNODE
+    ABS CEIL FLOOR ROUND CONCAT SUBSTR STRLEN REPLACE
+    UCASE LCASE CONTAINS STRSTARTS STRENDS STRBEFORE STRAFTER
+    ENCODE_FOR_URI COALESCE IF SAMETERM
+    ISIRI ISURI ISBLANK ISLITERAL ISNUMERIC REGEX
+    """.split()
+)
+
+# Multi-char punctuation, longest first.
+_PUNCT2 = ("<=", ">=", "!=", "&&", "||", "^^")
+_PUNCT1 = "{}()[],.;*=<>!+-/?|&^"
+
+
+def _is_pname_char(char: str) -> bool:
+    return char.isalnum() or char in "_-."
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize a SPARQL query; raises :class:`SparqlSyntaxError`."""
+    return list(_tokenize(text))
+
+
+def _tokenize(text: str) -> Iterator[Token]:
+    pos = 0
+    line = 1
+    line_start = 0
+    length = len(text)
+
+    def location() -> tuple[int, int]:
+        return line, pos - line_start + 1
+
+    def error(message: str) -> SparqlSyntaxError:
+        loc = location()
+        return SparqlSyntaxError(message, loc[0], loc[1])
+
+    while pos < length:
+        char = text[pos]
+        # Whitespace / newlines
+        if char == "\n":
+            pos += 1
+            line += 1
+            line_start = pos
+            continue
+        if char in " \t\r":
+            pos += 1
+            continue
+        # Comments
+        if char == "#":
+            end = text.find("\n", pos)
+            pos = length if end < 0 else end
+            continue
+        tok_line, tok_col = location()
+        # Variables (a bare '?' is the zero-or-one path operator)
+        if char in "?$":
+            start = pos + 1
+            end = start
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            if end == start:
+                if char == "?":
+                    yield Token(TokenType.PUNCT, "?", tok_line, tok_col)
+                    pos += 1
+                    continue
+                raise error("empty variable name")
+            yield Token(TokenType.VAR, text[start:end], tok_line, tok_col)
+            pos = end
+            continue
+        # IRIs
+        if char == "<":
+            end = text.find(">", pos + 1)
+            newline = text.find("\n", pos + 1)
+            if end < 0 or (0 <= newline < end):
+                # Not an IRI -> relational operator handled below.
+                if pos + 1 < length and text[pos + 1] in "= \t\n?$0123456789":
+                    pass
+                else:
+                    raise error("unterminated IRI")
+            else:
+                candidate = text[pos + 1 : end]
+                # Heuristic disambiguation from the '<' comparison operator:
+                # IRIs contain no whitespace/quotes and (in queries) a scheme.
+                looks_like_iri = (
+                    not any(c in candidate for c in ' \t"{}|^`<')
+                    and (":" in candidate or candidate == "")
+                )
+                if looks_like_iri:
+                    yield Token(TokenType.IRI, candidate, tok_line, tok_col)
+                    pos = end + 1
+                    continue
+            # fall through: '<' as comparison
+        # Strings
+        if char in "\"'":
+            quote = char
+            if text.startswith(quote * 3, pos):
+                end = text.find(quote * 3, pos + 3)
+                if end < 0:
+                    raise error("unterminated long string")
+                raw = text[pos + 3 : end]
+                yield Token(TokenType.STRING, _unescape(raw, error), tok_line, tok_col)
+                line += raw.count("\n")
+                pos = end + 3
+                continue
+            end = pos + 1
+            chars: List[str] = []
+            while True:
+                if end >= length or text[end] == "\n":
+                    raise error("unterminated string")
+                c = text[end]
+                if c == quote:
+                    break
+                if c == "\\":
+                    if end + 1 >= length:
+                        raise error("dangling escape")
+                    chars.append(text[end : end + 2])
+                    end += 2
+                else:
+                    chars.append(c)
+                    end += 1
+            yield Token(
+                TokenType.STRING, _unescape("".join(chars), error), tok_line, tok_col
+            )
+            pos = end + 1
+            continue
+        # Language tags
+        if char == "@":
+            start = pos + 1
+            end = start
+            while end < length and (text[end].isalnum() or text[end] == "-"):
+                end += 1
+            if end == start:
+                raise error("empty language tag")
+            yield Token(TokenType.LANGTAG, text[start:end], tok_line, tok_col)
+            pos = end
+            continue
+        # Blank nodes
+        if char == "_" and pos + 1 < length and text[pos + 1] == ":":
+            start = pos + 2
+            end = start
+            while end < length and _is_pname_char(text[end]):
+                end += 1
+            yield Token(TokenType.BNODE, text[start:end], tok_line, tok_col)
+            pos = end
+            continue
+        # Numbers
+        if char.isdigit() or (
+            char == "." and pos + 1 < length and text[pos + 1].isdigit()
+        ):
+            end = pos
+            saw_dot = saw_exp = False
+            while end < length:
+                c = text[end]
+                if c.isdigit():
+                    end += 1
+                elif c == "." and not saw_dot and not saw_exp:
+                    # Only part of the number if a digit follows.
+                    if end + 1 < length and text[end + 1].isdigit():
+                        saw_dot = True
+                        end += 1
+                    else:
+                        break
+                elif c in "eE" and not saw_exp and end > pos:
+                    nxt = text[end + 1 : end + 2]
+                    if nxt.isdigit() or (
+                        nxt in "+-" and text[end + 2 : end + 3].isdigit()
+                    ):
+                        saw_exp = True
+                        end += 2 if nxt in "+-" else 1
+                    else:
+                        break
+                else:
+                    break
+            value = text[pos:end]
+            if saw_exp:
+                token_type = TokenType.DOUBLE
+            elif saw_dot:
+                token_type = TokenType.DECIMAL
+            else:
+                token_type = TokenType.INTEGER
+            yield Token(token_type, value, tok_line, tok_col)
+            pos = end
+            continue
+        # Multi-char punctuation
+        matched = False
+        for punct in _PUNCT2:
+            if text.startswith(punct, pos):
+                yield Token(TokenType.PUNCT, punct, tok_line, tok_col)
+                pos += len(punct)
+                matched = True
+                break
+        if matched:
+            continue
+        # Words: keywords or prefixed names
+        if char.isalpha() or char == "_":
+            end = pos
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[pos:end]
+            # Prefixed name: word followed directly by ':'
+            if end < length and text[end] == ":":
+                local_start = end + 1
+                local_end = local_start
+                while local_end < length and _is_pname_char(text[local_end]):
+                    local_end += 1
+                local = text[local_start:local_end]
+                # A trailing '.' is a statement terminator, not name part.
+                while local.endswith("."):
+                    local = local[:-1]
+                    local_end -= 1
+                yield Token(
+                    TokenType.PNAME, f"{word}:{local}", tok_line, tok_col
+                )
+                pos = local_end
+                continue
+            upper = word.upper()
+            if upper in _KEYWORDS:
+                yield Token(TokenType.KEYWORD, upper, tok_line, tok_col)
+            else:
+                raise error(f"unexpected word: {word!r}")
+            pos = end
+            continue
+        # Bare ':' prefixed name (default prefix)
+        if char == ":":
+            local_start = pos + 1
+            local_end = local_start
+            while local_end < length and _is_pname_char(text[local_end]):
+                local_end += 1
+            local = text[local_start:local_end]
+            while local.endswith("."):
+                local = local[:-1]
+                local_end -= 1
+            yield Token(TokenType.PNAME, f":{local}", tok_line, tok_col)
+            pos = local_end
+            continue
+        # Single-char punctuation
+        if char in _PUNCT1:
+            yield Token(TokenType.PUNCT, char, tok_line, tok_col)
+            pos += 1
+            continue
+        raise error(f"unexpected character: {char!r}")
+    yield Token(TokenType.EOF, "", line, pos - line_start + 1)
+
+
+_ESCAPE_MAP = {
+    "n": "\n",
+    "r": "\r",
+    "t": "\t",
+    "b": "\b",
+    "f": "\f",
+    "\\": "\\",
+    '"': '"',
+    "'": "'",
+}
+
+
+def _unescape(raw: str, error) -> str:
+    if "\\" not in raw:
+        return raw
+    out: List[str] = []
+    i = 0
+    while i < len(raw):
+        char = raw[i]
+        if char != "\\":
+            out.append(char)
+            i += 1
+            continue
+        i += 1
+        if i >= len(raw):
+            raise error("dangling escape in string")
+        esc = raw[i]
+        i += 1
+        if esc in _ESCAPE_MAP:
+            out.append(_ESCAPE_MAP[esc])
+        elif esc == "u":
+            out.append(chr(int(raw[i : i + 4], 16)))
+            i += 4
+        elif esc == "U":
+            out.append(chr(int(raw[i : i + 8], 16)))
+            i += 8
+        else:
+            raise error(f"unknown string escape: \\{esc}")
+    return "".join(out)

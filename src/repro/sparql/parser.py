@@ -1,0 +1,847 @@
+"""Recursive-descent parser for the supported SPARQL subset.
+
+Covers SELECT / ASK with: prologue (PREFIX/BASE), DISTINCT/REDUCED,
+projection expressions ``(expr AS ?v)``, basic graph patterns with
+``;``/``,`` shorthand and ``a``, FILTER, OPTIONAL, UNION, MINUS, BIND,
+VALUES, nested sub-SELECTs, GROUP BY, HAVING, ORDER BY, LIMIT, OFFSET,
+and the SPARQL expression grammar with aggregates and the common
+builtins.  This is a strict superset of the query shapes eLinda
+generates (see :mod:`repro.core.queries`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from ..rdf.terms import (
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    BNode,
+    Literal,
+    URI,
+)
+from .ast import (
+    AggregateExpr,
+    AlternativePath,
+    AskQuery,
+    ConstructQuery,
+    PathExpr,
+    BindPattern,
+    BinaryExpr,
+    ExistsExpr,
+    Expression,
+    FilterPattern,
+    FunctionCall,
+    GroupGraphPattern,
+    InExpr,
+    InversePath,
+    MinusPattern,
+    OptionalPattern,
+    OrderCondition,
+    Projection,
+    Query,
+    RepeatPath,
+    SelectQuery,
+    SequencePath,
+    SubSelectPattern,
+    TermExpr,
+    TermOrVar,
+    TriplePatternNode,
+    UnaryExpr,
+    UnionPattern,
+    ValuesPattern,
+    Var,
+    VarExpr,
+)
+from .errors import SparqlSyntaxError
+from .lexer import Token, TokenType, tokenize
+
+__all__ = ["parse_query", "Parser"]
+
+_RDF_TYPE = URI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+
+_AGGREGATES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX", "SAMPLE", "GROUP_CONCAT"})
+
+_BUILTIN_ARITY = {
+    "STR": (1, 1),
+    "LANG": (1, 1),
+    "LANGMATCHES": (2, 2),
+    "DATATYPE": (1, 1),
+    "BOUND": (1, 1),
+    "IRI": (1, 1),
+    "URI": (1, 1),
+    "BNODE": (0, 1),
+    "ABS": (1, 1),
+    "CEIL": (1, 1),
+    "FLOOR": (1, 1),
+    "ROUND": (1, 1),
+    "CONCAT": (0, 99),
+    "SUBSTR": (2, 3),
+    "STRLEN": (1, 1),
+    "REPLACE": (3, 4),
+    "UCASE": (1, 1),
+    "LCASE": (1, 1),
+    "CONTAINS": (2, 2),
+    "STRSTARTS": (2, 2),
+    "STRENDS": (2, 2),
+    "STRBEFORE": (2, 2),
+    "STRAFTER": (2, 2),
+    "ENCODE_FOR_URI": (1, 1),
+    "COALESCE": (1, 99),
+    "IF": (3, 3),
+    "SAMETERM": (2, 2),
+    "ISIRI": (1, 1),
+    "ISURI": (1, 1),
+    "ISBLANK": (1, 1),
+    "ISLITERAL": (1, 1),
+    "ISNUMERIC": (1, 1),
+    "REGEX": (2, 3),
+}
+
+
+class Parser:
+    """A single-use parser over a token stream."""
+
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.pos = 0
+        self.prefixes: dict[str, str] = {}
+        self.base = ""
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type != TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def error(self, message: str, token: Optional[Token] = None) -> SparqlSyntaxError:
+        token = token or self.peek()
+        return SparqlSyntaxError(
+            f"{message}, found {token.value!r}", token.line, token.column
+        )
+
+    def at_keyword(self, *keywords: str) -> bool:
+        token = self.peek()
+        return token.type == TokenType.KEYWORD and token.value in keywords
+
+    def at_punct(self, *values: str) -> bool:
+        token = self.peek()
+        return token.type == TokenType.PUNCT and token.value in values
+
+    def expect_keyword(self, keyword: str) -> Token:
+        if not self.at_keyword(keyword):
+            raise self.error(f"expected {keyword}")
+        return self.next()
+
+    def expect_punct(self, value: str) -> Token:
+        if not self.at_punct(value):
+            raise self.error(f"expected {value!r}")
+        return self.next()
+
+    def accept_keyword(self, *keywords: str) -> Optional[Token]:
+        if self.at_keyword(*keywords):
+            return self.next()
+        return None
+
+    def accept_punct(self, *values: str) -> Optional[Token]:
+        if self.at_punct(*values):
+            return self.next()
+        return None
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def parse(self) -> Query:
+        self._parse_prologue()
+        if self.at_keyword("SELECT"):
+            query = self._parse_select()
+        elif self.at_keyword("ASK"):
+            query = self._parse_ask()
+        elif self.at_keyword("CONSTRUCT"):
+            query = self._parse_construct()
+        else:
+            raise self.error("expected SELECT, ASK, or CONSTRUCT")
+        if self.peek().type != TokenType.EOF:
+            raise self.error("trailing tokens after query")
+        return query
+
+    def _parse_prologue(self) -> None:
+        while True:
+            if self.accept_keyword("PREFIX"):
+                token = self.next()
+                if token.type != TokenType.PNAME or not token.value.endswith(":"):
+                    # PNAME token carries 'prefix:' possibly with local part;
+                    # a declaration must be bare 'prefix:'.
+                    if token.type != TokenType.PNAME or ":" not in token.value:
+                        raise self.error("expected prefix name", token)
+                prefix = token.value.rstrip(":")
+                if ":" in prefix:
+                    raise self.error("malformed prefix declaration", token)
+                iri_token = self.next()
+                if iri_token.type != TokenType.IRI:
+                    raise self.error("expected IRI in PREFIX", iri_token)
+                self.prefixes[prefix] = iri_token.value
+            elif self.accept_keyword("BASE"):
+                iri_token = self.next()
+                if iri_token.type != TokenType.IRI:
+                    raise self.error("expected IRI in BASE", iri_token)
+                self.base = iri_token.value
+            else:
+                return
+
+    # ------------------------------------------------------------------
+    # Query forms
+    # ------------------------------------------------------------------
+
+    def _parse_select(self) -> SelectQuery:
+        self.expect_keyword("SELECT")
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        reduced = bool(self.accept_keyword("REDUCED")) if not distinct else False
+        projections = self._parse_projections()
+        self._skip_dataset_clauses()
+        self.accept_keyword("WHERE")
+        where = self._parse_group_graph_pattern()
+        query = SelectQuery(
+            projections=projections,
+            where=where,
+            distinct=distinct,
+            reduced=reduced,
+        )
+        self._parse_solution_modifiers(query)
+        return query
+
+    def _parse_ask(self) -> AskQuery:
+        self.expect_keyword("ASK")
+        self._skip_dataset_clauses()
+        self.accept_keyword("WHERE")
+        return AskQuery(where=self._parse_group_graph_pattern())
+
+    def _parse_construct(self) -> ConstructQuery:
+        self.expect_keyword("CONSTRUCT")
+        template: List[TriplePatternNode] = []
+        if self.at_punct("{"):
+            # Explicit template.
+            template_group = self._parse_template_group()
+            template = template_group
+            self._skip_dataset_clauses()
+            self.accept_keyword("WHERE")
+            where = self._parse_group_graph_pattern()
+        else:
+            # Short form: CONSTRUCT WHERE { triples } — the template is
+            # the (triples-only) pattern itself.
+            self._skip_dataset_clauses()
+            self.expect_keyword("WHERE")
+            where = self._parse_group_graph_pattern()
+            for child in where.children:
+                if not isinstance(child, TriplePatternNode):
+                    raise self.error(
+                        "CONSTRUCT WHERE short form allows triple "
+                        "patterns only"
+                    )
+                template.append(child)
+        query = ConstructQuery(template=template, where=where)
+        # LIMIT / OFFSET in either order.
+        for _ in range(2):
+            if self.accept_keyword("LIMIT"):
+                token = self.next()
+                if token.type != TokenType.INTEGER:
+                    raise self.error("expected integer after LIMIT", token)
+                query.limit = int(token.value)
+            elif self.accept_keyword("OFFSET"):
+                token = self.next()
+                if token.type != TokenType.INTEGER:
+                    raise self.error("expected integer after OFFSET", token)
+                query.offset = int(token.value)
+        return query
+
+    def _parse_template_group(self) -> List[TriplePatternNode]:
+        """A ``{ triples }`` CONSTRUCT template (no filters/paths)."""
+        self.expect_punct("{")
+        group = GroupGraphPattern()
+        while not self.at_punct("}"):
+            if self.peek().type == TokenType.EOF:
+                raise self.error("unterminated CONSTRUCT template")
+            self._parse_triples_block(group)
+            self.accept_punct(".")
+        self.expect_punct("}")
+        template: List[TriplePatternNode] = []
+        for child in group.children:
+            assert isinstance(child, TriplePatternNode)
+            if isinstance(child.predicate, PathExpr):
+                raise self.error(
+                    "property paths are not allowed in CONSTRUCT templates"
+                )
+            template.append(child)
+        return template
+
+    def _skip_dataset_clauses(self) -> None:
+        while self.accept_keyword("FROM"):
+            self.accept_keyword("NAMED")
+            token = self.next()
+            if token.type != TokenType.IRI:
+                raise self.error("expected IRI in FROM clause", token)
+
+    def _parse_projections(self) -> Optional[List[Projection]]:
+        if self.accept_punct("*"):
+            return None
+        projections: List[Projection] = []
+        while True:
+            token = self.peek()
+            if token.type == TokenType.VAR:
+                self.next()
+                projections.append(Projection(Var(token.value)))
+            elif self.at_punct("("):
+                self.next()
+                expr = self._parse_expression()
+                # Virtuoso-style "COUNT(?p) AS ?c" without outer parens is
+                # handled below; here the standard "(expr AS ?v)".
+                self.expect_keyword("AS")
+                var_token = self.next()
+                if var_token.type != TokenType.VAR:
+                    raise self.error("expected variable after AS", var_token)
+                self.expect_punct(")")
+                projections.append(Projection(Var(var_token.value), expr))
+            elif token.type == TokenType.KEYWORD and (
+                token.value in _AGGREGATES or token.value in _BUILTIN_ARITY
+            ):
+                # Virtuoso extension used in the paper's Section 4 query:
+                #   SELECT ?p COUNT(?p) AS ?count SUM(?sp) AS ?sp
+                expr = self._parse_primary()
+                self.expect_keyword("AS")
+                var_token = self.next()
+                if var_token.type != TokenType.VAR:
+                    raise self.error("expected variable after AS", var_token)
+                projections.append(Projection(Var(var_token.value), expr))
+            else:
+                break
+        if not projections:
+            raise self.error("expected projection list or *")
+        return projections
+
+    def _parse_solution_modifiers(self, query: SelectQuery) -> None:
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            while True:
+                token = self.peek()
+                if token.type == TokenType.VAR:
+                    self.next()
+                    query.group_by.append(VarExpr(Var(token.value)))
+                elif self.at_punct("("):
+                    self.next()
+                    expr = self._parse_expression()
+                    if self.accept_keyword("AS"):
+                        var_token = self.next()
+                        if var_token.type != TokenType.VAR:
+                            raise self.error("expected variable", var_token)
+                        self.expect_punct(")")
+                        query.group_by.append(
+                            Projection(Var(var_token.value), expr)
+                        )
+                    else:
+                        self.expect_punct(")")
+                        query.group_by.append(expr)
+                else:
+                    break
+            if not query.group_by:
+                raise self.error("empty GROUP BY")
+        if self.accept_keyword("HAVING"):
+            while self.at_punct("("):
+                self.next()
+                query.having.append(self._parse_expression())
+                self.expect_punct(")")
+            if not query.having:
+                raise self.error("empty HAVING")
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            while True:
+                if self.accept_keyword("ASC"):
+                    self.expect_punct("(")
+                    expr = self._parse_expression()
+                    self.expect_punct(")")
+                    query.order_by.append(OrderCondition(expr, descending=False))
+                elif self.accept_keyword("DESC"):
+                    self.expect_punct("(")
+                    expr = self._parse_expression()
+                    self.expect_punct(")")
+                    query.order_by.append(OrderCondition(expr, descending=True))
+                elif self.peek().type == TokenType.VAR:
+                    token = self.next()
+                    query.order_by.append(
+                        OrderCondition(VarExpr(Var(token.value)))
+                    )
+                elif self.at_punct("("):
+                    self.next()
+                    expr = self._parse_expression()
+                    self.expect_punct(")")
+                    query.order_by.append(OrderCondition(expr))
+                else:
+                    break
+            if not query.order_by:
+                raise self.error("empty ORDER BY")
+        # LIMIT and OFFSET may appear in either order.
+        for _ in range(2):
+            if self.accept_keyword("LIMIT"):
+                token = self.next()
+                if token.type != TokenType.INTEGER:
+                    raise self.error("expected integer after LIMIT", token)
+                query.limit = int(token.value)
+            elif self.accept_keyword("OFFSET"):
+                token = self.next()
+                if token.type != TokenType.INTEGER:
+                    raise self.error("expected integer after OFFSET", token)
+                query.offset = int(token.value)
+
+    # ------------------------------------------------------------------
+    # Graph patterns
+    # ------------------------------------------------------------------
+
+    def _parse_group_graph_pattern(self) -> GroupGraphPattern:
+        self.expect_punct("{")
+        group = GroupGraphPattern()
+        while not self.at_punct("}"):
+            token = self.peek()
+            if token.type == TokenType.EOF:
+                raise self.error("unterminated group graph pattern")
+            if self.at_punct("{"):
+                # Either a sub-select or a nested group (possibly UNION).
+                if self._lookahead_is_subselect():
+                    group.children.append(self._parse_subselect())
+                else:
+                    child = self._parse_group_or_union()
+                    group.children.append(child)
+            elif self.at_keyword("OPTIONAL"):
+                self.next()
+                group.children.append(
+                    OptionalPattern(self._parse_group_graph_pattern())
+                )
+            elif self.at_keyword("MINUS"):
+                self.next()
+                group.children.append(
+                    MinusPattern(self._parse_group_graph_pattern())
+                )
+            elif self.at_keyword("FILTER"):
+                self.next()
+                group.children.append(FilterPattern(self._parse_constraint()))
+            elif self.at_keyword("BIND"):
+                self.next()
+                self.expect_punct("(")
+                expr = self._parse_expression()
+                self.expect_keyword("AS")
+                var_token = self.next()
+                if var_token.type != TokenType.VAR:
+                    raise self.error("expected variable in BIND", var_token)
+                self.expect_punct(")")
+                group.children.append(BindPattern(expr, Var(var_token.value)))
+            elif self.at_keyword("VALUES"):
+                group.children.append(self._parse_values())
+            elif self.at_keyword("GRAPH", "SERVICE"):
+                raise self.error("GRAPH/SERVICE patterns are not supported")
+            else:
+                self._parse_triples_block(group)
+            self.accept_punct(".")
+        self.expect_punct("}")
+        return group
+
+    def _lookahead_is_subselect(self) -> bool:
+        return (
+            self.peek().type == TokenType.PUNCT
+            and self.peek().value == "{"
+            and self.peek(1).type == TokenType.KEYWORD
+            and self.peek(1).value == "SELECT"
+        )
+
+    def _parse_subselect(self) -> SubSelectPattern:
+        self.expect_punct("{")
+        inner = self._parse_select()
+        self.expect_punct("}")
+        return SubSelectPattern(inner)
+
+    def _parse_group_or_union(self) -> Union[GroupGraphPattern, UnionPattern]:
+        first = self._parse_group_graph_pattern()
+        if not self.at_keyword("UNION"):
+            return first
+        alternatives = [first]
+        while self.accept_keyword("UNION"):
+            if self._lookahead_is_subselect():
+                raise self.error("sub-select inside UNION is not supported")
+            alternatives.append(self._parse_group_graph_pattern())
+        return UnionPattern(alternatives)
+
+    def _parse_values(self) -> ValuesPattern:
+        self.expect_keyword("VALUES")
+        variables: List[Var] = []
+        single_var = False
+        if self.peek().type == TokenType.VAR:
+            variables.append(Var(self.next().value))
+            single_var = True
+        else:
+            self.expect_punct("(")
+            while self.peek().type == TokenType.VAR:
+                variables.append(Var(self.next().value))
+            self.expect_punct(")")
+        if not variables:
+            raise self.error("VALUES requires at least one variable")
+        self.expect_punct("{")
+        rows: List[Tuple[Optional[Union[URI, Literal]], ...]] = []
+        while not self.at_punct("}"):
+            if single_var:
+                rows.append((self._parse_values_term(),))
+            else:
+                self.expect_punct("(")
+                row: List[Optional[Union[URI, Literal]]] = []
+                while not self.at_punct(")"):
+                    row.append(self._parse_values_term())
+                self.expect_punct(")")
+                if len(row) != len(variables):
+                    raise self.error(
+                        f"VALUES row has {len(row)} terms for "
+                        f"{len(variables)} variables"
+                    )
+                rows.append(tuple(row))
+        self.expect_punct("}")
+        return ValuesPattern(variables, rows)
+
+    def _parse_values_term(self) -> Optional[Union[URI, Literal]]:
+        token = self.peek()
+        if token.type == TokenType.KEYWORD and token.value == "UNDEF":
+            self.next()
+            return None
+        term = self._parse_term(allow_var=False)
+        if isinstance(term, BNode):
+            raise self.error("blank nodes not allowed in VALUES")
+        return term  # type: ignore[return-value]
+
+    def _parse_constraint(self) -> Expression:
+        if self.at_punct("("):
+            self.next()
+            expr = self._parse_expression()
+            self.expect_punct(")")
+            return expr
+        # Bare builtin call: FILTER regex(...), FILTER bound(?x) ...
+        return self._parse_primary()
+
+    # ------------------------------------------------------------------
+    # Triples
+    # ------------------------------------------------------------------
+
+    def _parse_triples_block(self, group: GroupGraphPattern) -> None:
+        subject = self._parse_term(allow_var=True)
+        while True:
+            predicate = self._parse_verb()
+            while True:
+                object = self._parse_term(allow_var=True)
+                group.children.append(
+                    TriplePatternNode(subject, predicate, object)
+                )
+                if not self.accept_punct(","):
+                    break
+            if self.accept_punct(";"):
+                if self.at_punct(".", "}", ";"):
+                    # dangling ';'
+                    while self.accept_punct(";"):
+                        pass
+                    return
+                continue
+            return
+
+    def _parse_verb(self):
+        token = self.peek()
+        if token.type == TokenType.VAR:
+            self.next()
+            return Var(token.value)
+        return self._parse_path_alternative()
+
+    # ------------------------------------------------------------------
+    # Property paths (SPARQL 1.1 subset: ^ / | * + ? and grouping)
+    # ------------------------------------------------------------------
+
+    def _parse_path_alternative(self):
+        first = self._parse_path_sequence()
+        if not self.at_punct("|"):
+            return first
+        choices = [first]
+        while self.accept_punct("|"):
+            choices.append(self._parse_path_sequence())
+        return AlternativePath(tuple(choices))
+
+    def _parse_path_sequence(self):
+        first = self._parse_path_elt_or_inverse()
+        if not self.at_punct("/"):
+            return first
+        steps = [first]
+        while self.accept_punct("/"):
+            steps.append(self._parse_path_elt_or_inverse())
+        return SequencePath(tuple(steps))
+
+    def _parse_path_elt_or_inverse(self):
+        if self.accept_punct("^"):
+            return InversePath(self._parse_path_elt())
+        return self._parse_path_elt()
+
+    def _parse_path_elt(self):
+        primary = self._parse_path_primary()
+        if self.accept_punct("*"):
+            return RepeatPath(primary, min_hops=0)
+        if self.accept_punct("+"):
+            return RepeatPath(primary, min_hops=1)
+        if self.accept_punct("?"):
+            return RepeatPath(primary, min_hops=0, max_one=True)
+        return primary
+
+    def _parse_path_primary(self):
+        token = self.peek()
+        if token.type == TokenType.KEYWORD and token.value == "A":
+            self.next()
+            return _RDF_TYPE
+        if self.at_punct("("):
+            self.next()
+            inner = self._parse_path_alternative()
+            self.expect_punct(")")
+            return inner
+        if self.accept_punct("^"):
+            return InversePath(self._parse_path_elt())
+        term = self._parse_term(allow_var=False)
+        if not isinstance(term, URI):
+            raise self.error("predicate must be an IRI, variable, or path")
+        return term
+
+    def _parse_term(self, allow_var: bool) -> TermOrVar:
+        token = self.peek()
+        if token.type == TokenType.VAR:
+            if not allow_var:
+                raise self.error("variable not allowed here")
+            self.next()
+            return Var(token.value)
+        if token.type == TokenType.IRI:
+            self.next()
+            value = token.value
+            if self.base and not value.startswith(
+                ("http://", "https://", "urn:", "file://", "mailto:")
+            ):
+                value = self.base + value
+            return URI(value)
+        if token.type == TokenType.PNAME:
+            self.next()
+            return self._expand_pname(token)
+        if token.type == TokenType.BNODE:
+            self.next()
+            return BNode(token.value)
+        if token.type == TokenType.STRING:
+            self.next()
+            lexical = token.value
+            if self.peek().type == TokenType.LANGTAG:
+                tag = self.next().value
+                return Literal(lexical, language=tag)
+            if self.at_punct("^^"):
+                self.next()
+                datatype_token = self.next()
+                if datatype_token.type == TokenType.IRI:
+                    return Literal(lexical, datatype=datatype_token.value)
+                if datatype_token.type == TokenType.PNAME:
+                    return Literal(
+                        lexical,
+                        datatype=self._expand_pname(datatype_token).value,
+                    )
+                raise self.error("expected datatype IRI", datatype_token)
+            return Literal(lexical)
+        if token.type == TokenType.INTEGER:
+            self.next()
+            return Literal(token.value, datatype=XSD_INTEGER)
+        if token.type == TokenType.DECIMAL:
+            self.next()
+            return Literal(token.value, datatype=XSD_DECIMAL)
+        if token.type == TokenType.DOUBLE:
+            self.next()
+            return Literal(token.value, datatype=XSD_DOUBLE)
+        if token.type == TokenType.KEYWORD and token.value in ("TRUE", "FALSE"):
+            self.next()
+            return Literal(token.value.lower(), datatype=XSD_BOOLEAN)
+        if token.type == TokenType.PUNCT and token.value in "+-":
+            sign = self.next().value
+            number = self.next()
+            if number.type == TokenType.INTEGER:
+                return Literal(sign + number.value, datatype=XSD_INTEGER)
+            if number.type == TokenType.DECIMAL:
+                return Literal(sign + number.value, datatype=XSD_DECIMAL)
+            if number.type == TokenType.DOUBLE:
+                return Literal(sign + number.value, datatype=XSD_DOUBLE)
+            raise self.error("expected number after sign", number)
+        raise self.error("expected RDF term")
+
+    def _expand_pname(self, token: Token) -> URI:
+        prefix, _, local = token.value.partition(":")
+        base = self.prefixes.get(prefix)
+        if base is None:
+            raise self.error(f"unknown prefix {prefix!r}", token)
+        return URI(base + local)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        while self.at_punct("||"):
+            self.next()
+            left = BinaryExpr("||", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_relational()
+        while self.at_punct("&&"):
+            self.next()
+            left = BinaryExpr("&&", left, self._parse_relational())
+        return left
+
+    def _parse_relational(self) -> Expression:
+        left = self._parse_additive()
+        token = self.peek()
+        if token.type == TokenType.PUNCT and token.value in (
+            "=",
+            "!=",
+            "<",
+            ">",
+            "<=",
+            ">=",
+        ):
+            self.next()
+            return BinaryExpr(token.value, left, self._parse_additive())
+        if self.at_keyword("IN"):
+            self.next()
+            return InExpr(left, self._parse_expression_list(), negated=False)
+        if self.at_keyword("NOT"):
+            self.next()
+            self.expect_keyword("IN")
+            return InExpr(left, self._parse_expression_list(), negated=True)
+        return left
+
+    def _parse_expression_list(self) -> Tuple[Expression, ...]:
+        self.expect_punct("(")
+        items: List[Expression] = []
+        if not self.at_punct(")"):
+            items.append(self._parse_expression())
+            while self.accept_punct(","):
+                items.append(self._parse_expression())
+        self.expect_punct(")")
+        return tuple(items)
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while self.at_punct("+", "-"):
+            op = self.next().value
+            left = BinaryExpr(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while self.at_punct("*", "/"):
+            op = self.next().value
+            left = BinaryExpr(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Expression:
+        if self.at_punct("!"):
+            self.next()
+            return UnaryExpr("!", self._parse_unary())
+        if self.at_punct("-"):
+            self.next()
+            return UnaryExpr("-", self._parse_unary())
+        if self.at_punct("+"):
+            self.next()
+            return UnaryExpr("+", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self.peek()
+        if self.at_punct("("):
+            self.next()
+            expr = self._parse_expression()
+            self.expect_punct(")")
+            return expr
+        if token.type == TokenType.VAR:
+            self.next()
+            return VarExpr(Var(token.value))
+        if token.type == TokenType.KEYWORD:
+            if token.value in _AGGREGATES:
+                return self._parse_aggregate()
+            if token.value in _BUILTIN_ARITY:
+                return self._parse_builtin()
+            if token.value in ("TRUE", "FALSE"):
+                self.next()
+                return TermExpr(
+                    Literal(token.value.lower(), datatype=XSD_BOOLEAN)
+                )
+            if token.value == "NOT":
+                self.next()
+                self.expect_keyword("EXISTS")
+                return ExistsExpr(self._parse_group_graph_pattern(), negated=True)
+            if token.value == "EXISTS":
+                self.next()
+                return ExistsExpr(self._parse_group_graph_pattern())
+            raise self.error("unexpected keyword in expression")
+        term = self._parse_term(allow_var=False)
+        if isinstance(term, BNode):
+            raise self.error("blank node not allowed in expression")
+        return TermExpr(term)  # type: ignore[arg-type]
+
+    def _parse_aggregate(self) -> AggregateExpr:
+        name = self.next().value
+        self.expect_punct("(")
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        argument: Optional[Expression]
+        if self.at_punct("*"):
+            if name != "COUNT":
+                raise self.error("only COUNT accepts *")
+            self.next()
+            argument = None
+        else:
+            argument = self._parse_expression()
+        separator = " "
+        if name == "GROUP_CONCAT" and self.accept_punct(";"):
+            self.expect_keyword("SEPARATOR")
+            self.expect_punct("=")
+            sep_token = self.next()
+            if sep_token.type != TokenType.STRING:
+                raise self.error("expected string separator", sep_token)
+            separator = sep_token.value
+        self.expect_punct(")")
+        return AggregateExpr(name, argument, distinct=distinct, separator=separator)
+
+    def _parse_builtin(self) -> FunctionCall:
+        token = self.next()
+        name = "IRI" if token.value == "URI" else token.value
+        name = "ISIRI" if name == "ISURI" else name
+        min_arity, max_arity = _BUILTIN_ARITY[token.value]
+        self.expect_punct("(")
+        args: List[Expression] = []
+        if not self.at_punct(")"):
+            args.append(self._parse_expression())
+            while self.accept_punct(","):
+                args.append(self._parse_expression())
+        self.expect_punct(")")
+        if not (min_arity <= len(args) <= max_arity):
+            raise self.error(
+                f"{token.value} expects between {min_arity} and {max_arity} "
+                f"arguments, got {len(args)}",
+                token,
+            )
+        return FunctionCall(name, tuple(args))
+
+
+def parse_query(text: str) -> Query:
+    """Parse SPARQL text into a :class:`repro.sparql.ast.Query`."""
+    return Parser(text).parse()

@@ -1,0 +1,180 @@
+"""Property-path evaluation (SPARQL 1.1 subset).
+
+Supported operators: IRI steps, inverse ``^p``, sequence ``p1/p2``,
+alternative ``p1|p2``, and the closures ``p*``, ``p+``, ``p?``.
+Closure evaluation is a breadth-first reachability search, directed by
+whichever endpoint of the pattern is bound.
+
+The entry point :func:`eval_path` yields distinct ``(subject, object)``
+pairs connected by the path, honouring optional endpoint constraints.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Optional, Set, Tuple, Union
+
+from ..rdf.graph import Graph
+from ..rdf.terms import Term, URI
+from .ast import (
+    AlternativePath,
+    InversePath,
+    PathExpr,
+    RepeatPath,
+    SequencePath,
+)
+from .errors import SparqlEvalError
+
+__all__ = ["eval_path", "path_hop"]
+
+Path = Union[URI, PathExpr]
+Pair = Tuple[Term, Term]
+
+
+def eval_path(
+    graph: Graph,
+    subject: Optional[Term],
+    path: Path,
+    object: Optional[Term],
+) -> Iterator[Pair]:
+    """Yield distinct (s, o) pairs connected by ``path``.
+
+    ``subject`` / ``object`` of None mean unconstrained; bound endpoints
+    restrict (and direct) the search.
+    """
+    seen: Set[Pair] = set()
+    for pair in _eval(graph, subject, path, object):
+        if pair not in seen:
+            seen.add(pair)
+            yield pair
+
+
+def _eval(
+    graph: Graph, subject: Optional[Term], path: Path, object: Optional[Term]
+) -> Iterator[Pair]:
+    if isinstance(path, URI):
+        source = subject if _is_node(subject) else None
+        target = object
+        for triple in graph.triples(source, path, target):
+            yield (triple.subject, triple.object)
+        return
+    if isinstance(path, InversePath):
+        for (a, b) in _eval(graph, object, path.inner, subject):
+            yield (b, a)
+        return
+    if isinstance(path, SequencePath):
+        yield from _eval_sequence(graph, subject, path.steps, object)
+        return
+    if isinstance(path, AlternativePath):
+        for choice in path.choices:
+            yield from _eval(graph, subject, choice, object)
+        return
+    if isinstance(path, RepeatPath):
+        yield from _eval_repeat(graph, subject, path, object)
+        return
+    raise SparqlEvalError(f"unsupported path expression: {path!r}")
+
+
+def _is_node(term: Optional[Term]) -> bool:
+    return term is not None
+
+
+def _eval_sequence(
+    graph: Graph,
+    subject: Optional[Term],
+    steps: Tuple[Path, ...],
+    object: Optional[Term],
+) -> Iterator[Pair]:
+    if len(steps) == 1:
+        yield from _eval(graph, subject, steps[0], object)
+        return
+    head, tail = steps[0], steps[1:]
+    # Evaluate from the bound side when possible to stay directed.
+    if subject is None and object is not None:
+        for (mid, end) in _eval_sequence(graph, None, tail, object):
+            for (start, mid2) in _eval(graph, None, head, mid):
+                del mid2
+                yield (start, end)
+        return
+    for (start, mid) in _eval(graph, subject, head, None):
+        for (_mid, end) in _eval_sequence(graph, mid, tail, object):
+            yield (start, end)
+
+
+def path_hop(graph: Graph, node: Term, path: Path, forward: bool = True) -> Set[Term]:
+    """One application of ``path`` from ``node`` (used by closures)."""
+    if forward:
+        return {target for (_s, target) in eval_path(graph, node, path, None)}
+    return {source for (source, _o) in eval_path(graph, None, path, node)}
+
+
+def _all_graph_nodes(graph: Graph) -> Set[Term]:
+    nodes: Set[Term] = set()
+    for triple in graph.triples():
+        nodes.add(triple.subject)
+        nodes.add(triple.object)
+    return nodes
+
+
+def _closure_from(
+    graph: Graph, start: Term, path: Path, include_zero: bool, max_one: bool
+) -> Iterator[Term]:
+    """Nodes reachable from ``start`` via ``path`` repetitions."""
+    if include_zero:
+        yield start
+    if max_one:
+        for target in path_hop(graph, start, path):
+            if target != start or not include_zero:
+                yield target
+        return
+    visited: Set[Term] = {start} if include_zero else set()
+    frontier = deque([start])
+    while frontier:
+        current = frontier.popleft()
+        for target in path_hop(graph, current, path):
+            if target in visited:
+                continue
+            visited.add(target)
+            frontier.append(target)
+            yield target
+
+
+def _eval_repeat(
+    graph: Graph,
+    subject: Optional[Term],
+    path: RepeatPath,
+    object: Optional[Term],
+) -> Iterator[Pair]:
+    include_zero = path.min_hops == 0
+    if subject is not None:
+        emitted_self = False
+        for target in _closure_from(
+            graph, subject, path.inner, include_zero, path.max_one
+        ):
+            if target == subject:
+                if emitted_self:
+                    continue
+                emitted_self = True
+            if object is None or object == target:
+                yield (subject, target)
+        return
+    if object is not None:
+        # Walk backwards from the object.
+        inverse = InversePath(path.inner)
+        emitted_self = False
+        for source in _closure_from(
+            graph, object, inverse, include_zero, path.max_one
+        ):
+            if source == object:
+                if emitted_self:
+                    continue
+                emitted_self = True
+            yield (source, object)
+        return
+    # Both endpoints unbound: per spec the zero-length path relates every
+    # graph node to itself; then closure from each node.
+    for node in sorted(_all_graph_nodes(graph), key=lambda term: term.sort_key()):
+        for target in _closure_from(
+            graph, node, path.inner, include_zero, path.max_one
+        ):
+            yield (node, target)

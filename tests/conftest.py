@@ -1,0 +1,98 @@
+"""Shared fixtures: datasets and endpoints reused across the suite.
+
+The synthetic DBpedia dataset is deterministic, so it is generated once
+per session; tests must not mutate it (tests that need a mutable graph
+take a copy or build their own).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    DBpediaConfig,
+    generate_dbpedia,
+    generate_lgd,
+)
+from repro.endpoint import LocalEndpoint, SimClock, SimulatedVirtuosoServer
+from repro.rdf import Graph, parse_turtle
+
+PHILOSOPHY_TTL = """
+@prefix dbo: <http://dbpedia.org/ontology/> .
+@prefix dbr: <http://dbpedia.org/resource/> .
+@prefix owl: <http://www.w3.org/2002/07/owl#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+
+dbo:Agent rdfs:subClassOf owl:Thing .
+dbo:Person rdfs:subClassOf dbo:Agent .
+dbo:Philosopher rdfs:subClassOf dbo:Person .
+dbo:Scientist rdfs:subClassOf dbo:Person .
+dbo:Place rdfs:subClassOf owl:Thing .
+
+dbr:Plato a dbo:Philosopher, dbo:Person, dbo:Agent, owl:Thing ;
+    rdfs:label "Plato"@en ;
+    dbo:birthPlace dbr:Athens ;
+    dbo:era "Ancient philosophy" .
+dbr:Aristotle a dbo:Philosopher, dbo:Person, dbo:Agent, owl:Thing ;
+    rdfs:label "Aristotle"@en ;
+    dbo:birthPlace dbr:Stagira ;
+    dbo:influencedBy dbr:Plato .
+dbr:Kant a dbo:Philosopher, dbo:Person, dbo:Agent, owl:Thing ;
+    rdfs:label "Immanuel Kant"@en ;
+    dbo:influencedBy dbr:Newton, dbr:Plato .
+dbr:Newton a dbo:Scientist, dbo:Person, dbo:Agent, owl:Thing ;
+    rdfs:label "Isaac Newton"@en ;
+    dbo:birthPlace dbr:Woolsthorpe .
+dbr:Athens a dbo:Place, owl:Thing ;
+    rdfs:label "Athens"@en .
+dbr:Stagira a dbo:Place, owl:Thing .
+dbr:Woolsthorpe a dbo:Place, owl:Thing .
+"""
+
+
+@pytest.fixture(scope="session")
+def philosophy_graph() -> Graph:
+    """A hand-written micro graph with the paper's running example."""
+    return parse_turtle(PHILOSOPHY_TTL)
+
+
+@pytest.fixture(scope="session")
+def dbpedia_config() -> DBpediaConfig:
+    return DBpediaConfig()
+
+
+@pytest.fixture(scope="session")
+def dbpedia(dbpedia_config):
+    """The synthetic DBpedia dataset at the default (test) scale."""
+    return generate_dbpedia(dbpedia_config)
+
+
+@pytest.fixture(scope="session")
+def dbpedia_graph(dbpedia) -> Graph:
+    return dbpedia.graph
+
+
+@pytest.fixture(scope="session")
+def lgd():
+    """The LinkedGeoData-like flat dataset."""
+    return generate_lgd()
+
+
+@pytest.fixture()
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture()
+def local_endpoint(dbpedia_graph, clock) -> LocalEndpoint:
+    return LocalEndpoint(dbpedia_graph, clock=clock)
+
+
+@pytest.fixture()
+def philosophy_endpoint(philosophy_graph, clock) -> LocalEndpoint:
+    return LocalEndpoint(philosophy_graph, clock=clock)
+
+
+@pytest.fixture()
+def virtuoso_server(dbpedia_graph, clock) -> SimulatedVirtuosoServer:
+    return SimulatedVirtuosoServer(dbpedia_graph, clock=clock)

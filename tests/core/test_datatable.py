@@ -1,0 +1,138 @@
+"""Unit tests for the data table (Section 3.3)."""
+
+import pytest
+
+from repro.core import (
+    DataTable,
+    MemberPattern,
+    contains_filter,
+    equals_filter,
+)
+from repro.rdf import DBO, DBR, Literal
+
+
+@pytest.fixture()
+def table(philosophy_endpoint):
+    return DataTable(
+        philosophy_endpoint, MemberPattern.of_type(DBO.term("Philosopher"))
+    )
+
+
+class TestColumns:
+    def test_add_column_fills_values(self, table):
+        table.add_column(DBO.term("birthPlace"))
+        rows = dict(table.rows())
+        assert rows[DBR.term("Plato")][DBO.term("birthPlace")] == [
+            DBR.term("Athens")
+        ]
+
+    def test_rows_include_members_without_value(self, table):
+        table.add_column(DBO.term("birthPlace"))
+        rows = dict(table.rows())
+        assert rows[DBR.term("Kant")][DBO.term("birthPlace")] == []
+
+    def test_multi_valued_cells(self, table):
+        table.add_column(DBO.term("influencedBy"))
+        rows = dict(table.rows())
+        assert len(rows[DBR.term("Kant")][DBO.term("influencedBy")]) == 2
+
+    def test_add_column_idempotent(self, table):
+        table.add_column(DBO.term("birthPlace"))
+        table.add_column(DBO.term("birthPlace"))
+        assert table.columns == [DBO.term("birthPlace")]
+
+    def test_remove_column_drops_filter(self, table):
+        table.add_column(DBO.term("birthPlace"))
+        table.set_filter(DBO.term("birthPlace"), equals_filter(DBR.term("Athens")))
+        table.remove_column(DBO.term("birthPlace"))
+        assert table.columns == []
+        assert table.filters == {}
+
+    def test_two_columns(self, table):
+        table.add_column(DBO.term("birthPlace"))
+        table.add_column(DBO.term("influencedBy"))
+        rows = dict(table.rows())
+        aristotle = rows[DBR.term("Aristotle")]
+        assert aristotle[DBO.term("birthPlace")] == [DBR.term("Stagira")]
+        assert aristotle[DBO.term("influencedBy")] == [DBR.term("Plato")]
+
+
+class TestFilters:
+    def test_equals_filter(self, table):
+        table.add_column(DBO.term("birthPlace"))
+        table.set_filter(
+            DBO.term("birthPlace"), equals_filter(DBR.term("Athens"))
+        )
+        assert table.filtered_members() == frozenset({DBR.term("Plato")})
+
+    def test_contains_filter_on_uri(self, table):
+        table.add_column(DBO.term("birthPlace"))
+        table.set_filter(DBO.term("birthPlace"), contains_filter("stagira"))
+        assert table.filtered_members() == frozenset({DBR.term("Aristotle")})
+
+    def test_contains_filter_on_literal(self, table):
+        table.add_column(DBO.term("era"))
+        table.set_filter(DBO.term("era"), contains_filter("ancient"))
+        assert table.filtered_members() == frozenset({DBR.term("Plato")})
+
+    def test_filter_on_missing_column_raises(self, table):
+        with pytest.raises(KeyError):
+            table.set_filter(DBO.term("nope"), contains_filter("x"))
+
+    def test_clear_filter(self, table):
+        table.add_column(DBO.term("birthPlace"))
+        table.set_filter(
+            DBO.term("birthPlace"), equals_filter(DBR.term("Athens"))
+        )
+        table.clear_filter(DBO.term("birthPlace"))
+        assert len(table.rows()) == 3
+
+    def test_unfiltered_rows_still_available(self, table):
+        """Applying filters leaves the pane's S unchanged (Section 3.3)."""
+        table.add_column(DBO.term("birthPlace"))
+        table.set_filter(
+            DBO.term("birthPlace"), equals_filter(DBR.term("Athens"))
+        )
+        assert len(table.rows(apply_filters=False)) == 3
+        assert len(table.rows()) == 1
+
+    def test_rows_without_value_fail_value_filters(self, table):
+        table.add_column(DBO.term("birthPlace"))
+        table.set_filter(DBO.term("birthPlace"), contains_filter(""))
+        # Kant has no birthPlace; contains("") matches any present value.
+        assert DBR.term("Kant") not in table.filtered_members()
+
+    def test_filtered_pattern_is_queryable(self, table, philosophy_endpoint):
+        table.add_column(DBO.term("birthPlace"))
+        table.set_filter(
+            DBO.term("birthPlace"), equals_filter(DBR.term("Athens"))
+        )
+        pattern = table.filtered_pattern()
+        from repro.core.queries import count_query
+
+        count = philosophy_endpoint.select(count_query(pattern)).scalar()
+        assert int(count.lexical) == 1
+
+
+class TestSparqlExposure:
+    def test_to_sparql_parses_and_runs(self, table, philosophy_endpoint):
+        table.add_column(DBO.term("birthPlace"))
+        table.add_column(DBO.term("influencedBy"))
+        result = philosophy_endpoint.select(table.to_sparql())
+        assert "col0" in result.vars and "col1" in result.vars
+
+    def test_render_contains_values(self, table):
+        table.add_column(DBO.term("birthPlace"))
+        text = table.render()
+        assert "Athens" in text
+        assert "instance" in text
+
+    def test_invalidate_refetches(self, table, philosophy_endpoint):
+        table.add_column(DBO.term("birthPlace"))
+        table.rows()
+        queries_before = len(philosophy_endpoint.query_log)
+        table.rows()  # cached
+        assert len(philosophy_endpoint.query_log) == queries_before
+        table.invalidate()
+        table.rows()
+        assert len(philosophy_endpoint.query_log) == queries_before + 1

@@ -1,0 +1,164 @@
+"""Unit tests for the endpoint-backed chart engine.
+
+The central invariant: every engine chart agrees (labels and heights)
+with the reference expansion computed directly on the graph.
+"""
+
+import pytest
+
+from repro.core import (
+    BarType,
+    ChartEngine,
+    Direction,
+    initial_chart,
+    object_expansion,
+    property_expansion,
+    root_bar,
+    subclass_expansion,
+)
+from repro.rdf import DBO, DBR, Literal, OWL
+
+THING = OWL.term("Thing")
+
+
+@pytest.fixture()
+def engine(philosophy_endpoint):
+    return ChartEngine(philosophy_endpoint, THING)
+
+
+def heights(chart):
+    return {bar.label: bar.size for bar in chart}
+
+
+class TestAgainstReference:
+    def test_root_bar_count(self, engine, philosophy_graph):
+        assert engine.root_bar().size == root_bar(philosophy_graph, THING).size
+
+    def test_initial_chart(self, engine, philosophy_graph):
+        assert heights(engine.initial_chart()) == heights(
+            initial_chart(philosophy_graph, THING)
+        )
+
+    def test_subclass_chain(self, engine, philosophy_graph):
+        chart = engine.initial_chart()
+        agent = chart[DBO.term("Agent")]
+        engine_person = engine.subclass_chart(agent)
+        reference = subclass_expansion(
+            philosophy_graph,
+            subclass_expansion(
+                philosophy_graph, root_bar(philosophy_graph, THING)
+            )[DBO.term("Agent")],
+        )
+        assert heights(engine_person) == heights(reference)
+
+    def test_property_chart_both_directions(self, engine, philosophy_graph):
+        chart = engine.initial_chart()
+        agent = chart[DBO.term("Agent")]
+        person_chart = engine.subclass_chart(agent)
+        person = person_chart[DBO.term("Person")]
+        ref_person = subclass_expansion(
+            philosophy_graph,
+            subclass_expansion(
+                philosophy_graph, root_bar(philosophy_graph, THING)
+            )[DBO.term("Agent")],
+        )[DBO.term("Person")]
+        for direction in (Direction.OUTGOING, Direction.INCOMING):
+            via_engine = engine.property_chart(person, direction)
+            via_reference = property_expansion(
+                philosophy_graph, ref_person, direction
+            )
+            assert heights(via_engine) == heights(via_reference)
+            for bar in via_engine:
+                ref_bar = via_reference[bar.label]
+                assert bar.coverage == pytest.approx(ref_bar.coverage)
+
+    def test_object_chart(self, engine, philosophy_graph):
+        person = engine.subclass_chart(
+            engine.initial_chart()[DBO.term("Agent")]
+        )[DBO.term("Person")]
+        influenced = engine.property_chart(person)[DBO.term("influencedBy")]
+        via_engine = engine.object_chart(influenced)
+        ref_person = root_bar(philosophy_graph, DBO.term("Person"))
+        ref_influenced = property_expansion(philosophy_graph, ref_person)[
+            DBO.term("influencedBy")
+        ]
+        via_reference = object_expansion(philosophy_graph, ref_influenced)
+        assert heights(via_engine) == heights(via_reference)
+
+
+class TestEngineMechanics:
+    def test_bars_carry_patterns(self, engine):
+        chart = engine.initial_chart()
+        for bar in chart:
+            assert bar.pattern is not None
+
+    def test_materialise(self, engine):
+        agent = engine.initial_chart()[DBO.term("Agent")]
+        materialised = engine.materialise(agent)
+        assert materialised.uris is not None
+        assert len(materialised.uris) == agent.size
+        assert DBR.term("Plato") in materialised.uris
+
+    def test_materialise_with_limit(self, engine):
+        agent = engine.initial_chart()[DBO.term("Agent")]
+        limited = engine.materialise(agent, limit=2)
+        assert len(limited.uris) == 2
+
+    def test_materialise_idempotent_on_materialised(self, engine):
+        agent = engine.initial_chart()[DBO.term("Agent")]
+        materialised = engine.materialise(agent)
+        assert engine.materialise(materialised) is materialised
+
+    def test_refresh_count(self, engine):
+        agent = engine.initial_chart()[DBO.term("Agent")]
+        assert engine.refresh_count(agent).size == agent.size
+
+    def test_sparql_for_is_executable(self, engine, philosophy_endpoint):
+        agent = engine.initial_chart()[DBO.term("Agent")]
+        query = engine.sparql_for(agent)
+        result = philosophy_endpoint.select(query)
+        assert len(result.rows) == agent.size
+
+    def test_bar_from_explicit_uris(self, engine, philosophy_graph):
+        from repro.core import Bar
+
+        explicit = Bar(
+            label=DBO.term("Philosopher"),
+            type=BarType.CLASS,
+            uris=frozenset({DBR.term("Plato"), DBR.term("Kant")}),
+        )
+        chart = engine.property_chart(explicit)
+        assert chart[DBO.term("influencedBy")].size == 1  # only Kant
+
+    def test_filtered_bar(self, engine):
+        person = engine.subclass_chart(
+            engine.initial_chart()[DBO.term("Agent")]
+        )[DBO.term("Person")]
+        vienna_style = engine.filtered_bar(
+            person, {DBO.term("birthPlace"): DBR.term("Athens")}
+        )
+        assert vienna_style.size == 1  # only Plato born in Athens
+
+    def test_filtered_bar_literal_value(self, engine):
+        person = engine.subclass_chart(
+            engine.initial_chart()[DBO.term("Agent")]
+        )[DBO.term("Person")]
+        filtered = engine.filtered_bar(
+            person, {DBO.term("era"): Literal("Ancient philosophy")}
+        )
+        assert filtered.size == 1  # Plato
+
+    def test_subclass_on_property_bar_rejected(self, engine):
+        person = engine.subclass_chart(
+            engine.initial_chart()[DBO.term("Agent")]
+        )[DBO.term("Person")]
+        prop = engine.property_chart(person)[DBO.term("birthPlace")]
+        with pytest.raises(ValueError):
+            engine.subclass_chart(prop)
+        with pytest.raises(ValueError):
+            engine.property_chart(prop)
+
+    def test_object_on_class_bar_rejected(self, engine):
+        agent = engine.initial_chart()[DBO.term("Agent")]
+        with pytest.raises(ValueError):
+            engine.object_chart(agent)

@@ -1,0 +1,208 @@
+"""Unit tests for the reference expansions (the paper's Section 2
+definitions, executed on the micro philosophy graph)."""
+
+import pytest
+
+from repro.core import (
+    Bar,
+    BarType,
+    Direction,
+    ExpansionError,
+    filter_expansion,
+    initial_chart,
+    object_expansion,
+    property_expansion,
+    root_bar,
+    subclass_expansion,
+)
+from repro.rdf import DBO, DBR, OWL, RDFS, URI
+
+THING = OWL.term("Thing")
+
+
+class TestRootAndInitial:
+    def test_root_bar_members(self, philosophy_graph):
+        bar = root_bar(philosophy_graph, THING)
+        assert bar.type is BarType.CLASS
+        assert bar.label == THING
+        assert bar.size == 7  # 4 persons + 3 places
+
+    def test_initial_chart_is_subclass_expansion_of_root(self, philosophy_graph):
+        chart = initial_chart(philosophy_graph, THING)
+        assert chart == subclass_expansion(
+            philosophy_graph, root_bar(philosophy_graph, THING)
+        )
+        assert {l.local_name for l in chart.labels()} == {"Agent", "Place"}
+
+    def test_rootless_class_gives_empty_root(self, philosophy_graph):
+        bar = root_bar(philosophy_graph, DBO.term("Event"))
+        assert bar.size == 0
+
+
+class TestSubclassExpansion:
+    def test_definition(self, philosophy_graph):
+        """labels(B) = subclasses of lambda; B[tau] = members of class tau."""
+        bar = root_bar(philosophy_graph, DBO.term("Person"))
+        chart = subclass_expansion(philosophy_graph, bar)
+        assert {l.local_name for l in chart.labels()} == {
+            "Philosopher",
+            "Scientist",
+        }
+        assert chart[DBO.term("Philosopher")].size == 3
+        assert chart[DBO.term("Scientist")].size == 1
+
+    def test_result_bars_are_class_bars(self, philosophy_graph):
+        chart = subclass_expansion(
+            philosophy_graph, root_bar(philosophy_graph, DBO.term("Person"))
+        )
+        assert all(b.type is BarType.CLASS for b in chart)
+
+    def test_bars_are_subsets_of_input(self, philosophy_graph):
+        bar = root_bar(philosophy_graph, DBO.term("Person"))
+        chart = subclass_expansion(philosophy_graph, bar)
+        for sub_bar in chart:
+            assert sub_bar.uris <= bar.uris
+
+    def test_narrowed_input_narrows_output(self, philosophy_graph):
+        """T consists of s IN S of class tau — not all instances of tau."""
+        narrowed = Bar(
+            label=DBO.term("Person"),
+            type=BarType.CLASS,
+            uris=frozenset({DBR.term("Plato"), DBR.term("Newton")}),
+        )
+        chart = subclass_expansion(philosophy_graph, narrowed)
+        assert chart[DBO.term("Philosopher")].uris == frozenset({DBR.term("Plato")})
+
+    def test_rejects_property_bar(self, philosophy_graph):
+        prop_bar = Bar(
+            label=DBO.term("birthPlace"),
+            type=BarType.PROPERTY,
+            uris=frozenset(),
+        )
+        with pytest.raises(ExpansionError):
+            subclass_expansion(philosophy_graph, prop_bar)
+
+    def test_rejects_unmaterialised_bar(self, philosophy_graph):
+        lazy = Bar(label=THING, type=BarType.CLASS, count=3)
+        with pytest.raises(ExpansionError):
+            subclass_expansion(philosophy_graph, lazy)
+
+
+class TestPropertyExpansion:
+    def test_outgoing_definition(self, philosophy_graph):
+        bar = root_bar(philosophy_graph, DBO.term("Philosopher"))
+        chart = property_expansion(philosophy_graph, bar)
+        names = {l.local_name for l in chart.labels()}
+        assert names == {"type", "label", "birthPlace", "era", "influencedBy"}
+        # B[pi] = members featuring pi.
+        assert chart[DBO.term("influencedBy")].uris == frozenset(
+            {DBR.term("Aristotle"), DBR.term("Kant")}
+        )
+
+    def test_coverage(self, philosophy_graph):
+        bar = root_bar(philosophy_graph, DBO.term("Philosopher"))
+        chart = property_expansion(philosophy_graph, bar)
+        assert chart[DBO.term("birthPlace")].coverage == pytest.approx(2 / 3)
+        assert chart[RDFS.term("label")].coverage == pytest.approx(1.0)
+
+    def test_incoming_definition(self, philosophy_graph):
+        bar = root_bar(philosophy_graph, DBO.term("Philosopher"))
+        chart = property_expansion(philosophy_graph, bar, Direction.INCOMING)
+        # Plato is the object of influencedBy twice.
+        assert chart[DBO.term("influencedBy")].uris == frozenset(
+            {DBR.term("Plato")}
+        )
+
+    def test_bars_are_property_type_with_direction(self, philosophy_graph):
+        bar = root_bar(philosophy_graph, DBO.term("Person"))
+        chart = property_expansion(philosophy_graph, bar, Direction.INCOMING)
+        assert all(b.type is BarType.PROPERTY for b in chart)
+        assert all(b.direction is Direction.INCOMING for b in chart)
+
+    def test_empty_set_has_empty_chart(self, philosophy_graph):
+        empty = Bar(label=THING, type=BarType.CLASS, uris=frozenset())
+        chart = property_expansion(philosophy_graph, empty)
+        assert len(chart) == 0
+
+    def test_rejects_property_bar(self, philosophy_graph):
+        prop_bar = Bar(
+            label=DBO.term("birthPlace"), type=BarType.PROPERTY, uris=frozenset()
+        )
+        with pytest.raises(ExpansionError):
+            property_expansion(philosophy_graph, prop_bar)
+
+
+class TestObjectExpansion:
+    def _influenced_by_bar(self, graph):
+        phil = root_bar(graph, DBO.term("Philosopher"))
+        return property_expansion(graph, phil)[DBO.term("influencedBy")]
+
+    def test_outgoing_definition(self, philosophy_graph):
+        """Objects connected via lambda, grouped by their class."""
+        chart = object_expansion(
+            philosophy_graph, self._influenced_by_bar(philosophy_graph)
+        )
+        names = {l.local_name for l in chart.labels()}
+        # Plato (Philosopher/Person/Agent/Thing) and Newton (Scientist/...).
+        assert "Philosopher" in names and "Scientist" in names
+        assert chart[DBO.term("Scientist")].uris == frozenset({DBR.term("Newton")})
+        assert chart[DBO.term("Person")].uris == frozenset(
+            {DBR.term("Plato"), DBR.term("Newton")}
+        )
+
+    def test_result_bars_are_class_bars(self, philosophy_graph):
+        chart = object_expansion(
+            philosophy_graph, self._influenced_by_bar(philosophy_graph)
+        )
+        assert all(b.type is BarType.CLASS for b in chart)
+
+    def test_incoming_collects_subjects(self, philosophy_graph):
+        phil = root_bar(philosophy_graph, DBO.term("Philosopher"))
+        incoming = property_expansion(
+            philosophy_graph, phil, Direction.INCOMING
+        )[DBO.term("influencedBy")]
+        chart = object_expansion(
+            philosophy_graph, incoming, Direction.INCOMING
+        )
+        # Who influenced-by-points *to* philosophers: Aristotle, Kant.
+        assert chart[DBO.term("Philosopher")].uris == frozenset(
+            {DBR.term("Aristotle"), DBR.term("Kant")}
+        )
+
+    def test_untyped_objects_excluded(self, philosophy_graph):
+        phil = root_bar(philosophy_graph, DBO.term("Philosopher"))
+        era_bar = property_expansion(philosophy_graph, phil)[DBO.term("era")]
+        chart = object_expansion(philosophy_graph, era_bar)
+        assert len(chart) == 0  # literal objects have no class
+
+    def test_rejects_class_bar(self, philosophy_graph):
+        with pytest.raises(ExpansionError):
+            object_expansion(
+                philosophy_graph, root_bar(philosophy_graph, THING)
+            )
+
+
+class TestFilterExpansion:
+    def test_condition_filter(self, philosophy_graph):
+        bar = root_bar(philosophy_graph, DBO.term("Philosopher"))
+        filtered = filter_expansion(
+            bar, lambda u: u.local_name.startswith("A")
+        )
+        assert filtered.uris == frozenset({DBR.term("Aristotle")})
+
+    def test_allowed_set_intersection(self, philosophy_graph):
+        bar = root_bar(philosophy_graph, DBO.term("Philosopher"))
+        filtered = filter_expansion(
+            bar, lambda u: True, allowed={DBR.term("Plato"), DBR.term("Newton")}
+        )
+        assert filtered.uris == frozenset({DBR.term("Plato")})
+
+    def test_original_unchanged(self, philosophy_graph):
+        bar = root_bar(philosophy_graph, DBO.term("Philosopher"))
+        filter_expansion(bar, lambda u: False)
+        assert bar.size == 3
+
+    def test_requires_materialised(self):
+        lazy = Bar(label=THING, type=BarType.CLASS, count=5)
+        with pytest.raises(ExpansionError):
+            filter_expansion(lazy, lambda u: True)

@@ -1,0 +1,146 @@
+"""Unit tests for exploration paths (formal conditions a/b/c)."""
+
+import pytest
+
+from repro.core import (
+    ChartEngine,
+    ExpansionError,
+    ExpansionKind,
+    Exploration,
+)
+from repro.rdf import DBO, DBR, OWL
+
+THING = OWL.term("Thing")
+
+
+@pytest.fixture()
+def exploration(philosophy_graph):
+    return Exploration(philosophy_graph, THING)
+
+
+class TestConstruction:
+    def test_initial_chart_is_b0(self, exploration):
+        assert exploration.length == 0
+        assert exploration.current is exploration.initial
+        assert DBO.term("Agent") in exploration.initial
+
+    def test_graph_mode_requires_root(self, philosophy_graph):
+        with pytest.raises(ValueError):
+            Exploration(philosophy_graph)
+
+    def test_engine_mode(self, philosophy_endpoint):
+        engine = ChartEngine(philosophy_endpoint, THING)
+        exploration = Exploration(engine)
+        assert DBO.term("Agent") in exploration.initial
+
+    def test_rejects_other_sources(self):
+        with pytest.raises(TypeError):
+            Exploration("not a graph")  # type: ignore[arg-type]
+
+
+class TestStepping:
+    def test_condition_a_label_must_exist(self, exploration):
+        with pytest.raises(ExpansionError):
+            exploration.step(DBO.term("Nope"), ExpansionKind.SUBCLASS)
+
+    def test_condition_b_applicability(self, exploration):
+        exploration.step(DBO.term("Agent"), ExpansionKind.SUBCLASS)
+        exploration.step(DBO.term("Person"), ExpansionKind.PROPERTY_OUT)
+        # Current chart has property bars; subclass expansion on one of
+        # them violates applicability.
+        with pytest.raises(ExpansionError):
+            exploration.step(DBO.term("birthPlace"), ExpansionKind.SUBCLASS)
+
+    def test_condition_c_chart_is_expansion_result(self, exploration, philosophy_graph):
+        from repro.core import subclass_expansion
+
+        chart = exploration.step(DBO.term("Agent"), ExpansionKind.SUBCLASS)
+        expected = subclass_expansion(
+            philosophy_graph, exploration.initial[DBO.term("Agent")]
+        )
+        assert chart == expected
+
+    def test_full_paper_path(self, exploration):
+        """Thing -> Agent -> Person -> Philosopher -> influencedBy -> objects."""
+        exploration.step(DBO.term("Agent"), ExpansionKind.SUBCLASS)
+        exploration.step(DBO.term("Person"), ExpansionKind.SUBCLASS)
+        exploration.step(DBO.term("Philosopher"), ExpansionKind.PROPERTY_OUT)
+        chart = exploration.step(
+            DBO.term("influencedBy"), ExpansionKind.OBJECT_OUT
+        )
+        assert exploration.length == 4
+        assert DBO.term("Scientist") in chart
+
+    def test_path_records_steps(self, exploration):
+        exploration.step(DBO.term("Agent"), ExpansionKind.SUBCLASS)
+        exploration.step(DBO.term("Person"), ExpansionKind.SUBCLASS)
+        assert exploration.path() == [
+            (DBO.term("Agent"), ExpansionKind.SUBCLASS),
+            (DBO.term("Person"), ExpansionKind.SUBCLASS),
+        ]
+
+    def test_incoming_expansions(self, exploration):
+        exploration.step(DBO.term("Agent"), ExpansionKind.SUBCLASS)
+        exploration.step(DBO.term("Person"), ExpansionKind.SUBCLASS)
+        chart = exploration.step(
+            DBO.term("Philosopher"), ExpansionKind.PROPERTY_IN
+        )
+        assert DBO.term("influencedBy") in chart
+
+    def test_back(self, exploration):
+        exploration.step(DBO.term("Agent"), ExpansionKind.SUBCLASS)
+        before = exploration.current
+        exploration.step(DBO.term("Person"), ExpansionKind.SUBCLASS)
+        assert exploration.back() == before
+        assert exploration.length == 1
+
+    def test_back_at_root_raises(self, exploration):
+        with pytest.raises(IndexError):
+            exploration.back()
+
+    def test_step_filter(self, exploration):
+        exploration.step(DBO.term("Agent"), ExpansionKind.SUBCLASS)
+        chart = exploration.step_filter(
+            DBO.term("Person"), lambda u: u.local_name == "Plato"
+        )
+        assert chart[DBO.term("Person")].uris == frozenset({DBR.term("Plato")})
+
+    def test_step_filter_requires_graph_mode(self, philosophy_endpoint):
+        engine = ChartEngine(philosophy_endpoint, THING)
+        exploration = Exploration(engine)
+        with pytest.raises(ExpansionError):
+            exploration.step_filter(DBO.term("Agent"), lambda u: True)
+
+
+class TestEngineAgreement:
+    def test_same_path_same_heights(self, philosophy_graph, philosophy_endpoint):
+        engine = ChartEngine(philosophy_endpoint, THING)
+        reference = Exploration(philosophy_graph, THING)
+        endpoint_backed = Exploration(engine)
+        path = [
+            (DBO.term("Agent"), ExpansionKind.SUBCLASS),
+            (DBO.term("Person"), ExpansionKind.SUBCLASS),
+            (DBO.term("Philosopher"), ExpansionKind.PROPERTY_OUT),
+            (DBO.term("influencedBy"), ExpansionKind.OBJECT_OUT),
+        ]
+        for label, kind in path:
+            ref_chart = reference.step(label, kind)
+            eng_chart = endpoint_backed.step(label, kind)
+            assert {b.label: b.size for b in ref_chart} == {
+                b.label: b.size for b in eng_chart
+            }
+
+
+class TestExpansionKind:
+    def test_directions(self):
+        assert ExpansionKind.PROPERTY_IN.direction.value == "incoming"
+        assert ExpansionKind.OBJECT_OUT.direction.value == "outgoing"
+        assert ExpansionKind.SUBCLASS.direction.value == "outgoing"
+
+    def test_applicability_table(self):
+        from repro.core import BarType
+
+        assert ExpansionKind.SUBCLASS.applicable_to(BarType.CLASS)
+        assert not ExpansionKind.SUBCLASS.applicable_to(BarType.PROPERTY)
+        assert ExpansionKind.OBJECT_IN.applicable_to(BarType.PROPERTY)
+        assert not ExpansionKind.OBJECT_IN.applicable_to(BarType.CLASS)

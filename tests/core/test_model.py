@@ -1,0 +1,142 @@
+"""Unit tests for the bar/chart formal model."""
+
+import pytest
+
+from repro.core import Bar, BarChart, BarType, Direction
+from repro.rdf import URI
+
+EX = "http://example.org/"
+
+
+def uri(name):
+    return URI(EX + name)
+
+
+def bar(name, members, type_=BarType.CLASS, coverage=None):
+    return Bar(
+        label=uri(name),
+        type=type_,
+        uris=frozenset(uri(m) for m in members),
+        coverage=coverage,
+    )
+
+
+class TestBar:
+    def test_size_from_uris(self):
+        assert bar("A", ["x", "y"]).size == 2
+
+    def test_size_from_count(self):
+        lazy = Bar(label=uri("A"), type=BarType.CLASS, count=7)
+        assert lazy.size == 7
+
+    def test_requires_uris_or_count(self):
+        with pytest.raises(ValueError):
+            Bar(label=uri("A"), type=BarType.CLASS)
+
+    def test_contains(self):
+        b = bar("A", ["x"])
+        assert uri("x") in b
+        assert uri("y") not in b
+
+    def test_contains_unmaterialised_raises(self):
+        lazy = Bar(label=uri("A"), type=BarType.CLASS, count=1)
+        with pytest.raises(ValueError):
+            uri("x") in lazy
+
+    def test_filter(self):
+        b = bar("A", ["x", "y", "z"])
+        kept = b.filter(lambda u: u.local_name != "y")
+        assert kept.size == 2
+        assert uri("y") not in kept
+        # Original untouched (bars are immutable values).
+        assert b.size == 3
+
+    def test_filter_unmaterialised_raises(self):
+        lazy = Bar(label=uri("A"), type=BarType.CLASS, count=1)
+        with pytest.raises(ValueError):
+            lazy.filter(lambda u: True)
+
+    def test_with_uris_sets_count(self):
+        lazy = Bar(label=uri("A"), type=BarType.CLASS, count=99)
+        materialised = lazy.with_uris(frozenset({uri("x")}))
+        assert materialised.size == 1
+        assert materialised.count == 1
+
+
+class TestBarChart:
+    @pytest.fixture()
+    def chart(self):
+        return BarChart(
+            [
+                bar("Small", ["a"]),
+                bar("Big", ["a", "b", "c"]),
+                bar("Mid", ["a", "b"]),
+                bar("Empty", []),
+            ]
+        )
+
+    def test_labels_sorted_by_height(self, chart):
+        assert [l.local_name for l in chart.labels()] == [
+            "Big",
+            "Mid",
+            "Small",
+            "Empty",
+        ]
+
+    def test_ties_broken_by_label(self):
+        chart = BarChart([bar("B", ["x"]), bar("A", ["y"])])
+        assert [l.local_name for l in chart.labels()] == ["A", "B"]
+
+    def test_getitem(self, chart):
+        assert chart[uri("Big")].size == 3
+        with pytest.raises(KeyError):
+            chart[uri("Nope")]
+
+    def test_get_and_contains(self, chart):
+        assert chart.get(uri("Nope")) is None
+        assert uri("Big") in chart
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            BarChart([bar("A", ["x"]), bar("A", ["y"])])
+
+    def test_top(self, chart):
+        assert [b.label.local_name for b in chart.top(2)] == ["Big", "Mid"]
+        assert chart.top(0) == []
+        with pytest.raises(ValueError):
+            chart.top(-1)
+
+    def test_nonempty(self, chart):
+        assert len(chart.nonempty()) == 3
+
+    def test_total_size(self, chart):
+        assert chart.total_size() == 6
+
+    def test_above_coverage(self):
+        chart = BarChart(
+            [
+                bar("High", ["a", "b"], BarType.PROPERTY, coverage=0.8),
+                bar("AtThreshold", ["a"], BarType.PROPERTY, coverage=0.2),
+                bar("Low", ["a"], BarType.PROPERTY, coverage=0.1),
+                bar("NoCoverage", ["a"], BarType.PROPERTY),
+            ]
+        )
+        kept = chart.above_coverage(0.2)
+        assert {b.label.local_name for b in kept} == {"High", "AtThreshold"}
+
+    def test_filter_bars(self, chart):
+        filtered = chart.filter_bars(lambda u: u.local_name == "a")
+        assert filtered[uri("Big")].size == 1
+        assert filtered[uri("Empty")].size == 0
+
+    def test_as_rows(self, chart):
+        rows = chart.as_rows()
+        assert rows[0] == (uri("Big"), 3)
+        assert len(rows) == 4
+
+    def test_equality(self, chart):
+        same = BarChart({b.label: b for b in chart.sorted_bars()})
+        assert chart == same
+
+    def test_iteration_order_matches_sorted(self, chart):
+        assert list(chart) == chart.sorted_bars()

@@ -1,0 +1,183 @@
+"""Unit tests for SPARQL generation (MemberPattern and chart queries).
+
+Every generated query must (1) parse in our engine and (2) produce the
+same answer as the corresponding reference computation — the second half
+is covered in test_engine.py and the integration suite; here we check
+composition, renaming, and the statistics queries.
+"""
+
+import pytest
+
+from repro.core import Direction, MemberPattern
+from repro.core.queries import (
+    class_count_query,
+    class_instance_count_query,
+    class_list_query,
+    count_query,
+    labels_query,
+    members_query,
+    object_chart_query,
+    property_chart_query,
+    property_values_query,
+    subclass_chart_query,
+    subclass_counts_query,
+    total_triples_query,
+)
+from repro.datasets.dbpedia import OWL_THING
+from repro.rdf import DBO, DBR, Literal
+from repro.sparql import evaluate, parse_query
+
+
+class TestMemberPattern:
+    def test_of_type_renders(self):
+        pattern = MemberPattern.of_type(OWL_THING)
+        text = pattern.render()
+        assert "?s" in text and "owl#Thing" in text
+
+    def test_and_type_composes(self):
+        pattern = MemberPattern.of_type(OWL_THING).and_type(DBO.term("Agent"))
+        assert len(pattern.lines) == 2
+
+    def test_and_property_uses_fresh_variables(self):
+        pattern = (
+            MemberPattern.of_type(OWL_THING)
+            .and_property(DBO.term("a"))
+            .and_property(DBO.term("b"))
+        )
+        text = pattern.render()
+        assert "?v0" in text and "?v1" in text
+
+    def test_and_property_incoming_reverses_edge(self):
+        pattern = MemberPattern.of_type(OWL_THING).and_property(
+            DBO.term("author"), Direction.INCOMING
+        )
+        line = pattern.lines[-1]
+        assert line.startswith("?v0")
+        assert line.rstrip(" .").endswith("{S}")
+
+    def test_reroot_renames_old_member_var(self):
+        pattern = MemberPattern.of_type(DBO.term("Philosopher")).reroot_via(
+            DBO.term("influencedBy")
+        )
+        text = pattern.render()
+        # Old member variable renamed away from ?s.
+        assert "?m0 <http://dbpedia.org/ontology/influencedBy> ?s ." in text
+        assert "?m0 <http://www.w3.org/1999/02/22-rdf-syntax-ns#type>" in text
+
+    def test_reroot_incoming(self):
+        pattern = MemberPattern.of_type(DBO.term("Philosopher")).reroot_via(
+            DBO.term("author"), Direction.INCOMING
+        )
+        assert any(
+            line.startswith("{S} <http://dbpedia.org/ontology/author>")
+            for line in pattern.lines
+        )
+
+    def test_reroot_with_type(self):
+        pattern = MemberPattern.of_type(DBO.term("Philosopher")).reroot_via(
+            DBO.term("influencedBy"), new_type=DBO.term("Scientist")
+        )
+        assert "Scientist" in pattern.render()
+
+    def test_of_values(self):
+        pattern = MemberPattern.of_values([DBR.term("Plato"), DBR.term("Kant")])
+        assert pattern.render().startswith("  VALUES ?s")
+
+    def test_and_value_literal(self):
+        pattern = MemberPattern.of_type(OWL_THING).and_value(
+            DBO.term("era"), Literal("Modern")
+        )
+        assert '"Modern"' in pattern.render()
+
+    def test_custom_member_var(self):
+        pattern = MemberPattern.of_type(OWL_THING)
+        assert "?member" in pattern.render(member_var="?member")
+
+
+ALL_QUERY_BUILDERS = [
+    lambda: members_query(MemberPattern.of_type(OWL_THING)),
+    lambda: members_query(MemberPattern.of_type(OWL_THING), limit=5),
+    lambda: count_query(MemberPattern.of_type(OWL_THING)),
+    lambda: subclass_chart_query(MemberPattern.of_type(OWL_THING), OWL_THING),
+    lambda: property_chart_query(MemberPattern.of_type(OWL_THING)),
+    lambda: property_chart_query(
+        MemberPattern.of_type(OWL_THING), Direction.INCOMING
+    ),
+    lambda: object_chart_query(
+        MemberPattern.of_type(DBO.term("Philosopher")),
+        DBO.term("influencedBy"),
+    ),
+    lambda: object_chart_query(
+        MemberPattern.of_type(DBO.term("Philosopher")),
+        DBO.term("author"),
+        Direction.INCOMING,
+    ),
+    lambda: total_triples_query(),
+    lambda: class_count_query(),
+    lambda: class_list_query(),
+    lambda: class_instance_count_query(DBO.term("Person")),
+    lambda: subclass_counts_query(DBO.term("Agent")),
+    lambda: labels_query([DBR.term("Plato"), DBR.term("Kant")]),
+    lambda: property_values_query(
+        MemberPattern.of_type(DBO.term("Philosopher")),
+        [DBO.term("birthPlace"), DBO.term("influencedBy")],
+        limit=10,
+    ),
+]
+
+
+class TestGeneratedQueriesParse:
+    @pytest.mark.parametrize("builder", ALL_QUERY_BUILDERS)
+    def test_parses(self, builder):
+        parse_query(builder())
+
+    @pytest.mark.parametrize("builder", ALL_QUERY_BUILDERS)
+    def test_evaluates_without_error(self, builder, philosophy_graph):
+        evaluate(philosophy_graph, builder())
+
+
+class TestQuerySemantics:
+    def test_count_query_counts_members(self, philosophy_graph):
+        result = evaluate(
+            philosophy_graph,
+            count_query(MemberPattern.of_type(DBO.term("Philosopher"))),
+        )
+        assert int(result.scalar().lexical) == 3
+
+    def test_members_query_distinct(self, philosophy_graph):
+        pattern = MemberPattern.of_type(OWL_THING).and_type(DBO.term("Person"))
+        result = evaluate(philosophy_graph, members_query(pattern))
+        values = [t.value for t in result.column("s")]
+        assert len(values) == len(set(values)) == 4
+
+    def test_subclass_chart_includes_empty_subclasses(self, philosophy_graph):
+        result = evaluate(
+            philosophy_graph,
+            subclass_chart_query(
+                MemberPattern.of_type(DBO.term("Person")), DBO.term("Person")
+            ),
+        )
+        counts = {
+            row["sub"].local_name: int(row["count"].lexical)
+            for row in result.rows
+        }
+        assert counts == {"Philosopher": 3, "Scientist": 1}
+
+    def test_total_triples(self, philosophy_graph):
+        result = evaluate(philosophy_graph, total_triples_query())
+        assert int(result.scalar().lexical) == len(philosophy_graph)
+
+    def test_labels_query(self, philosophy_graph):
+        result = evaluate(
+            philosophy_graph, labels_query([DBR.term("Plato")])
+        )
+        assert result.rows[0]["label"].lexical == "Plato"
+
+    def test_property_values_query_rows(self, philosophy_graph):
+        query = property_values_query(
+            MemberPattern.of_type(DBO.term("Philosopher")),
+            [DBO.term("birthPlace")],
+        )
+        result = evaluate(philosophy_graph, query)
+        subjects = {t.local_name for t in result.column("s")}
+        assert subjects == {"Plato", "Aristotle", "Kant"}  # OPTIONAL keeps Kant

@@ -1,0 +1,142 @@
+"""Unit tests for the statistics service and class autocomplete."""
+
+import pytest
+
+from repro.core import ClassSearchIndex, StatisticsService
+from repro.rdf import DBO, OWL, URI
+
+THING = OWL.term("Thing")
+
+
+@pytest.fixture()
+def stats(philosophy_endpoint):
+    return StatisticsService(philosophy_endpoint)
+
+
+class TestDatasetStatistics:
+    def test_totals(self, stats, philosophy_graph):
+        ds = stats.dataset_statistics()
+        assert ds.total_triples == len(philosophy_graph)
+        # The micro graph declares no owl:Class subjects.
+        assert ds.class_count == 0
+
+    def test_dbpedia_class_count(self, local_endpoint, dbpedia):
+        service = StatisticsService(local_endpoint)
+        ds = service.dataset_statistics()
+        # Every declared class except the undeclared root bookkeeping.
+        assert ds.class_count >= 330
+        assert ds.total_triples == len(dbpedia.graph)
+
+
+class TestClassStatistics:
+    def test_subclass_counts(self, stats):
+        person = stats.class_statistics(DBO.term("Person"))
+        assert person.instance_count == 4
+        assert person.direct_subclasses == 2
+        assert person.total_subclasses == 2
+
+    def test_indirect_subclasses(self, stats):
+        thing = stats.class_statistics(THING)
+        assert thing.direct_subclasses == 2  # Agent, Place
+        assert thing.total_subclasses == 5
+
+    def test_summary_text(self, stats):
+        text = stats.class_statistics(DBO.term("Person")).summary()
+        assert "Person" in text and "2 direct" in text
+
+    def test_cache_hit_avoids_queries(self, stats, philosophy_endpoint):
+        stats.direct_subclasses(THING)
+        queries_after_first = len(philosophy_endpoint.query_log)
+        stats.direct_subclasses(THING)
+        assert len(philosophy_endpoint.query_log) == queries_after_first
+
+    def test_cache_invalidated_by_version(self, philosophy_graph):
+        from repro.endpoint import LocalEndpoint
+
+        graph = philosophy_graph.copy()
+        endpoint = LocalEndpoint(graph)
+        service = StatisticsService(endpoint)
+        assert len(service.direct_subclasses(THING)) == 2
+        graph.add(
+            DBO.term("Idea"),
+            URI("http://www.w3.org/2000/01/rdf-schema#subClassOf"),
+            THING,
+        )
+        assert len(service.direct_subclasses(THING)) == 3
+
+
+class TestSearchIndex:
+    @pytest.fixture()
+    def index(self, local_endpoint):
+        return ClassSearchIndex.build(local_endpoint)
+
+    def test_builds_from_declared_classes(self, index):
+        assert len(index) >= 330
+        assert DBO.term("Philosopher") in index
+
+    def test_complete_prefix(self, index):
+        matches = index.complete("Philo")
+        assert any(e.cls == DBO.term("Philosopher") for e in matches)
+
+    def test_complete_case_insensitive(self, index):
+        assert index.complete("philo") == index.complete("PHILO")
+
+    def test_complete_ranked_by_instance_count(self, index):
+        matches = index.complete("A", limit=50)
+        counts = [e.instance_count for e in matches]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_complete_empty_prefix_returns_top(self, index):
+        top = index.complete("", limit=3)
+        assert len(top) == 3
+        # The biggest class first.
+        assert top[0].instance_count >= top[1].instance_count
+
+    def test_complete_limit(self, index):
+        assert len(index.complete("A", limit=2)) == 2
+        assert index.complete("A", limit=0) == []
+
+    def test_search_substring(self, index):
+        matches = index.search("osopher")
+        assert any(e.cls == DBO.term("Philosopher") for e in matches)
+        assert index.complete("osopher") == []  # prefix-only
+
+    def test_entry_lookup(self, index):
+        entry = index.entry(DBO.term("Philosopher"))
+        assert entry is not None
+        assert entry.instance_count == 40
+        assert "40" in str(entry)
+
+    def test_no_match(self, index):
+        assert index.complete("Zzzz") == []
+        assert index.entry(DBO.term("Zzzz")) is None
+
+    def test_build_without_counts_is_cheaper(self, local_endpoint):
+        baseline = len(local_endpoint.query_log)
+        ClassSearchIndex.build(local_endpoint, with_counts=False)
+        cheap_queries = len(local_endpoint.query_log) - baseline
+        assert cheap_queries == 1  # just the class list
+
+
+class TestSubclassClosurePath:
+    """The path-based closure agrees with the iterative drill-down."""
+
+    def test_agreement_micro(self, stats):
+        from repro.rdf import OWL
+
+        thing = OWL.term("Thing")
+        assert stats.all_subclasses(thing) == stats.all_subclasses_iterative(thing)
+
+    def test_agreement_dbpedia(self, local_endpoint, dbpedia):
+        service = StatisticsService(local_endpoint)
+        agent = dbpedia.facts["agent"]
+        via_path = service.all_subclasses(agent)
+        via_iteration = service.all_subclasses_iterative(agent)
+        assert via_path == via_iteration
+        assert len(via_path) == 277
+
+    def test_path_uses_single_query(self, local_endpoint, dbpedia):
+        service = StatisticsService(local_endpoint)
+        before = len(local_endpoint.query_log)
+        service.all_subclasses(dbpedia.facts["agent"])
+        assert len(local_endpoint.query_log) - before == 1

@@ -1,0 +1,157 @@
+"""Tests for the synthetic dataset generators (DBpedia-like and
+LinkedGeoData-like) including determinism and the scale knob."""
+
+import pytest
+
+from repro.datasets import (
+    DBpediaConfig,
+    generate_dbpedia,
+    generate_lgd,
+    inject_birthplace_errors,
+    planted_errors,
+    recommended_scale,
+)
+from repro.datasets.dbpedia import OWL_THING
+from repro.rdf import OWL, RDF, RDFS
+
+
+class TestDBpediaGenerator:
+    def test_deterministic(self, dbpedia_config):
+        a = generate_dbpedia(dbpedia_config)
+        b = generate_dbpedia(dbpedia_config)
+        assert set(a.graph) == set(b.graph)
+
+    def test_different_seeds_differ(self):
+        a = generate_dbpedia(DBpediaConfig(seed=1))
+        b = generate_dbpedia(DBpediaConfig(seed=2))
+        assert set(a.graph) != set(b.graph)
+
+    def test_root_is_owl_thing(self, dbpedia):
+        assert dbpedia.facts["thing"] == OWL_THING
+        assert OWL_THING == OWL.term("Thing")
+
+    def test_scale_changes_size(self, dbpedia_config, dbpedia):
+        bigger = generate_dbpedia(DBpediaConfig(scale=dbpedia_config.scale * 2))
+        assert len(bigger.graph) > len(dbpedia.graph)
+
+    def test_scaled_counts_follow_paper_numbers(self):
+        config = DBpediaConfig(scale=0.001)
+        dataset = generate_dbpedia(config)
+        politician = dataset.facts["politician"]
+        assert dataset.instance_count(politician) == round(40_000 * 0.001)
+
+    def test_recommended_scale_inverse_of_config_scale(self):
+        small = DBpediaConfig(scale=0.0001)
+        large = DBpediaConfig(scale=0.001)
+        assert recommended_scale(small) > recommended_scale(large)
+
+    def test_type_chains_materialised(self, dbpedia, dbpedia_graph):
+        philosopher = dbpedia.facts["philosopher"]
+        person = dbpedia.facts["person"]
+        agent = dbpedia.facts["agent"]
+        rdf_type = RDF.term("type")
+        for instance in list(dbpedia.instances_of[philosopher])[:5]:
+            for cls in (philosopher, person, agent, OWL_THING):
+                assert (instance, rdf_type, cls) in dbpedia_graph
+
+    def test_every_class_declared_and_labelled(self, dbpedia, dbpedia_graph):
+        rdf_type = RDF.term("type")
+        owl_class = OWL.term("Class")
+        for cls in dbpedia.children[dbpedia.facts["thing"]]:
+            assert (cls, rdf_type, owl_class) in dbpedia_graph
+            assert any(dbpedia_graph.objects(cls, RDFS.term("label")))
+
+    def test_place_is_largest_agent_second(self, dbpedia):
+        thing = dbpedia.facts["thing"]
+        top = sorted(
+            dbpedia.children[thing],
+            key=lambda cls: -dbpedia.instance_count(cls),
+        )
+        assert top[0] == dbpedia.facts["place"]
+        assert top[1] == dbpedia.facts["agent"]
+
+    def test_vienna_born_philosophers_exist(self, dbpedia, dbpedia_graph):
+        from repro.rdf import DBO
+
+        vienna = dbpedia.facts["vienna"]
+        born = set(
+            dbpedia_graph.subjects(DBO.term("birthPlace"), vienna)
+        )
+        assert set(dbpedia.facts["vienna_born"]) <= born
+
+    def test_influencer_targets_include_scientists(self, dbpedia):
+        scientist = dbpedia.facts["scientist"]
+        targets = set(dbpedia.facts["influencer_targets"])
+        assert targets & dbpedia.instances_of[scientist]
+
+    def test_ground_truth_instance_sets_match_graph(self, dbpedia, dbpedia_graph):
+        rdf_type = RDF.term("type")
+        philosopher = dbpedia.facts["philosopher"]
+        from_graph = set(dbpedia_graph.subjects(rdf_type, philosopher))
+        assert from_graph == dbpedia.instances_of[philosopher]
+
+
+class TestLGDGenerator:
+    def test_no_root_class(self, lgd):
+        rdf_type = RDF.term("type")
+        assert not list(lgd.graph.subjects(rdf_type, OWL_THING))
+
+    def test_no_hierarchy(self, lgd):
+        assert not list(
+            lgd.graph.triples(None, RDFS.term("subClassOf"), None)
+        )
+
+    def test_classes_declared(self, lgd):
+        rdf_type = RDF.term("type")
+        declared = set(lgd.graph.subjects(rdf_type, OWL.term("Class")))
+        assert set(lgd.facts["classes"]) == declared
+
+    def test_every_feature_has_coordinates(self, lgd):
+        from repro.datasets import LGDO
+
+        for cls in lgd.facts["classes"]:
+            for instance in lgd.instances_of.get(cls, ()):
+                assert any(lgd.graph.objects(instance, LGDO.term("lat")))
+                assert any(lgd.graph.objects(instance, LGDO.term("long")))
+
+    def test_zipf_spread(self, lgd):
+        counts = sorted(
+            (lgd.instance_count(cls) for cls in lgd.facts["classes"]),
+            reverse=True,
+        )
+        assert counts[0] > counts[-1]
+
+    def test_deterministic(self):
+        assert set(generate_lgd().graph) == set(generate_lgd().graph)
+
+
+class TestErrorInjection:
+    def test_plants_exact_count(self, dbpedia_config):
+        dataset = generate_dbpedia(dbpedia_config)
+        planted = inject_birthplace_errors(dataset, count=4)
+        assert len(planted) == 4
+        from repro.rdf import DBO
+
+        for person, food in planted:
+            assert (person, DBO.term("birthPlace"), food) in dataset.graph
+        assert planted_errors(dataset) == planted
+
+    def test_objects_are_foods(self, dbpedia_config):
+        dataset = generate_dbpedia(dbpedia_config)
+        food = dataset.facts["food"]
+        for _person, planted_food in inject_birthplace_errors(dataset, count=3):
+            assert planted_food in dataset.instances_of[food]
+
+    def test_rejects_zero_count(self, dbpedia_config):
+        dataset = generate_dbpedia(dbpedia_config)
+        with pytest.raises(ValueError):
+            inject_birthplace_errors(dataset, count=0)
+
+    def test_accumulates(self, dbpedia_config):
+        dataset = generate_dbpedia(dbpedia_config)
+        inject_birthplace_errors(dataset, count=2)
+        inject_birthplace_errors(dataset, count=3)
+        assert len(planted_errors(dataset)) == 5
+
+    def test_no_errors_initially(self, dbpedia):
+        assert planted_errors(dbpedia) == []

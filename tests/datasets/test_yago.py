@@ -1,0 +1,98 @@
+"""Tests for the YAGO-like dataset and its eLinda interplay (rdfs:Class
+declarations, deep chains, multilingual labels)."""
+
+import pytest
+
+from repro.core import ClassSearchIndex, StatisticsService
+from repro.datasets import SCHEMA, YagoConfig, generate_yago
+from repro.endpoint import LocalEndpoint
+from repro.explorer import ExplorerSession, SettingsForm
+from repro.rdf import OWL, RDF, RDFS
+
+
+@pytest.fixture(scope="module")
+def yago():
+    return generate_yago()
+
+
+@pytest.fixture()
+def yago_endpoint(yago):
+    return LocalEndpoint(yago.graph)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        assert set(generate_yago().graph) == set(generate_yago().graph)
+
+    def test_classes_declared_rdfs_not_owl(self, yago):
+        rdf_type = RDF.term("type")
+        rdfs_class = RDFS.term("Class")
+        owl_class = OWL.term("Class")
+        declared = set(yago.graph.subjects(rdf_type, rdfs_class))
+        assert yago.facts["root"] in declared
+        assert not list(yago.graph.subjects(rdf_type, owl_class))
+
+    def test_deep_chains_materialised(self, yago):
+        """Instances of the deepest leaves are typed all the way up."""
+        classes = yago.facts["classes"]
+        astro = classes["Astrophysicist"]
+        root = yago.facts["root"]
+        members = yago.instances_of.get(astro, set())
+        assert members
+        for instance in list(members)[:3]:
+            for ancestor in ("Physicist", "Scientist", "Person"):
+                assert instance in yago.instances_of[classes[ancestor]]
+            assert instance in yago.instances_of[root]
+
+    def test_multilingual_labels(self, yago):
+        classes = yago.facts["classes"]
+        labels = list(yago.graph.objects(classes["Movie"], RDFS.term("label")))
+        languages = {l.language for l in labels}
+        assert len(languages) == YagoConfig().languages
+
+    def test_instance_total(self, yago):
+        root = yago.facts["root"]
+        assert yago.instance_count(root) >= YagoConfig().total_instances
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            YagoConfig(languages=0)
+
+
+class TestElindaOverYago:
+    def test_autocomplete_finds_rdfs_classes(self, yago_endpoint):
+        """Section 3.2: the search list collects owl:Class *or*
+        rdfs:Class subjects."""
+        index = ClassSearchIndex.build(yago_endpoint)
+        matches = index.complete("Astro")
+        assert any(e.cls == SCHEMA.term("Astrophysicist") for e in matches)
+
+    def test_session_over_schema_thing(self, yago, yago_endpoint):
+        settings = SettingsForm(root_class=yago.facts["root"])
+        session = ExplorerSession(yago_endpoint, settings=settings)
+        chart = session.current_pane.subclass_chart()
+        labels = {bar.label.local_name for bar in chart}
+        assert "Person" in labels and "Place" in labels
+
+    def test_deep_drilldown(self, yago, yago_endpoint):
+        settings = SettingsForm(root_class=yago.facts["root"])
+        session = ExplorerSession(yago_endpoint, settings=settings)
+        pane = session.current_pane
+        for name in ("Person", "Scientist", "Physicist", "Astrophysicist"):
+            pane = session.open_subclass_pane(pane, SCHEMA.term(name))
+        assert pane.instance_count == yago.instance_count(
+            SCHEMA.term("Astrophysicist")
+        )
+        assert pane.trail.depth == 5
+
+    def test_closure_matches_ground_truth(self, yago, yago_endpoint):
+        service = StatisticsService(yago_endpoint)
+        root = yago.facts["root"]
+        assert service.all_subclasses(root) == yago.subclasses_of(root)
+
+    def test_dataset_statistics(self, yago, yago_endpoint):
+        service = StatisticsService(yago_endpoint)
+        stats = service.dataset_statistics()
+        assert stats.total_triples == len(yago.graph)
+        # All declared classes found via the rdfs:Class UNION branch.
+        assert stats.class_count == len(yago.facts["classes"])

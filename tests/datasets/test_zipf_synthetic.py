@@ -1,0 +1,154 @@
+"""Unit tests for the Zipf helpers and the ontology builder."""
+
+import random
+
+import pytest
+
+from repro.datasets import OntologyBuilder, allocate_zipf, pick_weighted, zipf_weights
+from repro.rdf import Namespace, RDF, RDFS, OWL, URI
+
+
+class TestZipf:
+    def test_weights_sum_to_one(self):
+        weights = zipf_weights(10)
+        assert sum(weights) == pytest.approx(1.0)
+
+    def test_weights_decrease(self):
+        weights = zipf_weights(10, 1.2)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_zero_count(self):
+        assert zipf_weights(0) == []
+        assert allocate_zipf(100, 0) == []
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_weights(5, -1)
+
+    def test_allocation_sums_to_total(self):
+        shares = allocate_zipf(1000, 7, 1.1)
+        assert sum(shares) == 1000
+        assert shares[0] >= shares[-1]
+
+    def test_allocation_small_total(self):
+        shares = allocate_zipf(3, 10)
+        assert sum(shares) == 3
+
+    def test_pick_weighted_deterministic_with_seed(self):
+        rng1, rng2 = random.Random(1), random.Random(1)
+        items = ["a", "b", "c"]
+        weights = [0.5, 0.3, 0.2]
+        picks1 = [pick_weighted(rng1, items, weights) for _ in range(20)]
+        picks2 = [pick_weighted(rng2, items, weights) for _ in range(20)]
+        assert picks1 == picks2
+
+    def test_pick_weighted_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pick_weighted(random.Random(), ["a"], [0.5, 0.5])
+
+
+class TestOntologyBuilder:
+    @pytest.fixture()
+    def builder(self):
+        return OntologyBuilder(
+            Namespace("http://onto/"), Namespace("http://res/"), seed=1
+        )
+
+    def test_add_class_declares(self, builder):
+        cls = builder.add_class("Animal")
+        assert (cls, RDF.term("type"), OWL.term("Class")) in builder.graph
+        labels = list(builder.graph.objects(cls, RDFS.term("label")))
+        assert labels[0].lexical == "animal"
+
+    def test_camel_case_label(self, builder):
+        cls = builder.add_class("BigAnimal")
+        label = next(builder.graph.objects(cls, RDFS.term("label")))
+        assert label.lexical == "big animal"
+
+    def test_subclass_link(self, builder):
+        animal = builder.add_class("Animal")
+        dog = builder.add_class("Dog", parent=animal)
+        assert (dog, RDFS.term("subClassOf"), animal) in builder.graph
+        assert builder.ancestors(dog) == [animal]
+
+    def test_duplicate_class_rejected(self, builder):
+        builder.add_class("Animal")
+        with pytest.raises(ValueError):
+            builder.add_class("Animal")
+
+    def test_unknown_parent_rejected(self, builder):
+        with pytest.raises(ValueError):
+            builder.add_class("Dog", parent=URI("http://onto/Nope"))
+
+    def test_custom_uri(self, builder):
+        root = builder.add_class("Thing", uri=OWL.term("Thing"))
+        assert root == OWL.term("Thing")
+
+    def test_instances_materialise_chain(self, builder):
+        animal = builder.add_class("Animal")
+        dog = builder.add_class("Dog", parent=animal)
+        instances = builder.add_instances(dog, 3)
+        assert len(instances) == 3
+        for instance in instances:
+            assert (instance, RDF.term("type"), dog) in builder.graph
+            assert (instance, RDF.term("type"), animal) in builder.graph
+        assert builder.instances_of[animal] == set(instances)
+
+    def test_instances_without_chain(self, builder):
+        animal = builder.add_class("Animal")
+        dog = builder.add_class("Dog", parent=animal)
+        (instance,) = builder.add_instances(dog, 1, materialise_chain=False)
+        assert (instance, RDF.term("type"), animal) not in builder.graph
+
+    def test_cover_with_property_exact_coverage(self, builder):
+        cls = builder.add_class("Animal")
+        instances = builder.add_instances(cls, 100)
+        prop, covered = builder.cover_with_property(instances, "legs", 0.25)
+        assert len(covered) == 25
+        assert builder.graph.count(None, prop, None) == 25
+
+    def test_cover_with_objects_and_fanout(self, builder):
+        cls = builder.add_class("Animal")
+        instances = builder.add_instances(cls, 10)
+        targets = builder.add_instances(cls, 5)
+        prop, covered = builder.cover_with_property(
+            instances, "friend", 1.0, objects=targets, fanout=2
+        )
+        # Values drawn from targets; fanout may dedupe but >= 1 per member.
+        assert builder.graph.count(None, prop, None) >= len(instances)
+        for triple in builder.graph.triples(None, prop, None):
+            assert triple.object in set(targets)
+
+    def test_cover_invalid_coverage(self, builder):
+        cls = builder.add_class("Animal")
+        instances = builder.add_instances(cls, 5)
+        with pytest.raises(ValueError):
+            builder.cover_with_property(instances, "p", 1.5)
+
+    def test_build_snapshot(self, builder):
+        animal = builder.add_class("Animal")
+        builder.add_instances(animal, 2)
+        dataset = builder.build(facts={"root": animal})
+        assert dataset.instance_count(animal) == 2
+        assert dataset.facts["root"] == animal
+        assert dataset.primary_instance_counts[animal] == 2
+
+    def test_subclasses_of(self, builder):
+        a = builder.add_class("A")
+        b = builder.add_class("B", parent=a)
+        c = builder.add_class("C", parent=b)
+        dataset = builder.build()
+        assert dataset.subclasses_of(a) == {b, c}
+        assert dataset.subclasses_of(a, transitive=False) == {b}
+
+    def test_determinism(self):
+        def make():
+            builder = OntologyBuilder(
+                Namespace("http://onto/"), Namespace("http://res/"), seed=99
+            )
+            cls = builder.add_class("Animal")
+            instances = builder.add_instances(cls, 50)
+            builder.cover_with_property(instances, "legs", 0.4)
+            return set(builder.graph)
+
+        assert make() == make()

@@ -1,0 +1,82 @@
+"""Unit tests for the simulated clock and cost model."""
+
+import pytest
+
+from repro.endpoint import (
+    CostModel,
+    DECOMPOSER_PROFILE,
+    HVS_PROFILE,
+    LOCAL_PROFILE,
+    REMOTE_VIRTUOSO_PROFILE,
+    SimClock,
+)
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_ms == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(10.5)
+        clock.advance(4.5)
+        assert clock.now_ms == 15.0
+
+    def test_cannot_go_backwards(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_cannot_start_negative(self):
+        with pytest.raises(ValueError):
+            SimClock(-5)
+
+    def test_measure_span(self):
+        clock = SimClock()
+        with clock.measure() as span:
+            clock.advance(7)
+            clock.advance(3)
+        assert span.elapsed_ms == 10.0
+
+
+class TestCostModel:
+    def test_simulate_is_linear(self):
+        model = CostModel(
+            name="t",
+            network_latency_ms=1.0,
+            parse_overhead_ms=2.0,
+            per_scan_ms=0.5,
+            per_binding_ms=0.1,
+            per_result_ms=0.2,
+        )
+        assert model.simulate_ms(10, pattern_scans=4, result_rows=5) == (
+            1.0 + 2.0 + 2.0 + 1.0 + 1.0
+        )
+
+    def test_scale_multiplies_binding_term_only(self):
+        model = CostModel(name="t", per_binding_ms=1.0, per_result_ms=1.0)
+        base = model.simulate_ms(10, result_rows=10)
+        scaled = model.scaled(10).simulate_ms(10, result_rows=10)
+        assert base == 20.0
+        assert scaled == 110.0
+
+    def test_scaled_preserves_other_fields(self):
+        scaled = REMOTE_VIRTUOSO_PROFILE.scaled(100)
+        assert scaled.network_latency_ms == REMOTE_VIRTUOSO_PROFILE.network_latency_ms
+        assert scaled.name == REMOTE_VIRTUOSO_PROFILE.name
+        assert scaled.scale == 100
+
+    def test_profiles_have_expected_ordering_per_binding_work(self):
+        """The architectural asymmetry: only join-executing profiles pay
+        per-binding; index/cache profiles pay per result or probe."""
+        assert LOCAL_PROFILE.per_binding_ms > 0
+        assert REMOTE_VIRTUOSO_PROFILE.per_binding_ms > 0
+        assert DECOMPOSER_PROFILE.per_binding_ms == 0
+        assert HVS_PROFILE.per_binding_ms == 0
+
+    def test_remote_has_network_latency(self):
+        assert REMOTE_VIRTUOSO_PROFILE.network_latency_ms > LOCAL_PROFILE.network_latency_ms
+
+    def test_hvs_is_constant_dominated(self):
+        small = HVS_PROFILE.simulate_ms(0, result_rows=1)
+        large = HVS_PROFILE.simulate_ms(0, result_rows=2000)
+        assert large < small * 1.1  # nearly flat in result size

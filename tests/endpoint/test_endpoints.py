@@ -1,0 +1,136 @@
+"""Unit tests for the local endpoint, the simulated Virtuoso server, and
+the HTTP/JSON wire."""
+
+import pytest
+
+from repro.endpoint import (
+    LocalEndpoint,
+    RemoteEndpoint,
+    SimClock,
+    SimulatedVirtuosoServer,
+    decode_response,
+    encode_request,
+)
+from repro.rdf import URI
+from repro.sparql import SparqlError
+from repro.sparql.results import SelectResult
+
+P = "PREFIX dbo: <http://dbpedia.org/ontology/>\n"
+COUNT_ALL = "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }"
+
+
+class TestLocalEndpoint:
+    def test_select(self, philosophy_endpoint, philosophy_graph):
+        result = philosophy_endpoint.select(COUNT_ALL)
+        assert int(result.scalar().lexical) == len(philosophy_graph)
+
+    def test_ask(self, philosophy_endpoint):
+        assert philosophy_endpoint.ask(P + "ASK { ?s a dbo:Philosopher }")
+        assert not philosophy_endpoint.ask(P + "ASK { ?s a dbo:Event }")
+
+    def test_select_on_ask_raises(self, philosophy_endpoint):
+        with pytest.raises(TypeError):
+            philosophy_endpoint.select(P + "ASK { ?s ?p ?o }")
+
+    def test_ask_on_select_raises(self, philosophy_endpoint):
+        with pytest.raises(TypeError):
+            philosophy_endpoint.ask(COUNT_ALL)
+
+    def test_advances_clock(self, philosophy_graph):
+        clock = SimClock()
+        endpoint = LocalEndpoint(philosophy_graph, clock=clock)
+        endpoint.select(COUNT_ALL)
+        assert clock.now_ms > 0
+
+    def test_response_carries_stats_and_source(self, philosophy_endpoint):
+        response = philosophy_endpoint.query(COUNT_ALL)
+        assert response.source == "local"
+        assert response.stats is not None
+        assert response.stats.intermediate_bindings > 0
+        assert response.elapsed_ms > 0
+
+    def test_query_log(self, philosophy_endpoint):
+        philosophy_endpoint.select(COUNT_ALL)
+        philosophy_endpoint.select(COUNT_ALL)
+        assert len(philosophy_endpoint.query_log) == 2
+        assert philosophy_endpoint.query_log[0].result_rows == 1
+
+    def test_dataset_version_tracks_graph(self, philosophy_graph):
+        endpoint = LocalEndpoint(philosophy_graph.copy())
+        before = endpoint.dataset_version
+        endpoint.graph.add(
+            URI("http://x"), URI("http://y"), URI("http://z")
+        )
+        assert endpoint.dataset_version > before
+
+
+class TestWire:
+    def test_request_fields(self):
+        request = encode_request("http://srv/sparql", "ASK { ?s ?p ?o }")
+        assert request.endpoint_url == "http://srv/sparql"
+        assert "sparql-results+json" in request.accept
+
+    def test_decode_rejects_error_status(self):
+        from repro.endpoint.wire import SparqlHttpResponse
+
+        response = SparqlHttpResponse(status=500, body="boom", content_type="text/plain")
+        with pytest.raises(SparqlError):
+            decode_response(response)
+
+    def test_decode_rejects_wrong_content_type(self):
+        from repro.endpoint.wire import SparqlHttpResponse
+
+        response = SparqlHttpResponse(status=200, body="{}", content_type="text/html")
+        with pytest.raises(SparqlError):
+            decode_response(response)
+
+
+class TestSimulatedVirtuoso:
+    def test_end_to_end_query(self, virtuoso_server, dbpedia_graph):
+        remote = RemoteEndpoint(virtuoso_server)
+        result = remote.select(COUNT_ALL)
+        assert int(result.scalar().lexical) == len(dbpedia_graph)
+
+    def test_results_pass_through_json(self, virtuoso_server):
+        remote = RemoteEndpoint(virtuoso_server)
+        result = remote.select(
+            P + "SELECT ?s WHERE { ?s a dbo:Philosopher } LIMIT 3"
+        )
+        assert isinstance(result, SelectResult)
+        # Terms were rebuilt from JSON, still usable URIs.
+        assert all(term.value.startswith("http") for term in result.column("s"))
+
+    def test_wrong_url_is_404(self, virtuoso_server):
+        request = encode_request("http://other/sparql", COUNT_ALL)
+        response = virtuoso_server.handle(request)
+        assert response.status == 404
+
+    def test_syntax_error_is_http_error(self, virtuoso_server):
+        request = encode_request(virtuoso_server.url, "SELEKT broken")
+        response = virtuoso_server.handle(request)
+        assert response.status == 400
+        remote = RemoteEndpoint(virtuoso_server)
+        with pytest.raises(SparqlError):
+            remote.query("SELEKT broken")
+
+    def test_server_counts_requests(self, virtuoso_server):
+        remote = RemoteEndpoint(virtuoso_server)
+        remote.query(COUNT_ALL)
+        remote.query(COUNT_ALL)
+        assert virtuoso_server.requests_served == 2
+
+    def test_remote_is_slower_than_local(self, dbpedia_graph):
+        query = (
+            P + "PREFIX owl: <http://www.w3.org/2002/07/owl#>\n"
+            "SELECT ?s WHERE { ?s a owl:Thing } LIMIT 10"
+        )
+        local = LocalEndpoint(dbpedia_graph, clock=SimClock())
+        server = SimulatedVirtuosoServer(dbpedia_graph, clock=SimClock())
+        remote = RemoteEndpoint(server)
+        assert remote.query(query).elapsed_ms > local.query(query).elapsed_ms
+
+    def test_remote_exposes_no_stats(self, virtuoso_server):
+        remote = RemoteEndpoint(virtuoso_server)
+        response = remote.query(COUNT_ALL)
+        assert response.stats is None
+        assert response.source == "virtuoso"

@@ -1,0 +1,180 @@
+"""Unit tests for session save/replay and the query monitor."""
+
+import json
+
+import pytest
+
+from repro.core import Direction, equals_filter
+from repro.endpoint import LocalEndpoint, SimClock
+from repro.explorer import (
+    ExplorerSession,
+    QueryMonitor,
+    SessionReplayError,
+    load_actions,
+    replay_session,
+    save_session,
+)
+from repro.rdf import DBO, DBR
+
+
+@pytest.fixture()
+def session(philosophy_graph):
+    return ExplorerSession(LocalEndpoint(philosophy_graph, clock=SimClock()))
+
+
+def build_walkthrough(session):
+    """A representative multi-action exploration."""
+    p0 = session.panes[0]
+    agent = session.open_subclass_pane(p0, DBO.term("Agent"))
+    person = session.open_subclass_pane(agent, DBO.term("Person"))
+    philosopher = session.open_subclass_pane(person, DBO.term("Philosopher"))
+    table = philosopher.select_property_column(DBO.term("birthPlace"))
+    table.set_filter(DBO.term("birthPlace"), equals_filter(DBR.term("Athens")))
+    session.open_filtered_pane(philosopher)
+    session.open_connections_pane(
+        philosopher, DBO.term("influencedBy"), DBO.term("Person")
+    )
+    return session
+
+
+class TestSaveLoad:
+    def test_action_log_records_everything(self, session):
+        build_walkthrough(session)
+        kinds = [action["kind"] for action in session.action_log]
+        assert kinds == [
+            "subclass",
+            "subclass",
+            "subclass",
+            "filtered",
+            "connections",
+        ]
+
+    def test_save_is_valid_json(self, session):
+        build_walkthrough(session)
+        blob = json.loads(save_session(session))
+        assert blob["version"] == 1
+        assert len(blob["actions"]) == 5
+        assert blob["settings"]["root_class"].endswith("Thing")
+
+    def test_load_round_trip(self, session):
+        build_walkthrough(session)
+        actions = load_actions(save_session(session))
+        assert actions[0] == {
+            "kind": "subclass",
+            "pane": 0,
+            "class": DBO.term("Agent").value,
+        }
+
+    def test_load_rejects_bad_version(self):
+        with pytest.raises(SessionReplayError):
+            load_actions(json.dumps({"version": 99, "actions": []}))
+
+    def test_load_rejects_missing_actions(self):
+        with pytest.raises(SessionReplayError):
+            load_actions(json.dumps({"version": 1}))
+
+
+class TestReplay:
+    def test_replay_rebuilds_identical_panes(self, session, philosophy_graph):
+        build_walkthrough(session)
+        saved = save_session(session)
+        fresh_endpoint = LocalEndpoint(philosophy_graph, clock=SimClock())
+        replayed = replay_session(fresh_endpoint, saved)
+        assert len(replayed.panes) == len(session.panes)
+        for original, copy in zip(session.panes, replayed.panes):
+            assert original.pane_type == copy.pane_type
+            assert original.instance_count == copy.instance_count
+            assert original.trail.render() == copy.trail.render()
+
+    def test_replay_preserves_filtered_members(self, session, philosophy_graph):
+        build_walkthrough(session)
+        saved = save_session(session)
+        replayed = replay_session(
+            LocalEndpoint(philosophy_graph, clock=SimClock()), saved
+        )
+        filtered_pane = replayed.panes[4]
+        materialised = replayed.engine.materialise(filtered_pane.bar)
+        assert materialised.uris == frozenset({DBR.term("Plato")})
+
+    def test_replay_with_close(self, session, philosophy_graph):
+        p1 = session.open_subclass_pane(session.panes[0], DBO.term("Agent"))
+        session.close_pane(p1)
+        session.open_subclass_pane(session.panes[0], DBO.term("Place"))
+        replayed = replay_session(
+            LocalEndpoint(philosophy_graph, clock=SimClock()),
+            save_session(session),
+        )
+        assert [pane.pane_type.local_name for pane in replayed.panes] == [
+            "Thing",
+            "Place",
+        ]
+
+    def test_replay_unknown_action_raises(self, philosophy_graph):
+        bad = json.dumps(
+            {"version": 1, "settings": {}, "actions": [{"kind": "teleport"}]}
+        )
+        with pytest.raises(SessionReplayError):
+            replay_session(
+                LocalEndpoint(philosophy_graph, clock=SimClock()), bad
+            )
+
+    def test_replay_bad_pane_index_raises(self, philosophy_graph):
+        bad = json.dumps(
+            {
+                "version": 1,
+                "settings": {},
+                "actions": [
+                    {"kind": "subclass", "pane": 9, "class": "http://x/C"}
+                ],
+            }
+        )
+        with pytest.raises(SessionReplayError):
+            replay_session(
+                LocalEndpoint(philosophy_graph, clock=SimClock()), bad
+            )
+
+
+class TestQueryMonitor:
+    def test_by_source_counts(self, session):
+        build_walkthrough(session)
+        monitor = QueryMonitor(session.endpoint)
+        summary = monitor.by_source()
+        assert "local" in summary
+        assert summary["local"].queries == len(session.endpoint.query_log)
+        assert summary["local"].total_ms > 0
+        assert summary["local"].min_ms <= summary["local"].mean_ms
+        assert summary["local"].mean_ms <= summary["local"].max_ms
+
+    def test_mark_windows(self, session):
+        monitor = QueryMonitor(session.endpoint)
+        monitor.mark()
+        assert monitor.entries(since_mark=True) == []
+        session.open_subclass_pane(session.panes[0], DBO.term("Agent"))
+        assert len(monitor.entries(since_mark=True)) > 0
+        assert len(monitor.entries()) > len(monitor.entries(since_mark=True))
+
+    def test_heavy_detection(self, session):
+        monitor = QueryMonitor(session.endpoint, heavy_threshold_ms=0.0001)
+        heavy = monitor.heavy_queries()
+        assert heavy
+        latencies = [entry.elapsed_ms for entry in heavy]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_slowest_limit(self, session):
+        build_walkthrough(session)
+        monitor = QueryMonitor(session.endpoint)
+        assert len(monitor.slowest(3)) == 3
+
+    def test_render(self, session):
+        build_walkthrough(session)
+        monitor = QueryMonitor(session.endpoint, heavy_threshold_ms=0.0001)
+        text = monitor.render()
+        assert "Query monitor" in text
+        assert "local" in text
+        assert "heavy queries" in text
+
+    def test_total_simulated(self, session, clock):
+        monitor = QueryMonitor(session.endpoint)
+        assert monitor.total_simulated_ms() == pytest.approx(
+            sum(e.elapsed_ms for e in session.endpoint.query_log)
+        )

@@ -1,0 +1,92 @@
+"""Tests for progressive (incremental) chart loading through the engine
+and the pane."""
+
+import pytest
+
+from repro.core import ChartEngine, Direction
+from repro.datasets.dbpedia import OWL_THING
+from repro.endpoint import LocalEndpoint, RemoteEndpoint, SimClock, SimulatedVirtuosoServer
+from repro.explorer import ExplorerSession
+from repro.rdf import DBO
+
+
+class TestEngineProgressive:
+    def test_final_chart_matches_one_shot_sums(self, dbpedia_graph):
+        engine = ChartEngine(
+            LocalEndpoint(dbpedia_graph, clock=SimClock()), OWL_THING
+        )
+        root = engine.root_bar()
+        one_shot = engine.property_chart(root)
+        final_chart = None
+        steps = 0
+        for chart, partial in engine.property_chart_incremental(
+            root, window_size=5000
+        ):
+            final_chart = chart
+            steps += 1
+        assert steps > 1
+        assert final_chart is not None
+        # Same property set; counts within page-boundary tolerance.
+        assert {b.label for b in final_chart} == {b.label for b in one_shot}
+        for bar in final_chart:
+            exact = one_shot[bar.label].size
+            assert exact <= bar.size <= exact + steps
+
+    def test_progressive_charts_grow(self, dbpedia_graph):
+        engine = ChartEngine(
+            LocalEndpoint(dbpedia_graph, clock=SimClock()), OWL_THING
+        )
+        root = engine.root_bar()
+        previous_total = 0
+        for chart, _partial in engine.property_chart_incremental(
+            root, window_size=4000
+        ):
+            total = chart.total_size()
+            assert total >= previous_total
+            previous_total = total
+
+    def test_works_over_remote_endpoint(self, dbpedia_graph):
+        server = SimulatedVirtuosoServer(dbpedia_graph, clock=SimClock())
+        engine = ChartEngine(RemoteEndpoint(server), OWL_THING)
+        root = engine.root_bar()
+        charts = list(
+            engine.property_chart_incremental(
+                root, window_size=8000, max_steps=2
+            )
+        )
+        assert len(charts) == 2
+        assert not charts[-1][1].complete
+
+    def test_rejects_property_bar(self, dbpedia_graph):
+        engine = ChartEngine(
+            LocalEndpoint(dbpedia_graph, clock=SimClock()), OWL_THING
+        )
+        root = engine.root_bar()
+        prop_bar = engine.property_chart(root).sorted_bars()[0]
+        with pytest.raises(ValueError):
+            next(engine.property_chart_incremental(prop_bar))
+
+
+class TestPaneProgressive:
+    def test_progressive_and_caches_final(self, dbpedia_graph):
+        session = ExplorerSession(LocalEndpoint(dbpedia_graph, clock=SimClock()))
+        pane = session.open_class_pane(DBO.term("Person"))
+        seen = 0
+        for chart, partial in pane.property_chart_progressive(window_size=1500):
+            seen += 1
+            assert len(chart) > 0 or not partial.complete
+        assert seen >= 1
+        # The final chart was cached; no further endpoint traffic needed.
+        queries_before = len(session.endpoint.query_log)
+        cached = pane.property_chart(Direction.OUTGOING)
+        assert len(session.endpoint.query_log) == queries_before
+        assert len(cached) > 0
+
+    def test_coverage_values_present(self, dbpedia_graph):
+        session = ExplorerSession(LocalEndpoint(dbpedia_graph, clock=SimClock()))
+        pane = session.open_class_pane(DBO.term("Philosopher"))
+        for chart, partial in pane.property_chart_progressive(window_size=10**6):
+            assert partial.complete
+            for bar in chart:
+                assert bar.coverage is not None
+                assert 0 < bar.coverage <= 1.0

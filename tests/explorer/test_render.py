@@ -1,0 +1,88 @@
+"""Unit tests for ASCII chart rendering."""
+
+from repro.core import Bar, BarChart, BarType
+from repro.explorer import hover_box, render_bar_line, render_chart
+from repro.rdf import DBO, URI
+
+
+def make_chart():
+    return BarChart(
+        [
+            Bar(label=DBO.term("Place"), type=BarType.CLASS, count=100),
+            Bar(label=DBO.term("Agent"), type=BarType.CLASS, count=50),
+            Bar(label=DBO.term("Work"), type=BarType.CLASS, count=1),
+            Bar(label=DBO.term("Empty"), type=BarType.CLASS, count=0),
+        ]
+    )
+
+
+class TestRenderChart:
+    def test_contains_labels_and_counts(self):
+        text = render_chart(make_chart(), title="Initial chart")
+        assert "Initial chart" in text
+        assert "dbo:Place" in text
+        assert "100" in text
+
+    def test_bars_proportional(self):
+        lines = render_chart(make_chart(), width=40).splitlines()
+        place_line = next(l for l in lines if "Place" in l)
+        agent_line = next(l for l in lines if "Agent" in l)
+        assert place_line.count("#") == 40
+        assert agent_line.count("#") == 20
+
+    def test_nonzero_bar_never_invisible(self):
+        lines = render_chart(make_chart(), width=40).splitlines()
+        work_line = next(l for l in lines if "Work" in l)
+        assert work_line.count("#") == 1
+        empty_line = next(l for l in lines if "Empty" in l)
+        assert empty_line.count("#") == 0
+
+    def test_top_truncation_notice(self):
+        text = render_chart(make_chart(), top=2)
+        assert "2 more bars" in text
+
+    def test_empty_chart(self):
+        assert "(empty chart)" in render_chart(BarChart())
+
+    def test_coverage_shown_for_property_bars(self):
+        chart = BarChart(
+            [
+                Bar(
+                    label=DBO.term("birthPlace"),
+                    type=BarType.PROPERTY,
+                    count=10,
+                    coverage=0.76,
+                )
+            ]
+        )
+        assert "76.0%" in render_chart(chart)
+
+    def test_unknown_namespace_falls_back_to_local_name(self):
+        chart = BarChart(
+            [Bar(label=URI("http://mystery.org/Zap"), type=BarType.CLASS, count=1)]
+        )
+        assert "Zap" in render_chart(chart)
+
+
+class TestHoverBox:
+    def test_fig1_style_box(self):
+        bar = Bar(label=DBO.term("Agent"), type=BarType.CLASS, count=2_200_000)
+        text = hover_box(bar, direct_subclasses=5, total_subclasses=277)
+        assert "Agent" in text
+        assert "2,200,000" in text
+        assert "direct subclasses: 5" in text
+        assert "subclasses in total: 277" in text
+
+    def test_property_bar_shows_coverage(self):
+        bar = Bar(
+            label=DBO.term("party"),
+            type=BarType.PROPERTY,
+            count=20,
+            coverage=0.86,
+        )
+        assert "86.0%" in hover_box(bar)
+
+    def test_render_bar_line_zero_max(self):
+        bar = Bar(label=DBO.term("X"), type=BarType.CLASS, count=0)
+        line = render_bar_line(bar, max_size=0)
+        assert "|" in line

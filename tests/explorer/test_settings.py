@@ -1,0 +1,80 @@
+"""Unit tests for the settings form and endpoint wiring."""
+
+import pytest
+
+from repro.endpoint import RemoteEndpoint, SimulatedVirtuosoServer
+from repro.explorer import SettingsError, SettingsForm, connect
+from repro.perf import ElindaEndpoint
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        SettingsForm().validate()
+
+    def test_bad_mode(self):
+        with pytest.raises(SettingsError):
+            SettingsForm(mode="cloud").validate()
+
+    def test_bad_url(self):
+        with pytest.raises(SettingsError):
+            SettingsForm(endpoint_url="ftp://x").validate()
+
+    def test_bad_threshold(self):
+        with pytest.raises(SettingsError):
+            SettingsForm(coverage_threshold=2.0).validate()
+
+    def test_bad_incremental(self):
+        with pytest.raises(SettingsError):
+            SettingsForm(incremental_window=0).validate()
+        with pytest.raises(SettingsError):
+            SettingsForm(incremental_steps=-1).validate()
+
+    def test_remote_mode_forbids_preprocessing(self):
+        """Remote compatibility mode cannot use HVS/decomposer —
+        'we have no access to the actual RDF graph and cannot execute
+        any preprocessing' (Section 4)."""
+        with pytest.raises(SettingsError):
+            SettingsForm(mode="remote").validate()
+        SettingsForm(
+            mode="remote", use_hvs=False, use_decomposer=False
+        ).validate()
+
+
+class TestConnect:
+    def test_local_mode_builds_elinda_stack(self, virtuoso_server):
+        settings = SettingsForm(endpoint_url=virtuoso_server.url)
+        endpoint = connect(settings, {virtuoso_server.url: virtuoso_server})
+        assert isinstance(endpoint, ElindaEndpoint)
+        assert endpoint.hvs is not None
+        assert endpoint.decomposer is not None
+
+    def test_local_mode_without_acceleration(self, virtuoso_server):
+        settings = SettingsForm(
+            endpoint_url=virtuoso_server.url,
+            use_hvs=False,
+            use_decomposer=False,
+        )
+        endpoint = connect(settings, {virtuoso_server.url: virtuoso_server})
+        assert isinstance(endpoint, ElindaEndpoint)
+        assert endpoint.hvs is None
+        assert endpoint.decomposer is None
+
+    def test_remote_mode_builds_http_client(self, virtuoso_server):
+        settings = SettingsForm(
+            endpoint_url=virtuoso_server.url,
+            mode="remote",
+            use_hvs=False,
+            use_decomposer=False,
+        )
+        endpoint = connect(settings, {virtuoso_server.url: virtuoso_server})
+        assert isinstance(endpoint, RemoteEndpoint)
+
+    def test_unknown_url_rejected(self, virtuoso_server):
+        settings = SettingsForm(endpoint_url="http://nowhere/sparql")
+        with pytest.raises(SettingsError):
+            connect(settings, {virtuoso_server.url: virtuoso_server})
+
+    def test_connected_endpoint_answers(self, virtuoso_server):
+        settings = SettingsForm(endpoint_url=virtuoso_server.url)
+        endpoint = connect(settings, {virtuoso_server.url: virtuoso_server})
+        assert endpoint.ask("ASK { ?s ?p ?o }")

@@ -1,0 +1,154 @@
+"""Unit tests for chart widgets and breadcrumb trails."""
+
+import pytest
+
+from repro.core import Bar, BarChart, BarType
+from repro.explorer import (
+    BreadcrumbTrail,
+    CoverageThresholdWidget,
+    DEFAULT_COVERAGE_THRESHOLD,
+    TRAIL_COLOURS,
+    VisibleRangeWidget,
+)
+from repro.rdf import URI
+
+
+def chart_of(count):
+    bars = [
+        Bar(
+            label=URI(f"http://ex/p{i:03d}"),
+            type=BarType.PROPERTY,
+            count=count - i,
+            coverage=(count - i) / count,
+        )
+        for i in range(count)
+    ]
+    return BarChart(bars)
+
+
+class TestVisibleRange:
+    def test_initial_window(self):
+        widget = VisibleRangeWidget(window_size=5)
+        visible = widget.visible(chart_of(20))
+        assert len(visible) == 5
+        assert visible[0].size == 20  # tallest first
+
+    def test_scroll_right_and_left(self):
+        chart = chart_of(20)
+        widget = VisibleRangeWidget(window_size=5)
+        widget.scroll_right(chart)
+        assert widget.offset == 5
+        assert widget.visible(chart)[0].size == 15
+        widget.scroll_left()
+        assert widget.offset == 0
+
+    def test_scroll_clamps_at_end(self):
+        chart = chart_of(7)
+        widget = VisibleRangeWidget(window_size=5)
+        widget.scroll_right(chart)
+        widget.scroll_right(chart)
+        assert widget.offset == 2
+        assert not widget.can_scroll_right(chart)
+
+    def test_scroll_left_clamps_at_zero(self):
+        widget = VisibleRangeWidget(window_size=5)
+        widget.scroll_left()
+        assert widget.offset == 0
+        assert not widget.can_scroll_left()
+
+    def test_custom_step(self):
+        chart = chart_of(20)
+        widget = VisibleRangeWidget(window_size=5)
+        widget.scroll_right(chart, step=2)
+        assert widget.offset == 2
+
+    def test_reset(self):
+        chart = chart_of(20)
+        widget = VisibleRangeWidget(window_size=5)
+        widget.scroll_right(chart)
+        widget.reset()
+        assert widget.offset == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            VisibleRangeWidget(window_size=0)
+        with pytest.raises(ValueError):
+            VisibleRangeWidget(offset=-1)
+
+    def test_small_chart_fully_visible(self):
+        widget = VisibleRangeWidget(window_size=50)
+        assert len(widget.visible(chart_of(3))) == 3
+
+
+class TestCoverageThreshold:
+    def test_default_is_twenty_percent(self):
+        assert DEFAULT_COVERAGE_THRESHOLD == 0.20
+        assert CoverageThresholdWidget().threshold == 0.20
+
+    def test_apply(self):
+        widget = CoverageThresholdWidget()
+        chart = chart_of(10)  # coverages 1.0, 0.9, ..., 0.1
+        kept = widget.apply(chart)
+        assert len(kept) == 9  # 0.1 < 0.2 dropped
+        assert widget.hidden_count(chart) == 1
+
+    def test_adjusting_reveals_more(self):
+        widget = CoverageThresholdWidget()
+        chart = chart_of(10)
+        widget.set_threshold(0.05)
+        assert len(widget.apply(chart)) == 10
+
+    def test_reveal_more_steps_down(self):
+        widget = CoverageThresholdWidget()
+        widget.reveal_more()
+        assert widget.threshold == pytest.approx(0.15)
+        for _ in range(10):
+            widget.reveal_more()
+        assert widget.threshold == 0.0
+
+    def test_history(self):
+        widget = CoverageThresholdWidget()
+        widget.set_threshold(0.5)
+        widget.set_threshold(0.3)
+        assert widget.history == [0.2, 0.5]
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            CoverageThresholdWidget(threshold=1.5)
+        widget = CoverageThresholdWidget()
+        with pytest.raises(ValueError):
+            widget.set_threshold(-0.1)
+
+
+class TestBreadcrumbs:
+    def test_extended_is_persistent(self):
+        trail = BreadcrumbTrail()
+        longer = trail.extended(URI("http://ex/Agent"), "subclass")
+        assert trail.depth == 0
+        assert longer.depth == 1
+
+    def test_render_path(self):
+        trail = (
+            BreadcrumbTrail()
+            .extended(URI("http://ex/Thing"), "root")
+            .extended(URI("http://ex/Agent"), "subclass")
+            .extended(URI("http://ex/Person"), "subclass")
+        )
+        assert trail.render() == "Thing -> Agent -> Person"
+
+    def test_empty_render(self):
+        assert BreadcrumbTrail().render() == "(root)"
+
+    def test_labels_and_path(self):
+        trail = BreadcrumbTrail().extended(URI("http://ex/A"), "subclass")
+        assert trail.labels() == [URI("http://ex/A")]
+        assert trail.path() == [(URI("http://ex/A"), "subclass")]
+
+    def test_colours(self):
+        trail = BreadcrumbTrail(colour="orange")
+        assert trail.extended(URI("http://ex/A"), "x").colour == "orange"
+        assert trail.recoloured("green").colour == "green"
+        assert len(set(TRAIL_COLOURS)) == len(TRAIL_COLOURS)
+
+    def test_str_includes_colour(self):
+        assert "[blue]" in str(BreadcrumbTrail(colour="blue"))

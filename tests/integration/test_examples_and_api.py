@@ -1,0 +1,81 @@
+"""Guard tests: the shipped examples run cleanly and the top-level
+convenience API works."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+ALL_EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+class TestQuickSession:
+    def test_quick_session_api(self):
+        from repro import quick_session
+        from repro.rdf import DBO
+
+        session = quick_session()
+        assert session.dataset_statistics.total_triples > 10_000
+        chart = session.current_pane.subclass_chart()
+        assert len(chart) == 49
+        assert DBO.term("Agent") in chart
+
+    def test_quick_session_render(self):
+        from repro import quick_session
+
+        text = quick_session().render(top=3)
+        assert "eLinda @" in text
+        assert "pane 1" in text
+
+    def test_package_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestExamplesRun:
+    def test_all_examples_present(self):
+        assert set(ALL_EXAMPLES) >= {
+            "quickstart.py",
+            "explore_philosophers.py",
+            "performance_modes.py",
+            "error_detection.py",
+            "lgd_no_hierarchy.py",
+            "session_replay.py",
+        }
+
+    @pytest.mark.parametrize("example", ALL_EXAMPLES)
+    def test_example_runs_cleanly(self, example):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / example)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert completed.stdout.strip(), "example produced no output"
+
+    def test_quickstart_shows_initial_chart(self):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert "Initial chart" in completed.stdout
+        assert "dbo:Agent" in completed.stdout
+
+    def test_performance_modes_reports_fig4(self):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "performance_modes.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert "Fig. 4" in completed.stdout
+        assert "decomposer" in completed.stdout
+        assert "hvs" in completed.stdout

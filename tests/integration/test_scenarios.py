@@ -1,0 +1,130 @@
+"""Integration: the demonstration scenarios of Section 5, driven through
+the explorer session exactly as a demo participant would."""
+
+import pytest
+
+from repro.core import Direction, equals_filter
+from repro.datasets import generate_dbpedia, inject_birthplace_errors
+from repro.endpoint import LocalEndpoint, SimulatedVirtuosoServer
+from repro.explorer import ExplorerSession, SettingsForm, Tab, connect
+from repro.rdf import DBO, OWL
+
+
+@pytest.fixture(scope="module")
+def session(dbpedia_graph):
+    return ExplorerSession(LocalEndpoint(dbpedia_graph))
+
+
+class TestScenario1UnderstandingAnUnfamiliarDataset:
+    """'Examine the bar chart showing the first-level classes' and
+    'analyze the twenty most significant properties of the largest
+    class in the dataset.'"""
+
+    def test_first_level_classes(self, session):
+        chart = session.current_pane.subclass_chart()
+        assert len(chart) == 49
+        assert chart.sorted_bars()[0].label == DBO.term("Place")
+
+    def test_twenty_most_significant_properties_of_largest_class(self, session):
+        largest = session.current_pane.subclass_chart().sorted_bars()[0]
+        pane = session.open_subclass_pane(session.current_pane, largest.label)
+        pane.switch_tab(Tab.PROPERTY_DATA)
+        top20 = pane.property_chart(Direction.OUTGOING).top(20)
+        assert len(top20) <= 20
+        coverages = [bar.coverage for bar in top20]
+        assert coverages == sorted(coverages, reverse=True)
+        # type and label are universal -> 100% coverage leaders.
+        assert top20[0].coverage == pytest.approx(1.0)
+
+
+class TestScenario2SophisticatedPath:
+    """'The types of people that influenced philosophers.'"""
+
+    def test_influence_path(self, session):
+        p0 = session.panes[0]
+        agent = session.open_subclass_pane(p0, DBO.term("Agent"))
+        person = session.open_subclass_pane(agent, DBO.term("Person"))
+        philosopher = session.open_subclass_pane(person, DBO.term("Philosopher"))
+        philosopher.switch_tab(Tab.CONNECTIONS)
+        chart = philosopher.connections_chart(DBO.term("influencedBy"))
+        types = {bar.label.local_name for bar in chart if bar.size > 0}
+        assert {"Philosopher", "Scientist", "Person"} <= types
+
+    def test_autocomplete_shortcut(self, session):
+        """Locating Philosopher under Agent -> Person may be hard; the
+        search box jumps straight there (Section 3.2)."""
+        matches = session.autocomplete("Philos")
+        assert matches and matches[0].cls == DBO.term("Philosopher")
+        pane = session.open_search_pane(matches[0].cls)
+        assert pane.pane_type == DBO.term("Philosopher")
+        assert pane.instance_count == 40
+
+
+class TestScenario3ErrorDetection:
+    """'People who are indicated to be born in resources of type food.'"""
+
+    def test_food_bar_reveals_errors(self, dbpedia_config):
+        dataset = generate_dbpedia(dbpedia_config)
+        planted = inject_birthplace_errors(dataset, count=5)
+        session = ExplorerSession(LocalEndpoint(dataset.graph))
+        p0 = session.panes[0]
+        agent = session.open_subclass_pane(p0, DBO.term("Agent"))
+        person = session.open_subclass_pane(agent, DBO.term("Person"))
+        person.switch_tab(Tab.CONNECTIONS)
+        chart = person.connections_chart(DBO.term("birthPlace"))
+        food_bar = chart.get(DBO.term("Food"))
+        assert food_bar is not None and food_bar.size > 0
+        # Drill into the suspicious bar: the members are the foods used
+        # as birth places.
+        engine = session.engine
+        materialised = engine.materialise(food_bar)
+        assert materialised.uris == frozenset(food for _p, food in planted)
+
+    def test_clean_dataset_has_no_food_bar(self, session):
+        p0 = session.panes[0]
+        agent = session.open_subclass_pane(p0, DBO.term("Agent"))
+        person = session.open_subclass_pane(agent, DBO.term("Person"))
+        chart = person.connections_chart(DBO.term("birthPlace"))
+        food_bar = chart.get(DBO.term("Food"))
+        assert food_bar is None or food_bar.size == 0
+
+
+class TestViennaDataFilter:
+    """Section 3.3: 'the user may view only those philosophers who were
+    born in Vienna', then open a pane on S_f."""
+
+    def test_filter_and_expand(self, dbpedia, dbpedia_graph):
+        session = ExplorerSession(LocalEndpoint(dbpedia_graph))
+        p0 = session.panes[0]
+        agent = session.open_subclass_pane(p0, DBO.term("Agent"))
+        person = session.open_subclass_pane(agent, DBO.term("Person"))
+        philosopher = session.open_subclass_pane(person, DBO.term("Philosopher"))
+        table = philosopher.select_property_column(DBO.term("birthPlace"))
+        table.set_filter(
+            DBO.term("birthPlace"), equals_filter(dbpedia.facts["vienna"])
+        )
+        vienna_pane = session.open_filtered_pane(philosopher)
+        assert vienna_pane.instance_count == len(dbpedia.facts["vienna_born"])
+        # The narrowed set supports further expansions.
+        chart = vienna_pane.property_chart(Direction.OUTGOING)
+        assert DBO.term("birthPlace") in chart
+
+
+class TestFullStackThroughSettingsForm:
+    """End-to-end through the settings form, as the demo starts."""
+
+    def test_connect_and_explore(self, dbpedia_graph):
+        settings = SettingsForm()
+        server = SimulatedVirtuosoServer(dbpedia_graph, url=settings.endpoint_url)
+        endpoint = connect(settings, {settings.endpoint_url: server})
+        session = ExplorerSession(endpoint, settings=settings)
+        assert session.dataset_statistics.total_triples == len(dbpedia_graph)
+        chart = session.current_pane.subclass_chart()
+        assert DBO.term("Agent") in chart
+
+    def test_remote_compatibility_mode(self, dbpedia_graph):
+        settings = SettingsForm(mode="remote", use_hvs=False, use_decomposer=False)
+        server = SimulatedVirtuosoServer(dbpedia_graph, url=settings.endpoint_url)
+        endpoint = connect(settings, {settings.endpoint_url: server})
+        session = ExplorerSession(endpoint, settings=settings)
+        assert len(session.current_pane.subclass_chart()) == 49

@@ -1,0 +1,133 @@
+"""Unit tests for the heavy-query store."""
+
+import pytest
+
+from repro.endpoint import SimClock
+from repro.perf import (
+    DEFAULT_HEAVY_THRESHOLD_MS,
+    HeavyQueryStore,
+    normalize_query,
+)
+from repro.rdf import Literal
+from repro.sparql.results import AskResult, SelectResult
+
+QUERY = "SELECT ?s WHERE { ?s ?p ?o }"
+RESULT = SelectResult(["s"], [{"s": Literal("x")}])
+
+
+class TestNormalization:
+    def test_collapses_whitespace(self):
+        assert normalize_query("SELECT   ?s\nWHERE  { ?s ?p ?o }") == normalize_query(
+            "SELECT ?s WHERE { ?s ?p ?o }"
+        )
+
+    def test_strips(self):
+        assert normalize_query("  ASK {}  ") == "ASK {}"
+
+
+class TestHeavinessThreshold:
+    def test_default_threshold_is_one_second(self):
+        assert DEFAULT_HEAVY_THRESHOLD_MS == 1000.0
+
+    def test_light_queries_not_stored(self):
+        hvs = HeavyQueryStore()
+        assert not hvs.record(QUERY, RESULT, runtime_ms=500, dataset_version=1)
+        assert QUERY not in hvs
+        assert hvs.stats.rejected_light == 1
+
+    def test_heavy_queries_stored(self):
+        hvs = HeavyQueryStore()
+        assert hvs.record(QUERY, RESULT, runtime_ms=5000, dataset_version=1)
+        assert QUERY in hvs
+        assert len(hvs) == 1
+
+    def test_exactly_threshold_is_not_heavy(self):
+        # Paper: "queries with runtime *bigger* than one second".
+        hvs = HeavyQueryStore()
+        assert not hvs.record(QUERY, RESULT, runtime_ms=1000.0, dataset_version=1)
+
+    def test_custom_threshold(self):
+        hvs = HeavyQueryStore(threshold_ms=10)
+        assert hvs.record(QUERY, RESULT, runtime_ms=11, dataset_version=1)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            HeavyQueryStore(threshold_ms=0)
+
+    def test_non_result_rejected(self):
+        hvs = HeavyQueryStore()
+        with pytest.raises(TypeError):
+            hvs.record(QUERY, {"not": "a result"}, 5000, 1)
+
+
+class TestLookup:
+    def test_hit_returns_same_result(self):
+        hvs = HeavyQueryStore()
+        hvs.record(QUERY, RESULT, 5000, dataset_version=1)
+        response = hvs.lookup(QUERY, dataset_version=1)
+        assert response is not None
+        assert response.result is RESULT
+        assert response.source == "hvs"
+
+    def test_hit_is_whitespace_insensitive(self):
+        hvs = HeavyQueryStore()
+        hvs.record(QUERY, RESULT, 5000, dataset_version=1)
+        assert hvs.lookup("SELECT  ?s  WHERE { ?s ?p ?o }", 1) is not None
+
+    def test_miss_returns_none(self):
+        hvs = HeavyQueryStore()
+        assert hvs.lookup(QUERY, dataset_version=1) is None
+        assert hvs.stats.misses == 1
+
+    def test_hit_latency_is_fast_and_advances_clock(self):
+        clock = SimClock()
+        hvs = HeavyQueryStore(clock=clock)
+        hvs.record(QUERY, RESULT, 5000, dataset_version=1)
+        response = hvs.lookup(QUERY, 1)
+        assert response.elapsed_ms < 100  # "around 80 milliseconds"
+        assert clock.now_ms == response.elapsed_ms
+
+    def test_ask_results_cacheable(self):
+        hvs = HeavyQueryStore()
+        hvs.record("ASK { ?s ?p ?o }", AskResult(True), 5000, 1)
+        response = hvs.lookup("ASK { ?s ?p ?o }", 1)
+        assert response.result.value is True
+
+    def test_hit_counters(self):
+        hvs = HeavyQueryStore()
+        hvs.record(QUERY, RESULT, 5000, 1)
+        hvs.lookup(QUERY, 1)
+        hvs.lookup(QUERY, 1)
+        hvs.lookup("SELECT ?x WHERE { ?x ?y ?z }", 1)
+        assert hvs.stats.hits == 2
+        assert hvs.stats.misses == 1
+        assert 0 < hvs.stats.hit_rate < 1
+        assert hvs.entries()[normalize_query(QUERY)].hits == 2
+
+
+class TestInvalidation:
+    def test_cleared_on_version_change(self):
+        # "The HVS is cleared on any update to the eLinda knowledge bases."
+        hvs = HeavyQueryStore()
+        hvs.record(QUERY, RESULT, 5000, dataset_version=1)
+        assert hvs.lookup(QUERY, dataset_version=2) is None
+        assert len(hvs) == 0
+        assert hvs.stats.invalidations == 1
+
+    def test_same_version_keeps_entries(self):
+        hvs = HeavyQueryStore()
+        hvs.record(QUERY, RESULT, 5000, dataset_version=7)
+        assert hvs.lookup(QUERY, dataset_version=7) is not None
+
+    def test_explicit_clear(self):
+        hvs = HeavyQueryStore()
+        hvs.record(QUERY, RESULT, 5000, 1)
+        hvs.clear()
+        assert len(hvs) == 0
+
+    def test_record_after_version_change_clears_old(self):
+        hvs = HeavyQueryStore()
+        hvs.record(QUERY, RESULT, 5000, dataset_version=1)
+        hvs.record("ASK { ?a ?b ?c }", AskResult(True), 5000, dataset_version=2)
+        assert QUERY not in hvs
+        assert len(hvs) == 1

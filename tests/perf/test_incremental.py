@@ -1,0 +1,159 @@
+"""Unit tests for incremental evaluation."""
+
+import pytest
+
+from repro.core import Direction, MemberPattern, property_chart_query
+from repro.datasets.dbpedia import OWL_THING
+from repro.endpoint import SimClock
+from repro.perf import IncrementalConfig, IncrementalEvaluator
+from repro.rdf import Graph
+from repro.sparql import SparqlEvalError, evaluate
+
+CHART_QUERY = property_chart_query(MemberPattern.of_type(OWL_THING))
+SIMPLE_COUNT = (
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+    "SELECT ?t (COUNT(?s) AS ?n) WHERE { ?s rdf:type ?t } GROUP BY ?t"
+)
+
+
+def rows_as_map(result, key, *values):
+    return {
+        row[key]: tuple(int(row[v].lexical) for v in values) for row in result.rows
+    }
+
+
+class TestConfig:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            IncrementalConfig(window_size=0)
+
+    def test_rejects_bad_steps(self):
+        with pytest.raises(ValueError):
+            IncrementalConfig(max_steps=0)
+
+
+class TestConvergence:
+    def test_subject_windows_converge_to_oneshot(self, dbpedia_graph):
+        """The merged final chart equals the one-shot evaluation
+        (exactness of subject-aligned windows)."""
+        one_shot = evaluate(dbpedia_graph, SIMPLE_COUNT)
+        incremental = IncrementalEvaluator(
+            dbpedia_graph, IncrementalConfig(window_size=1500)
+        )
+        final = incremental.run_to_completion(SIMPLE_COUNT)
+        assert final.complete
+        assert rows_as_map(final.result, "t", "n") == rows_as_map(
+            one_shot, "t", "n"
+        )
+
+    def test_heavy_chart_query_converges(self, dbpedia_graph):
+        one_shot = evaluate(dbpedia_graph, CHART_QUERY)
+        incremental = IncrementalEvaluator(
+            dbpedia_graph, IncrementalConfig(window_size=4000)
+        )
+        final = incremental.run_to_completion(CHART_QUERY)
+        assert rows_as_map(final.result, "p", "count", "triples") == rows_as_map(
+            one_shot, "p", "count", "triples"
+        )
+
+    def test_single_window_equals_oneshot(self, philosophy_graph):
+        evaluator = IncrementalEvaluator(
+            philosophy_graph, IncrementalConfig(window_size=10_000)
+        )
+        final = evaluator.run_to_completion(SIMPLE_COUNT)
+        assert final.step == 1
+        assert final.complete
+        assert rows_as_map(final.result, "t", "n") == rows_as_map(
+            evaluate(philosophy_graph, SIMPLE_COUNT), "t", "n"
+        )
+
+    def test_counts_grow_monotonically(self, dbpedia_graph):
+        evaluator = IncrementalEvaluator(
+            dbpedia_graph, IncrementalConfig(window_size=2000)
+        )
+        previous_total = 0
+        for partial in evaluator.run(SIMPLE_COUNT):
+            total = sum(
+                int(row["n"].lexical) for row in partial.result.rows
+            )
+            assert total >= previous_total
+            previous_total = total
+
+
+class TestStepCap:
+    def test_k_steps_cap(self, dbpedia_graph):
+        evaluator = IncrementalEvaluator(
+            dbpedia_graph, IncrementalConfig(window_size=1000, max_steps=2)
+        )
+        partials = list(evaluator.run(SIMPLE_COUNT))
+        assert len(partials) == 2
+        assert not partials[-1].complete
+
+    def test_first_window_latency_below_full(self, dbpedia_graph):
+        """Time-to-first-chart is the point of incremental evaluation."""
+        full = IncrementalEvaluator(
+            dbpedia_graph, IncrementalConfig(window_size=10**9)
+        ).run_to_completion(CHART_QUERY)
+        first = next(
+            IncrementalEvaluator(
+                dbpedia_graph, IncrementalConfig(window_size=1000)
+            ).run(CHART_QUERY)
+        )
+        assert first.elapsed_ms < full.elapsed_ms
+
+    def test_cumulative_tracks_clock(self, dbpedia_graph):
+        clock = SimClock()
+        evaluator = IncrementalEvaluator(
+            dbpedia_graph, IncrementalConfig(window_size=3000), clock=clock
+        )
+        final = evaluator.run_to_completion(SIMPLE_COUNT)
+        assert clock.now_ms == pytest.approx(final.cumulative_ms)
+
+
+class TestScope:
+    def test_ask_rejected(self, philosophy_graph):
+        evaluator = IncrementalEvaluator(philosophy_graph)
+        with pytest.raises(SparqlEvalError):
+            list(evaluator.run("ASK { ?s ?p ?o }"))
+
+    def test_avg_rejected_as_non_mergeable(self, philosophy_graph):
+        evaluator = IncrementalEvaluator(philosophy_graph)
+        with pytest.raises(SparqlEvalError):
+            list(
+                evaluator.run(
+                    "SELECT (AVG(?o) AS ?a) WHERE { ?s ?p ?o }"
+                )
+            )
+
+    def test_non_aggregate_query_unions_rows(self, philosophy_graph):
+        evaluator = IncrementalEvaluator(
+            philosophy_graph, IncrementalConfig(window_size=5)
+        )
+        final = evaluator.run_to_completion(
+            "PREFIX dbo: <http://dbpedia.org/ontology/>\n"
+            "SELECT ?s WHERE { ?s a dbo:Philosopher }"
+        )
+        one_shot = evaluate(
+            philosophy_graph,
+            "PREFIX dbo: <http://dbpedia.org/ontology/>\n"
+            "SELECT ?s WHERE { ?s a dbo:Philosopher }",
+        )
+        assert {row["s"] for row in final.result.rows} == {
+            row["s"] for row in one_shot.rows
+        }
+
+    def test_empty_graph_raises(self):
+        evaluator = IncrementalEvaluator(Graph())
+        with pytest.raises(SparqlEvalError):
+            evaluator.run_to_completion(SIMPLE_COUNT)
+
+    def test_triple_windows_mode_runs(self, philosophy_graph):
+        """The paper's literal raw-triple windows: partials approximate,
+        still one partial per window."""
+        evaluator = IncrementalEvaluator(
+            philosophy_graph,
+            IncrementalConfig(window_size=7, by_subject=False),
+        )
+        partials = list(evaluator.run(SIMPLE_COUNT))
+        assert len(partials) == (len(philosophy_graph) + 6) // 7
+        assert partials[-1].complete

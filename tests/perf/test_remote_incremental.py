@@ -1,0 +1,155 @@
+"""Unit tests for incremental evaluation in remote compatibility mode."""
+
+import pytest
+
+from repro.core import Direction, MemberPattern, property_chart_query
+from repro.datasets.dbpedia import OWL_THING
+from repro.endpoint import LocalEndpoint, RemoteEndpoint, SimClock, SimulatedVirtuosoServer
+from repro.perf import RemoteIncrementalConfig, RemoteIncrementalEvaluator
+from repro.rdf import DBO
+
+
+@pytest.fixture()
+def remote(dbpedia_graph, clock):
+    server = SimulatedVirtuosoServer(dbpedia_graph, clock=clock)
+    return RemoteEndpoint(server)
+
+
+def chart_map(result):
+    return {
+        row["p"]: (int(row["count"].lexical), int(row["triples"].lexical))
+        for row in result.rows
+    }
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RemoteIncrementalConfig(window_size=0)
+        with pytest.raises(ValueError):
+            RemoteIncrementalConfig(max_steps=0)
+
+
+class TestConvergence:
+    def test_triple_sums_converge_exactly(self, remote, dbpedia_graph):
+        """The SUM column is window-invariant: it must equal the
+        one-shot chart exactly."""
+        pattern = MemberPattern.of_type(DBO.term("Philosopher"))
+        one_shot = LocalEndpoint(dbpedia_graph).select(
+            property_chart_query(pattern)
+        )
+        evaluator = RemoteIncrementalEvaluator(
+            remote, RemoteIncrementalConfig(window_size=50)
+        )
+        final = evaluator.run_to_completion(pattern)
+        assert final.complete
+        expected = {row["p"]: int(row["triples"].lexical) for row in one_shot}
+        measured = {prop: triples for prop, (_c, triples) in chart_map(final.result).items()}
+        assert measured == expected
+
+    def test_subject_counts_close_to_exact(self, remote, dbpedia_graph):
+        """COUNT may over-count subjects straddling page boundaries by at
+        most one per boundary."""
+        pattern = MemberPattern.of_type(DBO.term("Philosopher"))
+        one_shot = LocalEndpoint(dbpedia_graph).select(
+            property_chart_query(pattern)
+        )
+        window = 50
+        evaluator = RemoteIncrementalEvaluator(
+            remote, RemoteIncrementalConfig(window_size=window)
+        )
+        final = evaluator.run_to_completion(pattern)
+        boundaries = final.windows_consumed - 1
+        expected = {row["p"]: int(row["count"].lexical) for row in one_shot}
+        for prop, (count, _triples) in chart_map(final.result).items():
+            assert expected[prop] <= count <= expected[prop] + boundaries
+
+    def test_single_page_equals_oneshot(self, remote, dbpedia_graph):
+        pattern = MemberPattern.of_type(DBO.term("Philosopher"))
+        one_shot = LocalEndpoint(dbpedia_graph).select(
+            property_chart_query(pattern)
+        )
+        evaluator = RemoteIncrementalEvaluator(
+            remote, RemoteIncrementalConfig(window_size=10**6)
+        )
+        final = evaluator.run_to_completion(pattern)
+        assert final.step == 1 and final.complete
+        assert chart_map(final.result) == {
+            row["p"]: (
+                int(row["count"].lexical),
+                int(row["triples"].lexical),
+            )
+            for row in one_shot
+        }
+
+    def test_incoming_direction(self, remote, dbpedia_graph):
+        pattern = MemberPattern.of_type(DBO.term("Philosopher"))
+        one_shot = LocalEndpoint(dbpedia_graph).select(
+            property_chart_query(pattern, Direction.INCOMING)
+        )
+        final = RemoteIncrementalEvaluator(
+            remote, RemoteIncrementalConfig(window_size=40)
+        ).run_to_completion(pattern, Direction.INCOMING)
+        expected = {row["p"]: int(row["triples"].lexical) for row in one_shot}
+        measured = {p: t for p, (_c, t) in chart_map(final.result).items()}
+        assert measured == expected
+
+
+class TestPaging:
+    def test_each_step_is_one_http_request(self, dbpedia_graph, clock):
+        server = SimulatedVirtuosoServer(dbpedia_graph, clock=clock)
+        remote = RemoteEndpoint(server)
+        evaluator = RemoteIncrementalEvaluator(
+            remote, RemoteIncrementalConfig(window_size=100)
+        )
+        pattern = MemberPattern.of_type(DBO.term("Politician"))
+        partials = list(evaluator.run(pattern))
+        assert server.requests_served == len(partials)
+
+    def test_max_steps_cap(self, remote):
+        pattern = MemberPattern.of_type(OWL_THING)
+        evaluator = RemoteIncrementalEvaluator(
+            remote, RemoteIncrementalConfig(window_size=500, max_steps=2)
+        )
+        partials = list(evaluator.run(pattern))
+        assert len(partials) == 2
+        assert not partials[-1].complete
+
+    def test_counts_grow_monotonically(self, remote):
+        pattern = MemberPattern.of_type(DBO.term("Philosopher"))
+        evaluator = RemoteIncrementalEvaluator(
+            remote, RemoteIncrementalConfig(window_size=60)
+        )
+        previous = 0
+        for partial in evaluator.run(pattern):
+            total = sum(
+                int(row["triples"].lexical) for row in partial.result.rows
+            )
+            assert total >= previous
+            previous = total
+
+    def test_first_page_latency_below_one_shot(self, dbpedia_graph):
+        pattern = MemberPattern.of_type(OWL_THING)
+        clock_a = SimClock()
+        remote_a = RemoteEndpoint(
+            SimulatedVirtuosoServer(dbpedia_graph, clock=clock_a)
+        )
+        first = next(
+            RemoteIncrementalEvaluator(
+                remote_a, RemoteIncrementalConfig(window_size=500)
+            ).run(pattern)
+        )
+        clock_b = SimClock()
+        remote_b = RemoteEndpoint(
+            SimulatedVirtuosoServer(dbpedia_graph, clock=clock_b)
+        )
+        one_shot = remote_b.query(property_chart_query(pattern))
+        assert first.elapsed_ms < one_shot.elapsed_ms
+
+    def test_rows_sorted_by_count(self, remote):
+        pattern = MemberPattern.of_type(DBO.term("Philosopher"))
+        final = RemoteIncrementalEvaluator(
+            remote, RemoteIncrementalConfig(window_size=80)
+        ).run_to_completion(pattern)
+        counts = [int(row["count"].lexical) for row in final.result.rows]
+        assert counts == sorted(counts, reverse=True)

@@ -1,0 +1,130 @@
+"""A deliberately naive SPARQL evaluator used as a differential-testing
+oracle.
+
+Evaluates basic graph patterns by exhaustive scan over all triples with
+no indexes, no join ordering, and no hashing; solution modifiers by
+materialise-then-transform.  Slow but obviously correct — the engine is
+compared against it on random graphs and random queries.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Optional, Sequence
+
+from repro.rdf import Graph, Term
+from repro.sparql.ast import TriplePatternNode, Var
+from repro.sparql.errors import ExpressionError
+from repro.sparql.functions import (
+    effective_boolean_value,
+    evaluate_expression,
+    term_order_key,
+)
+
+Binding = Dict[str, Term]
+
+
+def _match_triple(pattern: TriplePatternNode, triple, binding: Binding) -> Optional[Binding]:
+    out = dict(binding)
+    for term, value in zip(pattern, triple):
+        if isinstance(term, Var):
+            bound = out.get(term.name)
+            if bound is None:
+                out[term.name] = value
+            elif bound != value:
+                return None
+        elif term != value:
+            return None
+    return out
+
+
+def naive_bgp(graph: Graph, patterns: Sequence[TriplePatternNode]) -> List[Binding]:
+    """All solutions of a BGP by exhaustive enumeration."""
+    triples = list(graph.triples())
+    solutions: List[Binding] = [{}]
+    for pattern in patterns:
+        next_solutions: List[Binding] = []
+        for binding in solutions:
+            for triple in triples:
+                extended = _match_triple(pattern, triple, binding)
+                if extended is not None:
+                    next_solutions.append(extended)
+        solutions = next_solutions
+    return solutions
+
+
+def naive_filter(solutions: List[Binding], expression) -> List[Binding]:
+    kept = []
+    for binding in solutions:
+        try:
+            if effective_boolean_value(evaluate_expression(expression, binding)):
+                kept.append(binding)
+        except ExpressionError:
+            continue
+    return kept
+
+
+def naive_project(solutions: List[Binding], names: Sequence[str]) -> List[Binding]:
+    return [
+        {name: binding[name] for name in names if name in binding}
+        for binding in solutions
+    ]
+
+
+def naive_distinct(solutions: List[Binding]) -> List[Binding]:
+    seen = set()
+    out = []
+    for binding in solutions:
+        key = tuple(sorted(binding.items()))
+        if key not in seen:
+            seen.add(key)
+            out.append(binding)
+    return out
+
+
+def naive_order(solutions: List[Binding], names: Sequence[str]) -> List[Binding]:
+    return sorted(
+        solutions,
+        key=lambda binding: [term_order_key(binding.get(n)) for n in names],
+    )
+
+
+def naive_union(graph: Graph, branches) -> List[Binding]:
+    out: List[Binding] = []
+    for patterns in branches:
+        out.extend(naive_bgp(graph, patterns))
+    return out
+
+
+def naive_optional(
+    graph: Graph,
+    required: Sequence[TriplePatternNode],
+    optional: Sequence[TriplePatternNode],
+) -> List[Binding]:
+    """LeftJoin of two BGPs, naively."""
+    left = naive_bgp(graph, required)
+    out: List[Binding] = []
+    for binding in left:
+        extensions = []
+        for candidate in naive_bgp(graph, optional):
+            merged = dict(binding)
+            compatible = True
+            for name, value in candidate.items():
+                bound = merged.get(name)
+                if bound is None:
+                    merged[name] = value
+                elif bound != value:
+                    compatible = False
+                    break
+            if compatible:
+                extensions.append(merged)
+        out.extend(extensions if extensions else [dict(binding)])
+    return out
+
+
+def canonical(solutions: List[Binding]) -> List[tuple]:
+    """Order-independent canonical form for comparisons."""
+    return sorted(
+        tuple(sorted((name, term.n3()) for name, term in binding.items()))
+        for binding in solutions
+    )

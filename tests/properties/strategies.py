@@ -1,0 +1,82 @@
+"""Shared hypothesis strategies for RDF terms, triples, and graphs."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import strategies as st
+
+from repro.rdf import BNode, Graph, Literal, Triple, URI
+
+_SAFE_URI_CHARS = string.ascii_letters + string.digits + "_-.~"
+_LABELS = st.text(
+    alphabet=string.ascii_letters + string.digits + "_-.",
+    min_size=1,
+    max_size=12,
+).filter(lambda s: not s.startswith(".") and not s.startswith("-"))
+
+
+@st.composite
+def uris(draw) -> URI:
+    local = draw(
+        st.text(alphabet=_SAFE_URI_CHARS, min_size=1, max_size=16)
+    )
+    namespace = draw(st.sampled_from(["http://ex.org/", "http://ex.org/ns#"]))
+    return URI(namespace + local)
+
+
+@st.composite
+def bnodes(draw) -> BNode:
+    return BNode(draw(_LABELS))
+
+
+@st.composite
+def plain_literals(draw) -> Literal:
+    return Literal(draw(st.text(max_size=24)))
+
+
+@st.composite
+def language_literals(draw) -> Literal:
+    text = draw(st.text(max_size=16))
+    tag = draw(st.sampled_from(["en", "de", "fr", "en-GB", "zh-Hans"]))
+    return Literal(text, language=tag)
+
+
+@st.composite
+def numeric_literals(draw) -> Literal:
+    kind = draw(st.sampled_from(["int", "float"]))
+    if kind == "int":
+        return Literal(draw(st.integers(min_value=-10**9, max_value=10**9)))
+    value = draw(
+        st.floats(
+            allow_nan=False,
+            allow_infinity=False,
+            min_value=-1e9,
+            max_value=1e9,
+        )
+    )
+    return Literal(value)
+
+
+def literals() -> st.SearchStrategy[Literal]:
+    return st.one_of(
+        plain_literals(), language_literals(), numeric_literals()
+    )
+
+
+def subjects():
+    return st.one_of(uris(), bnodes())
+
+
+def rdf_objects():
+    return st.one_of(uris(), bnodes(), literals())
+
+
+@st.composite
+def triples(draw) -> Triple:
+    return Triple(draw(subjects()), draw(uris()), draw(rdf_objects()))
+
+
+@st.composite
+def graphs(draw, max_size: int = 40) -> Graph:
+    return Graph(draw(st.lists(triples(), max_size=max_size)))

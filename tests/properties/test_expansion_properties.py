@@ -1,0 +1,192 @@
+"""Property-based tests for the formal model invariants (Section 2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Bar,
+    BarChart,
+    BarType,
+    Direction,
+    object_expansion,
+    property_expansion,
+    root_bar,
+    subclass_expansion,
+)
+from repro.rdf import Graph, RDF, RDFS, Triple, URI
+
+_RDF_TYPE = RDF.term("type")
+_SUBCLASS = RDFS.term("subClassOf")
+
+_CLASSES = [URI(f"http://ex/C{i}") for i in range(5)]
+_PROPS = [URI(f"http://ex/p{i}") for i in range(4)]
+_NODES = [URI(f"http://ex/n{i}") for i in range(12)]
+
+
+@st.composite
+def ontology_graphs(draw) -> Graph:
+    """Random small graphs with a class hierarchy and typed nodes."""
+    graph = Graph()
+    # Random tree-ish hierarchy over the classes.
+    for index, cls in enumerate(_CLASSES[1:], start=1):
+        parent = _CLASSES[draw(st.integers(0, index - 1))]
+        graph.add(cls, _SUBCLASS, parent)
+    # Random typing.
+    for node in _NODES:
+        for cls in draw(st.sets(st.sampled_from(_CLASSES), max_size=3)):
+            graph.add(node, _RDF_TYPE, cls)
+    # Random edges.
+    edge_count = draw(st.integers(0, 25))
+    for _ in range(edge_count):
+        s = draw(st.sampled_from(_NODES))
+        p = draw(st.sampled_from(_PROPS))
+        o = draw(st.sampled_from(_NODES))
+        graph.add(s, p, o)
+    return graph
+
+
+@st.composite
+def class_bars(draw, graph: Graph) -> Bar:
+    cls = draw(st.sampled_from(_CLASSES))
+    members = frozenset(graph.subjects(_RDF_TYPE, cls))
+    # Possibly narrow the set (bars need not hold all instances).
+    if members and draw(st.booleans()):
+        members = frozenset(
+            draw(st.sets(st.sampled_from(sorted(members, key=str)), max_size=len(members)))
+        )
+    return Bar(label=cls, type=BarType.CLASS, uris=members)
+
+
+class TestSubclassExpansionInvariants:
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_bars_subset_of_input(self, data):
+        graph = data.draw(ontology_graphs())
+        bar = data.draw(class_bars(graph))
+        chart = subclass_expansion(graph, bar)
+        for sub_bar in chart:
+            assert sub_bar.uris <= bar.uris
+
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_labels_are_exactly_declared_subclasses(self, data):
+        graph = data.draw(ontology_graphs())
+        bar = data.draw(class_bars(graph))
+        chart = subclass_expansion(graph, bar)
+        declared = set(graph.subjects(_SUBCLASS, bar.label))
+        assert set(chart.labels()) == declared
+
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_membership_definition(self, data):
+        graph = data.draw(ontology_graphs())
+        bar = data.draw(class_bars(graph))
+        chart = subclass_expansion(graph, bar)
+        for sub_bar in chart:
+            for member in sub_bar.uris:
+                assert (member, _RDF_TYPE, sub_bar.label) in graph
+
+
+class TestPropertyExpansionInvariants:
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_union_of_bars_covers_featuring_members(self, data):
+        graph = data.draw(ontology_graphs())
+        bar = data.draw(class_bars(graph))
+        chart = property_expansion(graph, bar)
+        union = set()
+        for prop_bar in chart:
+            union |= prop_bar.uris
+        featuring = {
+            member
+            for member in bar.uris
+            if any(True for _ in graph.triples(member, None, None))
+        }
+        assert union == featuring
+
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_coverage_bounds_and_consistency(self, data):
+        graph = data.draw(ontology_graphs())
+        bar = data.draw(class_bars(graph))
+        chart = property_expansion(graph, bar)
+        for prop_bar in chart:
+            assert 0.0 < prop_bar.coverage <= 1.0
+            assert prop_bar.coverage == len(prop_bar.uris) / max(1, bar.size)
+
+    @given(st.data())
+    @settings(max_examples=40)
+    def test_incoming_outgoing_duality(self, data):
+        """s in outgoing-B[p] of S  <=>  some (s, p, o); and the incoming
+        chart of the *whole node set* mirrors edges reversed."""
+        graph = data.draw(ontology_graphs())
+        everything = Bar(
+            label=URI("http://ex/All"),
+            type=BarType.CLASS,
+            uris=frozenset(n for n in _NODES),
+        )
+        outgoing = property_expansion(graph, everything, Direction.OUTGOING)
+        incoming = property_expansion(graph, everything, Direction.INCOMING)
+        for prop in _PROPS:
+            out_members = outgoing[prop].uris if prop in outgoing else frozenset()
+            in_members = incoming[prop].uris if prop in incoming else frozenset()
+            assert out_members == {
+                t.subject for t in graph.triples(None, prop, None)
+            } & everything.uris
+            assert in_members == {
+                t.object for t in graph.triples(None, prop, None)
+            } & everything.uris
+
+
+class TestObjectExpansionInvariants:
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_objects_connected_and_typed(self, data):
+        graph = data.draw(ontology_graphs())
+        bar = data.draw(class_bars(graph))
+        chart = property_expansion(graph, bar)
+        for prop_bar in list(chart)[:2]:
+            object_chart = object_expansion(graph, prop_bar)
+            connected = set()
+            for member in prop_bar.uris:
+                connected |= set(graph.objects(member, prop_bar.label))
+            for type_bar in object_chart:
+                for node in type_bar.uris:
+                    assert node in connected
+                    assert (node, _RDF_TYPE, type_bar.label) in graph
+
+
+class TestChartInvariants:
+    @given(st.data())
+    @settings(max_examples=40)
+    def test_sorted_by_decreasing_support(self, data):
+        graph = data.draw(ontology_graphs())
+        bar = data.draw(class_bars(graph))
+        for chart in (
+            subclass_expansion(graph, bar),
+            property_expansion(graph, bar),
+        ):
+            sizes = [b.size for b in chart.sorted_bars()]
+            assert sizes == sorted(sizes, reverse=True)
+
+    @given(st.data(), st.floats(min_value=0, max_value=1))
+    @settings(max_examples=40)
+    def test_threshold_monotone(self, data, threshold):
+        graph = data.draw(ontology_graphs())
+        bar = data.draw(class_bars(graph))
+        chart = property_expansion(graph, bar)
+        kept = chart.above_coverage(threshold)
+        assert len(kept) <= len(chart)
+        stricter = chart.above_coverage(min(1.0, threshold + 0.2))
+        assert len(stricter) <= len(kept)
+
+    @given(st.data())
+    @settings(max_examples=40)
+    def test_filter_bars_shrink(self, data):
+        graph = data.draw(ontology_graphs())
+        bar = data.draw(class_bars(graph))
+        chart = subclass_expansion(graph, bar)
+        filtered = chart.filter_bars(lambda u: u.value.endswith(("1", "3", "5")))
+        for label in filtered.labels():
+            assert filtered[label].size <= chart[label].size
+            assert filtered[label].uris <= chart[label].uris

@@ -1,0 +1,170 @@
+"""Differential tests for property-path closures against networkx
+reachability on random edge sets, plus parser robustness fuzzing."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import Graph, URI
+from repro.sparql import SparqlError, evaluate, parse_query
+from repro.sparql.ast import InversePath, RepeatPath, SequencePath
+from repro.sparql.errors import SparqlSyntaxError
+from repro.sparql.paths import eval_path
+
+_NODES = [URI(f"http://ex/n{i}") for i in range(8)]
+_EDGE = URI("http://ex/edge")
+_OTHER = URI("http://ex/other")
+
+
+@st.composite
+def edge_graphs(draw):
+    """A random digraph over 8 nodes, as RDF triples + a networkx copy."""
+    graph = Graph()
+    digraph = nx.DiGraph()
+    digraph.add_nodes_from(range(len(_NODES)))
+    count = draw(st.integers(0, 20))
+    for _ in range(count):
+        a = draw(st.integers(0, len(_NODES) - 1))
+        b = draw(st.integers(0, len(_NODES) - 1))
+        graph.add(_NODES[a], _EDGE, _NODES[b])
+        digraph.add_edge(a, b)
+    return graph, digraph
+
+
+class TestClosureVsNetworkx:
+    @given(edge_graphs(), st.integers(0, 7))
+    @settings(max_examples=100, deadline=None)
+    def test_plus_closure_equals_descendants(self, data, start):
+        graph, digraph = data
+        path = RepeatPath(_EDGE, min_hops=1)
+        reached = {
+            target for (_s, target) in eval_path(graph, _NODES[start], path, None)
+        }
+        expected = {_NODES[i] for i in nx.descendants(digraph, start)}
+        # nx.descendants excludes the start node even on cycles through it;
+        # SPARQL p+ includes it when reachable in >= 1 hop.
+        if digraph.has_edge(start, start) or any(
+            digraph.has_edge(other, start)
+            for other in nx.descendants(digraph, start)
+        ):
+            expected.add(_NODES[start])
+        assert reached == expected
+
+    @given(edge_graphs(), st.integers(0, 7))
+    @settings(max_examples=100, deadline=None)
+    def test_star_closure_adds_zero_hop(self, data, start):
+        graph, digraph = data
+        plus = {
+            target
+            for (_s, target) in eval_path(
+                graph, _NODES[start], RepeatPath(_EDGE, min_hops=1), None
+            )
+        }
+        star = {
+            target
+            for (_s, target) in eval_path(
+                graph, _NODES[start], RepeatPath(_EDGE, min_hops=0), None
+            )
+        }
+        assert star == plus | {_NODES[start]}
+
+    @given(edge_graphs(), st.integers(0, 7))
+    @settings(max_examples=60, deadline=None)
+    def test_backward_closure_equals_ancestors(self, data, end):
+        graph, digraph = data
+        path = RepeatPath(_EDGE, min_hops=1)
+        sources = {
+            source for (source, _o) in eval_path(graph, None, path, _NODES[end])
+        }
+        expected = {_NODES[i] for i in nx.ancestors(digraph, end)}
+        if digraph.has_edge(end, end) or any(
+            digraph.has_edge(end, other) for other in nx.ancestors(digraph, end)
+        ):
+            expected.add(_NODES[end])
+        assert sources == expected
+
+    @given(edge_graphs(), st.integers(0, 7))
+    @settings(max_examples=60, deadline=None)
+    def test_inverse_closure_swaps_directions(self, data, start):
+        graph, _digraph = data
+        forward = {
+            target
+            for (_s, target) in eval_path(
+                graph, _NODES[start], RepeatPath(_EDGE, min_hops=1), None
+            )
+        }
+        backward = {
+            target
+            for (_s, target) in eval_path(
+                graph,
+                _NODES[start],
+                RepeatPath(InversePath(_EDGE), min_hops=1),
+                None,
+            )
+        }
+        expected_backward = {
+            source
+            for (source, _o) in eval_path(
+                graph, None, RepeatPath(_EDGE, min_hops=1), _NODES[start]
+            )
+        }
+        assert backward == expected_backward
+        del forward  # direction independence asserted via expected set
+
+    @given(edge_graphs(), st.integers(0, 7))
+    @settings(max_examples=60, deadline=None)
+    def test_two_hop_sequence(self, data, start):
+        graph, digraph = data
+        two_hop = {
+            target
+            for (_s, target) in eval_path(
+                graph, _NODES[start], SequencePath((_EDGE, _EDGE)), None
+            )
+        }
+        expected = set()
+        for mid in digraph.successors(start):
+            for end in digraph.successors(mid):
+                expected.add(_NODES[end])
+        assert two_hop == expected
+
+
+class TestParserRobustness:
+    """The parser may reject input, but must never crash with anything
+    other than a SPARQL syntax error."""
+
+    @given(st.text(max_size=120))
+    @settings(max_examples=300, deadline=None)
+    def test_random_text_never_crashes(self, text):
+        try:
+            parse_query(text)
+        except SparqlSyntaxError:
+            pass
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                [
+                    "SELECT", "WHERE", "{", "}", "(", ")", "?s", "?p", "?o",
+                    "FILTER", "OPTIONAL", "UNION", ".", ";", ",", "*", "+",
+                    "a", "<http://x>", '"lit"', "5", "GROUP", "BY", "ORDER",
+                    "LIMIT", "COUNT", "AS", "ASK", "CONSTRUCT", "/", "|", "^",
+                ]
+            ),
+            max_size=25,
+        )
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_token_soup_never_crashes(self, tokens):
+        try:
+            parse_query(" ".join(tokens))
+        except SparqlSyntaxError:
+            pass
+
+    @given(st.text(max_size=80))
+    @settings(max_examples=150, deadline=None)
+    def test_evaluate_random_text_raises_sparql_errors_only(self, text):
+        graph = Graph()
+        try:
+            evaluate(graph, text)
+        except SparqlError:
+            pass

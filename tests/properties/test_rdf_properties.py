@@ -1,0 +1,107 @@
+"""Property-based tests for the RDF substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import Graph, parse_ntriples, parse_turtle, serialize_ntriples, serialize_turtle
+
+from .strategies import graphs, rdf_objects, subjects, triples, uris
+
+
+class TestGraphInvariants:
+    @given(graphs())
+    def test_size_equals_iterated_triples(self, graph):
+        assert len(graph) == sum(1 for _ in graph)
+
+    @given(graphs(), triples())
+    def test_add_then_contains(self, graph, triple):
+        graph.add_triple(triple)
+        assert tuple(triple) in graph
+        assert triple in set(graph.triples())
+
+    @given(graphs(), triples())
+    def test_add_remove_restores(self, graph, triple):
+        was_present = tuple(triple) in graph
+        graph.add_triple(triple)
+        if not was_present:
+            graph.remove(*triple)
+        assert (tuple(triple) in graph) == was_present
+
+    @given(graphs())
+    def test_indexes_consistent(self, graph):
+        """All three indexes answer single-position queries identically
+        to a full scan."""
+        everything = list(graph.triples())
+        for triple in everything[:10]:
+            assert triple.subject in set(graph.subjects(triple.predicate, triple.object))
+            assert triple.predicate in set(
+                graph.predicates(triple.subject, triple.object)
+            )
+            assert triple.object in set(
+                graph.objects(triple.subject, triple.predicate)
+            )
+
+    @given(graphs(), subjects(), uris(), rdf_objects())
+    def test_count_matches_materialised(self, graph, s, p, o):
+        for pattern in [(s, None, None), (None, p, None), (None, None, o), (s, p, None)]:
+            assert graph.count(*pattern) == len(list(graph.triples(*pattern)))
+
+    @given(graphs(), st.integers(min_value=1, max_value=10))
+    def test_windows_partition(self, graph, size):
+        windows = list(graph.windows(size))
+        combined = Graph()
+        for window in windows:
+            for triple in window:
+                assert combined.add_triple(triple), "duplicate across windows"
+        assert set(combined) == set(graph)
+
+    @given(graphs())
+    def test_version_monotone_under_mutation(self, graph):
+        versions = [graph.version]
+        for triple in list(graph.triples())[:5]:
+            graph.remove(*triple)
+            versions.append(graph.version)
+        assert versions == sorted(versions)
+        assert len(set(versions)) == len(versions)
+
+
+class TestSerialisationRoundTrips:
+    @given(graphs())
+    @settings(max_examples=50)
+    def test_ntriples_round_trip(self, graph):
+        text = serialize_ntriples(graph, sort=True)
+        assert set(Graph(parse_ntriples(text))) == set(graph)
+
+    @given(graphs(max_size=20))
+    @settings(max_examples=50)
+    def test_turtle_round_trip(self, graph):
+        text = serialize_turtle(graph)
+        assert set(parse_turtle(text)) == set(graph)
+
+    @given(graphs())
+    @settings(max_examples=25)
+    def test_ntriples_deterministic(self, graph):
+        assert serialize_ntriples(graph, sort=True) == serialize_ntriples(
+            graph.copy(), sort=True
+        )
+
+
+class TestTermOrdering:
+    @given(st.lists(rdf_objects(), min_size=2, max_size=20))
+    def test_sort_key_total_order(self, terms):
+        keys = [t.sort_key() for t in terms]
+        ordered = sorted(terms)
+        assert [t.sort_key() for t in ordered] == sorted(keys)
+
+    @given(rdf_objects(), rdf_objects())
+    def test_equality_consistent_with_hash(self, a, b):
+        if a == b:
+            assert hash(a) == hash(b)
+
+    @given(rdf_objects())
+    def test_n3_round_trips_as_object(self, term):
+        from repro.rdf import URI, parse_ntriples_line
+
+        line = f"<http://s> <http://p> {term.n3()} ."
+        triple = parse_ntriples_line(line)
+        assert triple.object == term

@@ -1,0 +1,190 @@
+"""Differential property tests: the SPARQL engine vs the naive oracle on
+random graphs and random queries."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import Graph, URI
+from repro.sparql import evaluate
+from repro.sparql.ast import TriplePatternNode, Var
+
+from .naive_sparql import (
+    canonical,
+    naive_bgp,
+    naive_distinct,
+    naive_optional,
+    naive_project,
+    naive_union,
+)
+from .strategies import graphs
+
+_VARS = [Var("a"), Var("b"), Var("c"), Var("d")]
+_TERMS = [URI(f"http://ex.org/t{i}") for i in range(4)]
+_PREDS = [URI(f"http://ex.org/p{i}") for i in range(3)]
+
+
+@st.composite
+def dense_graphs(draw) -> Graph:
+    """Small graphs over a tiny vocabulary so joins actually match."""
+    graph = Graph()
+    count = draw(st.integers(1, 20))
+    for _ in range(count):
+        graph.add(
+            draw(st.sampled_from(_TERMS)),
+            draw(st.sampled_from(_PREDS)),
+            draw(st.sampled_from(_TERMS)),
+        )
+    return graph
+
+
+@st.composite
+def triple_patterns(draw) -> TriplePatternNode:
+    def position(pool):
+        if draw(st.booleans()):
+            return draw(st.sampled_from(_VARS))
+        return draw(st.sampled_from(pool))
+
+    return TriplePatternNode(
+        subject=position(_TERMS),
+        predicate=position(_PREDS),
+        object=position(_TERMS),
+    )
+
+
+def _pattern_text(pattern: TriplePatternNode) -> str:
+    def show(term):
+        return str(term) if isinstance(term, Var) else term.n3()
+
+    return f"{show(pattern.subject)} {show(pattern.predicate)} {show(pattern.object)} ."
+
+
+def _vars_of(patterns) -> list:
+    names = []
+    for pattern in patterns:
+        for term in pattern:
+            if isinstance(term, Var) and term.name not in names:
+                names.append(term.name)
+    return names
+
+
+class TestBGPDifferential:
+    @given(dense_graphs(), st.lists(triple_patterns(), min_size=1, max_size=3))
+    @settings(max_examples=120, deadline=None)
+    def test_bgp_matches_oracle(self, graph, patterns):
+        names = _vars_of(patterns)
+        if not names:
+            return  # fully ground patterns -> ASK territory, below
+        query = (
+            f"SELECT {' '.join('?' + n for n in names)} WHERE {{ "
+            + " ".join(_pattern_text(p) for p in patterns)
+            + " }"
+        )
+        via_engine = evaluate(graph, query)
+        oracle = naive_project(naive_bgp(graph, patterns), names)
+        assert canonical(list(via_engine.rows)) == canonical(oracle)
+
+    @given(dense_graphs(), st.lists(triple_patterns(), min_size=1, max_size=2))
+    @settings(max_examples=60, deadline=None)
+    def test_ask_matches_oracle(self, graph, patterns):
+        query = "ASK { " + " ".join(_pattern_text(p) for p in patterns) + " }"
+        assert evaluate(graph, query).value == bool(naive_bgp(graph, patterns))
+
+    @given(dense_graphs(), st.lists(triple_patterns(), min_size=1, max_size=2))
+    @settings(max_examples=60, deadline=None)
+    def test_distinct_matches_oracle(self, graph, patterns):
+        names = _vars_of(patterns)
+        if not names:
+            return
+        query = (
+            f"SELECT DISTINCT {' '.join('?' + n for n in names)} WHERE {{ "
+            + " ".join(_pattern_text(p) for p in patterns)
+            + " }"
+        )
+        via_engine = evaluate(graph, query)
+        oracle = naive_distinct(naive_project(naive_bgp(graph, patterns), names))
+        assert canonical(list(via_engine.rows)) == canonical(oracle)
+
+    @given(dense_graphs(), triple_patterns(), triple_patterns())
+    @settings(max_examples=80, deadline=None)
+    def test_union_matches_oracle(self, graph, left, right):
+        names = _vars_of([left, right])
+        if not names:
+            return
+        query = (
+            f"SELECT {' '.join('?' + n for n in names)} WHERE {{ "
+            f"{{ {_pattern_text(left)} }} UNION {{ {_pattern_text(right)} }} }}"
+        )
+        via_engine = evaluate(graph, query)
+        oracle = naive_project(
+            naive_union(graph, [[left], [right]]), names
+        )
+        assert canonical(list(via_engine.rows)) == canonical(oracle)
+
+    @given(dense_graphs(), triple_patterns(), triple_patterns())
+    @settings(max_examples=80, deadline=None)
+    def test_optional_matches_oracle(self, graph, required, optional):
+        names = _vars_of([required, optional])
+        if not _vars_of([required]):
+            return
+        query = (
+            f"SELECT {' '.join('?' + n for n in names)} WHERE {{ "
+            f"{_pattern_text(required)} OPTIONAL {{ {_pattern_text(optional)} }} }}"
+        )
+        via_engine = evaluate(graph, query)
+        oracle = naive_project(
+            naive_optional(graph, [required], [optional]), names
+        )
+        assert canonical(list(via_engine.rows)) == canonical(oracle)
+
+
+class TestModifierLaws:
+    """Algebraic laws that must hold for any query over any graph."""
+
+    @given(dense_graphs(), st.lists(triple_patterns(), min_size=1, max_size=2))
+    @settings(max_examples=60, deadline=None)
+    def test_distinct_idempotent(self, graph, patterns):
+        names = _vars_of(patterns)
+        if not names:
+            return
+        body = " ".join(_pattern_text(p) for p in patterns)
+        head = " ".join("?" + n for n in names)
+        once = evaluate(graph, f"SELECT DISTINCT {head} WHERE {{ {body} }}")
+        rows = canonical(list(once.rows))
+        assert len(rows) == len(set(rows))
+
+    @given(
+        dense_graphs(),
+        st.lists(triple_patterns(), min_size=1, max_size=2),
+        st.integers(0, 10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_limit_is_prefix_of_ordered(self, graph, patterns, limit):
+        names = _vars_of(patterns)
+        if not names:
+            return
+        body = " ".join(_pattern_text(p) for p in patterns)
+        head = " ".join("?" + n for n in names)
+        order = " ".join("?" + n for n in names)
+        full = evaluate(
+            graph, f"SELECT {head} WHERE {{ {body} }} ORDER BY {order}"
+        )
+        page = evaluate(
+            graph,
+            f"SELECT {head} WHERE {{ {body} }} ORDER BY {order} LIMIT {limit}",
+        )
+        assert len(page.rows) == min(limit, len(full.rows))
+        assert page.rows == full.rows[:limit]
+
+    @given(dense_graphs(), st.lists(triple_patterns(), min_size=1, max_size=2))
+    @settings(max_examples=60, deadline=None)
+    def test_count_star_equals_row_count(self, graph, patterns):
+        body = " ".join(_pattern_text(p) for p in patterns)
+        names = _vars_of(patterns)
+        if not names:
+            return
+        head = " ".join("?" + n for n in names)
+        rows = evaluate(graph, f"SELECT {head} WHERE {{ {body} }}")
+        counted = evaluate(
+            graph, f"SELECT (COUNT(*) AS ?n) WHERE {{ {body} }}"
+        )
+        assert int(counted.scalar().lexical) == len(rows.rows)

@@ -1,0 +1,180 @@
+"""Unit tests for the indexed graph store."""
+
+import pytest
+
+from repro.rdf import Graph, Literal, Triple, TriplePattern, URI
+
+EX = "http://example.org/"
+
+
+def uri(name: str) -> URI:
+    return URI(EX + name)
+
+
+@pytest.fixture()
+def graph() -> Graph:
+    g = Graph()
+    g.add(uri("a"), uri("knows"), uri("b"))
+    g.add(uri("a"), uri("knows"), uri("c"))
+    g.add(uri("b"), uri("knows"), uri("c"))
+    g.add(uri("a"), uri("name"), Literal("Alice"))
+    g.add(uri("c"), uri("name"), Literal("Carol"))
+    return g
+
+
+class TestMutation:
+    def test_add_returns_true_for_new(self):
+        g = Graph()
+        assert g.add(uri("s"), uri("p"), uri("o")) is True
+        assert g.add(uri("s"), uri("p"), uri("o")) is False
+        assert len(g) == 1
+
+    def test_version_increments_on_change_only(self):
+        g = Graph()
+        v0 = g.version
+        g.add(uri("s"), uri("p"), uri("o"))
+        v1 = g.version
+        assert v1 > v0
+        g.add(uri("s"), uri("p"), uri("o"))  # duplicate
+        assert g.version == v1
+
+    def test_remove(self, graph):
+        assert graph.remove(uri("a"), uri("knows"), uri("b")) is True
+        assert graph.remove(uri("a"), uri("knows"), uri("b")) is False
+        assert len(graph) == 4
+        assert (uri("a"), uri("knows"), uri("b")) not in graph
+
+    def test_remove_pattern(self, graph):
+        removed = graph.remove_pattern(predicate=uri("knows"))
+        assert removed == 3
+        assert len(graph) == 2
+
+    def test_clear(self, graph):
+        graph.clear()
+        assert len(graph) == 0
+        assert not graph
+
+    def test_type_validation(self):
+        g = Graph()
+        with pytest.raises(TypeError):
+            g.add(Literal("x"), uri("p"), uri("o"))  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            g.add(uri("s"), Literal("p"), uri("o"))  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            g.add(uri("s"), uri("p"), object())  # type: ignore[arg-type]
+
+    def test_update_counts_new_triples(self, graph):
+        extra = [
+            Triple(uri("a"), uri("knows"), uri("b")),  # duplicate
+            Triple(uri("d"), uri("knows"), uri("a")),  # new
+        ]
+        assert graph.update(extra) == 1
+
+
+class TestPatternMatching:
+    @pytest.mark.parametrize(
+        "pattern,expected",
+        [
+            ((None, None, None), 5),
+            (("a", None, None), 3),
+            ((None, "knows", None), 3),
+            ((None, None, "c"), 2),
+            (("a", "knows", None), 2),
+            (("a", None, "b"), 1),
+            ((None, "knows", "c"), 2),
+            (("a", "knows", "b"), 1),
+            (("zz", None, None), 0),
+        ],
+    )
+    def test_triples_counts(self, graph, pattern, expected):
+        s, p, o = pattern
+        subject = uri(s) if s else None
+        predicate = uri(p) if p else None
+        object = uri(o) if o else None
+        assert len(list(graph.triples(subject, predicate, object))) == expected
+        assert graph.count(subject, predicate, object) == expected
+
+    def test_contains(self, graph):
+        assert (uri("a"), uri("knows"), uri("b")) in graph
+        assert (uri("a"), uri("knows"), uri("z")) not in graph
+        assert "not a triple" not in graph
+
+    def test_match_with_triple_pattern(self, graph):
+        pattern = TriplePattern(None, uri("name"), None)
+        found = list(graph.match(pattern))
+        assert len(found) == 2
+        assert all(pattern.matches(t) for t in found)
+
+    def test_iteration_yields_all(self, graph):
+        assert len(list(graph)) == 5
+
+    def test_all_matches_consistent_with_pattern_filter(self, graph):
+        everything = list(graph.triples())
+        for s, p, o in [
+            (uri("a"), None, None),
+            (None, uri("knows"), None),
+            (None, None, Literal("Alice")),
+            (uri("a"), uri("knows"), None),
+        ]:
+            expected = {
+                t
+                for t in everything
+                if TriplePattern(s, p, o).matches(t)
+            }
+            assert set(graph.triples(s, p, o)) == expected
+
+
+class TestAccessors:
+    def test_subjects(self, graph):
+        assert set(graph.subjects(uri("knows"), uri("c"))) == {uri("a"), uri("b")}
+        assert set(graph.subjects(predicate=uri("name"))) == {uri("a"), uri("c")}
+
+    def test_predicates(self, graph):
+        assert set(graph.predicates(subject=uri("a"))) == {uri("knows"), uri("name")}
+        assert set(graph.predicates(uri("a"), uri("b"))) == {uri("knows")}
+        assert set(graph.predicates()) == {uri("knows"), uri("name")}
+
+    def test_objects(self, graph):
+        assert set(graph.objects(uri("a"), uri("knows"))) == {uri("b"), uri("c")}
+        assert Literal("Alice") in set(graph.objects(subject=uri("a")))
+
+    def test_value(self, graph):
+        assert graph.value(uri("a"), uri("name"), None) == Literal("Alice")
+        assert graph.value(None, uri("name"), Literal("Alice")) == uri("a")
+        assert graph.value(uri("zz"), uri("name"), None) is None
+
+    def test_value_requires_exactly_one_wildcard(self, graph):
+        with pytest.raises(ValueError):
+            graph.value(uri("a"), None, None)
+        with pytest.raises(ValueError):
+            graph.value(uri("a"), uri("name"), Literal("Alice"))
+
+    def test_uris_and_literals(self, graph):
+        uris = graph.uris()
+        assert uri("a") in uris and uri("knows") in uris
+        assert graph.literals() == {Literal("Alice"), Literal("Carol")}
+
+
+class TestWindows:
+    def test_windows_partition_the_graph(self, graph):
+        windows = list(graph.windows(2))
+        assert sum(len(w) for w in windows) == len(graph)
+        union = set()
+        for window in windows:
+            window_set = set(window)
+            assert not (union & window_set), "windows must be disjoint"
+            union |= window_set
+        assert union == set(graph)
+
+    def test_window_sizes(self, graph):
+        windows = list(graph.windows(2))
+        assert [len(w) for w in windows] == [2, 2, 1]
+
+    def test_window_size_must_be_positive(self, graph):
+        with pytest.raises(ValueError):
+            list(graph.windows(0))
+
+    def test_copy_is_independent(self, graph):
+        clone = graph.copy()
+        clone.add(uri("x"), uri("knows"), uri("y"))
+        assert len(clone) == len(graph) + 1

@@ -1,0 +1,114 @@
+"""Unit tests for namespaces and prefix management."""
+
+import pytest
+
+from repro.rdf import (
+    DBO,
+    Namespace,
+    NamespaceManager,
+    RDF,
+    URI,
+    default_namespace_manager,
+)
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        ns = Namespace("http://example.org/")
+        assert ns.Person == URI("http://example.org/Person")
+
+    def test_item_access(self):
+        ns = Namespace("http://example.org/")
+        assert ns["with-dash"] == URI("http://example.org/with-dash")
+
+    def test_term_method(self):
+        ns = Namespace("http://example.org/")
+        assert ns.term("base") == URI("http://example.org/base")
+
+    def test_contains(self):
+        ns = Namespace("http://example.org/")
+        assert URI("http://example.org/X") in ns
+        assert "http://example.org/X" in ns
+        assert URI("http://other.org/X") not in ns
+
+    def test_rejects_empty_base(self):
+        with pytest.raises(ValueError):
+            Namespace("")
+
+    def test_equality(self):
+        assert Namespace("http://a/") == Namespace("http://a/")
+        assert Namespace("http://a/") != Namespace("http://b/")
+
+    def test_dunder_names_raise(self):
+        ns = Namespace("http://example.org/")
+        with pytest.raises(AttributeError):
+            ns._private
+
+
+class TestNamespaceManager:
+    def test_bind_and_expand(self):
+        manager = NamespaceManager()
+        manager.bind("ex", "http://example.org/")
+        assert manager.expand("ex:Person") == URI("http://example.org/Person")
+
+    def test_expand_unknown_prefix(self):
+        with pytest.raises(KeyError):
+            NamespaceManager().expand("nope:X")
+
+    def test_expand_requires_colon(self):
+        with pytest.raises(ValueError):
+            NamespaceManager().expand("noprefix")
+
+    def test_qname_round_trip(self):
+        manager = default_namespace_manager()
+        uri = DBO.term("Philosopher")
+        qname = manager.qname(uri)
+        assert qname == "dbo:Philosopher"
+        assert manager.expand(qname) == uri
+
+    def test_qname_unknown_namespace(self):
+        manager = NamespaceManager()
+        assert manager.qname(URI("http://unknown.org/X")) is None
+
+    def test_qname_or_n3_falls_back(self):
+        manager = NamespaceManager()
+        assert manager.qname_or_n3(URI("http://unknown.org/X")) == "<http://unknown.org/X>"
+
+    def test_qname_prefers_longest_namespace(self):
+        manager = NamespaceManager(
+            {"short": "http://a.org/", "long": "http://a.org/sub/"}
+        )
+        assert manager.qname(URI("http://a.org/sub/X")) == "long:X"
+
+    def test_qname_skips_non_local_names(self):
+        manager = NamespaceManager({"ex": "http://a.org/"})
+        # A slash inside the would-be local name is not a valid qname.
+        assert manager.qname(URI("http://a.org/a/b")) is None
+
+    def test_rebind_replaces(self):
+        manager = NamespaceManager()
+        manager.bind("ex", "http://a.org/")
+        manager.bind("ex", "http://b.org/")
+        assert manager.namespace("ex") == "http://b.org/"
+
+    def test_rebind_conflict_raises_when_replace_false(self):
+        manager = NamespaceManager()
+        manager.bind("ex", "http://a.org/")
+        with pytest.raises(ValueError):
+            manager.bind("ex", "http://b.org/", replace=False)
+
+    def test_iteration_is_sorted(self):
+        manager = NamespaceManager({"b": "http://b/", "a": "http://a/"})
+        assert [prefix for prefix, _ in manager] == ["a", "b"]
+
+    def test_default_manager_has_standard_bindings(self):
+        manager = default_namespace_manager()
+        assert "rdf" in manager
+        assert manager.namespace("rdf") == RDF.base
+        assert len(manager) >= 8
+
+    def test_copy_is_independent(self):
+        manager = NamespaceManager({"a": "http://a/"})
+        clone = manager.copy()
+        clone.bind("b", "http://b/")
+        assert "b" not in manager

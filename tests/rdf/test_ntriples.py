@@ -1,0 +1,107 @@
+"""Unit tests for N-Triples parsing and serialisation."""
+
+import pytest
+
+from repro.rdf import (
+    BNode,
+    Graph,
+    Literal,
+    NTriplesError,
+    Triple,
+    URI,
+    dump_ntriples,
+    load_ntriples,
+    parse_ntriples,
+    parse_ntriples_line,
+    serialize_ntriples,
+)
+
+
+class TestParseLine:
+    def test_simple_triple(self):
+        t = parse_ntriples_line("<http://a> <http://p> <http://b> .")
+        assert t == Triple(URI("http://a"), URI("http://p"), URI("http://b"))
+
+    def test_plain_literal(self):
+        t = parse_ntriples_line('<http://a> <http://p> "hello" .')
+        assert t.object == Literal("hello")
+
+    def test_language_literal(self):
+        t = parse_ntriples_line('<http://a> <http://p> "hi"@en .')
+        assert t.object == Literal("hi", language="en")
+
+    def test_typed_literal(self):
+        t = parse_ntriples_line(
+            '<http://a> <http://p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        )
+        assert t.object.datatype.endswith("integer")
+
+    def test_bnode_subject_and_object(self):
+        t = parse_ntriples_line("_:x <http://p> _:y .")
+        assert t.subject == BNode("x")
+        assert t.object == BNode("y")
+
+    def test_escapes(self):
+        t = parse_ntriples_line('<http://a> <http://p> "line\\nbreak \\"q\\"" .')
+        assert t.object.lexical == 'line\nbreak "q"'
+
+    def test_unicode_escape(self):
+        t = parse_ntriples_line('<http://a> <http://p> "\\u00e9" .')
+        assert t.object.lexical == "é"
+
+    def test_blank_and_comment_lines(self):
+        assert parse_ntriples_line("") is None
+        assert parse_ntriples_line("   # a comment") is None
+
+    def test_trailing_comment_allowed(self):
+        t = parse_ntriples_line("<http://a> <http://p> <http://b> . # note")
+        assert t is not None
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<http://a> <http://p> <http://b>",       # missing dot
+            "<http://a> <http://p> .",                # missing object
+            '"lit" <http://p> <http://b> .',          # literal subject
+            "<http://a> <http://p <http://b> .",      # unterminated URI
+            '<http://a> <http://p> "unterminated .',  # unterminated literal
+            "<http://a> <http://p> <http://b> . junk",
+        ],
+    )
+    def test_malformed_lines_raise(self, bad):
+        with pytest.raises(NTriplesError):
+            parse_ntriples_line(bad)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(NTriplesError) as excinfo:
+            list(parse_ntriples("<http://a> <http://p> <http://b> .\nbad line\n"))
+        assert "line 2" in str(excinfo.value)
+
+
+class TestRoundTrip:
+    def test_serialize_parse_round_trip(self, philosophy_graph):
+        text = serialize_ntriples(philosophy_graph, sort=True)
+        reparsed = Graph(parse_ntriples(text))
+        assert set(reparsed) == set(philosophy_graph)
+
+    def test_sorted_output_is_deterministic(self, philosophy_graph):
+        a = serialize_ntriples(philosophy_graph, sort=True)
+        b = serialize_ntriples(philosophy_graph.copy(), sort=True)
+        assert a == b
+
+    def test_file_round_trip(self, tmp_path, philosophy_graph):
+        path = str(tmp_path / "dump.nt")
+        count = dump_ntriples(philosophy_graph, path)
+        assert count == len(philosophy_graph)
+        loaded = load_ntriples(path)
+        assert set(loaded) == set(philosophy_graph)
+
+    def test_special_characters_survive(self):
+        g = Graph()
+        g.add(
+            URI("http://a"),
+            URI("http://p"),
+            Literal('tab\t "quote" \\ newline\n end'),
+        )
+        reparsed = Graph(parse_ntriples(serialize_ntriples(g)))
+        assert set(reparsed) == set(g)

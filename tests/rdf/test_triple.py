@@ -1,0 +1,59 @@
+"""Unit tests for Triple and TriplePattern."""
+
+import pytest
+
+from repro.rdf import Literal, Triple, TriplePattern, URI
+
+S = URI("http://ex/s")
+P = URI("http://ex/p")
+O = URI("http://ex/o")
+
+
+class TestTriple:
+    def test_namedtuple_fields(self):
+        triple = Triple(S, P, O)
+        assert triple.subject is S
+        assert triple.predicate is P
+        assert triple.object is O
+        assert tuple(triple) == (S, P, O)
+
+    def test_n3(self):
+        assert Triple(S, P, Literal("x")).n3() == '<http://ex/s> <http://ex/p> "x" .'
+
+    def test_create_validates_positions(self):
+        with pytest.raises(TypeError):
+            Triple.create(Literal("bad"), P, O)
+        with pytest.raises(TypeError):
+            Triple.create(S, Literal("bad"), O)
+        with pytest.raises(TypeError):
+            Triple.create(S, P, object())
+        assert Triple.create(S, P, O) == Triple(S, P, O)
+
+    def test_equality_and_hash(self):
+        assert Triple(S, P, O) == Triple(S, P, O)
+        assert hash(Triple(S, P, O)) == hash(Triple(S, P, O))
+        assert Triple(S, P, O) != Triple(O, P, S)
+
+
+class TestTriplePattern:
+    def test_full_wildcard_matches_anything(self):
+        pattern = TriplePattern(None, None, None)
+        assert pattern.matches(Triple(S, P, O))
+        assert pattern.bound_positions == 0
+
+    def test_partial_patterns(self):
+        pattern = TriplePattern(S, None, None)
+        assert pattern.matches(Triple(S, P, O))
+        assert not pattern.matches(Triple(O, P, S))
+        assert pattern.bound_positions == 1
+
+    def test_fully_bound(self):
+        pattern = TriplePattern(S, P, O)
+        assert pattern.bound_positions == 3
+        assert pattern.matches(Triple(S, P, O))
+        assert not pattern.matches(Triple(S, P, Literal("x")))
+
+    def test_str_rendering(self):
+        pattern = TriplePattern(S, None, None)
+        text = str(pattern)
+        assert "<http://ex/s>" in text and "?" in text

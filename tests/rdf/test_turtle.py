@@ -1,0 +1,146 @@
+"""Unit tests for the Turtle parser and serialiser."""
+
+import pytest
+
+from repro.rdf import (
+    BNode,
+    Graph,
+    Literal,
+    RDF,
+    TurtleError,
+    URI,
+    parse_turtle,
+    serialize_turtle,
+)
+
+EX = "http://example.org/"
+
+
+class TestParser:
+    def test_prefix_and_qname(self):
+        g = parse_turtle("@prefix ex: <http://example.org/> .\nex:a ex:p ex:b .")
+        assert (URI(EX + "a"), URI(EX + "p"), URI(EX + "b")) in g
+
+    def test_sparql_style_prefix(self):
+        g = parse_turtle("PREFIX ex: <http://example.org/>\nex:a ex:p ex:b .")
+        assert len(g) == 1
+
+    def test_a_shorthand(self):
+        g = parse_turtle("@prefix ex: <http://example.org/> .\nex:a a ex:C .")
+        triple = next(iter(g))
+        assert triple.predicate == RDF.term("type")
+
+    def test_semicolon_and_comma(self):
+        g = parse_turtle(
+            "@prefix ex: <http://example.org/> .\n"
+            "ex:a ex:p ex:b, ex:c ; ex:q ex:d ."
+        )
+        assert len(g) == 3
+
+    def test_trailing_semicolon(self):
+        g = parse_turtle(
+            "@prefix ex: <http://example.org/> .\nex:a ex:p ex:b ; ."
+        )
+        assert len(g) == 1
+
+    def test_literals(self):
+        g = parse_turtle(
+            '@prefix ex: <http://example.org/> .\n'
+            'ex:a ex:s "text" ; ex:l "hi"@en ; ex:i 42 ; ex:d 3.14 ;'
+            ' ex:e 1e3 ; ex:t true ; ex:f false .'
+        )
+        objects = {t.object for t in g}
+        assert Literal("text") in objects
+        assert Literal("hi", language="en") in objects
+        assert any(
+            isinstance(o, Literal) and o.lexical == "42" and o.is_numeric
+            for o in objects
+        )
+        assert any(isinstance(o, Literal) and o.lexical == "true" for o in objects)
+
+    def test_negative_number(self):
+        g = parse_turtle("@prefix ex: <http://ex/> .\nex:a ex:y -428 .")
+        (triple,) = list(g)
+        assert triple.object.lexical == "-428"
+
+    def test_typed_literal_with_qname_datatype(self):
+        g = parse_turtle(
+            "@prefix ex: <http://ex/> .\n"
+            "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+            'ex:a ex:p "5"^^xsd:integer .'
+        )
+        (triple,) = list(g)
+        assert triple.object.datatype.endswith("#integer")
+
+    def test_long_string(self):
+        g = parse_turtle(
+            '@prefix ex: <http://ex/> .\nex:a ex:p """multi\nline""" .'
+        )
+        (triple,) = list(g)
+        assert triple.object.lexical == "multi\nline"
+
+    def test_bnode_label(self):
+        g = parse_turtle("@prefix ex: <http://ex/> .\n_:n ex:p ex:b .")
+        (triple,) = list(g)
+        assert triple.subject == BNode("n")
+
+    def test_anonymous_bnode_with_properties(self):
+        g = parse_turtle(
+            "@prefix ex: <http://ex/> .\nex:a ex:p [ ex:q ex:b ] ."
+        )
+        assert len(g) == 2
+
+    def test_comments_ignored(self):
+        g = parse_turtle(
+            "# top comment\n@prefix ex: <http://ex/> .\n"
+            "ex:a ex:p ex:b . # trailing\n"
+        )
+        assert len(g) == 1
+
+    def test_base_resolution(self):
+        g = parse_turtle("@base <http://ex/> .\n<a> <p> <b> .")
+        (triple,) = list(g)
+        assert triple.subject == URI("http://ex/a")
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(TurtleError):
+            parse_turtle("ex:a ex:p ex:b .")
+
+    def test_collections_unsupported_with_clear_error(self):
+        with pytest.raises(TurtleError) as excinfo:
+            parse_turtle("@prefix ex: <http://ex/> .\nex:a ex:p (1 2) .")
+        assert "collection" in str(excinfo.value).lower()
+
+    def test_error_reports_location(self):
+        with pytest.raises(TurtleError) as excinfo:
+            parse_turtle("@prefix ex: <http://ex/> .\nex:a ex:p @@ .")
+        assert "line 2" in str(excinfo.value)
+
+
+class TestSerialiser:
+    def test_round_trip(self, philosophy_graph):
+        text = serialize_turtle(philosophy_graph)
+        reparsed = parse_turtle(text)
+        assert set(reparsed) == set(philosophy_graph)
+
+    def test_groups_by_subject(self, philosophy_graph):
+        text = serialize_turtle(philosophy_graph)
+        # The subject starts exactly one statement block (other mentions
+        # are in object position, indented).
+        starts = [
+            line for line in text.splitlines() if line.startswith("dbr:Plato ")
+        ]
+        assert len(starts) == 1
+
+    def test_uses_a_for_rdf_type(self, philosophy_graph):
+        assert " a " in serialize_turtle(philosophy_graph)
+
+    def test_deterministic(self, philosophy_graph):
+        assert serialize_turtle(philosophy_graph) == serialize_turtle(
+            philosophy_graph.copy()
+        )
+
+    def test_only_used_prefixes_declared(self):
+        g = parse_turtle("@prefix ex: <http://ex/> .\nex:a ex:p ex:b .")
+        text = serialize_turtle(g)
+        assert "@prefix foaf:" not in text

@@ -1,0 +1,159 @@
+"""Unit tests for CONSTRUCT queries, including over the HTTP/JSON wire
+and through the chart engine's bar export."""
+
+import pytest
+
+from repro.rdf import BNode, Graph, URI
+from repro.sparql import GraphResult, evaluate
+from repro.sparql.errors import SparqlSyntaxError
+
+P = (
+    "PREFIX dbo: <http://dbpedia.org/ontology/>\n"
+    "PREFIX dbr: <http://dbpedia.org/resource/>\n"
+    "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+)
+
+
+class TestConstructEvaluation:
+    def test_template_instantiation(self, philosophy_graph):
+        result = evaluate(
+            philosophy_graph,
+            P + "CONSTRUCT { ?s dbo:inspiredBy ?o } "
+            "WHERE { ?s dbo:influencedBy ?o }",
+        )
+        assert isinstance(result, GraphResult)
+        assert len(result) == 3
+        predicates = {t.predicate.local_name for t in result.graph}
+        assert predicates == {"inspiredBy"}
+
+    def test_short_form(self, philosophy_graph):
+        result = evaluate(
+            philosophy_graph, P + "CONSTRUCT WHERE { ?s a dbo:Philosopher }"
+        )
+        assert len(result) == 3
+        assert all(t.predicate.value.endswith("#type") for t in result.graph)
+
+    def test_short_form_rejects_filters(self, philosophy_graph):
+        with pytest.raises(SparqlSyntaxError):
+            evaluate(
+                philosophy_graph,
+                P + "CONSTRUCT WHERE { ?s a dbo:Philosopher FILTER(?s != dbr:Plato) }",
+            )
+
+    def test_multi_triple_template(self, philosophy_graph):
+        result = evaluate(
+            philosophy_graph,
+            P + "CONSTRUCT { ?s a dbo:Influencer . ?o a dbo:Influencee } "
+            "WHERE { ?o dbo:influencedBy ?s }",
+        )
+        types = {t.object.local_name for t in result.graph}
+        assert types == {"Influencer", "Influencee"}
+
+    def test_unbound_template_triples_skipped(self, philosophy_graph):
+        result = evaluate(
+            philosophy_graph,
+            P + "CONSTRUCT { ?s dbo:place ?p } WHERE { "
+            "?s a dbo:Philosopher OPTIONAL { ?s dbo:birthPlace ?p } }",
+        )
+        # Kant has no birthPlace -> his template triple is skipped.
+        assert len(result) == 2
+
+    def test_literal_subject_skipped(self, philosophy_graph):
+        result = evaluate(
+            philosophy_graph,
+            P + "CONSTRUCT { ?l dbo:of ?s } WHERE { ?s rdfs:label ?l }",
+        )
+        assert len(result) == 0
+
+    def test_blank_nodes_freshened_per_solution(self, philosophy_graph):
+        result = evaluate(
+            philosophy_graph,
+            P + "CONSTRUCT { ?s dbo:link _:n . _:n dbo:to ?o } "
+            "WHERE { ?s dbo:influencedBy ?o }",
+        )
+        bnodes = {
+            t.object for t in result.graph if isinstance(t.object, BNode)
+        }
+        # Three solutions -> three distinct blank nodes.
+        assert len(bnodes) == 3
+
+    def test_limit_offset(self, philosophy_graph):
+        full = evaluate(
+            philosophy_graph,
+            P + "CONSTRUCT WHERE { ?s a dbo:Philosopher }",
+        )
+        page = evaluate(
+            philosophy_graph,
+            P + "CONSTRUCT WHERE { ?s a dbo:Philosopher } LIMIT 2",
+        )
+        assert len(page) == 2
+        assert set(page.graph) <= set(full.graph)
+
+    def test_deduplicates(self, philosophy_graph):
+        result = evaluate(
+            philosophy_graph,
+            P + "CONSTRUCT { ?s a dbo:Mentioned } WHERE { ?s ?p ?o }",
+        )
+        subjects = {t.subject for t in result.graph}
+        assert len(result) == len(subjects)
+
+    def test_ntriples_round_trip(self, philosophy_graph):
+        result = evaluate(
+            philosophy_graph, P + "CONSTRUCT WHERE { ?s dbo:influencedBy ?o }"
+        )
+        from repro.rdf import parse_ntriples
+
+        reparsed = Graph(parse_ntriples(result.to_ntriples()))
+        assert set(reparsed) == set(result.graph)
+
+    def test_paths_rejected_in_template(self, philosophy_graph):
+        with pytest.raises(SparqlSyntaxError):
+            evaluate(
+                philosophy_graph,
+                P + "CONSTRUCT { ?s dbo:a/dbo:b ?o } WHERE { ?s ?p ?o }",
+            )
+
+
+class TestConstructOverTheWire:
+    def test_remote_construct(self, virtuoso_server):
+        from repro.endpoint import RemoteEndpoint
+
+        remote = RemoteEndpoint(virtuoso_server)
+        graph = remote.construct(
+            P + "CONSTRUCT WHERE { ?s a dbo:Philosopher } LIMIT 5"
+        )
+        assert len(graph) == 5
+
+    def test_construct_helper_type_checks(self, philosophy_endpoint):
+        with pytest.raises(TypeError):
+            philosophy_endpoint.construct("ASK { ?s ?p ?o }")
+        with pytest.raises(TypeError):
+            philosophy_endpoint.select(
+                P + "CONSTRUCT WHERE { ?s a dbo:Philosopher }"
+            )
+
+
+class TestBarExport:
+    def test_export_bar_subgraph(self, philosophy_endpoint, philosophy_graph):
+        from repro.core import ChartEngine
+        from repro.rdf import DBO, OWL
+
+        engine = ChartEngine(philosophy_endpoint, OWL.term("Thing"))
+        chart = engine.initial_chart()
+        agent_bar = chart[DBO.term("Agent")]
+        subgraph = engine.export_bar(agent_bar)
+        # Every triple's subject is an Agent member.
+        members = set(philosophy_graph.subjects(None, DBO.term("Agent")))
+        from repro.rdf import RDF
+
+        members = set(
+            philosophy_graph.subjects(RDF.term("type"), DBO.term("Agent"))
+        )
+        assert {t.subject for t in subgraph} == members
+        # All of their outgoing triples are present.
+        expected = sum(
+            1
+            for t in philosophy_graph.triples()
+            if t.subject in members
+        )
+        assert len(subgraph) == expected

@@ -1,0 +1,321 @@
+"""Unit tests for SPARQL evaluation over the micro philosophy graph."""
+
+import pytest
+
+from repro.rdf import DBO, DBR, Literal, URI, parse_turtle
+from repro.sparql import SparqlEvalError, evaluate
+
+P = "PREFIX dbo: <http://dbpedia.org/ontology/>\n" \
+    "PREFIX dbr: <http://dbpedia.org/resource/>\n" \
+    "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n" \
+    "PREFIX owl: <http://www.w3.org/2002/07/owl#>\n"
+
+
+def names(result, var):
+    return sorted(
+        term.local_name for term in result.column(var) if term is not None
+    )
+
+
+class TestBGP:
+    def test_single_pattern(self, philosophy_graph):
+        r = evaluate(philosophy_graph, P + "SELECT ?s WHERE { ?s a dbo:Philosopher }")
+        assert names(r, "s") == ["Aristotle", "Kant", "Plato"]
+
+    def test_join_on_shared_variable(self, philosophy_graph):
+        r = evaluate(
+            philosophy_graph,
+            P + "SELECT ?s ?place WHERE { ?s a dbo:Philosopher . "
+            "?s dbo:birthPlace ?place . }",
+        )
+        assert names(r, "s") == ["Aristotle", "Plato"]
+
+    def test_repeated_variable_in_pattern(self):
+        g = parse_turtle(
+            "@prefix ex: <http://ex/> .\n"
+            "ex:a ex:knows ex:a .\nex:a ex:knows ex:b .\n"
+        )
+        r = evaluate(g, "SELECT ?x WHERE { ?x <http://ex/knows> ?x . }")
+        assert len(r.rows) == 1
+        assert r.rows[0]["x"].local_name == "a"
+
+    def test_empty_result(self, philosophy_graph):
+        r = evaluate(philosophy_graph, P + "SELECT ?s WHERE { ?s a dbo:Event }")
+        assert len(r.rows) == 0
+
+    def test_chain_join(self, philosophy_graph):
+        r = evaluate(
+            philosophy_graph,
+            P + "SELECT ?who WHERE { dbr:Kant dbo:influencedBy ?x . "
+            "?x dbo:birthPlace ?where . ?x rdfs:label ?who . }",
+        )
+        # Kant influenced by Newton (Woolsthorpe) and Plato (Athens).
+        assert sorted(t.lexical for t in r.column("who")) == [
+            "Isaac Newton",
+            "Plato",
+        ]
+
+    def test_select_star_collects_variables(self, philosophy_graph):
+        r = evaluate(philosophy_graph, P + "SELECT * WHERE { ?s dbo:influencedBy ?o }")
+        assert set(r.vars) == {"s", "o"}
+
+
+class TestFilter:
+    def test_comparison(self, philosophy_graph):
+        r = evaluate(
+            philosophy_graph,
+            P + 'SELECT ?s WHERE { ?s rdfs:label ?l . FILTER(STR(?l) > "K") }',
+        )
+        assert "Plato" in names(r, "s")
+
+    def test_filter_error_is_false(self, philosophy_graph):
+        # Comparing a URI with a number errors -> row dropped, not crash.
+        r = evaluate(
+            philosophy_graph,
+            P + "SELECT ?s WHERE { ?s dbo:birthPlace ?p . FILTER(?p > 5) }",
+        )
+        assert len(r.rows) == 0
+
+    def test_regex(self, philosophy_graph):
+        r = evaluate(
+            philosophy_graph,
+            P + 'SELECT ?s WHERE { ?s rdfs:label ?l . FILTER REGEX(?l, "^A") }',
+        )
+        assert names(r, "s") == ["Aristotle", "Athens"]
+
+    def test_not_equal_uri(self, philosophy_graph):
+        r = evaluate(
+            philosophy_graph,
+            P + "SELECT ?s WHERE { ?s a dbo:Philosopher . FILTER(?s != dbr:Plato) }",
+        )
+        assert names(r, "s") == ["Aristotle", "Kant"]
+
+    def test_in_list(self, philosophy_graph):
+        r = evaluate(
+            philosophy_graph,
+            P + "SELECT ?s WHERE { ?s a dbo:Philosopher . "
+            "FILTER(?s IN (dbr:Plato, dbr:Kant)) }",
+        )
+        assert names(r, "s") == ["Kant", "Plato"]
+
+
+class TestOptionalUnionMinus:
+    def test_optional_keeps_unmatched(self, philosophy_graph):
+        r = evaluate(
+            philosophy_graph,
+            P + "SELECT ?s ?p WHERE { ?s a dbo:Philosopher . "
+            "OPTIONAL { ?s dbo:birthPlace ?p } }",
+        )
+        by_name = {row["s"].local_name: row.get("p") for row in r.rows}
+        assert by_name["Kant"] is None
+        assert by_name["Plato"] is not None
+
+    def test_optional_with_filter_condition(self, philosophy_graph):
+        r = evaluate(
+            philosophy_graph,
+            P + "SELECT ?s ?p WHERE { ?s a dbo:Philosopher . "
+            "OPTIONAL { ?s dbo:birthPlace ?p FILTER(?p = dbr:Athens) } }",
+        )
+        by_name = {row["s"].local_name: row.get("p") for row in r.rows}
+        assert by_name["Plato"].local_name == "Athens"
+        assert by_name["Aristotle"] is None
+
+    def test_union(self, philosophy_graph):
+        r = evaluate(
+            philosophy_graph,
+            P + "SELECT ?s WHERE { { ?s a dbo:Scientist } UNION "
+            "{ ?s a dbo:Philosopher } }",
+        )
+        assert len(r.rows) == 4
+
+    def test_minus(self, philosophy_graph):
+        r = evaluate(
+            philosophy_graph,
+            P + "SELECT ?s WHERE { ?s a dbo:Person . "
+            "MINUS { ?s dbo:birthPlace ?p } }",
+        )
+        assert names(r, "s") == ["Kant"]
+
+    def test_minus_no_shared_vars_removes_nothing(self, philosophy_graph):
+        r = evaluate(
+            philosophy_graph,
+            P + "SELECT ?s WHERE { ?s a dbo:Person . MINUS { ?x a dbo:Place } }",
+        )
+        assert len(r.rows) == 4
+
+
+class TestBindValues:
+    def test_bind(self, philosophy_graph):
+        r = evaluate(
+            philosophy_graph,
+            P + "SELECT ?s ?n WHERE { ?s rdfs:label ?l . BIND(STRLEN(?l) AS ?n) }",
+        )
+        lengths = {row["s"].local_name: int(row["n"].lexical) for row in r.rows}
+        assert lengths["Plato"] == 5
+
+    def test_bind_error_leaves_unbound(self, philosophy_graph):
+        r = evaluate(
+            philosophy_graph,
+            P + "SELECT ?s ?n WHERE { ?s a dbo:Philosopher . "
+            "BIND(1/0 AS ?n) }",
+        )
+        assert all(row.get("n") is None for row in r.rows)
+
+    def test_values_join(self, philosophy_graph):
+        r = evaluate(
+            philosophy_graph,
+            P + "SELECT ?s ?p WHERE { VALUES ?s { dbr:Plato dbr:Newton } "
+            "?s dbo:birthPlace ?p . }",
+        )
+        assert names(r, "s") == ["Newton", "Plato"]
+
+
+class TestAggregates:
+    def test_count_group(self, philosophy_graph):
+        r = evaluate(
+            philosophy_graph,
+            P + "SELECT ?t (COUNT(?s) AS ?n) WHERE { ?s a ?t } GROUP BY ?t "
+            "ORDER BY DESC(?n)",
+        )
+        counts = {row["t"].local_name: int(row["n"].lexical) for row in r.rows}
+        assert counts["Thing"] == 7
+        assert counts["Philosopher"] == 3
+        # Sorted descending.
+        values = [int(row["n"].lexical) for row in r.rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_count_distinct(self, philosophy_graph):
+        r = evaluate(
+            philosophy_graph,
+            P + "SELECT (COUNT(DISTINCT ?p) AS ?n) WHERE { ?s ?p ?o }",
+        )
+        # type, subClassOf, label, birthPlace, era, influencedBy
+        assert int(r.scalar().lexical) == 6
+
+    def test_count_star_empty_graph_is_zero(self):
+        from repro.rdf import Graph
+
+        r = evaluate(Graph(), "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }")
+        assert int(r.scalar().lexical) == 0
+
+    def test_sum_avg_min_max(self):
+        g = parse_turtle(
+            "@prefix ex: <http://ex/> .\n"
+            "ex:a ex:v 1 . ex:b ex:v 2 . ex:c ex:v 3 .\n"
+        )
+        r = evaluate(
+            g,
+            "SELECT (SUM(?v) AS ?s) (AVG(?v) AS ?a) (MIN(?v) AS ?lo) "
+            "(MAX(?v) AS ?hi) WHERE { ?x <http://ex/v> ?v }",
+        )
+        row = r.rows[0]
+        assert int(row["s"].lexical) == 6
+        assert float(row["a"].lexical) == 2.0
+        assert int(row["lo"].lexical) == 1
+        assert int(row["hi"].lexical) == 3
+
+    def test_group_concat(self):
+        g = parse_turtle(
+            "@prefix ex: <http://ex/> .\nex:a ex:n \"x\" . ex:a ex:n \"y\" .\n"
+        )
+        r = evaluate(
+            g,
+            'SELECT (GROUP_CONCAT(?n ; SEPARATOR = "|") AS ?all) '
+            "WHERE { ?s <http://ex/n> ?n }",
+        )
+        assert sorted(r.scalar().lexical.split("|")) == ["x", "y"]
+
+    def test_having(self, philosophy_graph):
+        r = evaluate(
+            philosophy_graph,
+            P + "SELECT ?t (COUNT(?s) AS ?n) WHERE { ?s a ?t } GROUP BY ?t "
+            "HAVING(COUNT(?s) >= 3) ORDER BY ?t",
+        )
+        labels = {row["t"].local_name for row in r.rows}
+        assert labels == {"Agent", "Person", "Philosopher", "Place", "Thing"}
+
+    def test_nested_subquery_aggregation(self, philosophy_graph):
+        # The paper's heavy-query shape.
+        r = evaluate(
+            philosophy_graph,
+            P + "SELECT ?p (COUNT(?p) AS ?c) (SUM(?sp) AS ?t) WHERE { "
+            "{ SELECT ?s ?p (COUNT(*) AS ?sp) WHERE { ?s a owl:Thing . "
+            "?s ?p ?o . } GROUP BY ?s ?p } } GROUP BY ?p ORDER BY DESC(?c)",
+        )
+        by_prop = {
+            row["p"].local_name: (int(row["c"].lexical), int(row["t"].lexical))
+            for row in r.rows
+        }
+        # influencedBy: 2 subjects featuring it, 3 triples in total.
+        assert by_prop["influencedBy"] == (2, 3)
+        assert by_prop["type"][0] == 7
+
+
+class TestModifiers:
+    def test_order_by_label(self, philosophy_graph):
+        r = evaluate(
+            philosophy_graph,
+            P + "SELECT ?l WHERE { ?s rdfs:label ?l } ORDER BY ?l",
+        )
+        labels = [t.lexical for t in r.column("l")]
+        assert labels == sorted(labels)
+
+    def test_order_by_desc(self, philosophy_graph):
+        r = evaluate(
+            philosophy_graph,
+            P + "SELECT ?l WHERE { ?s rdfs:label ?l } ORDER BY DESC(?l)",
+        )
+        labels = [t.lexical for t in r.column("l")]
+        assert labels == sorted(labels, reverse=True)
+
+    def test_limit_offset(self, philosophy_graph):
+        all_rows = evaluate(
+            philosophy_graph,
+            P + "SELECT ?l WHERE { ?s rdfs:label ?l } ORDER BY ?l",
+        )
+        page = evaluate(
+            philosophy_graph,
+            P + "SELECT ?l WHERE { ?s rdfs:label ?l } ORDER BY ?l "
+            "LIMIT 2 OFFSET 1",
+        )
+        assert [r["l"] for r in page.rows] == [r["l"] for r in all_rows.rows[1:3]]
+
+    def test_distinct(self, philosophy_graph):
+        r = evaluate(
+            philosophy_graph,
+            P + "SELECT DISTINCT ?t WHERE { ?s a ?t . ?s a dbo:Person . }",
+        )
+        assert len(r.rows) == len({tuple(row.items()) for row in r.rows})
+
+    def test_offset_beyond_end(self, philosophy_graph):
+        r = evaluate(
+            philosophy_graph,
+            P + "SELECT ?s WHERE { ?s a dbo:Philosopher } OFFSET 100",
+        )
+        assert len(r.rows) == 0
+
+
+class TestAsk:
+    def test_ask_true_and_false(self, philosophy_graph):
+        assert evaluate(philosophy_graph, P + "ASK { ?s a dbo:Philosopher }").value
+        assert not evaluate(philosophy_graph, P + "ASK { ?s a dbo:Event }").value
+
+    def test_ask_short_circuits(self, philosophy_graph):
+        r = evaluate(philosophy_graph, P + "ASK { ?s ?p ?o }")
+        # Short-circuit: far fewer intermediate bindings than the graph.
+        assert r.stats.intermediate_bindings <= 2
+
+
+class TestStats:
+    def test_stats_count_work(self, philosophy_graph):
+        r = evaluate(philosophy_graph, P + "SELECT ?s WHERE { ?s a dbo:Person }")
+        assert r.stats.results == len(r.rows)
+        assert r.stats.intermediate_bindings >= len(r.rows)
+        assert r.stats.pattern_scans >= 1
+
+    def test_rebinding_in_bind_raises(self, philosophy_graph):
+        with pytest.raises(SparqlEvalError):
+            evaluate(
+                philosophy_graph,
+                P + "SELECT ?s WHERE { ?s a dbo:Person . BIND(1 AS ?s) }",
+            )

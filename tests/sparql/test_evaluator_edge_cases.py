@@ -1,0 +1,202 @@
+"""Additional evaluator edge cases: REDUCED, nested OPTIONALs, VALUES
+joins, HAVING combinations, Virtuoso-dialect projections, and work
+counters."""
+
+import pytest
+
+from repro.rdf import Graph, Literal, URI, parse_turtle
+from repro.sparql import evaluate
+
+P = (
+    "PREFIX dbo: <http://dbpedia.org/ontology/>\n"
+    "PREFIX dbr: <http://dbpedia.org/resource/>\n"
+    "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+)
+
+
+@pytest.fixture(scope="module")
+def team_graph():
+    return parse_turtle(
+        """
+        @prefix ex: <http://ex/> .
+        ex:alice ex:worksAt ex:acme ; ex:age 30 ; ex:knows ex:bob .
+        ex:bob ex:worksAt ex:acme ; ex:age 25 .
+        ex:carol ex:worksAt ex:globex ; ex:age 35 ; ex:knows ex:alice .
+        ex:dave ex:age 40 .
+        ex:acme ex:in ex:springfield .
+        """
+    )
+
+
+def names(result, var):
+    return sorted(
+        term.local_name for term in result.column(var) if term is not None
+    )
+
+
+class TestReduced:
+    def test_reduced_collapses_adjacent_duplicates(self, team_graph):
+        # ORDER first so duplicates are adjacent; REDUCED then behaves
+        # like DISTINCT.
+        r = evaluate(
+            team_graph,
+            "SELECT REDUCED ?c WHERE { ?p <http://ex/worksAt> ?c . "
+            "?p <http://ex/age> ?a } ORDER BY ?c",
+        )
+        companies = [t.local_name for t in r.column("c")]
+        assert companies == ["acme", "globex"]
+
+
+class TestNestedOptional:
+    def test_optional_inside_optional(self, team_graph):
+        r = evaluate(
+            team_graph,
+            "SELECT ?p ?company ?place WHERE { ?p <http://ex/age> ?a . "
+            "OPTIONAL { ?p <http://ex/worksAt> ?company . "
+            "OPTIONAL { ?company <http://ex/in> ?place } } }",
+        )
+        rows = {row["p"].local_name: row for row in r.rows}
+        assert rows["alice"]["place"].local_name == "springfield"
+        assert rows["carol"].get("place") is None
+        assert rows["dave"].get("company") is None
+        assert len(r.rows) == 4
+
+    def test_two_optionals_compose(self, team_graph):
+        r = evaluate(
+            team_graph,
+            "SELECT ?p ?c ?k WHERE { ?p <http://ex/age> ?a . "
+            "OPTIONAL { ?p <http://ex/worksAt> ?c } "
+            "OPTIONAL { ?p <http://ex/knows> ?k } }",
+        )
+        rows = {row["p"].local_name: row for row in r.rows}
+        assert rows["alice"]["k"].local_name == "bob"
+        assert rows["bob"].get("k") is None
+
+
+class TestValuesJoins:
+    def test_values_two_vars_joins_both(self, team_graph):
+        r = evaluate(
+            team_graph,
+            "SELECT ?p ?c WHERE { VALUES (?p ?c) { "
+            "(<http://ex/alice> <http://ex/acme>) "
+            "(<http://ex/alice> <http://ex/globex>) } "
+            "?p <http://ex/worksAt> ?c }",
+        )
+        assert len(r.rows) == 1
+        assert r.rows[0]["c"].local_name == "acme"
+
+    def test_values_undef_acts_as_wildcard(self, team_graph):
+        r = evaluate(
+            team_graph,
+            "SELECT ?p ?c WHERE { VALUES (?p ?c) { "
+            "(<http://ex/alice> UNDEF) } ?p <http://ex/worksAt> ?c }",
+        )
+        assert len(r.rows) == 1
+
+    def test_values_after_pattern(self, team_graph):
+        r = evaluate(
+            team_graph,
+            "SELECT ?p WHERE { ?p <http://ex/age> ?a . "
+            "VALUES ?p { <http://ex/bob> <http://ex/dave> } }",
+        )
+        assert names(r, "p") == ["bob", "dave"]
+
+
+class TestHaving:
+    def test_multiple_having_conditions(self, team_graph):
+        r = evaluate(
+            team_graph,
+            "SELECT ?c (COUNT(?p) AS ?n) (AVG(?a) AS ?avg) WHERE { "
+            "?p <http://ex/worksAt> ?c . ?p <http://ex/age> ?a } "
+            "GROUP BY ?c HAVING(COUNT(?p) >= 2) (AVG(?a) < 30)",
+        )
+        assert len(r.rows) == 1
+        assert r.rows[0]["c"].local_name == "acme"
+
+    def test_having_filters_all_groups(self, team_graph):
+        r = evaluate(
+            team_graph,
+            "SELECT ?c (COUNT(?p) AS ?n) WHERE { "
+            "?p <http://ex/worksAt> ?c } GROUP BY ?c HAVING(COUNT(?p) > 5)",
+        )
+        assert len(r.rows) == 0
+
+
+class TestProjectionForms:
+    def test_expression_over_group_key(self, team_graph):
+        r = evaluate(
+            team_graph,
+            "SELECT ?c (COUNT(?p) AS ?n) (STR(?c) AS ?text) WHERE { "
+            "?p <http://ex/worksAt> ?c } GROUP BY ?c ORDER BY ?c",
+        )
+        assert r.rows[0]["text"].lexical == "http://ex/acme"
+
+    def test_arithmetic_over_aggregates(self, team_graph):
+        r = evaluate(
+            team_graph,
+            "SELECT ((MAX(?a) - MIN(?a)) AS ?spread) WHERE { "
+            "?p <http://ex/age> ?a }",
+        )
+        assert int(r.scalar().lexical) == 15
+
+    def test_bind_then_group(self, team_graph):
+        r = evaluate(
+            team_graph,
+            "SELECT ?decade (COUNT(?p) AS ?n) WHERE { "
+            "?p <http://ex/age> ?a . BIND(FLOOR(?a / 10) AS ?decade) } "
+            "GROUP BY ?decade ORDER BY ?decade",
+        )
+        decades = {
+            int(row["decade"].lexical): int(row["n"].lexical) for row in r.rows
+        }
+        assert decades == {3: 2, 2: 1, 4: 1}
+
+
+class TestWorkCounters:
+    def test_limit_stops_early(self, dbpedia_graph):
+        unlimited = evaluate(
+            dbpedia_graph, "SELECT ?s WHERE { ?s ?p ?o }"
+        )
+        limited = evaluate(
+            dbpedia_graph, "SELECT ?s WHERE { ?s ?p ?o } LIMIT 1"
+        )
+        assert (
+            limited.stats.intermediate_bindings
+            < unlimited.stats.intermediate_bindings / 100
+        )
+
+    def test_selective_pattern_ordered_first(self, dbpedia_graph):
+        """The join reorderer starts from the most selective pattern, so
+        a highly selective query touches few bindings."""
+        r = evaluate(
+            dbpedia_graph,
+            P + "SELECT ?o WHERE { ?s ?p ?o . dbr:Vienna rdfs:label ?o . }",
+        )
+        assert r.stats.intermediate_bindings < 100
+
+
+class TestEmptyAndDegenerate:
+    def test_empty_group_graph_pattern(self, team_graph):
+        r = evaluate(team_graph, "SELECT (1 AS ?one) WHERE { }")
+        assert int(r.scalar().lexical) == 1
+
+    def test_union_of_empty_branches(self, team_graph):
+        r = evaluate(
+            team_graph,
+            "SELECT ?x WHERE { { ?x a <http://ex/Nope> } UNION "
+            "{ ?x a <http://ex/AlsoNope> } }",
+        )
+        assert len(r.rows) == 0
+
+    def test_filter_only_group(self, team_graph):
+        r = evaluate(team_graph, "SELECT (2 AS ?two) WHERE { FILTER(true) }")
+        assert int(r.scalar().lexical) == 2
+
+    def test_cross_product_when_no_shared_vars(self, team_graph):
+        r = evaluate(
+            team_graph,
+            "SELECT ?a ?b WHERE { ?a <http://ex/in> ?x . "
+            "?b <http://ex/knows> ?y . }",
+        )
+        # 1 'in' triple x 2 'knows' triples.
+        assert len(r.rows) == 2

@@ -1,0 +1,313 @@
+"""Unit tests for SPARQL expression functions and operator semantics."""
+
+import pytest
+
+from repro.rdf import BNode, Literal, URI
+from repro.sparql.ast import (
+    AggregateExpr,
+    BinaryExpr,
+    FunctionCall,
+    TermExpr,
+    UnaryExpr,
+    Var,
+    VarExpr,
+)
+from repro.sparql.errors import ExpressionError
+from repro.sparql.functions import (
+    effective_boolean_value,
+    evaluate_aggregate,
+    evaluate_expression,
+    term_order_key,
+)
+
+INT = "http://www.w3.org/2001/XMLSchema#integer"
+BOOL = "http://www.w3.org/2001/XMLSchema#boolean"
+
+
+def lit(value, **kwargs):
+    return Literal(value, **kwargs)
+
+
+def call(name, *terms):
+    return FunctionCall(name, tuple(TermExpr(t) for t in terms))
+
+
+def ev(expr, binding=None):
+    return evaluate_expression(expr, binding or {})
+
+
+class TestEBV:
+    @pytest.mark.parametrize(
+        "term,expected",
+        [
+            (lit(True), True),
+            (lit(False), False),
+            (lit(0), False),
+            (lit(3), True),
+            (lit(""), False),
+            (lit("x"), True),
+            (lit("x", language="en"), True),
+        ],
+    )
+    def test_ebv(self, term, expected):
+        assert effective_boolean_value(term) is expected
+
+    def test_ebv_of_uri_errors(self):
+        with pytest.raises(ExpressionError):
+            effective_boolean_value(URI("http://a"))
+
+
+class TestComparison:
+    def test_numeric_equality_across_datatypes(self):
+        e = BinaryExpr("=", TermExpr(lit(5)), TermExpr(lit(5.0)))
+        assert ev(e).lexical == "true"
+
+    def test_string_ordering(self):
+        e = BinaryExpr("<", TermExpr(lit("apple")), TermExpr(lit("banana")))
+        assert ev(e).lexical == "true"
+
+    def test_numeric_ordering(self):
+        assert ev(BinaryExpr(">", TermExpr(lit(10)), TermExpr(lit(2)))).lexical == "true"
+
+    def test_boolean_ordering(self):
+        assert (
+            ev(BinaryExpr("<", TermExpr(lit(False)), TermExpr(lit(True)))).lexical
+            == "true"
+        )
+
+    def test_incomparable_raises(self):
+        with pytest.raises(ExpressionError):
+            ev(BinaryExpr("<", TermExpr(lit("a")), TermExpr(lit(5))))
+
+    def test_uri_equality(self):
+        e = BinaryExpr("=", TermExpr(URI("http://a")), TermExpr(URI("http://a")))
+        assert ev(e).lexical == "true"
+
+
+class TestLogic:
+    def test_or_short_circuits_error(self):
+        # error || true  ->  true (SPARQL error tolerance)
+        bad = BinaryExpr("/", TermExpr(lit(1)), TermExpr(lit(0)))
+        e = BinaryExpr("||", bad, TermExpr(lit(True)))
+        assert ev(e).lexical == "true"
+
+    def test_or_error_and_false_raises(self):
+        bad = BinaryExpr("/", TermExpr(lit(1)), TermExpr(lit(0)))
+        e = BinaryExpr("||", bad, TermExpr(lit(False)))
+        with pytest.raises(ExpressionError):
+            ev(e)
+
+    def test_and_with_error_and_false(self):
+        bad = BinaryExpr("/", TermExpr(lit(1)), TermExpr(lit(0)))
+        e = BinaryExpr("&&", bad, TermExpr(lit(False)))
+        assert ev(e).lexical == "false"
+
+    def test_not(self):
+        assert ev(UnaryExpr("!", TermExpr(lit(True)))).lexical == "false"
+
+
+class TestArithmetic:
+    def test_integer_addition(self):
+        out = ev(BinaryExpr("+", TermExpr(lit(2)), TermExpr(lit(3))))
+        assert out.lexical == "5"
+        assert out.datatype == INT
+
+    def test_integer_division_exact(self):
+        out = ev(BinaryExpr("/", TermExpr(lit(6)), TermExpr(lit(3))))
+        assert out.lexical == "2"
+
+    def test_division_inexact_is_float(self):
+        out = ev(BinaryExpr("/", TermExpr(lit(7)), TermExpr(lit(2))))
+        assert float(out.lexical) == 3.5
+
+    def test_division_by_zero_errors(self):
+        with pytest.raises(ExpressionError):
+            ev(BinaryExpr("/", TermExpr(lit(1)), TermExpr(lit(0))))
+
+    def test_unary_minus(self):
+        assert ev(UnaryExpr("-", TermExpr(lit(5)))).lexical == "-5"
+
+    def test_arithmetic_on_string_errors(self):
+        with pytest.raises(ExpressionError):
+            ev(BinaryExpr("+", TermExpr(lit("a")), TermExpr(lit(1))))
+
+
+class TestStringBuiltins:
+    def test_str_of_uri(self):
+        assert ev(call("STR", URI("http://a"))).lexical == "http://a"
+
+    def test_lang_and_langmatches(self):
+        assert ev(call("LANG", lit("x", language="en"))).lexical == "en"
+        assert ev(call("LANGMATCHES", lit("en-gb"), lit("en"))).lexical == "true"
+        assert ev(call("LANGMATCHES", lit("en"), lit("*"))).lexical == "true"
+        assert ev(call("LANGMATCHES", lit(""), lit("*"))).lexical == "false"
+
+    def test_datatype(self):
+        assert ev(call("DATATYPE", lit(5))).value == INT
+
+    def test_case_functions(self):
+        assert ev(call("UCASE", lit("abc"))).lexical == "ABC"
+        assert ev(call("LCASE", lit("ABC"))).lexical == "abc"
+
+    def test_strlen_concat(self):
+        assert ev(call("STRLEN", lit("abcd"))).lexical == "4"
+        assert ev(call("CONCAT", lit("a"), lit("b"), lit("c"))).lexical == "abc"
+
+    def test_substr_one_indexed(self):
+        assert ev(
+            FunctionCall(
+                "SUBSTR",
+                (TermExpr(lit("hello")), TermExpr(lit(2)), TermExpr(lit(3))),
+            )
+        ).lexical == "ell"
+
+    def test_contains_starts_ends(self):
+        assert ev(call("CONTAINS", lit("hello"), lit("ell"))).lexical == "true"
+        assert ev(call("STRSTARTS", lit("hello"), lit("he"))).lexical == "true"
+        assert ev(call("STRENDS", lit("hello"), lit("lo"))).lexical == "true"
+
+    def test_strbefore_strafter(self):
+        assert ev(call("STRBEFORE", lit("a-b"), lit("-"))).lexical == "a"
+        assert ev(call("STRAFTER", lit("a-b"), lit("-"))).lexical == "b"
+        assert ev(call("STRAFTER", lit("ab"), lit("-"))).lexical == ""
+
+    def test_replace(self):
+        assert ev(
+            FunctionCall(
+                "REPLACE",
+                (TermExpr(lit("banana")), TermExpr(lit("an")), TermExpr(lit("X"))),
+            )
+        ).lexical == "bXXa"
+
+    def test_replace_preserves_language(self):
+        out = ev(
+            FunctionCall(
+                "REPLACE",
+                (
+                    TermExpr(lit("abc", language="en")),
+                    TermExpr(lit("b")),
+                    TermExpr(lit("z")),
+                ),
+            )
+        )
+        assert out.language == "en"
+
+    def test_encode_for_uri(self):
+        assert ev(call("ENCODE_FOR_URI", lit("a b/c"))).lexical == "a%20b%2Fc"
+
+    def test_regex_flags(self):
+        assert ev(
+            FunctionCall(
+                "REGEX",
+                (TermExpr(lit("HELLO")), TermExpr(lit("hello")), TermExpr(lit("i"))),
+            )
+        ).lexical == "true"
+
+    def test_bad_regex_errors(self):
+        with pytest.raises(ExpressionError):
+            ev(call("REGEX", lit("x"), lit("(unclosed")))
+
+
+class TestTermBuiltins:
+    def test_type_checks(self):
+        assert ev(call("ISIRI", URI("http://a"))).lexical == "true"
+        assert ev(call("ISLITERAL", lit("x"))).lexical == "true"
+        assert ev(call("ISNUMERIC", lit(5))).lexical == "true"
+        assert ev(call("ISNUMERIC", lit("5"))).lexical == "false"
+
+    def test_isblank(self):
+        expr = FunctionCall("ISBLANK", (VarExpr(Var("b")),))
+        assert (
+            evaluate_expression(expr, {"b": BNode("x")}).lexical == "true"
+        )
+
+    def test_sameterm_exact(self):
+        assert ev(call("SAMETERM", lit(5), lit(5))).lexical == "true"
+        assert ev(call("SAMETERM", lit(5), lit(5.0))).lexical == "false"
+
+    def test_iri_from_string(self):
+        assert ev(call("IRI", lit("http://a"))) == URI("http://a")
+
+    def test_bound(self):
+        expr = FunctionCall("BOUND", (VarExpr(Var("x")),))
+        assert evaluate_expression(expr, {"x": lit(1)}).lexical == "true"
+        assert evaluate_expression(expr, {}).lexical == "false"
+
+    def test_if_and_coalesce(self):
+        e = FunctionCall(
+            "IF", (TermExpr(lit(True)), TermExpr(lit("yes")), TermExpr(lit("no")))
+        )
+        assert ev(e).lexical == "yes"
+        bad = BinaryExpr("/", TermExpr(lit(1)), TermExpr(lit(0)))
+        e = FunctionCall("COALESCE", (bad, TermExpr(lit("fallback"))))
+        assert ev(e).lexical == "fallback"
+
+    def test_numeric_functions(self):
+        assert ev(call("ABS", lit(-3))).lexical == "3"
+        assert ev(call("CEIL", lit(2.1))).lexical == "3"
+        assert ev(call("FLOOR", lit(2.9))).lexical == "2"
+        assert ev(call("ROUND", lit(2.5))).lexical == "3"
+
+    def test_unbound_variable_errors(self):
+        with pytest.raises(ExpressionError):
+            evaluate_expression(VarExpr(Var("nope")), {})
+
+
+class TestAggregateFunctions:
+    def test_count_skips_errors(self):
+        group = [{"v": lit(1)}, {}, {"v": lit(2)}]
+        agg = AggregateExpr("COUNT", VarExpr(Var("v")))
+        assert evaluate_aggregate(agg, group).lexical == "2"
+
+    def test_count_star_counts_all(self):
+        agg = AggregateExpr("COUNT", None)
+        assert evaluate_aggregate(agg, [{}, {}, {}]).lexical == "3"
+
+    def test_sum_empty_group_is_zero(self):
+        agg = AggregateExpr("SUM", VarExpr(Var("v")))
+        assert evaluate_aggregate(agg, []).lexical == "0"
+
+    def test_avg_empty_group_errors(self):
+        agg = AggregateExpr("AVG", VarExpr(Var("v")))
+        with pytest.raises(ExpressionError):
+            evaluate_aggregate(agg, [])
+
+    def test_distinct_dedupe(self):
+        group = [{"v": lit(1)}, {"v": lit(1)}, {"v": lit(2)}]
+        agg = AggregateExpr("SUM", VarExpr(Var("v")), distinct=True)
+        assert evaluate_aggregate(agg, group).lexical == "3"
+
+    def test_sample_returns_first(self):
+        group = [{"v": lit("a")}, {"v": lit("b")}]
+        agg = AggregateExpr("SAMPLE", VarExpr(Var("v")))
+        assert evaluate_aggregate(agg, group).lexical == "a"
+
+    def test_min_max_strings(self):
+        group = [{"v": lit("b")}, {"v": lit("a")}]
+        assert evaluate_aggregate(
+            AggregateExpr("MIN", VarExpr(Var("v"))), group
+        ).lexical == "a"
+        assert evaluate_aggregate(
+            AggregateExpr("MAX", VarExpr(Var("v"))), group
+        ).lexical == "b"
+
+    def test_aggregate_outside_group_errors(self):
+        with pytest.raises(ExpressionError):
+            ev(AggregateExpr("COUNT", None))
+
+
+class TestOrderKey:
+    def test_total_order_across_kinds(self):
+        terms = [lit("z"), URI("http://a"), None, BNode("b"), lit(5)]
+        keys = [term_order_key(t) for t in terms]
+        ordered = sorted(keys)
+        # unbound < bnode < URI < literal
+        assert ordered[0] == term_order_key(None)
+        assert ordered[1] == term_order_key(BNode("b"))
+        assert ordered[2] == term_order_key(URI("http://a"))
+
+    def test_numeric_literals_by_value(self):
+        assert term_order_key(lit(2)) < term_order_key(lit(10))
+        assert term_order_key(Literal("9", datatype=INT)) < term_order_key(
+            Literal("10", datatype=INT)
+        )

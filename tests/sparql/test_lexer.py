@@ -1,0 +1,154 @@
+"""Unit tests for the SPARQL tokenizer."""
+
+import pytest
+
+from repro.sparql import SparqlSyntaxError, TokenType, tokenize
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)[:-1]]  # drop EOF
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select Where FILTER")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "WHERE", "FILTER"]
+        assert all(t.type == TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_variables(self):
+        tokens = tokenize("?s $o ?long_name")
+        assert [t.value for t in tokens[:-1]] == ["s", "o", "long_name"]
+        assert all(t.type == TokenType.VAR for t in tokens[:-1])
+
+    def test_bare_question_mark_is_path_operator(self):
+        tokens = tokenize("? ")
+        assert tokens[0].type == TokenType.PUNCT
+        assert tokens[0].value == "?"
+
+    def test_empty_dollar_variable_raises(self):
+        with pytest.raises(SparqlSyntaxError):
+            tokenize("$ ")
+
+    def test_iri(self):
+        (token, _eof) = tokenize("<http://example.org/X>")
+        assert token.type == TokenType.IRI
+        assert token.value == "http://example.org/X"
+
+    def test_pname(self):
+        (token, _eof) = tokenize("dbo:Person")
+        assert token.type == TokenType.PNAME
+        assert token.value == "dbo:Person"
+
+    def test_default_prefix_pname(self):
+        (token, _eof) = tokenize(":Person")
+        assert token.value == ":Person"
+
+    def test_bare_prefix_declaration_form(self):
+        tokens = tokenize("PREFIX dbo: <http://dbpedia.org/ontology/>")
+        assert tokens[1].type == TokenType.PNAME
+        assert tokens[1].value == "dbo:"
+
+    def test_bnode(self):
+        (token, _eof) = tokenize("_:b1")
+        assert token.type == TokenType.BNODE
+        assert token.value == "b1"
+
+
+class TestLiterals:
+    def test_string(self):
+        (token, _eof) = tokenize('"hello world"')
+        assert token.type == TokenType.STRING
+        assert token.value == "hello world"
+
+    def test_single_quoted(self):
+        (token, _eof) = tokenize("'hi'")
+        assert token.value == "hi"
+
+    def test_escapes(self):
+        (token, _eof) = tokenize(r'"a\nb\t\"c\""')
+        assert token.value == 'a\nb\t"c"'
+
+    def test_unicode_escape(self):
+        (token, _eof) = tokenize(r'"é"')
+        assert token.value == "é"
+
+    def test_long_string(self):
+        (token, _eof) = tokenize('"""multi\nline"""')
+        assert token.value == "multi\nline"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SparqlSyntaxError):
+            tokenize('"open')
+
+    def test_langtag(self):
+        tokens = tokenize('"hi"@en-GB')
+        assert tokens[1].type == TokenType.LANGTAG
+        assert tokens[1].value == "en-GB"
+
+    @pytest.mark.parametrize(
+        "text,type_",
+        [
+            ("42", TokenType.INTEGER),
+            ("3.14", TokenType.DECIMAL),
+            ("1e5", TokenType.DOUBLE),
+            ("2.5e-3", TokenType.DOUBLE),
+        ],
+    )
+    def test_numbers(self, text, type_):
+        (token, _eof) = tokenize(text)
+        assert token.type == type_
+        assert token.value == text
+
+
+class TestOperatorsAndAmbiguity:
+    def test_comparison_operators(self):
+        assert values("?x <= ?y >= ?z != ?w") == ["x", "<=", "y", ">=", "z", "!=", "w"]
+
+    def test_less_than_not_confused_with_iri(self):
+        tokens = tokenize("FILTER(?x < 3)")
+        kinds_found = [t.type for t in tokens]
+        assert TokenType.IRI not in kinds_found
+
+    def test_less_than_variable(self):
+        tokens = tokenize("?x < ?y")
+        assert tokens[1].value == "<"
+        assert tokens[1].type == TokenType.PUNCT
+
+    def test_iri_followed_by_dot(self):
+        tokens = tokenize("<http://a> <http://p> <http://b> .")
+        assert [t.type for t in tokens[:-1]] == [
+            TokenType.IRI,
+            TokenType.IRI,
+            TokenType.IRI,
+            TokenType.PUNCT,
+        ]
+
+    def test_double_pipe_and_ampersand(self):
+        assert values("?a || ?b && ?c")[1] == "||"
+        assert values("?a || ?b && ?c")[3] == "&&"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("?s # comment here\n?o")
+        assert [t.value for t in tokens[:-1]] == ["s", "o"]
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("?a\n  ?b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(SparqlSyntaxError):
+            tokenize("?s ~ ?o")
+
+    def test_unknown_word_raises(self):
+        with pytest.raises(SparqlSyntaxError):
+            tokenize("bogusword")
+
+    def test_pname_trailing_dot_is_terminator(self):
+        tokens = tokenize("dbo:Person.")
+        assert tokens[0].value == "dbo:Person"
+        assert tokens[1].value == "."

@@ -1,0 +1,324 @@
+"""Unit tests for the SPARQL parser."""
+
+import pytest
+
+from repro.rdf import URI
+from repro.sparql import SparqlSyntaxError, parse_query
+from repro.sparql.ast import (
+    AggregateExpr,
+    AskQuery,
+    BindPattern,
+    BinaryExpr,
+    FilterPattern,
+    FunctionCall,
+    OptionalPattern,
+    SelectQuery,
+    SubSelectPattern,
+    TriplePatternNode,
+    UnionPattern,
+    ValuesPattern,
+    Var,
+    VarExpr,
+)
+
+PREFIXES = "PREFIX dbo: <http://dbpedia.org/ontology/>\n"
+
+
+class TestSelectBasics:
+    def test_simple_select(self):
+        q = parse_query("SELECT ?s WHERE { ?s ?p ?o . }")
+        assert isinstance(q, SelectQuery)
+        assert [p.var.name for p in q.projections] == ["s"]
+        assert len(q.where.children) == 1
+        assert isinstance(q.where.children[0], TriplePatternNode)
+
+    def test_select_star(self):
+        q = parse_query("SELECT * WHERE { ?s ?p ?o }")
+        assert q.projections is None
+
+    def test_distinct_and_reduced(self):
+        assert parse_query("SELECT DISTINCT ?s WHERE {?s ?p ?o}").distinct
+        assert parse_query("SELECT REDUCED ?s WHERE {?s ?p ?o}").reduced
+
+    def test_where_keyword_optional(self):
+        q = parse_query("SELECT ?s { ?s ?p ?o }")
+        assert isinstance(q, SelectQuery)
+
+    def test_prefix_expansion(self):
+        q = parse_query(PREFIXES + "SELECT ?s WHERE { ?s a dbo:Person . }")
+        triple = q.where.children[0]
+        assert triple.object == URI("http://dbpedia.org/ontology/Person")
+        assert triple.predicate.value.endswith("#type")
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT ?s WHERE { ?s a nope:X . }")
+
+    def test_from_clause_skipped(self):
+        q = parse_query(
+            "SELECT ?s FROM <http://example.org/g> WHERE { ?s ?p ?o }"
+        )
+        assert isinstance(q, SelectQuery)
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT ?s WHERE { ?s ?p ?o } extra:stuff")
+
+    def test_projection_expression(self):
+        q = parse_query("SELECT (COUNT(?s) AS ?n) WHERE { ?s ?p ?o }")
+        assert q.projections[0].var == Var("n")
+        assert isinstance(q.projections[0].expression, AggregateExpr)
+
+    def test_virtuoso_style_projection_without_parens(self):
+        # The paper's Section 4 query: SELECT ?p COUNT(?p) AS ?count ...
+        q = parse_query(
+            "SELECT ?p COUNT(?p) AS ?count SUM(?sp) AS ?spp "
+            "WHERE { ?s ?p ?o } GROUP BY ?p"
+        )
+        names = [p.var.name for p in q.projections]
+        assert names == ["p", "count", "spp"]
+
+
+class TestTriplesBlocks:
+    def test_semicolon_comma(self):
+        q = parse_query(
+            PREFIXES
+            + "SELECT ?s WHERE { ?s a dbo:Person ; dbo:knows ?a, ?b . }"
+        )
+        triples = [
+            c for c in q.where.children if isinstance(c, TriplePatternNode)
+        ]
+        assert len(triples) == 3
+        assert all(t.subject == Var("s") for t in triples)
+
+    def test_literal_objects(self):
+        q = parse_query(
+            'SELECT ?s WHERE { ?s ?p "x"@en . ?s ?q 5 . ?s ?r -2.5 . ?s ?b true . }'
+        )
+        triples = q.where.children
+        assert triples[0].object.language == "en"
+        assert triples[1].object.lexical == "5"
+        assert triples[2].object.lexical == "-2.5"
+        assert triples[3].object.lexical == "true"
+
+    def test_variable_not_allowed_as_datatype(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query('SELECT ?s WHERE { ?s ?p "x"^^?t . }')
+
+
+class TestGraphPatterns:
+    def test_optional(self):
+        q = parse_query(
+            "SELECT ?s WHERE { ?s ?p ?o . OPTIONAL { ?s ?q ?r } }"
+        )
+        assert any(isinstance(c, OptionalPattern) for c in q.where.children)
+
+    def test_union(self):
+        q = parse_query(
+            "SELECT ?s WHERE { { ?s a ?x } UNION { ?s ?p ?y } }"
+        )
+        union = next(
+            c for c in q.where.children if isinstance(c, UnionPattern)
+        )
+        assert len(union.alternatives) == 2
+
+    def test_three_way_union(self):
+        q = parse_query(
+            "SELECT ?s WHERE { {?s a ?x} UNION {?s ?p ?y} UNION {?s ?q ?z} }"
+        )
+        union = q.where.children[0]
+        assert len(union.alternatives) == 3
+
+    def test_filter(self):
+        q = parse_query("SELECT ?s WHERE { ?s ?p ?o . FILTER(?o > 5) }")
+        filt = next(c for c in q.where.children if isinstance(c, FilterPattern))
+        assert isinstance(filt.expression, BinaryExpr)
+
+    def test_filter_bare_builtin(self):
+        q = parse_query("SELECT ?s WHERE { ?s ?p ?o . FILTER REGEX(?o, \"x\") }")
+        filt = next(c for c in q.where.children if isinstance(c, FilterPattern))
+        assert isinstance(filt.expression, FunctionCall)
+
+    def test_bind(self):
+        q = parse_query("SELECT ?n WHERE { ?s ?p ?o . BIND(STRLEN(?o) AS ?n) }")
+        bind = next(c for c in q.where.children if isinstance(c, BindPattern))
+        assert bind.var == Var("n")
+
+    def test_values_single_var(self):
+        q = parse_query(
+            "SELECT ?s WHERE { VALUES ?s { <http://a> <http://b> } ?s ?p ?o }"
+        )
+        values = next(c for c in q.where.children if isinstance(c, ValuesPattern))
+        assert len(values.rows) == 2
+
+    def test_values_multi_var_with_undef(self):
+        q = parse_query(
+            "SELECT ?s ?o WHERE { VALUES (?s ?o) { (<http://a> UNDEF) } }"
+        )
+        values = q.where.children[0]
+        assert values.rows[0][1] is None
+
+    def test_values_arity_mismatch_raises(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query(
+                "SELECT ?s WHERE { VALUES (?s ?o) { (<http://a>) } }"
+            )
+
+    def test_subselect(self):
+        q = parse_query(
+            "SELECT ?s WHERE { { SELECT ?s WHERE { ?s ?p ?o } LIMIT 5 } }"
+        )
+        sub = q.where.children[0]
+        assert isinstance(sub, SubSelectPattern)
+        assert sub.query.limit == 5
+
+    def test_graph_pattern_unsupported(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT ?s WHERE { GRAPH ?g { ?s ?p ?o } }")
+
+    def test_exists_parses(self):
+        from repro.sparql.ast import ExistsExpr
+
+        q = parse_query(
+            "SELECT ?s WHERE { ?s ?p ?o FILTER(EXISTS { ?s a ?c }) }"
+        )
+        expr = q.where.children[1].expression
+        assert isinstance(expr, ExistsExpr)
+        assert not expr.negated
+
+    def test_not_exists_parses(self):
+        from repro.sparql.ast import ExistsExpr
+
+        q = parse_query(
+            "SELECT ?s WHERE { ?s ?p ?o FILTER(NOT EXISTS { ?s a ?c }) }"
+        )
+        assert q.where.children[1].expression.negated
+
+
+class TestSolutionModifiers:
+    def test_group_by_having_order_limit_offset(self):
+        q = parse_query(
+            "SELECT ?p (COUNT(?s) AS ?n) WHERE { ?s ?p ?o } "
+            "GROUP BY ?p HAVING(?n > 2) ORDER BY DESC(?n) LIMIT 10 OFFSET 5"
+        )
+        assert len(q.group_by) == 1
+        assert len(q.having) == 1
+        assert q.order_by[0].descending
+        assert q.limit == 10
+        assert q.offset == 5
+
+    def test_offset_before_limit(self):
+        q = parse_query("SELECT ?s WHERE { ?s ?p ?o } OFFSET 2 LIMIT 3")
+        assert q.offset == 2 and q.limit == 3
+
+    def test_order_by_plain_variable(self):
+        q = parse_query("SELECT ?s WHERE { ?s ?p ?o } ORDER BY ?s")
+        assert not q.order_by[0].descending
+
+    def test_order_by_asc(self):
+        q = parse_query("SELECT ?s WHERE { ?s ?p ?o } ORDER BY ASC(?s)")
+        assert not q.order_by[0].descending
+
+    def test_group_by_expression_with_as(self):
+        q = parse_query(
+            "SELECT ?l (COUNT(*) AS ?n) WHERE { ?s ?p ?o } "
+            "GROUP BY (LCASE(STR(?o)) AS ?l)"
+        )
+        from repro.sparql.ast import Projection
+
+        assert isinstance(q.group_by[0], Projection)
+
+    def test_empty_group_by_raises(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT ?s WHERE { ?s ?p ?o } GROUP BY LIMIT 2")
+
+
+class TestExpressions:
+    def test_precedence(self):
+        q = parse_query("SELECT ?x WHERE { FILTER(?a || ?b && ?c = ?d + ?e * ?f) }")
+        expr = q.where.children[0].expression
+        assert expr.op == "||"
+        assert expr.right.op == "&&"
+        assert expr.right.right.op == "="
+        assert expr.right.right.right.op == "+"
+        assert expr.right.right.right.right.op == "*"
+
+    def test_unary_not(self):
+        q = parse_query("SELECT ?x WHERE { FILTER(!BOUND(?x)) }")
+        expr = q.where.children[0].expression
+        assert expr.op == "!"
+
+    def test_in_and_not_in(self):
+        q = parse_query(
+            "SELECT ?x WHERE { FILTER(?x IN (1, 2)) FILTER(?x NOT IN (3)) }"
+        )
+        first, second = [c.expression for c in q.where.children]
+        assert not first.negated
+        assert second.negated
+
+    def test_aggregate_distinct(self):
+        q = parse_query("SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s ?p ?o }")
+        agg = q.projections[0].expression
+        assert agg.distinct
+
+    def test_count_star(self):
+        q = parse_query("SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }")
+        assert q.projections[0].expression.argument is None
+
+    def test_star_only_for_count(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT (SUM(*) AS ?n) WHERE { ?s ?p ?o }")
+
+    def test_group_concat_separator(self):
+        q = parse_query(
+            'SELECT (GROUP_CONCAT(?o ; SEPARATOR = ", ") AS ?all) '
+            "WHERE { ?s ?p ?o }"
+        )
+        assert q.projections[0].expression.separator == ", "
+
+    def test_builtin_arity_checked(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT ?x WHERE { FILTER(STRLEN(?a, ?b)) }")
+
+    def test_if_coalesce(self):
+        q = parse_query(
+            "SELECT ?x WHERE { FILTER(IF(BOUND(?x), COALESCE(?a, ?b), false)) }"
+        )
+        assert isinstance(q.where.children[0].expression, FunctionCall)
+
+
+class TestAsk:
+    def test_ask(self):
+        q = parse_query("ASK { ?s ?p ?o }")
+        assert isinstance(q, AskQuery)
+
+    def test_ask_with_where(self):
+        q = parse_query("ASK WHERE { ?s ?p ?o }")
+        assert isinstance(q, AskQuery)
+
+    def test_construct_parses(self):
+        from repro.sparql.ast import ConstructQuery
+
+        q = parse_query("CONSTRUCT { ?s ?p ?o } WHERE { ?s ?p ?o }")
+        assert isinstance(q, ConstructQuery)
+        assert len(q.template) == 1
+
+    def test_describe_unsupported(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("DESCRIBE <http://x> WHERE { ?s ?p ?o }")
+
+
+class TestRoundTripStr:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "SELECT ?s WHERE { ?s ?p ?o . }",
+            "SELECT DISTINCT ?s WHERE { ?s ?p ?o . } LIMIT 3",
+            "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o . } GROUP BY ?p",
+        ],
+    )
+    def test_str_reparses(self, text):
+        """str(query) must itself be parseable (stable surface form)."""
+        q1 = parse_query(text)
+        q2 = parse_query(str(q1))
+        assert type(q1) is type(q2)

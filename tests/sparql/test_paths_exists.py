@@ -1,0 +1,226 @@
+"""Unit tests for property paths and EXISTS/NOT EXISTS."""
+
+import pytest
+
+from repro.rdf import Graph, URI, parse_turtle
+from repro.sparql import evaluate, parse_query
+from repro.sparql.ast import (
+    AlternativePath,
+    InversePath,
+    RepeatPath,
+    SequencePath,
+)
+from repro.sparql.paths import eval_path
+
+P = (
+    "PREFIX dbo: <http://dbpedia.org/ontology/>\n"
+    "PREFIX dbr: <http://dbpedia.org/resource/>\n"
+    "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+    "PREFIX owl: <http://www.w3.org/2002/07/owl#>\n"
+)
+
+
+@pytest.fixture(scope="module")
+def chain_graph():
+    return parse_turtle(
+        """
+        @prefix dbo: <http://dbpedia.org/ontology/> .
+        @prefix dbr: <http://dbpedia.org/resource/> .
+        @prefix owl: <http://www.w3.org/2002/07/owl#> .
+        @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+        dbo:Agent rdfs:subClassOf owl:Thing .
+        dbo:Person rdfs:subClassOf dbo:Agent .
+        dbo:Philosopher rdfs:subClassOf dbo:Person .
+        dbo:Place rdfs:subClassOf owl:Thing .
+        dbr:Plato a dbo:Philosopher ; dbo:influencedBy dbr:Socrates .
+        dbr:Aristotle a dbo:Philosopher ; dbo:influencedBy dbr:Plato .
+        dbr:Zeno a dbo:Philosopher ; dbo:influencedBy dbr:Aristotle .
+        """
+    )
+
+
+def locals_of(result, var):
+    return sorted(t.local_name for t in result.column(var) if t is not None)
+
+
+class TestPathParsing:
+    def test_plain_iri_stays_uri(self):
+        q = parse_query(P + "SELECT ?s WHERE { ?s dbo:p ?o }")
+        assert isinstance(q.where.children[0].predicate, URI)
+
+    def test_star(self):
+        q = parse_query(P + "SELECT ?s WHERE { ?s rdfs:subClassOf* ?o }")
+        path = q.where.children[0].predicate
+        assert isinstance(path, RepeatPath)
+        assert path.min_hops == 0 and not path.max_one
+
+    def test_plus_and_question(self):
+        plus = parse_query(P + "SELECT ?s WHERE { ?s dbo:p+ ?o }")
+        assert plus.where.children[0].predicate.min_hops == 1
+        optional = parse_query(P + "SELECT ?s WHERE { ?s dbo:p? ?o }")
+        assert optional.where.children[0].predicate.max_one
+
+    def test_sequence_and_inverse(self):
+        q = parse_query(P + "SELECT ?s WHERE { ?s dbo:p/^dbo:q ?o }")
+        path = q.where.children[0].predicate
+        assert isinstance(path, SequencePath)
+        assert isinstance(path.steps[1], InversePath)
+
+    def test_alternative_with_grouping(self):
+        q = parse_query(P + "SELECT ?s WHERE { ?s (dbo:p|dbo:q)+ ?o }")
+        path = q.where.children[0].predicate
+        assert isinstance(path, RepeatPath)
+        assert isinstance(path.inner, AlternativePath)
+
+    def test_a_in_path(self):
+        q = parse_query(P + "SELECT ?s WHERE { ?s a/rdfs:subClassOf* ?c }")
+        path = q.where.children[0].predicate
+        assert isinstance(path, SequencePath)
+
+    def test_str_round_trip(self):
+        text = P + "SELECT ?s WHERE { ?s (dbo:p|^dbo:q)/dbo:r* ?o . }"
+        q1 = parse_query(text)
+        q2 = parse_query(str(q1))
+        assert str(q1.where) == str(q2.where)
+
+
+class TestPathEvaluation:
+    def test_transitive_subclass(self, chain_graph):
+        r = evaluate(
+            chain_graph, P + "SELECT ?c WHERE { ?c rdfs:subClassOf+ owl:Thing }"
+        )
+        assert locals_of(r, "c") == ["Agent", "Person", "Philosopher", "Place"]
+
+    def test_star_includes_zero_hops(self, chain_graph):
+        r = evaluate(
+            chain_graph, P + "SELECT ?c WHERE { ?c rdfs:subClassOf* dbo:Person }"
+        )
+        assert locals_of(r, "c") == ["Person", "Philosopher"]
+
+    def test_type_via_path(self, chain_graph):
+        """a/rdfs:subClassOf* computes inferred types."""
+        r = evaluate(
+            chain_graph,
+            P + "SELECT ?c WHERE { dbr:Plato a/rdfs:subClassOf* ?c }",
+        )
+        assert locals_of(r, "c") == ["Agent", "Person", "Philosopher", "Thing"]
+
+    def test_sequence(self, chain_graph):
+        r = evaluate(
+            chain_graph,
+            P + "SELECT ?x WHERE { dbr:Zeno dbo:influencedBy/dbo:influencedBy ?x }",
+        )
+        assert locals_of(r, "x") == ["Plato"]
+
+    def test_inverse(self, chain_graph):
+        r = evaluate(
+            chain_graph, P + "SELECT ?x WHERE { dbr:Plato ^dbo:influencedBy ?x }"
+        )
+        assert locals_of(r, "x") == ["Aristotle"]
+
+    def test_plus_closure(self, chain_graph):
+        r = evaluate(
+            chain_graph, P + "SELECT ?x WHERE { dbr:Zeno dbo:influencedBy+ ?x }"
+        )
+        assert locals_of(r, "x") == ["Aristotle", "Plato", "Socrates"]
+
+    def test_question_mark(self, chain_graph):
+        r = evaluate(
+            chain_graph, P + "SELECT ?x WHERE { dbr:Zeno dbo:influencedBy? ?x }"
+        )
+        assert locals_of(r, "x") == ["Aristotle", "Zeno"]
+
+    def test_reverse_closure_from_object(self, chain_graph):
+        r = evaluate(
+            chain_graph, P + "SELECT ?x WHERE { ?x dbo:influencedBy+ dbr:Socrates }"
+        )
+        assert locals_of(r, "x") == ["Aristotle", "Plato", "Zeno"]
+
+    def test_both_endpoints_bound(self, chain_graph):
+        assert evaluate(
+            chain_graph,
+            P + "ASK { dbr:Zeno dbo:influencedBy+ dbr:Socrates }",
+        ).value
+        assert not evaluate(
+            chain_graph,
+            P + "ASK { dbr:Socrates dbo:influencedBy+ dbr:Zeno }",
+        ).value
+
+    def test_cycle_terminates(self):
+        g = parse_turtle(
+            "@prefix ex: <http://ex/> .\n"
+            "ex:a ex:next ex:b . ex:b ex:next ex:c . ex:c ex:next ex:a .\n"
+        )
+        r = evaluate(g, "SELECT ?x WHERE { <http://ex/a> <http://ex/next>+ ?x }")
+        assert locals_of(r, "x") == ["a", "b", "c"]
+
+    def test_pairs_are_distinct(self, chain_graph):
+        pairs = list(
+            eval_path(
+                chain_graph,
+                None,
+                RepeatPath(URI("http://dbpedia.org/ontology/influencedBy"), 1),
+                None,
+            )
+        )
+        assert len(pairs) == len(set(pairs))
+
+    def test_alternative(self, chain_graph):
+        r = evaluate(
+            chain_graph,
+            P + "SELECT ?x WHERE { dbr:Aristotle (dbo:influencedBy|a) ?x }",
+        )
+        assert locals_of(r, "x") == ["Philosopher", "Plato"]
+
+    def test_path_joins_with_other_patterns(self, chain_graph):
+        r = evaluate(
+            chain_graph,
+            P
+            + "SELECT ?s WHERE { ?s dbo:influencedBy+ dbr:Socrates . "
+            "?s a dbo:Philosopher . }",
+        )
+        assert locals_of(r, "s") == ["Aristotle", "Plato", "Zeno"]
+
+
+class TestExists:
+    def test_exists_filters(self, chain_graph):
+        r = evaluate(
+            chain_graph,
+            P + "SELECT ?s WHERE { ?s a dbo:Philosopher "
+            "FILTER(EXISTS { ?s dbo:influencedBy dbr:Plato }) }",
+        )
+        assert locals_of(r, "s") == ["Aristotle"]
+
+    def test_not_exists(self, chain_graph):
+        r = evaluate(
+            chain_graph,
+            P + "SELECT ?s WHERE { ?s a dbo:Philosopher "
+            "FILTER(NOT EXISTS { ?x dbo:influencedBy ?s }) }",
+        )
+        assert locals_of(r, "s") == ["Zeno"]
+
+    def test_exists_combined_with_boolean_ops(self, chain_graph):
+        r = evaluate(
+            chain_graph,
+            P + "SELECT ?s WHERE { ?s a dbo:Philosopher "
+            "FILTER(EXISTS { ?s dbo:influencedBy dbr:Plato } || "
+            "EXISTS { ?s dbo:influencedBy dbr:Socrates }) }",
+        )
+        assert locals_of(r, "s") == ["Aristotle", "Plato"]
+
+    def test_exists_sees_outer_bindings(self, chain_graph):
+        """The correlation: ?s inside EXISTS refers to the outer row."""
+        r = evaluate(
+            chain_graph,
+            P + "SELECT ?s WHERE { ?s a dbo:Philosopher "
+            "FILTER(EXISTS { ?s dbo:influencedBy ?someone }) }",
+        )
+        assert locals_of(r, "s") == ["Aristotle", "Plato", "Zeno"]
+
+    def test_exists_with_path_inside(self, chain_graph):
+        r = evaluate(
+            chain_graph,
+            P + "SELECT ?s WHERE { ?s a dbo:Philosopher "
+            "FILTER(EXISTS { ?s dbo:influencedBy+ dbr:Socrates }) }",
+        )
+        assert locals_of(r, "s") == ["Aristotle", "Plato", "Zeno"]

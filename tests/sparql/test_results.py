@@ -1,0 +1,136 @@
+"""Unit tests for result containers and the SPARQL-JSON wire format."""
+
+import json
+
+import pytest
+
+from repro.rdf import BNode, Literal, URI
+from repro.sparql import (
+    AskResult,
+    SelectResult,
+    evaluate,
+    results_from_json,
+    results_to_json,
+)
+
+
+@pytest.fixture()
+def result():
+    rows = [
+        {"s": URI("http://a"), "n": Literal("5", datatype="http://www.w3.org/2001/XMLSchema#integer")},
+        {"s": URI("http://b")},
+        {"s": URI("http://c"), "n": Literal("hi", language="en")},
+    ]
+    return SelectResult(["s", "n"], rows)
+
+
+class TestSelectResult:
+    def test_len_iter_bool(self, result):
+        assert len(result) == 3
+        assert bool(result)
+        assert len(list(result)) == 3
+        assert not SelectResult(["x"], [])
+
+    def test_column_with_unbound(self, result):
+        column = result.column("n")
+        assert column[1] is None
+        assert len(column) == 3
+
+    def test_scalar(self):
+        r = SelectResult(["n"], [{"n": Literal("7")}])
+        assert r.scalar() == Literal("7")
+
+    def test_scalar_rejects_non_1x1(self, result):
+        with pytest.raises(ValueError):
+            result.scalar()
+
+    def test_to_table_contains_headers_and_values(self, result):
+        table = result.to_table()
+        assert "?s" in table and "?n" in table
+        assert "hi" in table
+
+    def test_to_table_truncates(self):
+        rows = [{"x": Literal(str(i))} for i in range(100)]
+        table = SelectResult(["x"], rows).to_table(max_rows=5)
+        assert "95 more rows" in table
+
+    def test_equality(self, result):
+        clone = SelectResult(result.vars, list(result.rows))
+        assert result == clone
+
+
+class TestAskResult:
+    def test_bool_and_eq(self):
+        assert AskResult(True)
+        assert not AskResult(False)
+        assert AskResult(True) == True  # noqa: E712
+        assert AskResult(True) == AskResult(True)
+
+
+class TestJsonFormat:
+    def test_select_round_trip(self, result):
+        text = results_to_json(result)
+        parsed = results_from_json(text)
+        assert parsed.vars == result.vars
+        assert parsed.rows == result.rows
+
+    def test_bnode_round_trip(self):
+        r = SelectResult(["b"], [{"b": BNode("x1")}])
+        assert results_from_json(results_to_json(r)).rows[0]["b"] == BNode("x1")
+
+    def test_ask_round_trip(self):
+        for value in (True, False):
+            parsed = results_from_json(results_to_json(AskResult(value)))
+            assert isinstance(parsed, AskResult)
+            assert parsed.value is value
+
+    def test_json_structure_matches_w3c_format(self, result):
+        blob = json.loads(results_to_json(result))
+        assert blob["head"]["vars"] == ["s", "n"]
+        bindings = blob["results"]["bindings"]
+        assert bindings[0]["s"] == {"type": "uri", "value": "http://a"}
+        assert bindings[0]["n"]["datatype"].endswith("integer")
+        assert bindings[2]["n"]["xml:lang"] == "en"
+        # Unbound variables are simply absent.
+        assert "n" not in bindings[1]
+
+    def test_typed_literal_legacy_type_accepted(self):
+        text = json.dumps(
+            {
+                "head": {"vars": ["x"]},
+                "results": {
+                    "bindings": [
+                        {
+                            "x": {
+                                "type": "typed-literal",
+                                "value": "5",
+                                "datatype": "http://www.w3.org/2001/XMLSchema#integer",
+                            }
+                        }
+                    ]
+                },
+            }
+        )
+        parsed = results_from_json(text)
+        assert parsed.rows[0]["x"].is_numeric
+
+    def test_unknown_term_type_raises(self):
+        text = json.dumps(
+            {
+                "head": {"vars": ["x"]},
+                "results": {"bindings": [{"x": {"type": "mystery", "value": ""}}]},
+            }
+        )
+        with pytest.raises(ValueError):
+            results_from_json(text)
+
+    def test_evaluated_result_serialises(self, philosophy_graph):
+        r = evaluate(
+            philosophy_graph,
+            "PREFIX dbo: <http://dbpedia.org/ontology/> "
+            "SELECT ?s WHERE { ?s a dbo:Philosopher }",
+        )
+        parsed = results_from_json(results_to_json(r))
+        assert sorted(t.value for t in parsed.column("s")) == sorted(
+            t.value for t in r.column("s")
+        )

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The checks a pull request must pass, runnable without any install step:
+#   1. the observability smoke test (EXPLAIN ANALYZE row accounting and
+#      the HVS/decomposer counters moving when toggled);
+#   2. the full tier-1 test suite.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== repro explain --self-test =="
+python -m repro explain --self-test
+
+echo
+echo "== tier-1 test suite =="
+python -m pytest -x -q

@@ -10,14 +10,54 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
+from ..obs.metrics import REGISTRY
+from ..obs.tracing import OperatorSummary
 from ..sparql.evaluator import EvalStats
 from ..sparql.results import AskResult, SelectResult
 
-__all__ = ["Endpoint", "EndpointResponse", "QueryLogEntry"]
+__all__ = [
+    "Endpoint",
+    "EndpointResponse",
+    "QueryLogEntry",
+    "observe_response",
+]
 
 Result = Union[SelectResult, AskResult]
+
+_ENDPOINT_QUERIES_TOTAL = REGISTRY.counter(
+    "repro_endpoint_queries_total",
+    "Answered queries by answer source",
+    labelnames=("source",),
+)
+_ENDPOINT_SIMULATED_MS_TOTAL = REGISTRY.counter(
+    "repro_endpoint_simulated_ms_total",
+    "Total simulated latency charged, by answer source",
+    labelnames=("source",),
+)
+_ENDPOINT_LATENCY_MS = REGISTRY.histogram(
+    "repro_endpoint_latency_ms",
+    "Simulated per-query latency distribution by answer source",
+    labelnames=("source",),
+)
+
+
+def observe_response(response: "EndpointResponse") -> None:
+    """Emit one answered query into the metrics registry.
+
+    Called at every site that *produces* a response (local engine,
+    remote client, HVS hit, decomposer rewrite) rather than in
+    :meth:`Endpoint._log`, because the router re-logs backend responses
+    and would double-count them.
+    """
+    _ENDPOINT_QUERIES_TOTAL.labels(source=response.source).inc()
+    _ENDPOINT_SIMULATED_MS_TOTAL.labels(source=response.source).inc(
+        response.elapsed_ms
+    )
+    _ENDPOINT_LATENCY_MS.labels(source=response.source).observe(
+        response.elapsed_ms
+    )
 
 
 @dataclass
@@ -29,6 +69,8 @@ class EndpointResponse:
     source: str
     query_text: str
     stats: Optional[EvalStats] = None
+    #: Per-operator aggregates when the endpoint ran with tracing on.
+    trace: Optional[Tuple[OperatorSummary, ...]] = None
 
     @property
     def rows(self):
@@ -45,6 +87,8 @@ class QueryLogEntry:
     elapsed_ms: float
     source: str
     result_rows: int
+    #: Copied from the response's trace when tracing was enabled.
+    operators: Optional[Tuple[OperatorSummary, ...]] = None
 
 
 class Endpoint(ABC):
@@ -97,5 +141,6 @@ class Endpoint(ABC):
                 elapsed_ms=response.elapsed_ms,
                 source=response.source,
                 result_rows=rows,
+                operators=response.trace,
             )
         )

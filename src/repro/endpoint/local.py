@@ -9,10 +9,11 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..obs.tracing import EvalProbe
 from ..rdf.graph import Graph
 from ..sparql.evaluator import Evaluator
 from ..sparql.parser import parse_query
-from .base import Endpoint, EndpointResponse
+from .base import Endpoint, EndpointResponse, observe_response
 from .clock import SimClock
 from .cost import LOCAL_PROFILE, CostModel
 
@@ -20,18 +21,28 @@ __all__ = ["LocalEndpoint"]
 
 
 class LocalEndpoint(Endpoint):
-    """Executes queries directly against a :class:`Graph`."""
+    """Executes queries directly against a :class:`Graph`.
+
+    With ``trace=True`` every query runs under an
+    :class:`~repro.obs.tracing.EvalProbe` and the response (and the
+    query log) carries per-operator row/time aggregates — the input of
+    :meth:`repro.explorer.monitor.QueryMonitor.by_operator`.  Tracing
+    adds real (not simulated) overhead per binding, so it is off by
+    default.
+    """
 
     def __init__(
         self,
         graph: Graph,
         clock: Optional[SimClock] = None,
         cost_model: CostModel = LOCAL_PROFILE,
+        trace: bool = False,
     ):
         super().__init__()
         self.graph = graph
         self.clock = clock or SimClock()
         self.cost_model = cost_model
+        self.trace = trace
 
     @property
     def dataset_version(self) -> int:
@@ -39,7 +50,8 @@ class LocalEndpoint(Endpoint):
 
     def query(self, query_text: str) -> EndpointResponse:
         parsed = parse_query(query_text)
-        evaluator = Evaluator(self.graph)
+        probe = EvalProbe() if self.trace else None
+        evaluator = Evaluator(self.graph, probe=probe)
         result = evaluator.run(parsed)
         stats = evaluator.stats
         result_rows = len(result.rows) if hasattr(result, "rows") else 1
@@ -55,6 +67,8 @@ class LocalEndpoint(Endpoint):
             source=self.cost_model.name,
             query_text=query_text,
             stats=stats,
+            trace=probe.summaries() if probe is not None else None,
         )
+        observe_response(response)
         self._log(response)
         return response

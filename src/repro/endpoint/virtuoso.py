@@ -17,10 +17,11 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..obs.metrics import REGISTRY
 from ..rdf.graph import Graph
 from ..sparql.evaluator import Evaluator
 from ..sparql.parser import parse_query
-from .base import Endpoint, EndpointResponse
+from .base import Endpoint, EndpointResponse, observe_response
 from .clock import SimClock
 from .cost import REMOTE_VIRTUOSO_PROFILE, CostModel
 from .wire import (
@@ -33,6 +34,14 @@ from .wire import (
 )
 
 __all__ = ["SimulatedVirtuosoServer", "RemoteEndpoint"]
+
+_SERVER_REQUESTS_TOTAL = REGISTRY.counter(
+    "repro_virtuoso_requests_total",
+    "HTTP requests served by the simulated Virtuoso server, by outcome",
+    labelnames=("status",),
+)
+_SERVER_OK = _SERVER_REQUESTS_TOTAL.labels(status="ok")
+_SERVER_ERROR = _SERVER_REQUESTS_TOTAL.labels(status="error")
 
 
 class SimulatedVirtuosoServer:
@@ -54,6 +63,7 @@ class SimulatedVirtuosoServer:
     def handle(self, request: SparqlHttpRequest) -> SparqlHttpResponse:
         """Serve one protocol request."""
         if request.endpoint_url != self.url:
+            _SERVER_ERROR.inc()
             return SparqlHttpResponse(
                 status=404,
                 body=f"no endpoint at {request.endpoint_url}",
@@ -65,9 +75,11 @@ class SimulatedVirtuosoServer:
             evaluator = Evaluator(self.graph)
             result = evaluator.run(parsed)
         except Exception as error:  # engine errors -> HTTP error body
+            _SERVER_ERROR.inc()
             elapsed = self.cost_model.network_latency_ms
             self.clock.advance(elapsed)
             return encode_error(error, elapsed_ms=elapsed)
+        _SERVER_OK.inc()
         stats = evaluator.stats
         result_rows = len(result.rows) if hasattr(result, "rows") else 1
         elapsed = self.cost_model.simulate_ms(
@@ -113,5 +125,6 @@ class RemoteEndpoint(Endpoint):
             query_text=query_text,
             stats=None,  # opaque remote server: no work counters leak out
         )
+        observe_response(response)
         self._log(response)
         return response

@@ -10,10 +10,22 @@ layer would work against a real HTTP endpoint.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict
 
+from ..obs.metrics import REGISTRY
 from ..sparql.errors import SparqlError
 from ..sparql.results import GraphResult, results_from_json, results_to_json
+
+_WIRE_ENCODES_TOTAL = REGISTRY.counter(
+    "repro_wire_encodes_total",
+    "Result serialisations onto the simulated HTTP wire, by content type",
+    labelnames=("content_type",),
+)
+_WIRE_ENCODE_WALL_MS_TOTAL = REGISTRY.counter(
+    "repro_wire_encode_wall_ms_total",
+    "Real wall time spent serialising results onto the wire (ms)",
+)
 
 __all__ = [
     "SparqlHttpRequest",
@@ -63,15 +75,20 @@ def encode_success(result, elapsed_ms: float) -> SparqlHttpResponse:
     SELECT/ASK results travel as SPARQL-JSON; CONSTRUCT graphs as
     N-Triples with the matching content type.
     """
+    started = perf_counter()
     if isinstance(result, GraphResult):
-        return SparqlHttpResponse(
-            status=200,
-            body=result.to_ntriples(),
-            content_type=NTRIPLES_MIME,
-            elapsed_ms=elapsed_ms,
-        )
+        body = result.to_ntriples()
+        content_type = NTRIPLES_MIME
+    else:
+        body = results_to_json(result)
+        content_type = JSON_RESULTS_MIME
+    _WIRE_ENCODES_TOTAL.labels(content_type=content_type).inc()
+    _WIRE_ENCODE_WALL_MS_TOTAL.inc((perf_counter() - started) * 1000.0)
     return SparqlHttpResponse(
-        status=200, body=results_to_json(result), elapsed_ms=elapsed_ms
+        status=200,
+        body=body,
+        content_type=content_type,
+        elapsed_ms=elapsed_ms,
     )
 
 

@@ -3,7 +3,7 @@ panes with three tabs, breadcrumb trails, chart widgets, the settings
 form, and ASCII rendering."""
 
 from .breadcrumbs import BreadcrumbTrail, Crumb, TRAIL_COLOURS
-from .monitor import QueryMonitor, SourceSummary
+from .monitor import OperatorBreakdown, QueryMonitor, SourceSummary
 from .pane import Pane, Tab
 from .persistence import (
     SessionReplayError,
@@ -25,6 +25,7 @@ __all__ = [
     "Pane",
     "Tab",
     "ExplorerSession",
+    "OperatorBreakdown",
     "QueryMonitor",
     "SourceSummary",
     "save_session",

@@ -1,0 +1,69 @@
+"""Engine observability: metrics registry, per-operator tracing, EXPLAIN.
+
+Three pieces, layered bottom-up:
+
+* :mod:`repro.obs.metrics` — a dependency-free prometheus-style registry
+  (:data:`REGISTRY`) that every engine layer emits counters, gauges, and
+  histograms into; the metric-name catalogue is ``docs/OBSERVABILITY.md``.
+* :mod:`repro.obs.tracing` — :class:`EvalProbe` wraps every evaluator
+  operator in a measuring span; spans export as a tree or JSON lines.
+* :mod:`repro.obs.explain` — ``EXPLAIN`` / ``EXPLAIN ANALYZE``: the
+  algebra plan with estimated vs. actual per-operator cardinalities and
+  wall time, surfaced by the ``repro explain`` CLI subcommand.
+
+``explain`` is imported lazily (PEP 562) because it depends on the
+evaluator, which itself emits metrics through this package.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    REGISTRY,
+    get_registry,
+)
+from .tracing import (
+    EvalProbe,
+    OperatorSpan,
+    OperatorSummary,
+    render_span_tree,
+    spans_to_json_lines,
+)
+
+__all__ = [
+    "REGISTRY",
+    "get_registry",
+    "MetricsRegistry",
+    "MetricError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "EvalProbe",
+    "OperatorSpan",
+    "OperatorSummary",
+    "render_span_tree",
+    "spans_to_json_lines",
+    "ExplainResult",
+    "PlanNode",
+    "explain",
+    "estimate_cardinality",
+]
+
+_LAZY = {"ExplainResult", "PlanNode", "explain", "estimate_cardinality"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(".explain", __name__)
+        # Rebind all lazy names, including ``explain`` itself — the
+        # submodule import binds the *module* over the package attribute,
+        # and the function must win (use ``repro.obs.explain`` via
+        # sys.modules / a from-import to reach the module).
+        for attr in _LAZY:
+            globals()[attr] = getattr(module, attr)
+        return globals()[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,308 @@
+"""``EXPLAIN`` / ``EXPLAIN ANALYZE`` for the SPARQL engine.
+
+``explain(graph, query)`` renders the algebra tree of a query with
+per-operator *estimated* cardinalities (derived from the graph's index
+statistics); ``explain(graph, query, analyze=True)`` additionally runs
+the query with an :class:`repro.obs.tracing.EvalProbe` attached and
+reports, per operator, the *actual* rows produced and wall time — the
+measurement harness the perf layer (HVS, decomposer, incremental
+evaluation) is judged against.
+
+The estimates are deliberately simple (independence-assumption upper
+bounds, the classic 1/3 filter selectivity): their job is to make
+misestimates visible next to the measured rows, not to drive a planner.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..rdf.graph import Graph
+from ..sparql.algebra import (
+    Aggregation,
+    AlgebraNode,
+    Ask,
+    BGP,
+    Distinct,
+    Extend,
+    Filter,
+    Join,
+    LeftJoin,
+    Minus,
+    OrderBy,
+    Project,
+    Reduced,
+    Slice,
+    Unit,
+    Union,
+    ValuesTable,
+    translate_query,
+)
+from ..sparql.ast import ConstructQuery, PathExpr, Query, TriplePatternNode, Var
+from ..sparql.errors import SparqlEvalError
+from ..sparql.evaluator import Evaluator
+from ..sparql.parser import parse_query
+from .tracing import (
+    EvalProbe,
+    operator_detail,
+    operator_label,
+    render_span_tree,
+    spans_to_json_lines,
+)
+
+__all__ = ["PlanNode", "ExplainResult", "explain", "estimate_cardinality"]
+
+#: Classic textbook selectivity guess for an opaque FILTER condition.
+_FILTER_SELECTIVITY = 1.0 / 3.0
+
+
+# ----------------------------------------------------------------------
+# Cardinality estimation
+# ----------------------------------------------------------------------
+
+
+def _pattern_estimate(graph: Graph, pattern: TriplePatternNode) -> int:
+    """Matches for one triple pattern, variables treated as wildcards."""
+    if isinstance(pattern.predicate, PathExpr):
+        # Paths can traverse arbitrarily; the graph size is the only
+        # honest static bound.
+        return len(graph)
+    subject = None if isinstance(pattern.subject, Var) else pattern.subject
+    predicate = None if isinstance(pattern.predicate, Var) else pattern.predicate
+    object = None if isinstance(pattern.object, Var) else pattern.object
+    return graph.count(subject, predicate, object)
+
+
+def estimate_cardinality(graph: Graph, node: AlgebraNode) -> int:
+    """Estimated output rows of one operator (recursive, heuristic)."""
+    if isinstance(node, Unit):
+        return 1
+    if isinstance(node, BGP):
+        if not node.patterns:
+            return 1
+        estimate = 1
+        for pattern in node.patterns:
+            estimate *= max(1, _pattern_estimate(graph, pattern))
+            # The index-nested-loop join binds variables left to right;
+            # a bare product explodes, so damp each extra pattern.
+            estimate = min(estimate, len(graph) * max(1, len(node.patterns)))
+        return estimate
+    if isinstance(node, Join):
+        left = estimate_cardinality(graph, node.left)
+        right = estimate_cardinality(graph, node.right)
+        return max(left, right)
+    if isinstance(node, LeftJoin):
+        return estimate_cardinality(graph, node.left)
+    if isinstance(node, Filter):
+        inner = estimate_cardinality(graph, node.input)
+        return max(1, int(inner * _FILTER_SELECTIVITY))
+    if isinstance(node, Union):
+        return sum(
+            estimate_cardinality(graph, branch) for branch in node.branches
+        )
+    if isinstance(node, Minus):
+        return estimate_cardinality(graph, node.left)
+    if isinstance(node, Extend):
+        return estimate_cardinality(graph, node.input)
+    if isinstance(node, ValuesTable):
+        return len(node.rows)
+    if isinstance(node, Aggregation):
+        inner = estimate_cardinality(graph, node.input)
+        if not node.keys:
+            return 1
+        # Number of groups: sqrt damping of the input, a standard guess
+        # in the absence of per-column distinct counts.
+        return max(1, int(math.sqrt(inner)))
+    if isinstance(node, (Project, Distinct, Reduced, OrderBy)):
+        return estimate_cardinality(graph, node.input)
+    if isinstance(node, Slice):
+        inner = estimate_cardinality(graph, node.input)
+        inner = max(0, inner - node.offset)
+        if node.limit is not None:
+            inner = min(inner, node.limit)
+        return inner
+    if isinstance(node, Ask):
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Plan tree
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class PlanNode:
+    """One operator of an explained plan."""
+
+    label: str
+    detail: str
+    estimated_rows: int
+    children: List["PlanNode"] = field(default_factory=list)
+    actual_rows: Optional[int] = None
+    wall_ms: Optional[float] = None        # inclusive
+    self_wall_ms: Optional[float] = None
+    invocations: int = 0
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> Dict:
+        out: Dict = {
+            "operator": self.label,
+            "detail": self.detail,
+            "estimated_rows": self.estimated_rows,
+        }
+        if self.actual_rows is not None:
+            out.update(
+                actual_rows=self.actual_rows,
+                wall_ms=round(self.wall_ms or 0.0, 6),
+                self_wall_ms=round(self.self_wall_ms or 0.0, 6),
+                invocations=self.invocations,
+            )
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+
+def _children_of(node: AlgebraNode) -> List[AlgebraNode]:
+    if isinstance(node, (Join, LeftJoin, Minus)):
+        return [node.left, node.right]
+    if isinstance(node, Union):
+        return list(node.branches)
+    if isinstance(
+        node,
+        (Filter, Extend, Aggregation, Project, Distinct, Reduced, OrderBy, Slice, Ask),
+    ):
+        return [node.input]
+    return []
+
+
+def _build_plan(
+    graph: Graph, node: AlgebraNode, index: Dict[int, PlanNode]
+) -> PlanNode:
+    plan = PlanNode(
+        label=operator_label(node),
+        detail=operator_detail(node),
+        estimated_rows=estimate_cardinality(graph, node),
+    )
+    index[id(node)] = plan
+    for child in _children_of(node):
+        plan.children.append(_build_plan(graph, child, index))
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ExplainResult:
+    """The rendered plan plus (for ANALYZE) the run's artefacts."""
+
+    query_text: str
+    plan: PlanNode
+    analyzed: bool
+    result: object = None          # SelectResult/AskResult when analyzed
+    probe: Optional[EvalProbe] = None
+    planning_note: str = ""
+
+    @property
+    def result_rows(self) -> Optional[int]:
+        rows = getattr(self.result, "rows", None)
+        return len(rows) if rows is not None else None
+
+    def render(self) -> str:
+        """The pg-style plan tree (estimated vs actual when analyzed)."""
+        header = "EXPLAIN ANALYZE" if self.analyzed else "EXPLAIN"
+        lines = [header, "=" * len(header)]
+
+        def visit(plan: PlanNode, depth: int) -> None:
+            indent = "  " * depth
+            detail = f" ({plan.detail})" if plan.detail else ""
+            cells = [f"est_rows={plan.estimated_rows}"]
+            if self.analyzed and plan.actual_rows is not None:
+                cells.append(f"rows={plan.actual_rows}")
+                cells.append(f"wall={plan.wall_ms:.3f}ms")
+                cells.append(f"self={plan.self_wall_ms:.3f}ms")
+                if plan.invocations > 1:
+                    cells.append(f"loops={plan.invocations}")
+            elif self.analyzed:
+                cells.append("(not executed)")
+            lines.append(f"{indent}{plan.label}{detail}  " + "  ".join(cells))
+            for child in plan.children:
+                visit(child, depth + 1)
+
+        visit(self.plan, 0)
+        if self.analyzed and self.result_rows is not None:
+            lines.append(f"result rows: {self.result_rows}")
+        if self.planning_note:
+            lines.append(self.planning_note)
+        return "\n".join(lines)
+
+    def render_spans(self) -> str:
+        """The raw measured span tree (ANALYZE only)."""
+        if self.probe is None:
+            raise SparqlEvalError("spans require analyze=True")
+        return render_span_tree(self.probe.roots)
+
+    def to_json(self) -> str:
+        """The plan tree as one JSON document."""
+        return json.dumps(
+            {
+                "query": self.query_text,
+                "analyzed": self.analyzed,
+                "result_rows": self.result_rows,
+                "plan": self.plan.to_dict(),
+            },
+            sort_keys=True,
+            indent=2,
+        )
+
+    def to_json_lines(self) -> str:
+        """Measured spans as JSON lines (ANALYZE only)."""
+        if self.probe is None:
+            raise SparqlEvalError("span export requires analyze=True")
+        return spans_to_json_lines(self.probe.roots)
+
+
+def explain(graph: Graph, query_text: str, analyze: bool = False) -> ExplainResult:
+    """Explain (and optionally execute + measure) a query over ``graph``."""
+    query: Query = parse_query(query_text)
+    if isinstance(query, ConstructQuery):
+        raise SparqlEvalError("EXPLAIN supports SELECT and ASK queries only")
+    algebra = translate_query(query)
+    index: Dict[int, PlanNode] = {}
+    plan = _build_plan(graph, algebra, index)
+    if not analyze:
+        return ExplainResult(query_text=query_text, plan=plan, analyzed=False)
+    probe = EvalProbe()
+    evaluator = Evaluator(graph, probe=probe)
+    result = evaluator.run_translated(query, algebra)
+    matched = 0
+    for node_id, plan_node in index.items():
+        span = probe.span_by_node.get(node_id)
+        if span is None:
+            continue
+        matched += 1
+        plan_node.actual_rows = span.rows
+        plan_node.wall_ms = span.wall_ms
+        plan_node.self_wall_ms = span.self_wall_ms
+        plan_node.invocations = span.invocations
+    note = ""
+    if matched == 0:
+        note = "note: no operators were executed"
+    return ExplainResult(
+        query_text=query_text,
+        plan=plan,
+        analyzed=True,
+        result=result,
+        probe=probe,
+        planning_note=note,
+    )

@@ -18,9 +18,10 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..core.model import Direction
-from ..endpoint.base import EndpointResponse
+from ..endpoint.base import EndpointResponse, observe_response
 from ..endpoint.clock import SimClock
 from ..endpoint.cost import DECOMPOSER_PROFILE, CostModel
+from ..obs.metrics import REGISTRY
 from ..rdf.terms import Literal, URI
 from ..rdf.vocab import RDF, XSD
 from ..sparql.ast import (
@@ -38,6 +39,14 @@ from ..sparql.results import SelectResult
 from .indexes import SpecializedIndexes
 
 __all__ = ["PropertyExpansionSpec", "match_property_expansion", "Decomposer"]
+
+_DECOMPOSER_REQUESTS_TOTAL = REGISTRY.counter(
+    "repro_decomposer_requests_total",
+    "Queries offered to the decomposer, by whether the rewrite applied",
+    labelnames=("outcome",),
+)
+_DECOMPOSER_REWRITTEN = _DECOMPOSER_REQUESTS_TOTAL.labels(outcome="rewritten")
+_DECOMPOSER_SKIPPED = _DECOMPOSER_REQUESTS_TOTAL.labels(outcome="skipped")
 
 _RDF_TYPE = RDF.term("type")
 _XSD_INTEGER = XSD.term("integer").value
@@ -186,12 +195,15 @@ class Decomposer:
         spec = match_property_expansion(query_text)
         if spec is None:
             self.misses += 1
+            _DECOMPOSER_SKIPPED.inc()
             return None
         rows = self.indexes.property_expansion(list(spec.classes), spec.direction)
         if rows is None:
             self.misses += 1
+            _DECOMPOSER_SKIPPED.inc()
             return None
         self.hits += 1
+        _DECOMPOSER_REWRITTEN.inc()
         prop_var, count_var, sum_var = spec.var_names
         bindings = [
             {
@@ -214,10 +226,12 @@ class Decomposer:
             result_rows=len(bindings),
         )
         self.clock.advance(elapsed)
-        return EndpointResponse(
+        response = EndpointResponse(
             result=result,
             elapsed_ms=elapsed,
             source="decomposer",
             query_text=query_text,
             stats=None,
         )
+        observe_response(response)
+        return response

@@ -13,12 +13,32 @@ import re
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from ..endpoint.base import EndpointResponse
+from ..endpoint.base import EndpointResponse, observe_response
 from ..endpoint.clock import SimClock
 from ..endpoint.cost import HVS_PROFILE, CostModel
+from ..obs.metrics import REGISTRY
 from ..sparql.results import AskResult, SelectResult
 
 __all__ = ["HvsEntry", "HeavyQueryStore", "normalize_query"]
+
+_HVS_LOOKUPS_TOTAL = REGISTRY.counter(
+    "repro_hvs_lookups_total",
+    "Heavy-query store lookups by outcome",
+    labelnames=("outcome",),
+)
+_HVS_HIT = _HVS_LOOKUPS_TOTAL.labels(outcome="hit")
+_HVS_MISS = _HVS_LOOKUPS_TOTAL.labels(outcome="miss")
+_HVS_STORES_TOTAL = REGISTRY.counter(
+    "repro_hvs_stores_total", "Heavy results stored in the HVS"
+)
+_HVS_REJECTED_LIGHT_TOTAL = REGISTRY.counter(
+    "repro_hvs_rejected_light_total",
+    "Results not cached because the query ran under the heaviness threshold",
+)
+_HVS_INVALIDATIONS_TOTAL = REGISTRY.counter(
+    "repro_hvs_invalidations_total",
+    "Whole-store invalidations triggered by knowledge-base updates",
+)
 
 #: The paper's heaviness threshold: one (simulated) second.
 DEFAULT_HEAVY_THRESHOLD_MS = 1000.0
@@ -92,6 +112,7 @@ class HeavyQueryStore:
         if self._version is not None and self._version != dataset_version:
             if self._entries:
                 self.stats.invalidations += 1
+                _HVS_INVALIDATIONS_TOTAL.inc()
             self._entries.clear()
         self._version = dataset_version
 
@@ -103,22 +124,26 @@ class HeavyQueryStore:
         entry = self._entries.get(normalize_query(query_text))
         if entry is None:
             self.stats.misses += 1
+            _HVS_MISS.inc()
             return None
         entry.hits += 1
         self.stats.hits += 1
+        _HVS_HIT.inc()
         result = entry.result
         rows = len(result.rows) if isinstance(result, SelectResult) else 1
         elapsed = self.cost_model.simulate_ms(
             intermediate_bindings=0, pattern_scans=0, result_rows=rows
         )
         self.clock.advance(elapsed)
-        return EndpointResponse(
+        response = EndpointResponse(
             result=result,
             elapsed_ms=elapsed,
             source="hvs",
             query_text=query_text,
             stats=None,
         )
+        observe_response(response)
+        return response
 
     def record(
         self,
@@ -134,6 +159,7 @@ class HeavyQueryStore:
         self._check_version(dataset_version)
         if runtime_ms <= self.threshold_ms:
             self.stats.rejected_light += 1
+            _HVS_REJECTED_LIGHT_TOTAL.inc()
             return False
         self._entries[normalize_query(query_text)] = HvsEntry(
             result=result,
@@ -141,6 +167,7 @@ class HeavyQueryStore:
             dataset_version=dataset_version,
         )
         self.stats.stores += 1
+        _HVS_STORES_TOTAL.inc()
         return True
 
     def clear(self) -> None:

@@ -27,6 +27,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..endpoint.clock import SimClock
 from ..endpoint.cost import LOCAL_PROFILE, CostModel
+from ..obs.metrics import REGISTRY
 from ..rdf.graph import Graph
 from ..rdf.terms import Literal, Term
 from ..rdf.triple import Triple
@@ -40,6 +41,14 @@ from ..sparql.results import SelectResult
 __all__ = ["IncrementalConfig", "PartialResult", "IncrementalEvaluator"]
 
 _XSD_INTEGER = "http://www.w3.org/2001/XMLSchema#integer"
+
+#: Shared with :mod:`repro.perf.remote_incremental` (mode="remote").
+INCREMENTAL_WINDOWS_TOTAL = REGISTRY.counter(
+    "repro_incremental_windows_total",
+    "Windows (local) or pages (remote) consumed by incremental evaluation",
+    labelnames=("mode",),
+)
+_WINDOWS_LOCAL = INCREMENTAL_WINDOWS_TOTAL.labels(mode="local")
 
 
 @dataclass(frozen=True)
@@ -225,6 +234,7 @@ class IncrementalEvaluator:
             self.clock.advance(elapsed)
             cumulative += elapsed
             consumed = step
+            _WINDOWS_LOCAL.inc()
             reached_cap = (
                 self.config.max_steps is not None
                 and step >= self.config.max_steps

@@ -25,9 +25,11 @@ from ..core.queries import MemberPattern
 from ..endpoint.base import Endpoint
 from ..rdf.terms import Literal, Term
 from ..sparql.results import SelectResult
-from .incremental import PartialResult
+from .incremental import INCREMENTAL_WINDOWS_TOTAL, PartialResult
 
 __all__ = ["RemoteIncrementalConfig", "RemoteIncrementalEvaluator"]
+
+_WINDOWS_REMOTE = INCREMENTAL_WINDOWS_TOTAL.labels(mode="remote")
 
 _XSD_INTEGER = "http://www.w3.org/2001/XMLSchema#integer"
 
@@ -120,6 +122,7 @@ class RemoteIncrementalEvaluator:
                 slot[0] += count
                 slot[1] += triples
             complete = page_triples < self.config.window_size
+            _WINDOWS_REMOTE.inc()
             yield PartialResult(
                 result=self._merged_result(merged),
                 step=step,

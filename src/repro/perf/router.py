@@ -14,10 +14,20 @@ from __future__ import annotations
 from typing import Optional
 
 from ..endpoint.base import Endpoint, EndpointResponse
+from ..obs.metrics import REGISTRY
 from .decomposer import Decomposer
 from .hvs import HeavyQueryStore
 
 __all__ = ["ElindaEndpoint"]
+
+_ROUTER_QUERIES_TOTAL = REGISTRY.counter(
+    "repro_router_queries_total",
+    "Queries answered by the eLinda endpoint, by which layer answered",
+    labelnames=("route",),
+)
+_ROUTE_HVS = _ROUTER_QUERIES_TOTAL.labels(route="hvs")
+_ROUTE_DECOMPOSER = _ROUTER_QUERIES_TOTAL.labels(route="decomposer")
+_ROUTE_BACKEND = _ROUTER_QUERIES_TOTAL.labels(route="backend")
 
 
 class ElindaEndpoint(Endpoint):
@@ -52,6 +62,7 @@ class ElindaEndpoint(Endpoint):
         if self.use_hvs and self.hvs is not None:
             cached = self.hvs.lookup(query_text, version)
             if cached is not None:
+                _ROUTE_HVS.inc()
                 self._log(cached)
                 return cached
         # 2. Decomposer (only while its indexes reflect the current
@@ -63,9 +74,11 @@ class ElindaEndpoint(Endpoint):
         ):
             decomposed = self.decomposer.try_answer(query_text)
             if decomposed is not None:
+                _ROUTE_DECOMPOSER.inc()
                 self._log(decomposed)
                 return decomposed
         # 3. Backend, measuring runtime for heaviness detection.
+        _ROUTE_BACKEND.inc()
         response = self.backend.query(query_text)
         if self.use_hvs and self.hvs is not None:
             self.hvs.record(

@@ -16,10 +16,21 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, Optional, Set
 
+from ..obs.metrics import REGISTRY
 from .terms import Literal, RDFObject, Subject, URI
 from .triple import Triple, TriplePattern
 
 __all__ = ["Graph"]
+
+_INDEX_LOOKUPS_TOTAL = REGISTRY.counter(
+    "repro_graph_index_lookups_total",
+    "Triple-pattern lookups by the index that answered them",
+    labelnames=("index",),
+)
+_LOOKUP_SPO = _INDEX_LOOKUPS_TOTAL.labels(index="spo")
+_LOOKUP_POS = _INDEX_LOOKUPS_TOTAL.labels(index="pos")
+_LOOKUP_OSP = _INDEX_LOOKUPS_TOTAL.labels(index="osp")
+_LOOKUP_FULL_SCAN = _INDEX_LOOKUPS_TOTAL.labels(index="full_scan")
 
 
 def _index_add(
@@ -178,6 +189,15 @@ class Graph:
         scan happens only for the all-wildcard pattern.
         """
         s, p, o = subject, predicate, object
+        if s is not None:
+            # (s, ?, o) is the one subject-bound shape answered from OSP.
+            (_LOOKUP_OSP if (p is None and o is not None) else _LOOKUP_SPO).inc()
+        elif p is not None:
+            _LOOKUP_POS.inc()
+        elif o is not None:
+            _LOOKUP_OSP.inc()
+        else:
+            _LOOKUP_FULL_SCAN.inc()
         if s is not None:
             by_predicate = self._spo.get(s)
             if by_predicate is None:

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from ..obs.metrics import REGISTRY
 from ..rdf.graph import Graph
 from ..rdf.terms import Term
 from .algebra import (
@@ -63,6 +64,28 @@ from .results import AskResult, GraphResult, SelectResult
 
 __all__ = ["EvalStats", "Evaluator", "evaluate", "evaluate_algebra"]
 
+_QUERIES_TOTAL = REGISTRY.counter(
+    "repro_eval_queries_total", "Queries evaluated by the SPARQL engine"
+)
+_BINDINGS_TOTAL = REGISTRY.counter(
+    "repro_eval_bindings_total",
+    "Intermediate solution mappings produced by all operators",
+)
+_PATTERN_SCANS_TOTAL = REGISTRY.counter(
+    "repro_eval_pattern_scans_total",
+    "Triple-pattern scans issued against the graph indexes",
+)
+_RESULTS_TOTAL = REGISTRY.counter(
+    "repro_eval_results_total", "Result rows returned to callers"
+)
+_JOIN_STRATEGY_TOTAL = REGISTRY.counter(
+    "repro_eval_join_strategy_total",
+    "Binary join executions by chosen strategy",
+    labelnames=("strategy",),
+)
+_JOIN_HASH = _JOIN_STRATEGY_TOTAL.labels(strategy="hash")
+_JOIN_PRODUCT = _JOIN_STRATEGY_TOTAL.labels(strategy="product")
+
 
 @dataclass
 class EvalStats:
@@ -105,11 +128,19 @@ def _binding_key(binding: Binding, names: Tuple[str, ...]) -> Tuple:
 
 
 class Evaluator:
-    """Evaluates algebra trees against one :class:`Graph`."""
+    """Evaluates algebra trees against one :class:`Graph`.
 
-    def __init__(self, graph: Graph):
+    ``probe`` is an optional tracing hook (duck-typed; see
+    :class:`repro.obs.tracing.EvalProbe`): when set, every operator
+    iterator produced by :meth:`_eval` is passed through
+    ``probe.wrap(node, iterator)``, which is how ``EXPLAIN ANALYZE``
+    measures per-operator cardinalities and wall time.
+    """
+
+    def __init__(self, graph: Graph, probe=None):
         self.graph = graph
         self.stats = EvalStats()
+        self.probe = probe
 
     # ------------------------------------------------------------------
     # Public API
@@ -120,17 +151,30 @@ class Evaluator:
         or GraphResult (CONSTRUCT)."""
         if isinstance(query, ConstructQuery):
             return self._run_construct(query)
-        algebra = translate_query(query)
-        if isinstance(algebra, Ask):
-            for _ in self._eval(algebra.input):
-                return AskResult(True, stats=self.stats)
-            return AskResult(False, stats=self.stats)
-        variables = self._result_variables(query, algebra)
-        rows = []
-        for binding in self._eval(algebra):
-            self.stats.results += 1
-            rows.append(binding)
-        return SelectResult(variables, rows, stats=self.stats)
+        return self.run_translated(query, translate_query(query))
+
+    def run_translated(self, query: Query, algebra: AlgebraNode):
+        """Evaluate a query whose algebra tree is already translated.
+
+        Callers that need to hold on to the exact operator objects being
+        executed (``EXPLAIN ANALYZE`` maps spans back to them) translate
+        once and pass the tree in here.
+        """
+        snapshot = EvalStats()
+        snapshot.merge(self.stats)
+        try:
+            if isinstance(algebra, Ask):
+                for _ in self._eval(algebra.input):
+                    return AskResult(True, stats=self.stats)
+                return AskResult(False, stats=self.stats)
+            variables = self._result_variables(query, algebra)
+            rows = []
+            for binding in self._eval(algebra):
+                self.stats.results += 1
+                rows.append(binding)
+            return SelectResult(variables, rows, stats=self.stats)
+        finally:
+            self._flush_metrics(snapshot)
 
     def _result_variables(self, query: Query, algebra: AlgebraNode) -> List[str]:
         assert isinstance(query, SelectQuery)
@@ -181,10 +225,23 @@ class Evaluator:
     # CONSTRUCT
     # ------------------------------------------------------------------
 
+    def _flush_metrics(self, snapshot: EvalStats) -> None:
+        """Emit this run's counter deltas into the process registry."""
+        _QUERIES_TOTAL.inc()
+        _BINDINGS_TOTAL.inc(
+            self.stats.intermediate_bindings - snapshot.intermediate_bindings
+        )
+        _PATTERN_SCANS_TOTAL.inc(
+            self.stats.pattern_scans - snapshot.pattern_scans
+        )
+        _RESULTS_TOTAL.inc(self.stats.results - snapshot.results)
+
     def _run_construct(self, query: ConstructQuery):
         from ..rdf.terms import BNode, URI
         from .algebra import translate_pattern
 
+        snapshot = EvalStats()
+        snapshot.merge(self.stats)
         solutions = self._eval(translate_pattern(query.where))
         # Apply OFFSET / LIMIT to the solution sequence per the spec.
         sliced: List[Binding] = []
@@ -226,6 +283,7 @@ class Evaluator:
                     continue
                 constructed.add(subject, predicate, object)
                 self.stats.results += 1
+        self._flush_metrics(snapshot)
         return GraphResult(constructed, stats=self.stats)
 
     # ------------------------------------------------------------------
@@ -247,6 +305,13 @@ class Evaluator:
     # ------------------------------------------------------------------
 
     def _eval(self, node: AlgebraNode) -> Iterator[Binding]:
+        """Evaluate one operator, routing through the probe when set."""
+        iterator = self._dispatch(node)
+        if self.probe is not None:
+            iterator = self.probe.wrap(node, iterator)
+        return iterator
+
+    def _dispatch(self, node: AlgebraNode) -> Iterator[Binding]:
         if isinstance(node, Unit):
             yield {}
             return
@@ -410,12 +475,14 @@ class Evaluator:
             return
         shared = self._shared_variables(left_rows, right_rows)
         if not shared:
+            _JOIN_PRODUCT.inc()
             for left in left_rows:
                 for right in right_rows:
                     if _compatible(left, right):
                         self.stats.intermediate_bindings += 1
                         yield _merge(left, right)
             return
+        _JOIN_HASH.inc()
         table: Dict[Tuple, List[Binding]] = {}
         for right in right_rows:
             table.setdefault(_binding_key(right, shared), []).append(right)

@@ -191,3 +191,107 @@ class TestDemo:
         assert code == 0
         assert "decomposer" in out
         assert "454 s" in out
+
+
+class TestExplain:
+    def test_plain_explain(self, capsys):
+        code, out, _err = run(
+            capsys, "explain", "SELECT ?s WHERE { ?s ?p ?o } LIMIT 5"
+        )
+        assert code == 0
+        assert out.startswith("EXPLAIN\n")
+        assert "Slice" in out
+        assert "est_rows=" in out
+        assert "rows=" not in out.replace("est_rows=", "")
+
+    def test_explain_analyze(self, capsys):
+        code, out, _err = run(
+            capsys,
+            "explain",
+            "--analyze",
+            "SELECT ?s WHERE { ?s ?p ?o } LIMIT 5",
+        )
+        assert code == 0
+        assert out.startswith("EXPLAIN ANALYZE\n")
+        assert "wall=" in out
+        assert "result rows: 5" in out
+
+    def test_explain_chart(self, capsys):
+        code, out, _err = run(
+            capsys, "explain", "--chart", "dbo:Person", "--analyze"
+        )
+        assert code == 0
+        assert "Aggregation" in out
+        assert "BGP" in out
+
+    def test_explain_json(self, capsys):
+        import json
+
+        code, out, _err = run(
+            capsys,
+            "explain",
+            "--json",
+            "SELECT ?s WHERE { ?s ?p ?o } LIMIT 5",
+        )
+        assert code == 0
+        document = json.loads(out)
+        assert document["analyzed"] is False
+        assert document["plan"]["operator"] == "Slice"
+
+    def test_explain_analyze_json_includes_spans(self, capsys):
+        import json
+
+        code, out, _err = run(
+            capsys,
+            "explain",
+            "--json",
+            "--analyze",
+            "SELECT ?s WHERE { ?s ?p ?o } LIMIT 5",
+        )
+        assert code == 0
+        # First a JSON document, then one span per JSON line.
+        document, _, span_lines = out.partition("}\n{")
+        spans = [
+            json.loads(line)
+            for line in ("{" + span_lines).strip().splitlines()
+            if line.strip().startswith("{")
+        ]
+        assert spans
+        assert all("operator" in span for span in spans)
+
+    def test_explain_rejects_construct(self, capsys):
+        code, _out, err = run(
+            capsys,
+            "explain",
+            "CONSTRUCT { ?s ?p ?o } WHERE { ?s ?p ?o }",
+        )
+        assert code == 1
+        assert "SELECT and ASK" in err
+
+    def test_explain_requires_input(self, capsys):
+        code, _out, err = run(capsys, "explain")
+        assert code == 2
+        assert "provide a query" in err
+
+    def test_self_test(self, capsys):
+        code, out, _err = run(capsys, "explain", "--self-test")
+        assert code == 0
+        assert "self-test passed" in out
+        assert "FAIL" not in out
+
+
+class TestMetrics:
+    def test_metrics_dump(self, capsys):
+        code, out, _err = run(capsys, "metrics")
+        assert code == 0
+        assert "# TYPE repro_eval_queries_total counter" in out
+
+    def test_metrics_exercise_touches_every_layer(self, capsys):
+        code, out, _err = run(capsys, "metrics", "--exercise")
+        assert code == 0
+        assert 'repro_router_queries_total{route="decomposer"} 1' in out
+        assert 'repro_router_queries_total{route="hvs"} 1' in out
+        assert 'repro_router_queries_total{route="backend"} 1' in out
+        assert 'repro_hvs_lookups_total{outcome="hit"} 1' in out
+        assert 'repro_virtuoso_requests_total{status="ok"} 1' in out
+        assert 'repro_incremental_windows_total{mode="local"} 2' in out

@@ -178,3 +178,70 @@ class TestQueryMonitor:
         assert monitor.total_simulated_ms() == pytest.approx(
             sum(e.elapsed_ms for e in session.endpoint.query_log)
         )
+
+    # -- mark robustness (regression: position-based marks silently
+    # misattributed entries after the endpoint log was cleared) --------
+
+    def test_mark_survives_log_clear(self, session):
+        build_walkthrough(session)
+        monitor = QueryMonitor(session.endpoint)
+        monitor.mark()
+        session.endpoint.query_log.clear()
+        session.open_subclass_pane(session.panes[0], DBO.term("Agent"))
+        new = monitor.entries(since_mark=True)
+        # Every post-clear entry is visible; nothing is hidden behind the
+        # stale position.
+        assert new == session.endpoint.query_log
+
+    def test_mark_detects_replaced_entries(self, session):
+        build_walkthrough(session)
+        monitor = QueryMonitor(session.endpoint)
+        monitor.mark()
+        # Rebuild the log to the same length with different entries.
+        old = list(session.endpoint.query_log)
+        session.endpoint.query_log.clear()
+        session.endpoint.query_log.extend(
+            type(entry)(
+                query_text=entry.query_text,
+                elapsed_ms=entry.elapsed_ms,
+                source=entry.source,
+                result_rows=entry.result_rows,
+            )
+            for entry in old
+        )
+        assert monitor.entries(since_mark=True) == session.endpoint.query_log
+
+    def test_mark_normal_window_still_works(self, session):
+        monitor = QueryMonitor(session.endpoint)
+        build_walkthrough(session)
+        marked = monitor.mark()
+        assert monitor.entries(since_mark=True) == []
+        session.open_subclass_pane(session.panes[0], DBO.term("Agent"))
+        window = monitor.entries(since_mark=True)
+        assert window == session.endpoint.query_log[marked:]
+
+    # -- per-operator breakdown ----------------------------------------
+
+    def test_by_operator_from_traced_endpoint(self, philosophy_graph):
+        endpoint = LocalEndpoint(philosophy_graph, trace=True)
+        endpoint.query("SELECT ?s ?o WHERE { ?s ?p ?o } LIMIT 5")
+        monitor = QueryMonitor(endpoint)
+        breakdown = monitor.by_operator()
+        assert "BGP" in breakdown
+        assert breakdown["BGP"].rows > 0
+        assert breakdown["BGP"].queries == 1
+        assert "Slice" in breakdown
+        assert breakdown["Slice"].rows == 5
+
+    def test_by_operator_empty_without_tracing(self, philosophy_graph):
+        endpoint = LocalEndpoint(philosophy_graph)
+        endpoint.query("SELECT ?s WHERE { ?s ?p ?o } LIMIT 5")
+        monitor = QueryMonitor(endpoint)
+        assert monitor.by_operator() == {}
+
+    def test_render_includes_operator_section(self, philosophy_graph):
+        endpoint = LocalEndpoint(philosophy_graph, trace=True)
+        endpoint.query("SELECT ?s WHERE { ?s ?p ?o } LIMIT 5")
+        text = QueryMonitor(endpoint).render()
+        assert "operator" in text
+        assert "BGP" in text

@@ -1,0 +1,61 @@
+"""docs/OBSERVABILITY.md is a contract: its catalogue and the live
+registry must agree exactly."""
+
+import pathlib
+import re
+
+# Importing these modules registers every metric of the codebase.
+import repro.endpoint.base  # noqa: F401
+import repro.endpoint.virtuoso  # noqa: F401
+import repro.endpoint.wire  # noqa: F401
+import repro.perf.decomposer  # noqa: F401
+import repro.perf.hvs  # noqa: F401
+import repro.perf.incremental  # noqa: F401
+import repro.perf.remote_incremental  # noqa: F401
+import repro.perf.router  # noqa: F401
+import repro.rdf.graph  # noqa: F401
+import repro.sparql.evaluator  # noqa: F401
+from repro.obs.metrics import REGISTRY
+
+DOC = pathlib.Path(__file__).resolve().parents[2] / "docs" / "OBSERVABILITY.md"
+
+
+def documented_metrics():
+    """Metric names from the catalogue table's first column."""
+    names = set()
+    for line in DOC.read_text(encoding="utf-8").splitlines():
+        match = re.match(r"\| `(repro_[a-z0-9_]+)` \|", line)
+        if match:
+            names.add(match.group(1))
+    return names
+
+
+def test_catalogue_file_exists():
+    assert DOC.is_file()
+
+
+def test_every_documented_metric_is_registered():
+    documented = documented_metrics()
+    assert documented, "no catalogue rows found in docs/OBSERVABILITY.md"
+    registered = set(REGISTRY.names())
+    missing = documented - registered
+    assert not missing, f"documented but not registered: {sorted(missing)}"
+
+
+def test_every_registered_metric_is_documented():
+    documented = documented_metrics()
+    registered = set(REGISTRY.names())
+    undocumented = registered - documented
+    assert not undocumented, (
+        f"registered but missing from docs/OBSERVABILITY.md: "
+        f"{sorted(undocumented)}"
+    )
+
+
+def test_architecture_doc_exists_and_is_linked():
+    docs = DOC.parent
+    architecture = docs / "ARCHITECTURE.md"
+    assert architecture.is_file()
+    readme = (docs.parent / "README.md").read_text(encoding="utf-8")
+    assert "docs/ARCHITECTURE.md" in readme
+    assert "docs/OBSERVABILITY.md" in readme

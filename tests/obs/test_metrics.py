@@ -1,0 +1,196 @@
+"""Unit tests for the dependency-free metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, registry):
+        counter = registry.counter("t_total", "help")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_decrease(self, registry):
+        counter = registry.counter("t_total", "help")
+        with pytest.raises(MetricError):
+            counter.inc(-1)
+
+    def test_labelled_parent_rejects_direct_inc(self, registry):
+        counter = registry.counter("t_total", "help", labelnames=("kind",))
+        with pytest.raises(MetricError):
+            counter.inc()
+
+    def test_unlabelled_rejects_labels_call(self, registry):
+        counter = registry.counter("t_total", "help")
+        with pytest.raises(MetricError):
+            counter.labels(kind="x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("g", "help")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13
+
+
+class TestLabels:
+    def test_children_are_independent_and_cached(self, registry):
+        counter = registry.counter("t_total", "help", labelnames=("kind",))
+        counter.labels(kind="a").inc()
+        counter.labels(kind="a").inc()
+        counter.labels(kind="b").inc()
+        assert counter.labels(kind="a").value == 2
+        assert counter.labels(kind="b").value == 1
+        assert counter.labels(kind="a") is counter.labels(kind="a")
+
+    def test_wrong_label_names_rejected(self, registry):
+        counter = registry.counter("t_total", "help", labelnames=("kind",))
+        with pytest.raises(MetricError):
+            counter.labels(other="a")
+        with pytest.raises(MetricError):
+            counter.labels(kind="a", extra="b")
+
+    def test_cardinality_limit_enforced(self):
+        counter = Counter("t_total", "help", labelnames=("k",), max_label_sets=3)
+        for index in range(3):
+            counter.labels(k=str(index)).inc()
+        with pytest.raises(MetricError, match="cardinality"):
+            counter.labels(k="overflow")
+        # Existing children keep working at the limit.
+        counter.labels(k="0").inc()
+        assert counter.labels(k="0").value == 2
+
+    def test_samples_carry_label_values(self, registry):
+        counter = registry.counter("t_total", "help", labelnames=("kind",))
+        counter.labels(kind="a").inc(4)
+        samples = list(counter.samples())
+        assert samples == [("t_total", {"kind": "a"}, 4.0)]
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative(self):
+        histogram = Histogram("h", "help", buckets=(1, 5, 10))
+        for value in (0.5, 0.7, 3, 7, 100):
+            histogram.observe(value)
+        counts = histogram.bucket_counts()
+        assert counts[1.0] == 2
+        assert counts[5.0] == 3
+        assert counts[10.0] == 4
+        assert counts[float("inf")] == 5
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(111.2)
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        histogram = Histogram("h", "help", buckets=(1, 5))
+        histogram.observe(5)
+        assert histogram.bucket_counts()[5.0] == 1
+        assert histogram.bucket_counts()[1.0] == 0
+
+    def test_bucket_bounds_sorted_and_unique(self):
+        histogram = Histogram("h", "help", buckets=(10, 1, 5))
+        assert histogram.buckets == (1.0, 5.0, 10.0)
+        with pytest.raises(MetricError):
+            Histogram("h", "help", buckets=(1, 1))
+        with pytest.raises(MetricError):
+            Histogram("h", "help", buckets=())
+
+    def test_default_buckets(self, registry):
+        histogram = registry.histogram("h_ms", "help")
+        assert histogram.buckets == DEFAULT_LATENCY_BUCKETS_MS
+
+    def test_labelled_histogram_samples(self, registry):
+        histogram = registry.histogram(
+            "h_ms", "help", labelnames=("source",), buckets=(1, 10)
+        )
+        histogram.labels(source="local").observe(3)
+        names = {name for name, _, _ in histogram.samples()}
+        assert names == {"h_ms_bucket", "h_ms_sum", "h_ms_count"}
+        rendered = registry.render()
+        assert 'h_ms_bucket{le="10",source="local"} 1' in rendered
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self, registry):
+        first = registry.counter("t_total", "help", labelnames=("k",))
+        second = registry.counter("t_total", "help", labelnames=("k",))
+        assert first is second
+
+    def test_conflicting_registration_raises(self, registry):
+        registry.counter("t_total", "help")
+        with pytest.raises(MetricError):
+            registry.gauge("t_total", "help")
+        registry.counter("l_total", "help", labelnames=("a",))
+        with pytest.raises(MetricError):
+            registry.counter("l_total", "help", labelnames=("b",))
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(MetricError):
+            registry.counter("bad-name", "help")
+        with pytest.raises(MetricError):
+            registry.counter("ok_total", "help", labelnames=("bad-label",))
+        with pytest.raises(MetricError):
+            registry.counter("ok_total", "help", labelnames=("a", "a"))
+
+    def test_contains_and_names(self, registry):
+        registry.counter("a_total", "help")
+        registry.gauge("b", "help")
+        assert "a_total" in registry
+        assert "missing" not in registry
+        assert registry.names() == ["a_total", "b"]
+
+    def test_reset_keeps_prebound_children_alive(self, registry):
+        counter = registry.counter("t_total", "help", labelnames=("k",))
+        child = counter.labels(k="x")  # pre-bound, as instrumented modules do
+        child.inc(5)
+        registry.reset()
+        assert child.value == 0
+        child.inc()
+        # The zeroed child must still be the registered series.
+        assert counter.labels(k="x").value == 1
+        assert 't_total{k="x"} 1' in registry.render()
+
+    def test_render_format(self, registry):
+        counter = registry.counter("t_total", "the help text")
+        counter.inc(2)
+        rendered = registry.render()
+        assert "# HELP t_total the help text" in rendered
+        assert "# TYPE t_total counter" in rendered
+        assert "t_total 2" in rendered
+
+    def test_render_escapes_label_values(self, registry):
+        counter = registry.counter("t_total", "help", labelnames=("k",))
+        counter.labels(k='a"b\nc').inc()
+        assert 't_total{k="a\\"b\\nc"} 1' in registry.render()
+
+    def test_thread_safety_of_child_creation(self, registry):
+        counter = registry.counter("t_total", "help", labelnames=("k",))
+        children = []
+
+        def bind():
+            children.append(counter.labels(k="shared"))
+
+        threads = [threading.Thread(target=bind) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(child is children[0] for child in children)

@@ -1,0 +1,236 @@
+"""PR 2 benchmark: the algebra optimizer + plan cache, measured.
+
+Runs the exploration workloads (the fig. 4 property charts, the
+subclass chart, the e7-style data table, and a filter-heavy join) twice
+— once on a bare endpoint (``optimize=False, plan_cache=False``) and
+once on the default optimizing, plan-caching endpoint — and records
+wall time, simulated latency, and intermediate-binding counts, plus a
+per-pass ablation of the optimizer pipeline.
+
+Writes ``benchmarks/results/BENCH_PR2.json`` (machine-readable) and
+prints a summary table.  Run via ``scripts/bench.sh`` or::
+
+    PYTHONPATH=src python benchmarks/bench_pr2.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import statistics as pystats
+import time
+
+from repro.core import Direction, MemberPattern
+from repro.core.queries import (
+    property_chart_query,
+    property_values_query,
+    subclass_chart_query,
+)
+from repro.datasets import DBpediaConfig, generate_dbpedia
+from repro.datasets.dbpedia import OWL_THING
+from repro.endpoint import LocalEndpoint, SimClock
+from repro.rdf import DBO, RDFS
+from repro.sparql.algebra import translate_query
+from repro.sparql.evaluator import Evaluator
+from repro.sparql.optimizer import PASS_NAMES, optimize
+from repro.sparql.parser import parse_query
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_PR2.json"
+
+#: Repetitions per (workload, endpoint) cell; the plan cache pays off on
+#: every run after the first, which is exactly the exploration pattern.
+ROUNDS = 7
+
+AGENT = DBO.term("Agent")
+LABEL = RDFS.term("label")
+
+
+def workloads() -> dict:
+    thing = MemberPattern.of_type(OWL_THING)
+    agent = MemberPattern.of_type(AGENT)
+    return {
+        "fig4_outgoing_property_chart": property_chart_query(thing),
+        "fig4_incoming_property_chart": property_chart_query(
+            thing, Direction.INCOMING
+        ),
+        "e5_subclass_chart": subclass_chart_query(thing, OWL_THING),
+        "e7_data_table_topk": property_values_query(
+            agent, [LABEL, DBO.term("birthDate")], limit=20
+        ),
+        "filter_pushdown_join": _filter_workload(),
+    }
+
+
+def _filter_workload() -> str:
+    rdf_type = "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>"
+    return (
+        "SELECT ?s ?label WHERE {\n"
+        f"  ?s {rdf_type} {AGENT.n3()} .\n"
+        f"  ?s {LABEL.n3()} ?label .\n"
+        f"  FILTER(?label != \"\" && 1 = 1)\n"
+        "}"
+    )
+
+
+def _measure(endpoint: LocalEndpoint, query: str, rounds: int = ROUNDS) -> dict:
+    wall_ms = []
+    simulated_ms = []
+    bindings = []
+    rows = 0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        response = endpoint.query(query)
+        wall_ms.append((time.perf_counter() - start) * 1000.0)
+        simulated_ms.append(response.elapsed_ms)
+        bindings.append(response.stats.intermediate_bindings)
+        rows = len(response.result.rows)
+    warm = wall_ms[1:] if rounds > 1 else wall_ms
+    return {
+        "rounds": rounds,
+        "rows": rows,
+        "wall_ms_first": round(wall_ms[0], 3),
+        "wall_ms_warm_median": round(pystats.median(warm), 3),
+        "wall_ms_warm_mean": round(pystats.mean(warm), 3),
+        "simulated_ms": round(simulated_ms[0], 3),
+        "intermediate_bindings": bindings[0],
+    }
+
+
+def run_comparison(graph) -> dict:
+    queries = workloads()
+    results = {}
+    for name, query in queries.items():
+        baseline = LocalEndpoint(
+            graph, clock=SimClock(), optimize=False, plan_cache=False
+        )
+        optimized = LocalEndpoint(graph, clock=SimClock())
+        # One unmeasured round each so first-run costs (statistics
+        # build, interpreter warmup) don't land on whichever endpoint
+        # happens to run first.
+        baseline.query(query)
+        optimized.query(query)
+        before = _measure(baseline, query)
+        after = _measure(optimized, query)
+        speedup_wall = (
+            before["wall_ms_warm_median"] / after["wall_ms_warm_median"]
+            if after["wall_ms_warm_median"]
+            else float("inf")
+        )
+        results[name] = {
+            "baseline": before,
+            "optimized": after,
+            "rows_match": before["rows"] == after["rows"],
+            "warm_wall_speedup": round(speedup_wall, 2),
+            "bindings_ratio": round(
+                after["intermediate_bindings"]
+                / max(before["intermediate_bindings"], 1),
+                3,
+            ),
+        }
+    return results
+
+
+def run_plancache_microbench(graph, rounds: int = 200) -> dict:
+    """Front-half cost per request: re-planning vs a warm plan cache."""
+    from repro.perf.plancache import PlanCache, build_plan
+
+    query = workloads()["fig4_outgoing_property_chart"]
+    cache = PlanCache()
+    cache.get(query, graph=graph)  # warm
+    start = time.perf_counter()
+    for _ in range(rounds):
+        build_plan(query, graph=graph)
+    uncached_us = (time.perf_counter() - start) * 1e6 / rounds
+    start = time.perf_counter()
+    for _ in range(rounds):
+        cache.get(query, graph=graph)
+    cached_us = (time.perf_counter() - start) * 1e6 / rounds
+    return {
+        "rounds": rounds,
+        "replan_us_per_request": round(uncached_us, 2),
+        "cached_us_per_request": round(cached_us, 2),
+        "speedup": round(uncached_us / cached_us, 1) if cached_us else None,
+    }
+
+
+def run_ablation(graph) -> dict:
+    """Intermediate bindings per optimizer pass subset, per workload."""
+    queries = {
+        "filter_pushdown_join": _filter_workload(),
+        "e7_data_table_topk": property_values_query(
+            MemberPattern.of_type(AGENT), [LABEL], limit=20
+        ),
+    }
+    ablation = {}
+    for name, text in queries.items():
+        query = parse_query(text)
+        raw = translate_query(query)
+        cells = {}
+        subsets = [("none", [])] + [
+            (pass_name, [pass_name]) for pass_name in PASS_NAMES
+        ] + [("all", list(PASS_NAMES))]
+        for label, passes in subsets:
+            plan = raw if not passes else optimize(raw, graph=graph, passes=passes)[0]
+            evaluator = Evaluator(graph)
+            result = evaluator.run_translated(query, plan)
+            cells[label] = {
+                "intermediate_bindings": evaluator.stats.intermediate_bindings,
+                "pattern_scans": evaluator.stats.pattern_scans,
+                "rows": len(result.rows),
+            }
+        ablation[name] = cells
+    return ablation
+
+
+def main() -> None:
+    config = DBpediaConfig()
+    graph = generate_dbpedia(config).graph
+    print(f"graph: {len(graph)} triples")
+    comparison = run_comparison(graph)
+    ablation = run_ablation(graph)
+    plancache = run_plancache_microbench(graph)
+    payload = {
+        "benchmark": "BENCH_PR2",
+        "description": (
+            "Algebra optimizer + plan cache vs the bare engine on "
+            "exploration workloads (synthetic DBpedia)"
+        ),
+        "graph_triples": len(graph),
+        "rounds_per_cell": ROUNDS,
+        "workloads": comparison,
+        "pass_ablation": ablation,
+        "plan_cache": plancache,
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+    print()
+    header = (
+        f"{'workload':<30} {'base wall':>10} {'opt wall':>10} "
+        f"{'speedup':>8} {'bindings':>9} {'match':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, cell in comparison.items():
+        print(
+            f"{name:<30} "
+            f"{cell['baseline']['wall_ms_warm_median']:>9.2f}m "
+            f"{cell['optimized']['wall_ms_warm_median']:>9.2f}m "
+            f"{cell['warm_wall_speedup']:>7.2f}x "
+            f"{cell['bindings_ratio']:>8.3f} "
+            f"{'ok' if cell['rows_match'] else 'DIFF':>6}"
+        )
+    print()
+    print(
+        "plan cache front half: "
+        f"{plancache['replan_us_per_request']:.0f}us replan vs "
+        f"{plancache['cached_us_per_request']:.0f}us cached "
+        f"({plancache['speedup']}x)"
+    )
+    mismatches = [n for n, c in comparison.items() if not c["rows_match"]]
+    if mismatches:
+        raise SystemExit(f"row-count mismatch in: {', '.join(mismatches)}")
+
+
+if __name__ == "__main__":
+    main()

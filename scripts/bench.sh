@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerate the PR 2 optimizer/plan-cache benchmark.
+#
+# Runs the exploration workloads on the bare and the optimizing endpoint,
+# the per-pass ablation, and the plan-cache front-half microbenchmark,
+# then writes benchmarks/results/BENCH_PR2.json (machine-readable) and
+# prints the summary table.  Exits non-zero if any optimized workload
+# returns a different row count than the bare engine.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+exec python benchmarks/bench_pr2.py "$@"

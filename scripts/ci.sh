@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # The checks a pull request must pass, runnable without any install step:
-#   1. the observability smoke test (EXPLAIN ANALYZE row accounting and
-#      the HVS/decomposer counters moving when toggled);
-#   2. the full tier-1 test suite.
+#   1. the observability + optimizer smoke test (EXPLAIN ANALYZE row
+#      accounting, TopK fusion, plan-cache hit/invalidation, and the
+#      HVS/decomposer counters moving when toggled);
+#   2. a plan-cache metrics smoke over `repro metrics --exercise`;
+#   3. the full tier-1 test suite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -10,6 +12,15 @@ export PYTHONPATH=src
 
 echo "== repro explain --self-test =="
 python -m repro explain --self-test
+
+echo
+echo "== plan-cache metrics smoke =="
+metrics="$(python -m repro metrics --exercise)"
+echo "$metrics" | grep -q 'repro_plancache_requests_total{outcome="hit"} [1-9]' \
+  || { echo "FAIL: no plan-cache hits in the exercised workload"; exit 1; }
+echo "$metrics" | grep -q 'repro_optimizer_runs_total [1-9]' \
+  || { echo "FAIL: optimizer never ran in the exercised workload"; exit 1; }
+echo "ok: plan cache hits and optimizer runs recorded"
 
 echo
 echo "== tier-1 test suite =="

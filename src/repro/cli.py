@@ -341,7 +341,9 @@ def _cmd_explain(args) -> int:
         )
         return 2
     try:
-        explained = explain(graph, query_text, analyze=args.analyze)
+        explained = explain(
+            graph, query_text, analyze=args.analyze, optimize=args.optimize
+        )
     except SparqlError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -446,6 +448,65 @@ def _explain_self_test(args) -> int:
         "HVS counters stay flat when the HVS is off",
     )
 
+    # 3. Optimizer: ORDER BY + LIMIT fuses into TopK, and the optimized
+    # plan returns the same rows as the raw translation.
+    topk_query = _prologue() + (
+        "SELECT ?s ?o WHERE { ?s ?p ?o } ORDER BY ?s ?o LIMIT 7"
+    )
+    optimized = explain(graph, topk_query, optimize=True)
+    check(
+        any(plan.label == "TopK" for plan in optimized.plan.walk()),
+        "ORDER BY + LIMIT executes through a TopK operator",
+    )
+    check(
+        optimized.pre_plan is not None
+        and all(plan.label != "TopK" for plan in optimized.pre_plan.walk()),
+        "the pre-optimization plan still shows the full sort",
+    )
+    check(
+        any(pass_name == "top_k_fusion" for pass_name, _ in optimized.passes),
+        "the plan carries per-pass optimizer annotations",
+    )
+    raw_endpoint = LocalEndpoint(
+        graph, clock=SimClock(), optimize=False, plan_cache=False
+    )
+    raw_rows = raw_endpoint.query(topk_query).result.rows
+    opt_endpoint = LocalEndpoint(graph, clock=SimClock())
+    opt_rows = opt_endpoint.query(topk_query).result.rows
+    check(raw_rows == opt_rows or sorted(
+        tuple(sorted(row.items())) for row in raw_rows
+    ) == sorted(tuple(sorted(row.items())) for row in opt_rows),
+        "optimized and unoptimized plans return the same rows",
+    )
+
+    # 4. Plan cache: a repeated query hits, a graph update invalidates.
+    before_hits = counter("repro_plancache_requests_total", outcome="hit")
+    opt_endpoint.query(topk_query)
+    check(
+        counter("repro_plancache_requests_total", outcome="hit")
+        == before_hits + 1,
+        "repeating a query hits the plan cache",
+    )
+    before_invalidations = counter("repro_plancache_invalidations_total")
+    from .rdf import URI as _URI
+
+    graph.add(
+        _URI("http://example.org/self-test"),
+        _URI("http://example.org/p"),
+        _URI("http://example.org/o"),
+    )
+    opt_endpoint.query(topk_query)
+    check(
+        counter("repro_plancache_invalidations_total")
+        == before_invalidations + 1,
+        "a graph update invalidates the cached plan",
+    )
+    graph.remove(
+        _URI("http://example.org/self-test"),
+        _URI("http://example.org/p"),
+        _URI("http://example.org/o"),
+    )
+
     if failures:
         print(f"self-test failed ({len(failures)} checks)", file=sys.stderr)
         return 1
@@ -485,6 +546,10 @@ def _cmd_metrics(args) -> int:
         elinda.use_decomposer = False
         elinda.query(query)                       # backend, stored as heavy
         elinda.query(query)                       # HVS hit
+        direct = LocalEndpoint(graph, clock=clock)
+        topk = "SELECT ?s WHERE { ?s ?p ?o } ORDER BY ?s LIMIT 3"
+        direct.query(topk)                        # optimizer + plan-cache miss
+        direct.query(topk)                        # plan-cache hit
         server = SimulatedVirtuosoServer(graph, clock=clock)
         RemoteEndpoint(server).query(
             "SELECT ?s WHERE { ?s ?p ?o } LIMIT 5"
@@ -583,6 +648,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--analyze",
         action="store_true",
         help="execute the query and report actual rows and wall time",
+    )
+    explain.add_argument(
+        "--optimize",
+        action="store_true",
+        help="run the algebra optimizer and show the plan before and "
+        "after, with per-pass annotations",
     )
     explain.add_argument(
         "--json", action="store_true", help="emit the plan (and spans) as JSON"

@@ -3,16 +3,20 @@
 This is eLinda's own endpoint in *local mode* — the mirror of the
 knowledge base held next to the application (paper, Section 4: "Our
 eLinda endpoint contains mirrors of the common knowledge bases").
+
+Every query runs through the engine's front half — parse, translate,
+optimize (:mod:`repro.sparql.optimizer`) — which is memoised in a
+version-aware :class:`~repro.perf.plancache.PlanCache`, so repeated
+exploration queries skip straight to execution until the graph changes.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from ..obs.tracing import EvalProbe
 from ..rdf.graph import Graph
 from ..sparql.evaluator import Evaluator
-from ..sparql.parser import parse_query
 from .base import Endpoint, EndpointResponse, observe_response
 from .clock import SimClock
 from .cost import LOCAL_PROFILE, CostModel
@@ -29,6 +33,11 @@ class LocalEndpoint(Endpoint):
     :meth:`repro.explorer.monitor.QueryMonitor.by_operator`.  Tracing
     adds real (not simulated) overhead per binding, so it is off by
     default.
+
+    ``optimize`` toggles the algebra rewrite pipeline; ``plan_cache``
+    is ``True`` for a private cache (the default), ``False``/``None``
+    to re-plan every request, or a shared
+    :class:`~repro.perf.plancache.PlanCache` instance.
     """
 
     def __init__(
@@ -37,22 +46,53 @@ class LocalEndpoint(Endpoint):
         clock: Optional[SimClock] = None,
         cost_model: CostModel = LOCAL_PROFILE,
         trace: bool = False,
+        optimize: bool = True,
+        plan_cache: Union["PlanCache", bool, None] = True,
     ):
         super().__init__()
         self.graph = graph
         self.clock = clock or SimClock()
         self.cost_model = cost_model
         self.trace = trace
+        self.optimize = optimize
+        if plan_cache is True:
+            # Function-level import: repro.perf pulls in the decomposer,
+            # which imports this package's base module.
+            from ..perf.plancache import PlanCache
+
+            plan_cache = PlanCache()
+        # Note: an empty PlanCache is falsy (len == 0), so test against
+        # the sentinel values rather than truthiness.
+        self.plan_cache = None if plan_cache is False or plan_cache is None else plan_cache
 
     @property
     def dataset_version(self) -> int:
         return self.graph.version
 
+    def plan(self, query_text: str):
+        """The (cached) :class:`~repro.perf.plancache.CachedPlan`."""
+        if self.plan_cache is not None:
+            return self.plan_cache.get(
+                query_text,
+                graph=self.graph if self.optimize else None,
+                optimize=self.optimize,
+            )
+        from ..perf.plancache import build_plan
+
+        return build_plan(
+            query_text,
+            graph=self.graph if self.optimize else None,
+            optimize=self.optimize,
+        )
+
     def query(self, query_text: str) -> EndpointResponse:
-        parsed = parse_query(query_text)
+        plan = self.plan(query_text)
         probe = EvalProbe() if self.trace else None
         evaluator = Evaluator(self.graph, probe=probe)
-        result = evaluator.run(parsed)
+        if plan.algebra is not None:
+            result = evaluator.run_translated(plan.query, plan.algebra)
+        else:
+            result = evaluator.run(plan.query)
         stats = evaluator.stats
         result_rows = len(result.rows) if hasattr(result, "rows") else 1
         elapsed = self.cost_model.simulate_ms(

@@ -20,7 +20,6 @@ from typing import Optional
 from ..obs.metrics import REGISTRY
 from ..rdf.graph import Graph
 from ..sparql.evaluator import Evaluator
-from ..sparql.parser import parse_query
 from .base import Endpoint, EndpointResponse, observe_response
 from .clock import SimClock
 from .cost import REMOTE_VIRTUOSO_PROFILE, CostModel
@@ -53,12 +52,20 @@ class SimulatedVirtuosoServer:
         url: str = "http://dbpedia.example.org/sparql",
         clock: Optional[SimClock] = None,
         cost_model: CostModel = REMOTE_VIRTUOSO_PROFILE,
+        optimize: bool = True,
     ):
         self.graph = graph
         self.url = url
         self.clock = clock or SimClock()
         self.cost_model = cost_model
         self.requests_served = 0
+        self.optimize = optimize
+        # A real Virtuoso keeps its own server-side plan cache; so does
+        # the simulation (function-level import: repro.perf imports the
+        # decomposer, which imports this package's base module).
+        from ..perf.plancache import PlanCache
+
+        self.plan_cache = PlanCache()
 
     def handle(self, request: SparqlHttpRequest) -> SparqlHttpResponse:
         """Serve one protocol request."""
@@ -71,9 +78,16 @@ class SimulatedVirtuosoServer:
             )
         self.requests_served += 1
         try:
-            parsed = parse_query(request.query)
+            plan = self.plan_cache.get(
+                request.query,
+                graph=self.graph if self.optimize else None,
+                optimize=self.optimize,
+            )
             evaluator = Evaluator(self.graph)
-            result = evaluator.run(parsed)
+            if plan.algebra is not None:
+                result = evaluator.run_translated(plan.query, plan.algebra)
+            else:
+                result = evaluator.run(plan.query)
         except Exception as error:  # engine errors -> HTTP error body
             _SERVER_ERROR.inc()
             elapsed = self.cost_model.network_latency_ms

@@ -36,6 +36,7 @@ from ..sparql.algebra import (
     Project,
     Reduced,
     Slice,
+    TopK,
     Unit,
     Union,
     ValuesTable,
@@ -89,6 +90,8 @@ def estimate_cardinality(graph: Graph, node: AlgebraNode) -> int:
             # The index-nested-loop join binds variables left to right;
             # a bare product explodes, so damp each extra pattern.
             estimate = min(estimate, len(graph) * max(1, len(node.patterns)))
+        for _ in node.filters:
+            estimate = max(1, int(estimate * _FILTER_SELECTIVITY))
         return estimate
     if isinstance(node, Join):
         left = estimate_cardinality(graph, node.left)
@@ -124,6 +127,9 @@ def estimate_cardinality(graph: Graph, node: AlgebraNode) -> int:
         if node.limit is not None:
             inner = min(inner, node.limit)
         return inner
+    if isinstance(node, TopK):
+        inner = estimate_cardinality(graph, node.input)
+        return max(0, min(inner - node.offset, node.limit))
     if isinstance(node, Ask):
         return 1
     return 0
@@ -177,7 +183,18 @@ def _children_of(node: AlgebraNode) -> List[AlgebraNode]:
         return list(node.branches)
     if isinstance(
         node,
-        (Filter, Extend, Aggregation, Project, Distinct, Reduced, OrderBy, Slice, Ask),
+        (
+            Filter,
+            Extend,
+            Aggregation,
+            Project,
+            Distinct,
+            Reduced,
+            OrderBy,
+            Slice,
+            TopK,
+            Ask,
+        ),
     ):
         return [node.input]
     return []
@@ -204,7 +221,12 @@ def _build_plan(
 
 @dataclass
 class ExplainResult:
-    """The rendered plan plus (for ANALYZE) the run's artefacts."""
+    """The rendered plan plus (for ANALYZE) the run's artefacts.
+
+    When the optimizer ran, ``plan`` describes the tree actually
+    executed, ``pre_plan`` the direct translation it was rewritten from,
+    and ``passes`` the optimizer's ``(pass, detail)`` annotations.
+    """
 
     query_text: str
     plan: PlanNode
@@ -212,6 +234,8 @@ class ExplainResult:
     result: object = None          # SelectResult/AskResult when analyzed
     probe: Optional[EvalProbe] = None
     planning_note: str = ""
+    pre_plan: Optional[PlanNode] = None
+    passes: List = field(default_factory=list)
 
     @property
     def result_rows(self) -> Optional[int]:
@@ -223,23 +247,33 @@ class ExplainResult:
         header = "EXPLAIN ANALYZE" if self.analyzed else "EXPLAIN"
         lines = [header, "=" * len(header)]
 
-        def visit(plan: PlanNode, depth: int) -> None:
+        def visit(plan: PlanNode, depth: int, executed: bool) -> None:
             indent = "  " * depth
             detail = f" ({plan.detail})" if plan.detail else ""
             cells = [f"est_rows={plan.estimated_rows}"]
-            if self.analyzed and plan.actual_rows is not None:
+            if self.analyzed and executed and plan.actual_rows is not None:
                 cells.append(f"rows={plan.actual_rows}")
                 cells.append(f"wall={plan.wall_ms:.3f}ms")
                 cells.append(f"self={plan.self_wall_ms:.3f}ms")
                 if plan.invocations > 1:
                     cells.append(f"loops={plan.invocations}")
-            elif self.analyzed:
+            elif self.analyzed and executed:
                 cells.append("(not executed)")
             lines.append(f"{indent}{plan.label}{detail}  " + "  ".join(cells))
             for child in plan.children:
-                visit(child, depth + 1)
+                visit(child, depth + 1, executed)
 
-        visit(self.plan, 0)
+        if self.pre_plan is not None:
+            lines.append("-- plan before optimization --")
+            visit(self.pre_plan, 0, executed=False)
+            lines.append("-- plan after optimization --")
+        visit(self.plan, 0, executed=True)
+        if self.passes:
+            lines.append("optimizer passes:")
+            for pass_name, detail in self.passes:
+                lines.append(f"  [{pass_name}] {detail}")
+        elif self.pre_plan is not None:
+            lines.append("optimizer passes: (no rewrites applied)")
         if self.analyzed and self.result_rows is not None:
             lines.append(f"result rows: {self.result_rows}")
         if self.planning_note:
@@ -254,16 +288,19 @@ class ExplainResult:
 
     def to_json(self) -> str:
         """The plan tree as one JSON document."""
-        return json.dumps(
-            {
-                "query": self.query_text,
-                "analyzed": self.analyzed,
-                "result_rows": self.result_rows,
-                "plan": self.plan.to_dict(),
-            },
-            sort_keys=True,
-            indent=2,
-        )
+        document = {
+            "query": self.query_text,
+            "analyzed": self.analyzed,
+            "result_rows": self.result_rows,
+            "plan": self.plan.to_dict(),
+        }
+        if self.pre_plan is not None:
+            document["pre_plan"] = self.pre_plan.to_dict()
+            document["optimizer_passes"] = [
+                {"pass": pass_name, "detail": detail}
+                for pass_name, detail in self.passes
+            ]
+        return json.dumps(document, sort_keys=True, indent=2)
 
     def to_json_lines(self) -> str:
         """Measured spans as JSON lines (ANALYZE only)."""
@@ -272,16 +309,41 @@ class ExplainResult:
         return spans_to_json_lines(self.probe.roots)
 
 
-def explain(graph: Graph, query_text: str, analyze: bool = False) -> ExplainResult:
-    """Explain (and optionally execute + measure) a query over ``graph``."""
+def explain(
+    graph: Graph,
+    query_text: str,
+    analyze: bool = False,
+    optimize: bool = False,
+) -> ExplainResult:
+    """Explain (and optionally execute + measure) a query over ``graph``.
+
+    With ``optimize=True`` the algebra is run through
+    :func:`repro.sparql.optimizer.optimize` first; the result then shows
+    the original and the rewritten plan side by side, with per-pass
+    annotations, and ANALYZE executes the *optimized* tree.
+    """
     query: Query = parse_query(query_text)
     if isinstance(query, ConstructQuery):
         raise SparqlEvalError("EXPLAIN supports SELECT and ASK queries only")
     algebra = translate_query(query)
+    pre_plan: Optional[PlanNode] = None
+    passes: List = []
+    if optimize:
+        from ..sparql.optimizer import optimize as run_optimizer
+
+        pre_plan = _build_plan(graph, algebra, {})
+        algebra, report = run_optimizer(algebra, graph=graph)
+        passes = list(report.notes)
     index: Dict[int, PlanNode] = {}
     plan = _build_plan(graph, algebra, index)
     if not analyze:
-        return ExplainResult(query_text=query_text, plan=plan, analyzed=False)
+        return ExplainResult(
+            query_text=query_text,
+            plan=plan,
+            analyzed=False,
+            pre_plan=pre_plan,
+            passes=passes,
+        )
     probe = EvalProbe()
     evaluator = Evaluator(graph, probe=probe)
     result = evaluator.run_translated(query, algebra)
@@ -305,4 +367,6 @@ def explain(graph: Graph, query_text: str, analyze: bool = False) -> ExplainResu
         result=result,
         probe=probe,
         planning_note=note,
+        pre_plan=pre_plan,
+        passes=passes,
     )

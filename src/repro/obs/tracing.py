@@ -37,6 +37,7 @@ from ..sparql.algebra import (
     Project,
     Reduced,
     Slice,
+    TopK,
     Unit,
     Union,
     ValuesTable,
@@ -86,6 +87,8 @@ def operator_detail(node: AlgebraNode, width: int = 60) -> str:
     if isinstance(node, BGP):
         text = " . ".join(_pattern_text(pattern) for pattern in node.patterns)
         detail = f"{len(node.patterns)} patterns: {text}"
+        if node.filters:
+            detail += f" +{len(node.filters)} inline filters"
     elif isinstance(node, Union):
         detail = f"{len(node.branches)} branches"
     elif isinstance(node, Extend):
@@ -113,6 +116,10 @@ def operator_detail(node: AlgebraNode, width: int = 60) -> str:
         detail = " ".join(parts)
     elif isinstance(node, OrderBy):
         detail = f"{len(node.conditions)} keys"
+    elif isinstance(node, TopK):
+        detail = f"{len(node.conditions)} keys, limit {node.limit}"
+        if node.offset:
+            detail += f", offset {node.offset}"
     elif isinstance(node, Filter):
         detail = "condition"
     else:

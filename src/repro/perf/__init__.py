@@ -6,6 +6,7 @@ from .decomposer import Decomposer, PropertyExpansionSpec, match_property_expans
 from .hvs import DEFAULT_HEAVY_THRESHOLD_MS, HeavyQueryStore, HvsEntry, normalize_query
 from .incremental import IncrementalConfig, IncrementalEvaluator, PartialResult
 from .indexes import PropertyCount, SpecializedIndexes
+from .plancache import CachedPlan, PlanCache, build_plan
 from .remote_incremental import (
     RemoteIncrementalConfig,
     RemoteIncrementalEvaluator,
@@ -20,6 +21,9 @@ __all__ = [
     "match_property_expansion",
     "HeavyQueryStore",
     "HvsEntry",
+    "CachedPlan",
+    "PlanCache",
+    "build_plan",
     "normalize_query",
     "DEFAULT_HEAVY_THRESHOLD_MS",
     "IncrementalConfig",

@@ -76,8 +76,13 @@ def _aggregate_projection(query: SelectQuery, agg_name: str) -> Optional[str]:
     return None
 
 
-def match_property_expansion(query_text: str) -> Optional[PropertyExpansionSpec]:
+def match_property_expansion(
+    query_text: str, query=None
+) -> Optional[PropertyExpansionSpec]:
     """Detect the property-expansion query shape; None when not matched.
+
+    ``query`` may carry an already-parsed AST (e.g. out of the plan
+    cache) to skip re-parsing the text.
 
     Matched shape (member variable ``?s``, any variable names accepted):
 
@@ -94,10 +99,11 @@ def match_property_expansion(query_text: str) -> Optional[PropertyExpansionSpec]
     that is, the bar sits on a (materialised) subclass chain, which is
     the paper's "subclasses of owl:Thing" condition.
     """
-    try:
-        query = parse_query(query_text)
-    except SparqlError:
-        return None
+    if query is None:
+        try:
+            query = parse_query(query_text)
+        except SparqlError:
+            return None
     if not isinstance(query, SelectQuery) or query.projections is None:
         return None
     # Outer: GROUP BY one variable, projections = that var + COUNT + SUM.
@@ -183,16 +189,26 @@ class Decomposer:
         indexes: SpecializedIndexes,
         clock: Optional[SimClock] = None,
         cost_model: CostModel = DECOMPOSER_PROFILE,
+        plan_cache=None,
     ):
         self.indexes = indexes
         self.clock = clock or SimClock()
         self.cost_model = cost_model
+        self.plan_cache = plan_cache
         self.hits = 0
         self.misses = 0
 
     def try_answer(self, query_text: str) -> Optional[EndpointResponse]:
         """Answer the query from the indexes, or None when out of scope."""
-        spec = match_property_expansion(query_text)
+        parsed = None
+        if self.plan_cache is not None:
+            # Shape matching happens per request; the cached AST makes it
+            # a pure tree walk instead of a parse + walk.
+            try:
+                parsed = self.plan_cache.parse(query_text)
+            except SparqlError:
+                parsed = None
+        spec = match_property_expansion(query_text, query=parsed)
         if spec is None:
             self.misses += 1
             _DECOMPOSER_SKIPPED.inc()

@@ -188,6 +188,13 @@ class IncrementalEvaluator:
         query = parse_query(query_text)
         if not isinstance(query, SelectQuery):
             raise SparqlEvalError("incremental evaluation supports SELECT only")
+        # Parse and plan once; every window re-executes the same algebra
+        # tree (structurally optimized only — per-window graphs are too
+        # small and short-lived to justify statistics).
+        from ..sparql.algebra import translate_query
+        from ..sparql.optimizer import optimize as run_optimizer
+
+        algebra, _ = run_optimizer(translate_query(query))
         is_aggregate = bool(query.group_by) or any(
             projection.expression is not None
             and contains_aggregate(projection.expression)
@@ -206,7 +213,7 @@ class IncrementalEvaluator:
         for step, window_triples in enumerate(windows, start=1):
             window_graph = Graph(window_triples)
             evaluator = Evaluator(window_graph)
-            partial = evaluator.run(parse_query(query_text))
+            partial = evaluator.run_translated(query, algebra)
             assert isinstance(partial, SelectResult)
             variables = partial.vars
             if plan is not None:

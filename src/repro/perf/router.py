@@ -51,6 +51,10 @@ class ElindaEndpoint(Endpoint):
         self.decomposer = decomposer
         self.use_hvs = use_hvs
         self.use_decomposer = use_decomposer
+        # Shape detection and execution look at the same queries: let the
+        # decomposer read ASTs out of the backend's plan cache.
+        if decomposer is not None and decomposer.plan_cache is None:
+            decomposer.plan_cache = getattr(backend, "plan_cache", None)
 
     @property
     def dataset_version(self) -> int:

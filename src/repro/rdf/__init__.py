@@ -7,6 +7,7 @@ and finite RDF graphs with pattern-matching access.
 
 from .graph import Graph
 from .namespace import Namespace, NamespaceManager
+from .stats import GraphStatistics, statistics_for
 from .ntriples import (
     NTriplesError,
     dump_ntriples,
@@ -41,6 +42,8 @@ __all__ = [
     "Triple",
     "TriplePattern",
     "Graph",
+    "GraphStatistics",
+    "statistics_for",
     "Namespace",
     "NamespaceManager",
     "NTriplesError",

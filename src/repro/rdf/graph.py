@@ -71,7 +71,7 @@ class Graph:
     1
     """
 
-    __slots__ = ("_spo", "_pos", "_osp", "_size", "_version", "name")
+    __slots__ = ("_spo", "_pos", "_osp", "_size", "_version", "_stats", "name")
 
     def __init__(self, triples: Iterable[Triple] = (), name: str = ""):
         # _spo: subject -> predicate -> set of objects
@@ -82,6 +82,7 @@ class Graph:
         self._osp: Dict[RDFObject, Dict[Subject, Set[URI]]] = {}
         self._size = 0
         self._version = 0
+        self._stats = None  # cached GraphStatistics for self._version
         self.name = name
         for triple in triples:
             self.add(*triple)
@@ -153,6 +154,21 @@ class Graph:
     def version(self) -> int:
         """Monotonic mutation counter, used for HVS invalidation."""
         return self._version
+
+    def statistics(self):
+        """The cached cardinality summary for the current version.
+
+        Rebuilt lazily after any mutation (the cache is keyed by
+        ``version``); feeds the cost-based passes of
+        :mod:`repro.sparql.optimizer`.
+        """
+        from .stats import GraphStatistics
+
+        cached = self._stats
+        if cached is None or cached.version != self._version:
+            cached = GraphStatistics.build(self)
+            self._stats = cached
+        return cached
 
     def __len__(self) -> int:
         return self._size

@@ -1,0 +1,140 @@
+"""Cached cardinality statistics over a :class:`~repro.rdf.graph.Graph`.
+
+The cost-based passes of :mod:`repro.sparql.optimizer` need cheap,
+approximately-right cardinalities: how many triples carry a predicate,
+how many distinct subjects/objects it touches, and how many instances a
+class has.  This module derives all of them in one pass over the POS
+index and caches the summary on the graph, keyed by the graph's
+``version`` counter — the same invalidation signal the HVS and the plan
+cache use, so a statistics summary can never describe a graph state that
+no longer exists.
+
+Estimates follow the classic System-R uniformity assumptions: a bound
+subject on predicate ``p`` selects ``triples(p) / distinct_subjects(p)``
+rows, a bound object ``triples(p) / distinct_objects(p)``, and an
+``rdf:type`` pattern with a concrete class is answered exactly from the
+per-class instance counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..obs.metrics import REGISTRY
+from .terms import URI
+from .vocab import RDF
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .graph import Graph
+
+__all__ = ["GraphStatistics", "statistics_for"]
+
+_STATS_BUILDS_TOTAL = REGISTRY.counter(
+    "repro_graph_stats_builds_total",
+    "Cardinality-summary rebuilds (one per graph version actually planned against)",
+)
+
+_RDF_TYPE = RDF.term("type")
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """One immutable cardinality summary of a graph version."""
+
+    version: int
+    total_triples: int
+    #: predicate -> number of triples carrying it
+    predicate_triples: Dict[URI, int] = field(default_factory=dict)
+    #: predicate -> number of distinct subjects featuring it
+    predicate_subjects: Dict[URI, int] = field(default_factory=dict)
+    #: predicate -> number of distinct objects it points at
+    predicate_objects: Dict[URI, int] = field(default_factory=dict)
+    #: class URI -> number of rdf:type instances
+    class_instances: Dict[URI, int] = field(default_factory=dict)
+    #: distinct subjects/objects across the whole graph (for ?s ?p ?o shapes)
+    distinct_subjects: int = 0
+    distinct_objects: int = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, graph: "Graph") -> "GraphStatistics":
+        """Derive the summary from the graph's POS index in one pass."""
+        predicate_triples: Dict[URI, int] = {}
+        predicate_subjects: Dict[URI, int] = {}
+        predicate_objects: Dict[URI, int] = {}
+        class_instances: Dict[URI, int] = {}
+        for predicate, by_object in graph._pos.items():
+            triples = 0
+            subjects: set = set()
+            for obj, subject_set in by_object.items():
+                triples += len(subject_set)
+                subjects |= subject_set
+            predicate_triples[predicate] = triples
+            predicate_subjects[predicate] = len(subjects)
+            predicate_objects[predicate] = len(by_object)
+        for obj, subject_set in graph._pos.get(_RDF_TYPE, {}).items():
+            if isinstance(obj, URI):
+                class_instances[obj] = len(subject_set)
+        _STATS_BUILDS_TOTAL.inc()
+        return cls(
+            version=graph.version,
+            total_triples=len(graph),
+            predicate_triples=predicate_triples,
+            predicate_subjects=predicate_subjects,
+            predicate_objects=predicate_objects,
+            class_instances=class_instances,
+            distinct_subjects=len(graph._spo),
+            distinct_objects=len(graph._osp),
+        )
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+
+    def class_count(self, cls: URI) -> int:
+        """Exact instance count of a class (0 when unseen)."""
+        return self.class_instances.get(cls, 0)
+
+    def triple_pattern_cardinality(
+        self,
+        subject_bound: bool,
+        predicate: Optional[URI],
+        object_bound: bool,
+        object_class: Optional[URI] = None,
+    ) -> float:
+        """Expected matches of one triple pattern.
+
+        ``subject_bound`` / ``object_bound`` say whether that position is
+        a constant **or** a variable already bound by an earlier pattern;
+        ``predicate`` is the concrete predicate, or None for a variable.
+        ``object_class`` short-circuits ``rdf:type <C>`` to the exact
+        per-class count.
+        """
+        if predicate is not None and predicate == _RDF_TYPE and object_class is not None:
+            base = float(self.class_count(object_class))
+            if subject_bound:
+                # one subject, one class: either the type edge exists or not
+                return min(base, 1.0)
+            return base
+        if predicate is not None:
+            base = float(self.predicate_triples.get(predicate, 0))
+            if subject_bound:
+                base /= max(1, self.predicate_subjects.get(predicate, 1))
+            if object_bound:
+                base /= max(1, self.predicate_objects.get(predicate, 1))
+            return base
+        base = float(self.total_triples)
+        if subject_bound:
+            base /= max(1, self.distinct_subjects)
+        if object_bound:
+            base /= max(1, self.distinct_objects)
+        return base
+
+
+def statistics_for(graph: "Graph") -> GraphStatistics:
+    """The (cached) statistics summary for the graph's current version."""
+    return graph.statistics()

@@ -56,6 +56,7 @@ __all__ = [
     "Reduced",
     "OrderBy",
     "Slice",
+    "TopK",
     "Ask",
     "translate_query",
     "translate_pattern",
@@ -77,7 +78,27 @@ class Unit(AlgebraNode):
 
 @dataclass
 class BGP(AlgebraNode):
+    """A basic graph pattern.
+
+    ``filters`` are conditions the optimizer pushed *into* the pattern:
+    the evaluator applies each one as soon as all of its variables are
+    bound during the index-nested-loop join, so failing candidates are
+    discarded before the remaining patterns are expanded.  Every filter's
+    variables must be a subset of the BGP's own variables — the
+    pushdown pass guarantees this.  ``preordered`` marks pattern orders
+    chosen by the statistics-driven reorder pass; the evaluator then
+    skips its own greedy ordering.
+    """
+
     patterns: Tuple[TriplePatternNode, ...]
+    filters: Tuple[Expression, ...] = ()
+    preordered: bool = False
+
+    def variables(self) -> set:
+        names: set = set()
+        for pattern in self.patterns:
+            names |= pattern.variables()
+        return names
 
 
 @dataclass
@@ -167,6 +188,23 @@ class Slice(AlgebraNode):
     input: AlgebraNode
     offset: int = 0
     limit: Optional[int] = None
+
+
+@dataclass
+class TopK(AlgebraNode):
+    """Fused ``ORDER BY ... LIMIT k [OFFSET n]``.
+
+    Produced by the optimizer's top-k fusion pass; the evaluator keeps a
+    bounded heap of ``limit + offset`` rows instead of materialising and
+    fully sorting the input.  Ties are broken by input arrival order, so
+    the output is bit-identical to a stable full sort followed by a
+    slice.
+    """
+
+    input: AlgebraNode
+    conditions: List[OrderCondition]
+    limit: int
+    offset: int = 0
 
 
 @dataclass

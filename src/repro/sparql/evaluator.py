@@ -14,6 +14,7 @@ Fig. 4) measurably heavy without a billion-triple store.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -35,9 +36,11 @@ from .algebra import (
     Project,
     Reduced,
     Slice,
+    TopK,
     Unit,
     Union,
     ValuesTable,
+    expression_variables,
     translate_query,
 )
 from .ast import (
@@ -193,7 +196,7 @@ class Evaluator:
             elif isinstance(node, (Join, LeftJoin, Minus)):
                 visit(node.left)
                 visit(node.right)
-            elif isinstance(node, (Filter, Distinct, Reduced, Slice, OrderBy)):
+            elif isinstance(node, (Filter, Distinct, Reduced, Slice, OrderBy, TopK)):
                 visit(node.input)
             elif isinstance(node, Extend):
                 visit(node.input)
@@ -295,7 +298,7 @@ class Evaluator:
         ``binding`` — the semantics of ``EXISTS { ... }``."""
         from .algebra import translate_pattern
 
-        for candidate in self._eval(translate_pattern(pattern)):
+        for candidate in self.evaluate(translate_pattern(pattern)):
             if _compatible(binding, candidate) and _compatible(candidate, binding):
                 return True
         return False
@@ -303,6 +306,16 @@ class Evaluator:
     # ------------------------------------------------------------------
     # Operator dispatch
     # ------------------------------------------------------------------
+
+    def evaluate(self, node: AlgebraNode) -> Iterator[Binding]:
+        """Evaluate a (sub-)plan and yield its solution mappings.
+
+        This is the public entry point for executing a bare algebra tree
+        — sub-plans (EXISTS patterns), :func:`evaluate_algebra`, and
+        tests all come through here rather than reaching into the
+        operator dispatch.
+        """
+        return self._eval(node)
 
     def _eval(self, node: AlgebraNode) -> Iterator[Binding]:
         """Evaluate one operator, routing through the probe when set."""
@@ -316,7 +329,7 @@ class Evaluator:
             yield {}
             return
         if isinstance(node, BGP):
-            yield from self._eval_bgp(node.patterns)
+            yield from self._eval_bgp(node)
         elif isinstance(node, Join):
             yield from self._eval_join(node)
         elif isinstance(node, LeftJoin):
@@ -351,6 +364,8 @@ class Evaluator:
             yield from self._eval_reduced(node)
         elif isinstance(node, OrderBy):
             yield from self._eval_order_by(node)
+        elif isinstance(node, TopK):
+            yield from self._eval_top_k(node)
         elif isinstance(node, Slice):
             yield from self._eval_slice(node)
         else:
@@ -383,15 +398,59 @@ class Evaluator:
             bound |= chosen.variables()
         return ordered
 
-    def _eval_bgp(
-        self, patterns: Tuple[TriplePatternNode, ...]
-    ) -> Iterator[Binding]:
+    def _eval_bgp(self, node: BGP) -> Iterator[Binding]:
+        patterns = node.patterns
         if not patterns:
-            yield {}
+            binding: Binding = {}
+            for condition in node.filters:
+                try:
+                    if not effective_boolean_value(
+                        evaluate_expression(condition, binding, context=self)
+                    ):
+                        return
+                except ExpressionError:
+                    return
+            yield binding
             return
-        ordered = self._order_patterns(patterns)
+        if node.preordered:
+            ordered = list(patterns)
+        else:
+            ordered = self._order_patterns(patterns)
+        # Attach each pushed-in filter at the earliest join depth where all
+        # of its variables are bound, so failing candidates are discarded
+        # before the remaining patterns are expanded.
+        filters_at: List[List] = [[] for _ in range(len(ordered) + 1)]
+        if node.filters:
+            bound_after: List[set] = []
+            bound: set = set()
+            for pattern in ordered:
+                bound |= pattern.variables()
+                bound_after.append(set(bound))
+            for condition in node.filters:
+                needed = expression_variables(condition)
+                slot = len(ordered)
+                for index, available in enumerate(bound_after):
+                    if needed <= available:
+                        slot = index + 1
+                        break
+                if not needed:
+                    slot = 0
+                filters_at[slot].append(condition)
+
+        def passes(index: int, binding: Binding) -> bool:
+            for condition in filters_at[index]:
+                try:
+                    if not effective_boolean_value(
+                        evaluate_expression(condition, binding, context=self)
+                    ):
+                        return False
+                except ExpressionError:
+                    return False
+            return True
 
         def extend(index: int, binding: Binding) -> Iterator[Binding]:
+            if not passes(index, binding):
+                return
             if index == len(ordered):
                 yield binding
                 return
@@ -579,24 +638,37 @@ class Evaluator:
         groups: Dict[Tuple, List[Binding]] = {}
         key_bindings: Dict[Tuple, Binding] = {}
         if node.keys:
+            # Precompute (expression, plain-variable shortcut, bound name)
+            # per key: a bare ``GROUP BY ?x`` key is a dict lookup per
+            # member, not an expression-evaluator call.
+            key_specs = []
+            for key in node.keys:
+                expression = key.expression if isinstance(key, Projection) else key
+                assert expression is not None
+                var_name = (
+                    expression.var.name
+                    if isinstance(expression, VarExpr)
+                    else None
+                )
+                if isinstance(key, (Projection, VarExpr)):
+                    bind_name = key.var.name
+                else:
+                    bind_name = None
+                key_specs.append((expression, var_name, bind_name))
             for member in members:
                 key_values: List[Optional[Term]] = []
                 key_binding: Binding = {}
-                for key in node.keys:
-                    expression = (
-                        key.expression if isinstance(key, Projection) else key
-                    )
-                    assert expression is not None
-                    try:
-                        value = evaluate_expression(expression, member, context=self)
-                    except ExpressionError:
-                        value = None
+                for expression, var_name, bind_name in key_specs:
+                    if var_name is not None:
+                        value = member.get(var_name)
+                    else:
+                        try:
+                            value = evaluate_expression(expression, member, context=self)
+                        except ExpressionError:
+                            value = None
                     key_values.append(value)
-                    if isinstance(key, Projection):
-                        if value is not None:
-                            key_binding[key.var.name] = value
-                    elif isinstance(key, VarExpr) and value is not None:
-                        key_binding[key.var.name] = value
+                    if bind_name is not None and value is not None:
+                        key_binding[bind_name] = value
                 group_key = tuple(key_values)
                 groups.setdefault(group_key, []).append(member)
                 key_bindings.setdefault(group_key, key_binding)
@@ -664,8 +736,9 @@ class Evaluator:
 
     def _eval_distinct(self, node: Distinct) -> Iterator[Binding]:
         seen: set = set()
+        key_order = _IncrementalKeyOrder()
         for binding in self._eval(node.input):
-            key = tuple(sorted(binding.items(), key=lambda kv: kv[0]))
+            key = key_order.key(binding)
             if key in seen:
                 continue
             seen.add(key)
@@ -673,32 +746,59 @@ class Evaluator:
 
     def _eval_reduced(self, node: Reduced) -> Iterator[Binding]:
         previous: Optional[Tuple] = None
+        key_order = _IncrementalKeyOrder()
         for binding in self._eval(node.input):
-            key = tuple(sorted(binding.items(), key=lambda kv: kv[0]))
+            key = key_order.key(binding)
             if key == previous:
                 continue
             previous = key
             yield binding
 
+    def _order_key(self, conditions, binding: Binding) -> List:
+        """The comparison key of one solution under ORDER BY conditions.
+
+        Shared by the full sort (:meth:`_eval_order_by`) and the bounded
+        top-k heap (:meth:`_eval_top_k`) so both rank rows identically.
+        """
+        keys = []
+        for condition in conditions:
+            try:
+                value = evaluate_expression(condition.expression, binding, context=self)
+            except ExpressionError:
+                value = None
+            key = term_order_key(value)
+            if condition.descending:
+                keys.append(_Reversed(key))
+            else:
+                keys.append(key)
+        return keys
+
     def _eval_order_by(self, node: OrderBy) -> Iterator[Binding]:
         rows = list(self._eval(node.input))
-
-        def sort_key(binding: Binding):
-            keys = []
-            for condition in node.conditions:
-                try:
-                    value = evaluate_expression(condition.expression, binding, context=self)
-                except ExpressionError:
-                    value = None
-                key = term_order_key(value)
-                if condition.descending:
-                    keys.append(_Reversed(key))
-                else:
-                    keys.append(key)
-            return keys
-
-        rows.sort(key=sort_key)
+        rows.sort(key=lambda binding: self._order_key(node.conditions, binding))
         yield from rows
+
+    def _eval_top_k(self, node: TopK) -> Iterator[Binding]:
+        """Bounded heap for fused ``ORDER BY ... LIMIT``.
+
+        Keeps at most ``limit + offset`` rows; ties between equal sort
+        keys fall back to arrival order, so the output is identical to a
+        stable full sort followed by the slice.
+        """
+        bound = node.limit + node.offset
+        if bound <= 0:
+            return
+        heap: List[_TopKEntry] = []
+        for serial, binding in enumerate(self._eval(node.input)):
+            key = self._order_key(node.conditions, binding)
+            if len(heap) < bound:
+                heapq.heappush(heap, _TopKEntry(key, serial, binding))
+            elif _order_lt(key, serial, heap[0].key, heap[0].serial):
+                heapq.heapreplace(heap, _TopKEntry(key, serial, binding))
+        ordered = sorted(heap)
+        ordered.reverse()
+        for entry in ordered[node.offset :]:
+            yield entry.binding
 
     def _eval_slice(self, node: Slice) -> Iterator[Binding]:
         iterator = self._eval(node.input)
@@ -732,6 +832,59 @@ class _Reversed:
         return isinstance(other, _Reversed) and self.key == other.key
 
 
+class _IncrementalKeyOrder:
+    """Stable dedup keys without per-row sorting.
+
+    DISTINCT/REDUCED need a hashable key per solution; sorting every
+    binding's items is O(v log v) per row.  Instead, variable names are
+    assigned a fixed order on first sight, and each key lists the
+    (name, value) pairs present in that order — two bindings get equal
+    keys exactly when they bind the same variables to the same terms.
+    """
+
+    __slots__ = ("order", "known")
+
+    def __init__(self) -> None:
+        self.order: List[str] = []
+        self.known: set = set()
+
+    def key(self, binding: Binding) -> Tuple:
+        for name in binding:
+            if name not in self.known:
+                self.known.add(name)
+                self.order.append(name)
+        return tuple(
+            (name, binding[name]) for name in self.order if name in binding
+        )
+
+
+def _order_lt(key_a: List, serial_a: int, key_b: List, serial_b: int) -> bool:
+    """Whether row A sorts strictly before row B (arrival-order tiebreak)."""
+    if key_a < key_b:
+        return True
+    if key_b < key_a:
+        return False
+    return serial_a < serial_b
+
+
+class _TopKEntry:
+    """Heap entry for :meth:`Evaluator._eval_top_k`.
+
+    ``__lt__`` is inverted so :mod:`heapq`'s min-heap keeps the *worst*
+    retained row at the root, ready to be evicted by a better arrival.
+    """
+
+    __slots__ = ("key", "serial", "binding")
+
+    def __init__(self, key: List, serial: int, binding: Binding) -> None:
+        self.key = key
+        self.serial = serial
+        self.binding = binding
+
+    def __lt__(self, other: "_TopKEntry") -> bool:
+        return _order_lt(other.key, other.serial, self.key, self.serial)
+
+
 def evaluate(graph: Graph, query_text: str):
     """Parse and evaluate a SPARQL query over ``graph``.
 
@@ -745,4 +898,4 @@ def evaluate(graph: Graph, query_text: str):
 def evaluate_algebra(graph: Graph, node: AlgebraNode) -> List[Binding]:
     """Evaluate a bare algebra tree; returns the solution list."""
     evaluator = Evaluator(graph)
-    return list(evaluator._eval(node))
+    return list(evaluator.evaluate(node))

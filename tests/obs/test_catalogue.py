@@ -11,10 +11,13 @@ import repro.endpoint.wire  # noqa: F401
 import repro.perf.decomposer  # noqa: F401
 import repro.perf.hvs  # noqa: F401
 import repro.perf.incremental  # noqa: F401
+import repro.perf.plancache  # noqa: F401
 import repro.perf.remote_incremental  # noqa: F401
 import repro.perf.router  # noqa: F401
 import repro.rdf.graph  # noqa: F401
+import repro.rdf.stats  # noqa: F401
 import repro.sparql.evaluator  # noqa: F401
+import repro.sparql.optimizer  # noqa: F401
 from repro.obs.metrics import REGISTRY
 
 DOC = pathlib.Path(__file__).resolve().parents[2] / "docs" / "OBSERVABILITY.md"

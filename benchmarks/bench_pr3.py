@@ -1,0 +1,214 @@
+"""PR 3 benchmark: time-sliced execution vs run-to-completion.
+
+Eight heavy expansion queries (member and member-subgraph fetches over
+the largest classes of the synthetic DBpedia — streaming queries, so a
+first screenful exists long before the full answer) arrive concurrently
+at a single-threaded engine — the situation the paper's incremental
+evaluation targets: the UI needs *a first screenful per pane* quickly,
+not any one query finished fast.
+
+Two server disciplines are compared:
+
+* ``run_to_completion`` — FIFO, each query runs start-to-finish before
+  the next begins; a response (and hence its first page) is only
+  available when its query completes.
+* ``time_sliced`` — the suspendable executor's
+  :class:`repro.sparql.executor.RoundRobinScheduler` gives every live
+  plan one bounded quantum per round; a session's first page ships as
+  soon as its first ``PAGE_ROWS`` rows exist.
+
+The headline number is the **p95 first-page latency** across the 8
+concurrent sessions.  Row multisets are asserted identical between the
+two disciplines, so the speedup is purely a scheduling effect.
+
+Writes ``benchmarks/results/BENCH_PR3.json``.  Run via
+``scripts/bench.sh`` or::
+
+    PYTHONPATH=src python benchmarks/bench_pr3.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.core import MemberPattern
+from repro.core.queries import members_query
+from repro.datasets import DBpediaConfig, generate_dbpedia
+from repro.datasets.dbpedia import OWL_THING
+from repro.rdf import DBO
+from repro.sparql.executor import RoundRobinScheduler, run_to_completion
+from repro.sparql.planner import build_physical_plan
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_PR3.json"
+
+#: First-page size: one chart/table screenful.
+PAGE_ROWS = 25
+#: Scheduler time slice (real milliseconds).
+QUANTUM_MS = 2.0
+#: Full benchmark repetitions (latencies are pooled across repeats).
+REPEATS = 5
+
+
+def workloads() -> dict:
+    """Eight concurrent heavy expansions, as (name -> query text).
+
+    All are *streaming* shapes (no sort/aggregation breaker at the
+    root), the case where response paging matters: the member list and
+    the members-with-their-triples subgraph fetch behind "looking into
+    detailed RDF data"."""
+    rdf_type = "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>"
+    classes = ["Agent", "Person", "Politician", "Philosopher",
+               "Place", "Organisation", "Athlete"]
+    queries = {"thing_members": members_query(MemberPattern.of_type(OWL_THING))}
+    for name in classes:
+        cls = DBO.term(name)
+        queries[f"{name.lower()}_subgraph"] = (
+            f"SELECT ?s ?p ?o WHERE {{ ?s {rdf_type} {cls.n3()} . ?s ?p ?o }}"
+        )
+    return queries
+
+
+def _multiset(rows):
+    return sorted(
+        tuple(sorted((k, v.n3() if hasattr(v, "n3") else str(v)) for k, v in row.items()))
+        for row in rows
+    )
+
+
+def run_fifo(graph, queries) -> dict:
+    """Run-to-completion FIFO: first page ships at query completion."""
+    first_page_ms = {}
+    rows_by = {}
+    start = time.perf_counter()
+    for name, text in queries.items():
+        plan = build_physical_plan(graph, text)
+        result = run_to_completion(plan)
+        first_page_ms[name] = (time.perf_counter() - start) * 1000.0
+        rows_by[name] = result.rows
+    makespan = (time.perf_counter() - start) * 1000.0
+    return {"first_page_ms": first_page_ms, "rows": rows_by, "makespan_ms": makespan}
+
+
+def run_time_sliced(graph, queries) -> dict:
+    """Round-robin quanta: first page ships at PAGE_ROWS rows."""
+    scheduler = RoundRobinScheduler(quantum_ms=QUANTUM_MS)
+    for name, text in queries.items():
+        scheduler.submit(name, build_physical_plan(graph, text))
+    first_page_ms = {}
+    rows_by = {name: [] for name in queries}
+    start = time.perf_counter()
+    while len(scheduler):
+        for name, page in scheduler.run_round():
+            rows_by[name].extend(page.rows)
+            if name not in first_page_ms and (
+                len(rows_by[name]) >= PAGE_ROWS or page.complete
+            ):
+                first_page_ms[name] = (time.perf_counter() - start) * 1000.0
+    makespan = (time.perf_counter() - start) * 1000.0
+    return {"first_page_ms": first_page_ms, "rows": rows_by, "makespan_ms": makespan}
+
+
+def percentile(values, fraction: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def summarise(samples) -> dict:
+    return {
+        "sessions": len(samples),
+        "p50_ms": round(percentile(samples, 0.50), 3),
+        "p95_ms": round(percentile(samples, 0.95), 3),
+        "max_ms": round(max(samples), 3),
+        "mean_ms": round(sum(samples) / len(samples), 3),
+    }
+
+
+def main() -> None:
+    graph = generate_dbpedia(DBpediaConfig()).graph
+    queries = workloads()
+    print(f"graph: {len(graph)} triples; {len(queries)} concurrent expansions")
+
+    fifo_samples, sliced_samples = [], []
+    fifo_makespans, sliced_makespans = [], []
+    # Warm-up round (statistics build, interpreter warm-up) left out of
+    # the pooled samples.
+    run_fifo(graph, queries)
+    run_time_sliced(graph, queries)
+    reference = None
+    for _ in range(REPEATS):
+        fifo = run_fifo(graph, queries)
+        sliced = run_time_sliced(graph, queries)
+        fifo_samples.extend(fifo["first_page_ms"].values())
+        sliced_samples.extend(sliced["first_page_ms"].values())
+        fifo_makespans.append(fifo["makespan_ms"])
+        sliced_makespans.append(sliced["makespan_ms"])
+        if reference is None:
+            reference = fifo["rows"]
+            for name in queries:
+                assert _multiset(sliced["rows"][name]) == _multiset(
+                    reference[name]
+                ), f"row multiset mismatch in {name}"
+
+    fifo_stats = summarise(fifo_samples)
+    sliced_stats = summarise(sliced_samples)
+    speedup = (
+        fifo_stats["p95_ms"] / sliced_stats["p95_ms"]
+        if sliced_stats["p95_ms"]
+        else float("inf")
+    )
+    payload = {
+        "benchmark": "BENCH_PR3",
+        "description": (
+            "p95 first-page latency under 8 concurrent heavy expansions: "
+            "round-robin time-sliced executor vs FIFO run-to-completion "
+            "(synthetic DBpedia, single-threaded engine)"
+        ),
+        "graph_triples": len(graph),
+        "page_rows": PAGE_ROWS,
+        "quantum_ms": QUANTUM_MS,
+        "repeats": REPEATS,
+        "workloads": sorted(queries),
+        "run_to_completion": {
+            **fifo_stats,
+            "makespan_ms_mean": round(
+                sum(fifo_makespans) / len(fifo_makespans), 3
+            ),
+        },
+        "time_sliced": {
+            **sliced_stats,
+            "makespan_ms_mean": round(
+                sum(sliced_makespans) / len(sliced_makespans), 3
+            ),
+        },
+        "first_page_p95_speedup": round(speedup, 2),
+        "rows_match": True,
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+    print()
+    header = f"{'discipline':<20} {'p50':>9} {'p95':>9} {'max':>9} {'makespan':>10}"
+    print(header)
+    print("-" * len(header))
+    for label, stats, makespans in (
+        ("run_to_completion", fifo_stats, fifo_makespans),
+        ("time_sliced", sliced_stats, sliced_makespans),
+    ):
+        print(
+            f"{label:<20} {stats['p50_ms']:>8.1f}m {stats['p95_ms']:>8.1f}m "
+            f"{stats['max_ms']:>8.1f}m "
+            f"{sum(makespans) / len(makespans):>9.1f}m"
+        )
+    print()
+    print(f"first-page p95 speedup: {speedup:.2f}x")
+    if speedup <= 1.0:
+        raise SystemExit(
+            "time-sliced execution did not improve p95 first-page latency"
+        )
+
+
+if __name__ == "__main__":
+    main()

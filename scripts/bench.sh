@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
-# Regenerate the PR 2 optimizer/plan-cache benchmark.
+# Regenerate the PR benchmarks.
 #
-# Runs the exploration workloads on the bare and the optimizing endpoint,
-# the per-pass ablation, and the plan-cache front-half microbenchmark,
-# then writes benchmarks/results/BENCH_PR2.json (machine-readable) and
-# prints the summary table.  Exits non-zero if any optimized workload
-# returns a different row count than the bare engine.
+# PR 2: exploration workloads on the bare vs the optimizing endpoint,
+# the per-pass ablation, and the plan-cache front-half microbenchmark
+# -> benchmarks/results/BENCH_PR2.json.  Exits non-zero if any
+# optimized workload returns a different row count than the bare engine.
+#
+# PR 3: p95 first-page latency under 8 concurrent heavy expansions,
+# round-robin time-sliced executor vs FIFO run-to-completion
+# -> benchmarks/results/BENCH_PR3.json.  Exits non-zero if the row
+# multisets differ between disciplines or time-slicing does not improve
+# the p95.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
-exec python benchmarks/bench_pr2.py "$@"
+python benchmarks/bench_pr2.py "$@"
+echo
+python benchmarks/bench_pr3.py "$@"

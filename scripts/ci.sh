@@ -3,8 +3,11 @@
 #   1. the observability + optimizer smoke test (EXPLAIN ANALYZE row
 #      accounting, TopK fusion, plan-cache hit/invalidation, and the
 #      HVS/decomposer counters moving when toggled);
-#   2. a plan-cache metrics smoke over `repro metrics --exercise`;
-#   3. the full tier-1 test suite.
+#   2. the time-sliced executor smoke test (paging ≡ one-shot, token
+#      hygiene — a suspended query resumed across a graph mutation is
+#      invalidated, never silently wrong — and round-robin fairness);
+#   3. a plan-cache metrics smoke over `repro metrics --exercise`;
+#   4. the full tier-1 test suite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -12,6 +15,10 @@ export PYTHONPATH=src
 
 echo "== repro explain --self-test =="
 python -m repro explain --self-test
+
+echo
+echo "== repro query --self-test =="
+python -m repro query --self-test
 
 echo
 echo "== plan-cache metrics smoke =="

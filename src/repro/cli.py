@@ -209,6 +209,217 @@ def _cmd_sparql(args) -> int:
     return 0
 
 
+def _cmd_query(args) -> int:
+    """Time-sliced SELECT execution through the suspendable executor."""
+    if args.self_test:
+        return _executor_self_test(args)
+    if not args.query:
+        print("error: provide a query or --self-test", file=sys.stderr)
+        return 2
+    session = _build_session(args)
+    endpoint = session.endpoint
+    query_text = _prologue() + args.query
+    quantum_ms = args.quantum_ms
+    page_size = args.page_size
+    if quantum_ms is None and page_size is None:
+        page_size = 100
+    try:
+        if args.explain:
+            from .obs import explain_physical
+
+            explained = explain_physical(
+                endpoint.graph,
+                query_text,
+                analyze=args.analyze,
+                quantum_ms=quantum_ms,
+                page_size=page_size,
+            )
+            print(explained.render())
+            return 0
+        rows: List[dict] = []
+        variables: List[str] = []
+        pages = 0
+        simulated = 0.0
+        response = endpoint.query(
+            query_text, quantum_ms=quantum_ms, page_size=page_size
+        )
+        while True:
+            pages += 1
+            simulated += response.elapsed_ms
+            rows.extend(response.result.rows)
+            variables = response.result.vars
+            token = response.continuation
+            shown = f"{token[:24]}..." if token else "-"
+            print(
+                f"page {pages}: {len(response.result.rows)} rows  "
+                f"complete={response.complete}  token={shown}"
+            )
+            if response.complete:
+                break
+            response = endpoint.query(
+                query_text,
+                quantum_ms=quantum_ms,
+                page_size=page_size,
+                continuation=token,
+            )
+    except SparqlError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    from .sparql import SelectResult
+
+    result = SelectResult(variables, rows)
+    print(result.to_table(max_rows=args.top))
+    print(
+        f"({len(rows)} rows over {pages} page(s), "
+        f"{simulated:.2f} simulated ms)"
+    )
+    return 0
+
+
+def _executor_self_test(args) -> int:
+    """Executor smoke: paging equivalence, token hygiene, fair
+    scheduling, and the suspension metrics (used by scripts/ci.sh)."""
+    from .obs.metrics import REGISTRY
+    from .sparql import executor as sparql_executor
+    from .sparql.planner import build_physical_plan
+
+    failures: List[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        print(("ok: " if condition else "FAIL: ") + message)
+        if not condition:
+            failures.append(message)
+
+    def counter(name: str, **labels) -> float:
+        metric = REGISTRY.get(name)
+        return metric.labels(**labels).value if labels else metric.value
+
+    def multiset(rows):
+        return sorted(
+            tuple(sorted((k, v) for k, v in row.items())) for row in rows
+        )
+
+    session = _build_session(args)
+    graph = session.endpoint.graph
+    endpoint = LocalEndpoint(graph, clock=SimClock())
+    query = _prologue() + (
+        "SELECT ?s ?p ?o WHERE { ?s ?p ?o . ?s ?p2 ?o2 } LIMIT 500"
+    )
+
+    # 1. Paged execution returns exactly the one-shot answer.
+    one_shot = endpoint.select(query).rows
+    paged: List[dict] = []
+    pages = 0
+    before_susp = counter("repro_exec_suspensions_total", reason="row_budget")
+    before_resumes = counter("repro_exec_resumes_total")
+    response = endpoint.query(query, page_size=64)
+    while True:
+        pages += 1
+        paged.extend(response.result.rows)
+        if response.complete:
+            break
+        response = endpoint.query(
+            query, page_size=64, continuation=response.continuation
+        )
+    check(
+        multiset(paged) == multiset(one_shot),
+        f"paged multiset equals one-shot ({len(paged)} rows, {pages} pages)",
+    )
+    check(pages > 1, f"query actually paged ({pages} pages)")
+    check(
+        counter("repro_exec_suspensions_total", reason="row_budget")
+        > before_susp,
+        "row-budget suspension counter moved",
+    )
+    check(
+        counter("repro_exec_resumes_total") > before_resumes,
+        "token resume counter moved",
+    )
+
+    # 2. Token hygiene: malformed, cross-query, and expired tokens all
+    # fail as clean protocol errors — never silently-wrong rows.
+    before_rejects = counter(
+        "repro_exec_token_rejects_total", reason="malformed"
+    )
+    try:
+        endpoint.query(query, continuation="not-a-token")
+        check(False, "garbage token rejected")
+    except sparql_executor.MalformedTokenError:
+        check(True, "garbage token rejected as MalformedTokenError")
+    check(
+        counter("repro_exec_token_rejects_total", reason="malformed")
+        == before_rejects + 1,
+        "malformed-token reject counter moved",
+    )
+
+    response = endpoint.query(query, page_size=16)
+    token = response.continuation
+    check(token is not None, "suspended query minted a continuation token")
+    try:
+        endpoint.query(
+            _prologue() + "SELECT ?x WHERE { ?x ?y ?z }", continuation=token
+        )
+        check(False, "cross-query token rejected")
+    except sparql_executor.MalformedTokenError:
+        check(True, "token replayed against a different query is rejected")
+
+    # The acceptance scenario: suspend, mutate the graph, resume.  The
+    # token must be *invalidated*, not resumed against changed data.
+    from .rdf import URI as _URI
+
+    graph.add(
+        _URI("http://example.org/exec-self-test"),
+        _URI("http://example.org/p"),
+        _URI("http://example.org/o"),
+    )
+    try:
+        endpoint.query(query, continuation=token)
+        check(False, "token expired by graph mutation")
+    except sparql_executor.ExpiredTokenError:
+        check(True, "graph mutation invalidates the suspended token")
+    graph.remove(
+        _URI("http://example.org/exec-self-test"),
+        _URI("http://example.org/p"),
+        _URI("http://example.org/o"),
+    )
+
+    # 3. Fair scheduling: concurrent plans interleave and all finish
+    # with the right answers.
+    scheduler = sparql_executor.RoundRobinScheduler(page_size=32)
+    queries = {
+        "spo": query,
+        "count": _prologue()
+        + "SELECT ?p (COUNT(?s) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?p",
+        "sorted": _prologue() + "SELECT ?s WHERE { ?s ?p ?o } ORDER BY ?s",
+    }
+    for name, text in queries.items():
+        scheduler.submit(name, build_physical_plan(graph, text))
+    order: List[str] = []
+    finished = {name: [] for name in queries}
+    while len(scheduler):
+        for name, page in scheduler.run_round():
+            order.append(name)
+            finished[name].extend(page.rows)
+    check(
+        len(set(order[: len(queries)])) == len(queries),
+        "round-robin serves every query before repeating any",
+    )
+    check(
+        multiset(finished["spo"]) == multiset(one_shot),
+        "scheduled execution matches the one-shot answer",
+    )
+    check(
+        all(finished[name] for name in queries),
+        "all scheduled queries ran to completion",
+    )
+
+    if failures:
+        print(f"executor self-test failed ({len(failures)} checks)", file=sys.stderr)
+        return 1
+    print("executor self-test passed")
+    return 0
+
+
 def _cmd_demo(args) -> int:
     """The Section 5 demonstration walkthrough, scripted."""
     from .core import equals_filter
@@ -634,6 +845,44 @@ def build_parser() -> argparse.ArgumentParser:
     sparql.add_argument("query")
     sparql.add_argument("--top", type=int, default=25)
     sparql.set_defaults(func=_cmd_sparql)
+
+    query = sub.add_parser(
+        "query",
+        help="run a SELECT through the time-sliced executor, page by page",
+    )
+    query.add_argument(
+        "query", nargs="?", help="SPARQL query text (standard prefixes pre-declared)"
+    )
+    query.add_argument(
+        "--quantum-ms",
+        type=float,
+        default=None,
+        help="suspend the execution after this many milliseconds per page",
+    )
+    query.add_argument(
+        "--page-size",
+        type=int,
+        default=None,
+        help="suspend after this many rows per page (default 100 when "
+        "no quantum is given)",
+    )
+    query.add_argument("--top", type=int, default=25)
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="show the physical operator tree instead of rows",
+    )
+    query.add_argument(
+        "--analyze",
+        action="store_true",
+        help="with --explain: execute and report per-operator rows/time",
+    )
+    query.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the executor smoke test (used by scripts/ci.sh)",
+    )
+    query.set_defaults(func=_cmd_query)
 
     fig4 = sub.add_parser("fig4", help="regenerate the Fig. 4 table")
     fig4.set_defaults(func=_cmd_fig4)

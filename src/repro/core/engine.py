@@ -39,11 +39,60 @@ def _as_int(term) -> int:
 
 
 class ChartEngine:
-    """Builds bar charts by querying a SPARQL endpoint."""
+    """Builds bar charts by querying a SPARQL endpoint.
 
-    def __init__(self, endpoint: Endpoint, root_class: URI):
+    ``page_size`` / ``quantum_ms`` turn on time-sliced fetching: every
+    chart query is paged through the endpoint's continuation-token
+    protocol instead of running to completion in one request, so a
+    heavy property expansion never holds the engine for longer than one
+    quantum at a time.  Endpoints without a paged ``query()`` (the
+    router, test doubles) transparently fall back to one-shot
+    execution — the chart is identical either way, paging only changes
+    *when* the work happens.
+    """
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        root_class: URI,
+        page_size: Optional[int] = None,
+        quantum_ms: Optional[float] = None,
+    ):
         self.endpoint = endpoint
         self.root_class = root_class
+        self.page_size = page_size
+        self.quantum_ms = quantum_ms
+        #: Pages fetched through the continuation protocol (observability).
+        self.pages_fetched = 0
+
+    def _select(self, query_text: str):
+        """One chart query's full result, paged when configured."""
+        if self.page_size is None and self.quantum_ms is None:
+            return self.endpoint.select(query_text)
+        try:
+            response = self.endpoint.query(
+                query_text,
+                page_size=self.page_size,
+                quantum_ms=self.quantum_ms,
+            )
+        except TypeError:
+            # The endpoint's query() takes no paging parameters.
+            return self.endpoint.select(query_text)
+        self.pages_fetched += 1
+        rows = list(response.result.rows)
+        variables = response.result.vars
+        while not response.complete:
+            response = self.endpoint.query(
+                query_text,
+                page_size=self.page_size,
+                quantum_ms=self.quantum_ms,
+                continuation=response.continuation,
+            )
+            self.pages_fetched += 1
+            rows.extend(response.result.rows)
+        from ..sparql.results import SelectResult
+
+        return SelectResult(variables, rows)
 
     # ------------------------------------------------------------------
     # Roots
@@ -83,7 +132,7 @@ class ChartEngine:
         if bar.type is not BarType.CLASS:
             raise ValueError("subclass expansion needs a class bar")
         pattern = self._pattern_of(bar)
-        result = self.endpoint.select(subclass_chart_query(pattern, bar.label))
+        result = self._select(subclass_chart_query(pattern, bar.label))
         bars: Dict[URI, Bar] = {}
         for row in result:
             subclass = row.get("sub")
@@ -107,7 +156,7 @@ class ChartEngine:
         total = bar.size if (bar.count is not None or bar.uris is not None) else 0
         if not total:
             total = _as_int(self.endpoint.select(count_query(pattern)).scalar())
-        result = self.endpoint.select(property_chart_query(pattern, direction))
+        result = self._select(property_chart_query(pattern, direction))
         bars: Dict[URI, Bar] = {}
         for row in result:
             prop = row.get("p")
@@ -137,7 +186,7 @@ class ChartEngine:
         if bar.type is not BarType.PROPERTY:
             raise ValueError("object expansion needs a property bar")
         pattern = self._pattern_of(bar)
-        result = self.endpoint.select(
+        result = self._select(
             object_chart_query(pattern, bar.label, direction)
         )
         bars: Dict[URI, Bar] = {}
@@ -164,7 +213,7 @@ class ChartEngine:
         if bar.uris is not None:
             return bar
         pattern = self._pattern_of(bar)
-        result = self.endpoint.select(members_query(pattern, limit=limit))
+        result = self._select(members_query(pattern, limit=limit))
         members = frozenset(
             term for term in result.column("s") if isinstance(term, URI)
         )

@@ -20,6 +20,7 @@ from .wire import (
     JSON_RESULTS_MIME,
     SparqlHttpRequest,
     SparqlHttpResponse,
+    decode_page,
     decode_response,
     encode_request,
 )
@@ -42,4 +43,5 @@ __all__ = [
     "JSON_RESULTS_MIME",
     "encode_request",
     "decode_response",
+    "decode_page",
 ]

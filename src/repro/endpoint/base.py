@@ -71,6 +71,11 @@ class EndpointResponse:
     stats: Optional[EvalStats] = None
     #: Per-operator aggregates when the endpoint ran with tracing on.
     trace: Optional[Tuple[OperatorSummary, ...]] = None
+    #: Opaque resume token when the query was suspended mid-execution
+    #: (time-sliced/paginated path); None for complete answers.
+    continuation: Optional[str] = None
+    #: False when ``result`` holds only one page of a larger answer.
+    complete: bool = True
 
     @property
     def rows(self):

@@ -85,7 +85,27 @@ class LocalEndpoint(Endpoint):
             optimize=self.optimize,
         )
 
-    def query(self, query_text: str) -> EndpointResponse:
+    def query(
+        self,
+        query_text: Optional[str] = None,
+        *,
+        quantum_ms: Optional[float] = None,
+        page_size: Optional[int] = None,
+        continuation: Optional[str] = None,
+    ) -> EndpointResponse:
+        if (
+            quantum_ms is not None
+            or page_size is not None
+            or continuation is not None
+        ):
+            return self._query_paged(
+                query_text,
+                quantum_ms=quantum_ms,
+                page_size=page_size,
+                continuation=continuation,
+            )
+        if query_text is None:
+            raise TypeError("query_text is required without a continuation")
         plan = self.plan(query_text)
         probe = EvalProbe() if self.trace else None
         evaluator = Evaluator(self.graph, probe=probe)
@@ -112,3 +132,101 @@ class LocalEndpoint(Endpoint):
         observe_response(response)
         self._log(response)
         return response
+
+    def _query_paged(
+        self,
+        query_text: Optional[str],
+        quantum_ms: Optional[float],
+        page_size: Optional[int],
+        continuation: Optional[str],
+    ) -> EndpointResponse:
+        """One time-sliced page of a SELECT query.
+
+        Fresh requests compile through the plan cache (the physical
+        factory is cached alongside the algebra) and start a new
+        execution; requests with a ``continuation`` restore the
+        suspended operator tree and keep going.  Each page is charged
+        simulated latency for *its own* work only — the responsiveness
+        contract the paper's incremental evaluation argues for.
+        """
+        from ..perf.hvs import normalize_query
+        from ..sparql import executor as sparql_executor
+        from ..sparql.results import SelectResult
+
+        blob = None
+        if continuation is not None:
+            blob = sparql_executor.decode_continuation(continuation)
+            if query_text is not None and normalize_query(
+                query_text
+            ) != normalize_query(blob["query"]):
+                raise sparql_executor.MalformedTokenError(
+                    "continuation token belongs to a different query"
+                )
+            query_text = blob["query"]
+        elif query_text is None:
+            raise TypeError("query_text is required without a continuation")
+        cached = self.plan(query_text)
+        factory = cached.physical_factory()
+        if factory.is_ask:
+            # ASK short-circuits on its first solution; it never pages
+            # and never mints tokens.
+            if blob is not None:
+                raise sparql_executor.MalformedTokenError(
+                    "ASK queries do not issue continuation tokens"
+                )
+            return self.query(query_text)
+        if blob is not None:
+            plan = sparql_executor.restore_plan(factory, self.graph, blob)
+        else:
+            plan = factory.instantiate(self.graph)
+        page = sparql_executor.run_quantum(
+            plan, quantum_ms=quantum_ms, page_size=page_size
+        )
+        token = (
+            None
+            if page.complete
+            else sparql_executor.encode_continuation(
+                plan, self.graph, query_text
+            )
+        )
+        elapsed = self.cost_model.simulate_ms(
+            intermediate_bindings=page.stats.intermediate_bindings,
+            pattern_scans=page.stats.pattern_scans,
+            result_rows=len(page.rows),
+        )
+        self.clock.advance(elapsed)
+        response = EndpointResponse(
+            result=SelectResult(page.variables, page.rows, stats=page.stats),
+            elapsed_ms=elapsed,
+            source=self.cost_model.name,
+            query_text=query_text,
+            stats=page.stats,
+            continuation=token,
+            complete=page.complete,
+        )
+        observe_response(response)
+        self._log(response)
+        return response
+
+    def query_all_pages(
+        self,
+        query_text: str,
+        quantum_ms: Optional[float] = None,
+        page_size: Optional[int] = None,
+    ):
+        """Page through a SELECT to completion; yields each response.
+
+        Convenience wrapper over the token loop (the explorer's chart
+        session uses it to fetch bar charts incrementally)."""
+        response = self.query(
+            query_text, quantum_ms=quantum_ms, page_size=page_size
+        )
+        yield response
+        while not response.complete:
+            response = self.query(
+                query_text,
+                quantum_ms=quantum_ms,
+                page_size=page_size,
+                continuation=response.continuation,
+            )
+            yield response

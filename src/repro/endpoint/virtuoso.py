@@ -26,6 +26,7 @@ from .cost import REMOTE_VIRTUOSO_PROFILE, CostModel
 from .wire import (
     SparqlHttpRequest,
     SparqlHttpResponse,
+    decode_page,
     decode_response,
     encode_error,
     encode_request,
@@ -77,6 +78,8 @@ class SimulatedVirtuosoServer:
                 content_type="text/plain",
             )
         self.requests_served += 1
+        if request.paged:
+            return self._handle_paged(request)
         try:
             plan = self.plan_cache.get(
                 request.query,
@@ -104,6 +107,72 @@ class SimulatedVirtuosoServer:
         self.clock.advance(elapsed)
         return encode_success(result, elapsed_ms=elapsed)
 
+    def _handle_paged(self, request: SparqlHttpRequest) -> SparqlHttpResponse:
+        """Serve one time-sliced page through the physical executor.
+
+        Continuation-token failures (malformed, cross-version, expired)
+        are :class:`~repro.sparql.errors.SparqlError` subclasses, so
+        they travel to the client as clean 400 protocol errors instead
+        of wrong answers."""
+        from ..sparql import executor as sparql_executor
+        from ..sparql.results import SelectResult
+
+        try:
+            blob = None
+            if request.continuation is not None:
+                blob = sparql_executor.decode_continuation(request.continuation)
+            cached = self.plan_cache.get(
+                request.query,
+                graph=self.graph if self.optimize else None,
+                optimize=self.optimize,
+            )
+            factory = cached.physical_factory()
+            if factory.is_ask:
+                if blob is not None:
+                    raise sparql_executor.MalformedTokenError(
+                        "ASK queries do not issue continuation tokens"
+                    )
+                return self.handle(
+                    SparqlHttpRequest(
+                        endpoint_url=request.endpoint_url, query=request.query
+                    )
+                )
+            if blob is not None:
+                plan = sparql_executor.restore_plan(factory, self.graph, blob)
+            else:
+                plan = factory.instantiate(self.graph)
+            page = sparql_executor.run_quantum(
+                plan,
+                quantum_ms=request.quantum_ms,
+                page_size=request.page_size,
+            )
+            token = (
+                None
+                if page.complete
+                else sparql_executor.encode_continuation(
+                    plan, self.graph, request.query
+                )
+            )
+        except Exception as error:
+            _SERVER_ERROR.inc()
+            elapsed = self.cost_model.network_latency_ms
+            self.clock.advance(elapsed)
+            return encode_error(error, elapsed_ms=elapsed)
+        _SERVER_OK.inc()
+        elapsed = self.cost_model.simulate_ms(
+            intermediate_bindings=page.stats.intermediate_bindings,
+            pattern_scans=page.stats.pattern_scans,
+            result_rows=len(page.rows),
+        )
+        self.clock.advance(elapsed)
+        result = SelectResult(page.variables, page.rows)
+        return encode_success(
+            result,
+            elapsed_ms=elapsed,
+            continuation=token,
+            complete=page.complete,
+        )
+
     @property
     def dataset_version(self) -> int:
         return self.graph.version
@@ -128,16 +197,35 @@ class RemoteEndpoint(Endpoint):
         # public DBpedia endpoint).
         return 0
 
-    def query(self, query_text: str) -> EndpointResponse:
-        request = encode_request(self.url, query_text)
+    def query(
+        self,
+        query_text: str,
+        *,
+        quantum_ms: Optional[float] = None,
+        page_size: Optional[int] = None,
+        continuation: Optional[str] = None,
+    ) -> EndpointResponse:
+        request = encode_request(
+            self.url,
+            query_text,
+            quantum_ms=quantum_ms,
+            page_size=page_size,
+            continuation=continuation,
+        )
         http_response = self._server.handle(request)
-        result = decode_response(http_response)
+        if request.paged:
+            result, token, complete = decode_page(http_response)
+        else:
+            result = decode_response(http_response)
+            token, complete = None, True
         response = EndpointResponse(
             result=result,
             elapsed_ms=http_response.elapsed_ms,
             source="virtuoso",
             query_text=query_text,
             stats=None,  # opaque remote server: no work counters leak out
+            continuation=token,
+            complete=complete,
         )
         observe_response(response)
         self._log(response)

@@ -9,9 +9,10 @@ layer would work against a real HTTP endpoint.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict
+from typing import Dict, Optional
 
 from ..obs.metrics import REGISTRY
 from ..sparql.errors import SparqlError
@@ -34,6 +35,7 @@ __all__ = [
     "NTRIPLES_MIME",
     "encode_request",
     "decode_response",
+    "decode_page",
 ]
 
 JSON_RESULTS_MIME = "application/sparql-results+json"
@@ -42,12 +44,29 @@ NTRIPLES_MIME = "application/n-triples"
 
 @dataclass(frozen=True)
 class SparqlHttpRequest:
-    """A GET-style SPARQL protocol request."""
+    """A GET-style SPARQL protocol request.
+
+    ``quantum_ms`` / ``page_size`` / ``continuation`` are the paging
+    parameters of the time-sliced executor; they travel as the
+    equivalent of URL query parameters.  A request with ``continuation``
+    resumes a suspended execution (``query`` must repeat the original
+    query text)."""
 
     endpoint_url: str
     query: str
     accept: str = JSON_RESULTS_MIME
     headers: Dict[str, str] = field(default_factory=dict)
+    quantum_ms: Optional[float] = None
+    page_size: Optional[int] = None
+    continuation: Optional[str] = None
+
+    @property
+    def paged(self) -> bool:
+        return (
+            self.quantum_ms is not None
+            or self.page_size is not None
+            or self.continuation is not None
+        )
 
 
 @dataclass(frozen=True)
@@ -64,16 +83,37 @@ class SparqlHttpResponse:
         return 200 <= self.status < 300
 
 
-def encode_request(endpoint_url: str, query: str) -> SparqlHttpRequest:
-    """Build the protocol request for a query."""
-    return SparqlHttpRequest(endpoint_url=endpoint_url, query=query)
+def encode_request(
+    endpoint_url: str,
+    query: str,
+    quantum_ms: Optional[float] = None,
+    page_size: Optional[int] = None,
+    continuation: Optional[str] = None,
+) -> SparqlHttpRequest:
+    """Build the protocol request for a query (optionally paged)."""
+    return SparqlHttpRequest(
+        endpoint_url=endpoint_url,
+        query=query,
+        quantum_ms=quantum_ms,
+        page_size=page_size,
+        continuation=continuation,
+    )
 
 
-def encode_success(result, elapsed_ms: float) -> SparqlHttpResponse:
+def encode_success(
+    result,
+    elapsed_ms: float,
+    continuation: Optional[str] = None,
+    complete: bool = True,
+) -> SparqlHttpResponse:
     """Serialise a result into a 200 response.
 
     SELECT/ASK results travel as SPARQL-JSON; CONSTRUCT graphs as
-    N-Triples with the matching content type.
+    N-Triples with the matching content type.  A partial (paged) answer
+    additionally carries ``"continuation"`` and ``"complete": false``
+    at the top level of the JSON body — standard SPARQL-JSON consumers
+    ignore the extra keys; paging clients read them via
+    :func:`decode_page`.
     """
     started = perf_counter()
     if isinstance(result, GraphResult):
@@ -82,6 +122,11 @@ def encode_success(result, elapsed_ms: float) -> SparqlHttpResponse:
     else:
         body = results_to_json(result)
         content_type = JSON_RESULTS_MIME
+        if continuation is not None or not complete:
+            blob = json.loads(body)
+            blob["continuation"] = continuation
+            blob["complete"] = bool(complete)
+            body = json.dumps(blob)
     _WIRE_ENCODES_TOTAL.labels(content_type=content_type).inc()
     _WIRE_ENCODE_WALL_MS_TOTAL.inc((perf_counter() - started) * 1000.0)
     return SparqlHttpResponse(
@@ -119,3 +164,21 @@ def decode_response(response: SparqlHttpResponse):
     if response.content_type != JSON_RESULTS_MIME:
         raise SparqlError(f"unexpected content type: {response.content_type}")
     return results_from_json(response.body)
+
+
+def decode_page(response: SparqlHttpResponse):
+    """Parse a (possibly partial) JSON response into
+    ``(result, continuation, complete)``.
+
+    ``continuation`` is None and ``complete`` is True for ordinary
+    one-shot answers, so this is a strict superset of
+    :func:`decode_response` for SPARQL-JSON bodies.
+    """
+    result = decode_response(response)
+    continuation = None
+    complete = True
+    if response.content_type == JSON_RESULTS_MIME:
+        blob = json.loads(response.body)
+        continuation = blob.get("continuation")
+        complete = bool(blob.get("complete", True))
+    return result, continuation, complete

@@ -36,7 +36,12 @@ class ExplorerSession:
     ):
         self.settings = settings or SettingsForm()
         self.endpoint = endpoint
-        self.engine = ChartEngine(endpoint, self.settings.root_class)
+        self.engine = ChartEngine(
+            endpoint,
+            self.settings.root_class,
+            page_size=self.settings.chart_page_size,
+            quantum_ms=self.settings.chart_quantum_ms,
+        )
         self.statistics_service = StatisticsService(endpoint)
         # "The very first queries present the user with general
         # statistics about the dataset" (Section 3.1).

@@ -46,6 +46,10 @@ class SettingsForm:
     incremental_steps: Optional[int] = None
     use_hvs: bool = True
     use_decomposer: bool = True
+    #: Rows per page when chart queries run time-sliced (None = one-shot).
+    chart_page_size: Optional[int] = None
+    #: Executor time quantum for chart queries, in simulated milliseconds.
+    chart_quantum_ms: Optional[float] = None
 
     def validate(self) -> None:
         """Raise :class:`SettingsError` for inconsistent settings."""
@@ -59,6 +63,10 @@ class SettingsForm:
             raise SettingsError("incremental window must be positive")
         if self.incremental_steps is not None and self.incremental_steps <= 0:
             raise SettingsError("incremental steps must be positive")
+        if self.chart_page_size is not None and self.chart_page_size <= 0:
+            raise SettingsError("chart page size must be positive")
+        if self.chart_quantum_ms is not None and self.chart_quantum_ms <= 0:
+            raise SettingsError("chart quantum must be positive")
         if self.mode == "remote" and (self.use_hvs or self.use_decomposer):
             # Remote compatibility mode: "we have no access to the actual
             # RDF graph and cannot execute any preprocessing" — only

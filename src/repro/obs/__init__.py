@@ -48,10 +48,17 @@ __all__ = [
     "ExplainResult",
     "PlanNode",
     "explain",
+    "explain_physical",
     "estimate_cardinality",
 ]
 
-_LAZY = {"ExplainResult", "PlanNode", "explain", "estimate_cardinality"}
+_LAZY = {
+    "ExplainResult",
+    "PlanNode",
+    "explain",
+    "explain_physical",
+    "estimate_cardinality",
+}
 
 
 def __getattr__(name: str):

@@ -54,7 +54,13 @@ from .tracing import (
     spans_to_json_lines,
 )
 
-__all__ = ["PlanNode", "ExplainResult", "explain", "estimate_cardinality"]
+__all__ = [
+    "PlanNode",
+    "ExplainResult",
+    "explain",
+    "explain_physical",
+    "estimate_cardinality",
+]
 
 #: Classic textbook selectivity guess for an opaque FILTER condition.
 _FILTER_SELECTIVITY = 1.0 / 3.0
@@ -369,4 +375,95 @@ def explain(
         planning_note=note,
         pre_plan=pre_plan,
         passes=passes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Physical plans
+# ----------------------------------------------------------------------
+
+
+def _physical_plan_node(graph: Graph, op, analyzed: bool) -> PlanNode:
+    """Mirror one physical operator (and subtree) into a PlanNode."""
+    estimated = (
+        estimate_cardinality(graph, op.algebra) if op.algebra is not None else 0
+    )
+    node = PlanNode(
+        label=op.label,
+        detail=op.detail(),
+        estimated_rows=estimated,
+        children=[
+            _physical_plan_node(graph, child, analyzed)
+            for child in op.children()
+        ],
+    )
+    if analyzed:
+        child_wall = sum(child.wall_s for child in op.children())
+        node.actual_rows = op.rows_produced
+        node.wall_ms = op.wall_s * 1000.0
+        node.self_wall_ms = max(0.0, op.wall_s - child_wall) * 1000.0
+        node.invocations = op.calls
+    return node
+
+
+def explain_physical(
+    graph: Graph,
+    query_text: str,
+    analyze: bool = False,
+    optimize: bool = True,
+    quantum_ms: Optional[float] = None,
+    page_size: Optional[int] = None,
+) -> ExplainResult:
+    """Explain a query as the *physical* operator tree the time-sliced
+    executor runs (:mod:`repro.sparql.physical`).
+
+    Unlike :func:`explain`, ANALYZE here needs no probe: physical
+    operators carry their own ``rows_produced`` / ``wall_s`` / ``calls``
+    counters, read directly off the tree after execution.  With
+    ``quantum_ms``/``page_size`` set, ANALYZE drives the plan page by
+    page through :func:`repro.sparql.executor.run_quantum` and the
+    planning note reports each suspension — what the paged endpoint
+    path does per request.
+    """
+    from ..sparql import executor as sparql_executor
+    from ..sparql.planner import build_physical_plan
+
+    plan_obj = build_physical_plan(graph, query_text, optimize=optimize)
+    if not analyze:
+        return ExplainResult(
+            query_text=query_text,
+            plan=_physical_plan_node(graph, plan_obj.root, analyzed=False),
+            analyzed=False,
+            planning_note="physical plan (time-sliced executor)",
+        )
+    if plan_obj.factory.is_ask or (quantum_ms is None and page_size is None):
+        result = sparql_executor.run_to_completion(plan_obj)
+        note = "physical plan (time-sliced executor); ran in one quantum"
+    else:
+        pages = 0
+        suspensions: List[str] = []
+        rows: List = []
+        while True:
+            page = sparql_executor.run_quantum(
+                plan_obj, quantum_ms=quantum_ms, page_size=page_size
+            )
+            pages += 1
+            rows.extend(page.rows)
+            if page.complete:
+                break
+            suspensions.append(page.reason)
+        from ..sparql.results import SelectResult
+
+        result = SelectResult(plan_obj.factory.variables, rows, stats=plan_obj.stats)
+        note = (
+            f"physical plan (time-sliced executor); {pages} page(s), "
+            f"{len(suspensions)} suspension(s)"
+            + (f" [{', '.join(suspensions)}]" if suspensions else "")
+        )
+    return ExplainResult(
+        query_text=query_text,
+        plan=_physical_plan_node(graph, plan_obj.root, analyzed=True),
+        analyzed=True,
+        result=result,
+        planning_note=note,
     )

@@ -26,6 +26,7 @@ from typing import Optional, Tuple
 from ..obs.metrics import REGISTRY
 from ..sparql.algebra import AlgebraNode, translate_query
 from ..sparql.ast import AskQuery, Query, SelectQuery
+from ..sparql.errors import SparqlEvalError
 from ..sparql.parser import parse_query
 from .hvs import normalize_query
 
@@ -67,6 +68,28 @@ class CachedPlan:
     raw_algebra: Optional[AlgebraNode]
     stats_version: Optional[int]
     notes: Tuple[Tuple[str, str], ...] = ()
+    #: Lazily compiled physical-plan factory (see :meth:`physical_factory`).
+    physical: Optional[object] = None
+
+    def physical_factory(self):
+        """The compiled physical plan for this entry, built on first use.
+
+        Compilation (BGP ordering, filter slots, join-key analysis) runs
+        once per cached plan; every page of a paginated execution then
+        instantiates a fresh operator tree from the same factory.  The
+        factory shares the entry's lifetime, so graph-version
+        invalidation of the entry also drops the physical plan.
+        """
+        if self.physical is None:
+            if self.algebra is None:
+                raise SparqlEvalError(
+                    "query form has no physical plan (CONSTRUCT runs on "
+                    "the recursive evaluator only)"
+                )
+            from ..sparql.planner import PhysicalPlanFactory
+
+            self.physical = PhysicalPlanFactory(self.query, self.algebra)
+        return self.physical
 
 
 class PlanCache:

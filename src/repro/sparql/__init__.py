@@ -14,6 +14,20 @@ from .lexer import Token, TokenType, tokenize
 from .parser import parse_query
 from .algebra import translate_query
 from .results import AskResult, GraphResult, SelectResult, results_from_json, results_to_json
+from .physical import PhysicalOperator, PlanStateError
+from .planner import PhysicalPlan, PhysicalPlanFactory, build_physical_plan
+from .executor import (
+    ExpiredTokenError,
+    MalformedTokenError,
+    Page,
+    RoundRobinScheduler,
+    TokenVersionError,
+    decode_continuation,
+    encode_continuation,
+    restore_plan,
+    run_quantum,
+    run_to_completion,
+)
 
 __all__ = [
     "tokenize",
@@ -37,4 +51,19 @@ __all__ = [
     "SparqlSyntaxError",
     "SparqlEvalError",
     "ExpressionError",
+    "PhysicalOperator",
+    "PlanStateError",
+    "PhysicalPlan",
+    "PhysicalPlanFactory",
+    "build_physical_plan",
+    "Page",
+    "RoundRobinScheduler",
+    "MalformedTokenError",
+    "TokenVersionError",
+    "ExpiredTokenError",
+    "encode_continuation",
+    "decode_continuation",
+    "restore_plan",
+    "run_quantum",
+    "run_to_completion",
 ]

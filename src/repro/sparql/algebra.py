@@ -62,6 +62,8 @@ __all__ = [
     "translate_pattern",
     "contains_aggregate",
     "expression_variables",
+    "certain_variables",
+    "possible_variables",
 ]
 
 
@@ -262,6 +264,88 @@ def expression_variables(expression: Expression) -> set:
         if expression.argument is None:
             return set()
         return expression_variables(expression.argument)
+    return set()
+
+
+# ----------------------------------------------------------------------
+# Static variable analysis
+# ----------------------------------------------------------------------
+
+
+def certain_variables(node: AlgebraNode) -> set:
+    """Variables bound in *every* solution the operator can produce.
+
+    This is the static produced-variable analysis join planning relies
+    on: hash-join keys are drawn from ``certain(left) & certain(right)``
+    so a key variable can never be unbound on either side.  Variables
+    that are only *possibly* bound (OPTIONAL right sides, BIND whose
+    expression may error, UNION branches that disagree) are excluded —
+    they are handled by the post-match compatibility check instead.
+    """
+    if isinstance(node, BGP):
+        return node.variables()
+    if isinstance(node, Join):
+        return certain_variables(node.left) | certain_variables(node.right)
+    if isinstance(node, (LeftJoin, Minus)):
+        return certain_variables(node.left)
+    if isinstance(node, Union):
+        if not node.branches:
+            return set()
+        certain = certain_variables(node.branches[0])
+        for branch in node.branches[1:]:
+            certain &= certain_variables(branch)
+        return certain
+    if isinstance(node, (Filter, Distinct, Reduced, OrderBy, TopK, Slice)):
+        return certain_variables(node.input)
+    if isinstance(node, Extend):
+        # BIND errors leave the variable unbound, so it is possible only.
+        return certain_variables(node.input)
+    if isinstance(node, ValuesTable):
+        return {
+            var.name
+            for index, var in enumerate(node.variables)
+            if all(row[index] is not None for row in node.rows)
+        }
+    if isinstance(node, Project):
+        inner = certain_variables(node.input)
+        if node.variables is None:
+            return inner
+        extended = {projection.var.name for projection in node.extensions}
+        return {
+            var.name
+            for var in node.variables
+            if var.name in inner and var.name not in extended
+        }
+    # Aggregation outputs may drop variables on expression errors or
+    # None group keys; Unit/Ask produce no variables.
+    return set()
+
+
+def possible_variables(node: AlgebraNode) -> set:
+    """Variables that *may* appear bound in a solution of the operator."""
+    if isinstance(node, BGP):
+        return node.variables()
+    if isinstance(node, (Join, LeftJoin)):
+        return possible_variables(node.left) | possible_variables(node.right)
+    if isinstance(node, Minus):
+        return possible_variables(node.left)
+    if isinstance(node, Union):
+        names: set = set()
+        for branch in node.branches:
+            names |= possible_variables(branch)
+        return names
+    if isinstance(node, (Filter, Distinct, Reduced, OrderBy, TopK, Slice)):
+        return possible_variables(node.input)
+    if isinstance(node, Extend):
+        return possible_variables(node.input) | {node.var.name}
+    if isinstance(node, ValuesTable):
+        return {var.name for var in node.variables}
+    if isinstance(node, Project):
+        if node.variables is None:
+            return possible_variables(node.input)
+        return {var.name for var in node.variables}
+    if isinstance(node, Aggregation):
+        return {projection.var.name for projection in node.projections}
     return set()
 
 

@@ -40,6 +40,7 @@ from .algebra import (
     Unit,
     Union,
     ValuesTable,
+    certain_variables,
     expression_variables,
     translate_query,
 )
@@ -130,6 +131,123 @@ def _binding_key(binding: Binding, names: Tuple[str, ...]) -> Tuple:
     return tuple(binding.get(name) for name in names)
 
 
+def _chain_first(first: Binding, rest: Iterator[Binding]) -> Iterator[Binding]:
+    """Re-attach a peeked first element in front of its iterator."""
+    yield first
+    yield from rest
+
+
+# ----------------------------------------------------------------------
+# BGP planning helpers
+#
+# Module-level so the physical planner (:mod:`repro.sparql.planner`)
+# makes the identical ordering and filter-placement decisions — the
+# two engines must execute the same plan for result and stats parity.
+# ----------------------------------------------------------------------
+
+
+def pattern_selectivity(pattern: TriplePatternNode, bound: set) -> Tuple[int, int]:
+    """(negated bound positions, estimated scan size) — lower is better."""
+    bound_positions = 0
+    for term in pattern:
+        if not isinstance(term, Var) or term.name in bound:
+            bound_positions += 1
+    return (-bound_positions, 0)
+
+
+def order_patterns(
+    patterns: Iterable[TriplePatternNode],
+) -> List[TriplePatternNode]:
+    """Greedy selectivity ordering of a BGP's triple patterns."""
+    remaining = list(patterns)
+    ordered: List[TriplePatternNode] = []
+    bound: set = set()
+    while remaining:
+        remaining.sort(key=lambda p: pattern_selectivity(p, bound))
+        chosen = remaining.pop(0)
+        ordered.append(chosen)
+        bound |= chosen.variables()
+    return ordered
+
+
+def assign_filter_slots(
+    ordered: List[TriplePatternNode], filters
+) -> List[List]:
+    """Attach each pushed-in filter at the earliest join depth where all
+    of its variables are bound, so failing candidates are discarded
+    before the remaining patterns are expanded.  Slot 0 guards the
+    initial (empty) binding; slot ``i + 1`` applies to rows produced by
+    pattern ``i``."""
+    filters_at: List[List] = [[] for _ in range(len(ordered) + 1)]
+    if not filters:
+        return filters_at
+    bound_after: List[set] = []
+    bound: set = set()
+    for pattern in ordered:
+        bound |= pattern.variables()
+        bound_after.append(set(bound))
+    for condition in filters:
+        needed = expression_variables(condition)
+        slot = len(ordered)
+        for index, available in enumerate(bound_after):
+            if needed <= available:
+                slot = index + 1
+                break
+        if not needed:
+            slot = 0
+        filters_at[slot].append(condition)
+    return filters_at
+
+
+def result_variables(query: Query, algebra: AlgebraNode) -> List[str]:
+    """The projection variable names of a SELECT, in output order.
+
+    For ``SELECT *`` the variables mentioned in the pattern are
+    collected in first-use order from the algebra tree.
+    """
+    assert isinstance(query, SelectQuery)
+    if query.projections is not None:
+        return [projection.var.name for projection in query.projections]
+    ordered: List[str] = []
+
+    def visit(node: AlgebraNode) -> None:
+        if isinstance(node, BGP):
+            for pattern in node.patterns:
+                for term in pattern:
+                    if isinstance(term, Var) and term.name not in ordered:
+                        ordered.append(term.name)
+        elif isinstance(node, (Join, LeftJoin, Minus)):
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, (Filter, Distinct, Reduced, Slice, OrderBy, TopK)):
+            visit(node.input)
+        elif isinstance(node, Extend):
+            visit(node.input)
+            if node.var.name not in ordered:
+                ordered.append(node.var.name)
+        elif isinstance(node, Union):
+            for branch in node.branches:
+                visit(branch)
+        elif isinstance(node, ValuesTable):
+            for var in node.variables:
+                if var.name not in ordered:
+                    ordered.append(var.name)
+        elif isinstance(node, Aggregation):
+            for projection in node.projections:
+                if projection.var.name not in ordered:
+                    ordered.append(projection.var.name)
+        elif isinstance(node, Project):
+            if node.variables is None:
+                visit(node.input)
+            else:
+                for var in node.variables:
+                    if var.name not in ordered:
+                        ordered.append(var.name)
+
+    visit(algebra)
+    return ordered
+
+
 class Evaluator:
     """Evaluates algebra trees against one :class:`Graph`.
 
@@ -180,49 +298,7 @@ class Evaluator:
             self._flush_metrics(snapshot)
 
     def _result_variables(self, query: Query, algebra: AlgebraNode) -> List[str]:
-        assert isinstance(query, SelectQuery)
-        if query.projections is not None:
-            return [projection.var.name for projection in query.projections]
-        # SELECT *: collect variables mentioned in the pattern, in first-use
-        # order, from the algebra tree.
-        ordered: List[str] = []
-
-        def visit(node: AlgebraNode) -> None:
-            if isinstance(node, BGP):
-                for pattern in node.patterns:
-                    for term in pattern:
-                        if isinstance(term, Var) and term.name not in ordered:
-                            ordered.append(term.name)
-            elif isinstance(node, (Join, LeftJoin, Minus)):
-                visit(node.left)
-                visit(node.right)
-            elif isinstance(node, (Filter, Distinct, Reduced, Slice, OrderBy, TopK)):
-                visit(node.input)
-            elif isinstance(node, Extend):
-                visit(node.input)
-                if node.var.name not in ordered:
-                    ordered.append(node.var.name)
-            elif isinstance(node, Union):
-                for branch in node.branches:
-                    visit(branch)
-            elif isinstance(node, ValuesTable):
-                for var in node.variables:
-                    if var.name not in ordered:
-                        ordered.append(var.name)
-            elif isinstance(node, Aggregation):
-                for projection in node.projections:
-                    if projection.var.name not in ordered:
-                        ordered.append(projection.var.name)
-            elif isinstance(node, Project):
-                if node.variables is None:
-                    visit(node.input)
-                else:
-                    for var in node.variables:
-                        if var.name not in ordered:
-                            ordered.append(var.name)
-
-        visit(algebra)
-        return ordered
+        return result_variables(query, algebra)
 
     # ------------------------------------------------------------------
     # CONSTRUCT
@@ -378,25 +454,12 @@ class Evaluator:
     def _pattern_selectivity(
         self, pattern: TriplePatternNode, bound: set
     ) -> Tuple[int, int]:
-        """(negated bound positions, estimated scan size) — lower is better."""
-        bound_positions = 0
-        for term in pattern:
-            if not isinstance(term, Var) or term.name in bound:
-                bound_positions += 1
-        return (-bound_positions, 0)
+        return pattern_selectivity(pattern, bound)
 
     def _order_patterns(
         self, patterns: Iterable[TriplePatternNode]
     ) -> List[TriplePatternNode]:
-        remaining = list(patterns)
-        ordered: List[TriplePatternNode] = []
-        bound: set = set()
-        while remaining:
-            remaining.sort(key=lambda p: self._pattern_selectivity(p, bound))
-            chosen = remaining.pop(0)
-            ordered.append(chosen)
-            bound |= chosen.variables()
-        return ordered
+        return order_patterns(patterns)
 
     def _eval_bgp(self, node: BGP) -> Iterator[Binding]:
         patterns = node.patterns
@@ -416,26 +479,7 @@ class Evaluator:
             ordered = list(patterns)
         else:
             ordered = self._order_patterns(patterns)
-        # Attach each pushed-in filter at the earliest join depth where all
-        # of its variables are bound, so failing candidates are discarded
-        # before the remaining patterns are expanded.
-        filters_at: List[List] = [[] for _ in range(len(ordered) + 1)]
-        if node.filters:
-            bound_after: List[set] = []
-            bound: set = set()
-            for pattern in ordered:
-                bound |= pattern.variables()
-                bound_after.append(set(bound))
-            for condition in node.filters:
-                needed = expression_variables(condition)
-                slot = len(ordered)
-                for index, available in enumerate(bound_after):
-                    if needed <= available:
-                        slot = index + 1
-                        break
-                if not needed:
-                    slot = 0
-                filters_at[slot].append(condition)
+        filters_at = assign_filter_slots(ordered, node.filters)
 
         def passes(index: int, binding: Binding) -> bool:
             for condition in filters_at[index]:
@@ -514,28 +558,38 @@ class Evaluator:
     # Joins
     # ------------------------------------------------------------------
 
-    def _shared_variables(
-        self, left_rows: List[Binding], right_rows: List[Binding]
-    ) -> Tuple[str, ...]:
-        left_vars: set = set()
-        for row in left_rows[:64]:
-            left_vars |= row.keys()
-        right_vars: set = set()
-        for row in right_rows[:64]:
-            right_vars |= row.keys()
-        return tuple(sorted(left_vars & right_vars))
+    @staticmethod
+    def _join_keys(node) -> Tuple[str, ...]:
+        """Hash-join key variables, derived statically from the algebra.
+
+        Keys are variables *certainly* bound on both sides (see
+        :func:`repro.sparql.algebra.certain_variables`), so a key lookup
+        can never miss a compatible row through an unbound variable.
+        Possibly-shared variables are left to the ``_compatible`` check.
+        """
+        return tuple(
+            sorted(
+                certain_variables(node.left) & certain_variables(node.right)
+            )
+        )
 
     def _eval_join(self, node: Join) -> Iterator[Binding]:
-        left_rows = list(self._eval(node.left))
-        if not left_rows:
+        # The probe (left) side streams: a Slice/TopK ancestor that stops
+        # pulling terminates the left subtree early instead of
+        # materializing it.  Only the build (right) side is held in
+        # memory, and only once the left side proves non-empty.
+        left_iter = iter(self._eval(node.left))
+        try:
+            first_left = next(left_iter)
+        except StopIteration:
             return
         right_rows = list(self._eval(node.right))
         if not right_rows:
             return
-        shared = self._shared_variables(left_rows, right_rows)
+        shared = self._join_keys(node)
         if not shared:
             _JOIN_PRODUCT.inc()
-            for left in left_rows:
+            for left in _chain_first(first_left, left_iter):
                 for right in right_rows:
                     if _compatible(left, right):
                         self.stats.intermediate_bindings += 1
@@ -545,22 +599,24 @@ class Evaluator:
         table: Dict[Tuple, List[Binding]] = {}
         for right in right_rows:
             table.setdefault(_binding_key(right, shared), []).append(right)
-        for left in left_rows:
+        for left in _chain_first(first_left, left_iter):
             for right in table.get(_binding_key(left, shared), ()):
                 if _compatible(left, right):
                     self.stats.intermediate_bindings += 1
                     yield _merge(left, right)
 
     def _eval_left_join(self, node: LeftJoin) -> Iterator[Binding]:
-        left_rows = list(self._eval(node.left))
-        if not left_rows:
+        left_iter = iter(self._eval(node.left))
+        try:
+            first_left = next(left_iter)
+        except StopIteration:
             return
         right_rows = list(self._eval(node.right))
-        shared = self._shared_variables(left_rows, right_rows)
+        shared = self._join_keys(node)
         table: Dict[Tuple, List[Binding]] = {}
         for right in right_rows:
             table.setdefault(_binding_key(right, shared), []).append(right)
-        for left in left_rows:
+        for left in _chain_first(first_left, left_iter):
             matched = False
             candidates = (
                 table.get(_binding_key(left, shared), ()) if shared else right_rows

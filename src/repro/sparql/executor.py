@@ -1,0 +1,356 @@
+"""Time-sliced execution of physical plans with continuation tokens.
+
+The executor is what turns the suspendable operator protocol
+(:mod:`repro.sparql.physical`) into the paper's responsiveness story: a
+plan runs for one *quantum* — until a wall-clock deadline or a row
+budget is hit — then suspends, and the caller receives the rows
+produced so far plus an opaque, serialisable **continuation token** that
+resumes the execution exactly where it stopped.  Endpoints thread the
+token through the simulated HTTP wire so clients page through heavy
+results (``LocalEndpoint.query(..., quantum_ms=, page_size=)``), and
+:class:`RoundRobinScheduler` multiplexes many live plans fairly so one
+heavy property expansion cannot monopolise the engine.
+
+Continuation tokens are stateless on the server: base64-encoded JSON
+carrying a format version, the graph version the execution started
+against, the query text, and the saved operator-state tree.  Decoding
+distinguishes three failure classes, each surfaced as a clean protocol
+error rather than a wrong answer:
+
+- **malformed** (:class:`MalformedTokenError`) — not base64/JSON, or the
+  state tree does not fit the plan compiled from the embedded query;
+- **cross-version** (:class:`TokenVersionError`) — minted by a different
+  token format version of the software;
+- **expired** (:class:`ExpiredTokenError`) — the graph changed since the
+  token was minted, so scan-offset replay is no longer meaningful; the
+  client must restart the query.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+from ..obs.metrics import REGISTRY
+from ..rdf.graph import Graph
+from .errors import SparqlError
+from .evaluator import EvalStats
+from .functions import Binding
+from .physical import PlanStateError
+from .planner import PhysicalPlan, PhysicalPlanFactory
+from .results import AskResult, SelectResult
+
+__all__ = [
+    "TOKEN_VERSION",
+    "DEFAULT_QUANTUM_MS",
+    "ContinuationError",
+    "MalformedTokenError",
+    "TokenVersionError",
+    "ExpiredTokenError",
+    "Page",
+    "run_quantum",
+    "run_to_completion",
+    "encode_continuation",
+    "decode_continuation",
+    "restore_plan",
+    "RoundRobinScheduler",
+]
+
+#: Format version minted into every continuation token.
+TOKEN_VERSION = 1
+
+#: Default time slice when paging is requested without an explicit quantum.
+DEFAULT_QUANTUM_MS = 50.0
+
+_PAGES_TOTAL = REGISTRY.counter(
+    "repro_exec_pages_total",
+    "Result pages served by the physical executor, by outcome",
+    labelnames=("outcome",),
+)
+_SUSPENSIONS_TOTAL = REGISTRY.counter(
+    "repro_exec_suspensions_total",
+    "Plan suspensions by trigger (deadline or row budget)",
+    labelnames=("reason",),
+)
+_RESUMES_TOTAL = REGISTRY.counter(
+    "repro_exec_resumes_total",
+    "Plan executions restored from a continuation token",
+)
+_TOKEN_REJECTS_TOTAL = REGISTRY.counter(
+    "repro_exec_token_rejects_total",
+    "Continuation tokens rejected, by failure class",
+    labelnames=("reason",),
+)
+_SCHEDULER_ROUNDS_TOTAL = REGISTRY.counter(
+    "repro_exec_scheduler_rounds_total",
+    "Completed round-robin scheduling rounds over live plans",
+)
+_OPERATOR_STEPS_TOTAL = REGISTRY.counter(
+    "repro_exec_operator_steps_total",
+    "Bounded next() steps driven through plan roots by the executor",
+)
+
+
+class ContinuationError(SparqlError):
+    """Base class for continuation-token protocol errors."""
+
+
+class MalformedTokenError(ContinuationError):
+    """The token is not decodable or does not fit the compiled plan."""
+
+
+class TokenVersionError(ContinuationError):
+    """The token was minted by an incompatible token-format version."""
+
+
+class ExpiredTokenError(ContinuationError):
+    """The graph changed since the token was minted; restart the query."""
+
+
+@dataclass
+class Page:
+    """One quantum's worth of results.
+
+    ``stats`` is the :class:`EvalStats` *delta* for this page only, so
+    the endpoint's cost model can charge simulated latency per page
+    instead of per query.  ``reason`` records why the quantum ended:
+    ``"complete"``, ``"deadline"``, or ``"row_budget"``.
+    """
+
+    rows: List[Binding]
+    variables: List[str]
+    complete: bool
+    reason: str
+    stats: EvalStats = field(default_factory=EvalStats)
+
+
+def _stats_delta(before: EvalStats, after: EvalStats) -> EvalStats:
+    return EvalStats(
+        intermediate_bindings=after.intermediate_bindings
+        - before.intermediate_bindings,
+        pattern_scans=after.pattern_scans - before.pattern_scans,
+        results=after.results - before.results,
+        groups=after.groups - before.groups,
+    )
+
+
+def run_quantum(
+    plan: PhysicalPlan,
+    quantum_ms: Optional[float] = None,
+    page_size: Optional[int] = None,
+) -> Page:
+    """Drive ``plan`` until done, deadline, or row budget.
+
+    With neither bound set this runs to completion.  The plan stays
+    live; serialising it into a token (or keeping it in a scheduler) is
+    the caller's choice.
+    """
+    before = EvalStats()
+    before.merge(plan.stats)
+    deadline = (
+        perf_counter() + quantum_ms / 1000.0 if quantum_ms is not None else None
+    )
+    rows: List[Binding] = []
+    reason = "complete"
+    root = plan.root
+    steps = 0
+    while not root.done:
+        row = root.next()
+        steps += 1
+        if row is not None:
+            rows.append(row)
+            plan.stats.results += 1
+            if page_size is not None and len(rows) >= page_size:
+                if not root.done:
+                    reason = "row_budget"
+                break
+        if deadline is not None and perf_counter() >= deadline:
+            if not root.done:
+                reason = "deadline"
+            break
+    _OPERATOR_STEPS_TOTAL.inc(steps)
+    complete = root.done
+    _PAGES_TOTAL.labels(outcome="complete" if complete else "suspended").inc()
+    if not complete:
+        _SUSPENSIONS_TOTAL.labels(reason=reason).inc()
+    return Page(
+        rows=rows,
+        variables=plan.variables,
+        complete=complete,
+        reason=reason if not complete else "complete",
+        stats=_stats_delta(before, plan.stats),
+    )
+
+
+def run_to_completion(plan: PhysicalPlan):
+    """Run a plan to the end and box the result like the evaluator.
+
+    Returns an :class:`AskResult` for ASK plans (short-circuiting on the
+    first solution) and a :class:`SelectResult` otherwise.
+    """
+    if plan.is_ask:
+        while not plan.root.done:
+            if plan.root.next() is not None:
+                return AskResult(True, stats=plan.stats)
+        return AskResult(False, stats=plan.stats)
+    page = run_quantum(plan)
+    return SelectResult(page.variables, page.rows, stats=plan.stats)
+
+
+# ----------------------------------------------------------------------
+# Continuation tokens
+# ----------------------------------------------------------------------
+
+
+def encode_continuation(plan: PhysicalPlan, graph: Graph, query_text: str) -> str:
+    """Mint the opaque resume token for a suspended plan."""
+    blob = {
+        "v": TOKEN_VERSION,
+        "graph": graph.version,
+        "query": query_text,
+        "state": plan.save(),
+    }
+    return base64.urlsafe_b64encode(
+        json.dumps(blob, separators=(",", ":")).encode("utf-8")
+    ).decode("ascii")
+
+
+def decode_continuation(token: str) -> Dict:
+    """Decode and validate a token's envelope (not yet its state tree).
+
+    Raises :class:`MalformedTokenError` on garbage and
+    :class:`TokenVersionError` on a format-version mismatch.  Graph
+    freshness is checked in :func:`restore_plan`, where the graph is at
+    hand.
+    """
+    try:
+        text = base64.urlsafe_b64decode(token.encode("ascii")).decode("utf-8")
+        blob = json.loads(text)
+    except (ValueError, binascii.Error, UnicodeDecodeError, AttributeError):
+        _TOKEN_REJECTS_TOTAL.labels(reason="malformed").inc()
+        raise MalformedTokenError("continuation token is not decodable")
+    if not isinstance(blob, dict) or not isinstance(blob.get("state"), dict):
+        _TOKEN_REJECTS_TOTAL.labels(reason="malformed").inc()
+        raise MalformedTokenError("continuation token has no state tree")
+    if blob.get("v") != TOKEN_VERSION:
+        _TOKEN_REJECTS_TOTAL.labels(reason="version").inc()
+        raise TokenVersionError(
+            f"continuation token version {blob.get('v')!r} "
+            f"is not supported (expected {TOKEN_VERSION})"
+        )
+    if not isinstance(blob.get("graph"), int) or not isinstance(
+        blob.get("query"), str
+    ):
+        _TOKEN_REJECTS_TOTAL.labels(reason="malformed").inc()
+        raise MalformedTokenError("continuation token envelope is incomplete")
+    return blob
+
+
+def restore_plan(
+    factory: PhysicalPlanFactory, graph: Graph, blob: Dict
+) -> PhysicalPlan:
+    """Rebuild a live plan from a decoded token over the current graph.
+
+    Raises :class:`ExpiredTokenError` when the graph has moved on since
+    the token was minted (a resumed scan-offset replay would silently
+    skip or duplicate rows — invalidation is the only sound answer), and
+    :class:`MalformedTokenError` when the state tree does not fit the
+    plan compiled from the token's own query.
+    """
+    if blob["graph"] != graph.version:
+        _TOKEN_REJECTS_TOTAL.labels(reason="expired").inc()
+        raise ExpiredTokenError(
+            "the dataset changed since this continuation token was issued; "
+            "restart the query"
+        )
+    plan = factory.instantiate(graph)
+    try:
+        plan.load(blob["state"])
+    except (PlanStateError, KeyError, TypeError, ValueError) as error:
+        _TOKEN_REJECTS_TOTAL.labels(reason="malformed").inc()
+        raise MalformedTokenError(
+            f"continuation state does not fit the query's plan: {error}"
+        )
+    _RESUMES_TOTAL.inc()
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Fair scheduling
+# ----------------------------------------------------------------------
+
+
+class RoundRobinScheduler:
+    """Round-robin multiplexer over live plan executions.
+
+    Each concurrent exploration session submits its plan under a key;
+    :meth:`step` runs the next session in rotation for one quantum and
+    :meth:`run_round` gives every live session exactly one quantum.
+    Plans stay live between turns (no serialisation inside the
+    scheduler — tokens are a wire-boundary concern), so the cost of
+    fairness is just the bounded quantum itself.
+    """
+
+    def __init__(
+        self,
+        quantum_ms: float = DEFAULT_QUANTUM_MS,
+        page_size: Optional[int] = None,
+    ):
+        self.quantum_ms = quantum_ms
+        self.page_size = page_size
+        self._sessions: "OrderedDict[object, PhysicalPlan]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def submit(self, key, plan: PhysicalPlan) -> None:
+        if key in self._sessions:
+            raise ValueError(f"session {key!r} is already scheduled")
+        self._sessions[key] = plan
+
+    def cancel(self, key) -> None:
+        self._sessions.pop(key, None)
+
+    def step(self) -> Optional[Tuple[object, Page]]:
+        """Run the next session in rotation for one quantum.
+
+        Returns ``(key, page)``, or ``None`` when nothing is scheduled.
+        Completed sessions leave the rotation; suspended ones move to
+        the back of the queue.
+        """
+        if not self._sessions:
+            return None
+        key, plan = next(iter(self._sessions.items()))
+        self._sessions.pop(key)
+        page = run_quantum(
+            plan, quantum_ms=self.quantum_ms, page_size=self.page_size
+        )
+        if not page.complete:
+            self._sessions[key] = plan
+        return key, page
+
+    def run_round(self) -> List[Tuple[object, Page]]:
+        """One quantum for every currently live session, in queue order."""
+        pages: List[Tuple[object, Page]] = []
+        for _ in range(len(self._sessions)):
+            result = self.step()
+            if result is None:
+                break
+            pages.append(result)
+        _SCHEDULER_ROUNDS_TOTAL.inc()
+        return pages
+
+    def drain(self) -> Dict[object, List[Binding]]:
+        """Run rounds until every session completes; rows per session."""
+        collected: Dict[object, List[Binding]] = {
+            key: [] for key in self._sessions
+        }
+        while self._sessions:
+            for key, page in self.run_round():
+                collected.setdefault(key, []).extend(page.rows)
+        return collected

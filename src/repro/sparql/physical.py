@@ -1,0 +1,1453 @@
+"""Suspendable physical operators for the SPARQL engine.
+
+The evaluator (:mod:`repro.sparql.evaluator`) is a tree of recursive
+generators: it always runs to completion and its control state lives on
+the Python stack, so a heavy query cannot be paused.  This module is the
+engine's *physical* layer in the style of sage-engine's preemptable
+iterators: every operator is an explicit object with a uniform
+
+    ``next() -> Optional[Binding]`` / ``save() -> state`` / ``load(state)``
+
+protocol.  ``next()`` performs one *bounded* unit of work and returns
+either a solution mapping, or ``None`` when the call made progress but
+produced no row yet (a build phase, a filtered candidate, a suspended
+child).  ``done`` reports exhaustion.  Because no control state hides in
+generator frames, an operator tree can be stopped between any two
+``next()`` calls, serialised with :meth:`PhysicalOperator.save` into a
+JSON-able state tree, and reconstructed later with
+:meth:`PhysicalOperator.load` — the substrate of the time-quantum
+executor (:mod:`repro.sparql.executor`) and its continuation tokens.
+
+Determinism contract: ``load`` replays index scans by skipping
+``offset`` candidates, which reproduces the original sequence as long as
+the graph is unchanged (the executor enforces this through the graph
+``version`` stamped into every token) and iteration happens in the same
+process.  Blocking state (hash-join build tables, DISTINCT seen sets,
+heaps, aggregation groups) is serialised verbatim, so a restored plan
+continues exactly where it stopped.
+
+Operator trees are compiled from algebra trees by
+:mod:`repro.sparql.planner`; this module only defines the operators.
+"""
+
+from __future__ import annotations
+
+import heapq
+from time import perf_counter
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..rdf.terms import Term
+from .ast import PathExpr, TriplePatternNode, Var
+from .errors import ExpressionError, SparqlError, SparqlEvalError
+from .functions import (
+    Binding,
+    effective_boolean_value,
+    evaluate_expression,
+    term_order_key,
+)
+from .paths import eval_path
+from .results import term_from_json, term_to_json
+
+# Private on purpose: the physical layer shares the evaluator's join
+# strategy metric and ordering helpers so both engines report and rank
+# identically.
+from .evaluator import (
+    _JOIN_HASH,
+    _JOIN_PRODUCT,
+    _Reversed,
+    _TopKEntry,
+    _binding_key,
+    _compatible,
+    _merge,
+)
+
+__all__ = [
+    "PlanStateError",
+    "PhysicalOperator",
+    "SingletonOp",
+    "ValuesOp",
+    "PatternScanOp",
+    "FilterOp",
+    "ExtendOp",
+    "HashJoinOp",
+    "LeftJoinOp",
+    "MinusOp",
+    "UnionOp",
+    "AggregationOp",
+    "ProjectOp",
+    "DistinctOp",
+    "ReducedOp",
+    "OrderByOp",
+    "TopKOp",
+    "SliceOp",
+    "encode_binding",
+    "decode_binding",
+    "drain",
+]
+
+#: Child rows pulled per ``next()`` call by blocking (build) phases.
+BUILD_BATCH = 32
+#: Scan candidates examined per ``next()`` call by a pattern scan.
+SCAN_BATCH = 64
+
+_EXHAUSTED = object()
+
+
+class PlanStateError(SparqlError):
+    """A saved operator state does not match the plan it is loaded into."""
+
+
+# ----------------------------------------------------------------------
+# State encoding
+# ----------------------------------------------------------------------
+
+
+def encode_binding(binding: Binding) -> List:
+    """JSON-able encoding of one solution mapping (order-preserving)."""
+    return [[name, term_to_json(term)] for name, term in binding.items()]
+
+
+def decode_binding(blob: List) -> Binding:
+    return {name: term_from_json(term) for name, term in blob}
+
+
+def _encode_opt_term(term: Optional[Term]):
+    return None if term is None else term_to_json(term)
+
+
+def _decode_opt_term(blob) -> Optional[Term]:
+    return None if blob is None else term_from_json(blob)
+
+
+def _check(conditions, binding: Binding, runtime) -> bool:
+    """Whether ``binding`` passes every condition (errors count as false)."""
+    for condition in conditions:
+        try:
+            if not effective_boolean_value(
+                evaluate_expression(condition, binding, context=runtime)
+            ):
+                return False
+        except ExpressionError:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Base operator
+# ----------------------------------------------------------------------
+
+
+class PhysicalOperator:
+    """Base class: uniform ``next()/save()/load()`` with work counters.
+
+    ``runtime`` is the shared per-execution context — an
+    :class:`repro.sparql.evaluator.Evaluator` instance whose ``graph``
+    the scans read, whose ``stats`` every operator counts into (the cost
+    model bills pages from the deltas), and which serves as the
+    expression-evaluation context so ``EXISTS { ... }`` keeps working
+    (EXISTS sub-patterns run through the evaluator and are the one
+    non-preemptible island, as in sage).
+
+    ``rows_produced`` / ``wall_s`` / ``calls`` are live observability
+    counters; ``EXPLAIN ANALYZE`` on the physical engine reads them
+    directly instead of wrapping iterators in probe spans.
+    """
+
+    label = "Physical"
+
+    def __init__(self, runtime):
+        self.runtime = runtime
+        self.done = False
+        self.rows_produced = 0
+        self.wall_s = 0.0
+        self.calls = 0
+        self.algebra = None  # back-pointer set by the planner
+
+    # -- protocol -------------------------------------------------------
+
+    def next(self) -> Optional[Binding]:
+        """One bounded unit of work; a row, or ``None`` (progress only)."""
+        started = perf_counter()
+        self.calls += 1
+        try:
+            row = self._next()
+        finally:
+            self.wall_s += perf_counter() - started
+        if row is not None:
+            self.rows_produced += 1
+        return row
+
+    def _next(self) -> Optional[Binding]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def children(self) -> List["PhysicalOperator"]:
+        return []
+
+    def detail(self) -> str:
+        return ""
+
+    def walk(self) -> Iterator["PhysicalOperator"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    # -- suspension -----------------------------------------------------
+
+    def save(self) -> Dict:
+        """Serialise the operator (and its subtree) to JSON-able state."""
+        state = {"op": self.label, "done": self.done}
+        state.update(self._save())
+        return state
+
+    def load(self, state: Dict) -> None:
+        """Restore a subtree from :meth:`save` output."""
+        if not isinstance(state, dict) or state.get("op") != self.label:
+            raise PlanStateError(
+                f"saved state is for {state.get('op') if isinstance(state, dict) else state!r}, "
+                f"not {self.label}"
+            )
+        self.done = bool(state.get("done"))
+        self._load(state)
+
+    def _save(self) -> Dict:
+        return {}
+
+    def _load(self, state: Dict) -> None:
+        pass
+
+
+# ----------------------------------------------------------------------
+# Leaves
+# ----------------------------------------------------------------------
+
+
+class SingletonOp(PhysicalOperator):
+    """The unit table: one empty solution (guarded by var-free filters)."""
+
+    label = "Singleton"
+
+    def __init__(self, runtime, guards=()):
+        super().__init__(runtime)
+        self.guards = tuple(guards)
+        self._emitted = False
+
+    def _next(self) -> Optional[Binding]:
+        self.done = True
+        if self._emitted:
+            return None
+        self._emitted = True
+        if not _check(self.guards, {}, self.runtime):
+            return None
+        return {}
+
+    def _save(self) -> Dict:
+        return {"emitted": self._emitted}
+
+    def _load(self, state: Dict) -> None:
+        self._emitted = bool(state.get("emitted"))
+
+
+class ValuesOp(PhysicalOperator):
+    """An inline VALUES table."""
+
+    label = "Values"
+
+    def __init__(self, runtime, variables, rows):
+        super().__init__(runtime)
+        self.variables = list(variables)
+        self.rows = list(rows)
+        self._offset = 0
+
+    def detail(self) -> str:
+        names = " ".join(f"?{var.name}" for var in self.variables)
+        return f"{len(self.rows)} rows over {names}"
+
+    def _next(self) -> Optional[Binding]:
+        if self._offset >= len(self.rows):
+            self.done = True
+            return None
+        row = self.rows[self._offset]
+        self._offset += 1
+        if self._offset >= len(self.rows):
+            self.done = True
+        binding = {
+            var.name: value
+            for var, value in zip(self.variables, row)
+            if value is not None
+        }
+        self.runtime.stats.intermediate_bindings += 1
+        return binding
+
+    def _save(self) -> Dict:
+        return {"offset": self._offset}
+
+    def _load(self, state: Dict) -> None:
+        self._offset = int(state.get("offset", 0))
+
+
+# ----------------------------------------------------------------------
+# Index-nested-loop pattern scan
+# ----------------------------------------------------------------------
+
+
+class PatternScanOp(PhysicalOperator):
+    """One stage of the BGP index-nested-loop join.
+
+    For every binding produced by ``child``, instantiates the triple
+    pattern and scans the graph indexes (or evaluates a property path),
+    merging consistent matches.  ``post_filters`` are the BGP filters
+    the optimizer pushed to this join depth; ``pre_filters`` (first
+    stage only) guard the incoming binding before any scan is issued.
+
+    Suspension state is the child's state plus the current outer
+    binding and the number of candidates consumed from its scan; resume
+    re-issues the scan and skips that many candidates, which is exact
+    for an unchanged graph within one process.
+    """
+
+    label = "PatternScan"
+
+    def __init__(self, runtime, child, pattern: TriplePatternNode,
+                 pre_filters=(), post_filters=()):
+        super().__init__(runtime)
+        self.child = child
+        self.pattern = pattern
+        self.pre_filters = tuple(pre_filters)
+        self.post_filters = tuple(post_filters)
+        self._current: Optional[Binding] = None
+        self._matches = None
+        self._offset = 0
+
+    def children(self) -> List[PhysicalOperator]:
+        return [self.child]
+
+    def detail(self) -> str:
+        text = str(self.pattern)
+        extras = []
+        if self.pre_filters:
+            extras.append(f"+{len(self.pre_filters)} guards")
+        if self.post_filters:
+            extras.append(f"+{len(self.post_filters)} inline filters")
+        return text + (" " + " ".join(extras) if extras else "")
+
+    # -- scanning -------------------------------------------------------
+
+    @staticmethod
+    def _instantiate(term, binding: Binding):
+        if isinstance(term, Var):
+            return binding.get(term.name)
+        return term
+
+    def _start_scan(self, binding: Binding) -> None:
+        graph = self.runtime.graph
+        self._current = binding
+        self._offset = 0
+        self.runtime.stats.pattern_scans += 1
+        if isinstance(self.pattern.predicate, PathExpr):
+            subject = self._instantiate(self.pattern.subject, binding)
+            object = self._instantiate(self.pattern.object, binding)
+            self._matches = eval_path(
+                graph, subject, self.pattern.predicate, object
+            )
+        else:
+            subject = self._instantiate(self.pattern.subject, binding)
+            predicate = self._instantiate(self.pattern.predicate, binding)
+            object = self._instantiate(self.pattern.object, binding)
+            self._matches = graph.triples(subject, predicate, object)
+
+    def _extend(self, candidate) -> Optional[Binding]:
+        binding = dict(self._current)
+        if isinstance(self.pattern.predicate, PathExpr):
+            start, end = candidate
+            pairs = ((self.pattern.subject, start), (self.pattern.object, end))
+        else:
+            pairs = tuple(zip(self.pattern, candidate))
+        for term, value in pairs:
+            if isinstance(term, Var):
+                existing = binding.get(term.name)
+                if existing is None:
+                    binding[term.name] = value
+                elif existing != value:
+                    return None
+        return binding
+
+    def _next(self) -> Optional[Binding]:
+        for _ in range(SCAN_BATCH):
+            if self._matches is not None:
+                candidate = next(self._matches, _EXHAUSTED)
+                if candidate is _EXHAUSTED:
+                    self._matches = None
+                    self._current = None
+                    continue
+                self._offset += 1
+                row = self._extend(candidate)
+                if row is None:
+                    continue
+                self.runtime.stats.intermediate_bindings += 1
+                if _check(self.post_filters, row, self.runtime):
+                    return row
+                continue
+            if self.child.done:
+                self.done = True
+                return None
+            outer = self.child.next()
+            if outer is None:
+                return None
+            if self.pre_filters and not _check(
+                self.pre_filters, outer, self.runtime
+            ):
+                continue
+            self._start_scan(outer)
+        return None
+
+    # -- suspension -----------------------------------------------------
+
+    def _save(self) -> Dict:
+        return {
+            "child": self.child.save(),
+            "current": (
+                encode_binding(self._current)
+                if self._current is not None
+                else None
+            ),
+            "offset": self._offset,
+        }
+
+    def _load(self, state: Dict) -> None:
+        self.child.load(state["child"])
+        current = state.get("current")
+        self._current = None
+        self._matches = None
+        self._offset = 0
+        if current is not None:
+            binding = decode_binding(current)
+            offset = int(state.get("offset", 0))
+            self._start_scan(binding)
+            # _start_scan re-bills the scan; resume must not double-count.
+            self.runtime.stats.pattern_scans -= 1
+            for _ in range(offset):
+                if next(self._matches, _EXHAUSTED) is _EXHAUSTED:
+                    break
+            self._offset = offset
+
+
+# ----------------------------------------------------------------------
+# Row-at-a-time operators
+# ----------------------------------------------------------------------
+
+
+class _UnaryOp(PhysicalOperator):
+    """Shared plumbing for operators with one child and no extra state."""
+
+    def __init__(self, runtime, child):
+        super().__init__(runtime)
+        self.child = child
+
+    def children(self) -> List[PhysicalOperator]:
+        return [self.child]
+
+    def _pull(self) -> Optional[Binding]:
+        """One child row, marking ``done`` when the child is exhausted."""
+        if self.child.done:
+            self.done = True
+            return None
+        row = self.child.next()
+        if row is None and self.child.done:
+            self.done = True
+        return row
+
+    def _save(self) -> Dict:
+        return {"child": self.child.save()}
+
+    def _load(self, state: Dict) -> None:
+        self.child.load(state["child"])
+
+
+class FilterOp(_UnaryOp):
+    """A standalone FILTER (counts passing rows, like the evaluator)."""
+
+    label = "Filter"
+
+    def __init__(self, runtime, child, condition):
+        super().__init__(runtime, child)
+        self.condition = condition
+
+    def detail(self) -> str:
+        return "condition"
+
+    def _next(self) -> Optional[Binding]:
+        row = self._pull()
+        if row is None:
+            return None
+        if _check((self.condition,), row, self.runtime):
+            self.runtime.stats.intermediate_bindings += 1
+            return row
+        return None
+
+
+class ExtendOp(_UnaryOp):
+    """BIND: extends each row with a computed variable."""
+
+    label = "Extend"
+
+    def __init__(self, runtime, child, var, expression):
+        super().__init__(runtime, child)
+        self.var = var
+        self.expression = expression
+
+    def detail(self) -> str:
+        return f"BIND ?{self.var.name}"
+
+    def _next(self) -> Optional[Binding]:
+        row = self._pull()
+        if row is None:
+            return None
+        if self.var.name in row:
+            raise SparqlEvalError(f"BIND would rebind ?{self.var.name}")
+        out = dict(row)
+        try:
+            out[self.var.name] = evaluate_expression(
+                self.expression, row, context=self.runtime
+            )
+        except ExpressionError:
+            pass  # BIND errors leave the variable unbound
+        self.runtime.stats.intermediate_bindings += 1
+        return out
+
+
+class ProjectOp(_UnaryOp):
+    """SELECT projection (with expression extensions)."""
+
+    label = "Project"
+
+    def __init__(self, runtime, child, variables, extensions=()):
+        super().__init__(runtime, child)
+        self.variables = None if variables is None else list(variables)
+        self.extensions = {
+            projection.var.name: projection.expression
+            for projection in extensions
+        }
+
+    def detail(self) -> str:
+        if self.variables is None:
+            return "*"
+        return " ".join(f"?{var.name}" for var in self.variables)
+
+    def _next(self) -> Optional[Binding]:
+        row = self._pull()
+        if row is None:
+            return None
+        if self.variables is None:
+            return row
+        out: Binding = {}
+        for var in self.variables:
+            expression = self.extensions.get(var.name)
+            if expression is not None:
+                try:
+                    out[var.name] = evaluate_expression(
+                        expression, row, context=self.runtime
+                    )
+                except ExpressionError:
+                    pass
+            elif var.name in row:
+                out[var.name] = row[var.name]
+        return out
+
+
+class _KeyOrder:
+    """First-seen variable order for stable dedup keys (see evaluator)."""
+
+    __slots__ = ("order", "known")
+
+    def __init__(self) -> None:
+        self.order: List[str] = []
+        self.known: set = set()
+
+    def key(self, binding: Binding) -> Tuple:
+        for name in binding:
+            if name not in self.known:
+                self.known.add(name)
+                self.order.append(name)
+        return tuple(
+            (name, binding[name]) for name in self.order if name in binding
+        )
+
+
+def _encode_key(key: Tuple) -> List:
+    return [[name, term_to_json(term)] for name, term in key]
+
+
+def _decode_key(blob: List) -> Tuple:
+    return tuple((name, term_from_json(term)) for name, term in blob)
+
+
+class DistinctOp(_UnaryOp):
+    """Streaming DISTINCT over a serialisable seen-set."""
+
+    label = "Distinct"
+
+    def __init__(self, runtime, child):
+        super().__init__(runtime, child)
+        self._order = _KeyOrder()
+        self._seen: set = set()
+
+    def _next(self) -> Optional[Binding]:
+        row = self._pull()
+        if row is None:
+            return None
+        key = self._order.key(row)
+        if key in self._seen:
+            return None
+        self._seen.add(key)
+        return row
+
+    def _save(self) -> Dict:
+        return {
+            "child": self.child.save(),
+            "order": list(self._order.order),
+            "seen": [_encode_key(key) for key in self._seen],
+        }
+
+    def _load(self, state: Dict) -> None:
+        self.child.load(state["child"])
+        self._order = _KeyOrder()
+        self._order.order = list(state.get("order", ()))
+        self._order.known = set(self._order.order)
+        self._seen = {_decode_key(blob) for blob in state.get("seen", ())}
+
+
+class ReducedOp(_UnaryOp):
+    """REDUCED: drops adjacent duplicates only."""
+
+    label = "Reduced"
+
+    def __init__(self, runtime, child):
+        super().__init__(runtime, child)
+        self._order = _KeyOrder()
+        self._previous: Optional[Tuple] = None
+
+    def _next(self) -> Optional[Binding]:
+        row = self._pull()
+        if row is None:
+            return None
+        key = self._order.key(row)
+        if key == self._previous:
+            return None
+        self._previous = key
+        return row
+
+    def _save(self) -> Dict:
+        return {
+            "child": self.child.save(),
+            "order": list(self._order.order),
+            "previous": (
+                _encode_key(self._previous)
+                if self._previous is not None
+                else None
+            ),
+        }
+
+    def _load(self, state: Dict) -> None:
+        self.child.load(state["child"])
+        self._order = _KeyOrder()
+        self._order.order = list(state.get("order", ()))
+        self._order.known = set(self._order.order)
+        previous = state.get("previous")
+        self._previous = _decode_key(previous) if previous is not None else None
+
+
+class SliceOp(_UnaryOp):
+    """OFFSET/LIMIT; stops pulling its child once the limit is reached."""
+
+    label = "Slice"
+
+    def __init__(self, runtime, child, offset=0, limit=None):
+        super().__init__(runtime, child)
+        self.offset = offset
+        self.limit = limit
+        self._skipped = 0
+        self._emitted = 0
+
+    def detail(self) -> str:
+        parts = []
+        if self.offset:
+            parts.append(f"offset {self.offset}")
+        if self.limit is not None:
+            parts.append(f"limit {self.limit}")
+        return " ".join(parts)
+
+    def _next(self) -> Optional[Binding]:
+        if self.limit is not None and self._emitted >= self.limit:
+            self.done = True
+            return None
+        row = self._pull()
+        if row is None:
+            return None
+        if self._skipped < self.offset:
+            self._skipped += 1
+            return None
+        self._emitted += 1
+        if self.limit is not None and self._emitted >= self.limit:
+            self.done = True
+        return row
+
+    def _save(self) -> Dict:
+        return {
+            "child": self.child.save(),
+            "skipped": self._skipped,
+            "emitted": self._emitted,
+        }
+
+    def _load(self, state: Dict) -> None:
+        self.child.load(state["child"])
+        self._skipped = int(state.get("skipped", 0))
+        self._emitted = int(state.get("emitted", 0))
+
+
+class UnionOp(PhysicalOperator):
+    """Branches evaluated in order, concatenated."""
+
+    label = "Union"
+
+    def __init__(self, runtime, branches):
+        super().__init__(runtime)
+        self.branches = list(branches)
+        self._index = 0
+
+    def children(self) -> List[PhysicalOperator]:
+        return list(self.branches)
+
+    def detail(self) -> str:
+        return f"{len(self.branches)} branches"
+
+    def _next(self) -> Optional[Binding]:
+        while self._index < len(self.branches):
+            branch = self.branches[self._index]
+            if branch.done:
+                self._index += 1
+                continue
+            row = branch.next()
+            if row is not None:
+                self.runtime.stats.intermediate_bindings += 1
+                return row
+            return None
+        self.done = True
+        return None
+
+    def _save(self) -> Dict:
+        return {
+            "index": self._index,
+            "branches": [branch.save() for branch in self.branches],
+        }
+
+    def _load(self, state: Dict) -> None:
+        self._index = int(state.get("index", 0))
+        saved = state.get("branches", ())
+        if len(saved) != len(self.branches):
+            raise PlanStateError("union branch count mismatch")
+        for branch, blob in zip(self.branches, saved):
+            branch.load(blob)
+
+
+# ----------------------------------------------------------------------
+# Joins
+# ----------------------------------------------------------------------
+
+
+class HashJoinOp(PhysicalOperator):
+    """Hash join: build the right side, stream the left (probe) side.
+
+    Phases: ``peek`` pulls the first left row (so an empty left never
+    evaluates the right subtree, matching the evaluator's laziness),
+    ``build`` drains the right side into buckets in bounded chunks, and
+    ``probe`` streams the left.  With no key variables the single ``()``
+    bucket holds every right row and the join degrades to a product
+    guarded by the compatibility check.  Because the probe side streams,
+    a ``Slice`` ancestor bounds how much of the left subtree is ever
+    scanned.
+    """
+
+    label = "HashJoin"
+
+    def __init__(self, runtime, left, right, keys: Tuple[str, ...]):
+        super().__init__(runtime)
+        self.left = left
+        self.right = right
+        self.keys = tuple(keys)
+        self._phase = "peek"
+        self._pending: Optional[Binding] = None  # peeked first left row
+        self._table: Dict[Tuple, List[Binding]] = {}
+        self._build_rows = 0
+        self._probe: Optional[Binding] = None
+        self._bucket: List[Binding] = []
+        self._bucket_index = 0
+
+    def children(self) -> List[PhysicalOperator]:
+        return [self.left, self.right]
+
+    def detail(self) -> str:
+        if self.keys:
+            return "on " + " ".join(f"?{name}" for name in self.keys)
+        return "product (no certain shared variables)"
+
+    def _next(self) -> Optional[Binding]:
+        if self._phase == "peek":
+            if self.left.done:
+                self.done = True
+                return None
+            row = self.left.next()
+            if row is None:
+                if self.left.done:
+                    self.done = True
+                return None
+            self._pending = row
+            self._phase = "build"
+            return None
+        if self._phase == "build":
+            for _ in range(BUILD_BATCH):
+                if self.right.done:
+                    self._phase = "probe"
+                    (_JOIN_HASH if self.keys else _JOIN_PRODUCT).inc()
+                    if not self._build_rows:
+                        self.done = True
+                    return None
+                row = self.right.next()
+                if row is None:
+                    return None
+                self._table.setdefault(
+                    _binding_key(row, self.keys), []
+                ).append(row)
+                self._build_rows += 1
+            return None
+        # probe
+        for _ in range(BUILD_BATCH):
+            if self._probe is not None:
+                if self._bucket_index < len(self._bucket):
+                    right = self._bucket[self._bucket_index]
+                    self._bucket_index += 1
+                    if _compatible(self._probe, right):
+                        self.runtime.stats.intermediate_bindings += 1
+                        return _merge(self._probe, right)
+                    continue
+                self._probe = None
+            row = self._pending
+            self._pending = None
+            if row is None:
+                if self.left.done:
+                    self.done = True
+                    return None
+                row = self.left.next()
+                if row is None:
+                    return None
+            self._probe = row
+            self._bucket = self._table.get(_binding_key(row, self.keys), [])
+            self._bucket_index = 0
+        return None
+
+    def _save(self) -> Dict:
+        return {
+            "phase": self._phase,
+            "left": self.left.save(),
+            "right": self.right.save(),
+            "pending": (
+                encode_binding(self._pending)
+                if self._pending is not None
+                else None
+            ),
+            "table": [
+                encode_binding(row)
+                for bucket in self._table.values()
+                for row in bucket
+            ],
+            "probe": (
+                encode_binding(self._probe)
+                if self._probe is not None
+                else None
+            ),
+            "bucket_index": self._bucket_index,
+        }
+
+    def _load(self, state: Dict) -> None:
+        self.left.load(state["left"])
+        self.right.load(state["right"])
+        self._phase = state.get("phase", "peek")
+        pending = state.get("pending")
+        self._pending = decode_binding(pending) if pending is not None else None
+        self._table = {}
+        self._build_rows = 0
+        for blob in state.get("table", ()):
+            row = decode_binding(blob)
+            self._table.setdefault(_binding_key(row, self.keys), []).append(row)
+            self._build_rows += 1
+        probe = state.get("probe")
+        self._probe = decode_binding(probe) if probe is not None else None
+        self._bucket = (
+            self._table.get(_binding_key(self._probe, self.keys), [])
+            if self._probe is not None
+            else []
+        )
+        self._bucket_index = int(state.get("bucket_index", 0))
+
+
+class LeftJoinOp(PhysicalOperator):
+    """OPTIONAL: hash left-outer join with an optional join condition."""
+
+    label = "LeftJoin"
+
+    def __init__(self, runtime, left, right, keys: Tuple[str, ...], condition=None):
+        super().__init__(runtime)
+        self.left = left
+        self.right = right
+        self.keys = tuple(keys)
+        self.condition = condition
+        self._phase = "peek"
+        self._pending: Optional[Binding] = None
+        self._table: Dict[Tuple, List[Binding]] = {}
+        self._all_rows: List[Binding] = []
+        self._probe: Optional[Binding] = None
+        self._bucket: List[Binding] = []
+        self._bucket_index = 0
+        self._matched = False
+
+    def children(self) -> List[PhysicalOperator]:
+        return [self.left, self.right]
+
+    def detail(self) -> str:
+        base = (
+            "on " + " ".join(f"?{name}" for name in self.keys)
+            if self.keys
+            else "unkeyed"
+        )
+        return base + (" with condition" if self.condition is not None else "")
+
+    def _bucket_for(self, row: Binding) -> List[Binding]:
+        if self.keys:
+            return self._table.get(_binding_key(row, self.keys), [])
+        return self._all_rows
+
+    def _next(self) -> Optional[Binding]:
+        if self._phase == "peek":
+            if self.left.done:
+                self.done = True
+                return None
+            row = self.left.next()
+            if row is None:
+                if self.left.done:
+                    self.done = True
+                return None
+            self._pending = row
+            self._phase = "build"
+            return None
+        if self._phase == "build":
+            for _ in range(BUILD_BATCH):
+                if self.right.done:
+                    self._phase = "probe"
+                    return None
+                row = self.right.next()
+                if row is None:
+                    return None
+                self._all_rows.append(row)
+                if self.keys:
+                    self._table.setdefault(
+                        _binding_key(row, self.keys), []
+                    ).append(row)
+            return None
+        # probe
+        for _ in range(BUILD_BATCH):
+            if self._probe is not None:
+                if self._bucket_index < len(self._bucket):
+                    right = self._bucket[self._bucket_index]
+                    self._bucket_index += 1
+                    if not _compatible(self._probe, right):
+                        continue
+                    merged = _merge(self._probe, right)
+                    if self.condition is not None and not _check(
+                        (self.condition,), merged, self.runtime
+                    ):
+                        continue
+                    self._matched = True
+                    self.runtime.stats.intermediate_bindings += 1
+                    return merged
+                row = self._probe
+                self._probe = None
+                if not self._matched:
+                    self.runtime.stats.intermediate_bindings += 1
+                    return dict(row)
+                continue
+            row = self._pending
+            self._pending = None
+            if row is None:
+                if self.left.done:
+                    self.done = True
+                    return None
+                row = self.left.next()
+                if row is None:
+                    return None
+            self._probe = row
+            self._bucket = self._bucket_for(row)
+            self._bucket_index = 0
+            self._matched = False
+        return None
+
+    def _save(self) -> Dict:
+        return {
+            "phase": self._phase,
+            "left": self.left.save(),
+            "right": self.right.save(),
+            "pending": (
+                encode_binding(self._pending)
+                if self._pending is not None
+                else None
+            ),
+            "rows": [encode_binding(row) for row in self._all_rows],
+            "probe": (
+                encode_binding(self._probe)
+                if self._probe is not None
+                else None
+            ),
+            "bucket_index": self._bucket_index,
+            "matched": self._matched,
+        }
+
+    def _load(self, state: Dict) -> None:
+        self.left.load(state["left"])
+        self.right.load(state["right"])
+        self._phase = state.get("phase", "peek")
+        pending = state.get("pending")
+        self._pending = decode_binding(pending) if pending is not None else None
+        self._all_rows = [decode_binding(blob) for blob in state.get("rows", ())]
+        self._table = {}
+        if self.keys:
+            for row in self._all_rows:
+                self._table.setdefault(
+                    _binding_key(row, self.keys), []
+                ).append(row)
+        probe = state.get("probe")
+        self._probe = decode_binding(probe) if probe is not None else None
+        self._bucket = self._bucket_for(self._probe) if self._probe is not None else []
+        self._bucket_index = int(state.get("bucket_index", 0))
+        self._matched = bool(state.get("matched"))
+
+
+class MinusOp(PhysicalOperator):
+    """MINUS: materialise the right side, stream and filter the left."""
+
+    label = "Minus"
+
+    def __init__(self, runtime, left, right):
+        super().__init__(runtime)
+        self.left = left
+        self.right = right
+        self._phase = "build"
+        self._rows: List[Binding] = []
+
+    def children(self) -> List[PhysicalOperator]:
+        return [self.left, self.right]
+
+    def _next(self) -> Optional[Binding]:
+        if self._phase == "build":
+            for _ in range(BUILD_BATCH):
+                if self.right.done:
+                    self._phase = "probe"
+                    return None
+                row = self.right.next()
+                if row is None:
+                    return None
+                self._rows.append(row)
+            return None
+        if self.left.done:
+            self.done = True
+            return None
+        left = self.left.next()
+        if left is None:
+            if self.left.done:
+                self.done = True
+            return None
+        for right in self._rows:
+            shared = left.keys() & right.keys()
+            if shared and all(left[name] == right[name] for name in shared):
+                return None
+        self.runtime.stats.intermediate_bindings += 1
+        return left
+
+    def _save(self) -> Dict:
+        return {
+            "phase": self._phase,
+            "left": self.left.save(),
+            "right": self.right.save(),
+            "rows": [encode_binding(row) for row in self._rows],
+        }
+
+    def _load(self, state: Dict) -> None:
+        self.left.load(state["left"])
+        self.right.load(state["right"])
+        self._phase = state.get("phase", "build")
+        self._rows = [decode_binding(blob) for blob in state.get("rows", ())]
+
+
+# ----------------------------------------------------------------------
+# Grouping / aggregation
+# ----------------------------------------------------------------------
+
+
+class AggregationOp(PhysicalOperator):
+    """GROUP BY + aggregate projection (fused, like the algebra node).
+
+    Builds groups incrementally (bounded chunks of input per call), then
+    emits one group's output row per call.  Suspension serialises the
+    groups — keys, key bindings, and member rows — verbatim, so the
+    aggregates computed after resume see exactly the members collected
+    before suspension.
+    """
+
+    label = "Aggregation"
+
+    def __init__(self, runtime, child, keys, projections, having):
+        super().__init__(runtime, )
+        self.child = child
+        self.keys = list(keys)
+        self.projections = list(projections)
+        self.having = list(having)
+        self._key_specs = self._build_key_specs()
+        self._phase = "build"
+        self._group_keys: List[Tuple] = []
+        self._groups: Dict[Tuple, List[Binding]] = {}
+        self._key_bindings: Dict[Tuple, Binding] = {}
+        self._emit_index = 0
+
+    def children(self) -> List[PhysicalOperator]:
+        return [self.child]
+
+    def detail(self) -> str:
+        names = []
+        for key in self.keys:
+            var = getattr(key, "var", None)
+            names.append(f"?{var.name}" if var is not None else "<expr>")
+        return f"group by {' '.join(names)}" if names else "implicit group"
+
+    def _build_key_specs(self):
+        from .ast import Projection, VarExpr
+
+        specs = []
+        for key in self.keys:
+            expression = key.expression if isinstance(key, Projection) else key
+            var_name = (
+                expression.var.name if isinstance(expression, VarExpr) else None
+            )
+            if isinstance(key, (Projection, VarExpr)):
+                bind_name = key.var.name
+            else:
+                bind_name = None
+            specs.append((expression, var_name, bind_name))
+        return specs
+
+    def _absorb(self, member: Binding) -> None:
+        key_values: List[Optional[Term]] = []
+        key_binding: Binding = {}
+        for expression, var_name, bind_name in self._key_specs:
+            if var_name is not None:
+                value = member.get(var_name)
+            else:
+                try:
+                    value = evaluate_expression(
+                        expression, member, context=self.runtime
+                    )
+                except ExpressionError:
+                    value = None
+            key_values.append(value)
+            if bind_name is not None and value is not None:
+                key_binding[bind_name] = value
+        group_key = tuple(key_values)
+        if group_key not in self._groups:
+            self._group_keys.append(group_key)
+            self._groups[group_key] = []
+            self._key_bindings[group_key] = key_binding
+        self._groups[group_key].append(member)
+
+    def _next(self) -> Optional[Binding]:
+        if self._phase == "build":
+            for _ in range(BUILD_BATCH):
+                if self.child.done:
+                    if not self.keys and () not in self._groups:
+                        # Implicit single group: empty input still yields
+                        # one group (COUNT(*) = 0).
+                        self._group_keys.append(())
+                        self._groups[()] = []
+                        self._key_bindings[()] = {}
+                    self._phase = "emit"
+                    return None
+                member = self.child.next()
+                if member is None:
+                    return None
+                if self.keys:
+                    self._absorb(member)
+                else:
+                    if () not in self._groups:
+                        self._group_keys.append(())
+                        self._groups[()] = []
+                        self._key_bindings[()] = {}
+                    self._groups[()].append(member)
+            return None
+        # emit
+        while self._emit_index < len(self._group_keys):
+            group_key = self._group_keys[self._emit_index]
+            self._emit_index += 1
+            members = self._groups[group_key]
+            key_binding = self._key_bindings[group_key]
+            self.runtime.stats.groups += 1
+            skip = False
+            for condition in self.having:
+                try:
+                    if not effective_boolean_value(
+                        evaluate_expression(
+                            condition, key_binding, members, context=self.runtime
+                        )
+                    ):
+                        skip = True
+                        break
+                except ExpressionError:
+                    skip = True
+                    break
+            if skip:
+                return None
+            out: Binding = {}
+            for projection in self.projections:
+                if projection.expression is None:
+                    value = key_binding.get(projection.var.name)
+                    if value is not None:
+                        out[projection.var.name] = value
+                    continue
+                try:
+                    out[projection.var.name] = evaluate_expression(
+                        projection.expression,
+                        key_binding,
+                        members,
+                        context=self.runtime,
+                    )
+                except ExpressionError:
+                    pass
+            self.runtime.stats.intermediate_bindings += 1
+            return out
+        self.done = True
+        return None
+
+    def _save(self) -> Dict:
+        return {
+            "phase": self._phase,
+            "child": self.child.save(),
+            "groups": [
+                {
+                    "key": [_encode_opt_term(term) for term in group_key],
+                    "binding": encode_binding(self._key_bindings[group_key]),
+                    "members": [
+                        encode_binding(member)
+                        for member in self._groups[group_key]
+                    ],
+                }
+                for group_key in self._group_keys
+            ],
+            "emit_index": self._emit_index,
+        }
+
+    def _load(self, state: Dict) -> None:
+        self.child.load(state["child"])
+        self._phase = state.get("phase", "build")
+        self._group_keys = []
+        self._groups = {}
+        self._key_bindings = {}
+        for blob in state.get("groups", ()):
+            group_key = tuple(_decode_opt_term(term) for term in blob["key"])
+            self._group_keys.append(group_key)
+            self._key_bindings[group_key] = decode_binding(blob["binding"])
+            self._groups[group_key] = [
+                decode_binding(member) for member in blob["members"]
+            ]
+        self._emit_index = int(state.get("emit_index", 0))
+
+
+# ----------------------------------------------------------------------
+# Sorting
+# ----------------------------------------------------------------------
+
+
+def _order_key(conditions, binding: Binding, runtime) -> List:
+    """The ORDER BY comparison key of one solution (evaluator parity)."""
+    keys = []
+    for condition in conditions:
+        try:
+            value = evaluate_expression(
+                condition.expression, binding, context=runtime
+            )
+        except ExpressionError:
+            value = None
+        key = term_order_key(value)
+        if condition.descending:
+            keys.append(_Reversed(key))
+        else:
+            keys.append(key)
+    return keys
+
+
+class OrderByOp(_UnaryOp):
+    """Full sort: drains its child in bounded chunks, then emits sorted."""
+
+    label = "OrderBy"
+
+    def __init__(self, runtime, child, conditions):
+        super().__init__(runtime, child)
+        self.conditions = list(conditions)
+        self._phase = "build"
+        self._buffer: List[Binding] = []
+        self._emit_index = 0
+
+    def detail(self) -> str:
+        return f"{len(self.conditions)} keys"
+
+    def _next(self) -> Optional[Binding]:
+        if self._phase == "build":
+            for _ in range(BUILD_BATCH):
+                if self.child.done:
+                    self._buffer.sort(
+                        key=lambda binding: _order_key(
+                            self.conditions, binding, self.runtime
+                        )
+                    )
+                    self._phase = "emit"
+                    return None
+                row = self.child.next()
+                if row is None:
+                    return None
+                self._buffer.append(row)
+            return None
+        if self._emit_index >= len(self._buffer):
+            self.done = True
+            return None
+        row = self._buffer[self._emit_index]
+        self._emit_index += 1
+        if self._emit_index >= len(self._buffer):
+            self.done = True
+        return row
+
+    def _save(self) -> Dict:
+        return {
+            "phase": self._phase,
+            "child": self.child.save(),
+            "buffer": [encode_binding(row) for row in self._buffer],
+            "emit_index": self._emit_index,
+        }
+
+    def _load(self, state: Dict) -> None:
+        self.child.load(state["child"])
+        self._phase = state.get("phase", "build")
+        # In the emit phase the buffer was serialised post-sort, so no
+        # re-sort is needed (and none would be safe: keys are recomputed
+        # lazily only in the build phase).
+        self._buffer = [decode_binding(blob) for blob in state.get("buffer", ())]
+        self._emit_index = int(state.get("emit_index", 0))
+
+
+class TopKOp(_UnaryOp):
+    """Bounded heap for fused ORDER BY ... LIMIT (evaluator parity)."""
+
+    label = "TopK"
+
+    def __init__(self, runtime, child, conditions, limit, offset=0):
+        super().__init__(runtime, child)
+        self.conditions = list(conditions)
+        self.limit = limit
+        self.offset = offset
+        self._phase = "build"
+        self._heap: List[_TopKEntry] = []
+        self._serial = 0
+        self._ordered: List[Binding] = []
+        self._emit_index = 0
+
+    def detail(self) -> str:
+        text = f"{len(self.conditions)} keys, limit {self.limit}"
+        if self.offset:
+            text += f", offset {self.offset}"
+        return text
+
+    def _finalize(self) -> None:
+        ordered = sorted(self._heap)
+        ordered.reverse()
+        self._ordered = [entry.binding for entry in ordered[self.offset:]]
+        self._heap = []
+        self._phase = "emit"
+
+    def _next(self) -> Optional[Binding]:
+        bound = self.limit + self.offset
+        if bound <= 0:
+            self.done = True
+            return None
+        if self._phase == "build":
+            from .evaluator import _order_lt
+
+            for _ in range(BUILD_BATCH):
+                if self.child.done:
+                    self._finalize()
+                    return None
+                row = self.child.next()
+                if row is None:
+                    return None
+                key = _order_key(self.conditions, row, self.runtime)
+                serial = self._serial
+                self._serial += 1
+                if len(self._heap) < bound:
+                    heapq.heappush(self._heap, _TopKEntry(key, serial, row))
+                elif _order_lt(
+                    key, serial, self._heap[0].key, self._heap[0].serial
+                ):
+                    heapq.heapreplace(self._heap, _TopKEntry(key, serial, row))
+            return None
+        if self._emit_index >= len(self._ordered):
+            self.done = True
+            return None
+        row = self._ordered[self._emit_index]
+        self._emit_index += 1
+        if self._emit_index >= len(self._ordered):
+            self.done = True
+        return row
+
+    def _save(self) -> Dict:
+        return {
+            "phase": self._phase,
+            "child": self.child.save(),
+            "serial": self._serial,
+            "heap": [
+                [entry.serial, encode_binding(entry.binding)]
+                for entry in self._heap
+            ],
+            "ordered": [encode_binding(row) for row in self._ordered],
+            "emit_index": self._emit_index,
+        }
+
+    def _load(self, state: Dict) -> None:
+        self.child.load(state["child"])
+        self._phase = state.get("phase", "build")
+        self._serial = int(state.get("serial", 0))
+        self._heap = []
+        for serial, blob in state.get("heap", ()):
+            row = decode_binding(blob)
+            key = _order_key(self.conditions, row, self.runtime)
+            self._heap.append(_TopKEntry(key, int(serial), row))
+        heapq.heapify(self._heap)
+        self._ordered = [
+            decode_binding(blob) for blob in state.get("ordered", ())
+        ]
+        self._emit_index = int(state.get("emit_index", 0))
+
+
+# ----------------------------------------------------------------------
+# Driving
+# ----------------------------------------------------------------------
+
+
+def drain(op: PhysicalOperator) -> List[Binding]:
+    """Run an operator tree to completion and return every row."""
+    rows: List[Binding] = []
+    while not op.done:
+        row = op.next()
+        if row is not None:
+            rows.append(row)
+    return rows

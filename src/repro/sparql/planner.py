@@ -1,0 +1,326 @@
+"""Compilation of optimized algebra trees into physical operator plans.
+
+The planner is the bridge between the engine's front half (parse →
+translate → optimize, memoised by :class:`repro.perf.plancache.PlanCache`)
+and the suspendable physical layer (:mod:`repro.sparql.physical`).  It
+runs every *planning decision* exactly once per query text — BGP pattern
+ordering, filter-slot assignment, static hash-join key analysis — and
+captures them in a reusable :class:`PhysicalPlanFactory`.  The factory
+is immutable and cacheable; each execution (every page of a paginated
+query builds on a fresh or restored tree) calls
+:meth:`PhysicalPlanFactory.instantiate` to get a new stateful
+:class:`PhysicalPlan` in O(plan size).
+
+Decision parity with the recursive evaluator is deliberate and load-
+bearing: both engines share :func:`~repro.sparql.evaluator.order_patterns`,
+:func:`~repro.sparql.evaluator.assign_filter_slots`, and
+:func:`~repro.sparql.algebra.certain_variables`, so a plan executed in
+time slices produces the same result multiset *and* the same
+:class:`~repro.sparql.evaluator.EvalStats` work counters as one-shot
+evaluation — which keeps the cost model's simulated latency comparable
+across both paths.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..rdf.graph import Graph
+from .algebra import (
+    Aggregation,
+    AlgebraNode,
+    Ask,
+    BGP,
+    Distinct,
+    Extend,
+    Filter,
+    Join,
+    LeftJoin,
+    Minus,
+    OrderBy,
+    Project,
+    Reduced,
+    Slice,
+    TopK,
+    Unit,
+    Union,
+    ValuesTable,
+    certain_variables,
+    translate_query,
+)
+from .ast import AskQuery, Query, SelectQuery
+from .errors import SparqlEvalError
+from .evaluator import (
+    Evaluator,
+    assign_filter_slots,
+    order_patterns,
+    result_variables,
+)
+from .parser import parse_query
+from .physical import (
+    AggregationOp,
+    DistinctOp,
+    ExtendOp,
+    FilterOp,
+    HashJoinOp,
+    LeftJoinOp,
+    MinusOp,
+    OrderByOp,
+    PatternScanOp,
+    PhysicalOperator,
+    ProjectOp,
+    ReducedOp,
+    SingletonOp,
+    SliceOp,
+    TopKOp,
+    UnionOp,
+    ValuesOp,
+)
+
+__all__ = [
+    "PhysicalPlan",
+    "PhysicalPlanFactory",
+    "compile_node",
+    "build_physical_plan",
+]
+
+#: A compiled operator constructor: runtime in, fresh stateful tree out.
+OperatorFactory = Callable[[Evaluator], PhysicalOperator]
+
+
+def _tag(factory: OperatorFactory, node: AlgebraNode) -> OperatorFactory:
+    """Stamp the source algebra node onto every built operator."""
+
+    def make(runtime: Evaluator) -> PhysicalOperator:
+        op = factory(runtime)
+        op.algebra = node
+        return op
+
+    return make
+
+
+def _compile_bgp(node: BGP) -> OperatorFactory:
+    if not node.patterns:
+        guards = tuple(node.filters)
+        return lambda runtime: SingletonOp(runtime, guards=guards)
+    # Ordering and filter placement are decided here, once; the built
+    # scan chain replays them identically on every instantiation.
+    if node.preordered:
+        ordered = list(node.patterns)
+    else:
+        ordered = order_patterns(node.patterns)
+    filters_at = assign_filter_slots(ordered, node.filters)
+
+    def make(runtime: Evaluator) -> PhysicalOperator:
+        op: PhysicalOperator = SingletonOp(runtime)
+        for index, pattern in enumerate(ordered):
+            op = PatternScanOp(
+                runtime,
+                op,
+                pattern,
+                pre_filters=filters_at[0] if index == 0 else (),
+                post_filters=filters_at[index + 1],
+            )
+            op.algebra = node
+        return op
+
+    return make
+
+
+def _join_keys(node) -> tuple:
+    """Hash-join keys: variables certainly bound on both sides."""
+    return tuple(
+        sorted(certain_variables(node.left) & certain_variables(node.right))
+    )
+
+
+def compile_node(node: AlgebraNode) -> OperatorFactory:
+    """Compile one algebra subtree into an operator factory."""
+    if isinstance(node, Unit):
+        return _tag(lambda runtime: SingletonOp(runtime), node)
+    if isinstance(node, BGP):
+        return _compile_bgp(node)
+    if isinstance(node, Join):
+        left = compile_node(node.left)
+        right = compile_node(node.right)
+        keys = _join_keys(node)
+        return _tag(
+            lambda runtime: HashJoinOp(
+                runtime, left(runtime), right(runtime), keys
+            ),
+            node,
+        )
+    if isinstance(node, LeftJoin):
+        left = compile_node(node.left)
+        right = compile_node(node.right)
+        keys = _join_keys(node)
+        condition = node.condition
+        return _tag(
+            lambda runtime: LeftJoinOp(
+                runtime, left(runtime), right(runtime), keys, condition
+            ),
+            node,
+        )
+    if isinstance(node, Minus):
+        left = compile_node(node.left)
+        right = compile_node(node.right)
+        return _tag(
+            lambda runtime: MinusOp(runtime, left(runtime), right(runtime)),
+            node,
+        )
+    if isinstance(node, Filter):
+        child = compile_node(node.input)
+        condition = node.condition
+        return _tag(
+            lambda runtime: FilterOp(runtime, child(runtime), condition), node
+        )
+    if isinstance(node, Union):
+        branches = [compile_node(branch) for branch in node.branches]
+        return _tag(
+            lambda runtime: UnionOp(
+                runtime, [branch(runtime) for branch in branches]
+            ),
+            node,
+        )
+    if isinstance(node, Extend):
+        child = compile_node(node.input)
+        var, expression = node.var, node.expression
+        return _tag(
+            lambda runtime: ExtendOp(runtime, child(runtime), var, expression),
+            node,
+        )
+    if isinstance(node, ValuesTable):
+        variables, rows = node.variables, node.rows
+        return _tag(lambda runtime: ValuesOp(runtime, variables, rows), node)
+    if isinstance(node, Aggregation):
+        child = compile_node(node.input)
+        keys, projections, having = node.keys, node.projections, node.having
+        return _tag(
+            lambda runtime: AggregationOp(
+                runtime, child(runtime), keys, projections, having
+            ),
+            node,
+        )
+    if isinstance(node, Project):
+        child = compile_node(node.input)
+        variables, extensions = node.variables, node.extensions
+        return _tag(
+            lambda runtime: ProjectOp(
+                runtime, child(runtime), variables, extensions
+            ),
+            node,
+        )
+    if isinstance(node, Distinct):
+        child = compile_node(node.input)
+        return _tag(lambda runtime: DistinctOp(runtime, child(runtime)), node)
+    if isinstance(node, Reduced):
+        child = compile_node(node.input)
+        return _tag(lambda runtime: ReducedOp(runtime, child(runtime)), node)
+    if isinstance(node, OrderBy):
+        child = compile_node(node.input)
+        conditions = node.conditions
+        return _tag(
+            lambda runtime: OrderByOp(runtime, child(runtime), conditions),
+            node,
+        )
+    if isinstance(node, TopK):
+        child = compile_node(node.input)
+        conditions, limit, offset = node.conditions, node.limit, node.offset
+        return _tag(
+            lambda runtime: TopKOp(
+                runtime, child(runtime), conditions, limit, offset
+            ),
+            node,
+        )
+    if isinstance(node, Slice):
+        child = compile_node(node.input)
+        offset, limit = node.offset, node.limit
+        return _tag(
+            lambda runtime: SliceOp(
+                runtime, child(runtime), offset=offset, limit=limit
+            ),
+            node,
+        )
+    raise SparqlEvalError(f"no physical operator for algebra node: {node!r}")
+
+
+class PhysicalPlan:
+    """One stateful, suspendable execution of a compiled query.
+
+    ``root`` is the physical operator tree; ``runtime`` is the shared
+    execution context (an :class:`Evaluator` providing the graph, the
+    :class:`EvalStats` counters, and EXISTS support).  The executor
+    drives ``root.next()`` and uses :meth:`save`/:meth:`load` to move
+    the whole execution across suspension points.
+    """
+
+    def __init__(self, factory: "PhysicalPlanFactory", graph: Graph):
+        self.factory = factory
+        self.runtime = Evaluator(graph)
+        self.root = factory.make_root(self.runtime)
+
+    @property
+    def variables(self) -> List[str]:
+        return self.factory.variables
+
+    @property
+    def is_ask(self) -> bool:
+        return self.factory.is_ask
+
+    @property
+    def stats(self):
+        return self.runtime.stats
+
+    def save(self) -> dict:
+        return self.root.save()
+
+    def load(self, state: dict) -> None:
+        self.root.load(state)
+
+    def operators(self) -> List[PhysicalOperator]:
+        return list(self.root.walk())
+
+
+class PhysicalPlanFactory:
+    """The cacheable compilation result for one query text.
+
+    Planning decisions live in the closed-over factories; every call to
+    :meth:`instantiate` produces an independent :class:`PhysicalPlan`
+    with fresh operator state.  This is what
+    :class:`repro.perf.plancache.CachedPlan` stores in its ``physical``
+    slot — compiled once, executed many times.
+    """
+
+    def __init__(self, query: Query, algebra: AlgebraNode):
+        if not isinstance(query, (SelectQuery, AskQuery)):
+            raise SparqlEvalError(
+                "the physical engine executes SELECT and ASK queries only"
+            )
+        self.query = query
+        self.algebra = algebra
+        self.is_ask = isinstance(algebra, Ask)
+        root_node = algebra.input if isinstance(algebra, Ask) else algebra
+        self.make_root = compile_node(root_node)
+        self.variables: List[str] = (
+            [] if self.is_ask else result_variables(query, algebra)
+        )
+
+    def instantiate(self, graph: Graph) -> PhysicalPlan:
+        return PhysicalPlan(self, graph)
+
+
+def build_physical_plan(
+    graph: Graph, query_text: str, optimize: bool = True
+) -> PhysicalPlan:
+    """Parse, optimize, compile, and instantiate in one step.
+
+    Convenience for tests and the CLI; endpoints go through the plan
+    cache instead so compilation is shared across pages and requests.
+    """
+    query = parse_query(query_text)
+    algebra = translate_query(query)
+    if optimize:
+        from .optimizer import optimize as run_optimizer
+
+        algebra, _ = run_optimizer(algebra, graph=graph)
+    return PhysicalPlanFactory(query, algebra).instantiate(graph)

@@ -19,6 +19,8 @@ __all__ = [
     "GraphResult",
     "results_to_json",
     "results_from_json",
+    "term_to_json",
+    "term_from_json",
 ]
 
 
@@ -192,6 +194,21 @@ def _term_from_json(blob: Dict[str, Any]) -> Term:
             return Literal(value, datatype=datatype)
         return Literal(value)
     raise ValueError(f"unknown JSON term type: {kind!r}")
+
+
+def term_to_json(term: Term) -> Dict[str, Any]:
+    """Public JSON encoding of one RDF term (SPARQL-JSON term schema).
+
+    Shared by the results wire format and the executor's continuation
+    tokens (:mod:`repro.sparql.physical` serialises operator state —
+    bindings, build tables, heaps — through this encoding).
+    """
+    return _term_to_json(term)
+
+
+def term_from_json(blob: Dict[str, Any]) -> Term:
+    """Inverse of :func:`term_to_json`."""
+    return _term_from_json(blob)
 
 
 def results_to_json(result) -> str:

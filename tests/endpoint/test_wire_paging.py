@@ -1,0 +1,238 @@
+"""Paged query execution across the endpoint layers: the local
+endpoint's token loop, the HTTP/JSON wire with partial bodies, the
+remote error path, and the chart engine's incremental fetching."""
+
+import json
+
+import pytest
+
+from repro.core import ChartEngine
+from repro.endpoint import (
+    LocalEndpoint,
+    RemoteEndpoint,
+    SimulatedVirtuosoServer,
+    decode_page,
+    encode_request,
+)
+from repro.explorer.settings import SettingsError, SettingsForm
+from repro.rdf import OWL
+from repro.sparql import SparqlError
+
+THING = OWL.term("Thing")
+P = "PREFIX dbo: <http://dbpedia.org/ontology/>\n"
+ALL_TRIPLES = "SELECT ?s ?p ?o WHERE { ?s ?p ?o }"
+
+
+def _multiset(rows):
+    return sorted(
+        tuple(sorted((k, v.n3()) for k, v in row.items())) for row in rows
+    )
+
+
+class TestLocalEndpointPaging:
+    def test_paged_equals_one_shot(self, philosophy_endpoint):
+        expected = philosophy_endpoint.select(ALL_TRIPLES)
+        rows = []
+        response = philosophy_endpoint.query(ALL_TRIPLES, page_size=10)
+        rows.extend(response.rows)
+        pages = 1
+        while not response.complete:
+            assert response.continuation  # every partial page mints a token
+            assert len(response.rows) <= 10
+            response = philosophy_endpoint.query(
+                ALL_TRIPLES,
+                page_size=10,
+                continuation=response.continuation,
+            )
+            rows.extend(response.rows)
+            pages += 1
+        assert response.continuation is None
+        assert pages > 1
+        assert rows == expected.rows  # values AND order
+
+    def test_query_all_pages(self, philosophy_endpoint):
+        expected = philosophy_endpoint.select(ALL_TRIPLES)
+        responses = list(
+            philosophy_endpoint.query_all_pages(ALL_TRIPLES, page_size=7)
+        )
+        assert len(responses) > 1
+        assert all(not r.complete for r in responses[:-1])
+        assert responses[-1].complete
+        rows = [row for r in responses for row in r.rows]
+        assert rows == expected.rows
+
+    def test_each_page_charged_for_its_own_work(self, philosophy_endpoint):
+        one_shot = philosophy_endpoint.query(ALL_TRIPLES)
+        page = philosophy_endpoint.query(ALL_TRIPLES, page_size=5)
+        assert page.elapsed_ms < one_shot.elapsed_ms
+
+    def test_ask_never_pages(self, philosophy_endpoint):
+        response = philosophy_endpoint.query(
+            P + "ASK { ?s a dbo:Philosopher }", page_size=1
+        )
+        assert response.complete
+        assert response.continuation is None
+        assert response.result.value is True
+
+    def test_continuation_for_different_query_rejected(
+        self, philosophy_endpoint
+    ):
+        from repro.sparql import MalformedTokenError
+
+        first = philosophy_endpoint.query(ALL_TRIPLES, page_size=3)
+        with pytest.raises(MalformedTokenError):
+            philosophy_endpoint.query(
+                "SELECT ?s WHERE { ?s ?p ?o }",
+                page_size=3,
+                continuation=first.continuation,
+            )
+
+    def test_expired_after_local_mutation(self, philosophy_graph):
+        from repro.rdf import URI
+        from repro.sparql import ExpiredTokenError
+
+        endpoint = LocalEndpoint(philosophy_graph.copy())
+        first = endpoint.query(ALL_TRIPLES, page_size=3)
+        endpoint.graph.add(URI("http://x"), URI("http://y"), URI("http://z"))
+        with pytest.raises(ExpiredTokenError):
+            endpoint.query(
+                ALL_TRIPLES, page_size=3, continuation=first.continuation
+            )
+
+
+class TestWirePaging:
+    def test_partial_body_carries_continuation_keys(self, philosophy_graph):
+        server = SimulatedVirtuosoServer(philosophy_graph)
+        request = encode_request(server.url, ALL_TRIPLES, page_size=6)
+        response = server.handle(request)
+        assert response.status == 200
+        blob = json.loads(response.body)
+        assert blob["complete"] is False
+        assert isinstance(blob["continuation"], str)
+        assert len(blob["results"]["bindings"]) == 6
+        result, token, complete = decode_page(response)
+        assert token == blob["continuation"]
+        assert complete is False
+        assert len(result.rows) == 6
+
+    def test_remote_paged_equals_one_shot(self, philosophy_graph):
+        server = SimulatedVirtuosoServer(philosophy_graph)
+        remote = RemoteEndpoint(server)
+        expected = remote.select(ALL_TRIPLES)
+        rows = []
+        response = remote.query(ALL_TRIPLES, page_size=9)
+        rows.extend(response.rows)
+        while not response.complete:
+            response = remote.query(
+                ALL_TRIPLES,
+                page_size=9,
+                continuation=response.continuation,
+            )
+            rows.extend(response.rows)
+        # The wire round-trips through JSON, which preserves order too.
+        assert _multiset(rows) == _multiset(expected.rows)
+        assert [r.n3() for row in rows for r in row.values()] == [
+            r.n3() for row in expected.rows for r in row.values()
+        ]
+
+    def test_remote_ask_falls_back_to_one_shot(self, philosophy_graph):
+        server = SimulatedVirtuosoServer(philosophy_graph)
+        remote = RemoteEndpoint(server)
+        response = remote.query(P + "ASK { ?s a dbo:Place }", page_size=2)
+        assert response.complete
+        assert response.continuation is None
+
+    def test_malformed_token_is_clean_400(self, philosophy_graph):
+        server = SimulatedVirtuosoServer(philosophy_graph)
+        request = encode_request(
+            server.url, ALL_TRIPLES, page_size=5, continuation="garbage"
+        )
+        response = server.handle(request)
+        assert response.status == 400
+        assert "MalformedTokenError" in response.body
+        remote = RemoteEndpoint(server)
+        with pytest.raises(SparqlError, match="MalformedTokenError"):
+            remote.query(ALL_TRIPLES, page_size=5, continuation="garbage")
+
+    def test_expired_token_is_clean_400(self, philosophy_graph):
+        from repro.rdf import URI
+
+        server = SimulatedVirtuosoServer(philosophy_graph.copy())
+        remote = RemoteEndpoint(server)
+        first = remote.query(ALL_TRIPLES, page_size=4)
+        assert not first.complete
+        server.graph.add(URI("http://x"), URI("http://y"), URI("http://z"))
+        with pytest.raises(SparqlError, match="ExpiredTokenError"):
+            remote.query(
+                ALL_TRIPLES, page_size=4, continuation=first.continuation
+            )
+
+
+class _LegacyEndpoint:
+    """An endpoint whose query() predates the paging keywords."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def query(self, query_text):
+        return self._inner.query(query_text)
+
+    def select(self, query_text):
+        return self._inner.select(query_text)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestChartEnginePaging:
+    def _charts(self, engine):
+        initial = engine.initial_chart()
+        bar = next(b for b in initial if b.label.local_name == "Agent")
+        return {
+            "initial": {b.label: b.size for b in initial},
+            "properties": {
+                b.label: b.size for b in engine.property_chart(bar)
+            },
+        }
+
+    def test_paged_engine_matches_unpaged(self, philosophy_endpoint):
+        plain = ChartEngine(philosophy_endpoint, THING)
+        paged = ChartEngine(philosophy_endpoint, THING, page_size=2)
+        assert self._charts(paged) == self._charts(plain)
+        assert paged.pages_fetched > plain.pages_fetched == 0
+
+    def test_quantum_only_config_also_pages(self, philosophy_endpoint):
+        paged = ChartEngine(philosophy_endpoint, THING, quantum_ms=1000.0)
+        paged.initial_chart()
+        assert paged.pages_fetched >= 1
+
+    def test_falls_back_when_endpoint_lacks_paging(self, philosophy_endpoint):
+        legacy = _LegacyEndpoint(philosophy_endpoint)
+        engine = ChartEngine(legacy, THING, page_size=2)
+        plain = ChartEngine(philosophy_endpoint, THING)
+        assert self._charts(engine) == self._charts(plain)
+        assert engine.pages_fetched == 0
+
+
+class TestSettings:
+    def test_paging_settings_flow_to_engine(self, philosophy_endpoint):
+        from repro.explorer import ExplorerSession
+
+        form = SettingsForm(chart_page_size=4, chart_quantum_ms=250.0)
+        form.validate()
+        session = ExplorerSession(philosophy_endpoint, settings=form)
+        assert session.engine.page_size == 4
+        assert session.engine.quantum_ms == 250.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"chart_page_size": 0},
+            {"chart_page_size": -5},
+            {"chart_quantum_ms": 0.0},
+            {"chart_quantum_ms": -1.0},
+        ],
+    )
+    def test_invalid_paging_settings_rejected(self, kwargs):
+        with pytest.raises(SettingsError):
+            SettingsForm(**kwargs).validate()

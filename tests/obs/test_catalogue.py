@@ -17,6 +17,7 @@ import repro.perf.router  # noqa: F401
 import repro.rdf.graph  # noqa: F401
 import repro.rdf.stats  # noqa: F401
 import repro.sparql.evaluator  # noqa: F401
+import repro.sparql.executor  # noqa: F401
 import repro.sparql.optimizer  # noqa: F401
 from repro.obs.metrics import REGISTRY
 

@@ -1,0 +1,273 @@
+"""The time-quantum executor: paging, continuation tokens and their
+error taxonomy, per-page stats deltas, and the round-robin scheduler."""
+
+import base64
+import json
+
+import pytest
+
+from repro.obs.metrics import REGISTRY
+from repro.rdf import Graph, Literal, URI
+from repro.sparql import executor
+from repro.sparql.executor import (
+    ExpiredTokenError,
+    MalformedTokenError,
+    RoundRobinScheduler,
+    TokenVersionError,
+    decode_continuation,
+    encode_continuation,
+    restore_plan,
+    run_quantum,
+    run_to_completion,
+)
+from repro.sparql.planner import build_physical_plan
+
+EX = "http://ex.org/"
+
+
+def _uri(name: str) -> URI:
+    return URI(EX + name)
+
+
+@pytest.fixture()
+def graph() -> Graph:
+    g = Graph()
+    for i in range(20):
+        subject = _uri(f"s{i:02d}")
+        g.add(subject, _uri("type"), _uri("Thing"))
+        g.add(subject, _uri("value"), Literal(i))
+    return g
+
+
+QUERY = f"SELECT ?s ?v WHERE {{ ?s <{EX}type> <{EX}Thing> . ?s <{EX}value> ?v }}"
+
+
+def _one_shot(graph):
+    plan = build_physical_plan(graph, QUERY)
+    result = run_to_completion(plan)
+    return result.rows, plan.stats
+
+
+# ----------------------------------------------------------------------
+# run_quantum
+# ----------------------------------------------------------------------
+
+
+def test_row_budget_bounds_every_page(graph):
+    plan = build_physical_plan(graph, QUERY)
+    pages = []
+    while True:
+        page = run_quantum(plan, page_size=7)
+        pages.append(page)
+        assert len(page.rows) <= 7
+        if page.complete:
+            break
+    assert [len(p.rows) for p in pages] == [7, 7, 6]
+    assert [p.reason for p in pages] == ["row_budget", "row_budget", "complete"]
+    expected_rows, _ = _one_shot(graph)
+    collected = [row for page in pages for row in page.rows]
+    assert collected == expected_rows
+
+
+def test_deadline_suspends_and_execution_still_completes(graph):
+    plan = build_physical_plan(
+        graph, f"SELECT ?s WHERE {{ ?s ?p ?o }} ORDER BY ?s"
+    )
+    rows = []
+    reasons = set()
+    for _ in range(10_000):
+        page = run_quantum(plan, quantum_ms=0.01)
+        rows.extend(page.rows)
+        reasons.add(page.reason)
+        if page.complete:
+            break
+    assert page.complete
+    assert "deadline" in reasons
+    assert len(rows) == 40
+
+
+def test_page_stats_deltas_sum_to_one_shot(graph):
+    _, one_shot_stats = _one_shot(graph)
+    plan = build_physical_plan(graph, QUERY)
+    totals = {"intermediate_bindings": 0, "pattern_scans": 0, "results": 0}
+    while True:
+        page = run_quantum(plan, page_size=3)
+        totals["intermediate_bindings"] += page.stats.intermediate_bindings
+        totals["pattern_scans"] += page.stats.pattern_scans
+        totals["results"] += page.stats.results
+        if page.complete:
+            break
+    assert totals["intermediate_bindings"] == one_shot_stats.intermediate_bindings
+    assert totals["pattern_scans"] == one_shot_stats.pattern_scans
+    assert totals["results"] == one_shot_stats.results
+
+
+def test_run_to_completion_ask_short_circuits(graph):
+    plan = build_physical_plan(graph, f"ASK {{ ?s <{EX}value> 3 }}")
+    result = run_to_completion(plan)
+    assert result.value is True
+    absent = build_physical_plan(graph, f"ASK {{ ?s <{EX}value> 99 }}")
+    assert run_to_completion(absent).value is False
+
+
+# ----------------------------------------------------------------------
+# Continuation tokens
+# ----------------------------------------------------------------------
+
+
+def _suspend(graph, page_size=5):
+    plan = build_physical_plan(graph, QUERY)
+    page = run_quantum(plan, page_size=page_size)
+    assert not page.complete
+    token = encode_continuation(plan, graph, QUERY)
+    return plan, page, token
+
+
+def test_token_round_trip_resumes_exactly(graph):
+    expected_rows, one_shot_stats = _one_shot(graph)
+    factory = build_physical_plan(graph, QUERY).factory
+    rows = []
+    stats_totals = 0
+    token = None
+    while True:
+        if token is None:
+            plan = factory.instantiate(graph)
+        else:
+            plan = restore_plan(factory, graph, decode_continuation(token))
+        page = run_quantum(plan, page_size=4)
+        rows.extend(page.rows)
+        stats_totals += page.stats.pattern_scans
+        if page.complete:
+            break
+        token = encode_continuation(plan, graph, QUERY)
+    assert rows == expected_rows  # values AND order across resumes
+    assert stats_totals == one_shot_stats.pattern_scans
+
+
+def test_token_is_opaque_but_stable_json(graph):
+    _, _, token = _suspend(graph)
+    blob = json.loads(base64.urlsafe_b64decode(token.encode("ascii")))
+    assert blob["v"] == executor.TOKEN_VERSION
+    assert blob["graph"] == graph.version
+    assert blob["query"] == QUERY
+    assert blob["state"]["op"]
+
+
+@pytest.mark.parametrize(
+    "token",
+    [
+        "garbage",
+        "!!!not-base64!!!",
+        base64.urlsafe_b64encode(b"not json").decode("ascii"),
+        base64.urlsafe_b64encode(b'{"v": 1}').decode("ascii"),
+        base64.urlsafe_b64encode(b'["a", "list"]').decode("ascii"),
+    ],
+)
+def test_malformed_tokens_rejected(token):
+    with pytest.raises(MalformedTokenError):
+        decode_continuation(token)
+
+
+def test_cross_version_token_rejected(graph):
+    _, _, token = _suspend(graph)
+    blob = json.loads(base64.urlsafe_b64decode(token.encode("ascii")))
+    blob["v"] = executor.TOKEN_VERSION + 1
+    tampered = base64.urlsafe_b64encode(
+        json.dumps(blob).encode("utf-8")
+    ).decode("ascii")
+    with pytest.raises(TokenVersionError):
+        decode_continuation(tampered)
+
+
+def test_expired_token_after_graph_mutation(graph):
+    plan, _, token = _suspend(graph)
+    graph.add(_uri("new"), _uri("type"), _uri("Thing"))
+    with pytest.raises(ExpiredTokenError):
+        restore_plan(plan.factory, graph, decode_continuation(token))
+
+
+def test_tampered_state_tree_rejected_cleanly(graph):
+    plan, _, token = _suspend(graph)
+    blob = decode_continuation(token)
+    blob["state"] = {"op": "Nonsense", "done": False}
+    with pytest.raises(MalformedTokenError):
+        restore_plan(plan.factory, graph, blob)
+
+
+def test_token_reject_metrics_move(graph):
+    rejects = REGISTRY.get("repro_exec_token_rejects_total")
+    before = rejects.labels(reason="malformed").value
+    with pytest.raises(MalformedTokenError):
+        decode_continuation("garbage")
+    assert rejects.labels(reason="malformed").value == before + 1
+
+    plan, _, token = _suspend(graph)
+    before = rejects.labels(reason="expired").value
+    graph.add(_uri("bump"), _uri("type"), _uri("Thing"))
+    with pytest.raises(ExpiredTokenError):
+        restore_plan(plan.factory, graph, decode_continuation(token))
+    assert rejects.labels(reason="expired").value == before + 1
+
+
+def test_suspension_and_page_metrics_move(graph):
+    pages = REGISTRY.get("repro_exec_pages_total")
+    suspensions = REGISTRY.get("repro_exec_suspensions_total")
+    before_complete = pages.labels(outcome="complete").value
+    before_suspended = pages.labels(outcome="suspended").value
+    before_budget = suspensions.labels(reason="row_budget").value
+
+    plan = build_physical_plan(graph, QUERY)
+    while not run_quantum(plan, page_size=6).complete:
+        pass
+    assert pages.labels(outcome="complete").value == before_complete + 1
+    assert pages.labels(outcome="suspended").value == before_suspended + 3
+    assert suspensions.labels(reason="row_budget").value == before_budget + 3
+
+
+# ----------------------------------------------------------------------
+# Scheduler
+# ----------------------------------------------------------------------
+
+
+def test_scheduler_round_robin_fairness(graph):
+    scheduler = RoundRobinScheduler(page_size=4)
+    for key in ("a", "b", "c"):
+        scheduler.submit(key, build_physical_plan(graph, QUERY))
+    first_round = [key for key, _ in scheduler.run_round()]
+    assert first_round == ["a", "b", "c"]
+    second_round = [key for key, _ in scheduler.run_round()]
+    assert second_round == ["a", "b", "c"]
+
+
+def test_scheduler_drain_matches_one_shot(graph):
+    expected_rows, _ = _one_shot(graph)
+    scheduler = RoundRobinScheduler(page_size=3)
+    scheduler.submit("x", build_physical_plan(graph, QUERY))
+    scheduler.submit(
+        "y", build_physical_plan(graph, f"SELECT ?s WHERE {{ ?s ?p ?o }}")
+    )
+    collected = scheduler.drain()
+    assert collected["x"] == expected_rows
+    assert len(collected["y"]) == 40
+    assert len(scheduler) == 0
+
+
+def test_scheduler_completed_sessions_leave_rotation(graph):
+    scheduler = RoundRobinScheduler(page_size=100)
+    scheduler.submit("short", build_physical_plan(graph, QUERY))
+    scheduler.submit(
+        "long", build_physical_plan(graph, f"SELECT ?s WHERE {{ ?s ?p ?o }}")
+    )
+    key, page = scheduler.step()
+    assert key == "short" and page.complete
+    assert len(scheduler) == 1
+
+
+def test_scheduler_rejects_duplicate_and_supports_cancel(graph):
+    scheduler = RoundRobinScheduler()
+    scheduler.submit("k", build_physical_plan(graph, QUERY))
+    with pytest.raises(ValueError):
+        scheduler.submit("k", build_physical_plan(graph, QUERY))
+    scheduler.cancel("k")
+    assert len(scheduler) == 0
+    assert scheduler.step() is None

@@ -1,0 +1,177 @@
+"""PR 4 benchmark: multi-session serving latency under injected faults.
+
+The serving frontend (:mod:`repro.serve`) multiplexes N concurrent
+exploration sessions over the time-sliced executor, with retry/backoff
+on injected transient wire faults and a circuit breaker on the backend.
+This bench measures the **billed session latency** — the simulated
+milliseconds of a session's own pages plus its own backoff waits, the
+latency a per-session accountant would bill — at 1, 8, and 32
+concurrent sessions, with fault rate 0 and 0.1.
+
+Billed latency is the right scaling metric for a time-sliced engine on
+one simulated clock: *wall* latency under round-robin necessarily grows
+~N× with co-tenants (every session's quanta interleave on the shared
+clock, reported here as makespan for context), while billed latency
+should stay flat in N and grow only with the retry amplification the
+fault rate causes.  The acceptance gate is p95(32 sessions) ≤ 3× of
+p95(1 session) at each fault rate.
+
+Writes ``benchmarks/results/BENCH_PR4.json``.  Run via::
+
+    PYTHONPATH=src python benchmarks/bench_pr4.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.core import Direction, MemberPattern, property_chart_query
+from repro.datasets import DBpediaConfig, generate_dbpedia
+from repro.datasets.dbpedia import OWL_THING
+from repro.endpoint import (
+    FaultInjector,
+    RemoteEndpoint,
+    SimClock,
+    SimulatedVirtuosoServer,
+)
+from repro.perf import (
+    Decomposer,
+    ElindaEndpoint,
+    HeavyQueryStore,
+    SpecializedIndexes,
+)
+from repro.serve import (
+    BackoffPolicy,
+    CircuitBreaker,
+    ServeConfig,
+    ServeFrontend,
+)
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_PR4.json"
+
+SESSION_COUNTS = (1, 8, 32)
+FAULT_RATES = (0.0, 0.1)
+#: The acceptance gate: p95 at 32 sessions vs p95 alone.
+MAX_P95_RATIO = 3.0
+
+#: One exploration click-path: a property chart, a paged table fetch,
+#: and a small detail query.
+CLICK_PATH = [
+    property_chart_query(MemberPattern.of_type(OWL_THING), Direction.OUTGOING),
+    "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 150",
+    "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 10",
+]
+
+
+def build_frontend(graph, sessions: int, fault_rate: float, seed: int):
+    """The same stack ``repro serve`` wires up, sized for the cell."""
+    clock = SimClock()
+    faults = FaultInjector(transient_rate=fault_rate, seed=seed)
+    server = SimulatedVirtuosoServer(graph, clock=clock, faults=faults)
+    elinda = ElindaEndpoint(
+        RemoteEndpoint(server),
+        hvs=HeavyQueryStore(clock=clock),
+        decomposer=Decomposer(SpecializedIndexes(graph), clock=clock),
+        breaker=CircuitBreaker(clock=clock, failure_threshold=5, recovery_ms=500.0),
+    )
+    config = ServeConfig(
+        max_active=8,
+        queue_capacity=max(sessions, 8),
+        page_size=50,
+        backoff=BackoffPolicy(max_retries=25),
+        seed=seed,
+    )
+    return ServeFrontend(elinda, clock=clock, config=config), server, clock
+
+
+def percentile(values, fraction: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_cell(graph, sessions: int, fault_rate: float) -> dict:
+    frontend, server, clock = build_frontend(
+        graph, sessions, fault_rate, seed=sessions * 1000 + int(fault_rate * 10)
+    )
+    for i in range(sessions):
+        assert frontend.submit(f"s{i:02d}", CLICK_PATH)
+    reports = frontend.run()
+    outcomes = [r.outcome for r in reports.values()]
+    assert all(outcome == "completed" for outcome in outcomes), outcomes
+    billed = [r.billed_ms for r in reports.values()]
+    return {
+        "sessions": sessions,
+        "fault_rate": fault_rate,
+        "completed": len(reports),
+        "billed_p50_ms": round(percentile(billed, 0.50), 3),
+        "billed_p95_ms": round(percentile(billed, 0.95), 3),
+        "billed_max_ms": round(max(billed), 3),
+        "wall_makespan_ms": round(clock.now_ms, 3),
+        "retries_total": sum(r.retries for r in reports.values()),
+        "faults_injected": server.faults.injected_transient,
+    }
+
+
+def main() -> None:
+    graph = generate_dbpedia(DBpediaConfig()).graph
+    print(f"graph: {len(graph)} triples; click path of {len(CLICK_PATH)} queries")
+
+    cells = [
+        run_cell(graph, sessions, fault_rate)
+        for fault_rate in FAULT_RATES
+        for sessions in SESSION_COUNTS
+    ]
+
+    ratios = {}
+    for fault_rate in FAULT_RATES:
+        by_sessions = {
+            c["sessions"]: c for c in cells if c["fault_rate"] == fault_rate
+        }
+        ratios[str(fault_rate)] = round(
+            by_sessions[32]["billed_p95_ms"] / by_sessions[1]["billed_p95_ms"], 3
+        )
+
+    payload = {
+        "benchmark": "BENCH_PR4",
+        "description": (
+            "billed per-session latency (own pages + own backoff waits, "
+            "simulated ms) of the serving frontend at 1/8/32 concurrent "
+            "sessions, fault rate 0 and 0.1; gate: p95(32) <= 3x p95(1)"
+        ),
+        "graph_triples": len(graph),
+        "click_path": CLICK_PATH,
+        "max_p95_ratio_allowed": MAX_P95_RATIO,
+        "cells": cells,
+        "p95_ratio_32_vs_1": ratios,
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+    print()
+    header = (
+        f"{'fault':>5} {'sessions':>8} {'p50':>10} {'p95':>10} "
+        f"{'makespan':>11} {'retries':>7} {'faults':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for cell in cells:
+        print(
+            f"{cell['fault_rate']:>5} {cell['sessions']:>8} "
+            f"{cell['billed_p50_ms']:>9.1f}m {cell['billed_p95_ms']:>9.1f}m "
+            f"{cell['wall_makespan_ms']:>10.1f}m "
+            f"{cell['retries_total']:>7} {cell['faults_injected']:>6}"
+        )
+    print()
+    for fault_rate, ratio in ratios.items():
+        print(f"fault rate {fault_rate}: p95(32)/p95(1) = {ratio}")
+        if ratio > MAX_P95_RATIO:
+            raise SystemExit(
+                f"p95 at 32 sessions is {ratio}x the solo p95 "
+                f"(limit {MAX_P95_RATIO}x) at fault rate {fault_rate}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,11 @@
 # -> benchmarks/results/BENCH_PR3.json.  Exits non-zero if the row
 # multisets differ between disciplines or time-slicing does not improve
 # the p95.
+#
+# PR 4: billed per-session latency of the serving frontend at 1/8/32
+# concurrent sessions with fault rate 0 and 0.1
+# -> benchmarks/results/BENCH_PR4.json.  Exits non-zero if any session
+# fails or p95 at 32 sessions exceeds 3x the solo p95.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,3 +24,5 @@ export PYTHONPATH=src
 python benchmarks/bench_pr2.py "$@"
 echo
 python benchmarks/bench_pr3.py "$@"
+echo
+python benchmarks/bench_pr4.py "$@"

@@ -7,7 +7,9 @@
 #      hygiene — a suspended query resumed across a graph mutation is
 #      invalidated, never silently wrong — and round-robin fairness);
 #   3. a plan-cache metrics smoke over `repro metrics --exercise`;
-#   4. the full tier-1 test suite.
+#   4. the serving-layer smoke test (concurrency soak under injected
+#      faults, retry accounting, and the breaker's fallback ladder);
+#   5. the full tier-1 test suite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,6 +30,10 @@ echo "$metrics" | grep -q 'repro_plancache_requests_total{outcome="hit"} [1-9]' 
 echo "$metrics" | grep -q 'repro_optimizer_runs_total [1-9]' \
   || { echo "FAIL: optimizer never ran in the exercised workload"; exit 1; }
 echo "ok: plan cache hits and optimizer runs recorded"
+
+echo
+echo "== repro serve --self-test =="
+python -m repro serve --self-test
 
 echo
 echo "== tier-1 test suite =="

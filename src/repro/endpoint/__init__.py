@@ -14,12 +14,14 @@ from .cost import (
     LOCAL_PROFILE,
     REMOTE_VIRTUOSO_PROFILE,
 )
+from .faults import FaultInjector
 from .local import LocalEndpoint
 from .virtuoso import RemoteEndpoint, SimulatedVirtuosoServer
 from .wire import (
     JSON_RESULTS_MIME,
     SparqlHttpRequest,
     SparqlHttpResponse,
+    TransientWireError,
     decode_page,
     decode_response,
     encode_request,
@@ -41,6 +43,8 @@ __all__ = [
     "SparqlHttpRequest",
     "SparqlHttpResponse",
     "JSON_RESULTS_MIME",
+    "TransientWireError",
+    "FaultInjector",
     "encode_request",
     "decode_response",
     "decode_page",

@@ -10,18 +10,26 @@ the *shape* on a virtual time axis.  Components advance a shared
 
 from __future__ import annotations
 
+import threading
+
 __all__ = ["SimClock"]
 
 
 class SimClock:
-    """A monotonically advancing virtual clock (milliseconds)."""
+    """A monotonically advancing virtual clock (milliseconds).
 
-    __slots__ = ("_now_ms",)
+    Advancing is a read-modify-write, so it is guarded by a lock:
+    concurrent sessions sharing one clock (the serving frontend drives
+    many at once) must never lose time to an interleaved update.
+    """
+
+    __slots__ = ("_now_ms", "_lock")
 
     def __init__(self, start_ms: float = 0.0):
         if start_ms < 0:
             raise ValueError("clock cannot start before zero")
         self._now_ms = float(start_ms)
+        self._lock = threading.Lock()
 
     @property
     def now_ms(self) -> float:
@@ -32,8 +40,20 @@ class SimClock:
         """Advance the clock by ``delta_ms``; returns the new time."""
         if delta_ms < 0:
             raise ValueError("cannot advance the clock backwards")
-        self._now_ms += delta_ms
-        return self._now_ms
+        with self._lock:
+            self._now_ms += delta_ms
+            return self._now_ms
+
+    def wait_until(self, target_ms: float) -> float:
+        """Advance to ``target_ms`` if it lies in the future.
+
+        A no-op when the clock has already passed the target (another
+        session may have carried time forward); returns the new time.
+        """
+        with self._lock:
+            if target_ms > self._now_ms:
+                self._now_ms = float(target_ms)
+            return self._now_ms
 
     def measure(self) -> "_Span":
         """Context manager measuring virtual time spent inside the block."""

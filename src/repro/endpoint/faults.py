@@ -1,0 +1,77 @@
+"""Fault injection for the simulated HTTP wire.
+
+Real serving stacks see two failure shapes the reproduction must be
+able to dial in: *transient errors* (the backend drops a request — a
+timeout, a 503, a reset connection) and *slow responses* (the request
+succeeds but pays a latency tail).  :class:`FaultInjector` rolls an
+independent, seeded die per request so every run is reproducible; the
+:class:`~repro.endpoint.virtuoso.SimulatedVirtuosoServer` consults it
+before dispatching each request.
+
+Faults are injected *on the wire*, not in the engine: a transiently
+failed request never touches the graph, and a slow response carries a
+correct answer — exactly the failure model the serving layer's retry
+and circuit-breaker logic (:mod:`repro.serve`) is built against.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..obs.metrics import REGISTRY
+
+__all__ = ["FaultInjector", "TRANSIENT", "SLOW"]
+
+_FAULTS_INJECTED_TOTAL = REGISTRY.counter(
+    "repro_wire_faults_injected_total",
+    "Faults injected into the simulated wire, by kind",
+    labelnames=("kind",),
+)
+_INJECTED_TRANSIENT = _FAULTS_INJECTED_TOTAL.labels(kind="transient")
+_INJECTED_SLOW = _FAULTS_INJECTED_TOTAL.labels(kind="slow")
+
+#: Fault kinds returned by :meth:`FaultInjector.roll`.
+TRANSIENT = "transient"
+SLOW = "slow"
+
+
+class FaultInjector:
+    """Seeded per-request fault roller for the simulated wire.
+
+    ``transient_rate`` is the probability a request fails outright with
+    a retryable 503; ``slow_rate`` the probability a (successful)
+    response is delayed by ``slow_penalty_ms`` of extra simulated
+    latency.  The two rolls are independent; a transient fault wins.
+    """
+
+    def __init__(
+        self,
+        transient_rate: float = 0.0,
+        slow_rate: float = 0.0,
+        slow_penalty_ms: float = 250.0,
+        seed: int = 0,
+    ):
+        for name, rate in (("transient_rate", transient_rate), ("slow_rate", slow_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {rate!r}")
+        if slow_penalty_ms < 0:
+            raise ValueError("slow_penalty_ms cannot be negative")
+        self.transient_rate = transient_rate
+        self.slow_rate = slow_rate
+        self.slow_penalty_ms = slow_penalty_ms
+        self._rng = random.Random(seed)
+        self.injected_transient = 0
+        self.injected_slow = 0
+
+    def roll(self) -> Optional[str]:
+        """Fault for the next request: ``"transient"``, ``"slow"``, or None."""
+        if self.transient_rate and self._rng.random() < self.transient_rate:
+            self.injected_transient += 1
+            _INJECTED_TRANSIENT.inc()
+            return TRANSIENT
+        if self.slow_rate and self._rng.random() < self.slow_rate:
+            self.injected_slow += 1
+            _INJECTED_SLOW.inc()
+            return SLOW
+        return None

@@ -15,6 +15,7 @@ compatibility mode does:
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
 from ..obs.metrics import REGISTRY
@@ -23,6 +24,7 @@ from ..sparql.evaluator import Evaluator
 from .base import Endpoint, EndpointResponse, observe_response
 from .clock import SimClock
 from .cost import REMOTE_VIRTUOSO_PROFILE, CostModel
+from .faults import SLOW, TRANSIENT, FaultInjector
 from .wire import (
     SparqlHttpRequest,
     SparqlHttpResponse,
@@ -54,6 +56,7 @@ class SimulatedVirtuosoServer:
         clock: Optional[SimClock] = None,
         cost_model: CostModel = REMOTE_VIRTUOSO_PROFILE,
         optimize: bool = True,
+        faults: Optional[FaultInjector] = None,
     ):
         self.graph = graph
         self.url = url
@@ -61,6 +64,7 @@ class SimulatedVirtuosoServer:
         self.cost_model = cost_model
         self.requests_served = 0
         self.optimize = optimize
+        self.faults = faults
         # A real Virtuoso keeps its own server-side plan cache; so does
         # the simulation (function-level import: repro.perf imports the
         # decomposer, which imports this package's base module).
@@ -69,7 +73,12 @@ class SimulatedVirtuosoServer:
         self.plan_cache = PlanCache()
 
     def handle(self, request: SparqlHttpRequest) -> SparqlHttpResponse:
-        """Serve one protocol request."""
+        """Serve one protocol request, through the fault injector.
+
+        An injected transient fault drops the request with a retryable
+        503 before it touches the engine; an injected slow response
+        serves the correct answer but charges an extra latency penalty.
+        """
         if request.endpoint_url != self.url:
             _SERVER_ERROR.inc()
             return SparqlHttpResponse(
@@ -77,6 +86,28 @@ class SimulatedVirtuosoServer:
                 body=f"no endpoint at {request.endpoint_url}",
                 content_type="text/plain",
             )
+        fault = self.faults.roll() if self.faults is not None else None
+        if fault == TRANSIENT:
+            _SERVER_ERROR.inc()
+            elapsed = self.cost_model.network_latency_ms
+            self.clock.advance(elapsed)
+            return SparqlHttpResponse(
+                status=503,
+                body="transient backend fault (injected)",
+                content_type="text/plain",
+                elapsed_ms=elapsed,
+            )
+        response = self._dispatch(request)
+        if fault == SLOW and response.ok:
+            penalty = self.faults.slow_penalty_ms
+            self.clock.advance(penalty)
+            response = replace(
+                response, elapsed_ms=response.elapsed_ms + penalty
+            )
+        return response
+
+    def _dispatch(self, request: SparqlHttpRequest) -> SparqlHttpResponse:
+        """Execute one (fault-free) protocol request against the engine."""
         self.requests_served += 1
         if request.paged:
             return self._handle_paged(request)
@@ -132,7 +163,7 @@ class SimulatedVirtuosoServer:
                     raise sparql_executor.MalformedTokenError(
                         "ASK queries do not issue continuation tokens"
                     )
-                return self.handle(
+                return self._dispatch(
                     SparqlHttpRequest(
                         endpoint_url=request.endpoint_url, query=request.query
                     )

@@ -33,6 +33,8 @@ __all__ = [
     "SparqlHttpResponse",
     "JSON_RESULTS_MIME",
     "NTRIPLES_MIME",
+    "TRANSIENT_STATUSES",
+    "TransientWireError",
     "encode_request",
     "decode_response",
     "decode_page",
@@ -40,6 +42,22 @@ __all__ = [
 
 JSON_RESULTS_MIME = "application/sparql-results+json"
 NTRIPLES_MIME = "application/n-triples"
+
+#: HTTP statuses a client may retry: the request never produced an
+#: answer, so replaying it is safe.
+TRANSIENT_STATUSES = (429, 502, 503, 504)
+
+
+class TransientWireError(SparqlError):
+    """A retryable wire failure (503-style): the request can be replayed.
+
+    Distinct from plain :class:`SparqlError` so retry logic never
+    replays requests that failed for a *semantic* reason (parse errors,
+    bad continuation tokens)."""
+
+    def __init__(self, message: str, status: int = 503):
+        super().__init__(message)
+        self.status = status
 
 
 @dataclass(frozen=True)
@@ -148,14 +166,44 @@ def encode_error(error: Exception, elapsed_ms: float = 0.0) -> SparqlHttpRespons
     )
 
 
+def _raise_protocol_error(response: SparqlHttpResponse) -> None:
+    """Surface a non-2xx response as the most specific client error.
+
+    Transient statuses raise :class:`TransientWireError` (retryable);
+    400 bodies carrying a continuation-token failure re-raise as the
+    matching :class:`~repro.sparql.executor.ContinuationError` subclass
+    so paging clients see the same error taxonomy locally and remotely;
+    everything else is a plain :class:`SparqlError`.
+    """
+    if response.status in TRANSIENT_STATUSES:
+        raise TransientWireError(
+            f"endpoint returned {response.status}: {response.body}",
+            status=response.status,
+        )
+    if response.status == 400:
+        from ..sparql import executor as sparql_executor
+
+        token_errors = {
+            "MalformedTokenError": sparql_executor.MalformedTokenError,
+            "TokenVersionError": sparql_executor.TokenVersionError,
+            "ExpiredTokenError": sparql_executor.ExpiredTokenError,
+        }
+        name, _, detail = response.body.partition(": ")
+        error_class = token_errors.get(name)
+        if error_class is not None:
+            raise error_class(detail or response.body)
+    raise SparqlError(f"endpoint returned {response.status}: {response.body}")
+
+
 def decode_response(response: SparqlHttpResponse):
     """Parse a response body back into a result object.
 
-    Raises :class:`SparqlError` on non-2xx responses, mirroring what an
-    HTTP client wrapper would do.
+    Raises :class:`SparqlError` (or a more specific subclass — see
+    :func:`_raise_protocol_error`) on non-2xx responses, mirroring what
+    an HTTP client wrapper would do.
     """
     if not response.ok:
-        raise SparqlError(f"endpoint returned {response.status}: {response.body}")
+        _raise_protocol_error(response)
     if response.content_type == NTRIPLES_MIME:
         from ..rdf.graph import Graph
         from ..rdf.ntriples import parse_ntriples

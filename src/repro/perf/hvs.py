@@ -9,7 +9,6 @@ bases."
 
 from __future__ import annotations
 
-import re
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -43,12 +42,58 @@ _HVS_INVALIDATIONS_TOTAL = REGISTRY.counter(
 #: The paper's heaviness threshold: one (simulated) second.
 DEFAULT_HEAVY_THRESHOLD_MS = 1000.0
 
-_WHITESPACE = re.compile(r"\s+")
+def _skip_string_literal(query_text: str, start: int) -> int:
+    """Index one past the string literal opening at ``start``.
+
+    Handles ``'...'``, ``"..."``, and their triple-quoted long forms,
+    honouring backslash escapes.  An unterminated literal swallows the
+    rest of the text (same as the SPARQL lexer would before erroring).
+    """
+    quote = query_text[start]
+    delim = quote * 3 if query_text.startswith(quote * 3, start) else quote
+    i = start + len(delim)
+    n = len(query_text)
+    while i < n:
+        if query_text[i] == "\\":
+            i += 2
+            continue
+        if query_text.startswith(delim, i):
+            return i + len(delim)
+        i += 1
+    return n
 
 
 def normalize_query(query_text: str) -> str:
-    """Canonical cache key: whitespace-collapsed query text."""
-    return _WHITESPACE.sub(" ", query_text).strip()
+    """Canonical cache key: whitespace-collapsed query text.
+
+    Whitespace is collapsed *outside* string literals only — inside
+    ``'...'``/``"..."``/triple-quoted literals every character is part
+    of the query's meaning (``FILTER(?l = "a  b")`` and ``"a b"`` are
+    different queries), so literals are copied verbatim.
+    """
+    out = []
+    pending_space = False
+    i = 0
+    n = len(query_text)
+    while i < n:
+        char = query_text[i]
+        if char in "\"'":
+            end = _skip_string_literal(query_text, i)
+            if pending_space and out:
+                out.append(" ")
+            pending_space = False
+            out.append(query_text[i:end])
+            i = end
+        elif char.isspace():
+            pending_space = True
+            i += 1
+        else:
+            if pending_space and out:
+                out.append(" ")
+            pending_space = False
+            out.append(char)
+            i += 1
+    return "".join(out)
 
 
 @dataclass

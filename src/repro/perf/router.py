@@ -7,6 +7,13 @@ eLinda backend measures the run time of the routed queries" (Section 4).
 Decomposable property expansions are intercepted before reaching the
 backend, since "the eLinda decomposer can be used for all property
 expansion queries".
+
+The same chain doubles as a *fallback ladder* under backend failure:
+when a :class:`~repro.serve.breaker.CircuitBreaker` on the backend is
+open, queries the HVS has cached or the decomposer can rewrite are
+still answered, and only queries that genuinely need the backend raise
+:class:`~repro.serve.breaker.CircuitOpenError` for the serving layer to
+back off on.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..endpoint.base import Endpoint, EndpointResponse
+from ..endpoint.wire import TransientWireError
 from ..obs.metrics import REGISTRY
 from .decomposer import Decomposer
 from .hvs import HeavyQueryStore
@@ -35,6 +43,9 @@ class ElindaEndpoint(Endpoint):
 
     ``use_hvs`` / ``use_decomposer`` switches support the demo scenario
     "with the discussed solutions turned on and off" (Section 5).
+    ``breaker`` is an optional circuit breaker guarding the backend
+    (any object with ``allow()`` / ``record_success()`` /
+    ``record_failure()`` / ``retry_after_ms()``).
     """
 
     def __init__(
@@ -44,6 +55,7 @@ class ElindaEndpoint(Endpoint):
         decomposer: Optional[Decomposer] = None,
         use_hvs: bool = True,
         use_decomposer: bool = True,
+        breaker=None,
     ):
         super().__init__()
         self.backend = backend
@@ -51,6 +63,7 @@ class ElindaEndpoint(Endpoint):
         self.decomposer = decomposer
         self.use_hvs = use_hvs
         self.use_decomposer = use_decomposer
+        self.breaker = breaker
         # Shape detection and execution look at the same queries: let the
         # decomposer read ASTs out of the backend's plan cache.
         if decomposer is not None and decomposer.plan_cache is None:
@@ -60,9 +73,36 @@ class ElindaEndpoint(Endpoint):
     def dataset_version(self) -> int:
         return self.backend.dataset_version
 
-    def query(self, query_text: str) -> EndpointResponse:
+    def query(
+        self,
+        query_text: str,
+        *,
+        quantum_ms: Optional[float] = None,
+        page_size: Optional[int] = None,
+        continuation: Optional[str] = None,
+    ) -> EndpointResponse:
+        paged = (
+            quantum_ms is not None
+            or page_size is not None
+            or continuation is not None
+        )
+        # Continuation requests resume a suspended *backend* execution:
+        # the HVS and decomposer only ever hold complete answers, so
+        # consulting them mid-pagination could at best duplicate rows
+        # already delivered.  Straight to the backend.
+        if continuation is not None:
+            response = self._query_backend(
+                query_text,
+                quantum_ms=quantum_ms,
+                page_size=page_size,
+                continuation=continuation,
+                paged=True,
+            )
+            self._log(response)
+            return response
         version = self.dataset_version
-        # 1. Heavy-query store.
+        # 1. Heavy-query store (complete cached answers, so an HVS hit
+        # short-circuits paging too — the whole result in one response).
         if self.use_hvs and self.hvs is not None:
             cached = self.hvs.lookup(query_text, version)
             if cached is not None:
@@ -82,11 +122,71 @@ class ElindaEndpoint(Endpoint):
                 self._log(decomposed)
                 return decomposed
         # 3. Backend, measuring runtime for heaviness detection.
-        _ROUTE_BACKEND.inc()
-        response = self.backend.query(query_text)
+        response = self._query_backend(
+            query_text,
+            quantum_ms=quantum_ms,
+            page_size=page_size,
+            continuation=None,
+            paged=paged,
+        )
         if self.use_hvs and self.hvs is not None:
-            self.hvs.record(
-                query_text, response.result, response.elapsed_ms, version
-            )
+            self._record_heavy(query_text, response, version)
         self._log(response)
         return response
+
+    def _query_backend(
+        self,
+        query_text: str,
+        quantum_ms: Optional[float],
+        page_size: Optional[int],
+        continuation: Optional[str],
+        paged: bool,
+    ) -> EndpointResponse:
+        """One backend round-trip, through the circuit breaker."""
+        if self.breaker is not None and not self.breaker.allow():
+            from ..serve.breaker import CircuitOpenError
+
+            raise CircuitOpenError(
+                "backend circuit breaker is open and no fallback layer "
+                "could answer",
+                retry_after_ms=self.breaker.retry_after_ms(),
+            )
+        _ROUTE_BACKEND.inc()
+        try:
+            if paged:
+                response = self.backend.query(
+                    query_text,
+                    quantum_ms=quantum_ms,
+                    page_size=page_size,
+                    continuation=continuation,
+                )
+            else:
+                response = self.backend.query(query_text)
+        except TransientWireError:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise
+        if self.breaker is not None:
+            self.breaker.record_success()
+        return response
+
+    def _record_heavy(
+        self, query_text: str, response: EndpointResponse, version: int
+    ) -> None:
+        """Offer a backend answer to the HVS, if it is safe to cache.
+
+        Partial pages never reach the store: their result and elapsed
+        time describe one quantum, not the query.  Neither does an
+        answer that raced a knowledge-base update — the version is
+        re-read *after* execution and the record dropped on mismatch,
+        otherwise a result computed against the old graph would be
+        cached under (and served for) the new version.
+        """
+        if not response.complete or response.continuation is not None:
+            return
+        version_after = self.dataset_version
+        if version_after != version:
+            return
+        self.hvs.record(
+            query_text, response.result, response.elapsed_ms, version_after
+        )

@@ -1,0 +1,26 @@
+"""The serving layer: concurrent sessions over the time-sliced engine.
+
+PR 1–3 built observability, an optimizer, and a suspendable executor;
+this package is what makes them a *serving stack*.  It multiplexes many
+exploration sessions fairly (admission control + the round-robin
+scheduler), absorbs transient wire faults with exponential backoff and
+jitter (:mod:`repro.serve.retry`), restarts queries whose continuation
+tokens expire, and sheds load from a failing backend through a circuit
+breaker (:mod:`repro.serve.breaker`) that degrades along the paper's
+own fallback ladder — HVS hit → decomposer → backend — instead of
+failing sessions.
+"""
+
+from .breaker import CircuitBreaker, CircuitOpenError
+from .frontend import ServeConfig, ServeFrontend, SessionReport
+from .retry import BackoffPolicy, RetryBudgetExceeded
+
+__all__ = [
+    "BackoffPolicy",
+    "RetryBudgetExceeded",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "ServeConfig",
+    "ServeFrontend",
+    "SessionReport",
+]

@@ -1,0 +1,146 @@
+"""Circuit breaker on the remote backend, on simulated time.
+
+Retry alone amplifies load during an outage: every session hammers a
+backend that is already failing.  The breaker watches consecutive
+transient failures and, past a threshold, *opens* — requests
+short-circuit without touching the backend.  The eLinda router
+(:class:`~repro.perf.router.ElindaEndpoint`) then degrades along the
+paper's own fallback ladder: queries the HVS has cached or the
+decomposer can rewrite are still answered; only queries that genuinely
+need the backend raise :class:`CircuitOpenError` for the frontend to
+back off on.  After ``recovery_ms`` the breaker lets a bounded number
+of *half-open* trial requests through; one success closes it again,
+one failure re-opens it.
+
+States follow the classic pattern (closed → open → half-open → closed),
+timed on the shared :class:`~repro.endpoint.clock.SimClock`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..endpoint.clock import SimClock
+from ..obs.metrics import REGISTRY
+
+__all__ = ["CircuitBreaker", "CircuitOpenError", "CLOSED", "OPEN", "HALF_OPEN"]
+
+_BREAKER_TRANSITIONS_TOTAL = REGISTRY.counter(
+    "repro_breaker_transitions_total",
+    "Circuit-breaker state transitions, by state entered",
+    labelnames=("state",),
+)
+_BREAKER_SHORT_CIRCUITS_TOTAL = REGISTRY.counter(
+    "repro_breaker_short_circuits_total",
+    "Backend requests short-circuited because the breaker was open",
+)
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitOpenError(RuntimeError):
+    """The backend breaker is open and no fallback layer could answer."""
+
+    def __init__(self, message: str, retry_after_ms: float = 0.0):
+        super().__init__(message)
+        #: Simulated milliseconds until the breaker will try half-open.
+        self.retry_after_ms = retry_after_ms
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker over a (simulated) backend.
+
+    ``record_failure`` counts *transient* backend failures only; a
+    semantic error (bad query) says nothing about backend health and
+    must not be fed in.  The caller brackets each backend request with
+    :meth:`allow` / :meth:`record_success` / :meth:`record_failure`.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        failure_threshold: int = 5,
+        recovery_ms: float = 1000.0,
+        half_open_trials: int = 1,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if recovery_ms <= 0:
+            raise ValueError("recovery_ms must be positive")
+        if half_open_trials < 1:
+            raise ValueError("half_open_trials must be at least 1")
+        self.clock = clock or SimClock()
+        self.failure_threshold = failure_threshold
+        self.recovery_ms = recovery_ms
+        self.half_open_trials = half_open_trials
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at_ms = 0.0
+        self._trials_in_flight = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, accounting for recovery-timeout expiry."""
+        if self._state == OPEN and self._recovery_elapsed():
+            self._enter(HALF_OPEN)
+        return self._state
+
+    def _recovery_elapsed(self) -> bool:
+        return self.clock.now_ms - self._opened_at_ms >= self.recovery_ms
+
+    def _enter(self, state: str) -> None:
+        if state == self._state:
+            return
+        self._state = state
+        _BREAKER_TRANSITIONS_TOTAL.labels(state=state).inc()
+        if state == OPEN:
+            self._opened_at_ms = self.clock.now_ms
+        if state == HALF_OPEN:
+            self._trials_in_flight = 0
+        if state == CLOSED:
+            self._consecutive_failures = 0
+
+    def allow(self) -> bool:
+        """May the next backend request proceed?
+
+        In half-open, at most ``half_open_trials`` probes pass until
+        one of them reports back.  Denials are counted as
+        short-circuits.
+        """
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN and self._trials_in_flight < self.half_open_trials:
+            self._trials_in_flight += 1
+            return True
+        _BREAKER_SHORT_CIRCUITS_TOTAL.inc()
+        return False
+
+    def retry_after_ms(self) -> float:
+        """Simulated ms until an open breaker will admit a probe."""
+        if self.state != OPEN:
+            return 0.0
+        return max(
+            0.0, self._opened_at_ms + self.recovery_ms - self.clock.now_ms
+        )
+
+    def record_success(self) -> None:
+        """A backend request completed: close (or stay closed)."""
+        if self._state == HALF_OPEN:
+            self._trials_in_flight = max(0, self._trials_in_flight - 1)
+        self._consecutive_failures = 0
+        self._enter(CLOSED)
+
+    def record_failure(self) -> None:
+        """A backend request failed transiently: count, maybe open."""
+        if self._state == HALF_OPEN:
+            self._trials_in_flight = max(0, self._trials_in_flight - 1)
+            self._enter(OPEN)
+            return
+        self._consecutive_failures += 1
+        if self._state == CLOSED and (
+            self._consecutive_failures >= self.failure_threshold
+        ):
+            self._enter(OPEN)

@@ -1,0 +1,375 @@
+"""Multi-session serving frontend over the time-sliced executor.
+
+:class:`ServeFrontend` is the piece that turns the engine's machinery —
+suspendable plans, continuation tokens, the fair
+:class:`~repro.sparql.executor.RoundRobinScheduler` — into a serving
+stack: N concurrent exploration *sessions* (each a sequence of queries,
+one exploration click per query) are admitted under a capacity limit,
+multiplexed one bounded quantum at a time, retried with exponential
+backoff on transient wire faults, restarted on expired continuation
+tokens, and degraded along the eLinda fallback ladder (HVS →
+decomposer → backend) when the backend circuit breaker is open.
+
+Every session is driven through the endpoint's *public* query
+interface — the same ``query(text, quantum_ms=, page_size=,
+continuation=)`` protocol the explorer uses — so faults injected on the
+simulated wire, HVS hits, and decomposer rewrites all take their
+production paths.  Waits (backoff, breaker recovery) advance the shared
+:class:`~repro.endpoint.clock.SimClock` instead of sleeping: a run is
+deterministic, instant, and yet reports honest simulated latencies.
+
+Admission control is two-staged: at most ``max_active`` sessions share
+the scheduler rotation; up to ``queue_capacity`` more wait in FIFO
+order; beyond that, sessions are *rejected* at submit time — load
+shedding at the door instead of collapse under overload.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence
+
+from ..endpoint.base import Endpoint
+from ..endpoint.clock import SimClock
+from ..endpoint.wire import TransientWireError
+from ..obs.metrics import REGISTRY
+from ..sparql.executor import ContinuationError, Page, RoundRobinScheduler
+from .breaker import CircuitOpenError
+from .retry import BackoffPolicy, RetryBudgetExceeded
+
+__all__ = ["ServeConfig", "SessionReport", "ServeFrontend"]
+
+_SESSIONS_TOTAL = REGISTRY.counter(
+    "repro_serve_sessions_total",
+    "Sessions handled by the serving frontend, by outcome",
+    labelnames=("outcome",),
+)
+_ACTIVE_SESSIONS = REGISTRY.gauge(
+    "repro_serve_active_sessions",
+    "Sessions currently holding a slot in the scheduler rotation",
+)
+_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_serve_queue_depth",
+    "Admitted-but-not-yet-active sessions waiting in the FIFO queue",
+)
+_SESSION_LATENCY_MS = REGISTRY.histogram(
+    "repro_serve_session_latency_ms",
+    "Per-session billed latency (own pages + own backoff waits, "
+    "simulated ms) for completed sessions",
+)
+_TURNS_TOTAL = REGISTRY.counter(
+    "repro_serve_turns_total",
+    "Scheduler turns taken by sessions, by what the turn did",
+    labelnames=("result",),
+)
+_TURN_PAGE = _TURNS_TOTAL.labels(result="page")
+_TURN_RETRY = _TURNS_TOTAL.labels(result="retry")
+_TURN_WAIT = _TURNS_TOTAL.labels(result="wait")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Serving-policy knobs for one :class:`ServeFrontend`.
+
+    ``deadline_ms`` is a per-session budget on the shared simulated
+    clock, measured from admission (not from submit): a session that
+    cannot finish inside it fails with ``deadline exceeded`` instead of
+    holding its slot forever.
+    """
+
+    max_active: int = 8
+    queue_capacity: int = 64
+    page_size: Optional[int] = 50
+    quantum_ms: Optional[float] = None
+    deadline_ms: Optional[float] = None
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_active < 1:
+            raise ValueError("max_active must be at least 1")
+        if self.queue_capacity < 0:
+            raise ValueError("queue_capacity cannot be negative")
+
+
+@dataclass
+class SessionReport:
+    """The lifecycle record of one session, returned by :meth:`run`."""
+
+    key: object
+    outcome: str  # "completed" | "failed" | "rejected"
+    error: Optional[str] = None
+    #: Result rows per query, in submission order (empty when rejected).
+    rows: List[List[dict]] = field(default_factory=list)
+    pages: int = 0
+    retries: int = 0
+    queued_at_ms: float = 0.0
+    admitted_at_ms: float = 0.0
+    finished_at_ms: float = 0.0
+    #: Billed service latency: simulated ms of the session's own pages
+    #: plus its own backoff waits (independent of co-tenant load).
+    billed_ms: float = 0.0
+
+    @property
+    def wall_ms(self) -> float:
+        """Shared-clock latency from admission to completion."""
+        return self.finished_at_ms - self.admitted_at_ms
+
+
+class _SessionTask:
+    """One live session inside the scheduler rotation.
+
+    Exposes the ``run_quantum`` protocol the scheduler drives, and
+    delegates the actual turn to the frontend (which owns policy).
+    """
+
+    __slots__ = (
+        "key", "queries", "index", "rows", "continuation", "attempts",
+        "retries", "pages", "billed_ms", "wake_ms", "queued_at_ms",
+        "admitted_at_ms", "_frontend",
+    )
+
+    def __init__(self, frontend: "ServeFrontend", key, queries: List[str]):
+        self.key = key
+        self.queries = queries
+        self.index = 0
+        self.rows: List[List[dict]] = [[] for _ in queries]
+        self.continuation: Optional[str] = None
+        self.attempts = 0  # retries against the *current* request
+        self.retries = 0
+        self.pages = 0
+        self.billed_ms = 0.0
+        self.wake_ms = 0.0
+        self.queued_at_ms = 0.0
+        self.admitted_at_ms = 0.0
+        self._frontend = frontend
+
+    # RoundRobinScheduler task protocol -------------------------------
+    def run_quantum(
+        self,
+        quantum_ms: Optional[float] = None,
+        page_size: Optional[int] = None,
+    ) -> Page:
+        return self._frontend._turn(self, quantum_ms, page_size)
+
+    def reset_current_query(self) -> None:
+        """Restart the in-flight query from scratch (expired token)."""
+        self.rows[self.index] = []
+        self.continuation = None
+
+
+class ServeFrontend:
+    """Admission-controlled, fault-tolerant multi-session frontend."""
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        clock: Optional[SimClock] = None,
+        config: Optional[ServeConfig] = None,
+    ):
+        self.endpoint = endpoint
+        self.clock = clock or getattr(endpoint, "clock", None) or SimClock()
+        self.config = config or ServeConfig()
+        self.scheduler = RoundRobinScheduler(
+            quantum_ms=self.config.quantum_ms,
+            page_size=self.config.page_size,
+        )
+        self._queue: Deque[_SessionTask] = deque()
+        self._tasks: Dict[object, _SessionTask] = {}
+        self._reports: Dict[object, SessionReport] = {}
+        self._rng = random.Random(self.config.seed)
+        self._progress_in_round = False
+
+    # ------------------------------------------------------------------
+    # Submission and admission
+    # ------------------------------------------------------------------
+
+    def submit(self, key, queries: Sequence[str]) -> bool:
+        """Offer a session (a sequence of queries) to the frontend.
+
+        Returns True when the session was queued; False when admission
+        control shed it (queue full) — the rejection is recorded in the
+        final report map either way.
+        """
+        if key in self._tasks or key in self._reports:
+            raise ValueError(f"session {key!r} was already submitted")
+        if not queries:
+            raise ValueError("a session needs at least one query")
+        if len(self._queue) >= self.config.queue_capacity:
+            self._reports[key] = SessionReport(
+                key=key,
+                outcome="rejected",
+                error="admission control: queue is full",
+                queued_at_ms=self.clock.now_ms,
+            )
+            _SESSIONS_TOTAL.labels(outcome="rejected").inc()
+            return False
+        task = _SessionTask(self, key, list(queries))
+        task.queued_at_ms = self.clock.now_ms
+        self._tasks[key] = task
+        self._queue.append(task)
+        _QUEUE_DEPTH.set(len(self._queue))
+        return True
+
+    def _admit(self) -> None:
+        while self._queue and len(self.scheduler) < self.config.max_active:
+            task = self._queue.popleft()
+            task.admitted_at_ms = self.clock.now_ms
+            self.scheduler.submit(task.key, task)
+            _QUEUE_DEPTH.set(len(self._queue))
+            _ACTIVE_SESSIONS.set(len(self.scheduler))
+
+    # ------------------------------------------------------------------
+    # The serving loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> Dict[object, SessionReport]:
+        """Drive every submitted session to an outcome; the reports.
+
+        One iteration = one fair scheduler round (every active session
+        gets one quantum).  When a whole round makes no progress —
+        every active session is waiting out a backoff or the breaker's
+        recovery window — the simulated clock jumps to the earliest
+        wake-up instead of spinning.
+        """
+        self._admit()
+        while len(self.scheduler) or self._queue:
+            self._progress_in_round = False
+            self.scheduler.run_round()
+            self._admit()
+            if self._progress_in_round or not len(self.scheduler):
+                continue
+            wakes = [
+                task.wake_ms
+                for task in self._tasks.values()
+                if task.key not in self._reports
+                and task.wake_ms > self.clock.now_ms
+            ]
+            if not wakes:
+                raise RuntimeError(
+                    "serving loop stalled: active sessions made no "
+                    "progress and none is waiting on the clock"
+                )
+            self.clock.wait_until(min(wakes))
+        return dict(self._reports)
+
+    def reports(self) -> Dict[object, SessionReport]:
+        """The outcomes recorded so far (completed/failed/rejected)."""
+        return dict(self._reports)
+
+    # ------------------------------------------------------------------
+    # One session turn
+    # ------------------------------------------------------------------
+
+    def _turn(
+        self,
+        task: _SessionTask,
+        quantum_ms: Optional[float],
+        page_size: Optional[int],
+    ) -> Page:
+        now = self.clock.now_ms
+        if task.wake_ms > now:
+            _TURN_WAIT.inc()
+            return self._idle_page("waiting")
+        deadline = self.config.deadline_ms
+        if deadline is not None and now - task.admitted_at_ms > deadline:
+            return self._finish(
+                task,
+                outcome="failed",
+                error=f"deadline exceeded ({deadline:.0f} simulated ms)",
+            )
+        query_text = task.queries[task.index]
+        try:
+            response = self.endpoint.query(
+                query_text,
+                quantum_ms=quantum_ms,
+                page_size=page_size,
+                continuation=task.continuation,
+            )
+        except TransientWireError as error:
+            return self._retry(task, "transient", error)
+        except CircuitOpenError as error:
+            return self._retry(
+                task, "circuit_open", error, min_delay_ms=error.retry_after_ms
+            )
+        except ContinuationError as error:
+            # The graph moved on (or the token broke) mid-pagination:
+            # the only sound recovery is restarting the query — rows
+            # already collected for it are discarded, never mixed with
+            # rows from a different dataset version.
+            task.reset_current_query()
+            return self._retry(task, "expired_token", error)
+        self._progress_in_round = True
+        _TURN_PAGE.inc()
+        task.attempts = 0
+        task.pages += 1
+        task.billed_ms += response.elapsed_ms
+        page_rows = list(getattr(response.result, "rows", ()))
+        task.rows[task.index].extend(page_rows)
+        task.continuation = response.continuation
+        if response.complete:
+            task.continuation = None
+            task.index += 1
+            if task.index >= len(task.queries):
+                return self._finish(task, outcome="completed")
+        return Page(
+            rows=page_rows,
+            variables=list(getattr(response.result, "vars", ())),
+            complete=False,
+            reason="page",
+        )
+
+    def _retry(
+        self,
+        task: _SessionTask,
+        reason: str,
+        error: Exception,
+        min_delay_ms: float = 0.0,
+    ) -> Page:
+        self._progress_in_round = True  # an attempt was made this round
+        _TURN_RETRY.inc()
+        try:
+            delay = self.config.backoff.next_delay_ms(
+                task.attempts, reason, rng=self._rng
+            )
+        except RetryBudgetExceeded as giveup:
+            return self._finish(
+                task, outcome="failed", error=f"{giveup} ({error})"
+            )
+        delay = max(delay, min_delay_ms)
+        task.attempts += 1
+        task.retries += 1
+        task.wake_ms = self.clock.now_ms + delay
+        task.billed_ms += delay
+        return self._idle_page(reason)
+
+    def _finish(
+        self, task: _SessionTask, outcome: str, error: Optional[str] = None
+    ) -> Page:
+        task_report = SessionReport(
+            key=task.key,
+            outcome=outcome,
+            error=error,
+            rows=task.rows,
+            pages=task.pages,
+            retries=task.retries,
+            queued_at_ms=task.queued_at_ms,
+            admitted_at_ms=task.admitted_at_ms,
+            finished_at_ms=self.clock.now_ms,
+            billed_ms=task.billed_ms,
+        )
+        self._reports[task.key] = task_report
+        _SESSIONS_TOTAL.labels(outcome=outcome).inc()
+        if outcome == "completed":
+            _SESSION_LATENCY_MS.observe(task.billed_ms)
+        self._progress_in_round = True
+        # complete=True drops the task out of the scheduler rotation
+        # (the scheduler popped it before this turn, so len() is final).
+        _ACTIVE_SESSIONS.set(len(self.scheduler))
+        return Page(rows=[], variables=[], complete=True, reason=outcome)
+
+    @staticmethod
+    def _idle_page(reason: str) -> Page:
+        return Page(rows=[], variables=[], complete=False, reason=reason)

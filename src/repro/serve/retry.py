@@ -1,0 +1,96 @@
+"""Retry policy: exponential backoff with jitter, on simulated time.
+
+Transient wire errors (:class:`~repro.endpoint.wire.TransientWireError`)
+and expired continuation tokens are *retryable*: replaying the request
+(or restarting the query, for expired tokens) is safe because the
+failed attempt never produced an answer.  The frontend spaces retries
+with this policy; delays advance the session's :class:`SimClock` rather
+than sleeping, so tests and benches stay deterministic and instant.
+
+Jitter decorrelates the retry storms that synchronised exponential
+backoff produces when many sessions fail on the same backend hiccup:
+each delay is scattered uniformly within ``±jitter`` of the exponential
+schedule by a caller-seeded RNG.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..obs.metrics import REGISTRY
+
+__all__ = ["BackoffPolicy", "RetryBudgetExceeded"]
+
+_RETRY_ATTEMPTS_TOTAL = REGISTRY.counter(
+    "repro_retry_attempts_total",
+    "Retries scheduled by the serving layer, by what failed",
+    labelnames=("reason",),
+)
+_RETRY_BACKOFF_MS_TOTAL = REGISTRY.counter(
+    "repro_retry_backoff_ms_total",
+    "Total simulated milliseconds sessions spent waiting in backoff",
+)
+_RETRY_GIVEUPS_TOTAL = REGISTRY.counter(
+    "repro_retry_giveups_total",
+    "Requests abandoned after exhausting the retry budget",
+)
+
+
+class RetryBudgetExceeded(RuntimeError):
+    """The retry budget for one request ran out; the session fails."""
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff schedule with bounded jitter.
+
+    Attempt ``k`` (0-based) waits ``base_ms * multiplier**k`` capped at
+    ``max_ms``, scattered uniformly within ``±jitter`` (a fraction) when
+    an RNG is supplied.  ``max_retries`` bounds attempts per request.
+    """
+
+    base_ms: float = 25.0
+    multiplier: float = 2.0
+    max_ms: float = 1600.0
+    jitter: float = 0.2
+    max_retries: int = 12
+
+    def __post_init__(self):
+        if self.base_ms <= 0 or self.multiplier < 1 or self.max_ms < self.base_ms:
+            raise ValueError("backoff schedule must grow from a positive base")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be a fraction in [0, 1)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+
+    def delay_ms(
+        self, attempt: int, rng: Optional[random.Random] = None
+    ) -> float:
+        """The wait before retry number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError("attempt is 0-based")
+        raw = min(self.base_ms * self.multiplier**attempt, self.max_ms)
+        if rng is not None and self.jitter:
+            raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return raw
+
+    def next_delay_ms(
+        self, attempt: int, reason: str, rng: Optional[random.Random] = None
+    ) -> float:
+        """Account one scheduled retry and return its delay.
+
+        Raises :class:`RetryBudgetExceeded` when ``attempt`` (0-based)
+        is past the budget; emits the retry/backoff/giveup metrics.
+        """
+        if attempt >= self.max_retries:
+            _RETRY_GIVEUPS_TOTAL.inc()
+            raise RetryBudgetExceeded(
+                f"request still failing ({reason}) after "
+                f"{self.max_retries} retries"
+            )
+        delay = self.delay_ms(attempt, rng)
+        _RETRY_ATTEMPTS_TOTAL.labels(reason=reason).inc()
+        _RETRY_BACKOFF_MS_TOTAL.inc(delay)
+        return delay

@@ -294,6 +294,13 @@ class RoundRobinScheduler:
     Plans stay live between turns (no serialisation inside the
     scheduler — tokens are a wire-boundary concern), so the cost of
     fairness is just the bounded quantum itself.
+
+    Besides :class:`~repro.sparql.planner.PhysicalPlan` objects, any
+    *task* exposing ``run_quantum(quantum_ms=..., page_size=...) ->
+    Page`` can join the rotation — the serving frontend
+    (:mod:`repro.serve`) submits whole exploration sessions this way,
+    so local plans and remote, token-paged sessions share one fair
+    rotation.
     """
 
     def __init__(
@@ -327,9 +334,13 @@ class RoundRobinScheduler:
             return None
         key, plan = next(iter(self._sessions.items()))
         self._sessions.pop(key)
-        page = run_quantum(
-            plan, quantum_ms=self.quantum_ms, page_size=self.page_size
-        )
+        runner = getattr(plan, "run_quantum", None)
+        if callable(runner):
+            page = runner(quantum_ms=self.quantum_ms, page_size=self.page_size)
+        else:
+            page = run_quantum(
+                plan, quantum_ms=self.quantum_ms, page_size=self.page_size
+            )
         if not page.complete:
             self._sessions[key] = plan
         return key, page

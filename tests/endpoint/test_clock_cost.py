@@ -37,6 +37,35 @@ class TestSimClock:
             clock.advance(3)
         assert span.elapsed_ms == 10.0
 
+    def test_wait_until_jumps_forward(self):
+        clock = SimClock()
+        clock.wait_until(100.0)
+        assert clock.now_ms == 100.0
+
+    def test_wait_until_the_past_is_a_noop(self):
+        clock = SimClock()
+        clock.advance(50)
+        clock.wait_until(20.0)
+        assert clock.now_ms == 50.0
+
+    def test_concurrent_advances_never_lose_time(self):
+        """Regression: ``advance`` was an unguarded read-modify-write,
+        so concurrent sessions could lose clock ticks."""
+        import threading
+
+        clock = SimClock()
+        threads = [
+            threading.Thread(
+                target=lambda: [clock.advance(1) for _ in range(1000)]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert clock.now_ms == 8000.0
+
 
 class TestCostModel:
     def test_simulate_is_linear(self):

@@ -1,0 +1,125 @@
+"""Fault injection on the simulated wire and its client-side surface:
+seeded determinism, 503s for transient faults, latency penalties for
+slow ones, and the re-raising of typed errors across the HTTP boundary."""
+
+import pytest
+
+from repro.endpoint import (
+    FaultInjector,
+    RemoteEndpoint,
+    SimClock,
+    SimulatedVirtuosoServer,
+    TransientWireError,
+    decode_response,
+)
+from repro.endpoint.faults import SLOW, TRANSIENT
+from repro.endpoint.wire import SparqlHttpResponse
+from repro.sparql import SparqlError
+from repro.sparql.executor import MalformedTokenError
+
+ALL_TRIPLES = "SELECT ?s ?p ?o WHERE { ?s ?p ?o }"
+
+
+class TestFaultInjector:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultInjector(transient_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultInjector(slow_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultInjector(slow_penalty_ms=-1)
+
+    def test_zero_rates_never_fault(self):
+        injector = FaultInjector()
+        assert all(injector.roll() is None for _ in range(100))
+
+    def test_certain_transient(self):
+        injector = FaultInjector(transient_rate=1.0, slow_rate=1.0)
+        assert all(injector.roll() == TRANSIENT for _ in range(20))
+        assert injector.injected_transient == 20
+        assert injector.injected_slow == 0
+
+    def test_certain_slow(self):
+        injector = FaultInjector(slow_rate=1.0)
+        assert all(injector.roll() == SLOW for _ in range(20))
+        assert injector.injected_slow == 20
+
+    def test_same_seed_same_rolls(self):
+        a = FaultInjector(transient_rate=0.3, slow_rate=0.3, seed=7)
+        b = FaultInjector(transient_rate=0.3, slow_rate=0.3, seed=7)
+        assert [a.roll() for _ in range(200)] == [b.roll() for _ in range(200)]
+
+    def test_intermediate_rate_mixes(self):
+        injector = FaultInjector(transient_rate=0.5, seed=1)
+        rolls = [injector.roll() for _ in range(200)]
+        assert 0 < rolls.count(TRANSIENT) < 200
+
+
+class TestServerFaults:
+    def test_transient_fault_returns_503(self, dbpedia_graph):
+        clock = SimClock()
+        server = SimulatedVirtuosoServer(
+            dbpedia_graph,
+            clock=clock,
+            faults=FaultInjector(transient_rate=1.0),
+        )
+        client = RemoteEndpoint(server)
+        with pytest.raises(TransientWireError) as excinfo:
+            client.query(ALL_TRIPLES)
+        assert excinfo.value.status == 503
+        # The dropped request still pays a network round-trip.
+        assert clock.now_ms > 0
+        # And never touched the engine.
+        assert server.requests_served == 0
+
+    def test_slow_fault_charges_penalty_but_answers_correctly(
+        self, dbpedia_graph
+    ):
+        reference_server = SimulatedVirtuosoServer(
+            dbpedia_graph, clock=SimClock()
+        )
+        reference = RemoteEndpoint(reference_server).query(ALL_TRIPLES)
+        slow_server = SimulatedVirtuosoServer(
+            dbpedia_graph,
+            clock=SimClock(),
+            faults=FaultInjector(slow_rate=1.0, slow_penalty_ms=500.0),
+        )
+        slowed = RemoteEndpoint(slow_server).query(ALL_TRIPLES)
+        assert slowed.result.rows == reference.result.rows
+        assert slowed.elapsed_ms == pytest.approx(
+            reference.elapsed_ms + 500.0
+        )
+
+    def test_fault_free_server_unchanged(self, virtuoso_server):
+        client = RemoteEndpoint(virtuoso_server)
+        response = client.query(ALL_TRIPLES)
+        assert response.complete
+        assert virtuoso_server.requests_served == 1
+
+
+class TestClientErrorSurface:
+    def test_decode_response_raises_transient_on_503(self):
+        response = SparqlHttpResponse(
+            status=503, body="try again", content_type="text/plain"
+        )
+        with pytest.raises(TransientWireError):
+            decode_response(response)
+
+    def test_transient_is_a_sparql_error(self):
+        # The serving layer catches SparqlError as its outermost net;
+        # transient faults must stay inside that taxonomy.
+        assert issubclass(TransientWireError, SparqlError)
+
+    def test_token_errors_reraised_client_side(self, virtuoso_server):
+        """A continuation failure crosses the wire as a 400 and comes
+        back out as the same typed error the local executor raises."""
+        client = RemoteEndpoint(virtuoso_server)
+        with pytest.raises(MalformedTokenError):
+            client.query(
+                ALL_TRIPLES, page_size=5, continuation="not-a-token"
+            )
+
+    def test_plain_engine_error_stays_generic(self, virtuoso_server):
+        client = RemoteEndpoint(virtuoso_server)
+        with pytest.raises(SparqlError):
+            client.query("SELECT ?s WHERE { broken")

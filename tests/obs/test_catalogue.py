@@ -6,6 +6,7 @@ import re
 
 # Importing these modules registers every metric of the codebase.
 import repro.endpoint.base  # noqa: F401
+import repro.endpoint.faults  # noqa: F401
 import repro.endpoint.virtuoso  # noqa: F401
 import repro.endpoint.wire  # noqa: F401
 import repro.perf.decomposer  # noqa: F401
@@ -16,6 +17,9 @@ import repro.perf.remote_incremental  # noqa: F401
 import repro.perf.router  # noqa: F401
 import repro.rdf.graph  # noqa: F401
 import repro.rdf.stats  # noqa: F401
+import repro.serve.breaker  # noqa: F401
+import repro.serve.frontend  # noqa: F401
+import repro.serve.retry  # noqa: F401
 import repro.sparql.evaluator  # noqa: F401
 import repro.sparql.executor  # noqa: F401
 import repro.sparql.optimizer  # noqa: F401

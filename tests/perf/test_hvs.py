@@ -25,6 +25,54 @@ class TestNormalization:
         assert normalize_query("  ASK {}  ") == "ASK {}"
 
 
+class TestNormalizationQuoteAware:
+    """Regression: collapsing whitespace *inside* string literals made
+    distinct queries share a cache key, so an HVS hit served the wrong
+    result."""
+
+    def test_literal_whitespace_distinguishes_queries(self):
+        double_space = 'SELECT ?s WHERE { ?s ?p ?l FILTER(?l = "a  b") }'
+        single_space = 'SELECT ?s WHERE { ?s ?p ?l FILTER(?l = "a b") }'
+        assert normalize_query(double_space) != normalize_query(single_space)
+
+    def test_distinct_literals_do_not_collide_in_the_store(self):
+        hvs = HeavyQueryStore(clock=SimClock())
+        double_space = 'SELECT ?s WHERE { ?s ?p ?l FILTER(?l = "a  b") }'
+        single_space = 'SELECT ?s WHERE { ?s ?p ?l FILTER(?l = "a b") }'
+        result_double = SelectResult(["s"], [{"s": Literal("double")}])
+        hvs.record(double_space, result_double, runtime_ms=5000, dataset_version=1)
+        assert hvs.lookup(single_space, dataset_version=1) is None
+        hit = hvs.lookup(double_space, dataset_version=1)
+        assert hit is not None and hit.result is result_double
+
+    def test_whitespace_outside_literals_still_collapses(self):
+        assert normalize_query(
+            'SELECT   ?s\nWHERE  { ?s ?p  "a  b" }'
+        ) == normalize_query('SELECT ?s WHERE { ?s ?p "a  b" }')
+
+    def test_single_quoted_literals(self):
+        assert normalize_query("ASK { ?s ?p 'x  y' }") != normalize_query(
+            "ASK { ?s ?p 'x y' }"
+        )
+
+    def test_triple_quoted_literals(self):
+        long_form = 'ASK { ?s ?p """line\n  indented""" }'
+        assert '"""line\n  indented"""' in normalize_query(long_form)
+
+    def test_escaped_quote_does_not_end_the_literal(self):
+        query = 'ASK { ?s ?p "two  \\" spaces" }'
+        assert '"two  \\" spaces"' in normalize_query(query)
+
+    def test_quotes_inside_literals_do_not_open_new_literals(self):
+        # The apostrophe inside a double-quoted literal is plain text;
+        # whitespace after the literal must still collapse.
+        query = 'ASK { ?s ?p "it\'s"   . }'
+        assert normalize_query(query) == 'ASK { ?s ?p "it\'s" . }'
+
+    def test_unterminated_literal_swallows_the_tail(self):
+        assert normalize_query('ASK { ?s ?p "open  end') == 'ASK { ?s ?p "open  end'
+
+
 class TestHeavinessThreshold:
     def test_default_threshold_is_one_second(self):
         assert DEFAULT_HEAVY_THRESHOLD_MS == 1000.0

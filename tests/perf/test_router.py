@@ -125,6 +125,99 @@ class TestInvalidation:
         assert stack.dataset_version == stack.backend.dataset_version
 
 
+class TestPagedRouting:
+    """The router speaks the paged query protocol without compromising
+    the HVS: continuations bypass the cache layers, partial pages are
+    never recorded, and racing updates drop the record."""
+
+    PAGED = "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 120"
+
+    def _drain(self, stack, page_size=50):
+        response = stack.query(self.PAGED, page_size=page_size)
+        rows = list(response.result.rows)
+        pages = 1
+        while not response.complete:
+            response = stack.query(
+                self.PAGED,
+                page_size=page_size,
+                continuation=response.continuation,
+            )
+            rows.extend(response.result.rows)
+            pages += 1
+        return rows, pages
+
+    def test_paged_equals_one_shot(self, stack):
+        # Drain first: a one-shot answer would be HVS-cached, and a
+        # subsequent fresh paged request would (correctly) hit the HVS
+        # and come back complete in a single response.
+        rows, pages = self._drain(stack)
+        one_shot = stack.query(self.PAGED)
+        assert pages > 1
+        assert rows == list(one_shot.result.rows)
+
+    def test_continuation_bypasses_hvs_and_decomposer(
+        self, stack, monkeypatch
+    ):
+        first = stack.query(self.PAGED, page_size=50)
+        assert not first.complete
+        lookups_before = stack.hvs.stats.hits + stack.hvs.stats.misses
+        consulted = []
+        monkeypatch.setattr(
+            stack.decomposer,
+            "try_answer",
+            lambda query_text: consulted.append(query_text),
+        )
+        resumed = stack.query(
+            self.PAGED, page_size=50, continuation=first.continuation
+        )
+        assert resumed.source == "virtuoso"
+        assert (
+            stack.hvs.stats.hits + stack.hvs.stats.misses == lookups_before
+        )
+        assert consulted == []
+
+    def test_partial_pages_never_recorded(self, stack, monkeypatch):
+        recorded = []
+        original = stack.hvs.record
+
+        def spy(query_text, result, runtime_ms, dataset_version):
+            recorded.append((query_text, result))
+            return original(query_text, result, runtime_ms, dataset_version)
+
+        monkeypatch.setattr(stack.hvs, "record", spy)
+        rows, pages = self._drain(stack)
+        assert pages > 1
+        # Each partial page (and the final continuation-resumed page)
+        # was skipped: only fresh single-response answers are offered.
+        assert all(len(result.rows) == len(rows) for _, result in recorded)
+        assert self.PAGED not in [q for q, _ in recorded]
+
+    def test_racing_update_drops_the_record(self, dbpedia_graph, clock):
+        """Regression: a result computed against version N must not be
+        cached under version N+1 when the graph moves mid-execution."""
+        from repro.rdf import URI
+
+        graph = dbpedia_graph.copy()
+        backend = LocalEndpoint(graph, clock=clock)
+        hvs = HeavyQueryStore(threshold_ms=0.001, clock=clock)
+        racer = ElindaEndpoint(backend, hvs=hvs)
+
+        original = backend.query
+
+        def query_and_mutate(query_text, **kwargs):
+            response = original(query_text, **kwargs)
+            # The knowledge base updates while the answer is in flight.
+            graph.add(URI("http://racer"), URI("http://p"), URI("http://o"))
+            return response
+
+        backend.query = query_and_mutate
+        racer.query(LIGHT)
+        assert LIGHT not in hvs  # stale answer was not cached
+        backend.query = original
+        racer.query(LIGHT)
+        assert LIGHT in hvs  # without the race it is cached
+
+
 class TestLatencyShape:
     def test_fig4_ordering(self, stack):
         """virtuoso >> decomposer >> hvs — the Fig. 4 story."""

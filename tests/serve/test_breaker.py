@@ -1,0 +1,106 @@
+"""Unit tests for the backend circuit breaker's state machine."""
+
+import pytest
+
+from repro.endpoint import SimClock
+from repro.serve import CircuitBreaker
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+@pytest.fixture()
+def breaker(clock):
+    return CircuitBreaker(
+        clock=clock, failure_threshold=3, recovery_ms=1000.0
+    )
+
+
+def trip(breaker):
+    for _ in range(breaker.failure_threshold):
+        breaker.record_failure()
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_failures_below_threshold_stay_closed(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_success_resets_the_failure_streak(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+
+class TestOpen:
+    def test_threshold_consecutive_failures_open(self, breaker):
+        trip(breaker)
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_retry_after_counts_down_on_the_clock(self, breaker, clock):
+        trip(breaker)
+        assert breaker.retry_after_ms() == 1000.0
+        clock.advance(400)
+        assert breaker.retry_after_ms() == 600.0
+
+    def test_open_until_recovery_window_elapses(self, breaker, clock):
+        trip(breaker)
+        clock.advance(999)
+        assert breaker.state == OPEN
+        clock.advance(1)
+        assert breaker.state == HALF_OPEN
+
+
+class TestHalfOpen:
+    def test_admits_bounded_probes(self, breaker, clock):
+        trip(breaker)
+        clock.advance(1000)
+        assert breaker.allow()       # the single trial slot
+        assert not breaker.allow()   # everyone else short-circuits
+
+    def test_probe_success_closes(self, breaker, clock):
+        trip(breaker)
+        clock.advance(1000)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens(self, breaker, clock):
+        trip(breaker)
+        clock.advance(1000)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        # A fresh recovery window starts from the re-open.
+        assert breaker.retry_after_ms() == 1000.0
+
+    def test_full_cycle_can_repeat(self, breaker, clock):
+        for _ in range(2):
+            trip(breaker)
+            assert breaker.state == OPEN
+            clock.advance(1000)
+            assert breaker.allow()
+            breaker.record_success()
+            assert breaker.state == CLOSED
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(recovery_ms=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_trials=0)
+
+    def test_default_clock_created(self):
+        assert isinstance(CircuitBreaker().clock, SimClock)

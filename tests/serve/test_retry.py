@@ -1,0 +1,76 @@
+"""Unit tests for the exponential-backoff retry policy."""
+
+import random
+
+import pytest
+
+from repro.serve import BackoffPolicy, RetryBudgetExceeded
+
+
+class TestSchedule:
+    def test_exponential_without_jitter(self):
+        policy = BackoffPolicy(base_ms=25.0, multiplier=2.0, max_ms=1600.0)
+        assert [policy.delay_ms(k) for k in range(7)] == [
+            25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1600.0,
+        ]
+
+    def test_capped_at_max(self):
+        policy = BackoffPolicy(base_ms=25.0, multiplier=2.0, max_ms=1600.0)
+        assert policy.delay_ms(50) == 1600.0
+
+    def test_attempt_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy().delay_ms(-1)
+
+
+class TestJitter:
+    def test_jitter_stays_within_fraction(self):
+        policy = BackoffPolicy(base_ms=100.0, jitter=0.2)
+        rng = random.Random(42)
+        for _ in range(200):
+            delay = policy.delay_ms(0, rng)
+            assert 80.0 <= delay <= 120.0
+
+    def test_jitter_actually_varies(self):
+        policy = BackoffPolicy(base_ms=100.0, jitter=0.2)
+        rng = random.Random(42)
+        delays = {policy.delay_ms(0, rng) for _ in range(20)}
+        assert len(delays) > 1
+
+    def test_seeded_rng_is_deterministic(self):
+        policy = BackoffPolicy()
+        a = [policy.delay_ms(k, random.Random(7)) for k in range(5)]
+        b = [policy.delay_ms(k, random.Random(7)) for k in range(5)]
+        assert a == b
+
+    def test_zero_jitter_ignores_rng(self):
+        policy = BackoffPolicy(jitter=0.0)
+        assert policy.delay_ms(3, random.Random(1)) == policy.delay_ms(3)
+
+
+class TestBudget:
+    def test_budget_exhaustion_raises(self):
+        policy = BackoffPolicy(max_retries=3)
+        for attempt in range(3):
+            policy.next_delay_ms(attempt, "transient")
+        with pytest.raises(RetryBudgetExceeded):
+            policy.next_delay_ms(3, "transient")
+
+    def test_zero_budget_never_retries(self):
+        policy = BackoffPolicy(max_retries=0)
+        with pytest.raises(RetryBudgetExceeded):
+            policy.next_delay_ms(0, "transient")
+
+
+class TestValidation:
+    def test_bad_schedules_rejected(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_ms=0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_ms=100, max_ms=50)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(max_retries=-1)

@@ -1,0 +1,509 @@
+"""PR 5 benchmark: dictionary-encoded store vs seed term-object store.
+
+The paper's heavy query is the property expansion — a nested aggregation
+that joins every member of a class with every one of its triples
+(Section 4).  PR 5 moved the whole execution stack onto dictionary
+encoding: the store's SPO/POS/OSP indexes hold dense integer IDs, the
+physical operators hash and compare raw ints, and terms are materialised
+back into objects only at the plan root.
+
+This benchmark isolates exactly that representation change.  The *same*
+compiled physical plan runs against two stores:
+
+* ``LegacyGraph`` — a faithful replica of the seed's store: hash indexes
+  keyed by ``Term`` objects with set leaves, ``Triple`` objects built
+  per match, joined/grouped by hashing terms (an identity codec stands
+  in for the dictionary, so every operator runs unchanged in term
+  space).
+* ``repro.rdf.Graph`` — the PR 5 encoded store with its real
+  ``TermDictionary`` and late materialisation.
+
+Two execution modes are measured:
+
+* **one-shot** — ``run_to_completion``; per-binding operator overhead
+  (dict copies, generator dispatch) is identical for both stores, so
+  this isolates the pure hash/compare/allocate difference.
+* **paged** — the engine's serving configuration (what
+  ``LocalEndpoint`` does for every heavy query since the suspendable
+  executor landed): ``run_quantum`` pages with a continuation-token
+  round-trip at every boundary.  Suspended operator state — group
+  members, DISTINCT seen-sets, join hash tables — serialises as raw
+  ints instead of per-term JSON objects, which is where ID space pays
+  structurally.  The headline number is the paged property expansion
+  on the largest graph.
+
+Row multisets are asserted identical per query and mode, so every
+speedup is purely the ID-space effect.  Memory is a deep
+``sys.getsizeof`` walk over each store's index structures (terms
+themselves counted once on both sides).
+
+Writes ``benchmarks/results/BENCH_PR5.json``.  Run via::
+
+    PYTHONPATH=src python benchmarks/bench_pr5.py [--quick]
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import pathlib
+import random
+import sys
+import time
+
+from repro.core import Direction, MemberPattern
+from repro.core.queries import property_chart_query
+from repro.rdf import Graph, Literal, Triple, URI
+from repro.rdf.vocab import RDF
+from repro.sparql.algebra import translate_query
+from repro.sparql.executor import (
+    decode_continuation,
+    encode_continuation,
+    restore_plan,
+    run_quantum,
+    run_to_completion,
+)
+from repro.sparql.optimizer import optimize
+from repro.sparql.parser import parse_query
+from repro.sparql.planner import PhysicalPlanFactory
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_PR5.json"
+
+EX = "http://ex.org/"
+_RDF_TYPE = RDF.term("type")
+PERSON = URI(EX + "Person")
+PLACE = URI(EX + "Place")
+WORK = URI(EX + "Work")
+KNOWS = URI(EX + "knows")
+BIRTH_PLACE = URI(EX + "birthPlace")
+
+#: Graph sizes (approximate triple counts before deduplication).
+SIZES = (10_000, 100_000, 1_000_000)
+#: Timed repetitions per (size, store, query); the minimum is reported.
+ONESHOT_REPEATS = {10_000: 5, 100_000: 3, 1_000_000: 1}
+PAGED_REPEATS = {10_000: 3, 100_000: 2, 1_000_000: 1}
+
+
+# ----------------------------------------------------------------------
+# The seed store, replicated
+# ----------------------------------------------------------------------
+
+
+class _IdentityDictionary:
+    """Identity codec: lets the physical operators run in term space."""
+
+    @staticmethod
+    def encode(term):
+        return term
+
+    @staticmethod
+    def decode(term):
+        return term
+
+    @staticmethod
+    def lookup(term):
+        return term
+
+
+class LegacyGraph:
+    """The pre-PR 5 store: term-keyed hash indexes with set leaves.
+
+    Exposes just enough surface (``triples_ids``, ``dictionary``,
+    ``version``) for the compiled plan to execute against it — the
+    operators then carry ``Term`` objects through every join, DISTINCT
+    set, group key, and continuation token, exactly as the seed did.
+    """
+
+    __slots__ = ("_spo", "_pos", "_osp", "_size", "version", "dictionary")
+
+    def __init__(self):
+        self._spo = {}  # subject -> predicate -> set of objects
+        self._pos = {}  # predicate -> object -> set of subjects
+        self._osp = {}  # object -> subject -> set of predicates
+        self._size = 0
+        self.version = 0
+        self.dictionary = _IdentityDictionary()
+
+    @staticmethod
+    def _index_add(index, key1, key2, key3):
+        second = index.get(key1)
+        if second is None:
+            second = {}
+            index[key1] = second
+        third = second.get(key2)
+        if third is None:
+            third = set()
+            second[key2] = third
+        if key3 in third:
+            return False
+        third.add(key3)
+        return True
+
+    def add(self, subject, predicate, object):
+        if not self._index_add(self._spo, subject, predicate, object):
+            return False
+        self._index_add(self._pos, predicate, object, subject)
+        self._index_add(self._osp, object, subject, predicate)
+        self._size += 1
+        self.version += 1
+        return True
+
+    def __len__(self):
+        return self._size
+
+    def triples_ids(self, s=None, p=None, o=None):
+        """The seed's ``triples()``: most-selective index, one
+        ``Triple`` object allocated per match."""
+        if s is not None:
+            by_predicate = self._spo.get(s)
+            if by_predicate is None:
+                return
+            if p is not None:
+                objects = by_predicate.get(p)
+                if objects is None:
+                    return
+                if o is not None:
+                    if o in objects:
+                        yield Triple(s, p, o)
+                    return
+                for obj in objects:
+                    yield Triple(s, p, obj)
+                return
+            if o is not None:
+                predicates = self._osp.get(o, {}).get(s)
+                if predicates is None:
+                    return
+                for pred in predicates:
+                    yield Triple(s, pred, o)
+                return
+            for pred, objects in by_predicate.items():
+                for obj in objects:
+                    yield Triple(s, pred, obj)
+            return
+        if p is not None:
+            by_object = self._pos.get(p)
+            if by_object is None:
+                return
+            if o is not None:
+                subjects = by_object.get(o)
+                if subjects is None:
+                    return
+                for subj in subjects:
+                    yield Triple(subj, p, o)
+                return
+            for obj, subjects in by_object.items():
+                for subj in subjects:
+                    yield Triple(subj, p, obj)
+            return
+        if o is not None:
+            by_subject = self._osp.get(o)
+            if by_subject is None:
+                return
+            for subj, predicates in by_subject.items():
+                for pred in predicates:
+                    yield Triple(subj, pred, o)
+            return
+        for subj, by_predicate in self._spo.items():
+            for pred, objects in by_predicate.items():
+                for obj in objects:
+                    yield Triple(subj, pred, obj)
+
+
+# ----------------------------------------------------------------------
+# Workload
+# ----------------------------------------------------------------------
+
+
+def build_triples(target: int) -> list:
+    """A deterministic entity graph of roughly ``target`` triples.
+
+    Entities carry one ``rdf:type`` plus nine property triples; objects
+    mix entity links (``knows``, ``birthPlace`` — the join fan-out) with
+    literals, over a small predicate vocabulary so the property
+    expansion produces a realistic handful of heavy bars.
+    """
+    rng = random.Random(42)
+    entities = max(10, target // 10)
+    persons = [URI(f"{EX}person/{i}") for i in range(int(entities * 0.6))]
+    places = [URI(f"{EX}place/{i}") for i in range(int(entities * 0.25))]
+    works = [URI(f"{EX}work/{i}") for i in range(
+        entities - len(persons) - len(places)
+    )]
+    name = URI(EX + "name")
+    located = URI(EX + "located")
+    creator = URI(EX + "creator")
+    subject_of = URI(EX + "subjectOf")
+    triples = []
+    for person in persons:
+        triples.append((person, _RDF_TYPE, PERSON))
+        triples.append((person, name, Literal(f"name {rng.randrange(1 << 20)}")))
+        triples.append((person, BIRTH_PLACE, rng.choice(places)))
+        for _ in range(7):
+            prop = rng.choice((KNOWS, KNOWS, KNOWS, subject_of))
+            if prop is KNOWS:
+                triples.append((person, prop, rng.choice(persons)))
+            else:
+                triples.append((person, prop, rng.choice(works)))
+    for place in places:
+        triples.append((place, _RDF_TYPE, PLACE))
+        triples.append((place, name, Literal(f"place {rng.randrange(1 << 20)}")))
+        for _ in range(8):
+            triples.append((place, located, rng.choice(places)))
+    for work in works:
+        triples.append((work, _RDF_TYPE, WORK))
+        triples.append((work, name, Literal(f"work {rng.randrange(1 << 20)}")))
+        for _ in range(8):
+            triples.append((work, creator, rng.choice(persons)))
+    return triples
+
+
+def workloads() -> dict:
+    person = MemberPattern.of_type(PERSON)
+    return {
+        "property_expansion_out": property_chart_query(person),
+        "property_expansion_in": property_chart_query(
+            person, Direction.INCOMING
+        ),
+        "join_distinct": (
+            "SELECT DISTINCT ?a ?c WHERE { "
+            f"?a {_RDF_TYPE.n3()} {PERSON.n3()} . "
+            f"?a {KNOWS.n3()} ?b . ?b {BIRTH_PLACE.n3()} ?c }}"
+        ),
+    }
+
+
+def paged_workloads(size: int) -> dict:
+    """(query name -> page size) for the serving-path measurement.
+
+    The property expansion emits a handful of bars, so it pages with a
+    chart-sized page; the streaming DISTINCT join pages so that a run
+    crosses a handful of continuation boundaries at every graph size.
+    """
+    return {
+        "property_expansion_out": 2,
+        "join_distinct": max(2_000, size // 20),
+    }
+
+
+# ----------------------------------------------------------------------
+# Measurement
+# ----------------------------------------------------------------------
+
+
+def deep_size(root) -> int:
+    """Recursive ``sys.getsizeof`` with identity dedup (terms and
+    interned ints are counted once no matter how many index slots
+    reference them)."""
+    seen = set()
+    stack = [root]
+    total = 0
+    while stack:
+        obj = stack.pop()
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        total += sys.getsizeof(obj)
+        if isinstance(obj, dict):
+            stack.extend(obj.keys())
+            stack.extend(obj.values())
+        elif isinstance(obj, (list, tuple, set, frozenset)):
+            stack.extend(obj)
+        elif not isinstance(obj, (int, str, bytes, float, type(None))):
+            for cls in type(obj).__mro__:
+                for slot in getattr(cls, "__slots__", ()):
+                    try:
+                        stack.append(getattr(obj, slot))
+                    except AttributeError:
+                        pass
+    return total
+
+
+def store_bytes(graph) -> int:
+    parts = [graph._spo, graph._pos, graph._osp]
+    dictionary = graph.dictionary
+    if not isinstance(dictionary, _IdentityDictionary):
+        parts.append(dictionary._ids)
+        parts.append(dictionary._terms)
+    return deep_size(parts)
+
+
+def _multiset(rows):
+    return sorted(
+        tuple(sorted((k, v.n3()) for k, v in row.items())) for row in rows
+    )
+
+
+def time_oneshot(factory, graph, repeats: int):
+    """Best-of-``repeats`` wall-clock (warmed up when repeated)."""
+    rows = None
+    if repeats > 1:
+        rows = run_to_completion(factory.instantiate(graph)).rows
+    best = float("inf")
+    for _ in range(repeats):
+        gc.collect()
+        start = time.perf_counter()
+        result = run_to_completion(factory.instantiate(graph))
+        best = min(best, time.perf_counter() - start)
+        rows = result.rows
+    return best * 1000.0, rows
+
+
+def time_paged(factory, graph, text: str, page_size: int, repeats: int):
+    """The serving path: pages with a token round-trip per boundary."""
+
+    def run():
+        plan = factory.instantiate(graph)
+        rows, pages, token_bytes = [], 0, 0
+        while True:
+            page = run_quantum(plan, page_size=page_size)
+            rows.extend(page.rows)
+            pages += 1
+            if page.complete:
+                return rows, pages, token_bytes
+            token = encode_continuation(plan, graph, text)
+            token_bytes = max(token_bytes, len(token))
+            plan = restore_plan(factory, graph, decode_continuation(token))
+
+    best = float("inf")
+    rows = pages = token_bytes = None
+    for _ in range(repeats):
+        gc.collect()
+        start = time.perf_counter()
+        rows, pages, token_bytes = run()
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0, rows, pages, token_bytes
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv[1:]
+    sizes = SIZES[:2] if quick else SIZES
+    queries = workloads()
+    by_size = []
+    for size in sizes:
+        triples = build_triples(size)
+        encoded = Graph()
+        encoded.bulk_load(triples)
+        legacy = LegacyGraph()
+        for s, p, o in triples:
+            legacy.add(s, p, o)
+        assert len(legacy) == len(encoded)
+        mem_encoded = store_bytes(encoded)
+        mem_legacy = store_bytes(legacy)
+        print(
+            f"size {size:>9,}: {len(encoded):,} distinct triples; "
+            f"store {mem_legacy / 1e6:.1f} MB term-keyed -> "
+            f"{mem_encoded / 1e6:.1f} MB encoded"
+        )
+        entry = {
+            "target_triples": size,
+            "distinct_triples": len(encoded),
+            "store_bytes": {
+                "seed_term_keyed": mem_legacy,
+                "encoded": mem_encoded,
+                "reduction_factor": round(mem_legacy / mem_encoded, 2),
+            },
+            "one_shot": {},
+            "paged": {},
+        }
+        factories = {}
+        for name, text in queries.items():
+            query = parse_query(text)
+            algebra, _ = optimize(translate_query(query), graph=encoded)
+            factories[name] = PhysicalPlanFactory(query, algebra)
+
+        repeats = ONESHOT_REPEATS[size]
+        for name, factory in factories.items():
+            legacy_ms, legacy_rows = time_oneshot(factory, legacy, repeats)
+            encoded_ms, encoded_rows = time_oneshot(factory, encoded, repeats)
+            assert _multiset(encoded_rows) == _multiset(legacy_rows), (
+                f"one-shot row mismatch in {name} at size {size}"
+            )
+            speedup = legacy_ms / encoded_ms if encoded_ms else float("inf")
+            entry["one_shot"][name] = {
+                "rows": len(encoded_rows),
+                "seed_ms": round(legacy_ms, 2),
+                "encoded_ms": round(encoded_ms, 2),
+                "speedup": round(speedup, 2),
+            }
+            print(
+                f"  one-shot {name:<24} {legacy_ms:>10.1f} ms -> "
+                f"{encoded_ms:>9.1f} ms  ({speedup:.2f}x, "
+                f"{len(encoded_rows)} rows)"
+            )
+
+        repeats = PAGED_REPEATS[size]
+        for name, page_size in paged_workloads(size).items():
+            factory = factories[name]
+            text = queries[name]
+            legacy_ms, legacy_rows, pages, legacy_token = time_paged(
+                factory, legacy, text, page_size, repeats
+            )
+            encoded_ms, encoded_rows, _pages, encoded_token = time_paged(
+                factory, encoded, text, page_size, repeats
+            )
+            assert _multiset(encoded_rows) == _multiset(legacy_rows), (
+                f"paged row mismatch in {name} at size {size}"
+            )
+            speedup = legacy_ms / encoded_ms if encoded_ms else float("inf")
+            entry["paged"][name] = {
+                "rows": len(encoded_rows),
+                "pages": pages,
+                "page_size": page_size,
+                "seed_ms": round(legacy_ms, 2),
+                "encoded_ms": round(encoded_ms, 2),
+                "speedup": round(speedup, 2),
+                "max_token_bytes": {
+                    "seed": legacy_token,
+                    "encoded": encoded_token,
+                },
+            }
+            print(
+                f"  paged    {name:<24} {legacy_ms:>10.1f} ms -> "
+                f"{encoded_ms:>9.1f} ms  ({speedup:.2f}x, {pages} pages, "
+                f"token {legacy_token / 1e6:.2f} -> "
+                f"{encoded_token / 1e6:.2f} MB)"
+            )
+        by_size.append(entry)
+        del legacy, encoded, triples, factories
+        gc.collect()
+
+    largest = by_size[-1]
+    headline = largest["paged"]["property_expansion_out"]["speedup"]
+    payload = {
+        "benchmark": "BENCH_PR5",
+        "description": (
+            "dictionary-encoded store + ID-space execution vs the seed "
+            "term-object store, same compiled physical plans "
+            "(join-heavy property expansions, synthetic entity graph). "
+            "'paged' is the engine's serving configuration: run_quantum "
+            "pages with a continuation-token round-trip per boundary, "
+            "as LocalEndpoint executes every heavy query."
+        ),
+        "sizes": by_size,
+        "headline": {
+            "mode": "paged",
+            "query": "property_expansion_out",
+            "triples": largest["distinct_triples"],
+            "speedup": headline,
+            "memory_reduction_factor": largest["store_bytes"][
+                "reduction_factor"
+            ],
+        },
+        "rows_match": True,
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {RESULTS_PATH}")
+    print(
+        f"headline: paged property expansion at "
+        f"{largest['distinct_triples']:,} triples: {headline:.2f}x, "
+        f"store {largest['store_bytes']['reduction_factor']:.2f}x smaller"
+    )
+    if headline < 2.0:
+        raise SystemExit(
+            "encoded execution did not reach 2x on the largest graph"
+        )
+
+
+if __name__ == "__main__":
+    main()

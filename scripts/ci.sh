@@ -5,8 +5,11 @@
 #      HVS/decomposer counters moving when toggled);
 #   2. the time-sliced executor smoke test (paging ≡ one-shot, token
 #      hygiene — a suspended query resumed across a graph mutation is
-#      invalidated, never silently wrong — and round-robin fairness);
-#   3. a plan-cache metrics smoke over `repro metrics --exercise`;
+#      invalidated, never silently wrong — round-robin fairness, and
+#      the encoded-store smoke: load → query → page → decode, with the
+#      dictionary round-trip and byte-identical paged SPARQL-JSON);
+#   3. a plan-cache + dictionary metrics smoke over
+#      `repro metrics --exercise`;
 #   4. the serving-layer smoke test (concurrency soak under injected
 #      faults, retry accounting, and the breaker's fallback ladder);
 #   5. the full tier-1 test suite.
@@ -29,7 +32,11 @@ echo "$metrics" | grep -q 'repro_plancache_requests_total{outcome="hit"} [1-9]' 
   || { echo "FAIL: no plan-cache hits in the exercised workload"; exit 1; }
 echo "$metrics" | grep -q 'repro_optimizer_runs_total [1-9]' \
   || { echo "FAIL: optimizer never ran in the exercised workload"; exit 1; }
-echo "ok: plan cache hits and optimizer runs recorded"
+echo "$metrics" | grep -q 'repro_dict_terms{kind="uri"} [1-9]' \
+  || { echo "FAIL: no terms interned in the dictionary"; exit 1; }
+echo "$metrics" | grep -q 'repro_dict_encode_total{outcome="miss"} [1-9]' \
+  || { echo "FAIL: dictionary never interned during the workload"; exit 1; }
+echo "ok: plan cache hits, optimizer runs, and dictionary interning recorded"
 
 echo
 echo "== repro serve --self-test =="

@@ -307,7 +307,8 @@ def _executor_self_test(args) -> int:
     )
 
     # 1. Paged execution returns exactly the one-shot answer.
-    one_shot = endpoint.select(query).rows
+    one_shot_result = endpoint.select(query)
+    one_shot = one_shot_result.rows
     paged: List[dict] = []
     pages = 0
     before_susp = counter("repro_exec_suspensions_total", reason="row_budget")
@@ -411,6 +412,53 @@ def _executor_self_test(args) -> int:
     check(
         all(finished[name] for name in queries),
         "all scheduled queries ran to completion",
+    )
+
+    # 4. The encoded store: dictionary round-trip, ID-space scans, and
+    # late materialization (load -> query -> page -> decode).
+    import itertools
+
+    from .rdf.dictionary import kind_of_id
+    from .rdf.terms import BNode as _BNode
+    from .sparql.results import SelectResult, results_to_json
+
+    dictionary = graph.dictionary
+    sample = list(itertools.islice(dictionary.terms(), 256))
+    check(
+        all(
+            dictionary.decode(dictionary.encode(term)) is term
+            for term in sample
+        ),
+        f"dictionary round-trip is identity on {len(sample)} interned terms",
+    )
+
+    def _kind(term) -> int:
+        if isinstance(term, _URI):
+            return 0
+        return 1 if isinstance(term, _BNode) else 2
+
+    check(
+        all(
+            kind_of_id(dictionary.encode(term)) == _kind(term)
+            for term in sample
+        ),
+        "every ID lives in its kind's range (URI < BNode < Literal)",
+    )
+    encoded_scan = [
+        dictionary.decode_triple(ids)
+        for ids in itertools.islice(graph.triples_ids(), 64)
+    ]
+    term_scan = [
+        tuple(triple) for triple in itertools.islice(graph.triples(), 64)
+    ]
+    check(
+        encoded_scan == term_scan,
+        "decoded ID-space scan equals the term-space scan, in order",
+    )
+    check(
+        results_to_json(SelectResult(one_shot_result.vars, paged))
+        == results_to_json(one_shot_result),
+        "paged rows serialise to byte-identical SPARQL-JSON",
     )
 
     if failures:

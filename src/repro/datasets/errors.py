@@ -49,11 +49,12 @@ def inject_birthplace_errors(
         raise ValueError("need non-empty person and food pools")
 
     planted: List[Tuple[URI, URI]] = []
-    for index in range(count):
-        person = persons[index % len(persons)]
-        food = foods[index % len(foods)]
-        dataset.graph.add(person, _BIRTH_PLACE, food)
-        planted.append((person, food))
+    with dataset.graph.bulk():
+        for index in range(count):
+            person = persons[index % len(persons)]
+            food = foods[index % len(foods)]
+            dataset.graph.add(person, _BIRTH_PLACE, food)
+            planted.append((person, food))
     existing = dataset.facts.setdefault(_FACT_KEY, [])
     assert isinstance(existing, list)
     existing.extend(planted)

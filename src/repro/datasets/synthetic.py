@@ -93,6 +93,12 @@ class OntologyBuilder:
         self.resource_ns = resource_ns
         self.rng = random.Random(seed)
         self.graph = Graph(name=name)
+        # Generators issue tens of thousands of scattered add() calls;
+        # hold the graph in bulk mode until build() so the version
+        # counter (and with it statistics/plan-cache invalidation) moves
+        # once per generated dataset, not once per triple.
+        self._bulk = self.graph.bulk()
+        self._bulk.__enter__()
         self.name = name
         self.parents: Dict[URI, URI] = {}
         self.children: Dict[URI, List[URI]] = {}
@@ -240,6 +246,9 @@ class OntologyBuilder:
 
     def build(self, facts: Optional[Dict[str, object]] = None) -> SyntheticDataset:
         """Freeze into a :class:`SyntheticDataset`."""
+        if self._bulk is not None:
+            self._bulk.__exit__(None, None, None)
+            self._bulk = None
         return SyntheticDataset(
             graph=self.graph,
             parents=dict(self.parents),

@@ -8,6 +8,12 @@ Every query runs through the engine's front half — parse, translate,
 optimize (:mod:`repro.sparql.optimizer`) — which is memoised in a
 version-aware :class:`~repro.perf.plancache.PlanCache`, so repeated
 exploration queries skip straight to execution until the graph changes.
+
+Paged requests execute on the physical engine, which works in the
+store's ID space end to end (see :mod:`repro.rdf.dictionary`); result
+rows cross the late-materialization boundary at the plan root, so the
+``page.rows`` this endpoint serialises are ordinary interned terms and
+the SPARQL-JSON on the wire is byte-identical to one-shot evaluation.
 """
 
 from __future__ import annotations

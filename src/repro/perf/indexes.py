@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from ..rdf.dictionary import KIND_STRIDE
 from ..rdf.graph import Graph
 from ..rdf.terms import URI
 from ..rdf.vocab import RDF
@@ -53,36 +54,46 @@ class SpecializedIndexes:
         self.entries_touched = 0
 
     def _build(self, graph: Graph) -> None:
-        instances: Dict[URI, set] = {}
-        for triple in graph.triples(None, _RDF_TYPE, None):
-            if isinstance(triple.object, URI) and isinstance(triple.subject, URI):
-                instances.setdefault(triple.object, set()).add(triple.subject)
-        self._instances = {
-            cls: frozenset(members) for cls, members in instances.items()
-        }
+        # The build runs entirely in ID space over the encoded indexes:
+        # "is this a URI?" is an integer range check (URI-kind IDs sit
+        # below KIND_STRIDE) and all counting hashes plain ints.  Terms
+        # are decoded only for the keys that enter the public maps.
+        dictionary = graph.dictionary
+        decode = dictionary.decode
+        rdf_type_id = dictionary.lookup(_RDF_TYPE)
+        instances: Dict[int, set] = {}
+        if rdf_type_id is not None:
+            for s, _p, o in graph.triples_ids(None, rdf_type_id, None):
+                if o < KIND_STRIDE and s < KIND_STRIDE:
+                    instances.setdefault(o, set()).add(s)
         # Per-subject outgoing / per-object incoming property triple counts.
-        out_counts: Dict[URI, Dict[URI, int]] = {}
-        in_counts: Dict[URI, Dict[URI, int]] = {}
-        for triple in graph.triples():
-            if isinstance(triple.subject, URI):
-                node_out = out_counts.setdefault(triple.subject, {})
-                node_out[triple.predicate] = node_out.get(triple.predicate, 0) + 1
-            if isinstance(triple.object, URI):
-                node_in = in_counts.setdefault(triple.object, {})
-                node_in[triple.predicate] = node_in.get(triple.predicate, 0) + 1
-        for cls, members in self._instances.items():
+        out_counts: Dict[int, Dict[int, int]] = {}
+        in_counts: Dict[int, Dict[int, int]] = {}
+        for s, p, o in graph.triples_ids():
+            if s < KIND_STRIDE:
+                node_out = out_counts.setdefault(s, {})
+                node_out[p] = node_out.get(p, 0) + 1
+            if o < KIND_STRIDE:
+                node_in = in_counts.setdefault(o, {})
+                node_in[p] = node_in.get(p, 0) + 1
+        self._instances = {
+            decode(cls): frozenset(decode(member) for member in members)
+            for cls, members in instances.items()
+        }
+        for cls_id, members in instances.items():
+            cls = decode(cls_id)
             for direction, node_counts in (
                 (Direction.OUTGOING, out_counts),
                 (Direction.INCOMING, in_counts),
             ):
-                per_property: Dict[URI, List[int]] = {}
+                per_property: Dict[int, List[int]] = {}
                 for member in members:
                     for prop, count in node_counts.get(member, {}).items():
                         entry = per_property.setdefault(prop, [0, 0])
                         entry[0] += 1
                         entry[1] += count
                 rows = [
-                    PropertyCount(prop, subjects, triples)
+                    PropertyCount(decode(prop), subjects, triples)
                     for prop, (subjects, triples) in per_property.items()
                 ]
                 rows.sort(key=lambda row: (-row.subject_count, row.prop.value))

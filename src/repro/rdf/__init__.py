@@ -5,6 +5,7 @@ scratch: URIs **U**, literals **L**, RDF triples in ``U x U x (U ∪ L)``,
 and finite RDF graphs with pattern-matching access.
 """
 
+from .dictionary import KIND_STRIDE, TermDictionary, kind_name, kind_of_id
 from .graph import Graph
 from .namespace import Namespace, NamespaceManager
 from .stats import GraphStatistics, statistics_for
@@ -42,6 +43,10 @@ __all__ = [
     "Triple",
     "TriplePattern",
     "Graph",
+    "TermDictionary",
+    "KIND_STRIDE",
+    "kind_of_id",
+    "kind_name",
     "GraphStatistics",
     "statistics_for",
     "Namespace",

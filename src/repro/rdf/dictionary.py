@@ -1,0 +1,191 @@
+"""Dictionary encoding of RDF terms to dense integer IDs.
+
+Every layer above the store — pattern scans, hash-join probes, DISTINCT
+seen-sets, group keys — ultimately hashes and compares RDF terms.  Term
+objects carry a cached hash, but every equality check is still a Python
+method call and every composite key allocates a tuple of objects.  The
+:class:`TermDictionary` interns each distinct term once and hands out a
+dense ``int`` ID, so the whole execution stack can hash and compare raw
+integers (C-level operations) and only *materialize* terms back at the
+projection/serialisation boundary.  This is the classic dictionary
+encoding of RDF stores (Virtuoso, RDF-3X, HDT) that *Efficiently
+Charting RDF* relies on for interactive aggregate exploration.
+
+ID layout
+---------
+
+IDs are partitioned by term kind into disjoint ranges of
+:data:`KIND_STRIDE` each::
+
+    URIs:      [0,              KIND_STRIDE)
+    BNodes:    [KIND_STRIDE,    2 * KIND_STRIDE)
+    Literals:  [2 * KIND_STRIDE, 3 * KIND_STRIDE)
+
+so integer comparison of IDs respects the term model's cross-kind total
+order (URI < BNode < Literal) even though IDs within one kind follow
+interning order, not lexicographic order.  Within-kind ordering (ORDER
+BY, sort keys) therefore still goes through the decoded terms.
+
+The dictionary only ever grows: removing a triple from a graph does not
+un-intern its terms, which keeps IDs stable for the lifetime of the
+store — the property the executor's scan-offset continuation tokens
+rely on (a token is invalidated by the graph ``version`` check whenever
+triples change, but dictionary growth alone never invalidates IDs).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..obs.metrics import REGISTRY
+from .terms import BNode, Literal, Term, URI
+
+__all__ = ["KIND_STRIDE", "TermDictionary", "kind_of_id", "kind_name"]
+
+#: Width of each per-kind ID range.  2^40 terms per kind is far beyond
+#: anything an in-memory store holds; the stride exists so that integer
+#: ID order respects the URI < BNode < Literal cross-kind order.
+KIND_STRIDE = 1 << 40
+
+_KIND_NAMES = ("uri", "bnode", "literal")
+
+_DICT_TERMS = REGISTRY.gauge(
+    "repro_dict_terms",
+    "Distinct terms interned in the dictionary, by kind",
+    labelnames=("kind",),
+)
+_DICT_TERMS_BY_KIND = tuple(
+    _DICT_TERMS.labels(kind=name) for name in _KIND_NAMES
+)
+_DICT_ENCODE_TOTAL = REGISTRY.counter(
+    "repro_dict_encode_total",
+    "Term-to-ID encodings, by outcome (hit = already interned)",
+    labelnames=("outcome",),
+)
+_ENCODE_HIT = _DICT_ENCODE_TOTAL.labels(outcome="hit")
+_ENCODE_MISS = _DICT_ENCODE_TOTAL.labels(outcome="miss")
+#: Counted by the engine's decode boundaries (expression evaluation,
+#: plan-root materialization) in batches — ``decode`` itself is a bare
+#: list lookup so the hot loops pay no metric overhead per term.
+DECODE_TOTAL = REGISTRY.counter(
+    "repro_dict_decode_total",
+    "Terms materialized from ID space at engine decode boundaries",
+)
+
+
+def kind_of_id(id: int) -> int:
+    """The kind tag (0 = URI, 1 = BNode, 2 = Literal) of an ID."""
+    return id // KIND_STRIDE
+
+
+def kind_name(id: int) -> str:
+    """Human-readable kind of an ID (``uri``/``bnode``/``literal``)."""
+    return _KIND_NAMES[id // KIND_STRIDE]
+
+
+class TermDictionary:
+    """A bidirectional, append-only term ↔ ID mapping.
+
+    ``encode`` interns (assigns a fresh ID on first sight), ``lookup``
+    is the non-interning probe used for query constants (a constant the
+    store has never seen cannot match any triple), and ``decode`` is the
+    materialization direction.  Decoding returns the *identical* term
+    object that was interned, so ``decode(encode(t)) is t`` for terms
+    already owned by the store — late materialization allocates nothing.
+    """
+
+    __slots__ = ("_ids", "_terms", "_lock")
+
+    def __init__(self) -> None:
+        #: term -> id, across all kinds (Term hashes are kind-tagged).
+        self._ids: Dict[Term, int] = {}
+        #: per-kind append-only term lists; ``decode`` indexes these.
+        self._terms: Tuple[List[Term], List[Term], List[Term]] = ([], [], [])
+        #: guards the intern slow path only; reads are GIL-safe.
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+
+    def encode(self, term: Term) -> int:
+        """Return the ID of ``term``, interning it on first sight."""
+        id = self._ids.get(term)
+        if id is not None:
+            _ENCODE_HIT.inc()
+            return id
+        with self._lock:
+            id = self._ids.get(term)
+            if id is not None:
+                _ENCODE_HIT.inc()
+                return id
+            kind = term._kind
+            bucket = self._terms[kind]
+            id = kind * KIND_STRIDE + len(bucket)
+            bucket.append(term)
+            self._ids[term] = id
+            _ENCODE_MISS.inc()
+            _DICT_TERMS_BY_KIND[kind].inc()
+            return id
+
+    def lookup(self, term: Term) -> Optional[int]:
+        """The ID of ``term`` if it is interned, else ``None`` (no intern)."""
+        return self._ids.get(term)
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+
+    def decode(self, id: int) -> Term:
+        """Materialize the term behind ``id``.
+
+        Raises :class:`KeyError` for an ID this dictionary never issued.
+        Deliberately metric-free: callers sit in the engine's hottest
+        loops and account decodes in batches via :data:`DECODE_TOTAL`.
+        """
+        kind, offset = divmod(id, KIND_STRIDE)
+        try:
+            return self._terms[kind][offset]
+        except (IndexError, TypeError):
+            raise KeyError(f"unknown term id: {id!r}")
+
+    def decode_triple(self, ids: Tuple[int, int, int]) -> Tuple[Term, Term, Term]:
+        """Materialize an (s, p, o) ID triple in one call."""
+        terms = self._terms
+        s, p, o = ids
+        return (
+            terms[s // KIND_STRIDE][s % KIND_STRIDE],
+            terms[p // KIND_STRIDE][p % KIND_STRIDE],
+            terms[o // KIND_STRIDE][o % KIND_STRIDE],
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, term: object) -> bool:
+        return term in self._ids
+
+    def size_by_kind(self) -> Dict[str, int]:
+        """Distinct interned terms per kind name."""
+        return {
+            name: len(bucket)
+            for name, bucket in zip(_KIND_NAMES, self._terms)
+        }
+
+    def terms(self) -> Iterator[Term]:
+        """All interned terms, in ID order (kind-major, then interning order)."""
+        for bucket in self._terms:
+            yield from bucket
+
+    def __repr__(self) -> str:
+        sizes = self.size_by_kind()
+        return (
+            f"<TermDictionary {len(self)} terms "
+            f"({sizes['uri']} uri, {sizes['bnode']} bnode, "
+            f"{sizes['literal']} literal)>"
+        )

@@ -1,22 +1,44 @@
-"""An indexed, in-memory RDF graph store.
+"""A dictionary-encoded, indexed, in-memory RDF graph store.
 
-This is the storage substrate underneath the SPARQL engine and, through it,
-the simulated Virtuoso endpoint of :mod:`repro.endpoint`.  The store keeps
-three hash indexes (SPO, POS, OSP) so that every triple pattern with at
-least one bound position is answered without a full scan — the property the
-ablation benchmark ``bench_ablation_indexes`` measures.
+This is the storage substrate underneath the SPARQL engine and, through
+it, the simulated Virtuoso endpoint of :mod:`repro.endpoint`.  Since PR 5
+the store is *dictionary encoded*: every term is interned once in a
+:class:`~repro.rdf.dictionary.TermDictionary` and the three indexes (SPO,
+POS, OSP) are nested dicts over dense integer IDs whose innermost level
+is a **sorted int list** — 8 bytes per entry instead of a hash-set of
+term objects, and deterministic ID-order iteration in every position.
+
+Two access planes are exposed:
+
+- :meth:`Graph.triples` / the single-position accessors speak
+  :class:`~repro.rdf.terms.Term` objects, exactly as before — they
+  decode on the fly, so every existing consumer (recursive evaluator,
+  exploration engine, serialisers) is unchanged.
+- :meth:`Graph.triples_ids` yields raw ``(s, p, o)`` ID tuples with no
+  term materialization at all; the physical operator layer
+  (:mod:`repro.sparql.physical`) executes joins, DISTINCT, and grouping
+  entirely in this ID space and materializes terms only at the
+  projection boundary.
+
+Both planes iterate the *same* underlying structures, so encoded and
+term-object execution produce identical rows in identical order.
 
 The graph also maintains a monotonically increasing ``version`` that the
-heavy-query store (:mod:`repro.perf.hvs`) uses for cache invalidation: the
-paper specifies "The HVS is cleared on any update to the eLinda knowledge
-bases" (Section 4).
+heavy-query store (:mod:`repro.perf.hvs`) uses for cache invalidation:
+the paper specifies "The HVS is cleared on any update to the eLinda
+knowledge bases" (Section 4).  Batch ingestion (:meth:`Graph.bulk_load`,
+:meth:`Graph.bulk`) coalesces the version bump to once per batch so a
+load no longer invalidates statistics and plan caches N times.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Optional, Set
+from bisect import bisect_left, insort
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..obs.metrics import REGISTRY
+from .dictionary import KIND_STRIDE, TermDictionary
 from .terms import Literal, RDFObject, Subject, URI
 from .triple import Triple, TriplePattern
 
@@ -32,29 +54,52 @@ _LOOKUP_POS = _INDEX_LOOKUPS_TOTAL.labels(index="pos")
 _LOOKUP_OSP = _INDEX_LOOKUPS_TOTAL.labels(index="osp")
 _LOOKUP_FULL_SCAN = _INDEX_LOOKUPS_TOTAL.labels(index="full_scan")
 
+_BULK_LOADS_TOTAL = REGISTRY.counter(
+    "repro_graph_bulk_loads_total",
+    "Batched ingestions (one coalesced version bump each)",
+)
 
-def _index_add(
-    index: Dict, key1, key2, key3
-) -> bool:
-    """Add ``key3`` under ``index[key1][key2]``; return True if new."""
+#: Sentinel ID for "this term is bound but unknown to the dictionary" —
+#: it can never match, but routing it through the normal index branches
+#: keeps lookup metrics and early-exit behaviour identical.
+_UNKNOWN = -1
+
+#: Kind tag of literal IDs (see :mod:`repro.rdf.dictionary`).
+_LITERAL_BASE = 2 * KIND_STRIDE
+
+_EMPTY_DICT: Dict = {}
+
+
+def _sorted_contains(values: List[int], value: int) -> bool:
+    """Membership test on a sorted int list."""
+    index = bisect_left(values, value)
+    return index < len(values) and values[index] == value
+
+
+def _index_add(index: Dict, key1: int, key2: int, key3: int) -> bool:
+    """Insert ``key3`` into the sorted list at ``index[key1][key2]``;
+    returns True if it was not already present."""
     second = index.get(key1)
     if second is None:
-        second = {}
-        index[key1] = second
+        index[key1] = {key2: [key3]}
+        return True
     third = second.get(key2)
     if third is None:
-        third = set()
-        second[key2] = third
-    if key3 in third:
+        second[key2] = [key3]
+        return True
+    position = bisect_left(third, key3)
+    if position < len(third) and third[position] == key3:
         return False
-    third.add(key3)
+    third.insert(position, key3)
     return True
 
 
-def _index_remove(index: Dict, key1, key2, key3) -> None:
+def _index_remove(index: Dict, key1: int, key2: int, key3: int) -> None:
     second = index[key1]
     third = second[key2]
-    third.discard(key3)
+    position = bisect_left(third, key3)
+    if position < len(third) and third[position] == key3:
+        del third[position]
     if not third:
         del second[key2]
         if not second:
@@ -71,35 +116,69 @@ class Graph:
     1
     """
 
-    __slots__ = ("_spo", "_pos", "_osp", "_size", "_version", "_stats", "name")
+    __slots__ = (
+        "_dict",
+        "_spo",
+        "_pos",
+        "_osp",
+        "_size",
+        "_version",
+        "_stats",
+        "_bulk_depth",
+        "_bulk_dirty",
+        "name",
+    )
 
     def __init__(self, triples: Iterable[Triple] = (), name: str = ""):
-        # _spo: subject -> predicate -> set of objects
-        self._spo: Dict[Subject, Dict[URI, Set[RDFObject]]] = {}
-        # _pos: predicate -> object -> set of subjects
-        self._pos: Dict[URI, Dict[RDFObject, Set[Subject]]] = {}
-        # _osp: object -> subject -> set of predicates
-        self._osp: Dict[RDFObject, Dict[Subject, Set[URI]]] = {}
+        #: the term ↔ ID dictionary; append-only for the graph's lifetime.
+        self._dict = TermDictionary()
+        # _spo: subject id -> predicate id -> sorted list of object ids
+        self._spo: Dict[int, Dict[int, List[int]]] = {}
+        # _pos: predicate id -> object id -> sorted list of subject ids
+        self._pos: Dict[int, Dict[int, List[int]]] = {}
+        # _osp: object id -> subject id -> sorted list of predicate ids
+        self._osp: Dict[int, Dict[int, List[int]]] = {}
         self._size = 0
         self._version = 0
         self._stats = None  # cached GraphStatistics for self._version
+        self._bulk_depth = 0
+        self._bulk_dirty = False
         self.name = name
-        for triple in triples:
-            self.add(*triple)
+        if triples:
+            self.bulk_load(triples)
+
+    # ------------------------------------------------------------------
+    # Encoding plane
+    # ------------------------------------------------------------------
+
+    @property
+    def dictionary(self) -> TermDictionary:
+        """The term ↔ ID dictionary backing this graph's indexes."""
+        return self._dict
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
 
+    def _bump_version(self) -> None:
+        if self._bulk_depth:
+            self._bulk_dirty = True
+        else:
+            self._version += 1
+
     def add(self, subject: Subject, predicate: URI, object: RDFObject) -> bool:
         """Add a triple; returns True if it was not already present."""
         triple = Triple.create(subject, predicate, object)
-        if not _index_add(self._spo, triple.subject, triple.predicate, triple.object):
+        encode = self._dict.encode
+        s = encode(triple.subject)
+        p = encode(triple.predicate)
+        o = encode(triple.object)
+        if not _index_add(self._spo, s, p, o):
             return False
-        _index_add(self._pos, triple.predicate, triple.object, triple.subject)
-        _index_add(self._osp, triple.object, triple.subject, triple.predicate)
+        _index_add(self._pos, p, o, s)
+        _index_add(self._osp, o, s, p)
         self._size += 1
-        self._version += 1
+        self._bump_version()
         return True
 
     def add_triple(self, triple: Triple) -> bool:
@@ -107,23 +186,113 @@ class Graph:
         return self.add(triple.subject, triple.predicate, triple.object)
 
     def update(self, triples: Iterable[Triple]) -> int:
-        """Add many triples; returns the number actually added."""
+        """Add many triples with one version bump; returns the number added."""
+        return self.bulk_load(triples)
+
+    @contextmanager
+    def bulk(self):
+        """Context manager coalescing version bumps across many mutations.
+
+        Inside the block every ``add``/``remove`` applies immediately (so
+        interleaved reads see the data), but the ``version`` counter —
+        the invalidation signal for :class:`GraphStatistics`, the plan
+        cache, and the HVS — moves at most once, when the block exits.
+        Nestable; only the outermost exit bumps.
+        """
+        self._bulk_depth += 1
+        try:
+            yield self
+        finally:
+            self._bulk_depth -= 1
+            if self._bulk_depth == 0 and self._bulk_dirty:
+                self._bulk_dirty = False
+                self._version += 1
+                _BULK_LOADS_TOTAL.inc()
+
+    def bulk_load(self, triples: Iterable) -> int:
+        """Batch-ingest triples: one version bump, amortised index builds.
+
+        Accepts any iterable of ``(subject, predicate, object)`` term
+        sequences (:class:`Triple` included).  Inner index lists are
+        appended and sorted once per touched key instead of insertion-
+        sorted per triple, so dictionary growth and index maintenance are
+        amortised across the batch.  Returns the number of triples that
+        were actually new.
+        """
+        encode = self._dict.encode
+        spo = self._spo
+        pending: Dict[Tuple[int, int], List[int]] = {}
+        for item in triples:
+            subject, predicate, object = item
+            triple = Triple.create(subject, predicate, object)
+            key = (encode(triple.subject), encode(triple.predicate))
+            values = pending.get(key)
+            if values is None:
+                pending[key] = [encode(triple.object)]
+            else:
+                values.append(encode(triple.object))
         added = 0
-        for triple in triples:
-            if self.add_triple(triple):
-                added += 1
+        fresh_pos: Dict[Tuple[int, int], List[int]] = {}
+        fresh_osp: Dict[Tuple[int, int], List[int]] = {}
+        for (s, p), oids in pending.items():
+            by_predicate = spo.get(s)
+            if by_predicate is None:
+                by_predicate = {}
+                spo[s] = by_predicate
+            existing = by_predicate.get(p)
+            if existing is None:
+                fresh = sorted(set(oids))
+                by_predicate[p] = fresh
+            else:
+                existing_set = set(existing)
+                fresh = [o for o in set(oids) if o not in existing_set]
+                if not fresh:
+                    continue
+                existing.extend(fresh)
+                existing.sort()
+            added += len(fresh)
+            for o in fresh:
+                fresh_pos.setdefault((p, o), []).append(s)
+                fresh_osp.setdefault((o, s), []).append(p)
+        for index, additions in ((self._pos, fresh_pos), (self._osp, fresh_osp)):
+            for (k1, k2), values in additions.items():
+                second = index.get(k1)
+                if second is None:
+                    second = {}
+                    index[k1] = second
+                third = second.get(k2)
+                if third is None:
+                    second[k2] = sorted(values)
+                else:
+                    third.extend(values)
+                    third.sort()
+        if added:
+            self._size += added
+            self._bump_version()
+            if not self._bulk_depth:
+                _BULK_LOADS_TOTAL.inc()
         return added
 
     def remove(self, subject: Subject, predicate: URI, object: RDFObject) -> bool:
-        """Remove a triple; returns True if it was present."""
-        objects = self._spo.get(subject, {}).get(predicate)
-        if objects is None or object not in objects:
+        """Remove a triple; returns True if it was present.
+
+        The terms stay interned in the dictionary (IDs are stable for
+        the graph's lifetime); only the index entries go away.
+        """
+        lookup = self._dict.lookup
+        s = lookup(subject)
+        p = lookup(predicate)
+        o = lookup(object)
+        if s is None or p is None or o is None:
             return False
-        _index_remove(self._spo, subject, predicate, object)
-        _index_remove(self._pos, predicate, object, subject)
-        _index_remove(self._osp, object, subject, predicate)
+        objects = self._spo.get(s, _EMPTY_DICT).get(p)
+        if objects is None or not _sorted_contains(objects, o):
+            return False
+        _index_remove(self._spo, s, p, o)
+        _index_remove(self._pos, p, o, s)
+        _index_remove(self._osp, o, s, p)
         self._size -= 1
-        self._version += 1
+        self._bump_version()
         return True
 
     def remove_pattern(
@@ -144,7 +313,7 @@ class Graph:
         self._pos.clear()
         self._osp.clear()
         self._size = 0
-        self._version += 1
+        self._bump_version()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -180,7 +349,14 @@ class Graph:
         if not isinstance(triple, tuple) or len(triple) != 3:
             return False
         subject, predicate, object = triple
-        return object in self._spo.get(subject, {}).get(predicate, ())
+        lookup = self._dict.lookup
+        s = lookup(subject)
+        p = lookup(predicate)
+        o = lookup(object)
+        if s is None or p is None or o is None:
+            return False
+        objects = self._spo.get(s, _EMPTY_DICT).get(p)
+        return objects is not None and _sorted_contains(objects, o)
 
     def __iter__(self) -> Iterator[Triple]:
         return self.triples()
@@ -190,21 +366,22 @@ class Graph:
         return f"<Graph{label} with {self._size} triples>"
 
     # ------------------------------------------------------------------
-    # Pattern matching
+    # Pattern matching — ID plane
     # ------------------------------------------------------------------
 
-    def triples(
+    def triples_ids(
         self,
-        subject: Optional[Subject] = None,
-        predicate: Optional[URI] = None,
-        object: Optional[RDFObject] = None,
-    ) -> Iterator[Triple]:
-        """Yield all triples matching the pattern (``None`` = wildcard).
+        s: Optional[int] = None,
+        p: Optional[int] = None,
+        o: Optional[int] = None,
+    ) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(s, p, o)`` ID tuples matching the pattern.
 
-        The most selective index available for the pattern is used; a full
-        scan happens only for the all-wildcard pattern.
+        ``None`` is a wildcard; the most selective index available for
+        the pattern is used, and a full scan happens only for the
+        all-wildcard pattern.  This is the zero-materialization plane
+        the physical operators execute on.
         """
-        s, p, o = subject, predicate, object
         if s is not None:
             # (s, ?, o) is the one subject-bound shape answered from OSP.
             (_LOOKUP_OSP if (p is None and o is not None) else _LOOKUP_SPO).inc()
@@ -223,22 +400,22 @@ class Graph:
                 if objects is None:
                     return
                 if o is not None:
-                    if o in objects:
-                        yield Triple(s, p, o)
+                    if _sorted_contains(objects, o):
+                        yield (s, p, o)
                     return
                 for obj in objects:
-                    yield Triple(s, p, obj)
+                    yield (s, p, obj)
                 return
             if o is not None:
-                predicates = self._osp.get(o, {}).get(s)
+                predicates = self._osp.get(o, _EMPTY_DICT).get(s)
                 if predicates is None:
                     return
                 for pred in predicates:
-                    yield Triple(s, pred, o)
+                    yield (s, pred, o)
                 return
             for pred, objects in by_predicate.items():
                 for obj in objects:
-                    yield Triple(s, pred, obj)
+                    yield (s, pred, obj)
             return
         if p is not None:
             by_object = self._pos.get(p)
@@ -249,11 +426,11 @@ class Graph:
                 if subjects is None:
                     return
                 for subj in subjects:
-                    yield Triple(subj, p, o)
+                    yield (subj, p, o)
                 return
             for obj, subjects in by_object.items():
                 for subj in subjects:
-                    yield Triple(subj, p, obj)
+                    yield (subj, p, obj)
             return
         if o is not None:
             by_subject = self._osp.get(o)
@@ -261,12 +438,80 @@ class Graph:
                 return
             for subj, predicates in by_subject.items():
                 for pred in predicates:
-                    yield Triple(subj, pred, o)
+                    yield (subj, pred, o)
             return
         for subj, by_predicate in self._spo.items():
             for pred, objects in by_predicate.items():
                 for obj in objects:
-                    yield Triple(subj, pred, obj)
+                    yield (subj, pred, obj)
+
+    def count_ids(
+        self,
+        s: Optional[int] = None,
+        p: Optional[int] = None,
+        o: Optional[int] = None,
+    ) -> int:
+        """Count matches of an ID pattern without materialising them."""
+        if s is None and p is None and o is None:
+            return self._size
+        if s is not None and p is not None and o is None:
+            return len(self._spo.get(s, _EMPTY_DICT).get(p, ()))
+        if s is None and p is not None and o is not None:
+            return len(self._pos.get(p, _EMPTY_DICT).get(o, ()))
+        if s is not None and p is None and o is not None:
+            return len(self._osp.get(o, _EMPTY_DICT).get(s, ()))
+        return sum(1 for _ in self.triples_ids(s, p, o))
+
+    def _encode_pattern(
+        self,
+        subject: Optional[Subject],
+        predicate: Optional[URI],
+        object: Optional[RDFObject],
+    ) -> Tuple[Optional[int], Optional[int], Optional[int]]:
+        """Map a term pattern to an ID pattern.
+
+        A bound term unknown to the dictionary maps to the impossible ID
+        :data:`_UNKNOWN`, which matches nothing but still routes through
+        the same index branch (for identical metrics and early exits).
+        """
+        lookup = self._dict.lookup
+        s = None
+        if subject is not None:
+            s = lookup(subject)
+            if s is None:
+                s = _UNKNOWN
+        p = None
+        if predicate is not None:
+            p = lookup(predicate)
+            if p is None:
+                p = _UNKNOWN
+        o = None
+        if object is not None:
+            o = lookup(object)
+            if o is None:
+                o = _UNKNOWN
+        return s, p, o
+
+    # ------------------------------------------------------------------
+    # Pattern matching — term plane
+    # ------------------------------------------------------------------
+
+    def triples(
+        self,
+        subject: Optional[Subject] = None,
+        predicate: Optional[URI] = None,
+        object: Optional[RDFObject] = None,
+    ) -> Iterator[Triple]:
+        """Yield all triples matching the pattern (``None`` = wildcard).
+
+        Decodes from the ID plane on the fly; iteration order is the ID
+        plane's deterministic order, so term-level and encoded execution
+        see the same sequence.
+        """
+        s, p, o = self._encode_pattern(subject, predicate, object)
+        decode_triple = self._dict.decode_triple
+        for ids in self.triples_ids(s, p, o):
+            yield Triple(*decode_triple(ids))
 
     def match(self, pattern: TriplePattern) -> Iterator[Triple]:
         """Yield triples matching a :class:`TriplePattern`."""
@@ -279,16 +524,8 @@ class Graph:
         object: Optional[RDFObject] = None,
     ) -> int:
         """Count triples matching the pattern without materialising them."""
-        s, p, o = subject, predicate, object
-        if s is None and p is None and o is None:
-            return self._size
-        if s is not None and p is not None and o is None:
-            return len(self._spo.get(s, {}).get(p, ()))
-        if s is None and p is not None and o is not None:
-            return len(self._pos.get(p, {}).get(o, ()))
-        if s is not None and p is None and o is not None:
-            return len(self._osp.get(o, {}).get(s, ()))
-        return sum(1 for _ in self.triples(s, p, o))
+        s, p, o = self._encode_pattern(subject, predicate, object)
+        return self.count_ids(s, p, o)
 
     # ------------------------------------------------------------------
     # Single-position accessors
@@ -298,46 +535,58 @@ class Graph:
         self, predicate: Optional[URI] = None, object: Optional[RDFObject] = None
     ) -> Iterator[Subject]:
         """Yield distinct subjects of triples matching ``(?, predicate, object)``."""
+        decode = self._dict.decode
         if predicate is not None and object is not None:
-            yield from self._pos.get(predicate, {}).get(object, ())
+            _, p, o = self._encode_pattern(None, predicate, object)
+            for s in self._pos.get(p, _EMPTY_DICT).get(o, ()):
+                yield decode(s)
             return
-        seen: Set[Subject] = set()
-        for triple in self.triples(None, predicate, object):
-            if triple.subject not in seen:
-                seen.add(triple.subject)
-                yield triple.subject
+        seen: Set[int] = set()
+        s_pat, p_pat, o_pat = self._encode_pattern(None, predicate, object)
+        for s, _, _ in self.triples_ids(s_pat, p_pat, o_pat):
+            if s not in seen:
+                seen.add(s)
+                yield decode(s)
 
     def predicates(
         self, subject: Optional[Subject] = None, object: Optional[RDFObject] = None
     ) -> Iterator[URI]:
         """Yield distinct predicates of triples matching ``(subject, ?, object)``."""
+        decode = self._dict.decode
+        s_pat, _, o_pat = self._encode_pattern(subject, None, object)
         if subject is not None and object is not None:
-            yield from self._osp.get(object, {}).get(subject, ())
+            for p in self._osp.get(o_pat, _EMPTY_DICT).get(s_pat, ()):
+                yield decode(p)
             return
         if subject is not None and object is None:
-            yield from self._spo.get(subject, {})
+            for p in self._spo.get(s_pat, _EMPTY_DICT):
+                yield decode(p)
             return
         if subject is None and object is None:
-            yield from self._pos
+            for p in self._pos:
+                yield decode(p)
             return
-        seen: Set[URI] = set()
-        for triple in self.triples(subject, None, object):
-            if triple.predicate not in seen:
-                seen.add(triple.predicate)
-                yield triple.predicate
+        seen: Set[int] = set()
+        for _, p, _ in self.triples_ids(s_pat, None, o_pat):
+            if p not in seen:
+                seen.add(p)
+                yield decode(p)
 
     def objects(
         self, subject: Optional[Subject] = None, predicate: Optional[URI] = None
     ) -> Iterator[RDFObject]:
         """Yield distinct objects of triples matching ``(subject, predicate, ?)``."""
+        decode = self._dict.decode
+        s_pat, p_pat, _ = self._encode_pattern(subject, predicate, None)
         if subject is not None and predicate is not None:
-            yield from self._spo.get(subject, {}).get(predicate, ())
+            for o in self._spo.get(s_pat, _EMPTY_DICT).get(p_pat, ()):
+                yield decode(o)
             return
-        seen: Set[RDFObject] = set()
-        for triple in self.triples(subject, predicate, None):
-            if triple.object not in seen:
-                seen.add(triple.object)
-                yield triple.object
+        seen: Set[int] = set()
+        for _, _, o in self.triples_ids(s_pat, p_pat, None):
+            if o not in seen:
+                seen.add(o)
+                yield decode(o)
 
     def value(
         self, subject: Optional[Subject] = None, predicate: Optional[URI] = None,
@@ -363,26 +612,31 @@ class Graph:
     # ------------------------------------------------------------------
 
     def uris(self) -> Set[URI]:
-        """The set U(G) of URIs occurring in the graph (paper, Section 2)."""
+        """The set U(G) of URIs occurring in the graph (paper, Section 2).
+
+        Derived from the index key sets, so only URI-kind IDs are ever
+        decoded — the dictionary may hold interned terms that no longer
+        (or never did) occur in a triple, and those are not included.
+        """
+        decode = self._dict.decode
         found: Set[URI] = set()
-        for triple in self.triples():
-            if isinstance(triple.subject, URI):
-                found.add(triple.subject)
-            found.add(triple.predicate)
-            if isinstance(triple.object, URI):
-                found.add(triple.object)
+        for s in self._spo:
+            if s < KIND_STRIDE:
+                found.add(decode(s))
+        for p in self._pos:
+            found.add(decode(p))
+        for o in self._osp:
+            if o < KIND_STRIDE:
+                found.add(decode(o))
         return found
 
     def literals(self) -> Set[Literal]:
         """The set L(G) of literals occurring in the graph."""
-        return {
-            triple.object
-            for triple in self.triples()
-            if isinstance(triple.object, Literal)
-        }
+        decode = self._dict.decode
+        return {decode(o) for o in self._osp if o >= _LITERAL_BASE}
 
     def copy(self, name: str = "") -> "Graph":
-        """A shallow copy (terms are immutable, so this is a full copy)."""
+        """A deep copy with its own dictionary and indexes."""
         return Graph(self.triples(), name=name or self.name)
 
     def windows(self, size: int) -> Iterator["Graph"]:

@@ -62,23 +62,34 @@ class GraphStatistics:
 
     @classmethod
     def build(cls, graph: "Graph") -> "GraphStatistics":
-        """Derive the summary from the graph's POS index in one pass."""
+        """Derive the summary from the graph's POS index in one pass.
+
+        Counting happens entirely in ID space (int sets over the encoded
+        index); only the handful of predicate and class keys that make it
+        into the summary are decoded back to URIs at the end.
+        """
+        from .dictionary import KIND_STRIDE
+
         predicate_triples: Dict[URI, int] = {}
         predicate_subjects: Dict[URI, int] = {}
         predicate_objects: Dict[URI, int] = {}
         class_instances: Dict[URI, int] = {}
-        for predicate, by_object in graph._pos.items():
+        decode = graph.dictionary.decode
+        for p_id, by_object in graph._pos.items():
             triples = 0
             subjects: set = set()
-            for obj, subject_set in by_object.items():
-                triples += len(subject_set)
-                subjects |= subject_set
+            for subject_list in by_object.values():
+                triples += len(subject_list)
+                subjects.update(subject_list)
+            predicate = decode(p_id)
             predicate_triples[predicate] = triples
             predicate_subjects[predicate] = len(subjects)
             predicate_objects[predicate] = len(by_object)
-        for obj, subject_set in graph._pos.get(_RDF_TYPE, {}).items():
-            if isinstance(obj, URI):
-                class_instances[obj] = len(subject_set)
+        rdf_type_id = graph.dictionary.lookup(_RDF_TYPE)
+        if rdf_type_id is not None:
+            for obj_id, subject_list in graph._pos.get(rdf_type_id, {}).items():
+                if obj_id < KIND_STRIDE:  # URI-kind IDs only: classes
+                    class_instances[decode(obj_id)] = len(subject_list)
         _STATS_BUILDS_TOTAL.inc()
         return cls(
             version=graph.version,

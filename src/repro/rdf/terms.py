@@ -80,7 +80,7 @@ class Term:
 class URI(Term):
     """A Unique Resource Identifier (an element of **U**)."""
 
-    __slots__ = ("value", "_hash")
+    __slots__ = ("value", "_hash", "_sort_key")
     _kind = _KIND_URI
 
     def __init__(self, value: str):
@@ -94,6 +94,7 @@ class URI(Term):
             raise ValueError(f"invalid characters in URI: {value!r}")
         object.__setattr__(self, "value", value)
         object.__setattr__(self, "_hash", hash((_KIND_URI, value)))
+        object.__setattr__(self, "_sort_key", None)
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("URI is immutable")
@@ -116,7 +117,11 @@ class URI(Term):
         return f"<{self.value}>"
 
     def sort_key(self) -> tuple:
-        return (_KIND_URI, self.value)
+        key = self._sort_key
+        if key is None:
+            key = (_KIND_URI, self.value)
+            object.__setattr__(self, "_sort_key", key)
+        return key
 
     @property
     def local_name(self) -> str:
@@ -154,7 +159,7 @@ def _next_bnode_id() -> str:
 class BNode(Term):
     """A blank node with a local identifier."""
 
-    __slots__ = ("id", "_hash")
+    __slots__ = ("id", "_hash", "_sort_key")
     _kind = _KIND_BNODE
 
     def __init__(self, id: str | None = None):
@@ -164,6 +169,7 @@ class BNode(Term):
             raise ValueError("BNode id must be a non-empty string")
         object.__setattr__(self, "id", id)
         object.__setattr__(self, "_hash", hash((_KIND_BNODE, id)))
+        object.__setattr__(self, "_sort_key", None)
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("BNode is immutable")
@@ -186,7 +192,11 @@ class BNode(Term):
         return f"_:{self.id}"
 
     def sort_key(self) -> tuple:
-        return (_KIND_BNODE, self.id)
+        key = self._sort_key
+        if key is None:
+            key = (_KIND_BNODE, self.id)
+            object.__setattr__(self, "_sort_key", key)
+        return key
 
 
 XSD_STRING = f"{_XSD}string"
@@ -242,7 +252,7 @@ class Literal(Term):
     an ``xsd:boolean``.
     """
 
-    __slots__ = ("lexical", "datatype", "language", "_hash")
+    __slots__ = ("lexical", "datatype", "language", "_hash", "_sort_key")
     _kind = _KIND_LITERAL
 
     def __init__(
@@ -283,6 +293,7 @@ class Literal(Term):
         object.__setattr__(
             self, "_hash", hash((_KIND_LITERAL, lexical, datatype, language))
         )
+        object.__setattr__(self, "_sort_key", None)
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Literal is immutable")
@@ -318,12 +329,16 @@ class Literal(Term):
         return body
 
     def sort_key(self) -> tuple:
-        return (
-            _KIND_LITERAL,
-            self.lexical,
-            self.datatype or "",
-            self.language or "",
-        )
+        key = self._sort_key
+        if key is None:
+            key = (
+                _KIND_LITERAL,
+                self.lexical,
+                self.datatype or "",
+                self.language or "",
+            )
+            object.__setattr__(self, "_sort_key", key)
+        return key
 
     @property
     def is_numeric(self) -> bool:

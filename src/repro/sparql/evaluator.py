@@ -260,6 +260,9 @@ class Evaluator:
 
     def __init__(self, graph: Graph, probe=None):
         self.graph = graph
+        #: the graph's term dictionary; the physical layer (which uses an
+        #: Evaluator as its shared runtime) encodes/decodes through it.
+        self.dictionary = getattr(graph, "dictionary", None)
         self.stats = EvalStats()
         self.probe = probe
 

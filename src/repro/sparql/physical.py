@@ -26,6 +26,20 @@ process.  Blocking state (hash-join build tables, DISTINCT seen sets,
 heaps, aggregation groups) is serialised verbatim, so a restored plan
 continues exactly where it stopped.
 
+**ID-space execution.**  Since PR 5 every in-plan binding value is a raw
+``int`` — the :class:`~repro.rdf.dictionary.TermDictionary` ID of the
+term — not a :class:`~repro.rdf.terms.Term` object.  Scans read
+``Graph.triples_ids``; join probes, DISTINCT seen-sets, MINUS
+compatibility checks, and group keys all hash and compare plain
+integers.  The only places terms are materialized are the expression
+boundaries (FILTER / BIND / ORDER BY / aggregates decode a row, and any
+computed term is re-interned so binding values stay uniformly encoded)
+and the :class:`MaterializeOp` the planner mounts at the plan root,
+which decodes each result row exactly once.  Scan-offset continuation
+state therefore lives in ID space; IDs are stable for the lifetime of
+the store, and the executor's graph-``version`` check already rejects
+tokens whose triples changed.
+
 Operator trees are compiled from algebra trees by
 :mod:`repro.sparql.planner`; this module only defines the operators.
 """
@@ -36,6 +50,7 @@ import heapq
 from time import perf_counter
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..obs.metrics import REGISTRY
 from ..rdf.terms import Term
 from .ast import PathExpr, TriplePatternNode, Var
 from .errors import ExpressionError, SparqlError, SparqlEvalError
@@ -80,6 +95,7 @@ __all__ = [
     "OrderByOp",
     "TopKOp",
     "SliceOp",
+    "MaterializeOp",
     "encode_binding",
     "decode_binding",
     "drain",
@@ -92,6 +108,15 @@ SCAN_BATCH = 64
 
 _EXHAUSTED = object()
 
+_MATERIALIZED_ROWS = REGISTRY.counter(
+    "repro_dict_materialized_rows_total",
+    "Result rows decoded from ID space to terms at the plan root",
+)
+_DECODED_TERMS = REGISTRY.counter(
+    "repro_dict_decode_total",
+    "Terms materialized from ID space at engine decode boundaries",
+)
+
 
 class PlanStateError(SparqlError):
     """A saved operator state does not match the plan it is loaded into."""
@@ -102,25 +127,41 @@ class PlanStateError(SparqlError):
 # ----------------------------------------------------------------------
 
 
+def _value_to_json(value):
+    """One binding value: raw term IDs pass through, terms serialise."""
+    return value if isinstance(value, int) else term_to_json(value)
+
+
+def _value_from_json(blob):
+    return blob if isinstance(blob, int) else term_from_json(blob)
+
+
 def encode_binding(binding: Binding) -> List:
-    """JSON-able encoding of one solution mapping (order-preserving)."""
-    return [[name, term_to_json(term)] for name, term in binding.items()]
+    """JSON-able encoding of one solution mapping (order-preserving).
+
+    In-plan binding values are term IDs (plain ints, already JSON-able);
+    term objects are still accepted for forward compatibility.
+    """
+    return [[name, _value_to_json(value)] for name, value in binding.items()]
 
 
 def decode_binding(blob: List) -> Binding:
-    return {name: term_from_json(term) for name, term in blob}
+    return {name: _value_from_json(value) for name, value in blob}
 
 
-def _encode_opt_term(term: Optional[Term]):
-    return None if term is None else term_to_json(term)
+def _encode_opt_term(value):
+    return None if value is None else _value_to_json(value)
 
 
-def _decode_opt_term(blob) -> Optional[Term]:
-    return None if blob is None else term_from_json(blob)
+def _decode_opt_term(blob):
+    return None if blob is None else _value_from_json(blob)
 
 
 def _check(conditions, binding: Binding, runtime) -> bool:
-    """Whether ``binding`` passes every condition (errors count as false)."""
+    """Whether ``binding`` passes every condition (errors count as false).
+
+    ``binding`` must be in *term* space — this is the expression layer.
+    """
     for condition in conditions:
         try:
             if not effective_boolean_value(
@@ -130,6 +171,33 @@ def _check(conditions, binding: Binding, runtime) -> bool:
         except ExpressionError:
             return False
     return True
+
+
+def _decode_row(row: Binding, runtime) -> Binding:
+    """Materialize one encoded row into term space (expression boundary)."""
+    _DECODED_TERMS.inc(len(row))
+    decode = runtime.dictionary.decode
+    return {name: decode(value) for name, value in row.items()}
+
+
+def _check_ids(conditions, row: Binding, runtime) -> bool:
+    """Condition check over an encoded row; decodes only when needed."""
+    if not conditions:
+        return True
+    return _check(conditions, _decode_row(row, runtime), runtime)
+
+
+def _encode_value(value, runtime):
+    """Intern a computed expression result so it can enter a binding.
+
+    Every value inside a plan must be an ID — mixing terms and ints
+    would silently break join/DISTINCT equality.  Non-term results
+    (shouldn't happen, but errors must not corrupt the plan) pass
+    through untouched.
+    """
+    if isinstance(value, Term):
+        return runtime.dictionary.encode(value)
+    return value
 
 
 # ----------------------------------------------------------------------
@@ -255,7 +323,13 @@ class ValuesOp(PhysicalOperator):
     def __init__(self, runtime, variables, rows):
         super().__init__(runtime)
         self.variables = list(variables)
-        self.rows = list(rows)
+        # VALUES data arrives as term objects from the algebra; intern it
+        # once so emitted bindings are in ID space like every other row.
+        encode = runtime.dictionary.encode
+        self.rows = [
+            [None if value is None else encode(value) for value in row]
+            for row in rows
+        ]
         self._offset = 0
 
     def detail(self) -> str:
@@ -333,9 +407,24 @@ class PatternScanOp(PhysicalOperator):
     # -- scanning -------------------------------------------------------
 
     @staticmethod
-    def _instantiate(term, binding: Binding):
+    def _instantiate_id(term, binding: Binding, lookup):
+        """Pattern position → ID-space scan argument.
+
+        A variable resolves to its bound ID (or ``None`` = wildcard); a
+        constant the dictionary has never interned becomes the
+        impossible ID ``-1``, which matches nothing but still routes
+        through the normal index branch (identical lookup metrics).
+        """
         if isinstance(term, Var):
             return binding.get(term.name)
+        id = lookup(term)
+        return -1 if id is None else id
+
+    @staticmethod
+    def _instantiate_term(term, binding: Binding, decode):
+        if isinstance(term, Var):
+            value = binding.get(term.name)
+            return None if value is None else decode(value)
         return term
 
     def _start_scan(self, binding: Binding) -> None:
@@ -343,23 +432,30 @@ class PatternScanOp(PhysicalOperator):
         self._current = binding
         self._offset = 0
         self.runtime.stats.pattern_scans += 1
-        if isinstance(self.pattern.predicate, PathExpr):
-            subject = self._instantiate(self.pattern.subject, binding)
-            object = self._instantiate(self.pattern.object, binding)
-            self._matches = eval_path(
-                graph, subject, self.pattern.predicate, object
-            )
+        pattern = self.pattern
+        if isinstance(pattern.predicate, PathExpr):
+            # Property paths evaluate in term space (eval_path walks the
+            # graph's term API); endpoints are re-encoded in _extend.
+            decode = self.runtime.dictionary.decode
+            subject = self._instantiate_term(pattern.subject, binding, decode)
+            object = self._instantiate_term(pattern.object, binding, decode)
+            self._matches = eval_path(graph, subject, pattern.predicate, object)
         else:
-            subject = self._instantiate(self.pattern.subject, binding)
-            predicate = self._instantiate(self.pattern.predicate, binding)
-            object = self._instantiate(self.pattern.object, binding)
-            self._matches = graph.triples(subject, predicate, object)
+            lookup = self.runtime.dictionary.lookup
+            s = self._instantiate_id(pattern.subject, binding, lookup)
+            p = self._instantiate_id(pattern.predicate, binding, lookup)
+            o = self._instantiate_id(pattern.object, binding, lookup)
+            self._matches = graph.triples_ids(s, p, o)
 
     def _extend(self, candidate) -> Optional[Binding]:
         binding = dict(self._current)
         if isinstance(self.pattern.predicate, PathExpr):
+            encode = self.runtime.dictionary.encode
             start, end = candidate
-            pairs = ((self.pattern.subject, start), (self.pattern.object, end))
+            pairs = (
+                (self.pattern.subject, encode(start)),
+                (self.pattern.object, encode(end)),
+            )
         else:
             pairs = tuple(zip(self.pattern, candidate))
         for term, value in pairs:
@@ -384,7 +480,7 @@ class PatternScanOp(PhysicalOperator):
                 if row is None:
                     continue
                 self.runtime.stats.intermediate_bindings += 1
-                if _check(self.post_filters, row, self.runtime):
+                if _check_ids(self.post_filters, row, self.runtime):
                     return row
                 continue
             if self.child.done:
@@ -393,7 +489,7 @@ class PatternScanOp(PhysicalOperator):
             outer = self.child.next()
             if outer is None:
                 return None
-            if self.pre_filters and not _check(
+            if self.pre_filters and not _check_ids(
                 self.pre_filters, outer, self.runtime
             ):
                 continue
@@ -479,7 +575,7 @@ class FilterOp(_UnaryOp):
         row = self._pull()
         if row is None:
             return None
-        if _check((self.condition,), row, self.runtime):
+        if _check_ids((self.condition,), row, self.runtime):
             self.runtime.stats.intermediate_bindings += 1
             return row
         return None
@@ -506,11 +602,14 @@ class ExtendOp(_UnaryOp):
             raise SparqlEvalError(f"BIND would rebind ?{self.var.name}")
         out = dict(row)
         try:
-            out[self.var.name] = evaluate_expression(
-                self.expression, row, context=self.runtime
+            value = evaluate_expression(
+                self.expression, _decode_row(row, self.runtime),
+                context=self.runtime,
             )
         except ExpressionError:
             pass  # BIND errors leave the variable unbound
+        else:
+            out[self.var.name] = _encode_value(value, self.runtime)
         self.runtime.stats.intermediate_bindings += 1
         return out
 
@@ -540,15 +639,20 @@ class ProjectOp(_UnaryOp):
         if self.variables is None:
             return row
         out: Binding = {}
+        decoded = None  # lazily materialized, only if an extension runs
         for var in self.variables:
             expression = self.extensions.get(var.name)
             if expression is not None:
+                if decoded is None:
+                    decoded = _decode_row(row, self.runtime)
                 try:
-                    out[var.name] = evaluate_expression(
-                        expression, row, context=self.runtime
+                    value = evaluate_expression(
+                        expression, decoded, context=self.runtime
                     )
                 except ExpressionError:
                     pass
+                else:
+                    out[var.name] = _encode_value(value, self.runtime)
             elif var.name in row:
                 out[var.name] = row[var.name]
         return out
@@ -574,11 +678,11 @@ class _KeyOrder:
 
 
 def _encode_key(key: Tuple) -> List:
-    return [[name, term_to_json(term)] for name, term in key]
+    return [[name, _value_to_json(value)] for name, value in key]
 
 
 def _decode_key(blob: List) -> Tuple:
-    return tuple((name, term_from_json(term)) for name, term in blob)
+    return tuple((name, _value_from_json(value)) for name, value in blob)
 
 
 class DistinctOp(_UnaryOp):
@@ -961,7 +1065,7 @@ class LeftJoinOp(PhysicalOperator):
                     if not _compatible(self._probe, right):
                         continue
                     merged = _merge(self._probe, right)
-                    if self.condition is not None and not _check(
+                    if self.condition is not None and not _check_ids(
                         (self.condition,), merged, self.runtime
                     ):
                         continue
@@ -1142,18 +1246,22 @@ class AggregationOp(PhysicalOperator):
         return specs
 
     def _absorb(self, member: Binding) -> None:
-        key_values: List[Optional[Term]] = []
+        key_values: List[Optional[int]] = []
         key_binding: Binding = {}
+        decoded = None  # member in term space, only if an expression key runs
         for expression, var_name, bind_name in self._key_specs:
             if var_name is not None:
                 value = member.get(var_name)
             else:
+                if decoded is None:
+                    decoded = _decode_row(member, self.runtime)
                 try:
                     value = evaluate_expression(
-                        expression, member, context=self.runtime
+                        expression, decoded, context=self.runtime
                     )
                 except ExpressionError:
                     value = None
+                value = _encode_value(value, self.runtime)
             key_values.append(value)
             if bind_name is not None and value is not None:
                 key_binding[bind_name] = value
@@ -1194,13 +1302,18 @@ class AggregationOp(PhysicalOperator):
             self._emit_index += 1
             members = self._groups[group_key]
             key_binding = self._key_bindings[group_key]
-            self.runtime.stats.groups += 1
+            # HAVING and the aggregate expressions run in term space:
+            # decode the group once, emit back in ID space.
+            runtime = self.runtime
+            key_terms = _decode_row(key_binding, runtime)
+            member_terms = [_decode_row(member, runtime) for member in members]
+            runtime.stats.groups += 1
             skip = False
             for condition in self.having:
                 try:
                     if not effective_boolean_value(
                         evaluate_expression(
-                            condition, key_binding, members, context=self.runtime
+                            condition, key_terms, member_terms, context=runtime
                         )
                     ):
                         skip = True
@@ -1218,15 +1331,17 @@ class AggregationOp(PhysicalOperator):
                         out[projection.var.name] = value
                     continue
                 try:
-                    out[projection.var.name] = evaluate_expression(
+                    value = evaluate_expression(
                         projection.expression,
-                        key_binding,
-                        members,
-                        context=self.runtime,
+                        key_terms,
+                        member_terms,
+                        context=runtime,
                     )
                 except ExpressionError:
                     pass
-            self.runtime.stats.intermediate_bindings += 1
+                else:
+                    out[projection.var.name] = _encode_value(value, runtime)
+            runtime.stats.intermediate_bindings += 1
             return out
         self.done = True
         return None
@@ -1271,12 +1386,17 @@ class AggregationOp(PhysicalOperator):
 
 
 def _order_key(conditions, binding: Binding, runtime) -> List:
-    """The ORDER BY comparison key of one solution (evaluator parity)."""
+    """The ORDER BY comparison key of one solution (evaluator parity).
+
+    ``binding`` is an encoded row; sort keys need lexical values, so
+    this is one of the expression boundaries that decodes.
+    """
     keys = []
+    decoded = _decode_row(binding, runtime)
     for condition in conditions:
         try:
             value = evaluate_expression(
-                condition.expression, binding, context=runtime
+                condition.expression, decoded, context=runtime
             )
         except ExpressionError:
             value = None
@@ -1436,6 +1556,36 @@ class TopKOp(_UnaryOp):
             decode_binding(blob) for blob in state.get("ordered", ())
         ]
         self._emit_index = int(state.get("emit_index", 0))
+
+
+# ----------------------------------------------------------------------
+# Late materialization
+# ----------------------------------------------------------------------
+
+
+class MaterializeOp(_UnaryOp):
+    """The late-materialization boundary at the plan root.
+
+    Every operator below it works on encoded rows (term-ID ints); this
+    operator decodes each result row to term objects exactly once, so
+    everything downstream — SPARQL-JSON serialisation, chart labels,
+    clients of ``plan.root.next()`` — sees ordinary ``Term`` bindings.
+    It adds no ``EvalStats`` work (materialization is representation,
+    not query work, and the recursive evaluator has no analogue).
+    """
+
+    label = "Materialize"
+
+    def _next(self) -> Optional[Binding]:
+        row = self._pull()
+        if row is None:
+            return None
+        decode = self.runtime.dictionary.decode
+        _MATERIALIZED_ROWS.inc()
+        return {
+            name: decode(value) if isinstance(value, int) else value
+            for name, value in row.items()
+        }
 
 
 # ----------------------------------------------------------------------

@@ -64,6 +64,7 @@ from .physical import (
     FilterOp,
     HashJoinOp,
     LeftJoinOp,
+    MaterializeOp,
     MinusOp,
     OrderByOp,
     PatternScanOp,
@@ -300,7 +301,11 @@ class PhysicalPlanFactory:
         self.algebra = algebra
         self.is_ask = isinstance(algebra, Ask)
         root_node = algebra.input if isinstance(algebra, Ask) else algebra
-        self.make_root = compile_node(root_node)
+        inner = compile_node(root_node)
+        # The operator tree executes in ID space; mount the single
+        # late-materialization boundary at the root so consumers of
+        # plan.root.next() receive ordinary term bindings.
+        self.make_root = lambda runtime: MaterializeOp(runtime, inner(runtime))
         self.variables: List[str] = (
             [] if self.is_ask else result_variables(query, algebra)
         )

@@ -1,0 +1,199 @@
+"""The term dictionary and the encoded (ID-keyed) graph store."""
+
+import pytest
+
+from repro.rdf import (
+    BNode,
+    Graph,
+    KIND_STRIDE,
+    Literal,
+    TermDictionary,
+    Triple,
+    URI,
+    kind_name,
+    kind_of_id,
+)
+
+EX = "http://ex.org/"
+
+
+def _uri(name: str) -> URI:
+    return URI(EX + name)
+
+
+class TestTermDictionary:
+    def test_encode_is_stable_and_decode_returns_identical_object(self):
+        d = TermDictionary()
+        term = _uri("a")
+        id = d.encode(term)
+        assert d.encode(term) == id
+        assert d.encode(URI(EX + "a")) == id  # equal term, same ID
+        assert d.decode(id) is term  # materialization allocates nothing
+
+    def test_per_kind_id_ranges(self):
+        d = TermDictionary()
+        u = d.encode(_uri("u"))
+        b = d.encode(BNode("b"))
+        l = d.encode(Literal("l"))
+        assert 0 <= u < KIND_STRIDE
+        assert KIND_STRIDE <= b < 2 * KIND_STRIDE
+        assert 2 * KIND_STRIDE <= l < 3 * KIND_STRIDE
+        # Integer order respects the cross-kind term order.
+        assert u < b < l
+        assert (kind_of_id(u), kind_of_id(b), kind_of_id(l)) == (0, 1, 2)
+        assert kind_name(u) == "uri"
+        assert kind_name(b) == "bnode"
+        assert kind_name(l) == "literal"
+
+    def test_lookup_does_not_intern(self):
+        d = TermDictionary()
+        assert d.lookup(_uri("never")) is None
+        assert len(d) == 0
+        id = d.encode(_uri("seen"))
+        assert d.lookup(_uri("seen")) == id
+
+    def test_decode_unknown_id_raises(self):
+        d = TermDictionary()
+        with pytest.raises(KeyError):
+            d.decode(123)
+
+    def test_size_by_kind_and_terms_iteration(self):
+        d = TermDictionary()
+        d.encode(_uri("u1"))
+        d.encode(_uri("u2"))
+        d.encode(Literal("x"))
+        assert d.size_by_kind() == {"uri": 2, "bnode": 0, "literal": 1}
+        assert len(list(d.terms())) == 3
+        assert _uri("u1") in d
+        assert Literal("y") not in d
+
+
+class TestEncodedGraph:
+    def test_triples_ids_decode_matches_triples(self):
+        g = Graph()
+        g.add(_uri("s"), _uri("p"), Literal("v"))
+        g.add(_uri("s"), _uri("p"), _uri("o"))
+        g.add(_uri("t"), _uri("q"), _uri("s"))
+        ids = list(g.triples_ids())
+        decoded = [Triple(*g.dictionary.decode_triple(t)) for t in ids]
+        assert decoded == list(g.triples())
+        assert len(ids) == len(g) == 3
+
+    def test_unknown_pattern_terms_match_nothing(self):
+        g = Graph()
+        g.add(_uri("s"), _uri("p"), _uri("o"))
+        assert list(g.triples(_uri("absent"), None, None)) == []
+        assert g.count(None, _uri("absent"), None) == 0
+        assert (_uri("s"), _uri("p"), _uri("absent")) not in g
+        assert (_uri("s"), _uri("p"), _uri("o")) in g
+
+    def test_remove_keeps_dictionary_ids_stable(self):
+        g = Graph()
+        g.add(_uri("s"), _uri("p"), _uri("o"))
+        id_before = g.dictionary.lookup(_uri("s"))
+        assert g.remove(_uri("s"), _uri("p"), _uri("o"))
+        assert len(g) == 0
+        assert g.dictionary.lookup(_uri("s")) == id_before
+        # Re-adding reuses the interned IDs.
+        g.add(_uri("s"), _uri("p"), _uri("o"))
+        assert g.dictionary.lookup(_uri("s")) == id_before
+
+    def test_iteration_order_is_deterministic_id_order(self):
+        triples = [
+            (_uri(f"s{i}"), _uri(f"p{i % 3}"), Literal(i)) for i in range(20)
+        ]
+        g1 = Graph()
+        g2 = Graph()
+        for s, p, o in triples:
+            g1.add(s, p, o)
+            g2.add(s, p, o)
+        assert list(g1.triples()) == list(g2.triples())
+
+
+class TestBulkLoad:
+    def test_bulk_load_counts_and_dedupes(self):
+        g = Graph()
+        g.add(_uri("s"), _uri("p"), _uri("o"))
+        added = g.bulk_load(
+            [
+                (_uri("s"), _uri("p"), _uri("o")),  # duplicate of existing
+                (_uri("s"), _uri("p"), _uri("o2")),
+                (_uri("s"), _uri("p"), _uri("o2")),  # duplicate within batch
+                (_uri("t"), _uri("q"), Literal("x")),
+            ]
+        )
+        assert added == 2
+        assert len(g) == 3
+
+    def test_bulk_load_bumps_version_once(self):
+        g = Graph()
+        before = g.version
+        g.bulk_load(
+            [(_uri(f"s{i}"), _uri("p"), Literal(i)) for i in range(50)]
+        )
+        assert g.version == before + 1
+
+    def test_bulk_load_matches_incremental_adds(self):
+        triples = [
+            (_uri(f"s{i % 7}"), _uri(f"p{i % 3}"), Literal(i % 5))
+            for i in range(40)
+        ]
+        bulk = Graph()
+        bulk.bulk_load(triples)
+        incremental = Graph()
+        for s, p, o in triples:
+            incremental.add(s, p, o)
+        assert len(bulk) == len(incremental)
+        assert list(bulk.triples()) == list(incremental.triples())
+        assert bulk.count(None, _uri("p0"), None) == incremental.count(
+            None, _uri("p0"), None
+        )
+
+    def test_bulk_context_coalesces_version_bumps(self):
+        g = Graph()
+        before = g.version
+        with g.bulk():
+            for i in range(10):
+                g.add(_uri(f"s{i}"), _uri("p"), Literal(i))
+            # Reads inside the block see the data immediately.
+            assert len(g) == 10
+            assert g.version == before
+        assert g.version == before + 1
+
+    def test_nested_bulk_bumps_only_at_outermost_exit(self):
+        g = Graph()
+        before = g.version
+        with g.bulk():
+            g.add(_uri("a"), _uri("p"), Literal(1))
+            with g.bulk():
+                g.add(_uri("b"), _uri("p"), Literal(2))
+            assert g.version == before
+        assert g.version == before + 1
+
+    def test_bulk_without_changes_does_not_bump(self):
+        g = Graph()
+        before = g.version
+        with g.bulk():
+            pass
+        assert g.version == before
+
+    def test_update_delegates_to_bulk_load(self):
+        g = Graph()
+        before = g.version
+        count = g.update(
+            Triple(_uri(f"s{i}"), _uri("p"), Literal(i)) for i in range(5)
+        )
+        assert count == 5
+        assert g.version == before + 1
+
+
+class TestSortKeyCache:
+    def test_sort_key_is_computed_once(self):
+        for term in (_uri("x"), BNode("b"), Literal("v", language="en")):
+            first = term.sort_key()
+            assert term.sort_key() is first  # memoised, not re-allocated
+
+    def test_cached_keys_still_order_correctly(self):
+        u, b, l = _uri("a"), BNode("a"), Literal("a")
+        assert u < b < l
+        assert sorted([l, b, u]) == [u, b, l]

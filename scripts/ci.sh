@@ -12,7 +12,11 @@
 #      `repro metrics --exercise`;
 #   4. the serving-layer smoke test (concurrency soak under injected
 #      faults, retry accounting, and the breaker's fallback ladder);
-#   5. the full tier-1 test suite.
+#   5. the snapshot-store smoke test (deterministic builds, reopen
+#      parity, byte-identical paged SPARQL-JSON over the mmap store,
+#      corruption → typed errors, read-only enforcement), plus a
+#      build → zero-copy reopen round-trip through the CLI boot path;
+#   6. the full tier-1 test suite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -41,6 +45,22 @@ echo "ok: plan cache hits, optimizer runs, and dictionary interning recorded"
 echo
 echo "== repro serve --self-test =="
 python -m repro serve --self-test
+
+echo
+echo "== repro snapshot --self-test =="
+python -m repro snapshot --self-test
+
+echo
+echo "== snapshot build → reopen smoke =="
+snapdir="$(mktemp -d)"
+trap 'rm -rf "$snapdir"' EXIT
+python -m repro snapshot build "$snapdir/ci.snap"
+python -m repro snapshot info "$snapdir/ci.snap" > /dev/null
+python -m repro --snapshot "$snapdir/ci.snap" stats > "$snapdir/from-snap.txt"
+python -m repro stats > "$snapdir/from-mem.txt"
+diff "$snapdir/from-mem.txt" "$snapdir/from-snap.txt" \
+  || { echo "FAIL: stats differ between snapshot and in-memory boot"; exit 1; }
+echo "ok: snapshot boot serves the same opening statistics as a text boot"
 
 echo
 echo "== tier-1 test suite =="

@@ -55,7 +55,9 @@ def _resolve_uri(text: str) -> URI:
         raise SystemExit(f"error: cannot resolve {text!r} as a URI ({exc})")
 
 
-def _build_session(args) -> ExplorerSession:
+def _source_graph(args):
+    """The ``(graph, root_class)`` pair from ``--load`` or the synthetic
+    dataset flags — the text/generator boot path."""
     if getattr(args, "load", None):
         from .rdf import OWL, load_ntriples, parse_turtle
 
@@ -65,23 +67,50 @@ def _build_session(args) -> ExplorerSession:
                 graph = parse_turtle(handle.read())
         else:
             graph = load_ntriples(path)
-        root = _resolve_uri(args.root) if args.root else OWL.term("Thing")
-        settings = SettingsForm(root_class=root)
-        endpoint = LocalEndpoint(graph, clock=SimClock())
-        return ExplorerSession(endpoint, settings=settings)
+        root = (
+            _resolve_uri(args.root)
+            if getattr(args, "root", None)
+            else OWL.term("Thing")
+        )
+        return graph, root
     if args.dataset == "dbpedia":
         dataset = generate_dbpedia(DBpediaConfig(scale=args.scale, seed=args.seed))
-        root = dataset.facts["thing"]
-    elif args.dataset == "yago":
+        return dataset.graph, dataset.facts["thing"]
+    if args.dataset == "yago":
         dataset = generate_yago(YagoConfig(seed=args.seed))
-        root = dataset.facts["root"]
-    else:
-        dataset = generate_lgd(LGDConfig(seed=args.seed))
-        from .rdf import OWL
+        return dataset.graph, dataset.facts["root"]
+    dataset = generate_lgd(LGDConfig(seed=args.seed))
+    from .rdf import OWL
 
-        root = OWL.term("Thing")
+    return dataset.graph, OWL.term("Thing")
+
+
+def _build_session(args) -> ExplorerSession:
+    snapshot_path = getattr(args, "snapshot", None)
+    if snapshot_path:
+        import os
+
+        from .rdf import OWL
+        from .rdf.snapshot import open_snapshot, write_snapshot
+
+        if os.path.exists(snapshot_path):
+            # Zero-copy boot: mmap the file, skip parsing entirely.
+            graph = open_snapshot(snapshot_path)
+            root = (
+                _resolve_uri(args.root)
+                if getattr(args, "root", None)
+                else OWL.term("Thing")
+            )
+        else:
+            # First boot: build from the text/generator source, persist,
+            # then serve from the snapshot we just wrote.
+            source, root = _source_graph(args)
+            write_snapshot(source, snapshot_path)
+            graph = open_snapshot(snapshot_path)
+    else:
+        graph, root = _source_graph(args)
     settings = SettingsForm(root_class=root)
-    endpoint = LocalEndpoint(dataset.graph, clock=SimClock())
+    endpoint = LocalEndpoint(graph, clock=SimClock())
     return ExplorerSession(endpoint, settings=settings)
 
 
@@ -985,6 +1014,183 @@ def _explain_self_test(args) -> int:
     return 0
 
 
+def _cmd_snapshot(args) -> int:
+    """Build or inspect a persistent mmap snapshot file."""
+    if args.self_test:
+        return _snapshot_self_test(args)
+    from .rdf.snapshot import snapshot_info, write_snapshot
+
+    if args.action == "build":
+        if not args.file:
+            print("error: snapshot build needs an output path", file=sys.stderr)
+            return 2
+        graph, _ = _source_graph(args)
+        file_bytes = write_snapshot(graph, args.file)
+        print(
+            f"wrote {args.file}: {len(graph):,} triples, "
+            f"{len(graph.dictionary):,} terms, {file_bytes:,} bytes"
+        )
+        return 0
+    if args.action == "info":
+        if not args.file:
+            print("error: snapshot info needs a file path", file=sys.stderr)
+            return 2
+        from .rdf.snapshot import SnapshotError
+
+        try:
+            info = snapshot_info(args.file)
+        except (OSError, SnapshotError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        terms = info["terms"]
+        print(f"path:            {info['path']}")
+        print(f"format version:  {info['format_version']}")
+        print(f"file bytes:      {info['file_bytes']:,}")
+        print(f"payload crc32:   {info['checksum_crc32']}")
+        print(f"triples:         {info['triples']:,}")
+        print(
+            f"terms:           {terms['uri']:,} uri / {terms['bnode']:,} "
+            f"bnode / {terms['literal']:,} literal"
+        )
+        print(f"{'section':<16} {'offset':>12} {'bytes':>12}")
+        for section in info["sections"]:
+            print(
+                f"{section['name']:<16} {section['offset']:>12,} "
+                f"{section['bytes']:>12,}"
+            )
+        return 0
+    print("error: provide an action (build/info) or --self-test", file=sys.stderr)
+    return 2
+
+
+def _snapshot_self_test(args) -> int:
+    """Snapshot smoke: deterministic builds, reopen parity, byte-identical
+    paged SPARQL-JSON, corruption handling, and read-only enforcement
+    (used by scripts/ci.sh)."""
+    import os
+    import struct as _struct
+    import tempfile
+
+    from .rdf import snapshot as rdf_snapshot
+    from .sparql.results import results_to_json
+
+    failures: List[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        print(("ok: " if condition else "FAIL: ") + message)
+        if not condition:
+            failures.append(message)
+
+    graph, _root = _source_graph(args)
+
+    # 1. Determinism: the same graph state serialises byte-for-byte.
+    image = rdf_snapshot.build_snapshot_bytes(graph)
+    check(
+        image == rdf_snapshot.build_snapshot_bytes(graph),
+        f"snapshot build is deterministic ({len(image):,} bytes)",
+    )
+
+    # 2. Write -> reopen parity: counts, dictionary, statistics.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "self-test.snap")
+        rdf_snapshot.write_snapshot(graph, path)
+        snap = rdf_snapshot.open_snapshot(path)
+        check(len(snap) == len(graph), "reopened triple count matches")
+        check(
+            snap.dictionary.size_by_kind() == graph.dictionary.size_by_kind(),
+            "reopened dictionary sizes match by kind",
+        )
+        mem_stats, snap_stats = graph.statistics(), snap.statistics()
+        check(
+            mem_stats.predicate_triples == snap_stats.predicate_triples
+            and mem_stats.class_instances == snap_stats.class_instances
+            and mem_stats.distinct_subjects == snap_stats.distinct_subjects,
+            "reopened statistics match the in-memory build",
+        )
+
+        # 3. Paged serving parity: byte-identical SPARQL-JSON page by page.
+        query = _prologue() + (
+            "SELECT ?s ?p ?o WHERE { ?s ?p ?o . ?s ?p2 ?o2 } LIMIT 400"
+        )
+
+        def pages(store) -> List[str]:
+            endpoint = LocalEndpoint(store, clock=SimClock())
+            out: List[str] = []
+            response = endpoint.query(query, page_size=64)
+            out.append(results_to_json(response.result))
+            while not response.complete:
+                response = endpoint.query(
+                    query, page_size=64, continuation=response.continuation
+                )
+                out.append(results_to_json(response.result))
+            return out
+
+        mem_pages = pages(graph)
+        snap_pages = pages(snap)
+        check(
+            mem_pages == snap_pages,
+            f"paged SPARQL-JSON is byte-identical over the snapshot "
+            f"({len(snap_pages)} pages)",
+        )
+        check(len(snap_pages) > 1, f"query actually paged ({len(snap_pages)} pages)")
+
+        # 4. EXPLAIN runs over the snapshot unchanged.
+        from .obs import explain
+
+        explained = explain(snap, query, analyze=True)
+        check(
+            explained.plan.actual_rows is not None,
+            "EXPLAIN ANALYZE executes over the snapshot",
+        )
+
+        # 5. Read-only enforcement.
+        from .rdf import URI as _URI
+
+        try:
+            snap.add(_URI("e:s"), _URI("e:p"), _URI("e:o"))
+            check(False, "mutation rejected on a snapshot")
+        except rdf_snapshot.SnapshotReadOnlyError:
+            check(True, "mutation raises SnapshotReadOnlyError")
+        snap.close()
+
+    # 6. Corruption: typed errors, never a crash or a silent wrong answer.
+    bad = bytearray(image)
+    bad[0] ^= 0xFF
+    try:
+        rdf_snapshot.SnapshotGraph.from_bytes(bytes(bad))
+        check(False, "bad magic rejected")
+    except rdf_snapshot.SnapshotMagicError:
+        check(True, "bad magic raises SnapshotMagicError")
+    try:
+        rdf_snapshot.SnapshotGraph.from_bytes(image[: len(image) // 2])
+        check(False, "truncated file rejected")
+    except rdf_snapshot.SnapshotTruncatedError:
+        check(True, "truncation raises SnapshotTruncatedError")
+    bad = bytearray(image)
+    bad[-1] ^= 0xFF
+    try:
+        rdf_snapshot.SnapshotGraph.from_bytes(bytes(bad))
+        check(False, "checksum mismatch rejected")
+    except rdf_snapshot.SnapshotChecksumError:
+        check(True, "bit rot raises SnapshotChecksumError")
+    bad = bytearray(image)
+    _struct.pack_into("<I", bad, 8, rdf_snapshot.FORMAT_VERSION + 7)
+    try:
+        rdf_snapshot.SnapshotGraph.from_bytes(bytes(bad))
+        check(False, "future version rejected")
+    except rdf_snapshot.SnapshotVersionError:
+        check(True, "unknown format version raises SnapshotVersionError")
+
+    if failures:
+        print(
+            f"snapshot self-test failed ({len(failures)} checks)",
+            file=sys.stderr,
+        )
+        return 1
+    print("snapshot self-test passed")
+    return 0
+
+
 def _cmd_metrics(args) -> int:
     """Dump the process-wide metrics registry (Prometheus text format)."""
     from .obs.metrics import REGISTRY
@@ -1065,6 +1271,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--root",
         metavar="CLASS",
         help="root class for --load (default owl:Thing)",
+    )
+    parser.add_argument(
+        "--snapshot",
+        metavar="FILE",
+        help="serve from a persistent mmap snapshot: an existing FILE is "
+        "opened zero-copy (--load/--dataset are ignored); a missing FILE "
+        "is built from them first, then served",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -1230,6 +1443,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the observability smoke test (used by scripts/ci.sh)",
     )
     explain.set_defaults(func=_cmd_explain)
+
+    snapshot = sub.add_parser(
+        "snapshot",
+        help="build or inspect a persistent mmap snapshot "
+        "(docs/SNAPSHOT_FORMAT.md)",
+    )
+    snapshot.add_argument(
+        "action",
+        nargs="?",
+        choices=["build", "info"],
+        help="build: serialize --load/--dataset to FILE; info: dump a "
+        "snapshot's header and section table",
+    )
+    snapshot.add_argument("file", nargs="?", help="snapshot file path")
+    snapshot.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the snapshot smoke test (used by scripts/ci.sh)",
+    )
+    snapshot.set_defaults(func=_cmd_snapshot)
 
     metrics = sub.add_parser(
         "metrics", help="dump the metrics registry (Prometheus text format)"

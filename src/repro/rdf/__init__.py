@@ -17,6 +17,21 @@ from .ntriples import (
     parse_ntriples_line,
     serialize_ntriples,
 )
+from .snapshot import (
+    SnapshotChecksumError,
+    SnapshotDictionary,
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotGraph,
+    SnapshotMagicError,
+    SnapshotReadOnlyError,
+    SnapshotTruncatedError,
+    SnapshotVersionError,
+    build_snapshot_bytes,
+    open_snapshot,
+    snapshot_info,
+    write_snapshot,
+)
 from .terms import BNode, Literal, RDFObject, Subject, Term, URI
 from .triple import Triple, TriplePattern
 from .turtle import TurtleError, parse_turtle, serialize_turtle
@@ -49,6 +64,19 @@ __all__ = [
     "kind_name",
     "GraphStatistics",
     "statistics_for",
+    "SnapshotGraph",
+    "SnapshotDictionary",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "SnapshotMagicError",
+    "SnapshotVersionError",
+    "SnapshotChecksumError",
+    "SnapshotTruncatedError",
+    "SnapshotReadOnlyError",
+    "build_snapshot_bytes",
+    "write_snapshot",
+    "open_snapshot",
+    "snapshot_info",
     "Namespace",
     "NamespaceManager",
     "NTriplesError",

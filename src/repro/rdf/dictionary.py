@@ -182,6 +182,35 @@ class TermDictionary:
         for bucket in self._terms:
             yield from bucket
 
+    # ------------------------------------------------------------------
+    # Stable export order
+    # ------------------------------------------------------------------
+    #
+    # Snapshot builds (:mod:`repro.rdf.snapshot`) serialise the dictionary
+    # byte-for-byte, so the export surface must promise a *stable* order:
+    # two exports of the same dictionary state are identical, and the
+    # position of a term in the export determines its ID.
+
+    def export_kind(self, kind: int) -> Tuple[Term, ...]:
+        """The terms of one kind in ID order, as an immutable snapshot.
+
+        Index ``i`` of the returned tuple holds the term whose ID is
+        ``kind * KIND_STRIDE + i``; the order is the interning order and
+        never changes for the lifetime of the dictionary (the store is
+        append-only), so repeated exports of the same state are
+        element-for-element identical.  This is the contract snapshot
+        serialisation relies on for byte-for-byte deterministic builds.
+        """
+        with self._lock:
+            return tuple(self._terms[kind])
+
+    def export_ids(self) -> Iterator[Tuple[int, Term]]:
+        """All ``(id, term)`` pairs in ascending ID order (stable)."""
+        for kind in range(len(self._terms)):
+            base = kind * KIND_STRIDE
+            for offset, term in enumerate(self.export_kind(kind)):
+                yield base + offset, term
+
     def __repr__(self) -> str:
         sizes = self.size_by_kind()
         return (

@@ -381,6 +381,15 @@ class Graph:
         the pattern is used, and a full scan happens only for the
         all-wildcard pattern.  This is the zero-materialization plane
         the physical operators execute on.
+
+        Iteration order is **sorted ID order in every position** —
+        outer dict levels are walked in sorted-key order and the leaf
+        lists are kept sorted — so two stores holding the same triples
+        enumerate any pattern identically regardless of insertion
+        order.  This is the canonical order the mmap'd snapshot store
+        (:mod:`repro.rdf.snapshot`) answers with via binary search, and
+        what makes snapshot execution row-and-order equivalent to the
+        in-memory store by construction.
         """
         if s is not None:
             # (s, ?, o) is the one subject-bound shape answered from OSP.
@@ -413,8 +422,8 @@ class Graph:
                 for pred in predicates:
                     yield (s, pred, o)
                 return
-            for pred, objects in by_predicate.items():
-                for obj in objects:
+            for pred in sorted(by_predicate):
+                for obj in by_predicate[pred]:
                     yield (s, pred, obj)
             return
         if p is not None:
@@ -428,21 +437,23 @@ class Graph:
                 for subj in subjects:
                     yield (subj, p, o)
                 return
-            for obj, subjects in by_object.items():
-                for subj in subjects:
+            for obj in sorted(by_object):
+                for subj in by_object[obj]:
                     yield (subj, p, obj)
             return
         if o is not None:
             by_subject = self._osp.get(o)
             if by_subject is None:
                 return
-            for subj, predicates in by_subject.items():
-                for pred in predicates:
+            for subj in sorted(by_subject):
+                for pred in by_subject[subj]:
                     yield (subj, pred, o)
             return
-        for subj, by_predicate in self._spo.items():
-            for pred, objects in by_predicate.items():
-                for obj in objects:
+        spo = self._spo
+        for subj in sorted(spo):
+            by_predicate = spo[subj]
+            for pred in sorted(by_predicate):
+                for obj in by_predicate[pred]:
                     yield (subj, pred, obj)
 
     def count_ids(
@@ -559,11 +570,11 @@ class Graph:
                 yield decode(p)
             return
         if subject is not None and object is None:
-            for p in self._spo.get(s_pat, _EMPTY_DICT):
+            for p in sorted(self._spo.get(s_pat, _EMPTY_DICT)):
                 yield decode(p)
             return
         if subject is None and object is None:
-            for p in self._pos:
+            for p in sorted(self._pos):
                 yield decode(p)
             return
         seen: Set[int] = set()

@@ -187,6 +187,66 @@ class TestBulkLoad:
         assert g.version == before + 1
 
 
+class TestStableExportOrder:
+    """The export surface snapshot builds serialise through: position i
+    of export_kind(k) must be the term whose ID is k*STRIDE + i, and
+    the order must never change across repeated exports."""
+
+    def _populated(self) -> TermDictionary:
+        d = TermDictionary()
+        for term in (
+            _uri("z"), _uri("a"), BNode("b2"), Literal("v"),
+            _uri("m"), BNode("b1"), Literal("w", language="en"),
+        ):
+            d.encode(term)
+        return d
+
+    def test_export_kind_positions_encode_ids(self):
+        d = self._populated()
+        for kind in range(3):
+            for offset, term in enumerate(d.export_kind(kind)):
+                assert d.lookup(term) == kind * KIND_STRIDE + offset
+
+    def test_export_is_interning_order_not_sorted_order(self):
+        d = self._populated()
+        assert d.export_kind(0) == (_uri("z"), _uri("a"), _uri("m"))
+
+    def test_repeated_exports_are_identical(self):
+        d = self._populated()
+        first = [d.export_kind(kind) for kind in range(3)]
+        list(d.terms())  # reads must not perturb the order
+        d.encode(_uri("z"))  # re-encoding an interned term is a no-op
+        assert [d.export_kind(kind) for kind in range(3)] == first
+
+    def test_export_ids_is_ascending_and_complete(self):
+        d = self._populated()
+        pairs = list(d.export_ids())
+        ids = [id for id, _ in pairs]
+        assert ids == sorted(ids)
+        assert len(pairs) == len(d)
+        assert all(d.decode(id) is term for id, term in pairs)
+
+    def test_append_only_growth_preserves_prefix(self):
+        d = self._populated()
+        before = d.export_kind(0)
+        d.encode(_uri("fresh"))
+        after = d.export_kind(0)
+        assert after[: len(before)] == before
+        assert after[-1] == _uri("fresh")
+
+    def test_snapshot_builds_are_deterministic_across_replays(self):
+        # The end-to-end property the export order exists for.
+        from repro.rdf.snapshot import build_snapshot_bytes
+
+        def build():
+            g = Graph()
+            g.add(_uri("s"), _uri("p"), Literal("v"))
+            g.add(BNode("b"), _uri("p"), _uri("s"))
+            return build_snapshot_bytes(g)
+
+        assert build() == build()
+
+
 class TestSortKeyCache:
     def test_sort_key_is_computed_once(self):
         for term in (_uri("x"), BNode("b"), Literal("v", language="en")):

@@ -1,0 +1,110 @@
+"""docs/SNAPSHOT_FORMAT.md is a contract: its worked hex example must
+be a real, openable snapshot, byte-identical to what the builder emits
+for the example graph today."""
+
+import pathlib
+import re
+import struct
+
+from repro.rdf import BNode, Graph, Literal, URI
+from repro.rdf.snapshot import (
+    FORMAT_VERSION,
+    HEADER_SIZE,
+    MAGIC,
+    SnapshotGraph,
+    build_snapshot_bytes,
+)
+
+DOC = (
+    pathlib.Path(__file__).resolve().parents[2] / "docs" / "SNAPSHOT_FORMAT.md"
+)
+
+_DUMP_LINE = re.compile(
+    r"^([0-9a-f]{8})  ((?:[0-9a-f]{2} ?)+?) +\|.*\|$"
+)
+
+
+def example_graph() -> Graph:
+    # The exact insertion order the spec's worked example prescribes.
+    graph = Graph()
+    graph.add(URI("e:s"), URI("e:p"), URI("e:o"))
+    graph.add(URI("e:s"), URI("e:p"), Literal("v"))
+    graph.add(BNode("b"), URI("e:p"), URI("e:o"))
+    return graph
+
+
+def doc_example_bytes() -> bytes:
+    """The worked example, parsed out of the spec's hexdump block."""
+    text = DOC.read_text(encoding="utf-8")
+    match = re.search(r"```hexdump\n(.*?)```", text, re.DOTALL)
+    assert match, "no ```hexdump block in docs/SNAPSHOT_FORMAT.md"
+    data = bytearray()
+    for line in match.group(1).splitlines():
+        parsed = _DUMP_LINE.match(line.strip())
+        assert parsed, f"unparseable dump line: {line!r}"
+        offset = int(parsed.group(1), 16)
+        assert offset == len(data), f"dump offset gap at {line!r}"
+        data += bytes.fromhex(parsed.group(2).replace(" ", ""))
+    return bytes(data)
+
+
+def test_doc_exists():
+    assert DOC.is_file()
+
+
+def test_example_bytes_match_a_fresh_build():
+    assert doc_example_bytes() == build_snapshot_bytes(example_graph())
+
+
+def test_example_bytes_open_as_a_valid_snapshot():
+    snap = SnapshotGraph.from_bytes(doc_example_bytes())
+    graph = example_graph()
+    assert len(snap) == 3
+    assert list(snap.triples()) == list(graph.triples())
+    assert snap.dictionary.size_by_kind() == {
+        "uri": 3, "bnode": 1, "literal": 1,
+    }
+    stats = snap.statistics()
+    assert stats.total_triples == 3
+    assert stats.distinct_subjects == 2
+    assert stats.distinct_objects == 2
+    assert stats.predicate_triples == {URI("e:p"): 3}
+    assert stats.class_instances == {}
+
+
+def test_header_fields_match_the_spec_tables():
+    data = doc_example_bytes()
+    (
+        magic,
+        version,
+        flags,
+        payload_len,
+        _checksum,
+        reserved,
+        triple_count,
+        n_uri,
+        n_bnode,
+        n_literal,
+    ) = struct.unpack_from("<8sIIQIIQQQQ", data, 0)
+    assert magic == MAGIC == b"ELSNAP01"
+    assert version == FORMAT_VERSION == 1
+    assert flags == 0 and reserved == 0
+    assert HEADER_SIZE + payload_len == len(data) == 696
+    assert (triple_count, n_uri, n_bnode, n_literal) == (3, 3, 1, 1)
+
+
+def test_sections_are_aligned_and_ordered_as_specified():
+    data = doc_example_bytes()
+    previous_end = HEADER_SIZE + 13 * 16
+    for index in range(13):
+        offset, length = struct.unpack_from("<QQ", data, HEADER_SIZE + 16 * index)
+        assert offset % 8 == 0
+        assert offset >= previous_end
+        assert offset + length <= len(data)
+        previous_end = offset + length
+    # The spec's guided read: uri_heap holds the three records back to
+    # back, and the literal record is flags + aux_len + lexical.
+    uri_off, uri_len = struct.unpack_from("<QQ", data, HEADER_SIZE + 16 * 1)
+    assert data[uri_off : uri_off + uri_len] == b"e:se:pe:o"
+    lit_off, lit_len = struct.unpack_from("<QQ", data, HEADER_SIZE + 16 * 7)
+    assert data[lit_off : lit_off + lit_len] == b"\x00\x00\x00\x00\x00v"

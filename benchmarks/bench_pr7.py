@@ -1,0 +1,332 @@
+"""PR 7 benchmark: multi-process parallel serving over one shared snapshot.
+
+PR 7 added ``repro.serve.pool.PoolFrontend`` — N forked workers, each
+memory-mapping the *same* PR 6 snapshot (CRC verified once in the
+parent, ``verify=False`` in the children, so the kernel shares one set
+of physical pages) — plus ``repro.serve.loadgen``, an open-loop Poisson
+arrival process with a Zipf-weighted mix of the four E9 demonstration
+scenarios.
+
+This benchmark measures exactly the claims the pool makes:
+
+* **throughput scaling** — the same open-loop workload (seeded, so the
+  arrival schedule is identical across cells) runs at every point of
+  ``workers x sessions``; each cell reports completed-session billed
+  and wall latency percentiles (p50/p95/p99) and aggregate throughput
+  in quanta per simulated second (total pages served divided by the
+  simulated makespan — the parent clock advances each scheduler round
+  by the busiest worker's service time, so adding workers shortens the
+  makespan).  The acceptance bar is >= 2.5x aggregate quanta/sec at 4
+  workers vs 1 worker at 500 sessions.
+* **byte-identical results** — a verification phase runs fixed
+  sessions through a 2-worker pool with a worker crashed mid-fleet
+  (forcing respawn, in-flight requeue, and cross-worker continuation
+  token transfer) and compares every rendered row *in order* against
+  single-process one-shot evaluation over the same snapshot.
+* **token regime** — the max continuation-token size for the paged
+  chart query, to contrast with the pre-streaming-aggregation regime
+  PR 6 recorded (6,586,536 bytes at its largest size; suspended sorts
+  now serialise only the un-emitted suffix of O(groups) accumulators).
+
+Wall-clock here is *simulated* (``SimClock``): on a single-core
+machine the workers time-slice one CPU, but the clock bills each
+worker's quanta concurrently — the same accounting a real multi-core
+deployment sees, and deterministic across runs.
+
+Writes ``benchmarks/results/BENCH_PR7.json``.  Run via::
+
+    PYTHONPATH=src python benchmarks/bench_pr7.py [--quick]
+
+``--quick`` shrinks the grid to a smoke-sized run (50 sessions); the
+default runs the full grid and takes tens of minutes of real time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent / ".." / "src"))
+
+from repro.datasets.dbpedia import (  # noqa: E402
+    DBpediaConfig,
+    OWL_THING,
+    generate_dbpedia,
+)
+from repro.endpoint import LocalEndpoint, SimClock  # noqa: E402
+from repro.rdf.snapshot import open_snapshot, write_snapshot  # noqa: E402
+from repro.serve import (  # noqa: E402
+    BackoffPolicy,
+    LoadGenerator,
+    PoolFrontend,
+    ServeConfig,
+    demo_scenarios,
+)
+from repro.core import Direction, MemberPattern  # noqa: E402
+from repro.core.queries import property_chart_query  # noqa: E402
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_PR7.json"
+
+#: Keeps the synthetic graph near its structural floor (~10k triples)
+#: so the full 4,800-session grid finishes in tens of minutes while
+#: every session still pages through real multi-quantum plans.
+DATASET_SCALE = 0.00002
+ARRIVAL_RATE_PER_S = 200.0
+WORKER_GRID = [1, 2, 4]
+SESSION_GRID = [100, 500, 1000]
+SPEEDUP_SESSIONS = 500
+SPEEDUP_WORKERS = 4
+SPEEDUP_BAR = 2.5
+
+
+def percentile(values, q):
+    ordered = sorted(values)
+    if not ordered:
+        return None
+    index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return round(ordered[index], 3)
+
+
+def serve_config(sessions: int) -> ServeConfig:
+    return ServeConfig(
+        max_active=32,
+        queue_capacity=sessions,
+        page_size=50,
+        backoff=BackoffPolicy(max_retries=5),
+        seed=7,
+    )
+
+
+def run_cell(snapshot_path: str, workers: int, sessions: int) -> dict:
+    """One grid point: identical seeded arrivals, ``workers`` processes."""
+    started = time.perf_counter()
+    clock = SimClock()
+    frontend = PoolFrontend(
+        snapshot_path,
+        workers=workers,
+        clock=clock,
+        config=serve_config(sessions),
+        verify=False,
+    )
+    try:
+        generator = LoadGenerator(
+            demo_scenarios(OWL_THING),
+            rate_per_s=ARRIVAL_RATE_PER_S,
+            seed=17,
+        )
+        generator.schedule(frontend, sessions)
+        reports = frontend.run()
+    finally:
+        frontend.close()
+    completed = [r for r in reports.values() if r.outcome == "completed"]
+    quanta = sum(r.pages for r in reports.values())
+    makespan_s = clock.now_ms / 1000.0
+    billed = [r.billed_ms for r in completed]
+    wall = [r.wall_ms for r in completed]
+    return {
+        "workers": workers,
+        "sessions": sessions,
+        "completed": len(completed),
+        "failed": sum(1 for r in reports.values() if r.outcome == "failed"),
+        "rejected": sum(
+            1 for r in reports.values() if r.outcome == "rejected"
+        ),
+        "quanta": quanta,
+        "simulated_makespan_s": round(makespan_s, 3),
+        "quanta_per_sec": round(quanta / makespan_s, 2),
+        "billed_ms": {
+            "p50": percentile(billed, 0.50),
+            "p95": percentile(billed, 0.95),
+            "p99": percentile(billed, 0.99),
+        },
+        "wall_ms": {
+            "p50": percentile(wall, 0.50),
+            "p95": percentile(wall, 0.95),
+            "p99": percentile(wall, 0.99),
+        },
+        "real_seconds": round(time.perf_counter() - started, 1),
+    }
+
+
+def rendered(rows):
+    return [
+        tuple(sorted((name, term.n3()) for name, term in row.items()))
+        for row in rows
+    ]
+
+
+def verify_byte_identical(snapshot_path: str) -> dict:
+    """Pool rows (with a crash mid-fleet) == single-process one-shot."""
+    scenarios = demo_scenarios(OWL_THING)
+    frontend = PoolFrontend(
+        snapshot_path,
+        workers=2,
+        clock=SimClock(),
+        config=serve_config(16),
+        verify=False,
+    )
+    try:
+        keys = []
+        for index, scenario in enumerate(scenarios * 3):
+            key = f"verify-{index}-{scenario.name}"
+            frontend.submit(key, scenario.queries)
+            keys.append((key, scenario.queries))
+        # Kill worker 0 before any quantum runs: its sessions respawn,
+        # requeue, and resume on the peer — the rows must not change.
+        frontend.crash_worker(0)
+        reports = frontend.run()
+        restarts = frontend._workers[0].epoch
+    finally:
+        frontend.close()
+
+    graph = open_snapshot(snapshot_path, verify=False)
+    try:
+        reference = LocalEndpoint(graph)
+        checked = 0
+        for key, queries in keys:
+            report = reports[key]
+            assert report.outcome == "completed", (key, report.error)
+            for query, rows in zip(queries, report.rows):
+                expected = reference.query(query).result.rows
+                assert rendered(rows) == rendered(expected), (
+                    f"row mismatch for {key}"
+                )
+                checked += 1
+    finally:
+        graph.close()
+    return {
+        "sessions": len(keys),
+        "queries_checked": checked,
+        "worker_restarts": restarts,
+        "byte_identical": True,
+    }
+
+
+def chart_token_regime(snapshot_path: str) -> dict:
+    """Max continuation-token bytes while paging the chart query."""
+    pattern = MemberPattern.of_type(OWL_THING)
+    query = property_chart_query(pattern, Direction.OUTGOING)
+    graph = open_snapshot(snapshot_path, verify=False)
+    try:
+        response = LocalEndpoint(graph).query(query, page_size=50)
+        max_bytes, pages = 0, 1
+        while not response.complete:
+            max_bytes = max(max_bytes, len(response.continuation))
+            response = LocalEndpoint(graph).query(
+                continuation=response.continuation, page_size=50
+            )
+            pages += 1
+    finally:
+        graph.close()
+    return {
+        "query": "property_chart_outgoing",
+        "pages": pages,
+        "max_token_bytes": max_bytes,
+        "pr6_max_token_bytes": 6586536,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="smoke-sized grid"
+    )
+    args = parser.parse_args()
+
+    session_grid = [50] if args.quick else SESSION_GRID
+    cores = os.cpu_count() or 1
+    worker_grid = sorted(set(WORKER_GRID) | {cores})
+
+    dataset = generate_dbpedia(DBpediaConfig(scale=DATASET_SCALE))
+    with tempfile.TemporaryDirectory() as tmp:
+        snapshot_path = str(pathlib.Path(tmp) / "bench.snap")
+        write_snapshot(dataset.graph, snapshot_path)
+        # CRC once here; every frontend below opens with verify=False,
+        # exactly as the pool parent does for its children.
+        open_snapshot(snapshot_path, verify=True).close()
+        print(
+            f"dataset: {len(dataset.graph):,} triples at scale "
+            f"{DATASET_SCALE}, snapshot {os.path.getsize(snapshot_path):,}"
+            f" bytes, {cores} core(s)",
+            flush=True,
+        )
+
+        cells = []
+        for sessions in session_grid:
+            for workers in worker_grid:
+                cell = run_cell(snapshot_path, workers, sessions)
+                cells.append(cell)
+                print(
+                    f"workers={workers} sessions={sessions}: "
+                    f"{cell['quanta_per_sec']:.1f} quanta/s over "
+                    f"{cell['simulated_makespan_s']}s simulated "
+                    f"({cell['completed']} completed, "
+                    f"{cell['real_seconds']}s real)",
+                    flush=True,
+                )
+
+        verification = verify_byte_identical(snapshot_path)
+        print(
+            f"verification: {verification['queries_checked']} query "
+            f"results byte-identical across crash/respawn",
+            flush=True,
+        )
+        token = chart_token_regime(snapshot_path)
+        print(
+            f"chart token: {token['max_token_bytes']:,} bytes max over "
+            f"{token['pages']} pages (PR 6 recorded "
+            f"{token['pr6_max_token_bytes']:,})",
+            flush=True,
+        )
+
+    def cell_for(workers, sessions):
+        for cell in cells:
+            if cell["workers"] == workers and cell["sessions"] == sessions:
+                return cell
+        return None
+
+    bar_sessions = session_grid[-1] if args.quick else SPEEDUP_SESSIONS
+    base = cell_for(1, bar_sessions)
+    peak = cell_for(SPEEDUP_WORKERS, bar_sessions)
+    speedup = round(peak["quanta_per_sec"] / base["quanta_per_sec"], 2)
+
+    payload = {
+        "benchmark": "bench_pr7",
+        "description": (
+            "Multi-process pool serving over one shared mmap snapshot: "
+            "open-loop Zipf/Poisson load, workers x sessions grid, "
+            "simulated-clock latency and aggregate throughput."
+        ),
+        "machine_cores": cores,
+        "dataset": {
+            "scale": DATASET_SCALE,
+            "triples": len(dataset.graph),
+        },
+        "arrival_rate_per_s": ARRIVAL_RATE_PER_S,
+        "headline": {
+            "speedup_4w_vs_1w_at_%d_sessions" % bar_sessions: speedup,
+            "quanta_per_sec_1w": base["quanta_per_sec"],
+            "quanta_per_sec_4w": peak["quanta_per_sec"],
+            "meets_2_5x_bar": speedup >= SPEEDUP_BAR,
+            "byte_identical_under_crash": verification["byte_identical"],
+            "chart_max_token_bytes": token["max_token_bytes"],
+        },
+        "cells": cells,
+        "verification": verification,
+        "token_regime": token,
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+    print(json.dumps(payload["headline"], indent=1))
+    return 0 if speedup >= SPEEDUP_BAR else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,7 +11,10 @@
 #   3. a plan-cache + dictionary metrics smoke over
 #      `repro metrics --exercise`;
 #   4. the serving-layer smoke test (concurrency soak under injected
-#      faults, retry accounting, and the breaker's fallback ladder);
+#      faults, retry accounting, and the breaker's fallback ladder),
+#      then the worker-pool smoke test (2 forked workers over a shared
+#      mmap snapshot: byte-identical pages, crash/respawn recovery,
+#      open-loop arrivals, stale-snapshot detection, metrics merge);
 #   5. the snapshot-store smoke test (deterministic builds, reopen
 #      parity, byte-identical paged SPARQL-JSON over the mmap store,
 #      corruption → typed errors, read-only enforcement), plus a
@@ -45,6 +48,10 @@ echo "ok: plan cache hits, optimizer runs, and dictionary interning recorded"
 echo
 echo "== repro serve --self-test =="
 python -m repro serve --self-test
+
+echo
+echo "== repro serve --workers 2 --self-test (pool smoke) =="
+python -m repro serve --workers 2 --self-test
 
 echo
 echo "== repro snapshot --self-test =="

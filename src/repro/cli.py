@@ -544,31 +544,125 @@ def _serve_workload(root) -> List[str]:
     ]
 
 
-def _cmd_serve(args) -> int:
-    """Drive N concurrent exploration sessions through the serving
-    frontend, with optional fault injection on the simulated wire."""
-    if args.self_test:
-        return _serve_self_test(args)
-    session = _build_session(args)
-    graph = session.endpoint.graph
-    root = session.settings.root_class
-    frontend, server, _, clock = _build_serve_stack(args, graph, root)
+def _pool_snapshot(args):
+    """The ``(snapshot_path, root, cleanup_dir)`` triple for a worker
+    pool.  Workers boot by mmap'ing a snapshot *file*, so when no
+    ``--snapshot`` was given the source graph is persisted to a
+    temporary one (removed by the caller afterwards)."""
+    import os
+    import tempfile
+
+    from .rdf import OWL
+    from .rdf.snapshot import write_snapshot
+
+    path = getattr(args, "snapshot", None)
+    if path and os.path.exists(path):
+        root = (
+            _resolve_uri(args.root)
+            if getattr(args, "root", None)
+            else OWL.term("Thing")
+        )
+        return path, root, None
+    source, root = _source_graph(args)
+    cleanup = None
+    if not path:
+        cleanup = tempfile.mkdtemp(prefix="repro-pool-")
+        path = os.path.join(cleanup, "pool.snapshot")
+    write_snapshot(source, path)
+    return path, root, cleanup
+
+
+def _pool_config(args):
+    from .serve import BackoffPolicy, ServeConfig
+
+    return ServeConfig(
+        max_active=args.max_active,
+        queue_capacity=max(args.sessions, 1),
+        page_size=args.page_size,
+        backoff=BackoffPolicy(max_retries=args.max_retries),
+        seed=args.seed,
+    )
+
+
+def _submit_serve_load(frontend, root, args) -> int:
+    """Fill ``frontend`` with either the fixed closed-loop workload or
+    ``--loadgen`` open-loop Zipf arrivals.  Returns the session count."""
+    if getattr(args, "loadgen", 0) > 0:
+        from .serve import LoadGenerator, demo_scenarios
+
+        generator = LoadGenerator(
+            demo_scenarios(root),
+            rate_per_s=args.arrival_rate,
+            seed=args.seed,
+        )
+        return len(generator.schedule(frontend, args.loadgen))
     workload = _serve_workload(root)
     for index in range(args.sessions):
         frontend.submit(f"session-{index}", workload)
-    reports = frontend.run()
+    return args.sessions
+
+
+def _print_serve_reports(reports) -> List:
     print(
-        f"{'session':<12} {'outcome':<10} {'pages':>6} {'retries':>8} "
+        f"{'session':<24} {'outcome':<10} {'pages':>6} {'retries':>8} "
         f"{'billed ms':>11} {'wall ms':>10}"
     )
     for key in sorted(reports, key=str):
         report = reports[key]
         print(
-            f"{str(key):<12} {report.outcome:<10} {report.pages:>6} "
+            f"{str(key):<24} {report.outcome:<10} {report.pages:>6} "
             f"{report.retries:>8} {report.billed_ms:>11.1f} "
             f"{report.wall_ms:>10.1f}"
         )
-    completed = [r for r in reports.values() if r.outcome == "completed"]
+    return [r for r in reports.values() if r.outcome == "completed"]
+
+
+def _serve_pool(args) -> int:
+    """Drive the sessions through a multi-process worker pool sharing
+    one mmap snapshot."""
+    import shutil
+
+    from .serve import PoolFrontend
+
+    snapshot_path, root, cleanup = _pool_snapshot(args)
+    try:
+        with PoolFrontend(
+            snapshot_path, workers=args.workers, config=_pool_config(args)
+        ) as frontend:
+            submitted = _submit_serve_load(frontend, root, args)
+            reports = frontend.run()
+            completed = _print_serve_reports(reports)
+            quanta = sum(w.quanta.value for w in frontend._workers)
+            makespan_s = frontend.clock.now_ms / 1000.0
+            rate = quanta / makespan_s if makespan_s > 0 else 0.0
+            print(
+                f"\n{len(completed)}/{submitted} sessions completed over "
+                f"{frontend.worker_count} workers; {quanta:.0f} quanta in "
+                f"{frontend.clock.now_ms:.1f} simulated ms "
+                f"({rate:.0f} quanta/s aggregate)"
+            )
+        return 0 if len(completed) == len(reports) else 1
+    finally:
+        if cleanup:
+            shutil.rmtree(cleanup, ignore_errors=True)
+
+
+def _cmd_serve(args) -> int:
+    """Drive N concurrent exploration sessions through the serving
+    frontend, with optional fault injection on the simulated wire."""
+    if args.self_test:
+        if getattr(args, "workers", 0) > 0:
+            return _pool_self_test(args)
+        return _serve_self_test(args)
+    if getattr(args, "workers", 0) > 0:
+        return _serve_pool(args)
+    session = _build_session(args)
+    graph = session.endpoint.graph
+    root = session.settings.root_class
+    frontend, server, _, clock = _build_serve_stack(args, graph, root)
+    _submit_serve_load(frontend, root, args)
+    reports = frontend.run()
+    completed = _print_serve_reports(reports)
     latencies = sorted(r.billed_ms for r in completed)
 
     def pct(fraction: float) -> float:
@@ -706,6 +800,139 @@ def _serve_self_test(args) -> int:
         print(f"serve self-test failed ({len(failures)} checks)", file=sys.stderr)
         return 1
     print("serve self-test passed")
+    return 0
+
+
+def _pool_self_test(args) -> int:
+    """Worker-pool smoke: sessions served over forked workers produce
+    byte-identical pages to single-process serving, a crashed worker is
+    respawned without losing sessions, open-loop arrivals drain, and the
+    pool/loadgen metrics move (used by scripts/ci.sh)."""
+    import os
+    import shutil
+    import tempfile
+
+    from .obs.metrics import REGISTRY
+    from .rdf.snapshot import write_snapshot
+    from .serve import LoadGenerator, PoolFrontend, demo_scenarios
+
+    failures: List[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        print(("ok: " if condition else "FAIL: ") + message)
+        if not condition:
+            failures.append(message)
+
+    def counter(name: str, **labels) -> float:
+        metric = REGISTRY.get(name)
+        return metric.labels(**labels).value if labels else metric.value
+
+    def rendered(rows):
+        # Ordered, not a multiset: pool pages must be *byte-identical*
+        # to the single-process reference, including row order.
+        return [
+            tuple(sorted((k, v.n3()) for k, v in row.items()))
+            for row in rows
+        ]
+
+    source, root = _source_graph(args)
+    workdir = tempfile.mkdtemp(prefix="repro-pool-selftest-")
+    snapshot_path = os.path.join(workdir, "pool.snapshot")
+    write_snapshot(source, snapshot_path)
+    workers = max(args.workers, 2)
+    workload = _serve_workload(root)
+    sessions = max(args.sessions, 8)
+
+    try:
+        reference = LocalEndpoint(source, clock=SimClock())
+        expected = [rendered(reference.select(query).rows) for query in workload]
+        before_decodes = counter("repro_dict_decode_total")
+
+        with PoolFrontend(
+            snapshot_path, workers=workers, config=_pool_config(args)
+        ) as frontend:
+            check(
+                frontend.alive_count() == workers,
+                f"{workers} workers alive after boot",
+            )
+            for index in range(sessions):
+                frontend.submit(f"session-{index}", workload)
+            # Kill one worker before the first round: its sessions must
+            # be resumed on the respawned process from their tokens.
+            frontend.crash_worker(0)
+            reports = frontend.run()
+            check(
+                all(r.outcome == "completed" for r in reports.values()),
+                f"all {len(reports)} sessions completed across the crash",
+            )
+            check(
+                all(
+                    rendered(report.rows[i]) == expected[i]
+                    for report in reports.values()
+                    for i in range(len(workload))
+                ),
+                "pool pages are byte-identical to single-process serving",
+            )
+            check(
+                counter("repro_pool_worker_restarts_total") >= 1,
+                "the crashed worker was respawned",
+            )
+            quanta = sum(w.quanta.value for w in frontend._workers)
+            check(quanta > 0, f"workers executed {quanta:.0f} quanta")
+            check(
+                counter("repro_pool_dispatches_total", route="affinity") > 0,
+                "affinity routing dispatched quanta",
+            )
+            check(
+                counter("repro_pool_workers") == workers,
+                "pool worker gauge tracks the fleet",
+            )
+            check(
+                counter("repro_dict_decode_total") > before_decodes,
+                "worker registries merged into the parent "
+                "(decode counter moved without parent-side execution)",
+            )
+
+            # Open-loop arrivals through the same pool.
+            generator = LoadGenerator(
+                demo_scenarios(root),
+                rate_per_s=args.arrival_rate,
+                seed=args.seed,
+            )
+            keys = generator.schedule(frontend, 12)
+            reports = frontend.run()
+            outcomes = [reports[key].outcome for key in keys]
+            # Open loop: arrivals do not wait for capacity, so admission
+            # control may shed some — but every admitted session must
+            # finish, and the pool must absorb most of the offered load.
+            check(
+                all(o in ("completed", "rejected") for o in outcomes)
+                and outcomes.count("completed") >= 8,
+                f"12 open-loop Zipf arrivals: "
+                f"{outcomes.count('completed')} served, "
+                f"{outcomes.count('rejected')} shed by admission control, "
+                f"none failed",
+            )
+
+            # Replace the snapshot file under the live mmap: every
+            # worker's next heartbeat must flag it stale (they keep
+            # serving the pinned pages — consistently old, never torn).
+            replacement = snapshot_path + ".new"
+            write_snapshot(source, replacement)
+            os.replace(replacement, snapshot_path)
+            health = frontend.heartbeat()
+            check(
+                all(state == "stale" for state in health.values()),
+                "heartbeat flags a replaced snapshot as stale on "
+                "every worker",
+            )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    if failures:
+        print(f"pool self-test failed ({len(failures)} checks)", file=sys.stderr)
+        return 1
+    print("pool self-test passed")
     return 0
 
 
@@ -1399,9 +1626,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry budget per request before a session fails",
     )
     serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="serve quanta on N forked worker processes sharing one "
+        "mmap snapshot (0 = in-process)",
+    )
+    serve.add_argument(
+        "--loadgen",
+        type=int,
+        default=0,
+        metavar="N",
+        help="replace the fixed closed-loop workload with N open-loop "
+        "Zipf-mixed session arrivals",
+    )
+    serve.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=200.0,
+        help="mean --loadgen arrival rate, sessions per simulated second",
+    )
+    serve.add_argument(
         "--self-test",
         action="store_true",
-        help="run the serving-layer smoke test (used by scripts/ci.sh)",
+        help="run the serving-layer smoke test (used by scripts/ci.sh); "
+        "with --workers, the worker-pool smoke test",
     )
     serve.set_defaults(func=_cmd_serve)
 

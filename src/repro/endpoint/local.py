@@ -18,6 +18,7 @@ the SPARQL-JSON on the wire is byte-identical to one-shot evaluation.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Optional, Union
 
 from ..obs.tracing import EvalProbe
@@ -70,6 +71,16 @@ class LocalEndpoint(Endpoint):
         # Note: an empty PlanCache is falsy (len == 0), so test against
         # the sentinel values rather than truthiness.
         self.plan_cache = None if plan_cache is False or plan_cache is None else plan_cache
+        # Live suspended plans, keyed by the exact token we minted for
+        # them: the common resume (next page of a query this endpoint
+        # itself suspended) skips decode + operator-tree restore and
+        # continues the live plan.  Decoding the token must produce the
+        # same state, so this is purely a fast path; any token not in
+        # the cache — minted by another process, or evicted — takes the
+        # decode path.  Keyed per (token, graph version): a mutation
+        # invalidates the live plan exactly like it expires the token.
+        self._resume_cache: "OrderedDict[tuple, object]" = OrderedDict()
+        self._resume_cache_size = 8
 
     @property
     def dataset_version(self) -> int:
@@ -159,32 +170,54 @@ class LocalEndpoint(Endpoint):
         from ..sparql import executor as sparql_executor
         from ..sparql.results import SelectResult
 
-        blob = None
+        plan = None
         if continuation is not None:
-            blob = sparql_executor.decode_continuation(continuation)
-            if query_text is not None and normalize_query(
-                query_text
-            ) != normalize_query(blob["query"]):
-                raise sparql_executor.MalformedTokenError(
-                    "continuation token belongs to a different query"
-                )
-            query_text = blob["query"]
+            live = self._resume_cache.pop(
+                (continuation, self.graph.version), None
+            )
+            if live is not None:
+                # Fast path: this endpoint suspended that exact plan and
+                # the graph has not changed — continue the live operator
+                # tree instead of decoding and restoring the token.
+                # Still a token-driven resume as far as the serving
+                # metrics are concerned.
+                sparql_executor._RESUMES_TOTAL.inc()
+                plan, live_query = live
+                if query_text is not None and normalize_query(
+                    query_text
+                ) != normalize_query(live_query):
+                    raise sparql_executor.MalformedTokenError(
+                        "continuation token belongs to a different query"
+                    )
+                query_text = live_query
+            else:
+                blob = sparql_executor.decode_continuation(continuation)
+                if query_text is not None and normalize_query(
+                    query_text
+                ) != normalize_query(blob["query"]):
+                    raise sparql_executor.MalformedTokenError(
+                        "continuation token belongs to a different query"
+                    )
+                query_text = blob["query"]
         elif query_text is None:
             raise TypeError("query_text is required without a continuation")
-        cached = self.plan(query_text)
-        factory = cached.physical_factory()
-        if factory.is_ask:
-            # ASK short-circuits on its first solution; it never pages
-            # and never mints tokens.
-            if blob is not None:
-                raise sparql_executor.MalformedTokenError(
-                    "ASK queries do not issue continuation tokens"
+        if plan is None:
+            cached = self.plan(query_text)
+            factory = cached.physical_factory()
+            if factory.is_ask:
+                # ASK short-circuits on its first solution; it never
+                # pages and never mints tokens.
+                if continuation is not None:
+                    raise sparql_executor.MalformedTokenError(
+                        "ASK queries do not issue continuation tokens"
+                    )
+                return self.query(query_text)
+            if continuation is not None:
+                plan = sparql_executor.restore_plan(
+                    factory, self.graph, blob
                 )
-            return self.query(query_text)
-        if blob is not None:
-            plan = sparql_executor.restore_plan(factory, self.graph, blob)
-        else:
-            plan = factory.instantiate(self.graph)
+            else:
+                plan = factory.instantiate(self.graph)
         page = sparql_executor.run_quantum(
             plan, quantum_ms=quantum_ms, page_size=page_size
         )
@@ -195,6 +228,12 @@ class LocalEndpoint(Endpoint):
                 plan, self.graph, query_text
             )
         )
+        if token is not None:
+            self._resume_cache[(token, self.graph.version)] = (
+                plan, query_text,
+            )
+            while len(self._resume_cache) > self._resume_cache_size:
+                self._resume_cache.popitem(last=False)
         elapsed = self.cost_model.simulate_ms(
             intermediate_bindings=page.stats.intermediate_bindings,
             pattern_scans=page.stats.pattern_scans,

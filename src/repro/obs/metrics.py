@@ -146,6 +146,46 @@ class _Metric:
     def _reset_own(self) -> None:
         pass
 
+    # -- cross-process transfer -----------------------------------------
+
+    def export_state(self) -> Dict:
+        """A JSON-able snapshot of this metric's values (all children)."""
+        return {
+            "children": [
+                [list(key), child.export_state()]
+                for key, child in sorted(self._children.items())
+            ],
+            "own": self._export_own(),
+        }
+
+    def merge_state(self, state: Dict, previous: Optional[Dict] = None) -> None:
+        """Fold another process's :meth:`export_state` into this metric.
+
+        ``previous`` is the last snapshot already merged from the same
+        source; only the delta since then is applied, so the caller can
+        poll a live worker repeatedly without double counting.  Label
+        children unseen in this process are created on demand.
+        """
+        prev_children: Dict[Tuple[str, ...], Dict] = {}
+        if previous:
+            prev_children = {
+                tuple(key): child_state
+                for key, child_state in previous.get("children", ())
+            }
+        for key_list, child_state in state.get("children", ()):
+            key = tuple(key_list)
+            child = self.labels(**dict(zip(self.labelnames, key)))
+            child.merge_state(child_state, prev_children.get(key))
+        self._merge_own(
+            state.get("own"), previous.get("own") if previous else None
+        )
+
+    def _export_own(self):
+        return None
+
+    def _merge_own(self, own, previous_own) -> None:
+        pass
+
 
 class Counter(_Metric):
     """A monotonically increasing count."""
@@ -172,6 +212,16 @@ class Counter(_Metric):
 
     def _reset_own(self) -> None:
         self._value = 0.0
+
+    def _export_own(self):
+        return self._value
+
+    def _merge_own(self, own, previous_own) -> None:
+        if own is None:
+            return
+        delta = float(own) - float(previous_own or 0.0)
+        if delta > 0:
+            self._value += delta
 
 
 class Gauge(_Metric):
@@ -204,6 +254,18 @@ class Gauge(_Metric):
 
     def _reset_own(self) -> None:
         self._value = 0.0
+
+    def _export_own(self):
+        return self._value
+
+    def _merge_own(self, own, previous_own) -> None:
+        # Gauges merge additively by delta: fleet gauges (active
+        # sessions, queue depths) sum naturally; point-in-time gauges
+        # drift toward the sum of sources, which the catalogue accepts
+        # as the fleet-wide reading.
+        if own is None:
+            return
+        self._value += float(own) - float(previous_own or 0.0)
 
 
 class Histogram(_Metric):
@@ -270,6 +332,31 @@ class Histogram(_Metric):
         self._bucket_counts = [0] * len(self.buckets)
         self._sum = 0.0
         self._count = 0
+
+    def _export_own(self):
+        return {
+            "buckets": list(self.buckets),
+            "bucket_counts": list(self._bucket_counts),
+            "sum": self._sum,
+            "count": self._count,
+        }
+
+    def _merge_own(self, own, previous_own) -> None:
+        if own is None:
+            return
+        if tuple(own.get("buckets", ())) != self.buckets:
+            raise MetricError(
+                f"{self.name}: cannot merge histogram with different buckets"
+            )
+        prev_counts = (
+            previous_own.get("bucket_counts") if previous_own else None
+        ) or [0] * len(self.buckets)
+        for index, count in enumerate(own["bucket_counts"]):
+            self._bucket_counts[index] += count - prev_counts[index]
+        self._sum += own["sum"] - (previous_own["sum"] if previous_own else 0.0)
+        self._count += own["count"] - (
+            previous_own["count"] if previous_own else 0
+        )
 
 
 def _format_value(value: float) -> str:
@@ -347,6 +434,43 @@ class MetricsRegistry:
         CLI's ``metrics --exercise``."""
         for metric in self._metrics.values():
             metric.reset()
+
+    # -- cross-process transfer -----------------------------------------
+
+    def export_state(self) -> Dict[str, Dict]:
+        """JSON-able snapshot of every metric, for shipping over a pipe.
+
+        A pool worker calls this on its own registry and sends the
+        result to the parent over the control pipe; the parent folds it
+        in with :meth:`merge_exported` so ``repro metrics`` reports
+        fleet-wide numbers.
+        """
+        return {
+            name: metric.export_state()
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    def merge_exported(
+        self,
+        state: Dict[str, Dict],
+        previous: Optional[Dict[str, Dict]] = None,
+    ) -> None:
+        """Fold a worker's :meth:`export_state` into this registry.
+
+        ``previous`` must be the snapshot from the *same source* that
+        was last merged (or ``None`` for its first report): counters
+        and histograms apply only the delta since then, so repeated
+        polls of a live worker never double count.  Metric names this
+        process has not registered are skipped — the worker imports the
+        same instrumented modules, so a missing name means a module the
+        parent never loaded, not data loss that matters here.
+        """
+        previous = previous or {}
+        for name, metric_state in state.items():
+            metric = self._metrics.get(name)
+            if metric is None:
+                continue
+            metric.merge_state(metric_state, previous.get(name))
 
     # -- rendering ------------------------------------------------------
 

@@ -133,6 +133,17 @@ class TermDictionary:
         """The ID of ``term`` if it is interned, else ``None`` (no intern)."""
         return self._ids.get(term)
 
+    def portable_id(self, id: int) -> bool:
+        """Whether ``id`` survives serialisation as a raw integer.
+
+        An in-memory dictionary is private to its graph, and every
+        consumer of a token minted over that graph shares it — so every
+        ID it issued is safe to ship raw.  Frozen-base stores (the mmap
+        snapshot) override this: IDs minted into their process-local
+        overlay must cross as term literals instead.
+        """
+        return True
+
     # ------------------------------------------------------------------
     # Decoding
     # ------------------------------------------------------------------

@@ -85,6 +85,7 @@ __all__ = [
     "SnapshotChecksumError",
     "SnapshotTruncatedError",
     "SnapshotReadOnlyError",
+    "SnapshotStaleError",
     "SnapshotDictionary",
     "SnapshotGraph",
     "build_snapshot_bytes",
@@ -179,6 +180,15 @@ class SnapshotTruncatedError(SnapshotFormatError):
 
 class SnapshotReadOnlyError(SnapshotError, TypeError):
     """A mutating operation was attempted on an immutable snapshot."""
+
+
+class SnapshotStaleError(SnapshotError):
+    """The on-disk snapshot no longer matches the file this graph
+    mapped at open time (replaced, truncated, or deleted underneath a
+    live mmap).  Raised by :meth:`SnapshotGraph.ensure_fresh`; pool
+    worker heartbeats poll :meth:`SnapshotGraph.snapshot_stale` so a
+    swapped file is caught at the next health check instead of being
+    served as silently wrong pages."""
 
 
 # ----------------------------------------------------------------------
@@ -707,6 +717,21 @@ class SnapshotDictionary:
             self._known_ids[term] = id
             return id
 
+    def portable_id(self, id: int) -> bool:
+        """Whether ``id`` names a term in the frozen base ID space.
+
+        Base IDs are positional in the snapshot file, so every process
+        mapping the same file agrees on them — they are safe inside
+        continuation tokens as raw integers.  Overlay IDs (terms this
+        process interned after open, e.g. computed aggregate values)
+        exist only here and must be serialised as term literals.
+        """
+        kind, offset = divmod(id, KIND_STRIDE)
+        try:
+            return offset < self._base[kind]
+        except IndexError:
+            return False
+
     def lookup(self, term: Term) -> Optional[int]:
         """The ID of ``term`` if the snapshot (or overlay) holds it."""
         id = self._known_ids.get(term)
@@ -845,6 +870,7 @@ class SnapshotGraph:
         "_stats_view",
         "_stats",
         "_ranges",
+        "_open_stat",
         "path",
         "name",
     )
@@ -897,6 +923,15 @@ class SnapshotGraph:
         # binding of the outer side), which makes even a modest cache
         # pay for its dict lookups many times over.
         self._ranges = ({}, {}, {})
+        # Identity of the mapped file at open time: (device, inode,
+        # size).  ``snapshot_stale()`` re-stats the path against this,
+        # which catches the classic rebuild-and-rename swap (new inode)
+        # as well as in-place truncation (size change).  In-memory
+        # images have no path and are never stale.
+        self._open_stat = None
+        if file is not None:
+            stat = os.fstat(file.fileno())
+            self._open_stat = (stat.st_dev, stat.st_ino, stat.st_size)
         self.path = path
         self.name = name or (os.path.basename(path) if path else "")
         _SNAP_OPEN_SECONDS.set(time.perf_counter() - started)
@@ -955,6 +990,37 @@ class SnapshotGraph:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    # -- staleness ------------------------------------------------------
+
+    def snapshot_stale(self) -> bool:
+        """Whether the file at ``path`` still is the file this graph
+        mapped.
+
+        The mmap itself keeps serving the *old* pages after a rename
+        swap (the kernel pins the unlinked inode), so reads stay
+        self-consistent — but they no longer reflect what a fresh open
+        would see, and a continuation token minted here would resume
+        against different data elsewhere.  Deleted or unstattable files
+        count as stale.  In-memory images (``from_bytes``) are never
+        stale.
+        """
+        if self._open_stat is None or not self.path:
+            return False
+        try:
+            stat = os.stat(self.path)
+        except OSError:
+            return True
+        return (stat.st_dev, stat.st_ino, stat.st_size) != self._open_stat
+
+    def ensure_fresh(self) -> None:
+        """Raise :class:`SnapshotStaleError` if :meth:`snapshot_stale`."""
+        if self.snapshot_stale():
+            raise SnapshotStaleError(
+                f"snapshot file {self.path!r} was modified or replaced "
+                "underneath the live mapping; reopen to pick up the new "
+                "contents"
+            )
 
     # -- the storage-backend protocol -----------------------------------
 

@@ -9,10 +9,17 @@ tokens expire, and sheds load from a failing backend through a circuit
 breaker (:mod:`repro.serve.breaker`) that degrades along the paper's
 own fallback ladder — HVS hit → decomposer → backend — instead of
 failing sessions.
+
+PR 7 takes the stack multi-process: :mod:`repro.serve.pool` forks
+workers that serve quanta over the shared mmap snapshot, and
+:mod:`repro.serve.loadgen` drives the whole thing with an open-loop,
+Zipf-mixed arrival process.
 """
 
 from .breaker import CircuitBreaker, CircuitOpenError
 from .frontend import ServeConfig, ServeFrontend, SessionReport
+from .loadgen import LoadGenerator, Scenario, demo_scenarios
+from .pool import PoolFrontend, WorkerError
 from .retry import BackoffPolicy, RetryBudgetExceeded
 
 __all__ = [
@@ -20,7 +27,12 @@ __all__ = [
     "RetryBudgetExceeded",
     "CircuitBreaker",
     "CircuitOpenError",
+    "LoadGenerator",
+    "PoolFrontend",
+    "Scenario",
     "ServeConfig",
     "ServeFrontend",
     "SessionReport",
+    "WorkerError",
+    "demo_scenarios",
 ]

@@ -26,10 +26,11 @@ shedding at the door instead of collapse under overload.
 
 from __future__ import annotations
 
+import heapq
 import random
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..endpoint.base import Endpoint
 from ..endpoint.clock import SimClock
@@ -181,22 +182,52 @@ class ServeFrontend:
         self._reports: Dict[object, SessionReport] = {}
         self._rng = random.Random(self.config.seed)
         self._progress_in_round = False
+        # Open-loop arrivals: sessions submitted with a future
+        # ``arrive_ms`` wait here (outside the bounded queue — they have
+        # not "arrived" yet) until the simulated clock reaches them.
+        self._arrivals: List[Tuple[float, int, object, List[str]]] = []
+        self._arrival_serial = 0
+        self._arrival_keys: set = set()
 
     # ------------------------------------------------------------------
     # Submission and admission
     # ------------------------------------------------------------------
 
-    def submit(self, key, queries: Sequence[str]) -> bool:
+    def submit(self, key, queries: Sequence[str],
+               arrive_ms: Optional[float] = None) -> bool:
         """Offer a session (a sequence of queries) to the frontend.
 
         Returns True when the session was queued; False when admission
         control shed it (queue full) — the rejection is recorded in the
         final report map either way.
+
+        ``arrive_ms`` schedules an *open-loop* arrival: the session
+        joins the admission queue only when the simulated clock reaches
+        that instant, so a load generator can pre-register a whole
+        arrival process and let :meth:`run` play it out.  Capacity is
+        checked at arrival time (load shedding happens at the door, not
+        at registration), so a future arrival always returns True here.
         """
-        if key in self._tasks or key in self._reports:
+        if (
+            key in self._tasks
+            or key in self._reports
+            or key in self._arrival_keys
+        ):
             raise ValueError(f"session {key!r} was already submitted")
         if not queries:
             raise ValueError("a session needs at least one query")
+        if arrive_ms is not None and arrive_ms > self.clock.now_ms:
+            heapq.heappush(
+                self._arrivals,
+                (float(arrive_ms), self._arrival_serial, key, list(queries)),
+            )
+            self._arrival_serial += 1
+            self._arrival_keys.add(key)
+            return True
+        return self._enqueue(key, list(queries))
+
+    def _enqueue(self, key, queries: List[str]) -> bool:
+        """Admission-control a session that has arrived *now*."""
         if len(self._queue) >= self.config.queue_capacity:
             self._reports[key] = SessionReport(
                 key=key,
@@ -206,12 +237,18 @@ class ServeFrontend:
             )
             _SESSIONS_TOTAL.labels(outcome="rejected").inc()
             return False
-        task = _SessionTask(self, key, list(queries))
+        task = _SessionTask(self, key, queries)
         task.queued_at_ms = self.clock.now_ms
         self._tasks[key] = task
         self._queue.append(task)
         _QUEUE_DEPTH.set(len(self._queue))
         return True
+
+    def _admit_arrivals(self) -> None:
+        while self._arrivals and self._arrivals[0][0] <= self.clock.now_ms:
+            _, _, key, queries = heapq.heappop(self._arrivals)
+            self._arrival_keys.discard(key)
+            self._enqueue(key, queries)
 
     def _admit(self) -> None:
         while self._queue and len(self.scheduler) < self.config.max_active:
@@ -232,12 +269,20 @@ class ServeFrontend:
         gets one quantum).  When a whole round makes no progress —
         every active session is waiting out a backoff or the breaker's
         recovery window — the simulated clock jumps to the earliest
-        wake-up instead of spinning.
+        wake-up (or the next open-loop arrival) instead of spinning.
         """
+        self._admit_arrivals()
         self._admit()
-        while len(self.scheduler) or self._queue:
+        while len(self.scheduler) or self._queue or self._arrivals:
+            if not len(self.scheduler) and not self._queue:
+                # Idle until the next open-loop arrival.
+                self.clock.wait_until(self._arrivals[0][0])
+                self._admit_arrivals()
+                self._admit()
+                continue
             self._progress_in_round = False
-            self.scheduler.run_round()
+            self._run_round()
+            self._admit_arrivals()
             self._admit()
             if self._progress_in_round or not len(self.scheduler):
                 continue
@@ -247,6 +292,8 @@ class ServeFrontend:
                 if task.key not in self._reports
                 and task.wake_ms > self.clock.now_ms
             ]
+            if self._arrivals:
+                wakes.append(self._arrivals[0][0])
             if not wakes:
                 raise RuntimeError(
                     "serving loop stalled: active sessions made no "
@@ -254,6 +301,13 @@ class ServeFrontend:
                 )
             self.clock.wait_until(min(wakes))
         return dict(self._reports)
+
+    def _run_round(self) -> None:
+        """One fair scheduler round.  Subclasses that execute turns on
+        external workers override this to batch the round's requests
+        (policy stays in :meth:`_begin_turn` / :meth:`_apply` either
+        way)."""
+        self.scheduler.run_round()
 
     def reports(self) -> Dict[object, SessionReport]:
         """The outcomes recorded so far (completed/failed/rejected)."""
@@ -269,18 +323,9 @@ class ServeFrontend:
         quantum_ms: Optional[float],
         page_size: Optional[int],
     ) -> Page:
-        now = self.clock.now_ms
-        if task.wake_ms > now:
-            _TURN_WAIT.inc()
-            return self._idle_page("waiting")
-        deadline = self.config.deadline_ms
-        if deadline is not None and now - task.admitted_at_ms > deadline:
-            return self._finish(
-                task,
-                outcome="failed",
-                error=f"deadline exceeded ({deadline:.0f} simulated ms)",
-            )
-        query_text = task.queries[task.index]
+        page, query_text = self._begin_turn(task)
+        if page is not None:
+            return page
         try:
             response = self.endpoint.query(
                 query_text,
@@ -288,19 +333,59 @@ class ServeFrontend:
                 page_size=page_size,
                 continuation=task.continuation,
             )
-        except TransientWireError as error:
-            return self._retry(task, "transient", error)
-        except CircuitOpenError as error:
-            return self._retry(
-                task, "circuit_open", error, min_delay_ms=error.retry_after_ms
+        except (TransientWireError, CircuitOpenError, ContinuationError) as error:
+            return self._apply(task, error=error)
+        return self._apply(task, response=response)
+
+    def _begin_turn(
+        self, task: _SessionTask
+    ) -> Tuple[Optional[Page], Optional[str]]:
+        """Pre-attempt policy: ``(page, None)`` when the turn resolves
+        without issuing work (backoff wait, deadline kill), else
+        ``(None, query_text)`` — the caller executes the query and folds
+        the outcome back in through :meth:`_apply`."""
+        now = self.clock.now_ms
+        if task.wake_ms > now:
+            _TURN_WAIT.inc()
+            return self._idle_page("waiting"), None
+        deadline = self.config.deadline_ms
+        if deadline is not None and now - task.admitted_at_ms > deadline:
+            return (
+                self._finish(
+                    task,
+                    outcome="failed",
+                    error=f"deadline exceeded ({deadline:.0f} simulated ms)",
+                ),
+                None,
             )
-        except ContinuationError as error:
-            # The graph moved on (or the token broke) mid-pagination:
-            # the only sound recovery is restarting the query — rows
-            # already collected for it are discarded, never mixed with
-            # rows from a different dataset version.
-            task.reset_current_query()
-            return self._retry(task, "expired_token", error)
+        return None, task.queries[task.index]
+
+    def _apply(
+        self,
+        task: _SessionTask,
+        response=None,
+        error: Optional[Exception] = None,
+    ) -> Page:
+        """Fold one attempt's outcome — a response or a typed error —
+        into the session.  Shared by the in-process path and the worker
+        pool (which re-raises tunnelled worker errors as ``error``), so
+        retry/backoff/restart policy exists exactly once."""
+        if error is not None:
+            if isinstance(error, TransientWireError):
+                return self._retry(task, "transient", error)
+            if isinstance(error, CircuitOpenError):
+                return self._retry(
+                    task, "circuit_open", error,
+                    min_delay_ms=error.retry_after_ms,
+                )
+            if isinstance(error, ContinuationError):
+                # The graph moved on (or the token broke) mid-pagination:
+                # the only sound recovery is restarting the query — rows
+                # already collected for it are discarded, never mixed
+                # with rows from a different dataset version.
+                task.reset_current_query()
+                return self._retry(task, "expired_token", error)
+            raise error
         self._progress_in_round = True
         _TURN_PAGE.inc()
         task.attempts = 0

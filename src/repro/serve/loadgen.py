@@ -1,0 +1,158 @@
+"""Open-loop load generation for the serving stack.
+
+A *closed-loop* driver (submit N sessions, wait for all of them) lets
+the system set its own pace — under overload it simply slows the
+generator down and the latency numbers look fine.  An *open-loop*
+generator arrives on a schedule that does not care how the system is
+doing: sessions are pre-registered with Poisson (exponential
+inter-arrival) timestamps on the simulated clock, and the frontend's
+admission control has to shed what it cannot absorb.  That is the
+honest way to measure a serving system's capacity, and it is how the
+eLinda demo load is modelled here: session *scenarios* (the EDBT
+Section 5 demonstration walks) are drawn Zipf-distributed — a few
+exploration shapes dominate, as real traffic does.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core import Direction, MemberPattern
+from ..core.queries import (
+    members_query,
+    property_chart_query,
+    subclass_chart_query,
+)
+from ..datasets.zipf import pick_weighted, zipf_weights
+from ..obs.metrics import REGISTRY
+
+__all__ = ["Scenario", "LoadGenerator", "demo_scenarios"]
+
+_ARRIVALS_TOTAL = REGISTRY.counter(
+    "repro_loadgen_arrivals_total",
+    "Sessions scheduled by the open-loop load generator, by scenario",
+    labelnames=("scenario",),
+)
+_INTERARRIVAL_MS = REGISTRY.histogram(
+    "repro_loadgen_interarrival_ms",
+    "Simulated ms between consecutive open-loop session arrivals",
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One exploration shape: a named sequence of clicks (queries)."""
+
+    name: str
+    queries: Tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.queries:
+            raise ValueError(f"scenario {self.name!r} has no queries")
+
+
+def demo_scenarios(root) -> List[Scenario]:
+    """The four E9 demonstration walks as serving scenarios.
+
+    Each mirrors one Section 5 scenario's query shape, parameterised by
+    the dataset's root class: the overview charts, the drill-down
+    connections path, the heavy nested aggregation, and the
+    error-detection member sweep.
+    """
+    pattern = MemberPattern.of_type(root)
+    return [
+        Scenario(
+            "overview",
+            (
+                subclass_chart_query(pattern, root),
+                property_chart_query(pattern, Direction.OUTGOING),
+            ),
+        ),
+        Scenario(
+            "influence_path",
+            (
+                subclass_chart_query(pattern, root),
+                property_chart_query(pattern, Direction.INCOMING),
+            ),
+        ),
+        Scenario(
+            "heavy_aggregation",
+            (
+                property_chart_query(pattern, Direction.OUTGOING),
+                members_query(pattern, limit=200),
+            ),
+        ),
+        Scenario(
+            "error_detection",
+            (
+                members_query(pattern, limit=200),
+                "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 150",
+            ),
+        ),
+    ]
+
+
+class LoadGenerator:
+    """Seeded open-loop arrival process over a scenario mix.
+
+    ``rate_per_s`` is the mean arrival rate in sessions per simulated
+    second (exponential inter-arrivals); ``exponent`` shapes the Zipf
+    weights over ``scenarios`` (rank 1 dominates harder as it grows).
+    Deterministic for a given seed — benchmark runs are replayable.
+    """
+
+    def __init__(
+        self,
+        scenarios: Sequence[Scenario],
+        rate_per_s: float = 100.0,
+        seed: int = 0,
+        exponent: float = 1.0,
+    ):
+        if not scenarios:
+            raise ValueError("at least one scenario is required")
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        self.scenarios = list(scenarios)
+        self.rate_per_s = rate_per_s
+        self.exponent = exponent
+        self._rng = random.Random(seed)
+        self._weights = zipf_weights(len(self.scenarios), exponent)
+        self._serial = 0
+
+    def draw(self, count: int, start_ms: float = 0.0):
+        """``count`` arrivals: yields ``(key, queries, arrive_ms,
+        scenario_name)`` in arrival order."""
+        mean_gap_ms = 1000.0 / self.rate_per_s
+        at_ms = start_ms
+        for _ in range(count):
+            gap = -math.log(1.0 - self._rng.random()) * mean_gap_ms
+            at_ms += gap
+            _INTERARRIVAL_MS.observe(gap)
+            scenario = pick_weighted(
+                self._rng, self.scenarios, self._weights
+            )
+            _ARRIVALS_TOTAL.labels(scenario=scenario.name).inc()
+            key = f"{scenario.name}-{self._serial}"
+            self._serial += 1
+            yield key, list(scenario.queries), at_ms, scenario.name
+
+    def schedule(
+        self, frontend, count: int, start_ms: Optional[float] = None
+    ) -> List[str]:
+        """Pre-register ``count`` open-loop arrivals on ``frontend``.
+
+        Returns the session keys in arrival order.  The frontend plays
+        the arrival process out on its simulated clock during
+        :meth:`~repro.serve.frontend.ServeFrontend.run`; admission
+        control applies at each session's arrival instant.
+        """
+        if start_ms is None:
+            start_ms = frontend.clock.now_ms
+        keys: List[str] = []
+        for key, queries, at_ms, _ in self.draw(count, start_ms=start_ms):
+            frontend.submit(key, queries, arrive_ms=at_ms)
+            keys.append(key)
+        return keys

@@ -61,8 +61,11 @@ __all__ = [
     "RoundRobinScheduler",
 ]
 
-#: Format version minted into every continuation token.
-TOKEN_VERSION = 1
+#: Format version minted into every continuation token.  Version 2:
+#: blocking operators (aggregation, sort, top-k) serialise streaming
+#: accumulators and only their un-emitted suffix, so tokens are
+#: O(groups) — not O(input) — and shrink as results drain.
+TOKEN_VERSION = 2
 
 #: Default time slice when paging is requested without an explicit quantum.
 DEFAULT_QUANTUM_MS = 50.0

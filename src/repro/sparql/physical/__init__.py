@@ -1,0 +1,115 @@
+"""Suspendable physical operators for the SPARQL engine.
+
+The evaluator (:mod:`repro.sparql.evaluator`) is a tree of recursive
+generators: it always runs to completion and its control state lives on
+the Python stack, so a heavy query cannot be paused.  This package is
+the engine's *physical* layer in the style of sage-engine's preemptable
+iterators: every operator is an explicit object with a uniform
+
+    ``next() -> Optional[Binding]`` / ``save() -> state`` / ``load(state)``
+
+protocol.  ``next()`` performs one *bounded* unit of work and returns
+either a solution mapping, or ``None`` when the call made progress but
+produced no row yet (a build phase, a filtered candidate, a suspended
+child).  ``done`` reports exhaustion.  Because no control state hides in
+generator frames, an operator tree can be stopped between any two
+``next()`` calls, serialised with :meth:`PhysicalOperator.save` into a
+JSON-able state tree, and reconstructed later with
+:meth:`PhysicalOperator.load` — the substrate of the time-quantum
+executor (:mod:`repro.sparql.executor`) and its continuation tokens.
+
+Determinism contract: ``load`` replays index scans by skipping
+``offset`` candidates, which reproduces the original sequence as long as
+the graph is unchanged (the executor enforces this through the graph
+``version`` stamped into every token) and iteration happens in the same
+process.  Blocking state (hash-join build tables, DISTINCT seen sets,
+heaps, aggregation groups) is serialised verbatim, so a restored plan
+continues exactly where it stopped.
+
+**ID-space execution.**  Since PR 5 every in-plan binding value is a raw
+``int`` — the :class:`~repro.rdf.dictionary.TermDictionary` ID of the
+term — not a :class:`~repro.rdf.terms.Term` object.  Scans read
+``Graph.triples_ids``; join probes, DISTINCT seen-sets, MINUS
+compatibility checks, and group keys all hash and compare plain
+integers.  The only places terms are materialized are the expression
+boundaries (FILTER / BIND / ORDER BY / aggregates decode a row, and any
+computed term is re-interned so binding values stay uniformly encoded)
+and the :class:`MaterializeOp` the planner mounts at the plan root,
+which decodes each result row exactly once.  Scan-offset continuation
+state therefore lives in ID space; IDs are stable for the lifetime of
+the store, and the executor's graph-``version`` check already rejects
+tokens whose triples changed.
+
+Layout: :mod:`.base` defines the operator protocol and the ID/term
+boundary helpers, :mod:`.scan` the leaves (singleton, VALUES, pattern
+scan), :mod:`.rows` the row-at-a-time operators (filter/bind/project/
+distinct/slice), :mod:`.join` the stream combinators (hash join,
+OPTIONAL, MINUS, UNION), :mod:`.aggregate` the blocking analytics
+(GROUP BY, ORDER BY, top-k), and :mod:`.materialize` the plan-root
+decode boundary.  This ``__init__`` re-exports everything so
+``repro.sparql.physical`` keeps its original flat surface.
+
+Operator trees are compiled from algebra trees by
+:mod:`repro.sparql.planner`; this package only defines the operators.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    BUILD_BATCH,
+    SCAN_BATCH,
+    _EXHAUSTED,
+    PhysicalOperator,
+    PlanStateError,
+    _UnaryOp,
+    _check,
+    _check_ids,
+    _decode_opt_term,
+    _decode_row,
+    _encode_opt_term,
+    _encode_value,
+    _value_from_json,
+    _value_to_json,
+    decode_binding,
+    encode_binding,
+)
+from .scan import PatternScanOp, SingletonOp, ValuesOp
+from .rows import (
+    DistinctOp,
+    ExtendOp,
+    FilterOp,
+    ProjectOp,
+    ReducedOp,
+    SliceOp,
+    _decode_key,
+    _encode_key,
+    _KeyOrder,
+)
+from .join import HashJoinOp, LeftJoinOp, MinusOp, UnionOp
+from .aggregate import AggregationOp, OrderByOp, TopKOp, _order_key
+from .materialize import MaterializeOp, drain
+
+__all__ = [
+    "PlanStateError",
+    "PhysicalOperator",
+    "SingletonOp",
+    "ValuesOp",
+    "PatternScanOp",
+    "FilterOp",
+    "ExtendOp",
+    "HashJoinOp",
+    "LeftJoinOp",
+    "MinusOp",
+    "UnionOp",
+    "AggregationOp",
+    "ProjectOp",
+    "DistinctOp",
+    "ReducedOp",
+    "OrderByOp",
+    "TopKOp",
+    "SliceOp",
+    "MaterializeOp",
+    "encode_binding",
+    "decode_binding",
+    "drain",
+]

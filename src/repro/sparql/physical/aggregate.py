@@ -1,0 +1,632 @@
+"""Blocking analytics: GROUP BY aggregation, full sorts, and the
+bounded-heap top-k that backs fused ORDER BY ... LIMIT."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ExpressionError
+from ..functions import (
+    Binding,
+    _numeric_literal,
+    _numeric_value,
+    _string_value,
+    effective_boolean_value,
+    evaluate_expression,
+    term_order_key,
+)
+from ...rdf.terms import Literal, Term
+
+# Private on purpose: the physical layer shares the evaluator's ordering
+# helpers so both engines rank identically.
+from ..evaluator import _Reversed, _TopKEntry
+from .base import (
+    BUILD_BATCH,
+    PhysicalOperator,
+    _UnaryOp,
+    _decode_opt_term,
+    _decode_row,
+    _encode_opt_term,
+    _encode_value,
+    decode_binding,
+    encode_binding,
+)
+
+__all__ = ["AggregationOp", "OrderByOp", "TopKOp"]
+
+
+class _StreamingAgg:
+    """One aggregate folded incrementally, in member order.
+
+    Mirrors :func:`repro.sparql.functions.evaluate_aggregate` exactly
+    for the non-DISTINCT aggregates — same skip-on-error semantics per
+    member, same tie-breaking for MIN/MAX (first/last among equals, as
+    the stable sort picks), same left-to-right float addition for
+    SUM/AVG — so a group folded one member at a time produces the same
+    term the batch evaluation of its member list would.  The point is
+    state: a fold suspends as O(1) accumulator fields where the batch
+    path must serialise every member row into the continuation token.
+    """
+
+    __slots__ = ("agg", "count", "total", "best", "best_key", "parts", "bad")
+
+    SUPPORTED = ("COUNT", "SUM", "AVG", "MIN", "MAX", "SAMPLE", "GROUP_CONCAT")
+
+    def __init__(self, agg):
+        self.agg = agg
+        self.count = 0
+        self.total: object = 0
+        self.best: Optional[Term] = None
+        self.best_key = None
+        self.parts: Optional[str] = None
+        self.bad = False  # a member value poisoned SUM/AVG/GROUP_CONCAT
+
+    @staticmethod
+    def supports(expression) -> bool:
+        from ..ast import AggregateExpr
+
+        return (
+            isinstance(expression, AggregateExpr)
+            and not expression.distinct
+            and expression.name in _StreamingAgg.SUPPORTED
+        )
+
+    def absorb(self, member_terms: Binding) -> None:
+        name = self.agg.name
+        if self.agg.argument is None:  # COUNT(*)
+            self.count += 1
+            return
+        try:
+            value = evaluate_expression(self.agg.argument, member_terms)
+        except ExpressionError:
+            return  # batch parity: erroring members contribute no value
+        if name == "COUNT":
+            self.count += 1
+        elif name == "SAMPLE":
+            if self.best is None:
+                self.best = value
+        elif name in ("MIN", "MAX"):
+            key = term_order_key(value)
+            if self.best is None:
+                self.best, self.best_key = value, key
+            elif name == "MIN":
+                if key < self.best_key:  # first among equals stays
+                    self.best, self.best_key = value, key
+            elif key >= self.best_key:  # last among equals wins
+                self.best, self.best_key = value, key
+        elif name == "GROUP_CONCAT":
+            if self.bad:
+                return
+            try:
+                text = _string_value(value)
+            except ExpressionError:
+                self.bad = True
+                return
+            if self.parts is None:
+                self.parts = text
+            else:
+                self.parts += self.agg.separator + text
+        else:  # SUM / AVG
+            if self.bad:
+                return
+            try:
+                number = _numeric_value(value)
+            except ExpressionError:
+                self.bad = True
+                return
+            self.total = self.total + number
+            self.count += 1
+
+    def result(self) -> Term:
+        name = self.agg.name
+        if name == "COUNT":
+            return _numeric_literal(self.count)
+        if name == "SAMPLE":
+            if self.best is None:
+                raise ExpressionError("SAMPLE of empty group")
+            return self.best
+        if name == "GROUP_CONCAT":
+            if self.bad:
+                raise ExpressionError("GROUP_CONCAT over a non-string value")
+            return Literal(self.parts if self.parts is not None else "")
+        if name in ("MIN", "MAX"):
+            if self.best is None:
+                raise ExpressionError(f"{name} of empty group")
+            return self.best
+        if self.bad:
+            raise ExpressionError(f"{name} over a non-numeric value")
+        if name == "SUM":
+            return _numeric_literal(self.total)
+        if self.count == 0:
+            raise ExpressionError("AVG of empty group")
+        return _numeric_literal(self.total / self.count)
+
+    def save(self) -> Dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "best": _encode_opt_term(self.best),
+            "parts": self.parts,
+            "bad": self.bad,
+        }
+
+    def load(self, state: Dict) -> None:
+        self.count = int(state.get("count", 0))
+        self.total = state.get("total", 0)
+        self.best = _decode_opt_term(state.get("best"))
+        self.best_key = (
+            term_order_key(self.best) if self.best is not None else None
+        )
+        self.parts = state.get("parts")
+        self.bad = bool(state.get("bad", False))
+
+
+class AggregationOp(PhysicalOperator):
+    """GROUP BY + aggregate projection (fused, like the algebra node).
+
+    Builds groups incrementally (bounded chunks of input per call), then
+    emits one group's output row per call, releasing each group's state
+    as it is emitted.
+
+    When every projected aggregate is decomposable (non-DISTINCT COUNT,
+    SUM, AVG, MIN, MAX, SAMPLE, GROUP_CONCAT) and there is no HAVING,
+    members are folded into O(1) accumulators per group as they arrive
+    — suspension then serialises accumulators, keys, and key bindings,
+    keeping continuation tokens O(groups) instead of O(input).  DISTINCT
+    aggregates and HAVING fall back to buffering member rows verbatim,
+    so the aggregates computed after resume see exactly the members
+    collected before suspension.
+    """
+
+    label = "Aggregation"
+
+    def __init__(self, runtime, child, keys, projections, having):
+        super().__init__(runtime, )
+        self.child = child
+        self.keys = list(keys)
+        self.projections = list(projections)
+        self.having = list(having)
+        self._key_specs = self._build_key_specs()
+        self._streaming = not self.having and all(
+            projection.expression is None
+            or _StreamingAgg.supports(projection.expression)
+            for projection in self.projections
+        )
+        # Folds only need the member in term space when some aggregate
+        # evaluates an argument expression over it; COUNT(*) does not.
+        self._stream_needs_terms = self._streaming and any(
+            projection.expression is not None
+            and projection.expression.argument is not None
+            for projection in self.projections
+        )
+        self._phase = "build"
+        self._group_keys: List[Optional[Tuple]] = []
+        # group key -> member rows (buffering) or accumulators (streaming)
+        self._groups: Dict[Tuple, List] = {}
+        self._key_bindings: Dict[Tuple, Binding] = {}
+        self._emit_index = 0
+
+    def _new_accs(self) -> List[Optional[_StreamingAgg]]:
+        return [
+            _StreamingAgg(projection.expression)
+            if projection.expression is not None
+            else None
+            for projection in self.projections
+        ]
+
+    def children(self) -> List[PhysicalOperator]:
+        return [self.child]
+
+    def detail(self) -> str:
+        names = []
+        for key in self.keys:
+            var = getattr(key, "var", None)
+            names.append(f"?{var.name}" if var is not None else "<expr>")
+        return f"group by {' '.join(names)}" if names else "implicit group"
+
+    def _build_key_specs(self):
+        from ..ast import Projection, VarExpr
+
+        specs = []
+        for key in self.keys:
+            expression = key.expression if isinstance(key, Projection) else key
+            var_name = (
+                expression.var.name if isinstance(expression, VarExpr) else None
+            )
+            if isinstance(key, (Projection, VarExpr)):
+                bind_name = key.var.name
+            else:
+                bind_name = None
+            specs.append((expression, var_name, bind_name))
+        return specs
+
+    def _absorb(self, member: Binding) -> None:
+        key_values: List[Optional[int]] = []
+        key_binding: Binding = {}
+        decoded = None  # member in term space, only if an expression runs
+        for expression, var_name, bind_name in self._key_specs:
+            if var_name is not None:
+                value = member.get(var_name)
+            else:
+                if decoded is None:
+                    decoded = _decode_row(member, self.runtime)
+                try:
+                    value = evaluate_expression(
+                        expression, decoded, context=self.runtime
+                    )
+                except ExpressionError:
+                    value = None
+                value = _encode_value(value, self.runtime)
+            key_values.append(value)
+            if bind_name is not None and value is not None:
+                key_binding[bind_name] = value
+        group_key = tuple(key_values)
+        if group_key not in self._groups:
+            self._group_keys.append(group_key)
+            self._groups[group_key] = (
+                self._new_accs() if self._streaming else []
+            )
+            self._key_bindings[group_key] = key_binding
+        if self._streaming:
+            if self._stream_needs_terms and decoded is None:
+                decoded = _decode_row(member, self.runtime)
+            for acc in self._groups[group_key]:
+                if acc is not None:
+                    acc.absorb(decoded if decoded is not None else {})
+        else:
+            self._groups[group_key].append(member)
+
+    def _next(self) -> Optional[Binding]:
+        if self._phase == "build":
+            for _ in range(BUILD_BATCH):
+                if self.child.done:
+                    if not self.keys and () not in self._groups:
+                        # Implicit single group: empty input still yields
+                        # one group (COUNT(*) = 0).
+                        self._group_keys.append(())
+                        self._groups[()] = (
+                            self._new_accs() if self._streaming else []
+                        )
+                        self._key_bindings[()] = {}
+                    self._phase = "emit"
+                    return None
+                member = self.child.next()
+                if member is None:
+                    return None
+                self._absorb(member)
+            return None
+        # emit — each group's state is released as soon as it is emitted,
+        # so suspended tokens shrink as emission proceeds.
+        while self._emit_index < len(self._group_keys):
+            group_key = self._group_keys[self._emit_index]
+            self._group_keys[self._emit_index] = None
+            self._emit_index += 1
+            group_state = self._groups.pop(group_key)
+            key_binding = self._key_bindings.pop(group_key)
+            runtime = self.runtime
+            runtime.stats.groups += 1
+            if self._streaming:
+                out: Binding = {}
+                for projection, acc in zip(self.projections, group_state):
+                    if acc is None:
+                        value = key_binding.get(projection.var.name)
+                        if value is not None:
+                            out[projection.var.name] = value
+                        continue
+                    try:
+                        value = acc.result()
+                    except ExpressionError:
+                        pass
+                    else:
+                        out[projection.var.name] = _encode_value(
+                            value, runtime
+                        )
+                runtime.stats.intermediate_bindings += 1
+                return out
+            members = group_state
+            # HAVING and the aggregate expressions run in term space:
+            # decode the group once, emit back in ID space.
+            key_terms = _decode_row(key_binding, runtime)
+            member_terms = [_decode_row(member, runtime) for member in members]
+            skip = False
+            for condition in self.having:
+                try:
+                    if not effective_boolean_value(
+                        evaluate_expression(
+                            condition, key_terms, member_terms, context=runtime
+                        )
+                    ):
+                        skip = True
+                        break
+                except ExpressionError:
+                    skip = True
+                    break
+            if skip:
+                return None
+            out = {}
+            for projection in self.projections:
+                if projection.expression is None:
+                    value = key_binding.get(projection.var.name)
+                    if value is not None:
+                        out[projection.var.name] = value
+                    continue
+                try:
+                    value = evaluate_expression(
+                        projection.expression,
+                        key_terms,
+                        member_terms,
+                        context=runtime,
+                    )
+                except ExpressionError:
+                    pass
+                else:
+                    out[projection.var.name] = _encode_value(value, runtime)
+            runtime.stats.intermediate_bindings += 1
+            return out
+        self.done = True
+        return None
+
+    def _save(self) -> Dict:
+        pending = []
+        for group_key in self._group_keys[self._emit_index:]:
+            blob = {
+                "key": [
+                    _encode_opt_term(value, self.runtime)
+                    for value in group_key
+                ],
+                "binding": encode_binding(
+                    self._key_bindings[group_key], self.runtime
+                ),
+            }
+            if self._streaming:
+                blob["accs"] = [
+                    None if acc is None else acc.save()
+                    for acc in self._groups[group_key]
+                ]
+            else:
+                blob["members"] = [
+                    encode_binding(member, self.runtime)
+                    for member in self._groups[group_key]
+                ]
+            pending.append(blob)
+        return {
+            "phase": self._phase,
+            "child": self.child.save(),
+            "emitted": self._emit_index,
+            "groups": pending,
+        }
+
+    def _load(self, state: Dict) -> None:
+        self.child.load(state["child"])
+        self._phase = state.get("phase", "build")
+        emitted = int(state.get("emitted", 0))
+        self._emit_index = emitted
+        self._group_keys = [None] * emitted
+        self._groups = {}
+        self._key_bindings = {}
+        for blob in state.get("groups", ()):
+            group_key = tuple(
+                _decode_opt_term(value, self.runtime)
+                for value in blob["key"]
+            )
+            self._group_keys.append(group_key)
+            self._key_bindings[group_key] = decode_binding(
+                blob["binding"], self.runtime
+            )
+            if "accs" in blob:
+                accs = self._new_accs()
+                for acc, acc_state in zip(accs, blob["accs"]):
+                    if acc is not None and acc_state is not None:
+                        acc.load(acc_state)
+                self._groups[group_key] = accs
+            else:
+                # Token from the buffering path: replay its member rows
+                # through the fold if this plan streams (same result —
+                # the fold is order-preserving and batch-exact).
+                members = [
+                    decode_binding(member, self.runtime)
+                    for member in blob["members"]
+                ]
+                if self._streaming:
+                    accs = self._new_accs()
+                    for member in members:
+                        decoded = (
+                            _decode_row(member, self.runtime)
+                            if self._stream_needs_terms
+                            else {}
+                        )
+                        for acc in accs:
+                            if acc is not None:
+                                acc.absorb(decoded)
+                    self._groups[group_key] = accs
+                else:
+                    self._groups[group_key] = members
+
+
+def _order_key(conditions, binding: Binding, runtime) -> List:
+    """The ORDER BY comparison key of one solution (evaluator parity).
+
+    ``binding`` is an encoded row; sort keys need lexical values, so
+    this is one of the expression boundaries that decodes.
+    """
+    keys = []
+    decoded = _decode_row(binding, runtime)
+    for condition in conditions:
+        try:
+            value = evaluate_expression(
+                condition.expression, decoded, context=runtime
+            )
+        except ExpressionError:
+            value = None
+        key = term_order_key(value)
+        if condition.descending:
+            keys.append(_Reversed(key))
+        else:
+            keys.append(key)
+    return keys
+
+
+class OrderByOp(_UnaryOp):
+    """Full sort: drains its child in bounded chunks, then emits sorted."""
+
+    label = "OrderBy"
+
+    def __init__(self, runtime, child, conditions):
+        super().__init__(runtime, child)
+        self.conditions = list(conditions)
+        self._phase = "build"
+        self._buffer: List[Binding] = []
+        self._emit_index = 0
+
+    def detail(self) -> str:
+        return f"{len(self.conditions)} keys"
+
+    def _next(self) -> Optional[Binding]:
+        if self._phase == "build":
+            for _ in range(BUILD_BATCH):
+                if self.child.done:
+                    self._buffer.sort(
+                        key=lambda binding: _order_key(
+                            self.conditions, binding, self.runtime
+                        )
+                    )
+                    self._phase = "emit"
+                    return None
+                row = self.child.next()
+                if row is None:
+                    return None
+                self._buffer.append(row)
+            return None
+        if self._emit_index >= len(self._buffer):
+            self.done = True
+            return None
+        row = self._buffer[self._emit_index]
+        self._emit_index += 1
+        if self._emit_index >= len(self._buffer):
+            self.done = True
+        return row
+
+    def _save(self) -> Dict:
+        # Rows already emitted are never revisited, so only the pending
+        # suffix crosses the token — suspended sorts shrink as they
+        # drain.
+        return {
+            "phase": self._phase,
+            "child": self.child.save(),
+            "emitted": self._emit_index,
+            "buffer": [
+                encode_binding(row, self.runtime)
+                for row in self._buffer[self._emit_index:]
+            ],
+        }
+
+    def _load(self, state: Dict) -> None:
+        self.child.load(state["child"])
+        self._phase = state.get("phase", "build")
+        # In the emit phase the buffer was serialised post-sort, so no
+        # re-sort is needed (and none would be safe: keys are recomputed
+        # lazily only in the build phase).
+        emitted = int(state.get("emitted", 0))
+        self._emit_index = emitted
+        self._buffer = [None] * emitted + [
+            decode_binding(blob, self.runtime)
+            for blob in state.get("buffer", ())
+        ]
+
+
+class TopKOp(_UnaryOp):
+    """Bounded heap for fused ORDER BY ... LIMIT (evaluator parity)."""
+
+    label = "TopK"
+
+    def __init__(self, runtime, child, conditions, limit, offset=0):
+        super().__init__(runtime, child)
+        self.conditions = list(conditions)
+        self.limit = limit
+        self.offset = offset
+        self._phase = "build"
+        self._heap: List[_TopKEntry] = []
+        self._serial = 0
+        self._ordered: List[Binding] = []
+        self._emit_index = 0
+
+    def detail(self) -> str:
+        text = f"{len(self.conditions)} keys, limit {self.limit}"
+        if self.offset:
+            text += f", offset {self.offset}"
+        return text
+
+    def _finalize(self) -> None:
+        ordered = sorted(self._heap)
+        ordered.reverse()
+        self._ordered = [entry.binding for entry in ordered[self.offset:]]
+        self._heap = []
+        self._phase = "emit"
+
+    def _next(self) -> Optional[Binding]:
+        bound = self.limit + self.offset
+        if bound <= 0:
+            self.done = True
+            return None
+        if self._phase == "build":
+            from ..evaluator import _order_lt
+
+            for _ in range(BUILD_BATCH):
+                if self.child.done:
+                    self._finalize()
+                    return None
+                row = self.child.next()
+                if row is None:
+                    return None
+                key = _order_key(self.conditions, row, self.runtime)
+                serial = self._serial
+                self._serial += 1
+                if len(self._heap) < bound:
+                    heapq.heappush(self._heap, _TopKEntry(key, serial, row))
+                elif _order_lt(
+                    key, serial, self._heap[0].key, self._heap[0].serial
+                ):
+                    heapq.heapreplace(self._heap, _TopKEntry(key, serial, row))
+            return None
+        if self._emit_index >= len(self._ordered):
+            self.done = True
+            return None
+        row = self._ordered[self._emit_index]
+        self._emit_index += 1
+        if self._emit_index >= len(self._ordered):
+            self.done = True
+        return row
+
+    def _save(self) -> Dict:
+        return {
+            "phase": self._phase,
+            "child": self.child.save(),
+            "serial": self._serial,
+            "heap": [
+                [entry.serial, encode_binding(entry.binding, self.runtime)]
+                for entry in self._heap
+            ],
+            "emitted": self._emit_index,
+            "ordered": [
+                encode_binding(row, self.runtime)
+                for row in self._ordered[self._emit_index:]
+            ],
+        }
+
+    def _load(self, state: Dict) -> None:
+        self.child.load(state["child"])
+        self._phase = state.get("phase", "build")
+        self._serial = int(state.get("serial", 0))
+        self._heap = []
+        for serial, blob in state.get("heap", ()):
+            row = decode_binding(blob, self.runtime)
+            key = _order_key(self.conditions, row, self.runtime)
+            self._heap.append(_TopKEntry(key, int(serial), row))
+        heapq.heapify(self._heap)
+        emitted = int(state.get("emitted", 0))
+        self._emit_index = emitted
+        self._ordered = [None] * emitted + [
+            decode_binding(blob, self.runtime)
+            for blob in state.get("ordered", ())
+        ]

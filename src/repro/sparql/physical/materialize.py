@@ -1,0 +1,51 @@
+"""The late-materialization boundary and the tree-draining driver."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...obs.metrics import REGISTRY
+from ..functions import Binding
+from .base import PhysicalOperator, _UnaryOp
+
+__all__ = ["MaterializeOp", "drain"]
+
+_MATERIALIZED_ROWS = REGISTRY.counter(
+    "repro_dict_materialized_rows_total",
+    "Result rows decoded from ID space to terms at the plan root",
+)
+
+
+class MaterializeOp(_UnaryOp):
+    """The late-materialization boundary at the plan root.
+
+    Every operator below it works on encoded rows (term-ID ints); this
+    operator decodes each result row to term objects exactly once, so
+    everything downstream — SPARQL-JSON serialisation, chart labels,
+    clients of ``plan.root.next()`` — sees ordinary ``Term`` bindings.
+    It adds no ``EvalStats`` work (materialization is representation,
+    not query work, and the recursive evaluator has no analogue).
+    """
+
+    label = "Materialize"
+
+    def _next(self) -> Optional[Binding]:
+        row = self._pull()
+        if row is None:
+            return None
+        decode = self.runtime.dictionary.decode
+        _MATERIALIZED_ROWS.inc()
+        return {
+            name: decode(value) if isinstance(value, int) else value
+            for name, value in row.items()
+        }
+
+
+def drain(op: PhysicalOperator) -> List[Binding]:
+    """Run an operator tree to completion and return every row."""
+    rows: List[Binding] = []
+    while not op.done:
+        row = op.next()
+        if row is not None:
+            rows.append(row)
+    return rows

@@ -1,0 +1,286 @@
+"""Row-at-a-time operators: FILTER, BIND, projection, DISTINCT/REDUCED,
+and OFFSET/LIMIT slicing."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ExpressionError, SparqlEvalError
+from ..functions import Binding, evaluate_expression
+from .base import (
+    _UnaryOp,
+    _check_ids,
+    _decode_row,
+    _encode_value,
+    _value_from_json,
+    _value_to_json,
+)
+
+__all__ = [
+    "FilterOp",
+    "ExtendOp",
+    "ProjectOp",
+    "DistinctOp",
+    "ReducedOp",
+    "SliceOp",
+]
+
+
+class FilterOp(_UnaryOp):
+    """A standalone FILTER (counts passing rows, like the evaluator)."""
+
+    label = "Filter"
+
+    def __init__(self, runtime, child, condition):
+        super().__init__(runtime, child)
+        self.condition = condition
+
+    def detail(self) -> str:
+        return "condition"
+
+    def _next(self) -> Optional[Binding]:
+        row = self._pull()
+        if row is None:
+            return None
+        if _check_ids((self.condition,), row, self.runtime):
+            self.runtime.stats.intermediate_bindings += 1
+            return row
+        return None
+
+
+class ExtendOp(_UnaryOp):
+    """BIND: extends each row with a computed variable."""
+
+    label = "Extend"
+
+    def __init__(self, runtime, child, var, expression):
+        super().__init__(runtime, child)
+        self.var = var
+        self.expression = expression
+
+    def detail(self) -> str:
+        return f"BIND ?{self.var.name}"
+
+    def _next(self) -> Optional[Binding]:
+        row = self._pull()
+        if row is None:
+            return None
+        if self.var.name in row:
+            raise SparqlEvalError(f"BIND would rebind ?{self.var.name}")
+        out = dict(row)
+        try:
+            value = evaluate_expression(
+                self.expression, _decode_row(row, self.runtime),
+                context=self.runtime,
+            )
+        except ExpressionError:
+            pass  # BIND errors leave the variable unbound
+        else:
+            out[self.var.name] = _encode_value(value, self.runtime)
+        self.runtime.stats.intermediate_bindings += 1
+        return out
+
+
+class ProjectOp(_UnaryOp):
+    """SELECT projection (with expression extensions)."""
+
+    label = "Project"
+
+    def __init__(self, runtime, child, variables, extensions=()):
+        super().__init__(runtime, child)
+        self.variables = None if variables is None else list(variables)
+        self.extensions = {
+            projection.var.name: projection.expression
+            for projection in extensions
+        }
+
+    def detail(self) -> str:
+        if self.variables is None:
+            return "*"
+        return " ".join(f"?{var.name}" for var in self.variables)
+
+    def _next(self) -> Optional[Binding]:
+        row = self._pull()
+        if row is None:
+            return None
+        if self.variables is None:
+            return row
+        out: Binding = {}
+        decoded = None  # lazily materialized, only if an extension runs
+        for var in self.variables:
+            expression = self.extensions.get(var.name)
+            if expression is not None:
+                if decoded is None:
+                    decoded = _decode_row(row, self.runtime)
+                try:
+                    value = evaluate_expression(
+                        expression, decoded, context=self.runtime
+                    )
+                except ExpressionError:
+                    pass
+                else:
+                    out[var.name] = _encode_value(value, self.runtime)
+            elif var.name in row:
+                out[var.name] = row[var.name]
+        return out
+
+
+class _KeyOrder:
+    """First-seen variable order for stable dedup keys (see evaluator)."""
+
+    __slots__ = ("order", "known")
+
+    def __init__(self) -> None:
+        self.order: List[str] = []
+        self.known: set = set()
+
+    def key(self, binding: Binding) -> Tuple:
+        for name in binding:
+            if name not in self.known:
+                self.known.add(name)
+                self.order.append(name)
+        return tuple(
+            (name, binding[name]) for name in self.order if name in binding
+        )
+
+
+def _encode_key(key: Tuple, runtime=None) -> List:
+    return [[name, _value_to_json(value, runtime)] for name, value in key]
+
+
+def _decode_key(blob: List, runtime=None) -> Tuple:
+    return tuple(
+        (name, _value_from_json(value, runtime)) for name, value in blob
+    )
+
+
+class DistinctOp(_UnaryOp):
+    """Streaming DISTINCT over a serialisable seen-set."""
+
+    label = "Distinct"
+
+    def __init__(self, runtime, child):
+        super().__init__(runtime, child)
+        self._order = _KeyOrder()
+        self._seen: set = set()
+
+    def _next(self) -> Optional[Binding]:
+        row = self._pull()
+        if row is None:
+            return None
+        key = self._order.key(row)
+        if key in self._seen:
+            return None
+        self._seen.add(key)
+        return row
+
+    def _save(self) -> Dict:
+        return {
+            "child": self.child.save(),
+            "order": list(self._order.order),
+            "seen": [
+                _encode_key(key, self.runtime) for key in self._seen
+            ],
+        }
+
+    def _load(self, state: Dict) -> None:
+        self.child.load(state["child"])
+        self._order = _KeyOrder()
+        self._order.order = list(state.get("order", ()))
+        self._order.known = set(self._order.order)
+        self._seen = {
+            _decode_key(blob, self.runtime)
+            for blob in state.get("seen", ())
+        }
+
+
+class ReducedOp(_UnaryOp):
+    """REDUCED: drops adjacent duplicates only."""
+
+    label = "Reduced"
+
+    def __init__(self, runtime, child):
+        super().__init__(runtime, child)
+        self._order = _KeyOrder()
+        self._previous: Optional[Tuple] = None
+
+    def _next(self) -> Optional[Binding]:
+        row = self._pull()
+        if row is None:
+            return None
+        key = self._order.key(row)
+        if key == self._previous:
+            return None
+        self._previous = key
+        return row
+
+    def _save(self) -> Dict:
+        return {
+            "child": self.child.save(),
+            "order": list(self._order.order),
+            "previous": (
+                _encode_key(self._previous, self.runtime)
+                if self._previous is not None
+                else None
+            ),
+        }
+
+    def _load(self, state: Dict) -> None:
+        self.child.load(state["child"])
+        self._order = _KeyOrder()
+        self._order.order = list(state.get("order", ()))
+        self._order.known = set(self._order.order)
+        previous = state.get("previous")
+        self._previous = (
+            _decode_key(previous, self.runtime)
+            if previous is not None
+            else None
+        )
+
+
+class SliceOp(_UnaryOp):
+    """OFFSET/LIMIT; stops pulling its child once the limit is reached."""
+
+    label = "Slice"
+
+    def __init__(self, runtime, child, offset=0, limit=None):
+        super().__init__(runtime, child)
+        self.offset = offset
+        self.limit = limit
+        self._skipped = 0
+        self._emitted = 0
+
+    def detail(self) -> str:
+        parts = []
+        if self.offset:
+            parts.append(f"offset {self.offset}")
+        if self.limit is not None:
+            parts.append(f"limit {self.limit}")
+        return " ".join(parts)
+
+    def _next(self) -> Optional[Binding]:
+        if self.limit is not None and self._emitted >= self.limit:
+            self.done = True
+            return None
+        row = self._pull()
+        if row is None:
+            return None
+        if self._skipped < self.offset:
+            self._skipped += 1
+            return None
+        self._emitted += 1
+        if self.limit is not None and self._emitted >= self.limit:
+            self.done = True
+        return row
+
+    def _save(self) -> Dict:
+        return {
+            "child": self.child.save(),
+            "skipped": self._skipped,
+            "emitted": self._emitted,
+        }
+
+    def _load(self, state: Dict) -> None:
+        self.child.load(state["child"])
+        self._skipped = int(state.get("skipped", 0))
+        self._emitted = int(state.get("emitted", 0))

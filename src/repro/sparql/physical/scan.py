@@ -1,0 +1,254 @@
+"""Leaf operators: the unit table, inline VALUES, and the index
+nested-loop pattern scan that anchors every BGP."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ast import PathExpr, TriplePatternNode, Var
+from ..functions import Binding
+from ..paths import eval_path
+from .base import (
+    SCAN_BATCH,
+    _EXHAUSTED,
+    PhysicalOperator,
+    _check,
+    _check_ids,
+    decode_binding,
+    encode_binding,
+)
+
+__all__ = ["SingletonOp", "ValuesOp", "PatternScanOp"]
+
+
+class SingletonOp(PhysicalOperator):
+    """The unit table: one empty solution (guarded by var-free filters)."""
+
+    label = "Singleton"
+
+    def __init__(self, runtime, guards=()):
+        super().__init__(runtime)
+        self.guards = tuple(guards)
+        self._emitted = False
+
+    def _next(self) -> Optional[Binding]:
+        self.done = True
+        if self._emitted:
+            return None
+        self._emitted = True
+        if not _check(self.guards, {}, self.runtime):
+            return None
+        return {}
+
+    def _save(self) -> Dict:
+        return {"emitted": self._emitted}
+
+    def _load(self, state: Dict) -> None:
+        self._emitted = bool(state.get("emitted"))
+
+
+class ValuesOp(PhysicalOperator):
+    """An inline VALUES table."""
+
+    label = "Values"
+
+    def __init__(self, runtime, variables, rows):
+        super().__init__(runtime)
+        self.variables = list(variables)
+        # VALUES data arrives as term objects from the algebra; intern it
+        # once so emitted bindings are in ID space like every other row.
+        encode = runtime.dictionary.encode
+        self.rows = [
+            [None if value is None else encode(value) for value in row]
+            for row in rows
+        ]
+        self._offset = 0
+
+    def detail(self) -> str:
+        names = " ".join(f"?{var.name}" for var in self.variables)
+        return f"{len(self.rows)} rows over {names}"
+
+    def _next(self) -> Optional[Binding]:
+        if self._offset >= len(self.rows):
+            self.done = True
+            return None
+        row = self.rows[self._offset]
+        self._offset += 1
+        if self._offset >= len(self.rows):
+            self.done = True
+        binding = {
+            var.name: value
+            for var, value in zip(self.variables, row)
+            if value is not None
+        }
+        self.runtime.stats.intermediate_bindings += 1
+        return binding
+
+    def _save(self) -> Dict:
+        return {"offset": self._offset}
+
+    def _load(self, state: Dict) -> None:
+        self._offset = int(state.get("offset", 0))
+
+
+class PatternScanOp(PhysicalOperator):
+    """One stage of the BGP index-nested-loop join.
+
+    For every binding produced by ``child``, instantiates the triple
+    pattern and scans the graph indexes (or evaluates a property path),
+    merging consistent matches.  ``post_filters`` are the BGP filters
+    the optimizer pushed to this join depth; ``pre_filters`` (first
+    stage only) guard the incoming binding before any scan is issued.
+
+    Suspension state is the child's state plus the current outer
+    binding and the number of candidates consumed from its scan; resume
+    re-issues the scan and skips that many candidates, which is exact
+    for an unchanged graph within one process.
+    """
+
+    label = "PatternScan"
+
+    def __init__(self, runtime, child, pattern: TriplePatternNode,
+                 pre_filters=(), post_filters=()):
+        super().__init__(runtime)
+        self.child = child
+        self.pattern = pattern
+        self.pre_filters = tuple(pre_filters)
+        self.post_filters = tuple(post_filters)
+        self._current: Optional[Binding] = None
+        self._matches = None
+        self._offset = 0
+
+    def children(self) -> List[PhysicalOperator]:
+        return [self.child]
+
+    def detail(self) -> str:
+        text = str(self.pattern)
+        extras = []
+        if self.pre_filters:
+            extras.append(f"+{len(self.pre_filters)} guards")
+        if self.post_filters:
+            extras.append(f"+{len(self.post_filters)} inline filters")
+        return text + (" " + " ".join(extras) if extras else "")
+
+    # -- scanning -------------------------------------------------------
+
+    @staticmethod
+    def _instantiate_id(term, binding: Binding, lookup):
+        """Pattern position → ID-space scan argument.
+
+        A variable resolves to its bound ID (or ``None`` = wildcard); a
+        constant the dictionary has never interned becomes the
+        impossible ID ``-1``, which matches nothing but still routes
+        through the normal index branch (identical lookup metrics).
+        """
+        if isinstance(term, Var):
+            return binding.get(term.name)
+        id = lookup(term)
+        return -1 if id is None else id
+
+    @staticmethod
+    def _instantiate_term(term, binding: Binding, decode):
+        if isinstance(term, Var):
+            value = binding.get(term.name)
+            return None if value is None else decode(value)
+        return term
+
+    def _start_scan(self, binding: Binding) -> None:
+        graph = self.runtime.graph
+        self._current = binding
+        self._offset = 0
+        self.runtime.stats.pattern_scans += 1
+        pattern = self.pattern
+        if isinstance(pattern.predicate, PathExpr):
+            # Property paths evaluate in term space (eval_path walks the
+            # graph's term API); endpoints are re-encoded in _extend.
+            decode = self.runtime.dictionary.decode
+            subject = self._instantiate_term(pattern.subject, binding, decode)
+            object = self._instantiate_term(pattern.object, binding, decode)
+            self._matches = eval_path(graph, subject, pattern.predicate, object)
+        else:
+            lookup = self.runtime.dictionary.lookup
+            s = self._instantiate_id(pattern.subject, binding, lookup)
+            p = self._instantiate_id(pattern.predicate, binding, lookup)
+            o = self._instantiate_id(pattern.object, binding, lookup)
+            self._matches = graph.triples_ids(s, p, o)
+
+    def _extend(self, candidate) -> Optional[Binding]:
+        binding = dict(self._current)
+        if isinstance(self.pattern.predicate, PathExpr):
+            encode = self.runtime.dictionary.encode
+            start, end = candidate
+            pairs = (
+                (self.pattern.subject, encode(start)),
+                (self.pattern.object, encode(end)),
+            )
+        else:
+            pairs = tuple(zip(self.pattern, candidate))
+        for term, value in pairs:
+            if isinstance(term, Var):
+                existing = binding.get(term.name)
+                if existing is None:
+                    binding[term.name] = value
+                elif existing != value:
+                    return None
+        return binding
+
+    def _next(self) -> Optional[Binding]:
+        for _ in range(SCAN_BATCH):
+            if self._matches is not None:
+                candidate = next(self._matches, _EXHAUSTED)
+                if candidate is _EXHAUSTED:
+                    self._matches = None
+                    self._current = None
+                    continue
+                self._offset += 1
+                row = self._extend(candidate)
+                if row is None:
+                    continue
+                self.runtime.stats.intermediate_bindings += 1
+                if _check_ids(self.post_filters, row, self.runtime):
+                    return row
+                continue
+            if self.child.done:
+                self.done = True
+                return None
+            outer = self.child.next()
+            if outer is None:
+                return None
+            if self.pre_filters and not _check_ids(
+                self.pre_filters, outer, self.runtime
+            ):
+                continue
+            self._start_scan(outer)
+        return None
+
+    # -- suspension -----------------------------------------------------
+
+    def _save(self) -> Dict:
+        return {
+            "child": self.child.save(),
+            "current": (
+                encode_binding(self._current, self.runtime)
+                if self._current is not None
+                else None
+            ),
+            "offset": self._offset,
+        }
+
+    def _load(self, state: Dict) -> None:
+        self.child.load(state["child"])
+        current = state.get("current")
+        self._current = None
+        self._matches = None
+        self._offset = 0
+        if current is not None:
+            binding = decode_binding(current, self.runtime)
+            offset = int(state.get("offset", 0))
+            self._start_scan(binding)
+            # _start_scan re-bills the scan; resume must not double-count.
+            self.runtime.stats.pattern_scans -= 1
+            for _ in range(offset):
+                if next(self._matches, _EXHAUSTED) is _EXHAUSTED:
+                    break
+            self._offset = offset

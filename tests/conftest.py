@@ -7,6 +7,8 @@ take a copy or build their own).
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.datasets import (
@@ -16,6 +18,21 @@ from repro.datasets import (
 )
 from repro.endpoint import LocalEndpoint, SimClock, SimulatedVirtuosoServer
 from repro.rdf import Graph, parse_turtle
+
+def pytest_collection_modifyitems(config, items):
+    """Skip ``multicore``-marked tests on single-core runners.
+
+    The pool's *functional* tests (fork, routing, crash recovery,
+    byte-identical pages) run everywhere; only tests that assert a real
+    wall-clock parallel speedup carry the marker.
+    """
+    if (os.cpu_count() or 1) >= 2:
+        return
+    skip = pytest.mark.skip(reason="needs >=2 CPU cores for parallel speedup")
+    for item in items:
+        if "multicore" in item.keywords:
+            item.add_marker(skip)
+
 
 PHILOSOPHY_TTL = """
 @prefix dbo: <http://dbpedia.org/ontology/> .

@@ -20,6 +20,8 @@ import repro.rdf.snapshot  # noqa: F401
 import repro.rdf.stats  # noqa: F401
 import repro.serve.breaker  # noqa: F401
 import repro.serve.frontend  # noqa: F401
+import repro.serve.loadgen  # noqa: F401
+import repro.serve.pool  # noqa: F401
 import repro.serve.retry  # noqa: F401
 import repro.sparql.evaluator  # noqa: F401
 import repro.sparql.executor  # noqa: F401

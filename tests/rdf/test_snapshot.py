@@ -337,3 +337,66 @@ def test_snapshot_info_rejects_non_snapshot(tmp_path):
     path.write_bytes(b"x" * 500)
     with pytest.raises(SnapshotMagicError):
         snapshot_info(str(path))
+
+
+# ----------------------------------------------------------------------
+# staleness detection (fail-fast for the worker pool's heartbeat)
+# ----------------------------------------------------------------------
+
+
+def test_fresh_mapping_is_not_stale(tmp_path, graph):
+    path = str(tmp_path / "fresh.snap")
+    write_snapshot(graph, path)
+    with open_snapshot(path) as snapshot:
+        assert snapshot.snapshot_stale() is False
+        snapshot.ensure_fresh()  # no raise
+
+
+def test_rename_swap_makes_mapping_stale(tmp_path, graph):
+    from repro.rdf.snapshot import SnapshotStaleError
+
+    path = str(tmp_path / "swap.snap")
+    write_snapshot(graph, path)
+    with open_snapshot(path) as snapshot:
+        triples_before = len(snapshot)
+        write_snapshot(graph, path + ".new")
+        import os
+
+        os.replace(path + ".new", path)
+        assert snapshot.snapshot_stale() is True
+        with pytest.raises(SnapshotStaleError):
+            snapshot.ensure_fresh()
+        # The pinned pages keep serving the old, self-consistent image.
+        assert len(snapshot) == triples_before
+
+
+def test_deleted_file_is_stale(tmp_path, graph):
+    path = str(tmp_path / "gone.snap")
+    write_snapshot(graph, path)
+    with open_snapshot(path) as snapshot:
+        (tmp_path / "gone.snap").unlink()
+        assert snapshot.snapshot_stale() is True
+
+
+def test_in_memory_image_is_never_stale(snap):
+    assert snap.snapshot_stale() is False
+    snap.ensure_fresh()  # no raise
+
+
+def test_overlay_ids_are_not_portable(tmp_path, graph):
+    from repro.rdf import Literal
+    from repro.rdf.terms import Term  # noqa: F401 - documents the type
+
+    path = str(tmp_path / "portable.snap")
+    write_snapshot(graph, path)
+    with open_snapshot(path) as snapshot:
+        dictionary = snapshot.dictionary
+        base_id = dictionary.encode(Literal("v"))  # in the snapshot
+        overlay_id = dictionary.encode(Literal("runtime-only"))
+        assert dictionary.portable_id(base_id) is True
+        assert dictionary.portable_id(overlay_id) is False
+        # A second mapping of the same file cannot know the overlay ID.
+        with open_snapshot(path) as other:
+            assert other.dictionary.decode(base_id) == Literal("v")
+            with pytest.raises(KeyError):
+                other.dictionary.decode(overlay_id)

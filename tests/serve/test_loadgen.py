@@ -1,0 +1,116 @@
+"""Open-loop load generator: seeded determinism, the Zipf scenario
+mix, the Poisson arrival process, and scheduling onto a frontend."""
+
+import pytest
+
+from repro.datasets.dbpedia import OWL_THING
+from repro.endpoint import SimClock
+from repro.obs.metrics import REGISTRY
+from repro.serve import LoadGenerator, Scenario, demo_scenarios
+
+SCENARIOS = [
+    Scenario("alpha", ("SELECT ?s WHERE { ?s ?p ?o } LIMIT 5",)),
+    Scenario("beta", ("SELECT ?p WHERE { ?s ?p ?o } LIMIT 5",)),
+    Scenario("gamma", ("SELECT ?o WHERE { ?s ?p ?o } LIMIT 5",)),
+]
+
+
+class RecordingFrontend:
+    def __init__(self):
+        self.clock = SimClock()
+        self.submitted = []
+
+    def submit(self, key, queries, arrive_ms=None):
+        self.submitted.append((key, tuple(queries), arrive_ms))
+        return True
+
+
+class TestArrivalProcess:
+    def test_same_seed_same_schedule(self):
+        draws = [
+            list(LoadGenerator(SCENARIOS, seed=7).draw(50))
+            for _ in range(2)
+        ]
+        assert draws[0] == draws[1]
+
+    def test_different_seeds_differ(self):
+        one = list(LoadGenerator(SCENARIOS, seed=1).draw(50))
+        two = list(LoadGenerator(SCENARIOS, seed=2).draw(50))
+        assert one != two
+
+    def test_arrivals_are_strictly_ordered_in_time(self):
+        times = [
+            at_ms
+            for _, _, at_ms, _ in LoadGenerator(SCENARIOS, seed=5).draw(100)
+        ]
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    def test_mean_interarrival_tracks_the_rate(self):
+        rate = 200.0
+        generator = LoadGenerator(SCENARIOS, rate_per_s=rate, seed=3)
+        arrivals = list(generator.draw(500))
+        mean_gap_ms = arrivals[-1][2] / len(arrivals)
+        assert 1000.0 / rate * 0.7 < mean_gap_ms < 1000.0 / rate * 1.3
+
+    def test_zipf_mix_favours_the_first_scenario(self):
+        generator = LoadGenerator(SCENARIOS, seed=11, exponent=1.0)
+        counts = {scenario.name: 0 for scenario in SCENARIOS}
+        for _, _, _, name in generator.draw(400):
+            counts[name] += 1
+        assert counts["alpha"] > counts["beta"] > 0
+        assert counts["alpha"] > counts["gamma"] > 0
+
+    def test_arrival_metrics_move(self):
+        metric = REGISTRY.get("repro_loadgen_arrivals_total")
+        generator = LoadGenerator(SCENARIOS, seed=13)
+        before = metric.labels(scenario="alpha").value
+        names = [name for _, _, _, name in generator.draw(20)]
+        assert metric.labels(scenario="alpha").value == (
+            before + names.count("alpha")
+        )
+
+
+class TestScheduling:
+    def test_schedule_preregisters_every_arrival(self):
+        frontend = RecordingFrontend()
+        generator = LoadGenerator(SCENARIOS, seed=9)
+        keys = generator.schedule(frontend, 25)
+        assert len(keys) == 25
+        assert [entry[0] for entry in frontend.submitted] == keys
+        times = [entry[2] for entry in frontend.submitted]
+        assert times == sorted(times)
+        # Session keys are unique even when scenarios repeat.
+        assert len(set(keys)) == 25
+
+    def test_scheduled_queries_come_from_the_scenario(self):
+        frontend = RecordingFrontend()
+        LoadGenerator(SCENARIOS, seed=4).schedule(frontend, 10)
+        by_name = {s.name: s.queries for s in SCENARIOS}
+        for key, queries, _ in frontend.submitted:
+            name = key.rsplit("-", 1)[0]
+            assert queries == by_name[name]
+
+
+class TestConstruction:
+    def test_demo_scenarios_cover_the_four_walks(self):
+        scenarios = demo_scenarios(OWL_THING)
+        assert [s.name for s in scenarios] == [
+            "overview",
+            "influence_path",
+            "heavy_aggregation",
+            "error_detection",
+        ]
+        assert all(s.queries for s in scenarios)
+
+    def test_empty_scenario_list_rejected(self):
+        with pytest.raises(ValueError):
+            LoadGenerator([])
+
+    def test_non_positive_rate_rejected(self):
+        with pytest.raises(ValueError):
+            LoadGenerator(SCENARIOS, rate_per_s=0.0)
+
+    def test_scenario_needs_queries(self):
+        with pytest.raises(ValueError):
+            Scenario("empty", ())

@@ -1,0 +1,443 @@
+"""PR 8 benchmark: preemptable ID-space path operators vs the legacy
+term-space path scan.
+
+Eight concurrent sessions each ask for the full class-hierarchy
+closure — ``SELECT ?c ?super WHERE { ?c rdfs:subClassOf* ?super }`` —
+the hover-box "subclasses in total" walk, with *both* endpoints
+unbound.  All sessions share one single-threaded engine under the
+round-robin scheduler (2 ms quantum), exactly the serving discipline
+of `bench_pr3`; the headline number is the **p95 first-page latency**
+across sessions, pooled over repeats.
+
+Two path kernels are compared on identical plans:
+
+* ``legacy_term_space`` — a faithful reconstruction of the pre-PR 8
+  operator (kept self-contained below, since the engine no longer
+  ships it): property paths evaluate through a *term-space* generator
+  whose closure walk materialises every graph node up front for the
+  unbound-endpoint case and computes each BFS hop as a full set in
+  term space.  The first candidate pull therefore does unbounded work
+  inside one ``next()`` call — the quantum is a polite fiction, and
+  every concurrent session stalls behind it.
+* ``id_space_preemptable`` — the PR 8 operator
+  (`repro.sparql.physical.ppath.PathScanOp`): paths lower to
+  dictionary-ID hop primitives, closures run as explicit BFS over int
+  frontiers where one call expands at most one node or emits one
+  pair, and the all-nodes case walks the dictionary ID range a probe
+  batch at a time.  Bounded work per call means the scheduler's
+  quantum actually holds.
+
+Row multisets are asserted identical between the two kernels, so the
+speedup is purely the operator refactor.  Writes
+``benchmarks/results/BENCH_PR8.json``.  Run via::
+
+    PYTHONPATH=src python benchmarks/bench_pr8.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from collections import deque
+
+import repro.sparql.planner as planner_module
+from repro.datasets import DBpediaConfig, generate_dbpedia
+from repro.rdf.terms import URI
+from repro.sparql.ast import (
+    AlternativePath,
+    InversePath,
+    PathExpr,
+    RepeatPath,
+    SequencePath,
+    Var,
+)
+from repro.sparql.executor import RoundRobinScheduler
+from repro.sparql.physical.base import (
+    SCAN_BATCH,
+    _EXHAUSTED,
+    PhysicalOperator,
+    _check_ids,
+)
+from repro.sparql.planner import build_physical_plan
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_PR8.json"
+
+#: First-page size: one chart/table screenful.
+PAGE_ROWS = 25
+#: Scheduler time slice (real milliseconds).
+QUANTUM_MS = 2.0
+#: Full benchmark repetitions (latencies are pooled across repeats).
+REPEATS = 5
+#: Concurrent hierarchy-walk sessions.
+SESSIONS = 8
+
+CLOSURE_QUERY = (
+    "SELECT ?c ?super WHERE { ?c "
+    "<http://www.w3.org/2000/01/rdf-schema#subClassOf>* ?super }"
+)
+
+
+# ---------------------------------------------------------------------------
+# The pre-PR 8 kernel, reconstructed: term-space path generators plus the
+# old PatternScanOp path branch (offset-skip suspension).  This is the
+# code PR 8 deleted, kept here verbatim-in-spirit as the baseline.
+# ---------------------------------------------------------------------------
+
+
+def _legacy_eval_path(graph, subject, path, object):
+    seen = set()
+    for pair in _legacy_eval(graph, subject, path, object):
+        if pair not in seen:
+            seen.add(pair)
+            yield pair
+
+
+def _legacy_eval(graph, subject, path, object):
+    if isinstance(path, URI):
+        source = subject if subject is not None else None
+        for triple in graph.triples(source, path, object):
+            yield (triple.subject, triple.object)
+        return
+    if isinstance(path, InversePath):
+        for (a, b) in _legacy_eval(graph, object, path.inner, subject):
+            yield (b, a)
+        return
+    if isinstance(path, SequencePath):
+        yield from _legacy_eval_sequence(graph, subject, path.steps, object)
+        return
+    if isinstance(path, AlternativePath):
+        for choice in path.choices:
+            yield from _legacy_eval(graph, subject, choice, object)
+        return
+    if isinstance(path, RepeatPath):
+        yield from _legacy_eval_repeat(graph, subject, path, object)
+        return
+    raise ValueError(f"unsupported path expression: {path!r}")
+
+
+def _legacy_eval_sequence(graph, subject, steps, object):
+    if len(steps) == 1:
+        yield from _legacy_eval(graph, subject, steps[0], object)
+        return
+    head, tail = steps[0], steps[1:]
+    if subject is None and object is not None:
+        for (mid, end) in _legacy_eval_sequence(graph, None, tail, object):
+            for (start, _mid) in _legacy_eval(graph, None, head, mid):
+                yield (start, end)
+        return
+    for (start, mid) in _legacy_eval(graph, subject, head, None):
+        for (_mid, end) in _legacy_eval_sequence(graph, mid, tail, object):
+            yield (start, end)
+
+
+def _legacy_path_hop(graph, node, path):
+    return {t for (_s, t) in _legacy_eval_path(graph, node, path, None)}
+
+
+def _legacy_all_graph_nodes(graph):
+    nodes = set()
+    for triple in graph.triples():
+        nodes.add(triple.subject)
+        nodes.add(triple.object)
+    return nodes
+
+
+def _legacy_closure_from(graph, start, path, include_zero, max_one):
+    if include_zero:
+        yield start
+    if max_one:
+        for target in _legacy_path_hop(graph, start, path):
+            if target != start or not include_zero:
+                yield target
+        return
+    visited = {start} if include_zero else set()
+    frontier = deque([start])
+    while frontier:
+        current = frontier.popleft()
+        for target in _legacy_path_hop(graph, current, path):
+            if target in visited:
+                continue
+            visited.add(target)
+            frontier.append(target)
+            yield target
+
+
+def _legacy_eval_repeat(graph, subject, path, object):
+    include_zero = path.min_hops == 0
+    if subject is not None:
+        emitted_self = False
+        for target in _legacy_closure_from(
+            graph, subject, path.inner, include_zero, path.max_one
+        ):
+            if target == subject:
+                if emitted_self:
+                    continue
+                emitted_self = True
+            if object is None or object == target:
+                yield (subject, target)
+        return
+    if object is not None:
+        inverse = InversePath(path.inner)
+        emitted_self = False
+        for source in _legacy_closure_from(
+            graph, object, inverse, include_zero, path.max_one
+        ):
+            if source == object:
+                if emitted_self:
+                    continue
+                emitted_self = True
+            yield (source, object)
+        return
+    # Both endpoints unbound: the zero-length path relates every graph
+    # node to itself; this sorted() + full-node sweep happens inside ONE
+    # candidate pull — the non-preemptable heart of the old kernel.
+    for node in sorted(
+        _legacy_all_graph_nodes(graph), key=lambda term: term.sort_key()
+    ):
+        for target in _legacy_closure_from(
+            graph, node, path.inner, include_zero, path.max_one
+        ):
+            yield (node, target)
+
+
+class LegacyPathScanOp(PhysicalOperator):
+    """The pre-PR 8 join stage for path patterns: term-space generator,
+    offset-skip suspension.  Same constructor contract as PathScanOp so
+    the planner can mount it unchanged."""
+
+    label = "PathScan"
+
+    def __init__(self, runtime, child, pattern, pre_filters=(), post_filters=()):
+        super().__init__(runtime)
+        self.child = child
+        self.pattern = pattern
+        self.pre_filters = tuple(pre_filters)
+        self.post_filters = tuple(post_filters)
+        self._current = None
+        self._matches = None
+        self._offset = 0
+
+    def children(self):
+        return [self.child]
+
+    def detail(self):
+        return f"{self.pattern} [legacy term-space]"
+
+    def _start_scan(self, binding):
+        graph = self.runtime.graph
+        self._current = binding
+        self._offset = 0
+        self.runtime.stats.pattern_scans += 1
+        decode = self.runtime.dictionary.decode
+
+        def term_of(term):
+            if isinstance(term, Var):
+                value = binding.get(term.name)
+                return None if value is None else decode(value)
+            return term
+
+        self._matches = _legacy_eval_path(
+            graph,
+            term_of(self.pattern.subject),
+            self.pattern.predicate,
+            term_of(self.pattern.object),
+        )
+
+    def _extend(self, candidate):
+        binding = dict(self._current)
+        encode = self.runtime.dictionary.encode
+        start, end = candidate
+        for term, value in (
+            (self.pattern.subject, encode(start)),
+            (self.pattern.object, encode(end)),
+        ):
+            if isinstance(term, Var):
+                existing = binding.get(term.name)
+                if existing is None:
+                    binding[term.name] = value
+                elif existing != value:
+                    return None
+        return binding
+
+    def _next(self):
+        for _ in range(SCAN_BATCH):
+            if self._matches is not None:
+                candidate = next(self._matches, _EXHAUSTED)
+                if candidate is _EXHAUSTED:
+                    self._matches = None
+                    self._current = None
+                    continue
+                self._offset += 1
+                row = self._extend(candidate)
+                if row is None:
+                    continue
+                self.runtime.stats.intermediate_bindings += 1
+                if _check_ids(self.post_filters, row, self.runtime):
+                    return row
+                continue
+            if self.child.done:
+                self.done = True
+                return None
+            outer = self.child.next()
+            if outer is None:
+                return None
+            if self.pre_filters and not _check_ids(
+                self.pre_filters, outer, self.runtime
+            ):
+                continue
+            self._start_scan(outer)
+        return None
+
+
+class _patched_kernel:
+    """Mount LegacyPathScanOp in the planner for the duration."""
+
+    def __enter__(self):
+        self._saved = planner_module.PathScanOp
+        planner_module.PathScanOp = LegacyPathScanOp
+
+    def __exit__(self, *exc):
+        planner_module.PathScanOp = self._saved
+
+
+# ---------------------------------------------------------------------------
+# Harness (bench_pr3 discipline: round-robin quanta, first-page clock).
+# ---------------------------------------------------------------------------
+
+
+def _multiset(rows):
+    return sorted(
+        tuple(sorted((k, str(v)) for k, v in row.items())) for row in rows
+    )
+
+
+def run_sessions(graph) -> dict:
+    """SESSIONS concurrent closure expansions under round-robin quanta;
+    a session's first page ships at PAGE_ROWS rows (or completion)."""
+    scheduler = RoundRobinScheduler(quantum_ms=QUANTUM_MS)
+    names = [f"walk_{index}" for index in range(SESSIONS)]
+    for name in names:
+        scheduler.submit(name, build_physical_plan(graph, CLOSURE_QUERY))
+    first_page_ms = {}
+    rows_by = {name: [] for name in names}
+    start = time.perf_counter()
+    while len(scheduler):
+        for name, page in scheduler.run_round():
+            rows_by[name].extend(page.rows)
+            if name not in first_page_ms and (
+                len(rows_by[name]) >= PAGE_ROWS or page.complete
+            ):
+                first_page_ms[name] = (time.perf_counter() - start) * 1000.0
+    makespan = (time.perf_counter() - start) * 1000.0
+    return {"first_page_ms": first_page_ms, "rows": rows_by, "makespan_ms": makespan}
+
+
+def percentile(values, fraction: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def summarise(samples) -> dict:
+    return {
+        "sessions": len(samples),
+        "p50_ms": round(percentile(samples, 0.50), 3),
+        "p95_ms": round(percentile(samples, 0.95), 3),
+        "max_ms": round(max(samples), 3),
+        "mean_ms": round(sum(samples) / len(samples), 3),
+    }
+
+
+def main() -> None:
+    graph = generate_dbpedia(DBpediaConfig()).graph
+    print(
+        f"graph: {len(graph)} triples; {SESSIONS} concurrent "
+        f"subClassOf* expansions, quantum {QUANTUM_MS} ms"
+    )
+
+    legacy_samples, new_samples = [], []
+    legacy_makespans, new_makespans = [], []
+    # Warm-up round each (statistics build, interpreter warm-up).
+    with _patched_kernel():
+        run_sessions(graph)
+    run_sessions(graph)
+    reference = None
+    for _ in range(REPEATS):
+        with _patched_kernel():
+            legacy = run_sessions(graph)
+        current = run_sessions(graph)
+        legacy_samples.extend(legacy["first_page_ms"].values())
+        new_samples.extend(current["first_page_ms"].values())
+        legacy_makespans.append(legacy["makespan_ms"])
+        new_makespans.append(current["makespan_ms"])
+        if reference is None:
+            reference = {
+                name: _multiset(rows) for name, rows in legacy["rows"].items()
+            }
+            for name, rows in current["rows"].items():
+                assert _multiset(rows) == reference[name], (
+                    f"row multiset mismatch in {name}"
+                )
+
+    legacy_stats = summarise(legacy_samples)
+    new_stats = summarise(new_samples)
+    speedup = (
+        legacy_stats["p95_ms"] / new_stats["p95_ms"]
+        if new_stats["p95_ms"]
+        else float("inf")
+    )
+    payload = {
+        "benchmark": "BENCH_PR8",
+        "description": (
+            "p95 first-page latency of a rdfs:subClassOf* expansion under "
+            f"{SESSIONS} concurrent sessions on the round-robin scheduler: "
+            "pre-PR8 term-space path generators vs preemptable ID-space "
+            "path operators (synthetic DBpedia, single-threaded engine)"
+        ),
+        "graph_triples": len(graph),
+        "query": CLOSURE_QUERY,
+        "page_rows": PAGE_ROWS,
+        "quantum_ms": QUANTUM_MS,
+        "repeats": REPEATS,
+        "sessions": SESSIONS,
+        "legacy_term_space": {
+            **legacy_stats,
+            "makespan_ms_mean": round(
+                sum(legacy_makespans) / len(legacy_makespans), 3
+            ),
+        },
+        "id_space_preemptable": {
+            **new_stats,
+            "makespan_ms_mean": round(sum(new_makespans) / len(new_makespans), 3),
+        },
+        "first_page_p95_speedup": round(speedup, 2),
+        "rows_match": True,
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+    print()
+    header = f"{'kernel':<22} {'p50':>9} {'p95':>9} {'max':>9} {'makespan':>10}"
+    print(header)
+    print("-" * len(header))
+    for label, stats, makespans in (
+        ("legacy_term_space", legacy_stats, legacy_makespans),
+        ("id_space_preemptable", new_stats, new_makespans),
+    ):
+        print(
+            f"{label:<22} {stats['p50_ms']:>8.1f}m {stats['p95_ms']:>8.1f}m "
+            f"{stats['max_ms']:>8.1f}m "
+            f"{sum(makespans) / len(makespans):>9.1f}m"
+        )
+    print()
+    print(f"first-page p95 speedup: {speedup:.2f}x")
+    if speedup < 5.0:
+        raise SystemExit(
+            "preemptable path operators must improve p95 first-page "
+            "latency at least 5x over the term-space kernel"
+        )
+
+
+if __name__ == "__main__":
+    main()

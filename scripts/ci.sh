@@ -7,7 +7,10 @@
 #      hygiene — a suspended query resumed across a graph mutation is
 #      invalidated, never silently wrong — round-robin fairness, and
 #      the encoded-store smoke: load → query → page → decode, with the
-#      dictionary round-trip and byte-identical paged SPARQL-JSON);
+#      dictionary round-trip and byte-identical paged SPARQL-JSON),
+#      plus the property-path paging smoke (a subClassOf* closure must
+#      suspend mid-traversal, resume from its token, and report its
+#      BFS frontier counters in EXPLAIN ANALYZE);
 #   3. a plan-cache + dictionary metrics smoke over
 #      `repro metrics --exercise`;
 #   4. the serving-layer smoke test (concurrency soak under injected
@@ -33,6 +36,24 @@ echo "== repro query --self-test =="
 python -m repro query --self-test
 
 echo
+echo "== property-path paging smoke =="
+# A closure query must page (tokens minted mid-traversal), finish, and
+# render its frontier counters in EXPLAIN ANALYZE.
+path_query='SELECT ?c ?d WHERE { ?c rdfs:subClassOf* ?d }'
+# String matches, not `echo | grep -q`: under pipefail, grep -q exiting
+# at the first match SIGPIPEs the echo of this multi-page output and
+# fails the pipeline spuriously.
+path_pages="$(python -m repro query "$path_query" --page-size 25)"
+[[ "$path_pages" == *'complete=False'* ]] \
+  || { echo "FAIL: path query never suspended (ran in one page)"; exit 1; }
+[[ "$path_pages" == *'complete=True'* ]] \
+  || { echo "FAIL: path query never completed"; exit 1; }
+path_explained="$(python -m repro query "$path_query" --page-size 25 --explain --analyze)"
+grep -q 'PathScan.*hops=' <<< "$path_explained" \
+  || { echo "FAIL: no PathScan frontier detail in EXPLAIN ANALYZE"; exit 1; }
+echo "ok: path query paged through continuation tokens with frontier detail"
+
+echo
 echo "== plan-cache metrics smoke =="
 metrics="$(python -m repro metrics --exercise)"
 echo "$metrics" | grep -q 'repro_plancache_requests_total{outcome="hit"} [1-9]' \
@@ -51,6 +72,9 @@ python -m repro serve --self-test
 
 echo
 echo "== repro serve --workers 2 --self-test (pool smoke) =="
+# The pool workload includes a subClassOf* closure, so this also
+# migrates property-path continuation tokens across worker processes
+# (and across the injected crash/respawn) byte-identically.
 python -m repro serve --workers 2 --self-test
 
 echo

@@ -534,13 +534,17 @@ def _build_serve_stack(args, graph, root):
 
 def _serve_workload(root) -> List[str]:
     """One session's exploration clicks: a decomposable chart query,
-    a paged member expansion, and a plain triple scan."""
+    a paged member expansion, a plain triple scan, and a hierarchy
+    closure walk (property path — its BFS frontier state rides the
+    continuation tokens, including across pool workers)."""
     from .core import MemberPattern, members_query, property_chart_query
 
     return [
         property_chart_query(MemberPattern.of_type(root), Direction.OUTGOING),
         members_query(MemberPattern.of_type(root), limit=200),
         _prologue() + "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 150",
+        _prologue()
+        + "SELECT ?c ?super WHERE { ?c rdfs:subClassOf* ?super }",
     ]
 
 

@@ -74,9 +74,15 @@ _FILTER_SELECTIVITY = 1.0 / 3.0
 def _pattern_estimate(graph: Graph, pattern: TriplePatternNode) -> int:
     """Matches for one triple pattern, variables treated as wildcards."""
     if isinstance(pattern.predicate, PathExpr):
-        # Paths can traverse arbitrarily; the graph size is the only
-        # honest static bound.
-        return len(graph)
+        # Walk the path algebra over the cached cardinality summary:
+        # sequences chain fan-outs, alternatives add, closures inflate
+        # the single-hop estimate by a saturating expansion factor.
+        estimate = graph.statistics().path_cardinality(
+            pattern.predicate,
+            not isinstance(pattern.subject, Var),
+            not isinstance(pattern.object, Var),
+        )
+        return max(1, int(estimate))
     subject = None if isinstance(pattern.subject, Var) else pattern.subject
     predicate = None if isinstance(pattern.predicate, Var) else pattern.predicate
     object = None if isinstance(pattern.object, Var) else pattern.object

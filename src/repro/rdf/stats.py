@@ -145,6 +145,71 @@ class GraphStatistics:
             base /= max(1, self.distinct_objects)
         return base
 
+    def path_cardinality(
+        self, path, subject_bound: bool, object_bound: bool
+    ) -> float:
+        """Expected pairs matched by a property-path pattern.
+
+        ``path`` is a :mod:`repro.sparql.ast` path expression (or a
+        plain URI step).  Same uniformity assumptions as flat patterns,
+        composed over the path algebra: sequences chain the per-node
+        fan-out of each step, alternatives add, inverses swap the bound
+        sides, and closures inflate the single-hop estimate by a
+        logarithmic expansion factor (reachability grows with hop count
+        but the visited-set dedup saturates quickly on real hierarchies).
+        """
+        # Imported lazily: rdf.stats must stay importable without the
+        # sparql layer (which itself imports this module).
+        from math import log2
+
+        from ..sparql.ast import (
+            AlternativePath,
+            InversePath,
+            RepeatPath,
+            SequencePath,
+        )
+
+        def fanout(step) -> float:
+            """Average targets reached per node by one step application."""
+            return estimate(step, True, False)
+
+        def estimate(step, s_bound: bool, o_bound: bool) -> float:
+            if isinstance(step, InversePath):
+                return estimate(step.inner, o_bound, s_bound)
+            if isinstance(step, SequencePath):
+                card = estimate(step.steps[0], s_bound, False)
+                for later in step.steps[1:]:
+                    card *= fanout(later)
+                if o_bound:
+                    card /= max(1, self.distinct_objects)
+                return card
+            if isinstance(step, AlternativePath):
+                return sum(
+                    estimate(choice, s_bound, o_bound)
+                    for choice in step.choices
+                )
+            if isinstance(step, RepeatPath):
+                base = estimate(step.inner, s_bound, o_bound)
+                if step.max_one:  # ``?``: zero or one application
+                    expansion = 1.0
+                else:  # ``*`` / ``+``: multi-hop reachability
+                    expansion = 1.0 + log2(2.0 + base)
+                card = base * expansion
+                if step.min_hops == 0:
+                    # Zero-length pairs: every candidate start matches
+                    # itself (one self-pair when an endpoint is bound).
+                    if s_bound or o_bound:
+                        card += 1.0
+                    else:
+                        card += float(
+                            max(self.distinct_subjects, self.distinct_objects)
+                        )
+                return card
+            # A plain URI step.
+            return self.triple_pattern_cardinality(s_bound, step, o_bound)
+
+        return estimate(path, subject_bound, object_bound)
+
 
 def statistics_for(graph: "Graph") -> GraphStatistics:
     """The (cached) statistics summary for the graph's current version."""

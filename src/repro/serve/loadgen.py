@@ -25,6 +25,7 @@ from ..core.queries import (
     members_query,
     property_chart_query,
     subclass_chart_query,
+    subclass_closure_query,
 )
 from ..datasets.zipf import pick_weighted, zipf_weights
 from ..obs.metrics import REGISTRY
@@ -55,12 +56,13 @@ class Scenario:
 
 
 def demo_scenarios(root) -> List[Scenario]:
-    """The four E9 demonstration walks as serving scenarios.
+    """The demonstration walks as serving scenarios.
 
     Each mirrors one Section 5 scenario's query shape, parameterised by
     the dataset's root class: the overview charts, the drill-down
-    connections path, the heavy nested aggregation, and the
-    error-detection member sweep.
+    connections path, the heavy nested aggregation, the error-detection
+    member sweep, and the class-hierarchy walk (property-path closure —
+    the hover box's 'subclasses in total' figure).
     """
     pattern = MemberPattern.of_type(root)
     return [
@@ -90,6 +92,15 @@ def demo_scenarios(root) -> List[Scenario]:
             (
                 members_query(pattern, limit=200),
                 "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 150",
+            ),
+        ),
+        Scenario(
+            "hierarchy_walk",
+            (
+                subclass_closure_query(root),
+                "SELECT ?c ?super WHERE { ?c "
+                "<http://www.w3.org/2000/01/rdf-schema#subClassOf>* "
+                "?super }",
             ),
         ),
     ]

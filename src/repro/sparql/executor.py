@@ -65,6 +65,15 @@ __all__ = [
 #: blocking operators (aggregation, sort, top-k) serialise streaming
 #: accumulators and only their un-emitted suffix, so tokens are
 #: O(groups) — not O(input) — and shrink as results drain.
+#:
+#: PR 8 adds ``PathScan`` operator states to the tree (BFS frontier +
+#: sorted visited set + emit buffer instead of a skip-ahead offset)
+#: without bumping the envelope: non-path tokens are unchanged, and a
+#: pre-PR 8 path token carries a ``PatternScan``-labelled state where
+#: the restored plan now expects ``PathScan``, so it fails the per-node
+#: label check and is rejected as a clean ``MalformedTokenError`` 400
+#: rather than resuming a traversal whose order the old kernel never
+#: guaranteed across processes anyway.
 TOKEN_VERSION = 2
 
 #: Default time slice when paging is requested without an explicit quantum.

@@ -42,7 +42,10 @@ tokens whose triples changed.
 
 Layout: :mod:`.base` defines the operator protocol and the ID/term
 boundary helpers, :mod:`.scan` the leaves (singleton, VALUES, pattern
-scan), :mod:`.rows` the row-at-a-time operators (filter/bind/project/
+scan), :mod:`.ppath` the preemptable property-path traversal (BFS
+closures over int frontiers with the frontier/visited/cursor state
+serialised into the token instead of a skip-ahead offset),
+:mod:`.rows` the row-at-a-time operators (filter/bind/project/
 distinct/slice), :mod:`.join` the stream combinators (hash join,
 OPTIONAL, MINUS, UNION), :mod:`.aggregate` the blocking analytics
 (GROUP BY, ORDER BY, top-k), and :mod:`.materialize` the plan-root
@@ -74,6 +77,7 @@ from .base import (
     encode_binding,
 )
 from .scan import PatternScanOp, SingletonOp, ValuesOp
+from .ppath import PathScanOp
 from .rows import (
     DistinctOp,
     ExtendOp,
@@ -95,6 +99,7 @@ __all__ = [
     "SingletonOp",
     "ValuesOp",
     "PatternScanOp",
+    "PathScanOp",
     "FilterOp",
     "ExtendOp",
     "HashJoinOp",

@@ -5,9 +5,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..ast import PathExpr, TriplePatternNode, Var
+from ..ast import TriplePatternNode, Var
 from ..functions import Binding
-from ..paths import eval_path
 from .base import (
     SCAN_BATCH,
     _EXHAUSTED,
@@ -95,8 +94,10 @@ class PatternScanOp(PhysicalOperator):
     """One stage of the BGP index-nested-loop join.
 
     For every binding produced by ``child``, instantiates the triple
-    pattern and scans the graph indexes (or evaluates a property path),
-    merging consistent matches.  ``post_filters`` are the BGP filters
+    pattern and scans the graph indexes, merging consistent matches.
+    Path predicates compile to the preemptable
+    :class:`~repro.sparql.physical.ppath.PathScanOp` instead — this
+    operator only ever sees term predicates.  ``post_filters`` are the BGP filters
     the optimizer pushed to this join depth; ``pre_filters`` (first
     stage only) guard the incoming binding before any scan is issued.
 
@@ -147,45 +148,21 @@ class PatternScanOp(PhysicalOperator):
         id = lookup(term)
         return -1 if id is None else id
 
-    @staticmethod
-    def _instantiate_term(term, binding: Binding, decode):
-        if isinstance(term, Var):
-            value = binding.get(term.name)
-            return None if value is None else decode(value)
-        return term
-
     def _start_scan(self, binding: Binding) -> None:
         graph = self.runtime.graph
         self._current = binding
         self._offset = 0
         self.runtime.stats.pattern_scans += 1
         pattern = self.pattern
-        if isinstance(pattern.predicate, PathExpr):
-            # Property paths evaluate in term space (eval_path walks the
-            # graph's term API); endpoints are re-encoded in _extend.
-            decode = self.runtime.dictionary.decode
-            subject = self._instantiate_term(pattern.subject, binding, decode)
-            object = self._instantiate_term(pattern.object, binding, decode)
-            self._matches = eval_path(graph, subject, pattern.predicate, object)
-        else:
-            lookup = self.runtime.dictionary.lookup
-            s = self._instantiate_id(pattern.subject, binding, lookup)
-            p = self._instantiate_id(pattern.predicate, binding, lookup)
-            o = self._instantiate_id(pattern.object, binding, lookup)
-            self._matches = graph.triples_ids(s, p, o)
+        lookup = self.runtime.dictionary.lookup
+        s = self._instantiate_id(pattern.subject, binding, lookup)
+        p = self._instantiate_id(pattern.predicate, binding, lookup)
+        o = self._instantiate_id(pattern.object, binding, lookup)
+        self._matches = graph.triples_ids(s, p, o)
 
     def _extend(self, candidate) -> Optional[Binding]:
         binding = dict(self._current)
-        if isinstance(self.pattern.predicate, PathExpr):
-            encode = self.runtime.dictionary.encode
-            start, end = candidate
-            pairs = (
-                (self.pattern.subject, encode(start)),
-                (self.pattern.object, encode(end)),
-            )
-        else:
-            pairs = tuple(zip(self.pattern, candidate))
-        for term, value in pairs:
+        for term, value in zip(self.pattern, candidate):
             if isinstance(term, Var):
                 existing = binding.get(term.name)
                 if existing is None:

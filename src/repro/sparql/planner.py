@@ -48,7 +48,7 @@ from .algebra import (
     certain_variables,
     translate_query,
 )
-from .ast import AskQuery, Query, SelectQuery
+from .ast import AskQuery, PathExpr, Query, SelectQuery
 from .errors import SparqlEvalError
 from .evaluator import (
     Evaluator,
@@ -67,6 +67,7 @@ from .physical import (
     MaterializeOp,
     MinusOp,
     OrderByOp,
+    PathScanOp,
     PatternScanOp,
     PhysicalOperator,
     ProjectOp,
@@ -115,7 +116,15 @@ def _compile_bgp(node: BGP) -> OperatorFactory:
     def make(runtime: Evaluator) -> PhysicalOperator:
         op: PhysicalOperator = SingletonOp(runtime)
         for index, pattern in enumerate(ordered):
-            op = PatternScanOp(
+            # Path predicates get the preemptable traversal operator;
+            # plain predicates the flat index scan.  Same join-stage
+            # contract (filter slots, stats accounting) either way.
+            scan = (
+                PathScanOp
+                if isinstance(pattern.predicate, PathExpr)
+                else PatternScanOp
+            )
+            op = scan(
                 runtime,
                 op,
                 pattern,

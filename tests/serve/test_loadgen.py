@@ -93,15 +93,25 @@ class TestScheduling:
 
 
 class TestConstruction:
-    def test_demo_scenarios_cover_the_four_walks(self):
+    def test_demo_scenarios_cover_the_demo_walks(self):
         scenarios = demo_scenarios(OWL_THING)
         assert [s.name for s in scenarios] == [
             "overview",
             "influence_path",
             "heavy_aggregation",
             "error_detection",
+            "hierarchy_walk",
         ]
         assert all(s.queries for s in scenarios)
+
+    def test_hierarchy_walk_is_path_heavy(self):
+        """The PR 8 scenario must actually exercise a closure path."""
+        walk = next(
+            s for s in demo_scenarios(OWL_THING) if s.name == "hierarchy_walk"
+        )
+        assert any(
+            "subClassOf>*" in q or "subClassOf>+" in q for q in walk.queries
+        )
 
     def test_empty_scenario_list_rejected(self):
         with pytest.raises(ValueError):

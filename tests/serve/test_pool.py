@@ -28,7 +28,13 @@ AGG = (
     "SELECT ?p (COUNT(?o) AS ?n) WHERE { ?s ?p ?o } "
     "GROUP BY ?p ORDER BY ?p"
 )
-WORKLOAD = [SCAN, AGG]
+# A closure traversal: exercises the PathScan BFS frontier/visited-set
+# state when its token crosses a process boundary (PR 8).
+PATH = (
+    "SELECT ?s ?c WHERE { ?s "
+    "<http://www.w3.org/2000/01/rdf-schema#subClassOf>* ?c }"
+)
+WORKLOAD = [SCAN, AGG, PATH]
 
 
 @pytest.fixture(scope="module")

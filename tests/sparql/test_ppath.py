@@ -1,0 +1,326 @@
+"""Units for the preemptable ID-space property-path operators (PR 8):
+the lowering/hop kernel, closure edge cases, deterministic emit order,
+mid-closure save/load, and the PathScan token schema."""
+
+import pytest
+
+from repro.rdf import Graph, URI
+from repro.sparql.ast import InversePath, RepeatPath, SequencePath
+from repro.sparql.executor import (
+    MalformedTokenError,
+    decode_continuation,
+    encode_continuation,
+    restore_plan,
+    run_quantum,
+    run_to_completion,
+)
+from repro.sparql.paths import (
+    build_pair_iterator,
+    eval_path,
+    hop_ids,
+    iter_node_ids,
+    lower_path,
+    path_hop,
+)
+from repro.sparql.physical import PathScanOp, PatternScanOp
+from repro.sparql.planner import build_physical_plan
+
+P = URI("http://ex.org/p")
+Q = URI("http://ex.org/q")
+
+
+def node(name: str) -> URI:
+    return URI(f"http://ex.org/{name}")
+
+
+def cycle_graph() -> Graph:
+    """A → B → C → A plus a spur C → D."""
+    g = Graph()
+    g.add(node("A"), P, node("B"))
+    g.add(node("B"), P, node("C"))
+    g.add(node("C"), P, node("A"))
+    g.add(node("C"), P, node("D"))
+    return g
+
+
+def drain(iterator, limit=10_000):
+    pairs = []
+    for _ in range(limit):
+        if iterator.done:
+            return pairs
+        pair = iterator.next_pair()
+        if pair is not None:
+            pairs.append(pair)
+    raise AssertionError("pair iterator did not terminate")
+
+
+def pairs_for(graph, subject, path, object):
+    return list(eval_path(graph, subject, path, object))
+
+
+class TestLowering:
+    def test_unknown_predicate_lowers_to_impossible_id(self):
+        g = cycle_graph()
+        code = lower_path(URI("http://ex.org/never"), g.dictionary.lookup)
+        assert code == ("edge", -1)
+        assert hop_ids(g, code, g.dictionary.encode(node("A"))) == []
+
+    def test_edge_lowers_to_predicate_id(self):
+        g = cycle_graph()
+        code = lower_path(P, g.dictionary.lookup)
+        assert code == ("edge", g.dictionary.lookup(P))
+
+    def test_hops_are_sorted_ids(self):
+        g = Graph()
+        for name in ["z", "m", "a"]:
+            g.add(node("hub"), P, node(name))
+        code = lower_path(P, g.dictionary.lookup)
+        hops = hop_ids(g, code, g.dictionary.encode(node("hub")))
+        assert hops == sorted(hops)
+        assert len(hops) == 3
+
+    def test_backward_hop_inverts_the_edge(self):
+        g = cycle_graph()
+        code = lower_path(P, g.dictionary.lookup)
+        enc = g.dictionary.encode
+        assert enc(node("B")) in hop_ids(g, code, enc(node("A")), True)
+        assert enc(node("C")) in hop_ids(g, code, enc(node("A")), False)
+
+
+class TestClosureEdgeCases:
+    def test_cycle_through_start_node(self):
+        """`p+` on a cycle reaches the start node itself."""
+        g = cycle_graph()
+        a = node("A")
+        reached = {o for (_s, o) in pairs_for(g, a, RepeatPath(P, min_hops=1), None)}
+        assert reached == {a, node("B"), node("C"), node("D")}
+
+    def test_star_emits_each_pair_once_on_cycles(self):
+        g = cycle_graph()
+        pairs = pairs_for(g, node("A"), RepeatPath(P, min_hops=0), None)
+        assert len(pairs) == len(set(pairs))
+
+    def test_optional_hop_self_pairs(self):
+        """`p?` relates every node to itself plus single hops."""
+        g = cycle_graph()
+        pairs = set(
+            pairs_for(g, None, RepeatPath(P, min_hops=0, max_one=True), None)
+        )
+        for name in ["A", "B", "C", "D"]:
+            assert (node(name), node(name)) in pairs
+        assert (node("A"), node("B")) in pairs
+        assert (node("A"), node("C")) not in pairs
+
+    def test_zero_length_path_matches_terms_outside_the_graph(self):
+        g = cycle_graph()
+        ghost = URI("http://ex.org/ghost")
+        assert pairs_for(g, ghost, RepeatPath(P, min_hops=0), None) == [
+            (ghost, ghost)
+        ]
+        assert pairs_for(g, ghost, RepeatPath(P, min_hops=1), None) == []
+
+    def test_bound_object_backward_walk(self):
+        """`?s p+ <C>` explores backwards from the object."""
+        g = cycle_graph()
+        sources = {
+            s for (s, _o) in pairs_for(g, None, RepeatPath(P, min_hops=1), node("C"))
+        }
+        assert sources == {node("A"), node("B"), node("C")}  # cycle: C too
+
+    def test_both_endpoints_bound_reachability(self):
+        g = cycle_graph()
+        one = pairs_for(g, node("A"), RepeatPath(P, min_hops=1), node("D"))
+        assert one == [(node("A"), node("D"))]
+        none = pairs_for(g, node("D"), RepeatPath(P, min_hops=1), node("A"))
+        assert none == []  # D is a sink
+
+    def test_sequence_with_bound_object_walks_tail_first(self):
+        g = cycle_graph()
+        path = SequencePath((P, P))
+        pairs = pairs_for(g, None, path, node("A"))
+        assert (node("B"), node("A")) in pairs  # B → C → A
+
+    def test_inverse_closure(self):
+        g = cycle_graph()
+        pairs = set(
+            pairs_for(g, node("D"), RepeatPath(InversePath(P), min_hops=1), None)
+        )
+        assert pairs == {(node("D"), n) for n in [node("A"), node("B"), node("C")]}
+
+
+class TestDeterministicOrder:
+    def test_path_hop_returns_sorted_id_order(self):
+        g = Graph()
+        targets = [node(n) for n in ["z", "m", "a", "q"]]
+        for t in targets:
+            g.add(node("hub"), P, t)
+        hops = path_hop(g, node("hub"), P)
+        assert isinstance(hops, list)
+        ids = [g.dictionary.encode(t) for t in hops]
+        assert ids == sorted(ids)
+        assert set(hops) == set(targets)
+
+    def test_emission_order_is_reproducible(self):
+        g = cycle_graph()
+        path = RepeatPath(P, min_hops=0)
+        first = pairs_for(g, None, path, None)
+        second = pairs_for(g, None, path, None)
+        assert first == second
+
+    def test_iter_node_ids_ascends_and_covers_all_nodes(self):
+        g = cycle_graph()
+        ids = list(iter_node_ids(g))
+        assert ids == sorted(ids)
+        expected = set()
+        for s, _p, o in g.triples_ids(None, None, None):
+            expected.add(s)
+            expected.add(o)
+        assert set(ids) == expected
+
+    def test_iter_node_ids_skips_predicate_only_terms(self):
+        g = cycle_graph()
+        pid = g.dictionary.lookup(P)
+        assert pid is not None
+        assert pid not in set(iter_node_ids(g))
+
+
+class TestPairIteratorSuspension:
+    def test_mid_closure_save_load_resumes_identically(self):
+        g = cycle_graph()
+        code = lower_path(RepeatPath(P, min_hops=0), g.dictionary.lookup)
+        start = g.dictionary.encode(node("A"))
+
+        reference = drain(build_pair_iterator(g, code, start, None))
+        assert reference  # sanity
+
+        # Suspend after every single call, round-tripping the state.
+        for stop_after in range(1, 12):
+            iterator = build_pair_iterator(g, code, start, None)
+            collected = []
+            for _ in range(stop_after):
+                if iterator.done:
+                    break
+                pair = iterator.next_pair()
+                if pair is not None:
+                    collected.append(pair)
+            state = iterator.save()
+            fresh = build_pair_iterator(g, code, start, None)
+            fresh.load(state)
+            collected.extend(drain(fresh))
+            assert collected == reference, f"diverged at step {stop_after}"
+
+    def test_full_closure_save_load_resumes_identically(self):
+        g = cycle_graph()
+        code = lower_path(RepeatPath(P, min_hops=0), g.dictionary.lookup)
+        reference = drain(build_pair_iterator(g, code, None, None))
+        for stop_after in range(1, 30, 3):
+            iterator = build_pair_iterator(g, code, None, None)
+            collected = []
+            for _ in range(stop_after):
+                if iterator.done:
+                    break
+                pair = iterator.next_pair()
+                if pair is not None:
+                    collected.append(pair)
+            state = iterator.save()
+            fresh = build_pair_iterator(g, code, None, None)
+            fresh.load(state)
+            collected.extend(drain(fresh))
+            assert collected == reference
+
+    def test_loading_wrong_kind_is_rejected(self):
+        g = cycle_graph()
+        edge_code = lower_path(P, g.dictionary.lookup)
+        closure_code = lower_path(RepeatPath(P, min_hops=0), g.dictionary.lookup)
+        start = g.dictionary.encode(node("A"))
+        state = build_pair_iterator(g, closure_code, start, None).save()
+        with pytest.raises(ValueError):
+            build_pair_iterator(g, edge_code, start, None).load(state)
+
+
+class TestPathScanOp:
+    QUERY = (
+        "SELECT ?s ?o WHERE { ?s <http://ex.org/p>* ?o }"
+    )
+
+    def test_planner_mounts_path_scan_for_path_predicates(self):
+        g = cycle_graph()
+        plan = build_physical_plan(g, self.QUERY)
+        labels = [op.label for op in plan.root.walk()]
+        assert "PathScan" in labels
+        assert not any(
+            isinstance(op, PatternScanOp) for op in plan.root.walk()
+        )
+
+    def test_flat_patterns_still_use_pattern_scan(self):
+        g = cycle_graph()
+        plan = build_physical_plan(
+            g, "SELECT ?s ?o WHERE { ?s <http://ex.org/p> ?o }"
+        )
+        assert not any(
+            isinstance(op, PathScanOp) for op in plan.root.walk()
+        )
+
+    def test_quantum_suspends_inside_a_closure(self):
+        """A path query must not run to completion inside one page."""
+        g = Graph()
+        with g.bulk():
+            for i in range(200):
+                g.add(node(f"n{i}"), P, node(f"n{i + 1}"))
+        plan = build_physical_plan(
+            g, "SELECT ?o WHERE { <http://ex.org/n0> <http://ex.org/p>* ?o }"
+        )
+        page = run_quantum(plan, page_size=5)
+        assert not page.complete
+        assert len(page.rows) == 5
+
+    def test_token_resumes_mid_traversal(self):
+        g = cycle_graph()
+        expected = run_to_completion(build_physical_plan(g, self.QUERY))
+        factory = build_physical_plan(g, self.QUERY).factory
+        plan = factory.instantiate(g)
+        rows = []
+        for _ in range(1000):
+            page = run_quantum(plan, page_size=2)
+            rows.extend(page.rows)
+            if page.complete:
+                break
+            token = encode_continuation(plan, g, self.QUERY)
+            plan = restore_plan(factory, g, decode_continuation(token))
+        assert rows == expected.rows
+
+    def test_frontier_detail_renders_after_execution(self):
+        g = cycle_graph()
+        plan = build_physical_plan(g, self.QUERY)
+        run_to_completion(plan)
+        op = next(
+            op for op in plan.root.walk() if isinstance(op, PathScanOp)
+        )
+        hops, peak, visited = op.frontier_stats()
+        assert hops > 0 and visited > 0
+        assert "hops=" in op.detail()
+
+    def test_pre_pr8_path_token_is_rejected_as_malformed(self):
+        """Old tokens carried PatternScan-shaped state for path scans;
+        the restored plan now expects PathScan, so the label check must
+        turn them into a clean MalformedTokenError (HTTP 400), not a
+        crash or a silently wrong resume."""
+        g = cycle_graph()
+        factory = build_physical_plan(g, self.QUERY).factory
+        plan = factory.instantiate(g)
+        run_quantum(plan, page_size=2)
+        token = encode_continuation(plan, g, self.QUERY)
+        blob = decode_continuation(token)
+
+        def relabel(state):
+            if isinstance(state, dict):
+                if state.get("op") == "PathScan":
+                    state["op"] = "PatternScan"
+                    state.pop("path", None)
+                    state["offset"] = 0
+                for value in state.values():
+                    relabel(value)
+
+        relabel(blob["state"])
+        with pytest.raises(MalformedTokenError):
+            restore_plan(factory, g, blob)

@@ -1,0 +1,276 @@
+"""PR 9 benchmark: materialized chart views vs the HVS/decomposer
+ladder on the fig4 workloads under a mixed read/write trace.
+
+The fig4 property-chart queries (level-zero property expansion on
+``owl:Thing``, outgoing and incoming) are issued repeatedly against a
+graph that is **edited between rounds** — each round bulk-loads a new
+typed probe entity with one outgoing edge and removes the previous
+round's edge, so every round invalidates the HVS (dataset version
+moves) and staleness-gates any build-once index.
+
+Three router configurations run the identical trace on identical graph
+copies:
+
+* ``ladder_stale`` — the pre-PR 9 ladder (HVS → decomposer over a
+  build-once ``SpecializedIndexes``).  After the first mutation the
+  indexes are permanently stale and the HVS never hits, so every chart
+  query falls through to the simulated Virtuoso backend at full fig4
+  cost.
+* ``ladder_rebuild`` — the same ladder, but the specialized indexes
+  are rebuilt from scratch at the start of every round (rebuild wall
+  time billed to the round).  The decomposer then answers at its fig4
+  cost (~1.5 s simulated).
+* ``views`` — the PR 9 ladder: one delta-maintained
+  ``MaterializedViews`` instance answers from its count tables in
+  O(bars); mutations cost a per-triple delta instead of a rebuild.
+
+Rows are asserted canonically identical across all three
+configurations every round, so the speedup is purely the maintenance
+strategy.  Writes ``benchmarks/results/BENCH_PR9.json``.  Run via::
+
+    PYTHONPATH=src python benchmarks/bench_pr9.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.core import Direction, MemberPattern, property_chart_query
+from repro.datasets import DBpediaConfig, generate_dbpedia
+from repro.datasets.dbpedia import OWL_THING, recommended_scale
+from repro.endpoint import (
+    REMOTE_VIRTUOSO_PROFILE,
+    RemoteEndpoint,
+    SimClock,
+    SimulatedVirtuosoServer,
+)
+from repro.perf import (
+    Decomposer,
+    ElindaEndpoint,
+    HeavyQueryStore,
+    MaterializedViews,
+    SpecializedIndexes,
+)
+from repro.rdf import Graph, RDF, URI
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_PR9.json"
+
+#: Mutate-then-query rounds (round 0 queries the unedited graph).
+ROUNDS = 5
+
+QUERIES = {
+    "outgoing": property_chart_query(MemberPattern.of_type(OWL_THING)),
+    "incoming": property_chart_query(
+        MemberPattern.of_type(OWL_THING), Direction.INCOMING
+    ),
+}
+
+_RDF_TYPE = RDF.term("type")
+_PROBE_PROP = URI("http://example.org/bench/touches")
+
+
+def _probe(round_index: int) -> URI:
+    return URI(f"http://example.org/bench/probe{round_index}")
+
+
+def _mutate(graph: Graph, round_index: int) -> int:
+    """One round of the shared write trace; returns triples changed."""
+    probe = _probe(round_index)
+    changed = graph.bulk_load(
+        [
+            (probe, _RDF_TYPE, OWL_THING),
+            (probe, _PROBE_PROP, _probe(round_index - 1)),
+        ]
+    )
+    if round_index > 1:
+        changed += int(
+            graph.remove(
+                _probe(round_index - 1), _PROBE_PROP, _probe(round_index - 2)
+            )
+        )
+    return changed
+
+
+class _VersionedRemote(RemoteEndpoint):
+    """Remote client co-located with an editable store.
+
+    Stock ``RemoteEndpoint`` pins ``dataset_version`` to 0 (a public
+    endpoint exposes no version, and eLinda assumes it static) — under
+    this trace that would let the HVS serve answers from before a
+    mutation.  The write workload here is local editing, so the client
+    reads the true graph version and the HVS invalidates each round,
+    as it would over a ``LocalEndpoint``.
+    """
+
+    def __init__(self, server):
+        super().__init__(server)
+        self._graph = server.graph
+
+    @property
+    def dataset_version(self) -> int:
+        return self._graph.version
+
+
+def canon(result):
+    return sorted(
+        tuple(sorted((name, term.n3()) for name, term in row.items()))
+        for row in result.rows
+    )
+
+
+class _Config:
+    """One router configuration over its own graph copy and clock."""
+
+    def __init__(self, name, base_graph, profile, with_views, rebuild):
+        self.name = name
+        self.rebuild = rebuild
+        self.graph = Graph(list(base_graph.triples()))
+        self.clock = SimClock()
+        server = SimulatedVirtuosoServer(
+            self.graph, clock=self.clock, cost_model=profile
+        )
+        backend = _VersionedRemote(server)
+        self.views = (
+            MaterializedViews(self.graph, clock=self.clock) if with_views else None
+        )
+        indexes = (
+            self.views
+            if self.views is not None
+            else SpecializedIndexes(self.graph)
+        )
+        self.endpoint = ElindaEndpoint(
+            backend,
+            hvs=HeavyQueryStore(clock=self.clock),
+            views=self.views,
+            decomposer=Decomposer(indexes, clock=self.clock),
+            use_views=with_views,
+        )
+        self.rounds = []
+
+    def run_round(self, round_index):
+        maintain_wall = 0.0
+        if round_index > 0:
+            started = time.perf_counter()
+            _mutate(self.graph, round_index)
+            if self.rebuild:
+                self.endpoint.decomposer.indexes = SpecializedIndexes(self.graph)
+            maintain_wall = (time.perf_counter() - started) * 1000.0
+        record = {"round": round_index, "maintain_wall_ms": round(maintain_wall, 3)}
+        answers = {}
+        for direction, query in QUERIES.items():
+            sim_before = self.clock.now_ms
+            started = time.perf_counter()
+            response = self.endpoint.query(query)
+            record[direction] = {
+                "source": response.source,
+                "simulated_ms": round(self.clock.now_ms - sim_before, 3),
+                "wall_ms": round((time.perf_counter() - started) * 1000.0, 3),
+                "rows": len(response.result.rows),
+            }
+            answers[direction] = canon(response.result)
+        self.rounds.append(record)
+        return answers
+
+
+def _mean_sim(config, directions=("outgoing", "incoming"), skip_first=True):
+    cells = [
+        record[direction]["simulated_ms"]
+        for record in config.rounds
+        for direction in directions
+        if not (skip_first and record["round"] == 0)
+    ]
+    return sum(cells) / len(cells)
+
+
+def main():
+    config = DBpediaConfig()
+    dataset = generate_dbpedia(config)
+    profile = REMOTE_VIRTUOSO_PROFILE.scaled(recommended_scale(config))
+    print(f"dataset: {len(dataset.graph)} triples; trace: {ROUNDS} rounds")
+
+    configs = [
+        _Config("ladder_stale", dataset.graph, profile, False, False),
+        _Config("ladder_rebuild", dataset.graph, profile, False, True),
+        _Config("views", dataset.graph, profile, True, False),
+    ]
+
+    for round_index in range(ROUNDS):
+        per_config = [cfg.run_round(round_index) for cfg in configs]
+        reference = per_config[0]
+        for cfg, answers in zip(configs[1:], per_config[1:]):
+            for direction in QUERIES:
+                if answers[direction] != reference[direction]:
+                    raise SystemExit(
+                        f"round {round_index}: {cfg.name} {direction} chart "
+                        "differs from the backend reference"
+                    )
+
+    views_cfg = next(cfg for cfg in configs if cfg.name == "views")
+    # Sources after the first mutation: the claim each config's mean cost
+    # rests on must actually hold round by round.
+    for cfg, expected in (
+        (configs[0], "virtuoso"),
+        (configs[1], "decomposer"),
+        (views_cfg, "views"),
+    ):
+        for record in cfg.rounds[1:]:
+            for direction in QUERIES:
+                source = record[direction]["source"]
+                if source != expected:
+                    raise SystemExit(
+                        f"{cfg.name} round {record['round']} {direction}: "
+                        f"served from {source!r}, expected {expected!r}"
+                    )
+
+    summary = {}
+    for cfg in configs:
+        summary[cfg.name] = {
+            "mean_simulated_ms_per_query": round(_mean_sim(cfg), 3),
+            "mean_maintain_wall_ms_per_round": round(
+                sum(r["maintain_wall_ms"] for r in cfg.rounds[1:])
+                / max(len(cfg.rounds) - 1, 1),
+                3,
+            ),
+            "rounds": cfg.rounds,
+        }
+    stale_speedup = _mean_sim(configs[0]) / _mean_sim(views_cfg)
+    rebuild_speedup = _mean_sim(configs[1]) / _mean_sim(views_cfg)
+    payload = {
+        "dataset_triples": len(dataset.graph),
+        "rounds": ROUNDS,
+        "workload": "fig4 property expansions on owl:Thing, mutate-then-query",
+        "configs": summary,
+        "views_vs_stale_ladder_speedup": round(stale_speedup, 2),
+        "views_vs_rebuild_ladder_speedup": round(rebuild_speedup, 2),
+        "rows_match": True,
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+    print()
+    header = (
+        f"{'config':<16} {'sim ms/query':>13} {'maintain ms/round':>18}"
+    )
+    print(header)
+    print("-" * len(header))
+    for cfg in configs:
+        print(
+            f"{cfg.name:<16} {summary[cfg.name]['mean_simulated_ms_per_query']:>13.1f}"
+            f" {summary[cfg.name]['mean_maintain_wall_ms_per_round']:>18.2f}"
+        )
+    print()
+    print(
+        f"views speedup: {stale_speedup:.1f}x vs stale ladder, "
+        f"{rebuild_speedup:.1f}x vs rebuild ladder"
+    )
+    if stale_speedup < 10.0 or rebuild_speedup < 2.0:
+        raise SystemExit(
+            "materialized views must beat the stale ladder at least 10x "
+            "and the rebuild ladder at least 2x in simulated time"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -12,7 +12,10 @@
 #      suspend mid-traversal, resume from its token, and report its
 #      BFS frontier counters in EXPLAIN ANALYZE);
 #   3. a plan-cache + dictionary metrics smoke over
-#      `repro metrics --exercise`;
+#      `repro metrics --exercise`, then the materialized-views smoke
+#      (every chart shape served from the views route row-identically
+#      to the backend, and delta maintenance across
+#      add/remove/bulk_load equal to a from-scratch rebuild);
 #   4. the serving-layer smoke test (concurrency soak under injected
 #      faults, retry accounting, and the breaker's fallback ladder),
 #      then the worker-pool smoke test (2 forked workers over a shared
@@ -65,6 +68,10 @@ echo "$metrics" | grep -q 'repro_dict_terms{kind="uri"} [1-9]' \
 echo "$metrics" | grep -q 'repro_dict_encode_total{outcome="miss"} [1-9]' \
   || { echo "FAIL: dictionary never interned during the workload"; exit 1; }
 echo "ok: plan cache hits, optimizer runs, and dictionary interning recorded"
+
+echo
+echo "== repro views --self-test =="
+python -m repro views --self-test
 
 echo
 echo "== repro serve --self-test =="

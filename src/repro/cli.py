@@ -500,7 +500,7 @@ def _executor_self_test(args) -> int:
 def _build_serve_stack(args, graph, root):
     """The full serving stack: faulty wire -> router -> frontend."""
     from .endpoint import FaultInjector
-    from .perf import Decomposer, ElindaEndpoint, HeavyQueryStore, SpecializedIndexes
+    from .perf import Decomposer, ElindaEndpoint, HeavyQueryStore, MaterializedViews
     from .serve import BackoffPolicy, CircuitBreaker, ServeConfig, ServeFrontend
 
     clock = SimClock()
@@ -510,10 +510,16 @@ def _build_serve_stack(args, graph, root):
         seed=args.seed,
     )
     server = SimulatedVirtuosoServer(graph, clock=clock, faults=faults)
+    # One set of materialized tables serves both the views route and the
+    # decomposer (its build-once indexes are the same tables): mutable
+    # stores keep them delta-fresh, snapshot stores fall back to
+    # build-once semantics automatically.
+    views = MaterializedViews(graph, clock=clock)
     elinda = ElindaEndpoint(
         RemoteEndpoint(server),
         hvs=HeavyQueryStore(clock=clock),
-        decomposer=Decomposer(SpecializedIndexes(graph), clock=clock),
+        views=views,
+        decomposer=Decomposer(views, clock=clock),
         breaker=CircuitBreaker(
             clock=clock, failure_threshold=5, recovery_ms=500.0
         ),
@@ -788,7 +794,7 @@ def _serve_self_test(args) -> int:
     # what this check is about).
     response = elinda.query(chart_query)
     check(
-        response.source in ("decomposer", "hvs"),
+        response.source in ("views", "decomposer", "hvs"),
         f"decomposable query still answered while open (via {response.source})",
     )
     server.faults.transient_rate = 0.0
@@ -1433,6 +1439,7 @@ def _cmd_metrics(args) -> int:
             HeavyQueryStore,
             IncrementalConfig,
             IncrementalEvaluator,
+            MaterializedViews,
             SpecializedIndexes,
         )
         from .core import MemberPattern, property_chart_query
@@ -1448,8 +1455,11 @@ def _cmd_metrics(args) -> int:
         elinda = ElindaEndpoint(
             LocalEndpoint(graph, clock=clock, trace=True),
             hvs=HeavyQueryStore(threshold_ms=0.000001, clock=clock),
+            views=MaterializedViews(graph, clock=clock),
             decomposer=Decomposer(SpecializedIndexes(graph), clock=clock),
         )
+        elinda.query(query)                       # views hit
+        elinda.use_views = False
         elinda.query(query)                       # decomposer rewrite
         elinda.use_decomposer = False
         elinda.query(query)                       # backend, stored as heavy
@@ -1466,6 +1476,155 @@ def _cmd_metrics(args) -> int:
             graph, IncrementalConfig(window_size=500, max_steps=2), clock=clock
         ).run_to_completion(query)                 # incremental windows
     print(REGISTRY.render(), end="")
+    return 0
+
+
+def _cmd_views(args) -> int:
+    """Materialized chart views: summary, or the CI self-test."""
+    if args.self_test:
+        return _views_self_test(args)
+    from .core.model import Direction as Dir
+    from .perf import MaterializedViews
+
+    session = _build_session(args)
+    views = MaterializedViews(session.endpoint.graph)
+    state = views.table_state()
+    print(f"classes with instances : {len(state['instances'])}")
+    print(f"typed nodes            : {len(state['types'])}")
+    print(f"class/direction entries: {len(state['class_props'])}")
+    print(f"superclasses tracked   : {len(state['subclasses'])}")
+    root = session.settings.root_class
+    rows = views.property_expansion([root], Dir.OUTGOING) or []
+    print(f"root property bars     : {len(rows)} ({root.value})")
+    return 0
+
+
+def _views_self_test(args) -> int:
+    """End-to-end smoke: every chart shape served by the views route,
+    row-identical to the backend, and delta maintenance across
+    add/remove/bulk_load equal to a from-scratch rebuild (used by CI)."""
+    from .core import (
+        MemberPattern,
+        count_query,
+        object_chart_query,
+        property_chart_query,
+        subclass_chart_query,
+    )
+    from .obs.metrics import REGISTRY
+    from .perf import Decomposer, ElindaEndpoint, HeavyQueryStore, MaterializedViews
+    from .rdf.graph import Graph
+    from .rdf.terms import URI
+    from .rdf.vocab import RDF
+
+    failures: List[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        print(("ok: " if condition else "FAIL: ") + message)
+        if not condition:
+            failures.append(message)
+
+    def counter(name: str, **labels) -> float:
+        metric = REGISTRY.get(name)
+        return metric.labels(**labels).value if labels else metric.value
+
+    def canon(result):
+        return sorted(
+            tuple(sorted((name, term.n3()) for name, term in row.items()))
+            for row in result.rows
+        )
+
+    session = _build_session(args)
+    # A mutable working copy: the self-test edits the graph, and the
+    # session's graph may be a read-only snapshot.
+    graph = Graph(list(session.endpoint.graph.triples()))
+    root = session.settings.root_class
+    clock = SimClock()
+    views = MaterializedViews(graph, clock=clock)
+    elinda = ElindaEndpoint(
+        LocalEndpoint(graph, clock=clock),
+        hvs=HeavyQueryStore(clock=clock),
+        views=views,
+        decomposer=Decomposer(views, clock=clock),
+    )
+    reference = LocalEndpoint(graph, clock=SimClock())
+
+    pattern = MemberPattern.of_type(root)
+    rdf_type = RDF.term("type")
+    shapes = [
+        ("property chart", property_chart_query(pattern, Direction.OUTGOING)),
+        ("subclass chart", subclass_chart_query(pattern, root)),
+        ("bar count", count_query(pattern)),
+    ]
+    conn_prop = next(
+        (
+            row.prop
+            for row in views.property_expansion([root], Direction.OUTGOING)
+            if row.prop != rdf_type
+        ),
+        None,
+    )
+    if conn_prop is not None:
+        shapes.append(
+            (
+                "connections chart",
+                object_chart_query(pattern, conn_prop, Direction.OUTGOING),
+            )
+        )
+    for label, query in shapes:
+        before = counter("repro_router_queries_total", route="views")
+        response = elinda.query(query)
+        check(
+            response.source == "views"
+            and counter("repro_router_queries_total", route="views")
+            == before + 1,
+            f"{label} answered by the views route",
+        )
+        check(
+            canon(response.result) == canon(reference.select(query)),
+            f"{label} rows identical to the backend",
+        )
+
+    # Interleaved mutations: the views must stay fresh and exact with
+    # no full rebuild, only per-triple deltas.
+    before_add = counter("repro_view_deltas_total", op="add")
+    before_remove = counter("repro_view_deltas_total", op="remove")
+    member = min(views.instances(root), key=lambda term: term.value)
+    probe = URI("http://example.org/views-self-test#probe")
+    graph.add(probe, rdf_type, root)
+    graph.remove(member, rdf_type, root)
+    graph.bulk_load(
+        [
+            (probe, conn_prop or rdf_type, member),
+            (member, rdf_type, root),  # put the member back, batched
+        ]
+    )
+    check(views.is_fresh, "views stay fresh across add/remove/bulk_load")
+    check(
+        counter("repro_view_deltas_total", op="add") >= before_add + 3
+        and counter("repro_view_deltas_total", op="remove")
+        == before_remove + 1,
+        "every mutation arrived as a delta",
+    )
+    rebuilt = MaterializedViews(graph, track=False)
+    check(
+        views.table_state() == rebuilt.table_state(),
+        "delta-maintained tables equal a from-scratch rebuild",
+    )
+    post = property_chart_query(pattern, Direction.INCOMING)
+    response = elinda.query(post)
+    check(
+        response.source == "views",
+        "post-mutation chart still served from the views (no staleness)",
+    )
+    check(
+        canon(response.result) == canon(reference.select(post)),
+        "post-mutation rows identical to the backend",
+    )
+
+    if failures:
+        print(f"views self-test failed ({len(failures)} checks)", file=sys.stderr)
+        return 1
+    print("views self-test passed")
     return 0
 
 
@@ -1726,6 +1885,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a small workload through every layer first",
     )
     metrics.set_defaults(func=_cmd_metrics)
+
+    views = sub.add_parser(
+        "views",
+        help="materialized chart views: table summary or CI self-test",
+    )
+    views.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify view answers against the backend and delta "
+        "maintenance against a rebuild",
+    )
+    views.set_defaults(func=_cmd_views)
 
     demo = sub.add_parser(
         "demo", help="the Section 5 demonstration walkthrough"

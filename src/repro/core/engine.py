@@ -30,12 +30,49 @@ __all__ = ["ChartEngine"]
 
 
 def _as_int(term) -> int:
+    """Integer value of a count literal.
+
+    Backends are free to type their counts as xsd:decimal/xsd:double
+    ("3.0", "3.0e0"); an integral float is still an exact count, so it
+    is accepted rather than silently flattened to an empty bar.
+    """
     if isinstance(term, Literal):
         try:
             return int(term.lexical)
         except ValueError:
+            pass
+        try:
+            number = float(term.lexical)
+        except ValueError:
             return 0
+        if number == int(number):
+            return int(number)
     return 0
+
+
+def _supports_paging(endpoint) -> bool:
+    """Whether ``endpoint.query`` accepts the continuation-paging kwargs.
+
+    Detected from the signature (or an explicit ``supports_paging``
+    attribute) instead of probing with a call and catching TypeError —
+    catching would also swallow genuine TypeErrors raised *inside* the
+    endpoint's evaluation.
+    """
+    declared = getattr(endpoint, "supports_paging", None)
+    if declared is not None:
+        return bool(declared)
+    import inspect
+
+    try:
+        parameters = inspect.signature(endpoint.query).parameters
+    except (TypeError, ValueError):
+        return False
+    if any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    ):
+        return True
+    return {"page_size", "continuation"} <= set(parameters)
 
 
 class ChartEngine:
@@ -64,20 +101,23 @@ class ChartEngine:
         self.quantum_ms = quantum_ms
         #: Pages fetched through the continuation protocol (observability).
         self.pages_fetched = 0
+        # Paging-capability cache; resolved on first paged select.
+        self._paged: Optional[bool] = None
 
     def _select(self, query_text: str):
         """One chart query's full result, paged when configured."""
         if self.page_size is None and self.quantum_ms is None:
             return self.endpoint.select(query_text)
-        try:
-            response = self.endpoint.query(
-                query_text,
-                page_size=self.page_size,
-                quantum_ms=self.quantum_ms,
-            )
-        except TypeError:
+        if self._paged is None:
+            self._paged = _supports_paging(self.endpoint)
+        if not self._paged:
             # The endpoint's query() takes no paging parameters.
             return self.endpoint.select(query_text)
+        response = self.endpoint.query(
+            query_text,
+            page_size=self.page_size,
+            quantum_ms=self.quantum_ms,
+        )
         self.pages_fetched += 1
         rows = list(response.result.rows)
         variables = response.result.vars

@@ -13,6 +13,7 @@ from .cost import (
     HVS_PROFILE,
     LOCAL_PROFILE,
     REMOTE_VIRTUOSO_PROFILE,
+    VIEWS_PROFILE,
 )
 from .faults import FaultInjector
 from .local import LocalEndpoint
@@ -37,6 +38,7 @@ __all__ = [
     "REMOTE_VIRTUOSO_PROFILE",
     "DECOMPOSER_PROFILE",
     "HVS_PROFILE",
+    "VIEWS_PROFILE",
     "LocalEndpoint",
     "SimulatedVirtuosoServer",
     "RemoteEndpoint",

@@ -31,6 +31,7 @@ __all__ = [
     "REMOTE_VIRTUOSO_PROFILE",
     "DECOMPOSER_PROFILE",
     "HVS_PROFILE",
+    "VIEWS_PROFILE",
 ]
 
 
@@ -109,6 +110,19 @@ DECOMPOSER_PROFILE = CostModel(
     per_scan_ms=0.55,
     per_binding_ms=0.0,
     per_result_ms=0.25,
+)
+
+#: A materialized-view hit: the aggregates are already sitting in
+#: delta-maintained count tables, so the only work is shape matching on
+#: a cached AST plus per-bar row assembly — O(bars), no probes, cheaper
+#: than an HVS hit's fixed key-value fetch.
+VIEWS_PROFILE = CostModel(
+    name="views",
+    network_latency_ms=0.2,
+    parse_overhead_ms=0.4,
+    per_scan_ms=0.0,
+    per_binding_ms=0.0,
+    per_result_ms=0.05,
 )
 
 #: A heavy-query-store hit: one key-value fetch (fixed ~78 ms, matching

@@ -21,8 +21,8 @@ from ..endpoint.local import LocalEndpoint
 from ..endpoint.virtuoso import RemoteEndpoint, SimulatedVirtuosoServer
 from ..perf.decomposer import Decomposer
 from ..perf.hvs import HeavyQueryStore
-from ..perf.indexes import SpecializedIndexes
 from ..perf.router import ElindaEndpoint
+from ..perf.views import MaterializedViews
 from ..rdf.terms import URI
 from ..rdf.vocab import OWL
 from .widgets import DEFAULT_COVERAGE_THRESHOLD
@@ -45,6 +45,7 @@ class SettingsForm:
     incremental_window: int = 2000
     incremental_steps: Optional[int] = None
     use_hvs: bool = True
+    use_views: bool = True
     use_decomposer: bool = True
     #: Rows per page when chart queries run time-sliced (None = one-shot).
     chart_page_size: Optional[int] = None
@@ -70,7 +71,9 @@ class SettingsForm:
         if self.mode == "remote" and (self.use_hvs or self.use_decomposer):
             # Remote compatibility mode: "we have no access to the actual
             # RDF graph and cannot execute any preprocessing" — only
-            # incremental evaluation applies (Section 4).
+            # incremental evaluation applies (Section 4).  ``use_views``
+            # needs no such check: views are a local-mode layer and are
+            # simply never built for a remote connection.
             raise SettingsError(
                 "HVS/decomposer require local mode; remote compatibility "
                 "mode supports incremental evaluation only"
@@ -104,15 +107,27 @@ def connect(
     # bases", Section 4).
     mirror = LocalEndpoint(server.graph, clock=clock, cost_model=local_cost_model)
     hvs = HeavyQueryStore(clock=clock) if settings.use_hvs else None
-    decomposer = (
-        Decomposer(SpecializedIndexes(server.graph), clock=clock)
-        if settings.use_decomposer
+    # One set of materialized tables backs both the views route and the
+    # decomposer; a views-only or decomposer-only configuration builds
+    # its own (the decomposer's build-once semantics come from a
+    # non-tracking instance).
+    views = (
+        MaterializedViews(server.graph, clock=clock)
+        if settings.use_views
         else None
     )
+    decomposer = None
+    if settings.use_decomposer:
+        indexes = views if views is not None else MaterializedViews(
+            server.graph, clock=clock, track=False
+        )
+        decomposer = Decomposer(indexes, clock=clock)
     return ElindaEndpoint(
         backend=mirror,
         hvs=hvs,
+        views=views,
         decomposer=decomposer,
         use_hvs=settings.use_hvs,
+        use_views=settings.use_views,
         use_decomposer=settings.use_decomposer,
     )

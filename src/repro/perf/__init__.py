@@ -1,6 +1,8 @@
 """The paper's Section 4 responsiveness techniques: incremental
-evaluation, the heavy-query store (HVS), the decomposer over specialised
-indexes, and the eLinda endpoint router that chains them."""
+evaluation, the heavy-query store (HVS), the delta-maintained
+materialized chart views (with the build-once specialised indexes as
+their non-tracking façade), the decomposer over those tables, and the
+eLinda endpoint router that chains them."""
 
 from .decomposer import Decomposer, PropertyExpansionSpec, match_property_expansion
 from .hvs import DEFAULT_HEAVY_THRESHOLD_MS, HeavyQueryStore, HvsEntry, normalize_query
@@ -12,10 +14,20 @@ from .remote_incremental import (
     RemoteIncrementalEvaluator,
 )
 from .router import ElindaEndpoint
+from .views import (
+    MaterializedViews,
+    match_member_count,
+    match_object_chart,
+    match_subclass_chart,
+)
 
 __all__ = [
+    "MaterializedViews",
     "SpecializedIndexes",
     "PropertyCount",
+    "match_subclass_chart",
+    "match_member_count",
+    "match_object_chart",
     "Decomposer",
     "PropertyExpansionSpec",
     "match_property_expansion",

@@ -34,12 +34,35 @@ from ..rdf.triple import Triple
 from ..sparql.algebra import contains_aggregate
 from ..sparql.ast import AggregateExpr, SelectQuery
 from ..sparql.errors import SparqlEvalError
+from ..sparql.functions import term_order_key
 from ..sparql.parser import parse_query
 from ..sparql.results import SelectResult
 
 __all__ = ["IncrementalConfig", "PartialResult", "IncrementalEvaluator"]
 
 _XSD_INTEGER = "http://www.w3.org/2001/XMLSchema#integer"
+_XSD_DOUBLE = "http://www.w3.org/2001/XMLSchema#double"
+
+
+def _parse_number(term: Optional[Term]):
+    """Numeric value of a literal, int first then float; None otherwise.
+
+    Window results come out of the engine's ``_numeric_literal``, which
+    emits ``str(int)`` for integer totals and ``repr(float)`` for the
+    rest — so int-then-float parsing recovers exactly the engine's
+    coercion (integer-family datatypes stay int, decimal/double go
+    float) without inspecting datatypes.
+    """
+    if not isinstance(term, Literal):
+        return None
+    try:
+        return int(term.lexical)
+    except ValueError:
+        pass
+    try:
+        return float(term.lexical)
+    except ValueError:
+        return None
 
 #: Shared with :mod:`repro.perf.remote_incremental` (mode="remote").
 INCREMENTAL_WINDOWS_TOTAL = REGISTRY.counter(
@@ -165,17 +188,25 @@ class IncrementalEvaluator:
         if new is None:
             return old
         if op == "sum":
-            if isinstance(old, Literal) and isinstance(new, Literal):
-                try:
-                    total = int(old.lexical) + int(new.lexical)
-                except ValueError:
-                    return new
+            old_number = _parse_number(old)
+            new_number = _parse_number(new)
+            if old_number is None or new_number is None:
+                # Never drop the accumulated total on an unparseable
+                # value: keep what has been merged so far.
+                return old
+            total = old_number + new_number
+            if isinstance(total, int):
                 return Literal(str(total), datatype=_XSD_INTEGER)
-            return new
+            # Widest datatype wins once any float entered the sum;
+            # repr() matches the engine's _numeric_literal output.
+            return Literal(repr(total), datatype=_XSD_DOUBLE)
+        # SPARQL value order (term_order_key), which compares numeric
+        # literals by value — lexicographic sort_key would rank "9"
+        # above "10".
         if op == "min":
-            return min(old, new, key=lambda term: term.sort_key())
+            return min(old, new, key=term_order_key)
         if op == "max":
-            return max(old, new, key=lambda term: term.sort_key())
+            return max(old, new, key=term_order_key)
         return new
 
     # ------------------------------------------------------------------
@@ -208,14 +239,22 @@ class IncrementalEvaluator:
         plan = self._merge_plan(query) if is_aggregate else None
 
         maker = _subject_windows if self.config.by_subject else _triple_windows
-        windows = list(maker(self.graph, self.config.window_size))
+        windows = maker(self.graph, self.config.window_size)
         merged: Dict[Tuple, Dict[str, Optional[Term]]] = {}
         plain_rows: Dict[Tuple, Dict[str, Term]] = {}
         variables: List[str] = []
         cumulative = 0.0
         consumed = 0
 
-        for step, window_triples in enumerate(windows, start=1):
+        # Peek whether more windows remain by buffering exactly one
+        # window ahead — the stream is never materialized in full, so a
+        # large graph costs one window of memory, not the whole graph.
+        pending = next(windows, None)
+        step = 0
+        while pending is not None:
+            window_triples = pending
+            pending = next(windows, None)
+            step += 1
             window_graph = Graph(window_triples)
             physical = factory.instantiate(window_graph)
             partial = run_physical(physical)
@@ -251,7 +290,6 @@ class IncrementalEvaluator:
                 self.config.max_steps is not None
                 and step >= self.config.max_steps
             )
-            # Peek whether more windows remain by buffering one ahead.
             rows = (
                 [dict(slot) for slot in merged.values()]
                 if plan is not None
@@ -265,7 +303,7 @@ class IncrementalEvaluator:
                 result=SelectResult(variables, clean_rows),
                 step=step,
                 windows_consumed=consumed,
-                complete=step == len(windows),
+                complete=pending is None,
                 elapsed_ms=elapsed,
                 cumulative_ms=cumulative,
             )

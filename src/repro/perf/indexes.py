@@ -6,144 +6,31 @@ joins every member with every one of its triples.  The indexes
 precompute, for every class and direction, the per-property subject and
 triple counts — so a property expansion becomes a dictionary lookup
 instead of a join.
+
+Since PR 9 the tables themselves live in
+:class:`repro.perf.views.MaterializedViews`; this class is the
+build-once façade over them, kept for API compatibility.  It does not
+register a mutation listener, so — exactly as before — ``version``
+records the build-time graph version and ``is_fresh`` goes false on the
+first mutation, making the router fall back to the backend until the
+indexes are rebuilt.  Prefer ``MaterializedViews`` directly for indexes
+that stay fresh across edits.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Tuple
-
-from ..rdf.dictionary import KIND_STRIDE
-from ..rdf.graph import Graph
-from ..rdf.terms import URI
-from ..rdf.vocab import RDF
-from ..core.model import Direction
+from .views import MaterializedViews, PropertyCount
 
 __all__ = ["PropertyCount", "SpecializedIndexes"]
 
-_RDF_TYPE = RDF.term("type")
 
-
-@dataclass(frozen=True)
-class PropertyCount:
-    """Counts for one property within one class/direction entry."""
-
-    prop: URI
-    subject_count: int  # members featuring the property (coverage numerator)
-    triple_count: int   # total member triples with the property
-
-
-class SpecializedIndexes:
-    """Precomputed per-class property statistics over one graph.
+class SpecializedIndexes(MaterializedViews):
+    """Build-once (non-tracking) materialized views.
 
     Built eagerly from a graph snapshot; ``version`` records the graph
-    version at build time so the router can detect staleness ("The HVS is
-    cleared on any update" applies to these indexes, too).
+    version at build time so the router can detect staleness ("The HVS
+    is cleared on any update" applies to these indexes, too).
     """
 
-    def __init__(self, graph: Graph):
-        self.version = graph.version
-        self._graph = graph
-        self._instances: Dict[URI, FrozenSet[URI]] = {}
-        self._property_counts: Dict[
-            Tuple[URI, Direction], List[PropertyCount]
-        ] = {}
-        self._build(graph)
-        #: Number of index entries touched by lookups (drives the
-        #: decomposer's simulated latency).
-        self.entries_touched = 0
-
-    def _build(self, graph: Graph) -> None:
-        # The build runs entirely in ID space over the encoded indexes:
-        # "is this a URI?" is an integer range check (URI-kind IDs sit
-        # below KIND_STRIDE) and all counting hashes plain ints.  Terms
-        # are decoded only for the keys that enter the public maps.
-        dictionary = graph.dictionary
-        decode = dictionary.decode
-        rdf_type_id = dictionary.lookup(_RDF_TYPE)
-        instances: Dict[int, set] = {}
-        if rdf_type_id is not None:
-            for s, _p, o in graph.triples_ids(None, rdf_type_id, None):
-                if o < KIND_STRIDE and s < KIND_STRIDE:
-                    instances.setdefault(o, set()).add(s)
-        # Per-subject outgoing / per-object incoming property triple counts.
-        out_counts: Dict[int, Dict[int, int]] = {}
-        in_counts: Dict[int, Dict[int, int]] = {}
-        for s, p, o in graph.triples_ids():
-            if s < KIND_STRIDE:
-                node_out = out_counts.setdefault(s, {})
-                node_out[p] = node_out.get(p, 0) + 1
-            if o < KIND_STRIDE:
-                node_in = in_counts.setdefault(o, {})
-                node_in[p] = node_in.get(p, 0) + 1
-        self._instances = {
-            decode(cls): frozenset(decode(member) for member in members)
-            for cls, members in instances.items()
-        }
-        for cls_id, members in instances.items():
-            cls = decode(cls_id)
-            for direction, node_counts in (
-                (Direction.OUTGOING, out_counts),
-                (Direction.INCOMING, in_counts),
-            ):
-                per_property: Dict[int, List[int]] = {}
-                for member in members:
-                    for prop, count in node_counts.get(member, {}).items():
-                        entry = per_property.setdefault(prop, [0, 0])
-                        entry[0] += 1
-                        entry[1] += count
-                rows = [
-                    PropertyCount(decode(prop), subjects, triples)
-                    for prop, (subjects, triples) in per_property.items()
-                ]
-                rows.sort(key=lambda row: (-row.subject_count, row.prop.value))
-                self._property_counts[(cls, direction)] = rows
-
-    @property
-    def is_fresh(self) -> bool:
-        """Whether the source graph is unchanged since the build."""
-        return self._graph.version == self.version
-
-    # ------------------------------------------------------------------
-    # Lookups
-    # ------------------------------------------------------------------
-
-    def instances(self, cls: URI) -> FrozenSet[URI]:
-        """The instance set of ``cls`` (empty when unknown)."""
-        return self._instances.get(cls, frozenset())
-
-    def instance_count(self, cls: URI) -> int:
-        return len(self._instances.get(cls, ()))
-
-    def classes(self) -> List[URI]:
-        """All classes with at least one instance."""
-        return sorted(self._instances, key=lambda cls: cls.value)
-
-    def property_expansion(
-        self, classes: List[URI], direction: Direction
-    ) -> Optional[List[PropertyCount]]:
-        """Per-property counts for the members of all given classes.
-
-        With a single class (or when one class's instance set is
-        contained in all others — always true along a materialised
-        subclass chain) the precomputed entry is returned directly.
-        Returns None when any class is unknown to the index.
-        """
-        if not classes:
-            return None
-        sets = []
-        for cls in classes:
-            members = self._instances.get(cls)
-            if members is None:
-                return None
-            sets.append((cls, members))
-        sets.sort(key=lambda pair: len(pair[1]))
-        smallest_cls, smallest = sets[0]
-        if all(smallest <= members for _cls, members in sets[1:]):
-            rows = self._property_counts.get((smallest_cls, direction), [])
-            self.entries_touched += len(rows) + len(smallest)
-            return list(rows)
-        # Arbitrary intersections (e.g. multi-typed sets that do not nest)
-        # are not covered by the per-class precomputation; signal the
-        # router to fall through to the backend.
-        return None
+    def __init__(self, graph):
+        super().__init__(graph, track=False)

@@ -4,9 +4,12 @@
 HVS encountered it before and determined it to be heavy.  If so, use the
 result from the HVS, otherwise route it to the Virtuoso endpoint.
 eLinda backend measures the run time of the routed queries" (Section 4).
-Decomposable property expansions are intercepted before reaching the
-backend, since "the eLinda decomposer can be used for all property
-expansion queries".
+Between the HVS and the backend sit two aggregate layers: the
+incrementally-maintained :class:`~repro.perf.views.MaterializedViews`
+(all three chart shapes, fresh across graph edits) and the decomposer —
+"the eLinda decomposer can be used for all property expansion queries" —
+whose build-once indexes answer while no update has occurred.  The
+ladder is HVS → views → decomposer → backend.
 
 The same chain doubles as a *fallback ladder* under backend failure:
 when a :class:`~repro.serve.breaker.CircuitBreaker` on the backend is
@@ -34,6 +37,7 @@ _ROUTER_QUERIES_TOTAL = REGISTRY.counter(
     labelnames=("route",),
 )
 _ROUTE_HVS = _ROUTER_QUERIES_TOTAL.labels(route="hvs")
+_ROUTE_VIEWS = _ROUTER_QUERIES_TOTAL.labels(route="views")
 _ROUTE_DECOMPOSER = _ROUTER_QUERIES_TOTAL.labels(route="decomposer")
 _ROUTE_BACKEND = _ROUTER_QUERIES_TOTAL.labels(route="backend")
 
@@ -41,7 +45,8 @@ _ROUTE_BACKEND = _ROUTER_QUERIES_TOTAL.labels(route="backend")
 class ElindaEndpoint(Endpoint):
     """The composed eLinda endpoint of the paper's architecture.
 
-    ``use_hvs`` / ``use_decomposer`` switches support the demo scenario
+    ``use_hvs`` / ``use_views`` / ``use_decomposer`` switches support
+    the demo scenario
     "with the discussed solutions turned on and off" (Section 5).
     ``breaker`` is an optional circuit breaker guarding the backend
     (any object with ``allow()`` / ``record_success()`` /
@@ -52,22 +57,28 @@ class ElindaEndpoint(Endpoint):
         self,
         backend: Endpoint,
         hvs: Optional[HeavyQueryStore] = None,
+        views=None,
         decomposer: Optional[Decomposer] = None,
         use_hvs: bool = True,
+        use_views: bool = True,
         use_decomposer: bool = True,
         breaker=None,
     ):
         super().__init__()
         self.backend = backend
         self.hvs = hvs
+        self.views = views
         self.decomposer = decomposer
         self.use_hvs = use_hvs
+        self.use_views = use_views
         self.use_decomposer = use_decomposer
         self.breaker = breaker
         # Shape detection and execution look at the same queries: let the
-        # decomposer read ASTs out of the backend's plan cache.
+        # aggregate layers read ASTs out of the backend's plan cache.
         if decomposer is not None and decomposer.plan_cache is None:
             decomposer.plan_cache = getattr(backend, "plan_cache", None)
+        if views is not None and views.plan_cache is None:
+            views.plan_cache = getattr(backend, "plan_cache", None)
 
     @property
     def dataset_version(self) -> int:
@@ -109,7 +120,16 @@ class ElindaEndpoint(Endpoint):
                 _ROUTE_HVS.inc()
                 self._log(cached)
                 return cached
-        # 2. Decomposer (only while its indexes reflect the current
+        # 2. Materialized chart views (delta-maintained, so `is_fresh`
+        # holds across graph edits; untracked views behave like the
+        # decomposer's build-once indexes and go stale instead).
+        if self.use_views and self.views is not None and self.views.is_fresh:
+            viewed = self.views.try_answer(query_text)
+            if viewed is not None:
+                _ROUTE_VIEWS.inc()
+                self._log(viewed)
+                return viewed
+        # 3. Decomposer (only while its indexes reflect the current
         # knowledge base — they are rebuilt offline after updates).
         if (
             self.use_decomposer
@@ -121,7 +141,7 @@ class ElindaEndpoint(Endpoint):
                 _ROUTE_DECOMPOSER.inc()
                 self._log(decomposed)
                 return decomposed
-        # 3. Backend, measuring runtime for heaviness detection.
+        # 4. Backend, measuring runtime for heaviness detection.
         response = self._query_backend(
             query_text,
             quantum_ms=quantum_ms,

@@ -126,6 +126,7 @@ class Graph:
         "_stats",
         "_bulk_depth",
         "_bulk_dirty",
+        "_listeners",
         "name",
     )
 
@@ -143,6 +144,10 @@ class Graph:
         self._stats = None  # cached GraphStatistics for self._version
         self._bulk_depth = 0
         self._bulk_dirty = False
+        # Mutation-delta listeners (e.g. materialized views).  Each is
+        # notified with ID triples *after* the indexes are updated, so a
+        # listener reading the graph back sees the post-mutation state.
+        self._listeners: List = []
         self.name = name
         if triples:
             self.bulk_load(triples)
@@ -166,6 +171,26 @@ class Graph:
         else:
             self._version += 1
 
+    # ------------------------------------------------------------------
+    # Mutation-delta listeners
+    # ------------------------------------------------------------------
+
+    def add_listener(self, listener) -> None:
+        """Register a mutation-delta listener.
+
+        A listener is any object with ``on_added(s, p, o)``,
+        ``on_removed(s, p, o)`` and ``on_cleared()`` methods taking
+        dictionary IDs.  It is called once per triple that actually
+        changed (never for no-op adds/removes), after the indexes are
+        updated — this is how :class:`repro.perf.views.MaterializedViews`
+        stays current without version-flush rebuilds.
+        """
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        """Unregister a previously added mutation-delta listener."""
+        self._listeners.remove(listener)
+
     def add(self, subject: Subject, predicate: URI, object: RDFObject) -> bool:
         """Add a triple; returns True if it was not already present."""
         triple = Triple.create(subject, predicate, object)
@@ -179,6 +204,8 @@ class Graph:
         _index_add(self._osp, o, s, p)
         self._size += 1
         self._bump_version()
+        for listener in self._listeners:
+            listener.on_added(s, p, o)
         return True
 
     def add_triple(self, triple: Triple) -> bool:
@@ -234,6 +261,9 @@ class Graph:
         added = 0
         fresh_pos: Dict[Tuple[int, int], List[int]] = {}
         fresh_osp: Dict[Tuple[int, int], List[int]] = {}
+        # Listener notifications are deferred until all three indexes are
+        # consistent, then delivered triple-by-triple.
+        deltas: List[Tuple[int, int, int]] = []
         for (s, p), oids in pending.items():
             by_predicate = spo.get(s)
             if by_predicate is None:
@@ -254,6 +284,8 @@ class Graph:
             for o in fresh:
                 fresh_pos.setdefault((p, o), []).append(s)
                 fresh_osp.setdefault((o, s), []).append(p)
+                if self._listeners:
+                    deltas.append((s, p, o))
         for index, additions in ((self._pos, fresh_pos), (self._osp, fresh_osp)):
             for (k1, k2), values in additions.items():
                 second = index.get(k1)
@@ -271,6 +303,9 @@ class Graph:
             self._bump_version()
             if not self._bulk_depth:
                 _BULK_LOADS_TOTAL.inc()
+            for s, p, o in deltas:
+                for listener in self._listeners:
+                    listener.on_added(s, p, o)
         return added
 
     def remove(self, subject: Subject, predicate: URI, object: RDFObject) -> bool:
@@ -293,6 +328,8 @@ class Graph:
         _index_remove(self._osp, o, s, p)
         self._size -= 1
         self._bump_version()
+        for listener in self._listeners:
+            listener.on_removed(s, p, o)
         return True
 
     def remove_pattern(
@@ -314,6 +351,8 @@ class Graph:
         self._osp.clear()
         self._size = 0
         self._bump_version()
+        for listener in self._listeners:
+            listener.on_cleared()
 
     # ------------------------------------------------------------------
     # Introspection

@@ -19,6 +19,9 @@ from repro.core import (
 from repro.rdf import DBO, DBR, Literal, OWL
 
 THING = OWL.term("Thing")
+XSD_INTEGER = "http://www.w3.org/2001/XMLSchema#integer"
+XSD_DECIMAL = "http://www.w3.org/2001/XMLSchema#decimal"
+XSD_DOUBLE = "http://www.w3.org/2001/XMLSchema#double"
 
 
 @pytest.fixture()
@@ -162,3 +165,101 @@ class TestEngineMechanics:
         agent = engine.initial_chart()[DBO.term("Agent")]
         with pytest.raises(ValueError):
             engine.object_chart(agent)
+
+
+class TestAsInt:
+    """Regressions for count coercion: backends may type counts as
+    xsd:decimal/xsd:double; an integral float is still an exact count."""
+
+    def test_plain_integer(self):
+        from repro.core.engine import _as_int
+
+        assert _as_int(Literal("3", datatype=XSD_INTEGER)) == 3
+
+    def test_integral_decimal_lexical(self):
+        from repro.core.engine import _as_int
+
+        assert _as_int(Literal("3.0", datatype=XSD_DECIMAL)) == 3
+
+    def test_integral_double_scientific(self):
+        from repro.core.engine import _as_int
+
+        assert _as_int(Literal("3.0e0", datatype=XSD_DOUBLE)) == 3
+
+    def test_non_integral_and_junk_fall_back_to_zero(self):
+        from repro.core.engine import _as_int
+
+        assert _as_int(Literal("3.5", datatype=XSD_DECIMAL)) == 0
+        assert _as_int(Literal("not a count")) == 0
+        assert _as_int(None) == 0
+        assert _as_int(DBO.term("Person")) == 0
+
+
+class _UnpagedEndpoint:
+    """Test double whose query() takes no paging parameters."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.query_calls = 0
+
+    def select(self, query_text):
+        return self._inner.select(query_text)
+
+    def query(self, query_text):
+        self.query_calls += 1
+        return self._inner.query(query_text)
+
+
+class _BrokenPagedEndpoint:
+    """Paging-shaped signature, but evaluation raises a genuine
+    TypeError — the old blanket ``except TypeError`` probe swallowed
+    this and silently served the unpaged path."""
+
+    def select(self, query_text):
+        raise TypeError("boom inside evaluation")
+
+    def query(self, query_text, page_size=None, continuation=None, **kwargs):
+        raise TypeError("boom inside evaluation")
+
+
+class TestPagingDetection:
+    def test_unpaged_signature_falls_back_to_select(self, philosophy_endpoint):
+        endpoint = _UnpagedEndpoint(philosophy_endpoint)
+        engine = ChartEngine(endpoint, THING, page_size=10)
+        chart = engine.initial_chart()
+        assert heights(chart) == heights(
+            ChartEngine(philosophy_endpoint, THING).initial_chart()
+        )
+        # The narrow-signature query() was never probed with paging
+        # kwargs, and no pages were fetched.
+        assert endpoint.query_calls == 0
+        assert engine.pages_fetched == 0
+
+    def test_paged_signature_pages(self, philosophy_endpoint):
+        engine = ChartEngine(philosophy_endpoint, THING, page_size=1)
+        chart = engine.initial_chart()
+        assert heights(chart) == heights(
+            ChartEngine(philosophy_endpoint, THING).initial_chart()
+        )
+        assert engine.pages_fetched > 1
+
+    def test_genuine_typeerror_propagates(self):
+        engine = ChartEngine(_BrokenPagedEndpoint(), THING, page_size=5)
+        with pytest.raises(TypeError, match="boom inside evaluation"):
+            engine._select("SELECT ?s WHERE { ?s ?p ?o }")
+
+    def test_supports_paging_attribute_wins(self, philosophy_endpoint):
+        from repro.core.engine import _supports_paging
+
+        endpoint = _UnpagedEndpoint(philosophy_endpoint)
+        assert not _supports_paging(endpoint)
+        endpoint.supports_paging = True
+        assert _supports_paging(endpoint)
+
+    def test_detection_is_cached(self, philosophy_endpoint):
+        engine = ChartEngine(philosophy_endpoint, THING, page_size=5)
+        assert engine._paged is None
+        engine.initial_chart()
+        first = engine._paged
+        engine.initial_chart()
+        assert engine._paged is first is True

@@ -15,6 +15,7 @@ import repro.perf.incremental  # noqa: F401
 import repro.perf.plancache  # noqa: F401
 import repro.perf.remote_incremental  # noqa: F401
 import repro.perf.router  # noqa: F401
+import repro.perf.views  # noqa: F401
 import repro.rdf.graph  # noqa: F401
 import repro.rdf.snapshot  # noqa: F401
 import repro.rdf.stats  # noqa: F401

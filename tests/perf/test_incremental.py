@@ -6,7 +6,7 @@ from repro.core import Direction, MemberPattern, property_chart_query
 from repro.datasets.dbpedia import OWL_THING
 from repro.endpoint import SimClock
 from repro.perf import IncrementalConfig, IncrementalEvaluator
-from repro.rdf import Graph
+from repro.rdf import Graph, Literal, URI
 from repro.sparql import SparqlEvalError, evaluate
 
 CHART_QUERY = property_chart_query(MemberPattern.of_type(OWL_THING))
@@ -157,3 +157,124 @@ class TestScope:
         partials = list(evaluator.run(SIMPLE_COUNT))
         assert len(partials) == (len(philosophy_graph) + 6) // 7
         assert partials[-1].complete
+
+
+EX = "http://example.org/"
+XSD_DECIMAL = "http://www.w3.org/2001/XMLSchema#decimal"
+XSD_DOUBLE = "http://www.w3.org/2001/XMLSchema#double"
+XSD_INTEGER = "http://www.w3.org/2001/XMLSchema#integer"
+
+SUM_QUERY = "SELECT (SUM(?o) AS ?s) WHERE { ?x <http://example.org/p> ?o }"
+MINMAX_QUERY = (
+    "SELECT (MIN(?o) AS ?lo) (MAX(?o) AS ?hi)"
+    " WHERE { ?x <http://example.org/p> ?o }"
+)
+
+
+def _value_graph(*literals):
+    graph = Graph()
+    for index, literal in enumerate(literals):
+        graph.add(URI(f"{EX}s{index}"), URI(f"{EX}p"), literal)
+    return graph
+
+
+class TestMergeValue:
+    """Regressions for the PR 9 merge fixes: SUM over non-integer
+    numerics and numeric (not lexicographic) MIN/MAX ordering."""
+
+    def test_sum_keeps_decimal_contributions(self):
+        # Before the fix, any non-integer literal arriving mid-merge
+        # reset the accumulated total to the new value.  Binary-exact
+        # decimals (halves/quarters) make the float sum reproducible.
+        graph = _value_graph(
+            Literal("1.5", datatype=XSD_DECIMAL),
+            Literal("2.25", datatype=XSD_DECIMAL),
+            Literal("3", datatype=XSD_INTEGER),
+        )
+        evaluator = IncrementalEvaluator(graph, IncrementalConfig(window_size=1))
+        final = evaluator.run_to_completion(SUM_QUERY)
+        assert final.result.rows == evaluate(graph, SUM_QUERY).rows
+        (row,) = final.result.rows
+        assert row["s"].lexical == "6.75"
+        assert row["s"].datatype == XSD_DOUBLE
+
+    def test_sum_all_integers_stays_integer_typed(self):
+        graph = _value_graph(
+            Literal("2", datatype=XSD_INTEGER),
+            Literal("40", datatype=XSD_INTEGER),
+        )
+        evaluator = IncrementalEvaluator(graph, IncrementalConfig(window_size=1))
+        (row,) = evaluator.run_to_completion(SUM_QUERY).result.rows
+        assert row["s"].lexical == "42"
+        assert row["s"].datatype == XSD_INTEGER
+
+    def test_sum_unparseable_partial_keeps_accumulated_total(self):
+        evaluator = IncrementalEvaluator(Graph())
+        old = Literal("6", datatype=XSD_INTEGER)
+        merged = evaluator._merge_value("sum", old, Literal("not a number"))
+        assert merged == old
+
+    def test_min_max_numeric_not_lexicographic(self):
+        # Lexicographic sort_key ranks "10" below "9"; SPARQL value
+        # order must pick 9 as the minimum and 10 as the maximum.
+        graph = _value_graph(
+            Literal("9", datatype=XSD_INTEGER),
+            Literal("10", datatype=XSD_INTEGER),
+        )
+        evaluator = IncrementalEvaluator(graph, IncrementalConfig(window_size=1))
+        final = evaluator.run_to_completion(MINMAX_QUERY)
+        assert final.result.rows == evaluate(graph, MINMAX_QUERY).rows
+        (row,) = final.result.rows
+        assert row["lo"].lexical == "9"
+        assert row["hi"].lexical == "10"
+
+    def test_min_max_across_mixed_numeric_datatypes(self):
+        graph = _value_graph(
+            Literal("1.5", datatype=XSD_DECIMAL),
+            Literal("3", datatype=XSD_INTEGER),
+            Literal("2.5e0", datatype=XSD_DOUBLE),
+        )
+        evaluator = IncrementalEvaluator(graph, IncrementalConfig(window_size=1))
+        final = evaluator.run_to_completion(MINMAX_QUERY)
+        assert final.result.rows == evaluate(graph, MINMAX_QUERY).rows
+
+
+class TestStreamingWindows:
+    """run() must hold one window of lookahead, never the whole list."""
+
+    def test_window_stream_is_pulled_lazily(self, philosophy_graph, monkeypatch):
+        import repro.perf.incremental as incremental_module
+
+        real_maker = incremental_module._subject_windows
+        pulled = []
+
+        def counting_maker(graph, window_size):
+            for window in real_maker(graph, window_size):
+                pulled.append(len(window))
+                yield window
+
+        monkeypatch.setattr(
+            incremental_module, "_subject_windows", counting_maker
+        )
+        evaluator = IncrementalEvaluator(
+            philosophy_graph, IncrementalConfig(window_size=5)
+        )
+        stream = evaluator.run(SIMPLE_COUNT)
+        first = next(stream)
+        # Exactly the current window plus the one-ahead completeness
+        # peek have been materialized — not the full window list.
+        assert len(pulled) == 2
+        assert not first.complete
+        rest = list(stream)
+        assert rest[-1].complete
+        total = len(pulled)
+        assert total == first.windows_consumed + len(rest)
+
+    def test_streamed_final_matches_one_shot(self, philosophy_graph):
+        evaluator = IncrementalEvaluator(
+            philosophy_graph, IncrementalConfig(window_size=5)
+        )
+        final = evaluator.run_to_completion(SIMPLE_COUNT)
+        assert rows_as_map(final.result, "t", "n") == rows_as_map(
+            evaluate(philosophy_graph, SIMPLE_COUNT), "t", "n"
+        )
